@@ -1,0 +1,98 @@
+// Ablations for the design choices DESIGN.md calls out:
+//   1. Fig. 8 shared-block plan vs naive per-tensor allocation (memory);
+//   2. Softmax template auto-tuning vs any fixed template (§IV-B);
+//   3. layer-batched cross-attention K/V projection vs per-layer (Fig. 5).
+#include "bench_common.h"
+#include "kernels/softmax.h"
+#include "memory/block_plan.h"
+
+using namespace ls2;
+using namespace ls2::bench;
+
+namespace {
+
+void ablate_memory_blocks() {
+  print_header("Ablation: Fig. 8 shared-block plan — attention backward bytes");
+  std::printf("%-26s %14s %14s %8s\n", "(B, L, H, N)", "naive bytes", "plan bytes",
+              "saving");
+  const std::tuple<int, int, int, int> shapes[] = {
+      {8, 32, 512, 8}, {8, 72, 1024, 16}, {32, 64, 1024, 16}, {8, 256, 512, 8}};
+  for (auto [B, L, H, N] : shapes) {
+    mem::BlockPlan plan(mem::attention_backward_plan(B, L, H, N, /*elem=*/2));
+    char label[64];
+    std::snprintf(label, sizeof(label), "(%d, %d, %d, %d)", B, L, H, N);
+    std::printf("%-26s %14zu %14zu %7.1f%%\n", label, plan.naive_bytes(),
+                plan.total_bytes(),
+                100.0 * (1.0 - static_cast<double>(plan.total_bytes()) /
+                                   static_cast<double>(plan.naive_bytes())));
+  }
+  std::printf("Formula check: plan = 3*BLH + max(BL^2*N, 3*BLH); naive = 9*BLH + BL^2*N.\n");
+}
+
+void ablate_softmax_tuner() {
+  print_header("Ablation: Softmax template auto-tuner vs fixed templates (modeled "
+               "achieved bandwidth)");
+  std::printf("%-18s", "(rows, cols)");
+  for (const auto& c : kern::softmax_candidates()) std::printf(" %9s", c.tag);
+  std::printf(" %9s\n", "tuned");
+  const std::pair<int64_t, int64_t> shapes[] = {
+      {1 << 20, 16}, {1 << 17, 64}, {1 << 14, 256}, {1 << 12, 1024}, {1 << 10, 4096}};
+  for (auto [rows, cols] : shapes) {
+    char label[32];
+    std::snprintf(label, sizeof(label), "(%lld, %lld)", static_cast<long long>(rows),
+                  static_cast<long long>(cols));
+    std::printf("%-18s", label);
+    for (const auto& c : kern::softmax_candidates()) {
+      std::printf(" %9.3f", kern::softmax_config_efficiency(c, rows, cols));
+    }
+    const auto best = kern::tune_softmax(rows, cols);
+    std::printf(" %9.3f (%s)\n", kern::softmax_config_efficiency(best, rows, cols),
+                best.tag);
+  }
+  std::printf("No fixed template wins everywhere; the tuner always matches the best.\n");
+}
+
+void ablate_cross_attention() {
+  print_header("Ablation: layer-batched cross-attention K/V projection (Fig. 5)");
+  std::printf("%-10s %16s %16s %10s\n", "dec", "per-layer (wps)", "batched (wps)",
+              "gain");
+  for (int dec : {6, 12, 24}) {
+    auto cfg = models::TransformerConfig::base(6, dec);
+    // Same LightSeq2 kernels; only the K/V projection strategy differs.
+    auto run = [&](bool batched) {
+      SessionConfig sc;
+      sc.system = System::kLightSeq2;
+      sc.mode = simgpu::ExecMode::kModelOnly;
+      sc.dtype = DType::kF16;
+      Session session(sc);
+      session.ctx().policy.layer_batched_cross_attn = batched;
+      models::Transformer model(cfg, System::kLightSeq2, DType::kF16, 41,
+                                session.param_alloc());
+      optim::OptimConfig ocfg;
+      optim::LightSeq2Trainer trainer(model.params(), ocfg, session.param_alloc());
+      data::MtDataset ds(cfg.vocab, 128, 8, 48, 41);
+      auto batches = data::make_mt_batches(ds, 4096, DType::kF16);
+      const auto& batch = data::largest_batch(batches);
+      (void)core::train_step(session, model, batch, trainer);
+      const double t0 = session.device().clock_us();
+      (void)core::train_step(session, model, batch, trainer);
+      return static_cast<double>(batch.tokens) /
+             ((session.device().clock_us() - t0) * 1e-6);
+    };
+    const double per_layer = run(false);
+    const double batched = run(true);
+    std::printf("%-10d %16.0f %16.0f %9.2f%%\n", dec, per_layer, batched,
+                100.0 * (batched / per_layer - 1.0));
+  }
+  std::printf("Batching all decoder layers' K/V into one GEMM + one split removes\n"
+              "2n GEMM launches and n bias/reshape launches; the gain grows with depth.\n");
+}
+
+}  // namespace
+
+int main() {
+  ablate_memory_blocks();
+  ablate_softmax_tuner();
+  ablate_cross_attention();
+  return 0;
+}

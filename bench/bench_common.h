@@ -1,0 +1,91 @@
+// Shared harness for the paper-figure benchmarks.
+//
+// Every figure bench sweeps system × workload in ExecMode::kModelOnly (the
+// analytical device clock; numerics are validated separately by the test
+// suite) and prints the same rows/series the paper reports. Throughput is
+// words-per-second (Fairseq comparisons) or samples-per-second (Hugging Face
+// comparisons), computed from the simulated device time of a steady-state
+// step.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/lightseq2.h"
+
+namespace ls2::bench {
+
+using core::Session;
+using core::SessionConfig;
+using core::StepTimes;
+using layers::System;
+
+struct MtPerf {
+  double words_per_sec = 0;
+  double step_us = 0;
+  StepTimes stages;
+  bool oom = false;
+  double utilization = 0;
+  int64_t peak_memory = 0;
+};
+
+/// Steady-state machine-translation training step for `system` at the given
+/// batch-token budget. One warm-up step (allocator population), then the
+/// measured step. `cluster` scales throughput by world size and adds the
+/// ring-all-reduce stage.
+inline MtPerf measure_mt(System system, const models::TransformerConfig& cfg,
+                         const simgpu::DeviceProfile& profile, int64_t batch_tokens,
+                         dist::ClusterConfig cluster = {1, 1}, uint64_t seed = 17) {
+  MtPerf perf;
+  try {
+    SessionConfig sc;
+    sc.system = system;
+    sc.profile = profile;
+    sc.mode = simgpu::ExecMode::kModelOnly;
+    sc.dtype = DType::kF16;
+    sc.seed = seed;
+    Session session(sc);
+
+    models::Transformer model(cfg, system, DType::kF16, seed, session.param_alloc());
+    optim::OptimConfig ocfg;
+    auto trainer = optim::make_trainer(system, model.params(), ocfg, session.param_alloc());
+
+    const int seq_multiple = layers::policy_for(system).seq_multiple;
+    data::MtDataset ds(cfg.vocab, /*size=*/192, /*min_len=*/8,
+                       /*max_len=*/std::min<int64_t>(cfg.max_len - 2, 72), seed);
+    auto batches = data::make_mt_batches(ds, batch_tokens, DType::kF16, seq_multiple);
+    const models::MtBatch& batch = data::largest_batch(batches);
+
+    (void)core::train_step(session, model, batch, *trainer, cluster);  // warm-up
+    const double t0 = session.device().clock_us();
+    auto [times, res] = core::train_step(session, model, batch, *trainer, cluster);
+    perf.step_us = session.device().clock_us() - t0;
+    perf.stages = times;
+    perf.words_per_sec = static_cast<double>(batch.tokens) * cluster.total_gpus() /
+                         (perf.step_us * 1e-6);
+    perf.utilization = session.device().utilization();
+    perf.peak_memory = session.permanent_bytes() + session.activations().peak_bytes();
+  } catch (const mem::OutOfMemory&) {
+    perf.oom = true;
+  }
+  return perf;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline const char* fmt_speedup(double base, double value, char* buf, size_t n) {
+  std::snprintf(buf, n, "%.2fx", value / base);
+  return buf;
+}
+
+/// "6e6d"-style label.
+inline std::string model_label(const models::TransformerConfig& cfg) {
+  return std::to_string(cfg.encoder_layers) + "e" + std::to_string(cfg.decoder_layers) + "d";
+}
+
+}  // namespace ls2::bench

@@ -1,0 +1,54 @@
+// Fig. 10: end-to-end training speedup on WMT14-style machine translation.
+// Six panels: {6e6d, 12e12d, 24e24d} x {V100, A100}, batch-token sizes
+// 512..15000, systems Fairseq / Fairseq+Apex / LightSeq2. Speedups are
+// words-per-second ratios vs Fairseq, as in the paper.
+#include "bench_common.h"
+
+using namespace ls2;
+using namespace ls2::bench;
+
+int main() {
+  struct Panel {
+    int64_t enc, dec;
+    const char* profile;
+    std::vector<int64_t> token_sizes;
+  };
+  // Batch-size ceilings follow the paper's panels (bigger models OOM first).
+  const std::vector<Panel> panels = {
+      {6, 6, "v100", {512, 1024, 2048, 4096, 8192, 15000}},
+      {12, 12, "v100", {512, 1024, 2048, 4096}},
+      {24, 24, "v100", {512, 1024, 2048}},
+      {6, 6, "a100", {512, 1024, 2048, 4096, 8192, 15000}},
+      {12, 12, "a100", {512, 1024, 2048, 4096, 8192}},
+      {24, 24, "a100", {512, 1024, 2048, 4096}},
+  };
+
+  char panel_id = 'a';
+  for (const Panel& p : panels) {
+    const auto cfg = models::TransformerConfig::base(p.enc, p.dec);
+    const auto profile = simgpu::profile_by_name(p.profile);
+    print_header(std::string("Fig. 10(") + panel_id++ + "): Transformer " +
+                 model_label(cfg) + " on " + profile.name +
+                 " — speedup vs Fairseq (words/sec)");
+    std::printf("%-12s %12s %14s %12s %10s %10s\n", "batch_tokens", "Fairseq(wps)",
+                "FS+Apex(wps)", "LS2(wps)", "Apex/FS", "LS2/FS");
+    for (int64_t tokens : p.token_sizes) {
+      const MtPerf fs = measure_mt(System::kFairseq, cfg, profile, tokens);
+      const MtPerf apex = measure_mt(System::kFairseqApex, cfg, profile, tokens);
+      const MtPerf ls2 = measure_mt(System::kLightSeq2, cfg, profile, tokens);
+      if (fs.oom || ls2.oom) {
+        std::printf("%-12lld %12s %14s %12.0f %10s %10s\n",
+                    static_cast<long long>(tokens), fs.oom ? "OOM" : "-",
+                    apex.oom ? "OOM" : "-", ls2.words_per_sec, "-", "-");
+        continue;
+      }
+      std::printf("%-12lld %12.0f %14.0f %12.0f %9.2fx %9.2fx\n",
+                  static_cast<long long>(tokens), fs.words_per_sec, apex.words_per_sec,
+                  ls2.words_per_sec, apex.words_per_sec / fs.words_per_sec,
+                  ls2.words_per_sec / fs.words_per_sec);
+    }
+  }
+  std::printf("\nPaper reference: LightSeq2 1.4-2.8x on V100, 1.5-3.5x on A100;\n"
+              "speedup grows with model depth and is higher on A100.\n");
+  return 0;
+}

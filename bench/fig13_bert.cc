@@ -1,0 +1,56 @@
+// Fig. 13: BERT-Base / BERT-Large on MRPC-style classification, 8x V100 —
+// samples/sec speedup vs Hugging Face (native PyTorch kernels) and
+// DeepSpeed (fused encoder, x16 padding, baseline embedding/criterion).
+#include "bench_common.h"
+
+using namespace ls2;
+using namespace ls2::bench;
+
+namespace {
+
+double measure_bert(System system, const models::BertConfig& cfg, int64_t batch,
+                    int64_t seq_len) {
+  SessionConfig sc;
+  sc.system = system;
+  sc.profile = simgpu::v100();
+  sc.mode = simgpu::ExecMode::kModelOnly;
+  sc.dtype = DType::kF16;
+  Session session(sc);
+  models::Bert model(cfg, system, DType::kF16, 23, session.param_alloc());
+  optim::OptimConfig ocfg;
+  auto trainer = optim::make_trainer(system, model.params(), ocfg, session.param_alloc());
+  // MRPC sentences average ~50 tokens; DeepSpeed must pad to a multiple of
+  // 16 (Table I), so it runs a longer padded sequence for the same data.
+  const int64_t padded = layers::pad_length(layers::policy_for(system), seq_len);
+  data::ClsDataset ds(cfg.vocab, 512, padded, 23);
+  auto b = ds.batch(0, batch, padded);
+  const dist::ClusterConfig cluster{8, 1};
+  (void)core::train_step(session, model, b, *trainer, cluster);
+  const double t0 = session.device().clock_us();
+  (void)core::train_step(session, model, b, *trainer, cluster);
+  const double step_us = session.device().clock_us() - t0;
+  return static_cast<double>(batch) * cluster.total_gpus() / (step_us * 1e-6);
+}
+
+void run_panel(const char* name, const models::BertConfig& cfg) {
+  const int64_t batch = 32, seq_len = 50;
+  const double hf = measure_bert(System::kFairseq, cfg, batch, seq_len);
+  const double dsp = measure_bert(System::kDeepSpeed, cfg, batch, seq_len);
+  const double ls2 = measure_bert(System::kLightSeq2, cfg, batch, seq_len);
+  std::printf("%-12s %16.1f %16.1f %16.1f %12.2fx %12.2fx\n", name, hf, dsp, ls2, dsp / hf,
+              ls2 / hf);
+}
+
+}  // namespace
+
+int main() {
+  print_header("Fig. 13: BERT on MRPC-style task, 8x V100 (samples/sec, speedup vs HF)");
+  std::printf("%-12s %16s %16s %16s %12s %12s\n", "model", "HuggingFace", "DeepSpeed",
+              "LightSeq2", "DS/HF", "LS2/HF");
+  run_panel("BERT-Base", models::BertConfig::base());
+  run_panel("BERT-Large", models::BertConfig::large());
+  std::printf("\nPaper reference: LightSeq2 1.44x (Base) / 1.28x (Large) over DeepSpeed,\n"
+              "both well above Hugging Face; gains come from the encoder kernels plus\n"
+              "the embedding/criterion/trainer DeepSpeed does not optimise.\n");
+  return 0;
+}

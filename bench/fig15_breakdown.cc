@@ -1,0 +1,76 @@
+// Fig. 15: ablation of LightSeq2's two main ingredients on a 6e6d
+// Transformer (8x V100): kernel-fusion only, trainer only, and the full
+// system, vs batch-token size.
+//
+// Hybrids are composed exactly as the paper describes: layer policy and
+// trainer are selected independently (the parameter registry is contiguous
+// whenever the LightSeq2 trainer is used, per §IV-C).
+#include "bench_common.h"
+
+using namespace ls2;
+using namespace ls2::bench;
+
+namespace {
+
+MtPerf measure_hybrid(System layer_system, bool ls2_trainer,
+                      const models::TransformerConfig& cfg, int64_t batch_tokens) {
+  MtPerf perf;
+  try {
+    SessionConfig sc;
+    sc.system = layer_system;
+    sc.profile = simgpu::v100();
+    sc.mode = simgpu::ExecMode::kModelOnly;
+    sc.dtype = DType::kF16;
+    Session session(sc);
+    // Contiguous workspace iff the LightSeq2 trainer needs it; the layer
+    // kernels follow the session policy independently.
+    models::Transformer model(cfg,
+                              ls2_trainer ? System::kLightSeq2 : System::kFairseq,
+                              DType::kF16, 17, session.param_alloc());
+    optim::OptimConfig ocfg;
+    std::unique_ptr<optim::Optimizer> trainer;
+    if (ls2_trainer) {
+      trainer = std::make_unique<optim::LightSeq2Trainer>(model.params(), ocfg,
+                                                          session.param_alloc());
+    } else {
+      trainer = std::make_unique<optim::TorchTrainer>(model.params(), ocfg,
+                                                      session.param_alloc());
+    }
+    data::MtDataset ds(cfg.vocab, 192, 8, 72, 17);
+    auto batches = data::make_mt_batches(ds, batch_tokens, DType::kF16);
+    const models::MtBatch& batch = data::largest_batch(batches);
+    const dist::ClusterConfig cluster{8, 1};
+    (void)core::train_step(session, model, batch, *trainer, cluster);
+    const double t0 = session.device().clock_us();
+    (void)core::train_step(session, model, batch, *trainer, cluster);
+    perf.step_us = session.device().clock_us() - t0;
+    perf.words_per_sec =
+        static_cast<double>(batch.tokens) * cluster.total_gpus() / (perf.step_us * 1e-6);
+  } catch (const mem::OutOfMemory&) {
+    perf.oom = true;
+  }
+  return perf;
+}
+
+}  // namespace
+
+int main() {
+  const auto cfg = models::TransformerConfig::base(6, 6);
+  print_header("Fig. 15: speedup breakdown, Transformer 6e6d on 8x V100 (vs Fairseq)");
+  std::printf("%-12s %12s %14s %12s %10s\n", "batch_tokens", "kernel-fusion", "trainer-only",
+              "full-LS2", "(ratios)");
+  for (int64_t tokens : {512, 1024, 2048, 4096, 8192, 15000}) {
+    const MtPerf base = measure_hybrid(System::kFairseq, false, cfg, tokens);
+    const MtPerf fusion = measure_hybrid(System::kLightSeq2, false, cfg, tokens);
+    const MtPerf trainer = measure_hybrid(System::kFairseq, true, cfg, tokens);
+    const MtPerf full = measure_hybrid(System::kLightSeq2, true, cfg, tokens);
+    std::printf("%-12lld %11.2fx %13.2fx %11.2fx\n", static_cast<long long>(tokens),
+                fusion.words_per_sec / base.words_per_sec,
+                trainer.words_per_sec / base.words_per_sec,
+                full.words_per_sec / base.words_per_sec);
+  }
+  std::printf("\nPaper reference: full > fusion-only > trainer-only at small batches;\n"
+              "all speedups decay as batch tokens grow (GEMM share rises); the gap\n"
+              "between fusion-only and trainer-only widens with batch size.\n");
+  return 0;
+}

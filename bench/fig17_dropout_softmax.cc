@@ -1,0 +1,73 @@
+// Fig. 17: (a) standalone Dropout speedup vs element count 0.1M..100M;
+// (b) attention Softmax speedup across the paper's (batch, sequence length)
+// grid (batch*len ~ 8192 tokens). All vs PyTorch on V100.
+#include "bench_common.h"
+#include "kernels/softmax.h"
+
+using namespace ls2;
+using namespace ls2::bench;
+
+namespace {
+
+double dropout_time_us(kern::Impl impl, int64_t n, simgpu::Device& dev,
+                       BufferAllocator* alloc) {
+  kern::KernelContext kc(dev, alloc, 0);
+  Tensor x = Tensor::empty({n}, DType::kF16, alloc);
+  Tensor y = Tensor::empty({n}, DType::kF16, alloc);
+  Tensor m = Tensor::empty({n}, DType::kU8, alloc);
+  const double t0 = dev.clock_us();
+  kern::dropout_fw(kc, impl, x, y, m, 0.1f, 1);
+  return dev.clock_us() - t0;
+}
+
+double softmax_time_us(kern::Impl impl, int64_t batch, int64_t len, simgpu::Device& dev,
+                       BufferAllocator* alloc) {
+  kern::KernelContext kc(dev, alloc, 0);
+  const int64_t heads = 16;
+  Tensor x = Tensor::empty({batch, heads, len, len}, DType::kF16, alloc);
+  Tensor y = Tensor::empty({batch, heads, len, len}, DType::kF16, alloc);
+  kern::attn_softmax_fw(kc, impl, x, y, /*causal=*/false, nullptr);  // warm-up
+  const double t0 = dev.clock_us();
+  for (int i = 0; i < 3; ++i) {
+    kern::attn_softmax_fw(kc, impl, x, y, /*causal=*/false, nullptr);
+  }
+  return (dev.clock_us() - t0) / 3.0;
+}
+
+}  // namespace
+
+int main() {
+  simgpu::Device dev(simgpu::v100(), simgpu::ExecMode::kModelOnly);
+  mem::CachingAllocator alloc(dev, mem::DeviceAllocator::Backing::kVirtual);
+
+  print_header("Fig. 17(a): Dropout — speedup over PyTorch vs element count, V100");
+  std::printf("%-12s %10s %10s %10s %10s\n", "elements(M)", "PyTorch", "TF", "DeepSpeed",
+              "LightSeq2");
+  for (double m : {0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0}) {
+    const int64_t n = static_cast<int64_t>(m * 1e6);
+    const double torch_t = dropout_time_us(kern::Impl::kTorch, n, dev, &alloc);
+    std::printf("%-12.1f %10.2f %9.2fx %9.2fx %9.2fx\n", m, 1.0,
+                torch_t / dropout_time_us(kern::Impl::kTensorFlow, n, dev, &alloc),
+                torch_t / dropout_time_us(kern::Impl::kDeepSpeed, n, dev, &alloc),
+                torch_t / dropout_time_us(kern::Impl::kLS2, n, dev, &alloc));
+  }
+
+  print_header("Fig. 17(b): attention Softmax — speedup over PyTorch, V100");
+  std::printf("%-16s %10s %10s %10s %10s\n", "(batch,len)", "PyTorch", "TF", "DeepSpeed",
+              "LightSeq2");
+  const std::pair<int64_t, int64_t> grid[] = {{256, 32}, {128, 64}, {85, 96},  {68, 128},
+                                              {64, 160}, {45, 192}, {42, 224}, {32, 256},
+                                              {28, 288}, {25, 320}};
+  for (auto [batch, len] : grid) {
+    const double torch_t = softmax_time_us(kern::Impl::kTorch, batch, len, dev, &alloc);
+    std::printf("(%3lld,%3lld)%7s %10.2f %9.2fx %9.2fx %9.2fx\n",
+                static_cast<long long>(batch), static_cast<long long>(len), "", 1.0,
+                torch_t / softmax_time_us(kern::Impl::kTensorFlow, batch, len, dev, &alloc),
+                torch_t / softmax_time_us(kern::Impl::kDeepSpeed, batch, len, dev, &alloc),
+                torch_t / softmax_time_us(kern::Impl::kLS2, batch, len, dev, &alloc));
+  }
+  std::printf("\nPaper reference: Dropout 1.2-1.5x for LightSeq2 with DeepSpeed falling\n"
+              "below PyTorch past ~5M elements; Softmax speedup GROWS with sequence\n"
+              "length (shape-tuned templates), up to ~3.5x.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Fig. 18: trainer (parameter update) speedup for Adam and SGD across model
+// sizes 6e6d / 12e12d / 24e24d — PyTorch vs Apex vs LightSeq2, V100.
+// Also reports the §IV-C memory claim: trainer state bytes per system.
+#include "bench_common.h"
+
+using namespace ls2;
+using namespace ls2::bench;
+
+namespace {
+
+struct TrainerPerf {
+  double update_us = 0;
+  int64_t state_bytes = 0;
+};
+
+TrainerPerf measure_trainer(System system, optim::Algo algo,
+                            const models::TransformerConfig& cfg) {
+  SessionConfig sc;
+  sc.system = system;
+  sc.profile = simgpu::v100();
+  sc.mode = simgpu::ExecMode::kModelOnly;
+  sc.dtype = DType::kF16;
+  Session session(sc);
+  models::Transformer model(cfg, system, DType::kF16, 31, session.param_alloc());
+  optim::OptimConfig ocfg;
+  ocfg.algo = algo;
+  auto trainer = optim::make_trainer(system, model.params(), ocfg, session.param_alloc());
+  trainer->step(session.ctx().kern);  // warm-up
+  const double t0 = session.device().clock_us();
+  trainer->step(session.ctx().kern);
+  return {session.device().clock_us() - t0, trainer->state_bytes()};
+}
+
+}  // namespace
+
+int main() {
+  for (optim::Algo algo : {optim::Algo::kAdam, optim::Algo::kSgd}) {
+    const char* name = algo == optim::Algo::kAdam ? "Adam" : "SGD";
+    print_header(std::string("Fig. 18: ") + name +
+                 " trainer update time (ms) and speedup over Apex, V100");
+    std::printf("%-10s %10s %10s %10s %12s %12s\n", "model", "PyTorch", "Apex", "LS2",
+                "LS2/PyTorch", "LS2/Apex");
+    for (auto [e, d] : {std::pair<int, int>{6, 6}, {12, 12}, {24, 24}}) {
+      const auto cfg = models::TransformerConfig::big(e, d);
+      const TrainerPerf torch = measure_trainer(System::kFairseq, algo, cfg);
+      const TrainerPerf apex = measure_trainer(System::kFairseqApex, algo, cfg);
+      const TrainerPerf ls2 = measure_trainer(System::kLightSeq2, algo, cfg);
+      std::printf("%-10s %10.2f %10.2f %10.2f %11.2fx %11.2fx\n",
+                  (std::to_string(e) + "e" + std::to_string(d) + "d").c_str(),
+                  torch.update_us / 1e3, apex.update_us / 1e3, ls2.update_us / 1e3,
+                  torch.update_us / ls2.update_us, apex.update_us / ls2.update_us);
+      if (algo == optim::Algo::kAdam && e == 6) {
+        std::printf("  trainer state: PyTorch %.2f GB, Apex %.2f GB, LightSeq2 %.2f GB "
+                    "(saving %.2f GB — paper: ~2 GB on Transformer-Big)\n",
+                    torch.state_bytes / 1e9, apex.state_bytes / 1e9, ls2.state_bytes / 1e9,
+                    (apex.state_bytes - ls2.state_bytes) / 1e9);
+      }
+    }
+  }
+  std::printf("\nPaper reference: LightSeq2 gains a consistent 2.3x (Adam) / 2.4x (SGD)\n"
+              "over Apex and ~4x over PyTorch, independent of model size.\n");
+  return 0;
+}

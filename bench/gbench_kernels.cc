@@ -1,0 +1,89 @@
+// Real-CPU cross-check (google-benchmark): fused kernels beat the unfused
+// composition on actual host wall-clock too, because fusion removes memory
+// passes — the same mechanism the device model charges for. Run in execute
+// mode with real math.
+#include <benchmark/benchmark.h>
+
+#include "kernels/elementwise.h"
+#include "kernels/layernorm.h"
+#include "kernels/softmax.h"
+#include "simgpu/profile.h"
+
+namespace {
+
+using namespace ls2;
+
+struct Fixture {
+  Fixture() : dev(simgpu::v100(), simgpu::ExecMode::kExecute), kc(dev, nullptr, 7) {}
+  simgpu::Device dev;
+  kern::KernelContext kc;
+};
+
+void BM_BiasReluDropout_Fused(benchmark::State& state) {
+  Fixture f;
+  const int64_t rows = state.range(0), cols = 1024;
+  Tensor x = Tensor::zeros({rows, cols}, DType::kF32);
+  Tensor bias = Tensor::zeros({cols}, DType::kF32);
+  Tensor y = Tensor::empty({rows, cols}, DType::kF32);
+  Tensor mask = Tensor::empty({rows, cols}, DType::kU8);
+  for (auto _ : state) {
+    kern::fused::bias_relu_dropout_fw(f.kc, x, bias, y, mask, 0.1f, 1);
+    benchmark::DoNotOptimize(y.raw());
+  }
+  state.SetBytesProcessed(state.iterations() * rows * cols * 8);
+}
+BENCHMARK(BM_BiasReluDropout_Fused)->Arg(256)->Arg(2048);
+
+void BM_BiasReluDropout_Unfused(benchmark::State& state) {
+  Fixture f;
+  const int64_t rows = state.range(0), cols = 1024;
+  Tensor x = Tensor::zeros({rows, cols}, DType::kF32);
+  Tensor bias = Tensor::zeros({cols}, DType::kF32);
+  Tensor t1 = Tensor::empty({rows, cols}, DType::kF32);
+  Tensor t2 = Tensor::empty({rows, cols}, DType::kF32);
+  Tensor y = Tensor::empty({rows, cols}, DType::kF32);
+  Tensor mask = Tensor::empty({rows, cols}, DType::kU8);
+  for (auto _ : state) {
+    kern::baseline::add_bias(f.kc, x, bias, t1);
+    kern::baseline::relu_fw(f.kc, t1, t2);
+    kern::dropout_fw(f.kc, kern::Impl::kTorch, t2, y, mask, 0.1f, 1);
+    benchmark::DoNotOptimize(y.raw());
+  }
+  state.SetBytesProcessed(state.iterations() * rows * cols * 8);
+}
+BENCHMARK(BM_BiasReluDropout_Unfused)->Arg(256)->Arg(2048);
+
+void BM_LayerNorm(benchmark::State& state) {
+  Fixture f;
+  const bool fused = state.range(0) != 0;
+  const int64_t rows = 2048, cols = 512;
+  Tensor x = Tensor::zeros({rows, cols}, DType::kF32);
+  Tensor g = Tensor::zeros({cols}, DType::kF32);
+  Tensor b = Tensor::zeros({cols}, DType::kF32);
+  Tensor y = Tensor::empty({rows, cols}, DType::kF32);
+  Tensor mean = Tensor::empty({rows}, DType::kF32);
+  Tensor rstd = Tensor::empty({rows}, DType::kF32);
+  for (auto _ : state) {
+    kern::layernorm_fw(f.kc, fused ? kern::Impl::kLS2 : kern::Impl::kTorch, x, g, b, y,
+                       mean, rstd);
+    benchmark::DoNotOptimize(y.raw());
+  }
+}
+BENCHMARK(BM_LayerNorm)->Arg(0)->Arg(1);  // 0 = torch decomposition, 1 = LS2
+
+void BM_Softmax(benchmark::State& state) {
+  Fixture f;
+  const bool fused = state.range(0) != 0;
+  Tensor x = Tensor::zeros({64, 8, 64, 64}, DType::kF32);
+  Tensor y = Tensor::empty({64, 8, 64, 64}, DType::kF32);
+  for (auto _ : state) {
+    kern::attn_softmax_fw(f.kc, fused ? kern::Impl::kLS2 : kern::Impl::kTorch, x, y, true,
+                          nullptr);
+    benchmark::DoNotOptimize(y.raw());
+  }
+}
+BENCHMARK(BM_Softmax)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

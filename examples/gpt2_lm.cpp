@@ -1,0 +1,48 @@
+// WikiText-style language modelling with a GPT-2 (decoder-only) model —
+// the Fig. 14 workload at example scale. Reports perplexity while training
+// in mixed precision (FP16 workspace + on-the-fly-conversion trainer).
+#include <cmath>
+#include <cstdio>
+
+#include "core/lightseq2.h"
+
+using namespace ls2;
+
+int main() {
+  core::SessionConfig sc;
+  sc.system = layers::System::kLightSeq2;
+  sc.mode = simgpu::ExecMode::kExecute;
+  sc.dtype = DType::kF16;  // mixed-precision training end-to-end
+  core::Session session(sc);
+
+  models::Gpt2Config cfg;
+  cfg.vocab = 96;
+  cfg.hidden = 48;
+  cfg.heads = 4;
+  cfg.ffn_dim = 96;
+  cfg.layers = 2;
+  cfg.max_len = 32;
+  cfg.dropout = 0.0f;
+  models::Gpt2 model(cfg, sc.system, DType::kF16, /*seed=*/3);
+  std::printf("GPT-2-style LM: %lld parameters, FP16 workspace\n",
+              static_cast<long long>(model.params().total_elements()));
+
+  optim::OptimConfig ocfg;
+  ocfg.lr = 1.5e-3f;
+  auto trainer = optim::make_trainer(sc.system, model.params(), ocfg);
+  data::LmDataset dataset(cfg.vocab, 1 << 15, 21);
+
+  for (int step = 0; step < 240; ++step) {
+    auto [times, res] = core::train_step(session, model, dataset.batch(step, 8, 24),
+                                         *trainer);
+    if (step % 40 == 0) {
+      std::printf("step %3d | loss/token %6.4f | perplexity %8.2f | step %6.2f ms\n", step,
+                  res.loss_per_token(), std::exp(res.loss_per_token()),
+                  times.total_us() / 1e3);
+    }
+  }
+  std::printf("\nmixed-precision training converged; trainer state is %.1f KB "
+              "(FP32 moments only — no master copies).\n",
+              trainer->state_bytes() / 1024.0);
+  return 0;
+}

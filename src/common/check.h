@@ -1,0 +1,66 @@
+// Lightweight assertion macros used throughout LightSeq2.
+//
+// LS2_CHECK* are always on (they guard API misuse, shape mismatches, and
+// allocator invariants — errors that must never be silently ignored, in the
+// spirit of the C++ Core Guidelines' "fail fast" advice). They throw
+// ls2::Error rather than abort so that tests can assert on failures.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ls2 {
+
+/// Exception type thrown by all LS2_CHECK macros.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* file, int line,
+                                      const char* expr,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "LS2 check failed at " << file << ":" << line << ": " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+// Stream collector so callers can write LS2_CHECK(x) << "detail " << v;
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  template <typename T>
+  CheckMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+  [[noreturn]] ~CheckMessage() noexcept(false) {
+    check_failed(file_, line_, expr_, os_.str());
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace ls2
+
+#define LS2_CHECK(cond)                                 \
+  if (cond) {                                           \
+  } else                                                \
+    ::ls2::detail::CheckMessage(__FILE__, __LINE__, #cond)
+
+#define LS2_CHECK_EQ(a, b) LS2_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define LS2_CHECK_NE(a, b) LS2_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define LS2_CHECK_LT(a, b) LS2_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define LS2_CHECK_LE(a, b) LS2_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define LS2_CHECK_GT(a, b) LS2_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define LS2_CHECK_GE(a, b) LS2_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "

@@ -1,0 +1,31 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace ls2 {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+const char* level_tag(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kError: return "E";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  std::fprintf(stderr, "[LS2:%s] %s\n", level_tag(level), msg.c_str());
+}
+}  // namespace detail
+
+}  // namespace ls2

@@ -1,0 +1,36 @@
+// Minimal logging used by examples and benches (the library itself stays
+// quiet unless asked). Severity-filtered, writes to stderr.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ls2 {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+  ~LogMessage() { log_emit(level_, os_.str()); }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+}  // namespace ls2
+
+#define LS2_LOG(level) ::ls2::detail::LogMessage(::ls2::LogLevel::level)

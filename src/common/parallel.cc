@@ -1,0 +1,86 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#ifdef LS2_HAVE_OPENMP
+#include <omp.h>
+#endif
+
+namespace ls2 {
+
+int parallel_thread_count() {
+#ifdef LS2_HAVE_OPENMP
+  return omp_get_max_threads();
+#else
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+#endif
+}
+
+namespace {
+// Ranges smaller than this run serially: thread fork/join costs more than the
+// loop body for tiny tensors.
+constexpr int64_t kSerialCutoff = 4096;
+}  // namespace
+
+void parallel_for(int64_t begin, int64_t end,
+                  const std::function<void(int64_t)>& fn) {
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+  if (n < kSerialCutoff || parallel_thread_count() == 1) {
+    for (int64_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+#ifdef LS2_HAVE_OPENMP
+#pragma omp parallel for schedule(static)
+  for (int64_t i = begin; i < end; ++i) fn(i);
+#else
+  const int threads = std::min<int64_t>(parallel_thread_count(), n);
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  const int64_t chunk = (n + threads - 1) / threads;
+  for (int t = 0; t < threads; ++t) {
+    const int64_t lo = begin + t * chunk;
+    const int64_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    pool.emplace_back([lo, hi, &fn] {
+      for (int64_t i = lo; i < hi; ++i) fn(i);
+    });
+  }
+  for (auto& th : pool) th.join();
+#endif
+}
+
+void parallel_for_chunks(int64_t begin, int64_t end, int64_t min_chunk,
+                         const std::function<void(int64_t, int64_t)>& fn) {
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+  const int threads = parallel_thread_count();
+  if (n <= min_chunk || threads == 1) {
+    fn(begin, end);
+    return;
+  }
+  const int64_t want = std::min<int64_t>(threads, (n + min_chunk - 1) / min_chunk);
+  const int64_t chunk = (n + want - 1) / want;
+#ifdef LS2_HAVE_OPENMP
+#pragma omp parallel for schedule(static)
+  for (int64_t t = 0; t < want; ++t) {
+    const int64_t lo = begin + t * chunk;
+    const int64_t hi = std::min(end, lo + chunk);
+    if (lo < hi) fn(lo, hi);
+  }
+#else
+  std::vector<std::thread> pool;
+  for (int64_t t = 0; t < want; ++t) {
+    const int64_t lo = begin + t * chunk;
+    const int64_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    pool.emplace_back([lo, hi, &fn] { fn(lo, hi); });
+  }
+  for (auto& th : pool) th.join();
+#endif
+}
+
+}  // namespace ls2

@@ -1,0 +1,27 @@
+// Shared-memory data parallelism helpers.
+//
+// On the real system these loops are CUDA grids; in this reproduction the
+// kernels execute on the host, parallelised with OpenMP when available
+// (falling back to a plain serial loop). The helpers keep kernel code free of
+// raw #pragma noise and give one place to control grain size.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace ls2 {
+
+/// Number of worker threads the parallel helpers will use.
+int parallel_thread_count();
+
+/// Parallel loop over [begin, end). `fn(i)` must be safe to run concurrently
+/// for distinct i. Small ranges run serially to avoid fork/join overhead.
+void parallel_for(int64_t begin, int64_t end,
+                  const std::function<void(int64_t)>& fn);
+
+/// Parallel loop over chunks: fn(chunk_begin, chunk_end). Used by kernels
+/// that want per-thread accumulators.
+void parallel_for_chunks(int64_t begin, int64_t end, int64_t min_chunk,
+                         const std::function<void(int64_t, int64_t)>& fn);
+
+}  // namespace ls2

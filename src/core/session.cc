@@ -1,0 +1,28 @@
+#include "core/session.h"
+
+namespace ls2::core {
+
+Session::Session(SessionConfig cfg) : cfg_(cfg), device_(cfg.profile, cfg.mode) {
+  device_.set_record_timeline(cfg.record_timeline);
+  // Model-only sessions back "device memory" with never-committed virtual
+  // pages: identical time/byte accounting, no host RAM at paper scale.
+  const auto backing = cfg.mode == simgpu::ExecMode::kModelOnly
+                           ? mem::DeviceAllocator::Backing::kVirtual
+                           : mem::DeviceAllocator::Backing::kMalloc;
+  param_alloc_ = std::make_unique<mem::CachingAllocator>(device_, backing);
+  if (cfg.system == layers::System::kLightSeq2 && cfg.arena_bytes > 0) {
+    auto arena = std::make_unique<mem::ArenaAllocator>(device_, cfg.arena_bytes, backing);
+    arena_ = arena.get();
+    act_alloc_ = std::move(arena);
+  } else {
+    act_alloc_ = std::make_unique<mem::CachingAllocator>(device_, backing);
+  }
+  ctx_ = std::make_unique<layers::LayerContext>(device_, act_alloc_.get(),
+                                                layers::policy_for(cfg.system), cfg.seed);
+}
+
+void Session::end_step() {
+  if (arena_ != nullptr) arena_->reset();
+}
+
+}  // namespace ls2::core

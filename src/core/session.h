@@ -1,0 +1,57 @@
+// Session: one simulated device + its memory strategy + the policy of the
+// system under test. The owning scope for everything a training run needs.
+#pragma once
+
+#include <memory>
+
+#include "layers/layer_context.h"
+#include "memory/arena_allocator.h"
+#include "memory/caching_allocator.h"
+#include "simgpu/device.h"
+#include "simgpu/profile.h"
+
+namespace ls2::core {
+
+struct SessionConfig {
+  layers::System system = layers::System::kLightSeq2;
+  simgpu::DeviceProfile profile = simgpu::v100();
+  simgpu::ExecMode mode = simgpu::ExecMode::kExecute;
+  DType dtype = DType::kF32;
+  uint64_t seed = 42;
+  /// >0 with kLightSeq2: pre-allocate this activation arena (from a capacity
+  /// scan). 0: dynamic caching allocator (the baseline behaviour; LightSeq2
+  /// sessions may also use 0 in tests where memory strategy is irrelevant).
+  size_t arena_bytes = 0;
+  bool record_timeline = false;
+};
+
+class Session {
+ public:
+  explicit Session(SessionConfig cfg);
+
+  simgpu::Device& device() { return device_; }
+  layers::LayerContext& ctx() { return *ctx_; }
+  const SessionConfig& config() const { return cfg_; }
+
+  /// Permanent memory (parameters, gradients, optimizer state).
+  BufferAllocator* param_alloc() { return param_alloc_.get(); }
+  /// Temporary memory (activations, backward scratch).
+  mem::DeviceAllocator& activations() { return *act_alloc_; }
+
+  int64_t permanent_bytes() const { return param_alloc_->bytes_in_use(); }
+  int64_t activation_peak_bytes() const { return act_alloc_->peak_bytes(); }
+
+  /// Called at the end of each training step: rewinds the arena (LightSeq2)
+  /// so the next step reuses the same memory.
+  void end_step();
+
+ private:
+  SessionConfig cfg_;
+  simgpu::Device device_;
+  std::unique_ptr<mem::DeviceAllocator> param_alloc_;
+  std::unique_ptr<mem::DeviceAllocator> act_alloc_;
+  mem::ArenaAllocator* arena_ = nullptr;  // non-null when arena strategy active
+  std::unique_ptr<layers::LayerContext> ctx_;
+};
+
+}  // namespace ls2::core

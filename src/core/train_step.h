@@ -1,0 +1,93 @@
+// One timed training step: the four stages of §II-B (forward, backward,
+// synchronize, update), each attributed via device ranges — this is what
+// regenerates Fig. 3 and every end-to-end speedup figure.
+#pragma once
+
+#include <utility>
+
+#include "core/session.h"
+#include "dist/allreduce.h"
+#include "optim/optimizer.h"
+
+namespace ls2::core {
+
+struct StepTimes {
+  double forward_us = 0;
+  double backward_us = 0;
+  double sync_us = 0;
+  double update_us = 0;
+  double total_us() const { return forward_us + backward_us + sync_us + update_us; }
+};
+
+/// Zero all gradients with charged device kernels: one launch over the flat
+/// workspace under LightSeq2, one per tensor for the baselines.
+inline void zero_grads_charged(Session& session, layers::ParamRegistry& params) {
+  auto& dev = session.device();
+  if (params.contiguous()) {
+    Tensor flat = params.flat_grads();
+    simgpu::KernelDesc d;
+    d.name = "ls2.zero_grad";
+    d.bytes_written = static_cast<int64_t>(flat.bytes());
+    d.mem_efficiency = 0.9;
+    dev.launch(d, [&] { flat.zero_(); });
+    return;
+  }
+  for (int i = 0; i < params.size(); ++i) {
+    Tensor g = params.grad({i});
+    simgpu::KernelDesc d;
+    d.name = "torch.zero_grad";
+    d.bytes_written = static_cast<int64_t>(g.bytes());
+    d.mem_efficiency = 0.7;
+    dev.launch(d, [&] { g.zero_(); });
+  }
+}
+
+/// Run one data-parallel training step on this device; other replicas are
+/// assumed identical (their compute time equals ours; the all-reduce time
+/// comes from the ring model). Returns per-stage times and the forward
+/// result (loss/accuracy struct of the model).
+template <typename ModelT, typename BatchT>
+auto train_step(Session& session, ModelT& model, const BatchT& batch,
+                optim::Optimizer& trainer, const dist::ClusterConfig& cluster = {})
+    -> std::pair<StepTimes, decltype(model.forward(session.ctx(), batch))> {
+  auto& dev = session.device();
+  StepTimes times;
+
+  const double t0 = dev.clock_us();
+  zero_grads_charged(session, model.params());
+  decltype(model.forward(session.ctx(), batch)) result;
+  {
+    simgpu::ScopedRange r(dev, "forward");
+    result = model.forward(session.ctx(), batch);
+  }
+  const double t1 = dev.clock_us();
+  {
+    simgpu::ScopedRange r(dev, "backward");
+    model.backward(session.ctx());
+  }
+  const double t2 = dev.clock_us();
+  {
+    simgpu::ScopedRange r(dev, "synchronize");
+    if (cluster.total_gpus() > 1) {
+      const int64_t grad_bytes = model.params().total_elements() *
+                                 static_cast<int64_t>(dtype_size(model.params().dtype()));
+      dev.advance(dist::ring_allreduce_us(grad_bytes, cluster, dev.profile()),
+                  /*busy=*/true, "synchronize");
+    }
+  }
+  const double t3 = dev.clock_us();
+  {
+    simgpu::ScopedRange r(dev, "update");
+    trainer.step(session.ctx().kern);
+  }
+  const double t4 = dev.clock_us();
+  session.end_step();
+
+  times.forward_us = t1 - t0;  // includes the zero-grad kernels
+  times.backward_us = t2 - t1;
+  times.sync_us = t3 - t2;
+  times.update_us = t4 - t3;
+  return {times, result};
+}
+
+}  // namespace ls2::core

@@ -1,0 +1,137 @@
+#include "gemm/gemm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/check.h"
+#include "common/parallel.h"
+
+namespace ls2::gemm {
+
+namespace {
+
+// Block sizes tuned for L1-resident tiles of the inner kernel.
+constexpr int64_t kBlockM = 64;
+constexpr int64_t kBlockN = 128;
+constexpr int64_t kBlockK = 128;
+
+// Core kernel: row-major C[m,n] = alpha*A[m,k]*B[k,n] + beta*C, no
+// transposes (callers normalise layouts first). i-k-j loop order streams B
+// rows and keeps the C row hot; blocked over all three dims.
+void sgemm_nn(int64_t m, int64_t n, int64_t k, float alpha, const float* a, const float* b,
+              float beta, float* c) {
+  parallel_for_chunks(0, m, kBlockM, [&](int64_t m_lo, int64_t m_hi) {
+    for (int64_t i = m_lo; i < m_hi; ++i) {
+      float* crow = c + i * n;
+      if (beta == 0.0f) {
+        std::memset(crow, 0, static_cast<size_t>(n) * sizeof(float));
+      } else if (beta != 1.0f) {
+        for (int64_t j = 0; j < n; ++j) crow[j] *= beta;
+      }
+    }
+    for (int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+      const int64_t k1 = std::min(k, k0 + kBlockK);
+      for (int64_t n0 = 0; n0 < n; n0 += kBlockN) {
+        const int64_t n1 = std::min(n, n0 + kBlockN);
+        for (int64_t i = m_lo; i < m_hi; ++i) {
+          const float* arow = a + i * k;
+          float* crow = c + i * n;
+          for (int64_t p = k0; p < k1; ++p) {
+            const float av = alpha * arow[p];
+            if (av == 0.0f) continue;
+            const float* brow = b + p * n;
+            for (int64_t j = n0; j < n1; ++j) crow[j] += av * brow[j];
+          }
+        }
+      }
+    }
+  });
+}
+
+// Transpose src[r,c] (row-major) into dst[c,r].
+void transpose(const float* src, float* dst, int64_t rows, int64_t cols) {
+  constexpr int64_t kTile = 32;
+  for (int64_t r0 = 0; r0 < rows; r0 += kTile) {
+    const int64_t r1 = std::min(rows, r0 + kTile);
+    for (int64_t c0 = 0; c0 < cols; c0 += kTile) {
+      const int64_t c1 = std::min(cols, c0 + kTile);
+      for (int64_t r = r0; r < r1; ++r)
+        for (int64_t c = c0; c < c1; ++c) dst[c * rows + r] = src[r * cols + c];
+    }
+  }
+}
+
+}  // namespace
+
+void sgemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, float alpha,
+           const float* a, const float* b, float beta, float* c) {
+  LS2_CHECK(m >= 0 && n >= 0 && k >= 0);
+  if (m == 0 || n == 0) return;
+
+  // Normalise to the NN kernel with scratch transposes; correctness first —
+  // in this reproduction GEMM throughput on the *host* is not what is being
+  // measured (device GEMM time comes from the cost model).
+  std::vector<float> at, bt;
+  const float* an = a;
+  const float* bn = b;
+  if (trans_a) {
+    at.resize(static_cast<size_t>(m * k));
+    transpose(a, at.data(), k, m);  // a is [k,m] when transposed
+    an = at.data();
+  }
+  if (trans_b) {
+    bt.resize(static_cast<size_t>(k * n));
+    transpose(b, bt.data(), n, k);  // b is [n,k] when transposed
+    bn = bt.data();
+  }
+  sgemm_nn(m, n, k, alpha, an, bn, beta, c);
+}
+
+void sgemm_strided_batched(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+                           float alpha, const float* a, int64_t stride_a, const float* b,
+                           int64_t stride_b, float beta, float* c, int64_t stride_c,
+                           int64_t batch) {
+  for (int64_t i = 0; i < batch; ++i) {
+    sgemm(trans_a, trans_b, m, n, k, alpha, a + i * stride_a, b + i * stride_b, beta,
+          c + i * stride_c);
+  }
+}
+
+void hgemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, float alpha,
+           const Half* a, const Half* b, float beta, Half* c) {
+  const int64_t a_elems = m * k;
+  const int64_t b_elems = k * n;
+  const int64_t c_elems = m * n;
+  std::vector<float> af(static_cast<size_t>(a_elems)), bf(static_cast<size_t>(b_elems)),
+      cf(static_cast<size_t>(c_elems));
+  convert_half_to_float(a, af.data(), a_elems);
+  convert_half_to_float(b, bf.data(), b_elems);
+  if (beta != 0.0f) convert_half_to_float(c, cf.data(), c_elems);
+  sgemm(trans_a, trans_b, m, n, k, alpha, af.data(), bf.data(), beta, cf.data());
+  convert_float_to_half(cf.data(), c, c_elems);
+}
+
+void hgemm_strided_batched(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+                           float alpha, const Half* a, int64_t stride_a, const Half* b,
+                           int64_t stride_b, float beta, Half* c, int64_t stride_c,
+                           int64_t batch) {
+  for (int64_t i = 0; i < batch; ++i) {
+    hgemm(trans_a, trans_b, m, n, k, alpha, a + i * stride_a, b + i * stride_b, beta,
+          c + i * stride_c);
+  }
+}
+
+double gemm_utilization(int64_t m, int64_t n, int64_t k, int64_t batch) {
+  // Saturating occupancy model: each dimension must be large enough to fill
+  // tensor-core tiles and SMs; batching multiplies the independent work.
+  const double mp = static_cast<double>(m) * static_cast<double>(std::max<int64_t>(batch, 1));
+  const double fm = mp / (mp + 96.0);
+  const double fn = static_cast<double>(n) / (static_cast<double>(n) + 96.0);
+  const double fk = static_cast<double>(k) / (static_cast<double>(k) + 48.0);
+  const double eff = 1.45 * fm * fn * fk;
+  return std::clamp(eff, 0.05, 0.95);
+}
+
+}  // namespace ls2::gemm

@@ -1,0 +1,42 @@
+// Host GEMM — the stand-in for cuBLAS.
+//
+// The paper deliberately does *not* rewrite GEMM ("we focus on fusing
+// non-GEMM kernels and directly use the GEMM implementations from cuBLAS").
+// Accordingly every system in this reproduction — LightSeq2 and all
+// baselines — calls these same routines, so GEMM time is common-mode in all
+// comparisons, exactly as on real hardware.
+//
+// All matrices are row-major. C = alpha * op(A) @ op(B) + beta * C.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/half.h"
+
+namespace ls2::gemm {
+
+/// FP32 GEMM, cache-blocked and thread-parallel.
+void sgemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, float alpha,
+           const float* a, const float* b, float beta, float* c);
+
+/// Strided batched FP32 GEMM (cublasSgemmStridedBatched analogue).
+void sgemm_strided_batched(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+                           float alpha, const float* a, int64_t stride_a, const float* b,
+                           int64_t stride_b, float beta, float* c, int64_t stride_c,
+                           int64_t batch);
+
+/// FP16-storage GEMM with FP32 accumulation (tensor-core discipline).
+void hgemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, float alpha,
+           const Half* a, const Half* b, float beta, Half* c);
+
+void hgemm_strided_batched(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+                           float alpha, const Half* a, int64_t stride_a, const Half* b,
+                           int64_t stride_b, float beta, Half* c, int64_t stride_c,
+                           int64_t batch);
+
+/// Shape-dependent achieved fraction of peak GEMM throughput. Small or
+/// skinny matrices under-fill the device; batching restores occupancy.
+/// Used by the device cost model, clamped to [0.05, 0.95].
+double gemm_utilization(int64_t m, int64_t n, int64_t k, int64_t batch = 1);
+
+}  // namespace ls2::gemm

@@ -1,0 +1,26 @@
+// Device-launched GEMM: runs the host GEMM (execute mode) while charging the
+// simulated device for one cuBLAS launch with shape-dependent utilisation.
+#pragma once
+
+#include <string>
+
+#include "simgpu/device.h"
+#include "tensor/tensor.h"
+
+namespace ls2::gemm {
+
+/// C = alpha * op(A) @ op(B) + beta * C on the simulated device. A/B/C must
+/// share one dtype (kF32 or kF16); FP16 GEMM is charged at tensor-core
+/// throughput. `tag` names the launch in per-kernel stats.
+void device_gemm(simgpu::Device& device, bool trans_a, bool trans_b, int64_t m, int64_t n,
+                 int64_t k, float alpha, const Tensor& a, const Tensor& b, float beta,
+                 const Tensor& c, const std::string& tag = "cublas.gemm");
+
+/// Strided batched GEMM in a single launch (cublasGemmStridedBatched).
+void device_gemm_batched(simgpu::Device& device, bool trans_a, bool trans_b, int64_t m,
+                         int64_t n, int64_t k, float alpha, const Tensor& a, int64_t stride_a,
+                         const Tensor& b, int64_t stride_b, float beta, const Tensor& c,
+                         int64_t stride_c, int64_t batch,
+                         const std::string& tag = "cublas.gemm_batched");
+
+}  // namespace ls2::gemm

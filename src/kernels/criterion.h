@@ -1,0 +1,36 @@
+// Criterion layer kernels (§IV-A.3): label-smoothed cross entropy.
+//
+// With smoothing alpha over vocabulary V, target k and q = softmax(h):
+//   L = -(1-alpha) log q_k - (alpha/V) sum_i log q_i
+// and the paper derives the closed-form gradient
+//   dL/dh_i = q_i - alpha/V - (1-alpha) * [i == k],
+// which LightSeq2 evaluates in a single element-wise kernel (computing
+// log-softmax, never materialising q). The baseline decomposition launches
+// softmax / log / gather-NLL / smooth-sum forward and three kernels
+// backward, materialising a [tokens, V] probability tensor both ways.
+//
+// Rows whose target equals `ignore_index` (padding) contribute zero loss
+// and zero gradient.
+#pragma once
+
+#include "kernels/dropout.h"  // Impl
+#include "kernels/kernel_context.h"
+
+namespace ls2::kern {
+
+/// logits: [rows, V]; targets: [rows] i32; loss: [rows] f32 per-token loss;
+/// stats: [rows, 2] f32 caching (row_max, log Z) for the backward pass.
+void ls_cross_entropy_fw(KernelContext& kc, Impl impl, const Tensor& logits,
+                         const Tensor& targets, const Tensor& loss, const Tensor& stats,
+                         float alpha, int32_t ignore_index = -1);
+
+/// dlogits_i = grad_scale * (q_i - alpha/V - (1-alpha)[i==k]) per valid row.
+void ls_cross_entropy_bw(KernelContext& kc, Impl impl, const Tensor& logits,
+                         const Tensor& targets, const Tensor& stats, const Tensor& dlogits,
+                         float alpha, float grad_scale, int32_t ignore_index = -1);
+
+/// Scalar reduction helper: out[0] = sum(x) (f32). One small launch; used to
+/// turn per-token losses into the batch loss.
+void reduce_sum(KernelContext& kc, const Tensor& x, const Tensor& out);
+
+}  // namespace ls2::kern

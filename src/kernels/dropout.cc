@@ -1,0 +1,91 @@
+#include "kernels/dropout.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/parallel.h"
+
+namespace ls2::kern {
+
+const char* impl_name(Impl impl) {
+  switch (impl) {
+    case Impl::kTorch: return "torch";
+    case Impl::kTensorFlow: return "tf";
+    case Impl::kDeepSpeed: return "deepspeed";
+    case Impl::kLS2: return "ls2";
+  }
+  return "?";
+}
+
+namespace {
+
+double dropout_efficiency(Impl impl, int64_t elements) {
+  const double e = static_cast<double>(elements);
+  switch (impl) {
+    case Impl::kTorch:
+      return 0.65;
+    case Impl::kTensorFlow:
+      // Slightly behind PyTorch; the gap closes at very large sizes.
+      return 0.52 + 0.13 * (e / (e + 3e7));
+    case Impl::kDeepSpeed:
+      // Fixed grid geometry: excellent while the grid fits, degrading once
+      // elements exceed ~5M (matches Fig. 17a where it falls below PyTorch).
+      return std::max(0.15, 0.80 * std::pow(std::min(1.0, 5e6 / e), 0.45));
+    case Impl::kLS2:
+      return 0.85;
+  }
+  return 0.5;
+}
+
+}  // namespace
+
+void dropout_fw(KernelContext& kc, Impl impl, const Tensor& x, const Tensor& y,
+                const Tensor& mask, float p, uint64_t stream) {
+  LS2_CHECK(p >= 0.0f && p < 1.0f) << "dropout p=" << p;
+  LS2_CHECK_EQ(x.numel(), y.numel());
+  LS2_CHECK_EQ(x.numel(), mask.numel());
+  simgpu::KernelDesc d;
+  d.name = std::string(impl_name(impl)) + ".dropout_fw";
+  d.bytes_read = static_cast<int64_t>(x.bytes());
+  d.bytes_written = static_cast<int64_t>(y.bytes() + mask.bytes());
+  d.flops = static_cast<double>(x.numel()) * 3.0;  // rng + select + scale
+  d.mem_efficiency = dropout_efficiency(impl, x.numel());
+  kc.dev.launch(d, [&, p, stream] {
+    LS2_DISPATCH_FLOAT(x.dtype(), T, {
+      const float keep_scale = 1.0f / (1.0f - p);
+      const T* xp = x.data<T>();
+      T* yp = y.data<T>();
+      uint8_t* mp = mask.data<uint8_t>();
+      parallel_for(0, x.numel(), [&](int64_t i) {
+        const uint8_t keep = kc.rng.uniform(stream, static_cast<uint64_t>(i)) >= p ? 1 : 0;
+        mp[i] = keep;
+        yp[i] = T(keep ? static_cast<float>(xp[i]) * keep_scale : 0.0f);
+      });
+    });
+  });
+}
+
+void dropout_bw(KernelContext& kc, Impl impl, const Tensor& dy, const Tensor& mask,
+                const Tensor& dx, float p) {
+  LS2_CHECK_EQ(dy.numel(), dx.numel());
+  LS2_CHECK_EQ(dy.numel(), mask.numel());
+  simgpu::KernelDesc d;
+  d.name = std::string(impl_name(impl)) + ".dropout_bw";
+  d.bytes_read = static_cast<int64_t>(dy.bytes() + mask.bytes());
+  d.bytes_written = static_cast<int64_t>(dx.bytes());
+  d.flops = static_cast<double>(dy.numel());
+  d.mem_efficiency = dropout_efficiency(impl, dy.numel());
+  kc.dev.launch(d, [&, p] {
+    LS2_DISPATCH_FLOAT(dy.dtype(), T, {
+      const float keep_scale = 1.0f / (1.0f - p);
+      const T* dyp = dy.data<T>();
+      const uint8_t* mp = mask.data<uint8_t>();
+      T* dxp = dx.data<T>();
+      parallel_for(0, dy.numel(), [&](int64_t i) {
+        dxp[i] = T(mp[i] ? static_cast<float>(dyp[i]) * keep_scale : 0.0f);
+      });
+    });
+  });
+}
+
+}  // namespace ls2::kern

@@ -1,0 +1,29 @@
+// Standalone dropout kernels.
+//
+// Four implementations are modeled, matching the systems compared in the
+// paper's Fig. 17(a): PyTorch, TensorFlow, DeepSpeed and LightSeq2. All
+// compute identical masks from the counter RNG (same math); they differ in
+// achieved bandwidth: LightSeq2 uses vectorised accesses (best), DeepSpeed's
+// fixed launch geometry degrades beyond ~5M elements, TensorFlow trails
+// PyTorch slightly until very large sizes.
+#pragma once
+
+#include "kernels/kernel_context.h"
+
+namespace ls2::kern {
+
+/// Which system's kernel implementation to model (op-level benches compare
+/// these; layer code uses kTorch for baselines and kLS2 for LightSeq2).
+enum class Impl { kTorch, kTensorFlow, kDeepSpeed, kLS2 };
+
+const char* impl_name(Impl impl);
+
+/// y = dropout(x) with inverted scaling; mask (u8) records kept elements.
+void dropout_fw(KernelContext& kc, Impl impl, const Tensor& x, const Tensor& y,
+                const Tensor& mask, float p, uint64_t stream);
+
+/// dx = dy * mask / (1-p).
+void dropout_bw(KernelContext& kc, Impl impl, const Tensor& dy, const Tensor& mask,
+                const Tensor& dx, float p);
+
+}  // namespace ls2::kern

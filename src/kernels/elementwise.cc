@@ -1,0 +1,352 @@
+#include "kernels/elementwise.h"
+
+#include <cmath>
+
+#include "common/parallel.h"
+
+namespace ls2::kern {
+
+namespace {
+
+// Achieved bandwidth: framework element-wise kernels are generic/strided;
+// LightSeq2 kernels use vectorised (half2/float4) accesses.
+constexpr double kBaselineEff = 0.70;
+constexpr double kFusedEff = 0.85;
+
+simgpu::KernelDesc ew_desc(std::string name, int64_t bytes_read, int64_t bytes_written,
+                           int64_t n, double flops_per_elem, double eff) {
+  simgpu::KernelDesc d;
+  d.name = std::move(name);
+  d.bytes_read = bytes_read;
+  d.bytes_written = bytes_written;
+  d.flops = static_cast<double>(n) * flops_per_elem;
+  d.mem_efficiency = eff;
+  d.compute_efficiency = 0.6;
+  return d;
+}
+
+template <typename T>
+inline float gelu_val(float x) = delete;
+
+inline float gelu_scalar(float x) {
+  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+  return 0.5f * x * (1.0f + std::tanh(kC * (x + 0.044715f * x * x * x)));
+}
+
+inline float gelu_grad_scalar(float x) {
+  constexpr float kC = 0.7978845608028654f;
+  const float x3 = x * x * x;
+  const float t = std::tanh(kC * (x + 0.044715f * x3));
+  const float sech2 = 1.0f - t * t;
+  return 0.5f * (1.0f + t) + 0.5f * x * sech2 * kC * (1.0f + 3.0f * 0.044715f * x * x);
+}
+
+void check_same_numel(const Tensor& a, const Tensor& b) {
+  LS2_CHECK_EQ(a.numel(), b.numel());
+  LS2_CHECK(a.dtype() == b.dtype()) << "dtype mismatch";
+}
+
+}  // namespace
+
+namespace baseline {
+
+void add_bias(KernelContext& kc, const Tensor& x, const Tensor& bias, const Tensor& y) {
+  check_same_numel(x, y);
+  const Shape flat = x.shape().flatten_2d();
+  const int64_t rows = flat[0], cols = flat[1];
+  LS2_CHECK_EQ(bias.numel(), cols);
+  kc.dev.launch(
+      ew_desc("torch.add_bias", x.bytes() + bias.bytes(), y.bytes(), x.numel(), 1.0,
+              kBaselineEff),
+      [&, rows, cols] {
+        LS2_DISPATCH_FLOAT(x.dtype(), T, {
+          const T* xp = x.data<T>();
+          const T* bp = bias.data<T>();
+          T* yp = y.data<T>();
+          parallel_for(0, rows * cols, [&](int64_t i) {
+            yp[i] = T(static_cast<float>(xp[i]) + static_cast<float>(bp[i % cols]));
+          });
+        });
+      });
+}
+
+void relu_fw(KernelContext& kc, const Tensor& x, const Tensor& y) {
+  check_same_numel(x, y);
+  kc.dev.launch(ew_desc("torch.relu_fw", x.bytes(), y.bytes(), x.numel(), 1.0, kBaselineEff),
+                [&] {
+                  LS2_DISPATCH_FLOAT(x.dtype(), T, {
+                    const T* xp = x.data<T>();
+                    T* yp = y.data<T>();
+                    parallel_for(0, x.numel(), [&](int64_t i) {
+                      const float v = static_cast<float>(xp[i]);
+                      yp[i] = T(v > 0.0f ? v : 0.0f);
+                    });
+                  });
+                });
+}
+
+void relu_bw(KernelContext& kc, const Tensor& dy, const Tensor& x, const Tensor& dx) {
+  check_same_numel(dy, dx);
+  check_same_numel(dy, x);
+  kc.dev.launch(ew_desc("torch.relu_bw", dy.bytes() + x.bytes(), dx.bytes(), x.numel(), 1.0,
+                        kBaselineEff),
+                [&] {
+                  LS2_DISPATCH_FLOAT(x.dtype(), T, {
+                    const T* dyp = dy.data<T>();
+                    const T* xp = x.data<T>();
+                    T* dxp = dx.data<T>();
+                    parallel_for(0, x.numel(), [&](int64_t i) {
+                      dxp[i] = T(static_cast<float>(xp[i]) > 0.0f
+                                     ? static_cast<float>(dyp[i])
+                                     : 0.0f);
+                    });
+                  });
+                });
+}
+
+void gelu_fw(KernelContext& kc, const Tensor& x, const Tensor& y) {
+  check_same_numel(x, y);
+  kc.dev.launch(ew_desc("torch.gelu_fw", x.bytes(), y.bytes(), x.numel(), 10.0, kBaselineEff),
+                [&] {
+                  LS2_DISPATCH_FLOAT(x.dtype(), T, {
+                    const T* xp = x.data<T>();
+                    T* yp = y.data<T>();
+                    parallel_for(0, x.numel(), [&](int64_t i) {
+                      yp[i] = T(gelu_scalar(static_cast<float>(xp[i])));
+                    });
+                  });
+                });
+}
+
+void gelu_bw(KernelContext& kc, const Tensor& dy, const Tensor& x, const Tensor& dx) {
+  check_same_numel(dy, dx);
+  kc.dev.launch(ew_desc("torch.gelu_bw", dy.bytes() + x.bytes(), dx.bytes(), x.numel(), 14.0,
+                        kBaselineEff),
+                [&] {
+                  LS2_DISPATCH_FLOAT(x.dtype(), T, {
+                    const T* dyp = dy.data<T>();
+                    const T* xp = x.data<T>();
+                    T* dxp = dx.data<T>();
+                    parallel_for(0, x.numel(), [&](int64_t i) {
+                      dxp[i] = T(static_cast<float>(dyp[i]) *
+                                 gelu_grad_scalar(static_cast<float>(xp[i])));
+                    });
+                  });
+                });
+}
+
+void add(KernelContext& kc, const Tensor& a, const Tensor& b, const Tensor& y) {
+  check_same_numel(a, b);
+  check_same_numel(a, y);
+  kc.dev.launch(
+      ew_desc("torch.add", a.bytes() + b.bytes(), y.bytes(), a.numel(), 1.0, kBaselineEff),
+      [&] {
+        LS2_DISPATCH_FLOAT(a.dtype(), T, {
+          const T* ap = a.data<T>();
+          const T* bp = b.data<T>();
+          T* yp = y.data<T>();
+          parallel_for(0, a.numel(), [&](int64_t i) {
+            yp[i] = T(static_cast<float>(ap[i]) + static_cast<float>(bp[i]));
+          });
+        });
+      });
+}
+
+void scale(KernelContext& kc, const Tensor& x, const Tensor& y, float s) {
+  check_same_numel(x, y);
+  kc.dev.launch(ew_desc("torch.scale", x.bytes(), y.bytes(), x.numel(), 1.0, kBaselineEff),
+                [&, s] {
+                  LS2_DISPATCH_FLOAT(x.dtype(), T, {
+                    const T* xp = x.data<T>();
+                    T* yp = y.data<T>();
+                    parallel_for(0, x.numel(),
+                                 [&](int64_t i) { yp[i] = T(static_cast<float>(xp[i]) * s); });
+                  });
+                });
+}
+
+void cast(KernelContext& kc, const Tensor& x, const Tensor& y) {
+  LS2_CHECK_EQ(x.numel(), y.numel());
+  kc.dev.launch(ew_desc("torch.cast", x.bytes(), y.bytes(), x.numel(), 1.0, kBaselineEff),
+                [&] {
+                  if (x.dtype() == DType::kF32 && y.dtype() == DType::kF16) {
+                    convert_float_to_half(x.data<float>(), y.data<Half>(), x.numel());
+                  } else if (x.dtype() == DType::kF16 && y.dtype() == DType::kF32) {
+                    convert_half_to_float(x.data<Half>(), y.data<float>(), x.numel());
+                  } else {
+                    LS2_CHECK(x.dtype() == y.dtype()) << "unsupported cast";
+                    y.copy_(x);
+                  }
+                });
+}
+
+void zero(KernelContext& kc, const Tensor& y) {
+  kc.dev.launch(ew_desc("torch.zero", 0, y.bytes(), y.numel(), 0.0, kBaselineEff),
+                [&] { y.zero_(); });
+}
+
+}  // namespace baseline
+
+namespace fused {
+
+namespace {
+// Shared body for bias + activation + dropout forward.
+template <typename T, typename Act>
+void bias_act_dropout_body(const Tensor& x, const Tensor& bias, const Tensor& y,
+                           const Tensor& mask, float p, const Rng& rng, uint64_t stream,
+                           Act act) {
+  const Shape flat = x.shape().flatten_2d();
+  const int64_t cols = flat[1];
+  const float keep_scale = 1.0f / (1.0f - p);
+  const T* xp = x.data<T>();
+  const T* bp = bias.data<T>();
+  T* yp = y.data<T>();
+  uint8_t* mp = mask.data<uint8_t>();
+  parallel_for(0, x.numel(), [&](int64_t i) {
+    const float v =
+        act(static_cast<float>(xp[i]) + static_cast<float>(bp[i % cols]));
+    const uint8_t keep = rng.uniform(stream, static_cast<uint64_t>(i)) >= p ? 1 : 0;
+    mp[i] = keep;
+    yp[i] = T(keep ? v * keep_scale : 0.0f);
+  });
+}
+
+template <typename T, typename ActGrad>
+void bias_act_dropout_bw_body(const Tensor& dy, const Tensor& mask, const Tensor& x,
+                              const Tensor& bias, const Tensor& dx, float p, ActGrad dact) {
+  const Shape flat = x.shape().flatten_2d();
+  const int64_t cols = flat[1];
+  const float keep_scale = 1.0f / (1.0f - p);
+  const T* dyp = dy.data<T>();
+  const T* xp = x.data<T>();
+  const T* bp = bias.data<T>();
+  const uint8_t* mp = mask.data<uint8_t>();
+  T* dxp = dx.data<T>();
+  parallel_for(0, x.numel(), [&](int64_t i) {
+    const float pre = static_cast<float>(xp[i]) + static_cast<float>(bp[i % cols]);
+    const float g = mp[i] ? static_cast<float>(dyp[i]) * keep_scale : 0.0f;
+    dxp[i] = T(g * dact(pre));
+  });
+}
+}  // namespace
+
+void bias_relu_dropout_fw(KernelContext& kc, const Tensor& x, const Tensor& bias,
+                          const Tensor& y, const Tensor& mask, float p, uint64_t stream) {
+  LS2_CHECK(p >= 0.0f && p < 1.0f) << "dropout p=" << p;
+  kc.dev.launch(ew_desc("ls2.bias_relu_dropout_fw", x.bytes() + bias.bytes(),
+                        y.bytes() + mask.bytes(), x.numel(), 4.0, kFusedEff),
+                [&, p, stream] {
+                  LS2_DISPATCH_FLOAT(x.dtype(), T, {
+                    bias_act_dropout_body<T>(x, bias, y, mask, p, kc.rng, stream,
+                                             [](float v) { return v > 0.0f ? v : 0.0f; });
+                  });
+                });
+}
+
+void bias_relu_dropout_bw(KernelContext& kc, const Tensor& dy, const Tensor& mask,
+                          const Tensor& x, const Tensor& bias, const Tensor& dx, float p) {
+  kc.dev.launch(ew_desc("ls2.bias_relu_dropout_bw",
+                        dy.bytes() + mask.bytes() + x.bytes() + bias.bytes(), dx.bytes(),
+                        x.numel(), 4.0, kFusedEff),
+                [&, p] {
+                  LS2_DISPATCH_FLOAT(x.dtype(), T, {
+                    bias_act_dropout_bw_body<T>(
+                        dy, mask, x, bias, dx, p,
+                        [](float pre) { return pre > 0.0f ? 1.0f : 0.0f; });
+                  });
+                });
+}
+
+void bias_gelu_dropout_fw(KernelContext& kc, const Tensor& x, const Tensor& bias,
+                          const Tensor& y, const Tensor& mask, float p, uint64_t stream) {
+  LS2_CHECK(p >= 0.0f && p < 1.0f) << "dropout p=" << p;
+  kc.dev.launch(ew_desc("ls2.bias_gelu_dropout_fw", x.bytes() + bias.bytes(),
+                        y.bytes() + mask.bytes(), x.numel(), 12.0, kFusedEff),
+                [&, p, stream] {
+                  LS2_DISPATCH_FLOAT(x.dtype(), T, {
+                    bias_act_dropout_body<T>(x, bias, y, mask, p, kc.rng, stream,
+                                             gelu_scalar);
+                  });
+                });
+}
+
+void bias_gelu_dropout_bw(KernelContext& kc, const Tensor& dy, const Tensor& mask,
+                          const Tensor& x, const Tensor& bias, const Tensor& dx, float p) {
+  kc.dev.launch(ew_desc("ls2.bias_gelu_dropout_bw",
+                        dy.bytes() + mask.bytes() + x.bytes() + bias.bytes(), dx.bytes(),
+                        x.numel(), 16.0, kFusedEff),
+                [&, p] {
+                  LS2_DISPATCH_FLOAT(x.dtype(), T, {
+                    bias_act_dropout_bw_body<T>(dy, mask, x, bias, dx, p, gelu_grad_scalar);
+                  });
+                });
+}
+
+void bias_dropout_residual_fw(KernelContext& kc, const Tensor& x, const Tensor& bias,
+                              const Tensor& residual, const Tensor& y, const Tensor& mask,
+                              float p, uint64_t stream) {
+  LS2_CHECK(p >= 0.0f && p < 1.0f) << "dropout p=" << p;
+  LS2_CHECK_EQ(x.numel(), residual.numel());
+  const Shape flat = x.shape().flatten_2d();
+  const int64_t cols = flat[1];
+  LS2_CHECK_EQ(bias.numel(), cols);
+  kc.dev.launch(
+      ew_desc("ls2.bias_dropout_residual_fw", x.bytes() + bias.bytes() + residual.bytes(),
+              y.bytes() + mask.bytes(), x.numel(), 4.0, kFusedEff),
+      [&, p, stream, cols] {
+        LS2_DISPATCH_FLOAT(x.dtype(), T, {
+          const float keep_scale = 1.0f / (1.0f - p);
+          const T* xp = x.data<T>();
+          const T* bp = bias.data<T>();
+          const T* rp = residual.data<T>();
+          T* yp = y.data<T>();
+          uint8_t* mp = mask.data<uint8_t>();
+          parallel_for(0, x.numel(), [&](int64_t i) {
+            const float v = static_cast<float>(xp[i]) + static_cast<float>(bp[i % cols]);
+            const uint8_t keep = kc.rng.uniform(stream, static_cast<uint64_t>(i)) >= p ? 1 : 0;
+            mp[i] = keep;
+            yp[i] = T(static_cast<float>(rp[i]) + (keep ? v * keep_scale : 0.0f));
+          });
+        });
+      });
+}
+
+void bias_dropout_residual_bw(KernelContext& kc, const Tensor& dy, const Tensor& mask,
+                              const Tensor& dx, float p) {
+  kc.dev.launch(ew_desc("ls2.bias_dropout_residual_bw", dy.bytes() + mask.bytes(), dx.bytes(),
+                        dy.numel(), 2.0, kFusedEff),
+                [&, p] {
+                  LS2_DISPATCH_FLOAT(dy.dtype(), T, {
+                    const float keep_scale = 1.0f / (1.0f - p);
+                    const T* dyp = dy.data<T>();
+                    const uint8_t* mp = mask.data<uint8_t>();
+                    T* dxp = dx.data<T>();
+                    parallel_for(0, dy.numel(), [&](int64_t i) {
+                      dxp[i] = T(mp[i] ? static_cast<float>(dyp[i]) * keep_scale : 0.0f);
+                    });
+                  });
+                });
+}
+
+}  // namespace fused
+
+void bias_grad(KernelContext& kc, const Tensor& dx, const Tensor& dbias) {
+  const Shape flat = dx.shape().flatten_2d();
+  const int64_t rows = flat[0], cols = flat[1];
+  LS2_CHECK_EQ(dbias.numel(), cols);
+  simgpu::KernelDesc d = ew_desc("ls2.bias_grad", dx.bytes(), dbias.bytes(), dx.numel(), 1.0,
+                                 reduction_efficiency(0.85, cols, rows, 32));
+  kc.dev.launch(d, [&, rows, cols] {
+    LS2_DISPATCH_FLOAT(dx.dtype(), T, {
+      const T* dxp = dx.data<T>();
+      T* dbp = dbias.data<T>();
+      parallel_for(0, cols, [&](int64_t j) {
+        double acc = 0;
+        for (int64_t i = 0; i < rows; ++i) acc += static_cast<float>(dxp[i * cols + j]);
+        dbp[j] = T(static_cast<float>(acc));
+      });
+    });
+  });
+}
+
+}  // namespace ls2::kern

@@ -1,0 +1,69 @@
+// Element-wise kernels.
+//
+// `baseline::` mirrors what PyTorch/TensorFlow execution does for a
+// Transformer block: one kernel launch per primitive op, each reading and
+// writing full tensors through global memory.
+// `fused::` are the LightSeq2 replacements (§IV-A, Fig. 4): adjacent
+// element-wise ops collapse into one launch with one read and one write —
+// e.g. "bias adding & dropout & residual" is a single kernel.
+//
+// All kernels accept f32 or f16 tensors; f16 math is performed in f32
+// registers (on-the-fly conversion).
+#pragma once
+
+#include "kernels/kernel_context.h"
+
+namespace ls2::kern {
+
+namespace baseline {
+
+/// y = x + bias (bias broadcast along rows).
+void add_bias(KernelContext& kc, const Tensor& x, const Tensor& bias, const Tensor& y);
+/// y = max(x, 0).
+void relu_fw(KernelContext& kc, const Tensor& x, const Tensor& y);
+/// dx = dy * (x > 0).
+void relu_bw(KernelContext& kc, const Tensor& dy, const Tensor& x, const Tensor& dx);
+/// y = gelu(x), tanh approximation.
+void gelu_fw(KernelContext& kc, const Tensor& x, const Tensor& y);
+/// dx = dy * gelu'(x).
+void gelu_bw(KernelContext& kc, const Tensor& dy, const Tensor& x, const Tensor& dx);
+/// y = a + b.
+void add(KernelContext& kc, const Tensor& a, const Tensor& b, const Tensor& y);
+/// y = x * s.
+void scale(KernelContext& kc, const Tensor& x, const Tensor& y, float s);
+/// Dtype-converting copy (the fp16<->fp32 "copy kernels" of Fig. 6a).
+void cast(KernelContext& kc, const Tensor& x, const Tensor& y);
+/// y = 0 (a real launch — zeroing gradients costs a kernel).
+void zero(KernelContext& kc, const Tensor& y);
+
+}  // namespace baseline
+
+namespace fused {
+
+/// y = dropout(relu(x + bias)); writes the mask for backward.
+void bias_relu_dropout_fw(KernelContext& kc, const Tensor& x, const Tensor& bias,
+                          const Tensor& y, const Tensor& mask, float p, uint64_t stream);
+/// dx = dy * mask/(1-p) * relu'(x + bias); x is the stored GEMM output.
+void bias_relu_dropout_bw(KernelContext& kc, const Tensor& dy, const Tensor& mask,
+                          const Tensor& x, const Tensor& bias, const Tensor& dx, float p);
+
+/// y = dropout(gelu(x + bias)).
+void bias_gelu_dropout_fw(KernelContext& kc, const Tensor& x, const Tensor& bias,
+                          const Tensor& y, const Tensor& mask, float p, uint64_t stream);
+void bias_gelu_dropout_bw(KernelContext& kc, const Tensor& dy, const Tensor& mask,
+                          const Tensor& x, const Tensor& bias, const Tensor& dx, float p);
+
+/// y = residual + dropout(x + bias) — the last kernel of each sublayer.
+void bias_dropout_residual_fw(KernelContext& kc, const Tensor& x, const Tensor& bias,
+                              const Tensor& residual, const Tensor& y, const Tensor& mask,
+                              float p, uint64_t stream);
+/// dx = dy * mask/(1-p). (The residual branch's gradient is dy itself.)
+void bias_dropout_residual_bw(KernelContext& kc, const Tensor& dy, const Tensor& mask,
+                              const Tensor& dx, float p);
+
+}  // namespace fused
+
+/// dbias[j] = sum_i dx[i,j] — column reduction shared by both systems.
+void bias_grad(KernelContext& kc, const Tensor& dx, const Tensor& dbias);
+
+}  // namespace ls2::kern

@@ -1,0 +1,19 @@
+#include "kernels/kernel_context.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ls2::kern {
+
+double reduction_efficiency(double base, int64_t rows, int64_t cols, int threads_per_row) {
+  // Idle lanes when a row is narrower than its thread team.
+  const double lane_util =
+      std::min(1.0, static_cast<double>(cols) / static_cast<double>(threads_per_row));
+  // Device occupancy: a V100-class part wants ~160k resident threads.
+  constexpr double kDeviceThreads = 163840.0;
+  const double resident = static_cast<double>(rows) * threads_per_row;
+  const double occupancy = std::pow(std::min(1.0, resident / kDeviceThreads), 0.25);
+  return std::clamp(base * lane_util * occupancy, 0.02, 0.95);
+}
+
+}  // namespace ls2::kern

@@ -1,0 +1,52 @@
+// Shared state handed to every kernel: the simulated device, a scratch
+// allocator for intermediate tensors the *baseline* implementations
+// materialise (fused kernels, by design, do not), and the counter-based RNG
+// for dropout.
+#pragma once
+
+#include <cstdint>
+
+#include "simgpu/device.h"
+#include "tensor/random.h"
+#include "tensor/tensor.h"
+
+namespace ls2::kern {
+
+struct KernelContext {
+  KernelContext(simgpu::Device& device, BufferAllocator* scratch_alloc, uint64_t seed)
+      : dev(device), scratch(scratch_alloc ? scratch_alloc : heap_allocator()), rng(seed) {}
+
+  simgpu::Device& dev;
+  BufferAllocator* scratch;
+  Rng rng;
+
+  /// Monotone dropout stream id so each dropout site draws distinct masks
+  /// while remaining reproducible across fused/unfused implementations.
+  uint64_t next_dropout_stream() { return dropout_stream++; }
+  uint64_t dropout_stream = 1;
+};
+
+/// Dispatch a template over the two floating dtypes.
+#define LS2_DISPATCH_FLOAT(DTYPE, T, ...)                                \
+  switch (DTYPE) {                                                       \
+    case ::ls2::DType::kF32: {                                           \
+      using T = float;                                                   \
+      __VA_ARGS__;                                                       \
+      break;                                                             \
+    }                                                                    \
+    case ::ls2::DType::kF16: {                                           \
+      using T = ::ls2::Half;                                             \
+      __VA_ARGS__;                                                       \
+      break;                                                             \
+    }                                                                    \
+    default:                                                             \
+      LS2_CHECK(false) << "kernel requires a floating dtype";            \
+  }
+
+/// Achieved-bandwidth model for row-reduction kernels (LayerNorm, Softmax,
+/// criterion). `threads_per_row` is the parallelisation strategy; efficiency
+/// degrades when threads outnumber row elements (idle lanes) or when too few
+/// rows exist to occupy the device.
+double reduction_efficiency(double base, int64_t rows, int64_t cols, int threads_per_row);
+
+}  // namespace ls2::kern

@@ -1,0 +1,60 @@
+// Softmax kernels (§IV-B).
+//
+// The attention Softmax sees wildly different shapes (reduction dim from a
+// few to thousands; row count from thousands to millions), so LightSeq2
+// keeps several kernel templates — differing in how many threads cooperate
+// on one row — and *auto-tunes*: before training it evaluates the candidate
+// templates for each shape bucket and caches the winner.
+//
+// Numerically all implementations use the stable three-step scheme
+// (subtract row max, exponentiate, normalise); the fused kernels do it in
+// one launch with the row resident, while the baseline decomposition
+// launches max / exp-sum / normalise (plus a masked_fill for attention
+// masks) and materialises intermediates.
+#pragma once
+
+#include "kernels/dropout.h"  // Impl
+#include "kernels/kernel_context.h"
+
+namespace ls2::kern {
+
+/// One Softmax kernel template: how many threads cooperate per row.
+struct SoftmaxConfig {
+  int threads_per_row = 32;
+  const char* tag = "warp";
+};
+
+/// Candidate templates (sub-warp to multi-warp teams).
+const std::vector<SoftmaxConfig>& softmax_candidates();
+
+/// Pick the best template for (rows, cols): evaluates the achieved-bandwidth
+/// model for every candidate and caches per log2-bucketed shape. This is the
+/// pre-training search of §IV-B.
+SoftmaxConfig tune_softmax(int64_t rows, int64_t cols);
+
+/// Modeled achieved bandwidth of a template on a shape (exposed for the
+/// tuner ablation bench).
+double softmax_config_efficiency(const SoftmaxConfig& cfg, int64_t rows, int64_t cols);
+
+// --- plain row softmax over the last dimension ---
+
+/// y = softmax(x) row-wise. `impl` selects the launch structure/efficiency.
+void softmax_fw(KernelContext& kc, Impl impl, const Tensor& x, const Tensor& y);
+
+/// dx = y * (dy - sum_j dy_j*y_j) row-wise.
+void softmax_bw(KernelContext& kc, Impl impl, const Tensor& dy, const Tensor& y,
+                const Tensor& dx);
+
+// --- attention softmax on scores [B, N, Lq, Lk] ---
+
+/// Masked softmax over Lk. `causal` masks keys beyond the query position;
+/// `key_lens` (i32 [B], optional) masks padding keys. Baseline impls charge
+/// an extra masked_fill launch, fused impls apply masks inline.
+void attn_softmax_fw(KernelContext& kc, Impl impl, const Tensor& x, const Tensor& y,
+                     bool causal, const Tensor* key_lens);
+
+/// Backward of the masked softmax (masked positions have y=0 => dx=0).
+void attn_softmax_bw(KernelContext& kc, Impl impl, const Tensor& dy, const Tensor& y,
+                     const Tensor& dx);
+
+}  // namespace ls2::kern

@@ -1,0 +1,142 @@
+#include "kernels/trainer_kernels.h"
+
+#include <cmath>
+
+#include "common/parallel.h"
+
+namespace ls2::kern {
+
+const char* trainer_impl_name(TrainerImpl impl) {
+  switch (impl) {
+    case TrainerImpl::kTorch: return "torch";
+    case TrainerImpl::kApex: return "apex";
+    case TrainerImpl::kLS2: return "ls2";
+  }
+  return "?";
+}
+
+namespace {
+
+double trainer_eff(TrainerImpl impl) {
+  switch (impl) {
+    case TrainerImpl::kTorch: return 0.75;
+    case TrainerImpl::kApex: return 0.80;
+    case TrainerImpl::kLS2: return 0.92;  // vectorised half2 loads/stores
+  }
+  return 0.7;
+}
+
+simgpu::KernelDesc desc(std::string name, int64_t br, int64_t bw, double flops, double eff) {
+  simgpu::KernelDesc d;
+  d.name = std::move(name);
+  d.bytes_read = br;
+  d.bytes_written = bw;
+  d.flops = flops;
+  d.mem_efficiency = eff;
+  d.compute_efficiency = 0.6;
+  return d;
+}
+
+template <typename T>
+void adam_body(const Tensor& p, const Tensor& g, const Tensor& m, const Tensor& v,
+               const AdamHyper& h, float grad_scale, const Tensor* p16_out) {
+  const int64_t n = p.numel();
+  T* pp = p.data<T>();
+  const T* gp = g.data<T>();
+  float* mp = m.data<float>();
+  float* vp = v.data<float>();
+  Half* p16 = p16_out ? p16_out->data<Half>() : nullptr;
+  const float bc1 = 1.0f - std::pow(h.beta1, static_cast<float>(h.step));
+  const float bc2 = 1.0f - std::pow(h.beta2, static_cast<float>(h.step));
+  parallel_for(0, n, [&](int64_t i) {
+    // Load & convert to FP32 registers (on-the-fly for T=Half).
+    const float gi = static_cast<float>(gp[i]) * grad_scale;
+    float pi = static_cast<float>(pp[i]);
+    mp[i] = h.beta1 * mp[i] + (1.0f - h.beta1) * gi;
+    vp[i] = h.beta2 * vp[i] + (1.0f - h.beta2) * gi * gi;
+    const float mhat = mp[i] / bc1;
+    const float vhat = vp[i] / bc2;
+    pi -= h.lr * (mhat / (std::sqrt(vhat) + h.eps) + h.weight_decay * pi);
+    pp[i] = T(pi);  // store & convert back
+    if (p16) p16[i] = Half(pi);
+  });
+}
+
+template <typename T>
+void sgd_body(const Tensor& p, const Tensor& g, const Tensor& mom, const SgdHyper& h,
+              float grad_scale, const Tensor* p16_out) {
+  const int64_t n = p.numel();
+  T* pp = p.data<T>();
+  const T* gp = g.data<T>();
+  float* mp = mom.data<float>();
+  Half* p16 = p16_out ? p16_out->data<Half>() : nullptr;
+  parallel_for(0, n, [&](int64_t i) {
+    const float gi = static_cast<float>(gp[i]) * grad_scale +
+                     h.weight_decay * static_cast<float>(pp[i]);
+    mp[i] = h.momentum * mp[i] + gi;
+    const float pi = static_cast<float>(pp[i]) - h.lr * mp[i];
+    pp[i] = T(pi);
+    if (p16) p16[i] = Half(pi);
+  });
+}
+
+void check_update_args(const Tensor& p, const Tensor& g, const Tensor& m) {
+  LS2_CHECK_EQ(p.numel(), g.numel());
+  LS2_CHECK_EQ(p.numel(), m.numel());
+  LS2_CHECK(p.dtype() == g.dtype()) << "param/grad dtype mismatch";
+  LS2_CHECK(m.dtype() == DType::kF32) << "optimizer state must be f32";
+}
+
+}  // namespace
+
+void adam_update(KernelContext& kc, TrainerImpl impl, const Tensor& p, const Tensor& g,
+                 const Tensor& m, const Tensor& v, const AdamHyper& h, float grad_scale,
+                 const Tensor* model_fp16_out) {
+  check_update_args(p, g, m);
+  LS2_CHECK_EQ(p.numel(), v.numel());
+  int64_t br = static_cast<int64_t>(p.bytes() + g.bytes() + m.bytes() + v.bytes());
+  int64_t bw = static_cast<int64_t>(p.bytes() + m.bytes() + v.bytes());
+  if (model_fp16_out) bw += static_cast<int64_t>(model_fp16_out->bytes());
+  kc.dev.launch(desc(std::string(trainer_impl_name(impl)) + ".adam", br, bw,
+                     static_cast<double>(p.numel()) * 12.0, trainer_eff(impl)),
+                [&, h, grad_scale, model_fp16_out] {
+                  LS2_DISPATCH_FLOAT(p.dtype(), T,
+                                     adam_body<T>(p, g, m, v, h, grad_scale,
+                                                  model_fp16_out));
+                });
+}
+
+void sgd_update(KernelContext& kc, TrainerImpl impl, const Tensor& p, const Tensor& g,
+                const Tensor& momentum_buf, const SgdHyper& h, float grad_scale,
+                const Tensor* model_fp16_out) {
+  check_update_args(p, g, momentum_buf);
+  int64_t br = static_cast<int64_t>(p.bytes() + g.bytes() + momentum_buf.bytes());
+  int64_t bw = static_cast<int64_t>(p.bytes() + momentum_buf.bytes());
+  if (model_fp16_out) bw += static_cast<int64_t>(model_fp16_out->bytes());
+  kc.dev.launch(desc(std::string(trainer_impl_name(impl)) + ".sgd", br, bw,
+                     static_cast<double>(p.numel()) * 5.0, trainer_eff(impl)),
+                [&, h, grad_scale, model_fp16_out] {
+                  LS2_DISPATCH_FLOAT(p.dtype(), T,
+                                     sgd_body<T>(p, g, momentum_buf, h, grad_scale,
+                                                 model_fp16_out));
+                });
+}
+
+void check_overflow(KernelContext& kc, const Tensor& g, const Tensor& flag) {
+  LS2_CHECK(flag.dtype() == DType::kF32);
+  kc.dev.launch(desc("fp16.check_overflow", static_cast<int64_t>(g.bytes()), 4,
+                     static_cast<double>(g.numel()), 0.85),
+                [&] {
+                  bool bad = false;
+                  LS2_DISPATCH_FLOAT(g.dtype(), T, {
+                    const T* gp = g.data<T>();
+                    for (int64_t i = 0; i < g.numel() && !bad; ++i) {
+                      const float v = static_cast<float>(gp[i]);
+                      if (std::isnan(v) || std::isinf(v)) bad = true;
+                    }
+                  });
+                  flag.data<float>()[0] = bad ? 1.0f : 0.0f;
+                });
+}
+
+}  // namespace ls2::kern

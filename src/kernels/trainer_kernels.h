@@ -1,0 +1,59 @@
+// Parameter-update (trainer) kernels (§IV-C).
+//
+// Three modeled systems:
+//  * kTorch — per-tensor updates on FP32 master copies, with separate
+//    FP16->FP32 gradient-copy and FP32->FP16 parameter-copy kernels
+//    (Fig. 6a). Hundreds of small launches per step.
+//  * kApex — fused multi-tensor Adam/SGD over flattened FP32 masters; the
+//    FP16 model copy is written by the same kernel, but the FP32 masters
+//    (and the gradient up-cast) remain.
+//  * kLS2 — ONE launch over the contiguous FP16 workspace: parameters and
+//    gradients are loaded as FP16, converted to FP32 in registers, updated,
+//    and stored back as FP16 ("on-the-fly conversion", Fig. 6b/7b). Adam
+//    moments stay FP32. Half the parameter/gradient traffic, no masters.
+//
+// The update arithmetic is shared by all three, so tests can assert that
+// strategies produce identical parameters given identical inputs.
+#pragma once
+
+#include "kernels/kernel_context.h"
+
+namespace ls2::kern {
+
+enum class TrainerImpl { kTorch, kApex, kLS2 };
+
+const char* trainer_impl_name(TrainerImpl impl);
+
+struct AdamHyper {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;
+  int64_t step = 1;  ///< 1-based step for bias correction
+};
+
+struct SgdHyper {
+  float lr = 0.1f;
+  float momentum = 0.9f;
+  float weight_decay = 0.0f;
+};
+
+/// Adam step on (p, g) of one dtype (f32 or f16) with f32 moments.
+/// `grad_scale` multiplies gradients on load (1/loss_scale un-scaling).
+/// If `model_fp16_out` is non-null the kernel also stores the updated
+/// parameters as FP16 there (the Apex fused path).
+void adam_update(KernelContext& kc, TrainerImpl impl, const Tensor& p, const Tensor& g,
+                 const Tensor& m, const Tensor& v, const AdamHyper& h, float grad_scale,
+                 const Tensor* model_fp16_out = nullptr);
+
+/// SGD with momentum, same conventions.
+void sgd_update(KernelContext& kc, TrainerImpl impl, const Tensor& p, const Tensor& g,
+                const Tensor& momentum_buf, const SgdHyper& h, float grad_scale,
+                const Tensor* model_fp16_out = nullptr);
+
+/// flag[0] = 1.0f if any gradient element is Inf/NaN (mixed-precision
+/// overflow check the FP32-master trainers run before updating).
+void check_overflow(KernelContext& kc, const Tensor& g, const Tensor& flag);
+
+}  // namespace ls2::kern

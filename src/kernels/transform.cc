@@ -1,0 +1,160 @@
+#include "kernels/transform.h"
+
+#include "common/parallel.h"
+#include "kernels/elementwise.h"
+
+namespace ls2::kern {
+
+namespace {
+
+simgpu::KernelDesc desc(std::string name, int64_t br, int64_t bw, double eff) {
+  simgpu::KernelDesc d;
+  d.name = std::move(name);
+  d.bytes_read = br;
+  d.bytes_written = bw;
+  d.flops = 0;
+  d.mem_efficiency = eff;
+  return d;
+}
+
+// Strided copies achieve less of peak than streaming kernels.
+constexpr double kBaselineTransposeEff = 0.55;
+constexpr double kFusedTransposeEff = 0.75;
+
+template <typename T>
+void split_body(const Tensor& x, const Tensor* bias, const std::vector<Tensor>& outs) {
+  const int64_t B = outs[0].shape()[0], N = outs[0].shape()[1], L = outs[0].shape()[2],
+                D = outs[0].shape()[3];
+  const int64_t G = static_cast<int64_t>(outs.size());
+  const int64_t H = N * D;
+  const T* xp = x.data<T>();
+  const T* bp = bias ? bias->data<T>() : nullptr;
+  parallel_for(0, B * L, [&](int64_t bl) {
+    const int64_t b = bl / L, l = bl % L;
+    const T* xrow = xp + bl * G * H;
+    for (int64_t g = 0; g < G; ++g) {
+      T* op = outs[static_cast<size_t>(g)].data<T>();
+      for (int64_t n = 0; n < N; ++n) {
+        for (int64_t d = 0; d < D; ++d) {
+          const int64_t src = g * H + n * D + d;
+          float v = static_cast<float>(xrow[src]);
+          if (bp) v += static_cast<float>(bp[src]);
+          op[((b * N + n) * L + l) * D + d] = T(v);
+        }
+      }
+    }
+  });
+}
+
+template <typename T>
+void merge_body(const std::vector<Tensor>& ins, const Tensor& dx) {
+  const int64_t B = ins[0].shape()[0], N = ins[0].shape()[1], L = ins[0].shape()[2],
+                D = ins[0].shape()[3];
+  const int64_t G = static_cast<int64_t>(ins.size());
+  const int64_t H = N * D;
+  T* xp = dx.data<T>();
+  parallel_for(0, B * L, [&](int64_t bl) {
+    const int64_t b = bl / L, l = bl % L;
+    T* xrow = xp + bl * G * H;
+    for (int64_t g = 0; g < G; ++g) {
+      const T* ip = ins[static_cast<size_t>(g)].data<T>();
+      for (int64_t n = 0; n < N; ++n) {
+        for (int64_t d = 0; d < D; ++d) {
+          xrow[g * H + n * D + d] = ip[((b * N + n) * L + l) * D + d];
+        }
+      }
+    }
+  });
+}
+
+int64_t total_bytes(const std::vector<Tensor>& ts) {
+  int64_t b = 0;
+  for (const Tensor& t : ts) b += static_cast<int64_t>(t.bytes());
+  return b;
+}
+
+void check_split_shapes(const Tensor& x, const std::vector<Tensor>& outs) {
+  LS2_CHECK(!outs.empty());
+  LS2_CHECK_EQ(outs[0].shape().rank(), 4);
+  int64_t out_elems = 0;
+  for (const Tensor& o : outs) {
+    LS2_CHECK(o.shape() == outs[0].shape()) << "head tensors must agree";
+    out_elems += o.numel();
+  }
+  LS2_CHECK_EQ(x.numel(), out_elems);
+}
+
+}  // namespace
+
+void bias_split_transpose_fw(KernelContext& kc, Impl impl, const Tensor& x,
+                             const Tensor& bias, const std::vector<Tensor>& outs) {
+  check_split_shapes(x, outs);
+  LS2_CHECK_EQ(bias.numel(), x.shape()[-1]);
+  if (impl == Impl::kLS2) {
+    kc.dev.launch(desc("ls2.bias_split_transpose",
+                       static_cast<int64_t>(x.bytes() + bias.bytes()), total_bytes(outs),
+                       kFusedTransposeEff),
+                  [&] {
+                    LS2_DISPATCH_FLOAT(x.dtype(), T, split_body<T>(x, &bias, outs));
+                  });
+    return;
+  }
+  // Baseline: a bias kernel over the full projection, then one strided
+  // transpose launch per head tensor.
+  baseline::add_bias(kc, x, bias, x);
+  for (size_t g = 0; g < outs.size(); ++g) {
+    const bool last = g + 1 == outs.size();
+    kc.dev.launch(desc("torch.transpose_0213",
+                       static_cast<int64_t>(outs[g].bytes()),
+                       static_cast<int64_t>(outs[g].bytes()), kBaselineTransposeEff),
+                  // All slices are produced by one body call on the last
+                  // launch; earlier launches charge their traffic only.
+                  last ? std::function<void()>([&] {
+                    LS2_DISPATCH_FLOAT(x.dtype(), T, split_body<T>(x, nullptr, outs));
+                  })
+                       : std::function<void()>(nullptr));
+  }
+}
+
+void split_transpose_bw(KernelContext& kc, Impl impl, const std::vector<Tensor>& douts,
+                        const Tensor& dx) {
+  check_split_shapes(dx, douts);
+  if (impl == Impl::kLS2) {
+    kc.dev.launch(desc("ls2.split_transpose_bw", total_bytes(douts),
+                       static_cast<int64_t>(dx.bytes()), kFusedTransposeEff),
+                  [&] { LS2_DISPATCH_FLOAT(dx.dtype(), T, merge_body<T>(douts, dx)); });
+    return;
+  }
+  for (size_t g = 0; g < douts.size(); ++g) {
+    const bool last = g + 1 == douts.size();
+    kc.dev.launch(desc("torch.transpose_0213_bw",
+                       static_cast<int64_t>(douts[g].bytes()),
+                       static_cast<int64_t>(douts[g].bytes()), kBaselineTransposeEff),
+                  last ? std::function<void()>([&] {
+                    LS2_DISPATCH_FLOAT(dx.dtype(), T, merge_body<T>(douts, dx));
+                  })
+                       : std::function<void()>(nullptr));
+  }
+}
+
+void merge_heads_fw(KernelContext& kc, Impl impl, const Tensor& x, const Tensor& y) {
+  LS2_CHECK_EQ(x.shape().rank(), 4);
+  LS2_CHECK_EQ(x.numel(), y.numel());
+  const double eff = impl == Impl::kLS2 ? kFusedTransposeEff : kBaselineTransposeEff;
+  const std::string sys = impl == Impl::kLS2 ? "ls2" : "torch";
+  kc.dev.launch(desc(sys + ".merge_heads", static_cast<int64_t>(x.bytes()),
+                     static_cast<int64_t>(y.bytes()), eff),
+                [&] { LS2_DISPATCH_FLOAT(x.dtype(), T, merge_body<T>({x}, y)); });
+}
+
+void merge_heads_bw(KernelContext& kc, Impl impl, const Tensor& dy, const Tensor& dx) {
+  LS2_CHECK_EQ(dx.shape().rank(), 4);
+  LS2_CHECK_EQ(dy.numel(), dx.numel());
+  const double eff = impl == Impl::kLS2 ? kFusedTransposeEff : kBaselineTransposeEff;
+  const std::string sys = impl == Impl::kLS2 ? "ls2" : "torch";
+  kc.dev.launch(desc(sys + ".merge_heads_bw", static_cast<int64_t>(dy.bytes()),
+                     static_cast<int64_t>(dx.bytes()), eff),
+                [&] { LS2_DISPATCH_FLOAT(dy.dtype(), T, split_body<T>(dy, nullptr, {dx})); });
+}
+
+}  // namespace ls2::kern

@@ -1,0 +1,33 @@
+// Layout-change kernels around attention.
+//
+// Attention wants scores per head: activations [B, L, H] must become
+// [B, N, L, D] (N heads of depth D = H/N) before the batched GEMMs and come
+// back after. LightSeq2 fuses the projection bias into the same pass
+// ("Bias adding & Reshape Q,K,V" in Fig. 4); the baseline launches a bias
+// kernel plus one transpose copy per head tensor.
+#pragma once
+
+#include <vector>
+
+#include "kernels/dropout.h"  // Impl
+#include "kernels/kernel_context.h"
+
+namespace ls2::kern {
+
+/// x: [B, L, G*H] (projection GEMM output for G stacked heads groups, e.g.
+/// G=3 for QKV), bias: [G*H]. outs: G tensors [B, N, L, D].
+void bias_split_transpose_fw(KernelContext& kc, Impl impl, const Tensor& x,
+                             const Tensor& bias, const std::vector<Tensor>& outs);
+
+/// Backward of the split: douts (G x [B,N,L,D]) merge into dx [B, L, G*H].
+/// (The projection-bias gradient is a separate bias_grad reduction.)
+void split_transpose_bw(KernelContext& kc, Impl impl, const std::vector<Tensor>& douts,
+                        const Tensor& dx);
+
+/// [B, N, L, D] -> [B, L, H] after attention-weighted values.
+void merge_heads_fw(KernelContext& kc, Impl impl, const Tensor& x, const Tensor& y);
+
+/// [B, L, H] -> [B, N, L, D].
+void merge_heads_bw(KernelContext& kc, Impl impl, const Tensor& dy, const Tensor& dx);
+
+}  // namespace ls2::kern

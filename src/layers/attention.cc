@@ -1,0 +1,312 @@
+#include "layers/attention.h"
+
+#include <cmath>
+
+#include "gemm/gemm_device.h"
+#include "kernels/elementwise.h"
+#include "kernels/layernorm.h"
+#include "kernels/softmax.h"
+#include "kernels/transform.h"
+#include "layers/linear.h"
+#include "memory/block_plan.h"
+
+namespace ls2::layers {
+
+namespace {
+
+/// Temporary provider for the attention backward pass: a Fig. 8 shared-block
+/// plan under LightSeq2, individual dynamic allocations for baselines.
+class BackwardTemps {
+ public:
+  BackwardTemps(LayerContext& ctx, int64_t B, int64_t N, int64_t Lq, int64_t Lk, int64_t H,
+                DType dtype, bool self_attn)
+      : ctx_(ctx), dtype_(dtype) {
+    if (ctx.policy.system == System::kLightSeq2) {
+      const size_t e = dtype_size(dtype);
+      const size_t blh_q = static_cast<size_t>(B * Lq * H) * e;
+      const size_t blh_k = static_cast<size_t>(B * Lk * H) * e;
+      const size_t bl2n = static_cast<size_t>(B * N * Lq * Lk) * e;
+      // Lifetimes mirror Fig. 8; disjoint temporaries share blocks.
+      std::vector<mem::PlanTensor> spec = {
+          {"d_out", blh_q, 1, 2}, {"dmerged", blh_q, 2, 3}, {"dctx", blh_q, 3, 5},
+          {"dS", bl2n, 4, 7},     {"dv", blh_k, 5, 8},      {"dq", blh_q, 7, 8},
+          {"dk", blh_k, 7, 8},
+      };
+      (void)self_attn;
+      plan_.emplace(std::move(spec));
+      plan_->materialize(ctx.activation_allocator());
+    }
+  }
+
+  Tensor get(const std::string& name, Shape shape) {
+    if (plan_) return plan_->tensor(name, std::move(shape), dtype_);
+    return ctx_.alloc(std::move(shape), dtype_);
+  }
+
+ private:
+  LayerContext& ctx_;
+  DType dtype_;
+  std::optional<mem::BlockPlan> plan_;
+};
+
+}  // namespace
+
+AttentionCore::AttentionCore(ParamRegistry& params, const std::string& prefix,
+                             AttentionConfig cfg)
+    : cfg_(cfg), params_(&params) {
+  LS2_CHECK_EQ(cfg.hidden % cfg.heads, 0);
+  w_out_ = params.declare(prefix + ".out_proj.weight", Shape{cfg.hidden, cfg.hidden},
+                          Init::kXavier);
+  b_out_ = params.declare(prefix + ".out_proj.bias", Shape{cfg.hidden}, Init::kZero);
+}
+
+Tensor AttentionCore::forward(LayerContext& ctx, const Tensor& q, const Tensor& k,
+                              const Tensor& v, const Tensor& residual,
+                              const Tensor* key_lens) {
+  const int64_t B = q.shape()[0], N = q.shape()[1], Lq = q.shape()[2], D = q.shape()[3];
+  const int64_t Lk = k.shape()[2];
+  const int64_t H = N * D;
+  const DType dt = q.dtype();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(D));
+  const Policy& pol = ctx.policy;
+
+  // Scores and masked softmax.
+  Tensor scores = ctx.alloc({B, N, Lq, Lk}, dt);
+  gemm::device_gemm_batched(ctx.device(), false, true, Lq, Lk, D, scale, q, Lq * D, k,
+                            Lk * D, 0.0f, scores, Lq * Lk, B * N, "attn.scores");
+  Tensor probs = ctx.alloc({B, N, Lq, Lk}, dt);
+  kern::attn_softmax_fw(ctx.kern, pol.softmax, scores, probs, cfg_.causal, key_lens);
+
+  // Attention dropout.
+  Tensor probs_d = ctx.alloc({B, N, Lq, Lk}, dt);
+  Tensor attn_mask = ctx.alloc({B, N, Lq, Lk}, DType::kU8);
+  kern::dropout_fw(ctx.kern, pol.elementwise, probs, probs_d, attn_mask, cfg_.attn_dropout,
+                   ctx.kern.next_dropout_stream());
+
+  // Context and head merge.
+  Tensor ctx_h = ctx.alloc({B, N, Lq, D}, dt);
+  gemm::device_gemm_batched(ctx.device(), false, false, Lq, D, Lk, 1.0f, probs_d, Lq * Lk,
+                            v, Lk * D, 0.0f, ctx_h, Lq * D, B * N, "attn.context");
+  Tensor merged = ctx.alloc({B, Lq, H}, dt);
+  kern::merge_heads_fw(ctx.kern, pol.transform, ctx_h, merged);
+
+  // Output projection + bias/dropout/residual.
+  Tensor out = ctx.alloc({B, Lq, H}, dt);
+  linear_fw(ctx, merged, params_->value(w_out_), out, "attn.out_proj");
+  Tensor y = ctx.alloc({B, Lq, H}, dt);
+  Tensor out_mask = ctx.alloc({B, Lq, H}, DType::kU8);
+  if (pol.fused_elementwise) {
+    kern::fused::bias_dropout_residual_fw(ctx.kern, out, params_->value(b_out_), residual, y,
+                                          out_mask, cfg_.out_dropout,
+                                          ctx.kern.next_dropout_stream());
+  } else {
+    kern::baseline::add_bias(ctx.kern, out, params_->value(b_out_), out);
+    Tensor t = ctx.alloc({B, Lq, H}, dt);
+    kern::dropout_fw(ctx.kern, pol.elementwise, out, t, out_mask, cfg_.out_dropout,
+                     ctx.kern.next_dropout_stream());
+    kern::baseline::add(ctx.kern, t, residual, y);
+  }
+
+  saved_ = Saved{q, k, v, probs, probs_d, attn_mask, merged, out_mask, B, Lq, Lk};
+  return y;
+}
+
+AttentionCore::CoreGrads AttentionCore::backward(LayerContext& ctx, const Tensor& dy) {
+  LS2_CHECK(saved_.has_value()) << "backward without forward";
+  Saved& s = *saved_;
+  const int64_t B = s.B, Lq = s.Lq, Lk = s.Lk;
+  const int64_t N = cfg_.heads, D = cfg_.head_dim(), H = cfg_.hidden;
+  const DType dt = dy.dtype();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(D));
+  const Policy& pol = ctx.policy;
+
+  BackwardTemps temps(ctx, B, N, Lq, Lk, H, dt, /*self_attn=*/true);
+
+  // Step 1: through output dropout (+ bias grad).
+  Tensor d_out = temps.get("d_out", Shape{B, Lq, H});
+  if (pol.fused_elementwise) {
+    kern::fused::bias_dropout_residual_bw(ctx.kern, dy, s.out_mask, d_out, cfg_.out_dropout);
+  } else {
+    kern::dropout_bw(ctx.kern, pol.elementwise, dy, s.out_mask, d_out, cfg_.out_dropout);
+  }
+  kern::bias_grad(ctx.kern, d_out, params_->grad(b_out_));
+
+  // Step 2: output projection.
+  Tensor dmerged = temps.get("dmerged", Shape{B, Lq, H});
+  linear_bw(ctx, d_out, s.merged, params_->value(w_out_), dmerged, params_->grad(w_out_),
+            "attn.out_proj");
+
+  // Step 3: un-merge heads.
+  Tensor dctx = temps.get("dctx", Shape{B, N, Lq, D});
+  kern::merge_heads_bw(ctx.kern, pol.transform, dmerged, dctx);
+
+  // Steps 4-5: dS = dctx @ V^T ; dV = P_d^T @ dctx.
+  Tensor dS = temps.get("dS", Shape{B, N, Lq, Lk});
+  gemm::device_gemm_batched(ctx.device(), false, true, Lq, Lk, D, 1.0f, dctx, Lq * D, s.v,
+                            Lk * D, 0.0f, dS, Lq * Lk, B * N, "attn.bw_dS");
+  Tensor dv = temps.get("dv", Shape{B, N, Lk, D});
+  gemm::device_gemm_batched(ctx.device(), true, false, Lk, D, Lq, 1.0f, s.probs_d, Lq * Lk,
+                            dctx, Lq * D, 0.0f, dv, Lk * D, B * N, "attn.bw_dV");
+
+  // Steps 5-6: dropout and softmax backward, in place in the dS block.
+  kern::dropout_bw(ctx.kern, pol.elementwise, dS, s.attn_mask, dS, cfg_.attn_dropout);
+  kern::attn_softmax_bw(ctx.kern, pol.softmax, dS, s.probs, dS);
+
+  // Step 7: dQ = dS @ K * scale ; dK = dS^T @ Q * scale.
+  Tensor dq = temps.get("dq", Shape{B, N, Lq, D});
+  gemm::device_gemm_batched(ctx.device(), false, false, Lq, D, Lk, scale, dS, Lq * Lk, s.k,
+                            Lk * D, 0.0f, dq, Lq * D, B * N, "attn.bw_dQ");
+  Tensor dk = temps.get("dk", Shape{B, N, Lk, D});
+  gemm::device_gemm_batched(ctx.device(), true, false, Lk, D, Lq, scale, dS, Lq * Lk, s.q,
+                            Lq * D, 0.0f, dk, Lk * D, B * N, "attn.bw_dK");
+
+  return CoreGrads{dq, dk, dv};
+}
+
+void AttentionCore::release() { saved_.reset(); }
+
+// ---------------------------------------------------------------------------
+
+SelfAttention::SelfAttention(ParamRegistry& params, const std::string& prefix,
+                             AttentionConfig cfg)
+    : cfg_(cfg),
+      params_(&params),
+      ln_gamma_(params.declare(prefix + ".ln.gamma", Shape{cfg.hidden}, Init::kOne)),
+      ln_beta_(params.declare(prefix + ".ln.beta", Shape{cfg.hidden}, Init::kZero)),
+      w_qkv_(params.declare(prefix + ".qkv_proj.weight", Shape{3 * cfg.hidden, cfg.hidden},
+                            Init::kXavier)),
+      b_qkv_(params.declare(prefix + ".qkv_proj.bias", Shape{3 * cfg.hidden}, Init::kZero)),
+      core_(params, prefix, cfg) {}
+
+Tensor SelfAttention::forward(LayerContext& ctx, const Tensor& x, const Tensor* key_lens) {
+  LS2_CHECK_EQ(x.shape().rank(), 3);
+  const int64_t B = x.shape()[0], L = x.shape()[1], H = x.shape()[2];
+  LS2_CHECK_EQ(H, cfg_.hidden);
+  const int64_t N = cfg_.heads, D = cfg_.head_dim();
+  const DType dt = x.dtype();
+
+  Tensor ln = ctx.alloc({B, L, H}, dt);
+  Tensor mean = ctx.alloc({B * L}, DType::kF32);
+  Tensor rstd = ctx.alloc({B * L}, DType::kF32);
+  kern::layernorm_fw(ctx.kern, ctx.policy.layernorm, x, params_->value(ln_gamma_),
+                     params_->value(ln_beta_), ln, mean, rstd);
+
+  Tensor qkv = ctx.alloc({B, L, 3 * H}, dt);
+  linear_fw(ctx, ln, params_->value(w_qkv_), qkv, "attn.qkv_proj");
+
+  Tensor q = ctx.alloc({B, N, L, D}, dt);
+  Tensor k = ctx.alloc({B, N, L, D}, dt);
+  Tensor v = ctx.alloc({B, N, L, D}, dt);
+  kern::bias_split_transpose_fw(ctx.kern, ctx.policy.transform, qkv, params_->value(b_qkv_),
+                                {q, k, v});
+
+  Tensor y = core_.forward(ctx, q, k, v, /*residual=*/x, key_lens);
+  saved_ = Saved{x, ln, mean, rstd};
+  return y;
+}
+
+Tensor SelfAttention::backward(LayerContext& ctx, const Tensor& dy) {
+  LS2_CHECK(saved_.has_value()) << "backward without forward";
+  Saved& s = *saved_;
+  const int64_t B = s.x.shape()[0], L = s.x.shape()[1], H = s.x.shape()[2];
+  const DType dt = dy.dtype();
+
+  AttentionCore::CoreGrads g = core_.backward(ctx, dy);
+
+  // Step 8: merge dq/dk/dv back to [B, L, 3H].
+  Tensor dqkv = ctx.alloc({B, L, 3 * H}, dt);
+  kern::split_transpose_bw(ctx.kern, ctx.policy.transform, {g.dq, g.dk, g.dv}, dqkv);
+  kern::bias_grad(ctx.kern, dqkv, params_->grad(b_qkv_));
+
+  // Step 9: QKV projection.
+  Tensor dln = ctx.alloc({B, L, H}, dt);
+  linear_bw(ctx, dqkv, s.ln, params_->value(w_qkv_), dln, params_->grad(w_qkv_),
+            "attn.qkv_proj");
+
+  // Step 10: LayerNorm backward fused with the residual gradient.
+  Tensor dx = ctx.alloc({B, L, H}, dt);
+  kern::layernorm_bw(ctx.kern, ctx.policy.layernorm, dln, s.x, params_->value(ln_gamma_),
+                     s.mean, s.rstd, dx, params_->grad(ln_gamma_), params_->grad(ln_beta_),
+                     /*residual_grad=*/&dy);
+  release();
+  return dx;
+}
+
+void SelfAttention::release() {
+  saved_.reset();
+  core_.release();
+}
+
+// ---------------------------------------------------------------------------
+
+CrossAttention::CrossAttention(ParamRegistry& params, const std::string& prefix,
+                               AttentionConfig cfg)
+    : cfg_(cfg),
+      params_(&params),
+      ln_gamma_(params.declare(prefix + ".ln.gamma", Shape{cfg.hidden}, Init::kOne)),
+      ln_beta_(params.declare(prefix + ".ln.beta", Shape{cfg.hidden}, Init::kZero)),
+      w_q_(params.declare(prefix + ".q_proj.weight", Shape{cfg.hidden, cfg.hidden},
+                          Init::kXavier)),
+      b_q_(params.declare(prefix + ".q_proj.bias", Shape{cfg.hidden}, Init::kZero)),
+      core_(params, prefix, cfg) {
+  LS2_CHECK(!cfg.causal) << "cross attention is never causal";
+}
+
+Tensor CrossAttention::forward(LayerContext& ctx, const Tensor& x, const Tensor& k,
+                               const Tensor& v, const Tensor* src_lens) {
+  const int64_t B = x.shape()[0], L = x.shape()[1], H = x.shape()[2];
+  const int64_t N = cfg_.heads, D = cfg_.head_dim();
+  const DType dt = x.dtype();
+
+  Tensor ln = ctx.alloc({B, L, H}, dt);
+  Tensor mean = ctx.alloc({B * L}, DType::kF32);
+  Tensor rstd = ctx.alloc({B * L}, DType::kF32);
+  kern::layernorm_fw(ctx.kern, ctx.policy.layernorm, x, params_->value(ln_gamma_),
+                     params_->value(ln_beta_), ln, mean, rstd);
+
+  Tensor q_gemm = ctx.alloc({B, L, H}, dt);
+  linear_fw(ctx, ln, params_->value(w_q_), q_gemm, "attn.q_proj");
+  Tensor q = ctx.alloc({B, N, L, D}, dt);
+  kern::bias_split_transpose_fw(ctx.kern, ctx.policy.transform, q_gemm,
+                                params_->value(b_q_), {q});
+
+  Tensor y = core_.forward(ctx, q, k, v, /*residual=*/x, src_lens);
+  saved_ = Saved{x, ln, mean, rstd};
+  return y;
+}
+
+Tensor CrossAttention::backward(LayerContext& ctx, const Tensor& dy, const Tensor& dk,
+                                const Tensor& dv) {
+  LS2_CHECK(saved_.has_value()) << "backward without forward";
+  Saved& s = *saved_;
+  const int64_t B = s.x.shape()[0], L = s.x.shape()[1], H = s.x.shape()[2];
+  const DType dt = dy.dtype();
+
+  AttentionCore::CoreGrads g = core_.backward(ctx, dy);
+
+  // Accumulate encoder-side grads (keys/values shared across queries).
+  kern::baseline::add(ctx.kern, g.dk, dk, dk);
+  kern::baseline::add(ctx.kern, g.dv, dv, dv);
+
+  Tensor dq_gemm = ctx.alloc({B, L, H}, dt);
+  kern::split_transpose_bw(ctx.kern, ctx.policy.transform, {g.dq}, dq_gemm);
+  kern::bias_grad(ctx.kern, dq_gemm, params_->grad(b_q_));
+
+  Tensor dln = ctx.alloc({B, L, H}, dt);
+  linear_bw(ctx, dq_gemm, s.ln, params_->value(w_q_), dln, params_->grad(w_q_),
+            "attn.q_proj");
+
+  Tensor dx = ctx.alloc({B, L, H}, dt);
+  kern::layernorm_bw(ctx.kern, ctx.policy.layernorm, dln, s.x, params_->value(ln_gamma_),
+                     s.mean, s.rstd, dx, params_->grad(ln_gamma_), params_->grad(ln_beta_),
+                     /*residual_grad=*/&dy);
+  release();
+  return dx;
+}
+
+void CrossAttention::release() {
+  saved_.reset();
+  core_.release();
+}
+
+}  // namespace ls2::layers

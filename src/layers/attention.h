@@ -1,0 +1,112 @@
+// Multi-head attention sublayers (pre-LayerNorm, residual inside).
+//
+//   SelfAttention:  y = x + Dropout(W_out · MHA(LN(x)) + b_out)
+//   CrossAttention: queries come from the decoder stream; keys/values are
+//     provided by the caller in head layout [B, N, Ls, D]. Under LightSeq2
+//     the decoder stack computes them for ALL layers with one batched GEMM
+//     (layer-batched cross attention, Fig. 5b); baselines compute them per
+//     layer. Backward returns dx and accumulates into dk/dv.
+//
+// The backward pass draws its temporaries from the Fig. 8 shared-block plan
+// under LightSeq2 (3·BLH + max(BL²N, 3·BLH) bytes in four blocks); baseline
+// policies allocate each temporary individually from the dynamic allocator.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "layers/layer_context.h"
+#include "layers/params.h"
+
+namespace ls2::layers {
+
+struct AttentionConfig {
+  int64_t hidden = 512;
+  int64_t heads = 8;
+  float attn_dropout = 0.1f;
+  float out_dropout = 0.1f;
+  bool causal = false;
+  int64_t head_dim() const { return hidden / heads; }
+};
+
+/// Shared core: scores -> masked softmax -> dropout -> context -> merge ->
+/// output projection -> bias+dropout+residual. Owns W_out/b_out.
+class AttentionCore {
+ public:
+  AttentionCore(ParamRegistry& params, const std::string& prefix, AttentionConfig cfg);
+
+  /// q/k/v: [B, N, Lq|Lk, D]; residual: [B, Lq, H]. Returns y [B, Lq, H].
+  Tensor forward(LayerContext& ctx, const Tensor& q, const Tensor& k, const Tensor& v,
+                 const Tensor& residual, const Tensor* key_lens);
+
+  /// Returns (dq, dk, dv) in head layout plus d_residual == dy contribution
+  /// handled by the caller adding `dy` into its input gradient.
+  struct CoreGrads {
+    Tensor dq, dk, dv;
+  };
+  CoreGrads backward(LayerContext& ctx, const Tensor& dy);
+
+  void release();
+
+  const AttentionConfig& config() const { return cfg_; }
+
+ private:
+  AttentionConfig cfg_;
+  ParamRegistry* params_;
+  ParamRef w_out_, b_out_;
+
+  struct Saved {
+    Tensor q, k, v;          // head layout
+    Tensor probs, probs_d;   // softmax output, after attention dropout
+    Tensor attn_mask;        // u8
+    Tensor merged;           // [B, Lq, H] context after head merge
+    Tensor out_mask;         // u8, output dropout
+    int64_t B = 0, Lq = 0, Lk = 0;
+  };
+  std::optional<Saved> saved_;
+};
+
+class SelfAttention {
+ public:
+  SelfAttention(ParamRegistry& params, const std::string& prefix, AttentionConfig cfg);
+
+  Tensor forward(LayerContext& ctx, const Tensor& x, const Tensor* key_lens);
+  Tensor backward(LayerContext& ctx, const Tensor& dy);
+  void release();
+
+ private:
+  AttentionConfig cfg_;
+  ParamRegistry* params_;
+  ParamRef ln_gamma_, ln_beta_, w_qkv_, b_qkv_;
+  AttentionCore core_;
+
+  struct Saved {
+    Tensor x, ln, mean, rstd;
+  };
+  std::optional<Saved> saved_;
+};
+
+class CrossAttention {
+ public:
+  CrossAttention(ParamRegistry& params, const std::string& prefix, AttentionConfig cfg);
+
+  /// k/v: [B, N, Ls, D] precomputed by the caller.
+  Tensor forward(LayerContext& ctx, const Tensor& x, const Tensor& k, const Tensor& v,
+                 const Tensor* src_lens);
+  /// Returns dx; ACCUMULATES key/value grads into dk/dv (head layout).
+  Tensor backward(LayerContext& ctx, const Tensor& dy, const Tensor& dk, const Tensor& dv);
+  void release();
+
+ private:
+  AttentionConfig cfg_;
+  ParamRegistry* params_;
+  ParamRef ln_gamma_, ln_beta_, w_q_, b_q_;
+  AttentionCore core_;
+
+  struct Saved {
+    Tensor x, ln, mean, rstd;
+  };
+  std::optional<Saved> saved_;
+};
+
+}  // namespace ls2::layers

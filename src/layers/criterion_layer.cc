@@ -1,0 +1,77 @@
+#include "layers/criterion_layer.h"
+
+#include "kernels/criterion.h"
+#include "layers/linear.h"
+
+namespace ls2::layers {
+
+CriterionLayer::CriterionLayer(ParamRegistry& params, const std::string& prefix,
+                               CriterionConfig cfg, ParamRef tied_table)
+    : cfg_(cfg), params_(&params) {
+  if (tied_table.valid()) {
+    proj_ = tied_table;
+    LS2_CHECK(params.shape(proj_) == (Shape{cfg.vocab, cfg.hidden}))
+        << "tied table shape mismatch";
+  } else {
+    proj_ = params.declare(prefix + ".output_projection",
+                           Shape{cfg.vocab, cfg.hidden}, Init::kNormal);
+  }
+}
+
+CriterionResult CriterionLayer::forward(LayerContext& ctx, const Tensor& x,
+                                        const Tensor& targets) {
+  const int64_t B = x.shape()[0], L = x.shape()[1];
+  const int64_t rows = B * L;
+  LS2_CHECK_EQ(targets.numel(), rows);
+  const DType dt = x.dtype();
+
+  Tensor logits = ctx.alloc({rows, cfg_.vocab}, dt);
+  linear_fw(ctx, x, params_->value(proj_), logits, "criterion.proj");
+
+  Tensor loss = ctx.alloc({rows}, DType::kF32);
+  Tensor stats = ctx.alloc({rows, 2}, DType::kF32);
+  kern::ls_cross_entropy_fw(ctx.kern, ctx.policy.criterion, logits, targets, loss, stats,
+                            cfg_.label_smoothing, cfg_.pad_id);
+
+  Tensor total = ctx.alloc({1}, DType::kF32);
+  kern::reduce_sum(ctx.kern, loss, total);
+
+  int64_t valid = 0;
+  CriterionResult result;
+  if (ctx.device().mode() == simgpu::ExecMode::kExecute) {
+    const auto tv = targets.to_vector();
+    for (float t : tv) {
+      if (static_cast<int32_t>(t) != cfg_.pad_id) ++valid;
+    }
+    result.loss_sum = total.item();
+  } else {
+    valid = rows;  // timing-only mode: shape bookkeeping
+  }
+  result.tokens = valid;
+  saved_ = Saved{x, targets, logits, stats, valid};
+  return result;
+}
+
+Tensor CriterionLayer::backward(LayerContext& ctx) {
+  LS2_CHECK(saved_.has_value()) << "backward without forward";
+  Saved& s = *saved_;
+  const int64_t B = s.x.shape()[0], L = s.x.shape()[1], H = s.x.shape()[2];
+  const int64_t rows = B * L;
+  const DType dt = s.x.dtype();
+  const float grad_scale =
+      s.valid_tokens > 0 ? 1.0f / static_cast<float>(s.valid_tokens) : 0.0f;
+
+  Tensor dlogits = ctx.alloc({rows, cfg_.vocab}, dt);
+  kern::ls_cross_entropy_bw(ctx.kern, ctx.policy.criterion, s.logits, s.targets, s.stats,
+                            dlogits, cfg_.label_smoothing, grad_scale, cfg_.pad_id);
+
+  Tensor dx = ctx.alloc({B, L, H}, dt);
+  linear_bw(ctx, dlogits, s.x, params_->value(proj_), dx, params_->grad(proj_),
+            "criterion.proj");
+  release();
+  return dx;
+}
+
+void CriterionLayer::release() { saved_.reset(); }
+
+}  // namespace ls2::layers

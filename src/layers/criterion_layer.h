@@ -1,0 +1,52 @@
+// Criterion layer: output projection (optionally tied to the token
+// embedding) followed by label-smoothed cross entropy (§IV-A.3).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "layers/layer_context.h"
+#include "layers/params.h"
+
+namespace ls2::layers {
+
+struct CriterionConfig {
+  int64_t vocab = 32000;
+  int64_t hidden = 512;
+  float label_smoothing = 0.1f;
+  int32_t pad_id = 0;  ///< targets equal to this contribute nothing
+};
+
+struct CriterionResult {
+  float loss_sum = 0;    ///< total label-smoothed loss over valid tokens
+  int64_t tokens = 0;    ///< number of valid (non-pad) tokens
+  float loss_per_token() const { return tokens > 0 ? loss_sum / tokens : 0.0f; }
+};
+
+class CriterionLayer {
+ public:
+  /// `tied_table`: pass the embedding's table ref to share weights; an
+  /// invalid ref declares a fresh projection matrix.
+  CriterionLayer(ParamRegistry& params, const std::string& prefix, CriterionConfig cfg,
+                 ParamRef tied_table = {});
+
+  /// x: [B, L, H] decoder output; targets: [B, L] i32.
+  CriterionResult forward(LayerContext& ctx, const Tensor& x, const Tensor& targets);
+
+  /// Gradient of mean-per-token loss w.r.t. x.
+  Tensor backward(LayerContext& ctx);
+  void release();
+
+ private:
+  CriterionConfig cfg_;
+  ParamRegistry* params_;
+  ParamRef proj_;
+
+  struct Saved {
+    Tensor x, targets, logits, stats;
+    int64_t valid_tokens = 0;
+  };
+  std::optional<Saved> saved_;
+};
+
+}  // namespace ls2::layers

@@ -1,0 +1,56 @@
+#include "layers/embedding_layer.h"
+
+#include <cmath>
+
+#include "kernels/embedding.h"
+
+namespace ls2::layers {
+
+EmbeddingLayer::EmbeddingLayer(ParamRegistry& params, const std::string& prefix,
+                               EmbeddingConfig cfg, ParamRef tied_table)
+    : cfg_(cfg), params_(&params) {
+  if (tied_table.valid()) {
+    table_ = tied_table;
+    LS2_CHECK(params.shape(table_) == (Shape{cfg.vocab, cfg.hidden}))
+        << "tied embedding shape mismatch";
+  } else {
+    table_ = params.declare(prefix + ".token_embedding", Shape{cfg.vocab, cfg.hidden},
+                            Init::kNormal);
+  }
+}
+
+Tensor EmbeddingLayer::forward(LayerContext& ctx, const Tensor& ids) {
+  LS2_CHECK(ids.dtype() == DType::kI32);
+  const int64_t B = ids.shape()[0], L = ids.shape()[-1];
+  LS2_CHECK_LE(L, cfg_.max_len);
+  const Tensor table = params_->value(table_);
+  if (!pos_.defined() || pos_.dtype() != table.dtype()) {
+    Tensor pos_f32 = Tensor::empty({cfg_.max_len, cfg_.hidden}, DType::kF32);
+    kern::init_sinusoidal_positions(pos_f32);
+    pos_ = Tensor::empty({cfg_.max_len, cfg_.hidden}, table.dtype());
+    pos_.copy_from(pos_f32.to_vector());
+  }
+  Tensor y = ctx.alloc({B, L, cfg_.hidden}, table.dtype());
+  Tensor mask = ctx.alloc({B, L, cfg_.hidden}, DType::kU8);
+  const float scale = std::sqrt(static_cast<float>(cfg_.hidden));
+  kern::embedding_fw(ctx.kern, ctx.policy.embedding, ids, table,
+                     pos_.slice(0, L), y, mask, scale, cfg_.dropout,
+                     ctx.kern.next_dropout_stream(), cfg_.pad_id);
+  saved_ = Saved{ids, mask};
+  return y;
+}
+
+void EmbeddingLayer::backward(LayerContext& ctx, const Tensor& dy) {
+  LS2_CHECK(saved_.has_value()) << "backward without forward";
+  const float scale = std::sqrt(static_cast<float>(cfg_.hidden));
+  // Gradients were zeroed at step start; with tied embeddings the output
+  // projection has already accumulated into this table's grad.
+  kern::embedding_bw(ctx.kern, ctx.policy.embedding, dy, saved_->ids, saved_->mask,
+                     params_->grad(table_), scale, cfg_.dropout, cfg_.pad_id,
+                     /*zero_first=*/false);
+  release();
+}
+
+void EmbeddingLayer::release() { saved_.reset(); }
+
+}  // namespace ls2::layers

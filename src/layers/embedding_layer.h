@@ -1,0 +1,53 @@
+// Token + position embedding layer (§IV-A.2):
+//   y = Dropout(sqrt(H) * E[token] + P[position]).
+// The token table is a trainable parameter (often tied with the output
+// projection); the positional table is sinusoidal and fixed.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "layers/layer_context.h"
+#include "layers/params.h"
+
+namespace ls2::layers {
+
+struct EmbeddingConfig {
+  int64_t vocab = 32000;
+  int64_t hidden = 512;
+  int64_t max_len = 1024;
+  float dropout = 0.1f;
+  int32_t pad_id = 0;
+};
+
+class EmbeddingLayer {
+ public:
+  /// `tied_table` shares another embedding's token table (e.g. source and
+  /// target embeddings of a shared-vocabulary translation model).
+  EmbeddingLayer(ParamRegistry& params, const std::string& prefix, EmbeddingConfig cfg,
+                 ParamRef tied_table = {});
+
+  /// Lazily builds the sinusoidal table on first use (host init, not a
+  /// device kernel).
+  Tensor forward(LayerContext& ctx, const Tensor& ids);
+  void backward(LayerContext& ctx, const Tensor& dy);
+  void release();
+
+  /// The token table parameter — shared with the output projection when
+  /// embeddings are tied.
+  ParamRef table() const { return table_; }
+  const EmbeddingConfig& config() const { return cfg_; }
+
+ private:
+  EmbeddingConfig cfg_;
+  ParamRegistry* params_;
+  ParamRef table_;
+  Tensor pos_;  // sinusoidal, fixed
+
+  struct Saved {
+    Tensor ids, mask;
+  };
+  std::optional<Saved> saved_;
+};
+
+}  // namespace ls2::layers

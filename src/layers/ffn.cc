@@ -1,0 +1,134 @@
+#include "layers/ffn.h"
+
+#include "kernels/elementwise.h"
+#include "kernels/layernorm.h"
+#include "layers/linear.h"
+
+namespace ls2::layers {
+
+FeedForward::FeedForward(ParamRegistry& params, const std::string& prefix, FfnConfig cfg)
+    : cfg_(cfg),
+      params_(&params),
+      ln_gamma_(params.declare(prefix + ".ln.gamma", Shape{cfg.hidden}, Init::kOne)),
+      ln_beta_(params.declare(prefix + ".ln.beta", Shape{cfg.hidden}, Init::kZero)),
+      w1_(params.declare(prefix + ".fc1.weight", Shape{cfg.ffn_dim, cfg.hidden},
+                         Init::kXavier)),
+      b1_(params.declare(prefix + ".fc1.bias", Shape{cfg.ffn_dim}, Init::kZero)),
+      w2_(params.declare(prefix + ".fc2.weight", Shape{cfg.hidden, cfg.ffn_dim},
+                         Init::kXavier)),
+      b2_(params.declare(prefix + ".fc2.bias", Shape{cfg.hidden}, Init::kZero)) {}
+
+Tensor FeedForward::forward(LayerContext& ctx, const Tensor& x) {
+  const int64_t B = x.shape()[0], L = x.shape()[1], H = x.shape()[2];
+  const int64_t F = cfg_.ffn_dim;
+  const DType dt = x.dtype();
+  const Policy& pol = ctx.policy;
+
+  Tensor ln = ctx.alloc({B, L, H}, dt);
+  Tensor mean = ctx.alloc({B * L}, DType::kF32);
+  Tensor rstd = ctx.alloc({B * L}, DType::kF32);
+  kern::layernorm_fw(ctx.kern, pol.layernorm, x, params_->value(ln_gamma_),
+                     params_->value(ln_beta_), ln, mean, rstd);
+
+  Tensor h1 = ctx.alloc({B, L, F}, dt);
+  linear_fw(ctx, ln, params_->value(w1_), h1, "ffn.fc1");
+
+  Tensor a = ctx.alloc({B, L, F}, dt);
+  Tensor act_mask = ctx.alloc({B, L, F}, DType::kU8);
+  if (pol.fused_elementwise) {
+    if (cfg_.activation == Activation::kRelu) {
+      kern::fused::bias_relu_dropout_fw(ctx.kern, h1, params_->value(b1_), a, act_mask,
+                                        cfg_.act_dropout, ctx.kern.next_dropout_stream());
+    } else {
+      kern::fused::bias_gelu_dropout_fw(ctx.kern, h1, params_->value(b1_), a, act_mask,
+                                        cfg_.act_dropout, ctx.kern.next_dropout_stream());
+    }
+  } else {
+    // Framework decomposition; h1 is overwritten with h1+b1 so the same
+    // buffer feeds the activation backward (as PyTorch's autograd saves it).
+    kern::baseline::add_bias(ctx.kern, h1, params_->value(b1_), h1);
+    Tensor t = ctx.alloc({B, L, F}, dt);
+    if (cfg_.activation == Activation::kRelu) {
+      kern::baseline::relu_fw(ctx.kern, h1, t);
+    } else {
+      kern::baseline::gelu_fw(ctx.kern, h1, t);
+    }
+    kern::dropout_fw(ctx.kern, pol.elementwise, t, a, act_mask, cfg_.act_dropout,
+                     ctx.kern.next_dropout_stream());
+  }
+
+  Tensor h2 = ctx.alloc({B, L, H}, dt);
+  linear_fw(ctx, a, params_->value(w2_), h2, "ffn.fc2");
+
+  Tensor y = ctx.alloc({B, L, H}, dt);
+  Tensor out_mask = ctx.alloc({B, L, H}, DType::kU8);
+  if (pol.fused_elementwise) {
+    kern::fused::bias_dropout_residual_fw(ctx.kern, h2, params_->value(b2_), x, y, out_mask,
+                                          cfg_.out_dropout, ctx.kern.next_dropout_stream());
+  } else {
+    kern::baseline::add_bias(ctx.kern, h2, params_->value(b2_), h2);
+    Tensor t = ctx.alloc({B, L, H}, dt);
+    kern::dropout_fw(ctx.kern, pol.elementwise, h2, t, out_mask, cfg_.out_dropout,
+                     ctx.kern.next_dropout_stream());
+    kern::baseline::add(ctx.kern, t, x, y);
+  }
+
+  saved_ = Saved{x, ln, mean, rstd, h1, a, act_mask, out_mask};
+  return y;
+}
+
+Tensor FeedForward::backward(LayerContext& ctx, const Tensor& dy) {
+  LS2_CHECK(saved_.has_value()) << "backward without forward";
+  Saved& s = *saved_;
+  const int64_t B = s.x.shape()[0], L = s.x.shape()[1], H = s.x.shape()[2];
+  const int64_t F = cfg_.ffn_dim;
+  const DType dt = dy.dtype();
+  const Policy& pol = ctx.policy;
+
+  // Through output bias+dropout(+residual grad handled at the LN step).
+  Tensor dh2 = ctx.alloc({B, L, H}, dt);
+  if (pol.fused_elementwise) {
+    kern::fused::bias_dropout_residual_bw(ctx.kern, dy, s.out_mask, dh2, cfg_.out_dropout);
+  } else {
+    kern::dropout_bw(ctx.kern, pol.elementwise, dy, s.out_mask, dh2, cfg_.out_dropout);
+  }
+  kern::bias_grad(ctx.kern, dh2, params_->grad(b2_));
+
+  Tensor da = ctx.alloc({B, L, F}, dt);
+  linear_bw(ctx, dh2, s.a, params_->value(w2_), da, params_->grad(w2_), "ffn.fc2");
+
+  // Through activation + dropout.
+  Tensor dh1 = ctx.alloc({B, L, F}, dt);
+  if (pol.fused_elementwise) {
+    if (cfg_.activation == Activation::kRelu) {
+      kern::fused::bias_relu_dropout_bw(ctx.kern, da, s.act_mask, s.h1, params_->value(b1_),
+                                        dh1, cfg_.act_dropout);
+    } else {
+      kern::fused::bias_gelu_dropout_bw(ctx.kern, da, s.act_mask, s.h1, params_->value(b1_),
+                                        dh1, cfg_.act_dropout);
+    }
+  } else {
+    Tensor t = ctx.alloc({B, L, F}, dt);
+    kern::dropout_bw(ctx.kern, pol.elementwise, da, s.act_mask, t, cfg_.act_dropout);
+    if (cfg_.activation == Activation::kRelu) {
+      kern::baseline::relu_bw(ctx.kern, t, s.h1, dh1);  // s.h1 holds h1+b1 here
+    } else {
+      kern::baseline::gelu_bw(ctx.kern, t, s.h1, dh1);
+    }
+  }
+  kern::bias_grad(ctx.kern, dh1, params_->grad(b1_));
+
+  Tensor dln = ctx.alloc({B, L, H}, dt);
+  linear_bw(ctx, dh1, s.ln, params_->value(w1_), dln, params_->grad(w1_), "ffn.fc1");
+
+  Tensor dx = ctx.alloc({B, L, H}, dt);
+  kern::layernorm_bw(ctx.kern, pol.layernorm, dln, s.x, params_->value(ln_gamma_), s.mean,
+                     s.rstd, dx, params_->grad(ln_gamma_), params_->grad(ln_beta_),
+                     /*residual_grad=*/&dy);
+  release();
+  return dx;
+}
+
+void FeedForward::release() { saved_.reset(); }
+
+}  // namespace ls2::layers

@@ -1,0 +1,77 @@
+// Execution policy and per-step context for layers.
+//
+// Every layer runs under a System policy that selects which kernel family
+// implements each op — this is how the same layer code acts as Fairseq,
+// Fairseq+Apex, DeepSpeed or LightSeq2 (Table I / Table II baselines):
+//
+//   kFairseq     — fine-grained kernels everywhere, dynamic allocations.
+//                  (Also stands in for Hugging Face, which likewise runs
+//                  native PyTorch ops.)
+//   kFairseqApex — Apex adds fused LayerNorm/Softmax kernels and the fused
+//                  FP32-master trainer, but no fused embedding/criterion/
+//                  element-wise chains.
+//   kDeepSpeed   — fully fused *encoder* kernels (its own LN/Softmax
+//                  variants), baseline embedding/criterion, sequence
+//                  lengths must be padded to multiples of 16, no decoder.
+//   kLightSeq2   — all LightSeq2 fused kernels, arbitrary lengths, arena
+//                  memory, fused FP16 trainer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kernels/dropout.h"
+#include "kernels/kernel_context.h"
+
+namespace ls2::layers {
+
+enum class System { kFairseq, kFairseqApex, kDeepSpeed, kLightSeq2 };
+
+const char* system_name(System s);
+
+/// Which kernel implementation each op family uses under a system.
+struct Policy {
+  System system = System::kLightSeq2;
+  kern::Impl elementwise = kern::Impl::kLS2;  ///< kTorch => unfused chains
+  kern::Impl layernorm = kern::Impl::kLS2;
+  kern::Impl softmax = kern::Impl::kLS2;
+  kern::Impl embedding = kern::Impl::kLS2;
+  kern::Impl criterion = kern::Impl::kLS2;
+  kern::Impl transform = kern::Impl::kLS2;
+  bool fused_elementwise = true;  ///< bias+act+dropout(+residual) in one launch
+  bool layer_batched_cross_attn = true;  ///< Fig. 5(b) batched K/V projection
+  int seq_multiple = 1;  ///< DeepSpeed: lengths padded up to a multiple of 16
+  bool supports_decoder = true;
+};
+
+Policy policy_for(System system);
+
+/// Per-run state threaded through all layers.
+class LayerContext {
+ public:
+  LayerContext(simgpu::Device& device, BufferAllocator* activation_alloc, Policy policy,
+               uint64_t seed)
+      : kern(device, activation_alloc, seed),
+        policy(policy),
+        act_alloc_(activation_alloc ? activation_alloc : heap_allocator()) {}
+
+  /// Allocate an activation / temporary for the current step.
+  Tensor alloc(Shape shape, DType dtype) {
+    return Tensor::empty(std::move(shape), dtype, act_alloc_);
+  }
+
+  simgpu::Device& device() { return kern.dev; }
+  BufferAllocator* activation_allocator() { return act_alloc_; }
+
+  kern::KernelContext kern;
+  Policy policy;
+
+ private:
+  BufferAllocator* act_alloc_;
+};
+
+/// Pad a sequence length up to the policy's required multiple (DeepSpeed's
+/// ×16 restriction; identity for everyone else).
+int64_t pad_length(const Policy& policy, int64_t len);
+
+}  // namespace ls2::layers

@@ -1,0 +1,35 @@
+#include "layers/linear.h"
+
+#include "gemm/gemm_device.h"
+
+namespace ls2::layers {
+
+void linear_fw(LayerContext& ctx, const Tensor& x, const Tensor& w, const Tensor& y,
+               const std::string& tag) {
+  const Shape xf = x.shape().flatten_2d();
+  const int64_t m = xf[0], in = xf[1];
+  LS2_CHECK_EQ(w.shape().rank(), 2);
+  const int64_t out = w.shape()[0];
+  LS2_CHECK_EQ(w.shape()[1], in) << tag;
+  LS2_CHECK_EQ(y.numel(), m * out) << tag;
+  gemm::device_gemm(ctx.device(), /*trans_a=*/false, /*trans_b=*/true, m, out, in, 1.0f, x,
+                    w, 0.0f, y, tag + ".fw");
+}
+
+void linear_bw(LayerContext& ctx, const Tensor& dy, const Tensor& x, const Tensor& w,
+               const Tensor& dx, const Tensor& dw, const std::string& tag) {
+  const Shape xf = x.shape().flatten_2d();
+  const int64_t m = xf[0], in = xf[1];
+  const int64_t out = w.shape()[0];
+  LS2_CHECK_EQ(dy.numel(), m * out) << tag;
+  if (dx.defined()) {
+    LS2_CHECK_EQ(dx.numel(), m * in) << tag;
+    gemm::device_gemm(ctx.device(), false, false, m, in, out, 1.0f, dy, w, 0.0f, dx,
+                      tag + ".bw_dx");
+  }
+  // Accumulate so shared weights (e.g. tied embeddings) sum contributions.
+  gemm::device_gemm(ctx.device(), /*trans_a=*/true, /*trans_b=*/false, out, in, m, 1.0f, dy,
+                    x, 1.0f, dw, tag + ".bw_dw");
+}
+
+}  // namespace ls2::layers

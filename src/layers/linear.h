@@ -1,0 +1,22 @@
+// Linear projection helpers over the device GEMM.
+//
+// Weights follow the [out_features, in_features] convention. Bias handling
+// deliberately lives OUTSIDE these helpers: LightSeq2 fuses bias into the
+// adjacent element-wise kernel (Fig. 4), so the GEMM never adds it.
+#pragma once
+
+#include "layers/layer_context.h"
+#include "tensor/tensor.h"
+
+namespace ls2::layers {
+
+/// y[M, out] = x[M, in] @ W[out, in]^T.
+void linear_fw(LayerContext& ctx, const Tensor& x, const Tensor& w, const Tensor& y,
+               const std::string& tag);
+
+/// dx[M, in] = dy[M, out] @ W[out, in];  dW[out, in] += dy^T @ x.
+/// Pass an undefined dx to skip input gradients (first layer).
+void linear_bw(LayerContext& ctx, const Tensor& dy, const Tensor& x, const Tensor& w,
+               const Tensor& dx, const Tensor& dw, const std::string& tag);
+
+}  // namespace ls2::layers

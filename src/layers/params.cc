@@ -1,0 +1,123 @@
+#include "layers/params.h"
+
+#include <cmath>
+
+namespace ls2::layers {
+
+ParamRef ParamRegistry::declare(const std::string& name, Shape shape, Init init) {
+  LS2_CHECK(!materialized_) << "declare after materialize";
+  for (const Spec& s : specs_) {
+    LS2_CHECK(s.name != name) << "duplicate parameter '" << name << "'";
+  }
+  specs_.push_back({name, std::move(shape), init});
+  return ParamRef{static_cast<int>(specs_.size()) - 1};
+}
+
+void ParamRegistry::init_tensor(const Tensor& t, const Spec& spec, const Rng& rng,
+                                uint64_t stream) const {
+  switch (spec.init) {
+    case Init::kZero:
+      t.zero_();
+      break;
+    case Init::kOne:
+      t.fill_(1.0f);
+      break;
+    case Init::kNormal:
+      rng.fill_normal(t, stream, 0.0f, 0.02f);
+      break;
+    case Init::kXavier: {
+      const int64_t fan_out = spec.shape.rank() >= 1 ? spec.shape[0] : 1;
+      const int64_t fan_in = spec.shape.rank() >= 2 ? spec.shape[1] : fan_out;
+      const float a = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+      rng.fill_uniform(t, stream, -a, a);
+      break;
+    }
+  }
+}
+
+void ParamRegistry::materialize(DType dtype, bool contiguous, const Rng& rng,
+                                BufferAllocator* alloc) {
+  LS2_CHECK(!materialized_) << "double materialize";
+  LS2_CHECK(dtype == DType::kF32 || dtype == DType::kF16);
+  dtype_ = dtype;
+  contiguous_ = contiguous;
+  if (contiguous) {
+    for (const Spec& s : specs_) {
+      value_ws_.add(s.name, s.shape, dtype);
+      grad_ws_.add(s.name, s.shape, dtype);
+    }
+    value_ws_.freeze(alloc);
+    grad_ws_.freeze(alloc);
+    // Zero padding gaps so the flat trainer update sees no garbage.
+    value_ws_.flat().zero_();
+    grad_ws_.flat().zero_();
+    for (int i = 0; i < size(); ++i) {
+      init_tensor(value_ws_.get(i), specs_[static_cast<size_t>(i)], rng,
+                  9000 + static_cast<uint64_t>(i));
+    }
+  } else {
+    values_.reserve(specs_.size());
+    grads_.reserve(specs_.size());
+    for (size_t i = 0; i < specs_.size(); ++i) {
+      values_.push_back(Tensor::empty(specs_[i].shape, dtype, alloc));
+      grads_.push_back(Tensor::zeros(specs_[i].shape, dtype, alloc));
+      init_tensor(values_.back(), specs_[i], rng, 9000 + static_cast<uint64_t>(i));
+    }
+  }
+  materialized_ = true;
+}
+
+Tensor ParamRegistry::value(ParamRef ref) const {
+  LS2_CHECK(materialized_ && ref.valid() && ref.index < size());
+  return contiguous_ ? value_ws_.get(ref.index)
+                     : values_[static_cast<size_t>(ref.index)];
+}
+
+Tensor ParamRegistry::grad(ParamRef ref) const {
+  LS2_CHECK(materialized_ && ref.valid() && ref.index < size());
+  return contiguous_ ? grad_ws_.get(ref.index) : grads_[static_cast<size_t>(ref.index)];
+}
+
+const std::string& ParamRegistry::name(ParamRef ref) const {
+  LS2_CHECK(ref.valid() && ref.index < size());
+  return specs_[static_cast<size_t>(ref.index)].name;
+}
+
+Shape ParamRegistry::shape(ParamRef ref) const {
+  LS2_CHECK(ref.valid() && ref.index < size());
+  return specs_[static_cast<size_t>(ref.index)].shape;
+}
+
+int64_t ParamRegistry::total_elements() const {
+  int64_t n = 0;
+  for (const Spec& s : specs_) n += s.shape.numel();
+  return n;
+}
+
+Tensor ParamRegistry::flat_values() const {
+  LS2_CHECK(contiguous_) << "flat view requires workspace mode";
+  return value_ws_.flat();
+}
+
+Tensor ParamRegistry::flat_grads() const {
+  LS2_CHECK(contiguous_) << "flat view requires workspace mode";
+  return grad_ws_.flat();
+}
+
+void ParamRegistry::zero_grads() const {
+  if (contiguous_) {
+    grad_ws_.flat().zero_();
+  } else {
+    for (const Tensor& g : grads_) g.zero_();
+  }
+}
+
+void ParamRegistry::for_each(
+    const std::function<void(const std::string&, Tensor, Tensor)>& fn) const {
+  LS2_CHECK(materialized_);
+  for (int i = 0; i < size(); ++i) {
+    fn(specs_[static_cast<size_t>(i)].name, value({i}), grad({i}));
+  }
+}
+
+}  // namespace ls2::layers

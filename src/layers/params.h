@@ -1,0 +1,87 @@
+// Parameter registry.
+//
+// Layers declare named parameters during construction; the registry then
+// materialises them either as one contiguous workspace (LightSeq2's
+// "symbolic tensor linking": every parameter/gradient is a view into a
+// single buffer, enabling the one-launch trainer of §IV-C) or as individual
+// tensors (the baseline frameworks). Initialisation is policy-independent
+// so different systems start from identical weights.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "memory/workspace.h"
+#include "tensor/random.h"
+#include "tensor/tensor.h"
+
+namespace ls2::layers {
+
+enum class Init {
+  kZero,
+  kXavier,   ///< uniform(-a, a), a = sqrt(6/(fan_in+fan_out)) for matrices
+  kNormal,   ///< N(0, 0.02) — embedding tables
+  kOne,      ///< LayerNorm gain
+};
+
+/// Opaque handle to a registered parameter.
+struct ParamRef {
+  int index = -1;
+  bool valid() const { return index >= 0; }
+};
+
+class ParamRegistry {
+ public:
+  /// Declare a parameter (before materialize()).
+  ParamRef declare(const std::string& name, Shape shape, Init init);
+
+  /// Create storage. `contiguous` selects workspace linking (LightSeq2) vs
+  /// per-tensor buffers (baselines). Initialisation uses `rng` streams
+  /// derived from declaration order, so it is identical either way.
+  void materialize(DType dtype, bool contiguous, const Rng& rng,
+                   BufferAllocator* alloc = nullptr);
+  bool materialized() const { return materialized_; }
+  bool contiguous() const { return contiguous_; }
+  DType dtype() const { return dtype_; }
+
+  Tensor value(ParamRef ref) const;
+  Tensor grad(ParamRef ref) const;
+  const std::string& name(ParamRef ref) const;
+  Shape shape(ParamRef ref) const;
+
+  int size() const { return static_cast<int>(specs_.size()); }
+  int64_t total_elements() const;
+
+  /// Flat views over ALL parameters / gradients (workspace mode only) — the
+  /// tensors the fused trainer updates in one launch.
+  Tensor flat_values() const;
+  Tensor flat_grads() const;
+
+  /// Zero every gradient buffer (bookkeeping only; systems charge their own
+  /// zeroing kernels).
+  void zero_grads() const;
+
+  /// Iterate (name, value, grad) — per-tensor trainers and checkpointing.
+  void for_each(const std::function<void(const std::string&, Tensor, Tensor)>& fn) const;
+
+ private:
+  struct Spec {
+    std::string name;
+    Shape shape;
+    Init init;
+  };
+
+  void init_tensor(const Tensor& t, const Spec& spec, const Rng& rng, uint64_t stream) const;
+
+  std::vector<Spec> specs_;
+  std::vector<Tensor> values_;  // per-tensor mode
+  std::vector<Tensor> grads_;
+  mem::Workspace value_ws_;  // workspace mode
+  mem::Workspace grad_ws_;
+  bool materialized_ = false;
+  bool contiguous_ = false;
+  DType dtype_ = DType::kF32;
+};
+
+}  // namespace ls2::layers

@@ -1,0 +1,107 @@
+#include "memory/block_plan.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace ls2::mem {
+
+namespace {
+constexpr size_t kAlign = 256;
+size_t align_up(size_t n) { return (n + kAlign - 1) / kAlign * kAlign; }
+}  // namespace
+
+BlockPlan::BlockPlan(std::vector<PlanTensor> tensors) {
+  std::stable_sort(tensors.begin(), tensors.end(),
+                   [](const PlanTensor& a, const PlanTensor& b) { return a.birth < b.birth; });
+
+  struct Block {
+    size_t size = 0;
+    int free_at = 0;  ///< first step at which the block may be reused
+  };
+  std::vector<Block> blocks;
+
+  for (const PlanTensor& t : tensors) {
+    LS2_CHECK_LE(t.birth, t.death) << "tensor '" << t.name << "' dies before birth";
+    LS2_CHECK(placements_.find(t.name) == placements_.end())
+        << "duplicate plan tensor '" << t.name << "'";
+    naive_bytes_ += align_up(t.bytes);
+
+    // Pick the free block that needs the least growth; ties -> smaller block.
+    int best = -1;
+    size_t best_growth = std::numeric_limits<size_t>::max();
+    for (int b = 0; b < static_cast<int>(blocks.size()); ++b) {
+      if (blocks[static_cast<size_t>(b)].free_at > t.birth) continue;
+      const size_t grown = std::max(blocks[static_cast<size_t>(b)].size, align_up(t.bytes));
+      const size_t growth = grown - blocks[static_cast<size_t>(b)].size;
+      if (growth < best_growth ||
+          (growth == best_growth && best >= 0 &&
+           blocks[static_cast<size_t>(b)].size < blocks[static_cast<size_t>(best)].size)) {
+        best = b;
+        best_growth = growth;
+      }
+    }
+    if (best < 0) {
+      blocks.push_back({align_up(t.bytes), t.death + 1});
+      best = static_cast<int>(blocks.size()) - 1;
+    } else {
+      Block& blk = blocks[static_cast<size_t>(best)];
+      blk.size = std::max(blk.size, align_up(t.bytes));
+      blk.free_at = t.death + 1;
+    }
+    placements_[t.name] = {best, t.bytes};
+  }
+
+  block_sizes_.reserve(blocks.size());
+  block_offsets_.reserve(blocks.size());
+  for (const Block& b : blocks) {
+    block_offsets_.push_back(total_bytes_);
+    block_sizes_.push_back(b.size);
+    total_bytes_ += b.size;
+  }
+}
+
+int BlockPlan::block_of(const std::string& name) const {
+  auto it = placements_.find(name);
+  LS2_CHECK(it != placements_.end()) << "no plan tensor '" << name << "'";
+  return it->second.block;
+}
+
+void BlockPlan::materialize(BufferAllocator* alloc) {
+  LS2_CHECK(!storage_.defined()) << "plan already materialized";
+  storage_ = Tensor::empty(Shape{static_cast<int64_t>(total_bytes_)}, DType::kU8, alloc);
+}
+
+Tensor BlockPlan::tensor(const std::string& name, Shape shape, DType dtype) const {
+  LS2_CHECK(storage_.defined()) << "plan not materialized";
+  auto it = placements_.find(name);
+  LS2_CHECK(it != placements_.end()) << "no plan tensor '" << name << "'";
+  const Placement& p = it->second;
+  const size_t want = static_cast<size_t>(shape.numel()) * dtype_size(dtype);
+  LS2_CHECK_LE(want, block_sizes_[static_cast<size_t>(p.block)])
+      << "view of '" << name << "' exceeds its block";
+  // Shares ownership of the backing storage so views outlive the plan.
+  return storage_.byte_view(block_offsets_[static_cast<size_t>(p.block)], std::move(shape),
+                            dtype);
+}
+
+std::vector<PlanTensor> attention_backward_plan(int64_t B, int64_t L, int64_t H, int64_t N,
+                                                size_t elem) {
+  const size_t blh = static_cast<size_t>(B * L * H) * elem;
+  const size_t bl2n = static_cast<size_t>(B * L * L * N) * elem;
+  // Steps follow Fig. 8 top-to-bottom (1-indexed). The reshape of dZ to the
+  // per-head layout is a strided view consumed directly by the batched
+  // GEMM, so it owns no storage; that gives the paper's naive count of
+  // exactly 9 BLH-sized tensors plus one BL²N tensor.
+  //  1 dY1 = dDropout(dout)           2 dZ = dY1 * Wout^T (viewed per-head)
+  //  4 dS = dZ V^T ; dV = S^T dZ      5 dS = dDropout(dS)
+  //  6 dS = dSoftmax(dS)              7 dK = Q^T dS ; dQ = dS K
+  //  8 dQKV = reshape(dQ,dK,dV)       9 dY3 = dQKV * W_{Q,K,V}
+  // 10 din = dLayerNorm(dY3) + dout
+  return {
+      {"dY1", blh, 1, 4},   {"dZ", blh, 2, 4},   {"dS", bl2n, 4, 7},
+      {"dV", blh, 4, 8},    {"dK", blh, 7, 8},   {"dQ", blh, 7, 8},
+      {"dQKV", 3 * blh, 8, 9}, {"dY3", blh, 9, 10},
+  };
+}
+
+}  // namespace ls2::mem

@@ -1,0 +1,63 @@
+#include "memory/device_allocator.h"
+
+#include <sys/mman.h>
+
+#include <cstdlib>
+#include <sstream>
+
+namespace ls2::mem {
+
+namespace {
+std::string oom_message(int64_t requested, int64_t in_use, int64_t capacity) {
+  std::ostringstream os;
+  os << "simulated device OOM: requested " << requested << " B with " << in_use
+     << " B in use of " << capacity << " B capacity";
+  return os.str();
+}
+}  // namespace
+
+OutOfMemory::OutOfMemory(int64_t requested_, int64_t in_use_, int64_t capacity_)
+    : Error(oom_message(requested_, in_use_, capacity_)),
+      requested(requested_),
+      in_use(in_use_),
+      capacity(capacity_) {}
+
+void* DeviceAllocator::device_malloc(size_t bytes) {
+  const int64_t capacity =
+      static_cast<int64_t>(device_.profile().memory_gb * 1024.0 * 1024.0 * 1024.0);
+  if (reserved_bytes_ + static_cast<int64_t>(bytes) > capacity) {
+    throw OutOfMemory(static_cast<int64_t>(bytes), reserved_bytes_, capacity);
+  }
+  device_.charge_alloc(/*cache_hit=*/false);
+  ++device_mallocs_;
+  reserved_bytes_ += static_cast<int64_t>(bytes);
+  if (backs_real_memory()) {
+    void* p = std::malloc(bytes == 0 ? 1 : bytes);
+    LS2_CHECK(p != nullptr) << "host backing allocation failed (" << bytes << " B)";
+    return p;
+  }
+  // Timing-only backing: reserve address space without committing pages.
+  void* p = mmap(nullptr, bytes == 0 ? 4096 : bytes, PROT_READ | PROT_WRITE,
+                 MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  LS2_CHECK(p != MAP_FAILED) << "virtual backing mmap failed (" << bytes << " B)";
+  return p;
+}
+
+void DeviceAllocator::device_free(void* ptr, size_t bytes) {
+  device_.charge_free();
+  ++device_frees_;
+  reserved_bytes_ -= static_cast<int64_t>(bytes);
+  if (backs_real_memory()) {
+    std::free(ptr);
+  } else {
+    munmap(ptr, bytes == 0 ? 4096 : bytes);
+  }
+}
+
+void DeviceAllocator::note_usage(int64_t delta) {
+  bytes_in_use_ += delta;
+  if (bytes_in_use_ > peak_bytes_) peak_bytes_ = bytes_in_use_;
+  device_.on_memory_change(bytes_in_use_);
+}
+
+}  // namespace ls2::mem

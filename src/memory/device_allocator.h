@@ -1,0 +1,66 @@
+// Base class for simulated-device allocators.
+//
+// Tracks bytes in use / peak, charges the device clock for cudaMalloc-style
+// calls, reports watermarks to the device timeline (Fig. 20), and raises a
+// simulated OOM when the device's memory capacity is exceeded (the paper's
+// Fig. 10 notes Fairseq OOMs at batch sizes LightSeq2 still trains).
+#pragma once
+
+#include <cstdint>
+
+#include "simgpu/device.h"
+#include "tensor/tensor.h"
+
+namespace ls2::mem {
+
+/// Thrown when a simulated allocation exceeds the device's capacity.
+class OutOfMemory : public Error {
+ public:
+  OutOfMemory(int64_t requested, int64_t in_use, int64_t capacity);
+  int64_t requested = 0;
+  int64_t in_use = 0;
+  int64_t capacity = 0;
+};
+
+class DeviceAllocator : public BufferAllocator {
+ public:
+  /// kMalloc backs simulated device memory with real host heap (execute
+  /// mode). kVirtual backs it with never-committed anonymous mappings
+  /// (MAP_NORESERVE) so model-only sweeps can "allocate" paper-scale
+  /// tensors: all byte/time accounting is identical, but initialisation
+  /// writes are skipped (Tensor honours backs_real_memory()).
+  enum class Backing { kMalloc, kVirtual };
+
+  explicit DeviceAllocator(simgpu::Device& device, Backing backing = Backing::kMalloc)
+      : device_(device), backing_(backing) {}
+
+  bool backs_real_memory() const override { return backing_ == Backing::kMalloc; }
+
+  int64_t bytes_in_use() const { return bytes_in_use_; }
+  int64_t peak_bytes() const { return peak_bytes_; }
+  simgpu::Device& device() { return device_; }
+
+  /// Number of real (uncached) device mallocs performed.
+  int64_t device_malloc_count() const { return device_mallocs_; }
+  int64_t device_free_count() const { return device_frees_; }
+
+ protected:
+  /// Backing "device" allocation: charges the clock, checks capacity,
+  /// updates watermarks. Returns host memory standing in for device memory.
+  void* device_malloc(size_t bytes);
+  void device_free(void* ptr, size_t bytes);
+  /// Bookkeeping-only adjustments for sub-allocators handing out slices.
+  void note_usage(int64_t delta);
+
+  simgpu::Device& device_;
+
+ private:
+  Backing backing_;
+  int64_t bytes_in_use_ = 0;
+  int64_t peak_bytes_ = 0;
+  int64_t reserved_bytes_ = 0;  ///< physical (cudaMalloc'ed) bytes
+  int64_t device_mallocs_ = 0;
+  int64_t device_frees_ = 0;
+};
+
+}  // namespace ls2::mem

@@ -1,0 +1,68 @@
+#include "memory/workspace.h"
+
+namespace ls2::mem {
+
+namespace {
+constexpr size_t kAlign = 16;  // vectorised kernel access
+size_t align_up(size_t n) { return (n + kAlign - 1) / kAlign * kAlign; }
+}  // namespace
+
+int Workspace::add(const std::string& name, Shape shape, DType dtype) {
+  LS2_CHECK(!frozen_) << "workspace already frozen";
+  LS2_CHECK(by_name_.find(name) == by_name_.end()) << "duplicate slot '" << name << "'";
+  Slot slot;
+  slot.name = name;
+  slot.shape = std::move(shape);
+  slot.dtype = dtype;
+  slot.byte_offset = total_bytes_;
+  if (slots_.empty()) {
+    dtype_ = dtype;
+  } else if (dtype != dtype_) {
+    uniform_dtype_ = false;
+  }
+  total_elements_ += slot.shape.numel();
+  total_bytes_ += align_up(static_cast<size_t>(slot.shape.numel()) * dtype_size(dtype));
+  const int index = static_cast<int>(slots_.size());
+  by_name_[name] = index;
+  slots_.push_back(std::move(slot));
+  return index;
+}
+
+void Workspace::freeze(BufferAllocator* alloc) {
+  LS2_CHECK(!frozen_) << "double freeze";
+  storage_ = Tensor::zeros(Shape{static_cast<int64_t>(total_bytes_)}, DType::kU8, alloc);
+  frozen_ = true;
+}
+
+Tensor Workspace::get(const std::string& name) const {
+  auto it = by_name_.find(name);
+  LS2_CHECK(it != by_name_.end()) << "no workspace slot '" << name << "'";
+  return get(it->second);
+}
+
+Tensor Workspace::get(int index) const {
+  LS2_CHECK(frozen_) << "workspace not frozen";
+  LS2_CHECK(index >= 0 && index < size());
+  const Slot& s = slots_[static_cast<size_t>(index)];
+  return storage_.byte_view(s.byte_offset, s.shape, s.dtype);
+}
+
+bool Workspace::contains(const std::string& name) const {
+  return by_name_.find(name) != by_name_.end();
+}
+
+Tensor Workspace::flat() const {
+  LS2_CHECK(frozen_) << "workspace not frozen";
+  LS2_CHECK(uniform_dtype_) << "flat() requires a uniform dtype workspace";
+  // Slots are padded to 16B, which is a multiple of every dtype size, so the
+  // flat view covers all slots plus inert padding elements.
+  const int64_t elems = static_cast<int64_t>(total_bytes_ / dtype_size(dtype_));
+  return storage_.byte_view(0, Shape{elems}, dtype_);
+}
+
+const std::string& Workspace::name_of(int index) const {
+  LS2_CHECK(index >= 0 && index < size());
+  return slots_[static_cast<size_t>(index)].name;
+}
+
+}  // namespace ls2::mem

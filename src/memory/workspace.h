@@ -1,0 +1,59 @@
+// Symbolic tensor linking (§IV-C, Fig. 6/7).
+//
+// All parameters (and, separately, all gradients) are laid out back-to-back
+// in one contiguous buffer; each named parameter is a *view* ("symbolic
+// link") into it. The fused trainer then updates the whole model with a
+// single kernel over the workspace instead of one kernel per parameter.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ls2::mem {
+
+class Workspace {
+ public:
+  /// Declare a tensor; returns its slot index. Must happen before freeze().
+  int add(const std::string& name, Shape shape, DType dtype);
+
+  /// Allocate the single backing buffer and materialise all views.
+  void freeze(BufferAllocator* alloc = nullptr);
+  bool frozen() const { return frozen_; }
+
+  /// Look up a linked tensor view by name (valid after freeze()).
+  Tensor get(const std::string& name) const;
+  Tensor get(int index) const;
+  bool contains(const std::string& name) const;
+
+  /// The whole workspace as one flat tensor — what the fused trainer kernel
+  /// iterates over. Only meaningful when every slot shares one dtype.
+  Tensor flat() const;
+
+  int64_t total_elements() const { return total_elements_; }
+  size_t total_bytes() const { return total_bytes_; }
+  int size() const { return static_cast<int>(slots_.size()); }
+  const std::string& name_of(int index) const;
+
+ private:
+  struct Slot {
+    std::string name;
+    Shape shape;
+    DType dtype;
+    size_t byte_offset = 0;
+  };
+
+  std::vector<Slot> slots_;
+  std::map<std::string, int> by_name_;
+  Tensor storage_;  // u8 buffer holding everything
+  int64_t total_elements_ = 0;
+  size_t total_bytes_ = 0;
+  bool frozen_ = false;
+  bool uniform_dtype_ = true;
+  DType dtype_ = DType::kF32;
+};
+
+}  // namespace ls2::mem

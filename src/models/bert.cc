@@ -1,0 +1,183 @@
+#include "models/bert.h"
+
+#include "kernels/criterion.h"
+#include "kernels/elementwise.h"
+#include "kernels/layernorm.h"
+#include "layers/linear.h"
+
+namespace ls2::models {
+
+namespace {
+
+// Gather/scatter of the [CLS] row (position 0 of each sequence) — one small
+// strided-copy kernel each way.
+void gather_cls(layers::LayerContext& ctx, const Tensor& h, const Tensor& cls) {
+  const int64_t B = h.shape()[0], L = h.shape()[1], H = h.shape()[2];
+  simgpu::KernelDesc d;
+  d.name = "bert.gather_cls";
+  d.bytes_read = static_cast<int64_t>(cls.bytes());
+  d.bytes_written = static_cast<int64_t>(cls.bytes());
+  d.mem_efficiency = 0.6;
+  ctx.kern.dev.launch(d, [&, B, L, H] {
+    LS2_DISPATCH_FLOAT(h.dtype(), T, {
+      const T* hp = h.data<T>();
+      T* cp = cls.data<T>();
+      for (int64_t b = 0; b < B; ++b)
+        for (int64_t j = 0; j < H; ++j) cp[b * H + j] = hp[b * L * H + j];
+    });
+  });
+}
+
+void scatter_cls(layers::LayerContext& ctx, const Tensor& dcls, const Tensor& dh) {
+  const int64_t B = dh.shape()[0], L = dh.shape()[1], H = dh.shape()[2];
+  simgpu::KernelDesc d;
+  d.name = "bert.scatter_cls";
+  d.bytes_read = static_cast<int64_t>(dcls.bytes());
+  d.bytes_written = static_cast<int64_t>(dh.bytes());
+  d.mem_efficiency = 0.6;
+  ctx.kern.dev.launch(d, [&, B, L, H] {
+    LS2_DISPATCH_FLOAT(dh.dtype(), T, {
+      const T* cp = dcls.data<T>();
+      T* hp = dh.data<T>();
+      std::memset(dh.raw(), 0, dh.bytes());
+      for (int64_t b = 0; b < B; ++b)
+        for (int64_t j = 0; j < H; ++j) hp[b * L * H + j] = cp[b * H + j];
+    });
+  });
+}
+
+}  // namespace
+
+BertConfig BertConfig::base() { return BertConfig{}; }
+
+BertConfig BertConfig::large() {
+  BertConfig c;
+  c.hidden = 1024;
+  c.heads = 16;
+  c.ffn_dim = 4096;
+  c.layers = 24;
+  return c;
+}
+
+int64_t BertConfig::parameter_count() const {
+  const int64_t h = hidden, f = ffn_dim;
+  const int64_t block = 3 * h * h + 3 * h + h * h + h + 4 * h + 2 * h * f + f + h;
+  return layers * block + vocab * h + 2 * h + num_classes * h + num_classes;
+}
+
+Bert::Bert(BertConfig cfg, layers::System system, DType dtype, uint64_t seed,
+           BufferAllocator* param_alloc)
+    : cfg_(cfg) {
+  layers::EmbeddingConfig ecfg;
+  ecfg.vocab = cfg.vocab;
+  ecfg.hidden = cfg.hidden;
+  ecfg.max_len = cfg.max_len;
+  ecfg.dropout = cfg.dropout;
+  ecfg.pad_id = cfg.pad_id;
+  embed_ = std::make_unique<layers::EmbeddingLayer>(params_, "bert.embed", ecfg);
+
+  layers::TransformerLayerConfig lcfg;
+  lcfg.hidden = cfg.hidden;
+  lcfg.heads = cfg.heads;
+  lcfg.ffn_dim = cfg.ffn_dim;
+  lcfg.dropout = cfg.dropout;
+  lcfg.attn_dropout = cfg.dropout;
+  lcfg.act_dropout = cfg.dropout;
+  lcfg.activation = layers::Activation::kGelu;
+  for (int64_t i = 0; i < cfg.layers; ++i) {
+    blocks_.push_back(std::make_unique<layers::TransformerEncoderLayer>(
+        params_, "bert.blocks." + std::to_string(i), lcfg));
+  }
+  ln_gamma_ = params_.declare("bert.ln_f.gamma", Shape{cfg.hidden}, layers::Init::kOne);
+  ln_beta_ = params_.declare("bert.ln_f.beta", Shape{cfg.hidden}, layers::Init::kZero);
+  cls_w_ = params_.declare("bert.classifier.weight", Shape{cfg.num_classes, cfg.hidden},
+                           layers::Init::kXavier);
+  cls_b_ = params_.declare("bert.classifier.bias", Shape{cfg.num_classes},
+                           layers::Init::kZero);
+
+  params_.materialize(dtype, system == layers::System::kLightSeq2, Rng(seed), param_alloc);
+}
+
+ClsResult Bert::forward(layers::LayerContext& ctx, const ClsBatch& batch) {
+  const int64_t B = batch.ids.shape()[0], L = batch.ids.shape()[1];
+  const DType dt = params_.dtype();
+  const int64_t padded = layers::pad_length(ctx.policy, L);
+  LS2_CHECK(padded == L || ctx.policy.seq_multiple > 1);
+
+  Tensor h = embed_->forward(ctx, batch.ids);
+  for (auto& block : blocks_) h = block->forward(ctx, h, &batch.lens);
+  Tensor out = ctx.alloc({B, L, cfg_.hidden}, dt);
+  Tensor mean = ctx.alloc({B * L}, DType::kF32);
+  Tensor rstd = ctx.alloc({B * L}, DType::kF32);
+  kern::layernorm_fw(ctx.kern, ctx.policy.layernorm, h, params_.value(ln_gamma_),
+                     params_.value(ln_beta_), out, mean, rstd);
+
+  Tensor cls = ctx.alloc({B, cfg_.hidden}, dt);
+  gather_cls(ctx, out, cls);
+
+  Tensor logits_nb = ctx.alloc({B, cfg_.num_classes}, dt);
+  layers::linear_fw(ctx, cls, params_.value(cls_w_), logits_nb, "bert.classifier");
+  Tensor logits = ctx.alloc({B, cfg_.num_classes}, dt);
+  kern::baseline::add_bias(ctx.kern, logits_nb, params_.value(cls_b_), logits);
+
+  Tensor loss = ctx.alloc({B}, DType::kF32);
+  Tensor stats = ctx.alloc({B, 2}, DType::kF32);
+  kern::ls_cross_entropy_fw(ctx.kern, ctx.policy.criterion, logits, batch.labels, loss,
+                            stats, /*alpha=*/0.0f, /*ignore_index=*/-1);
+
+  ClsResult res;
+  res.total = B;
+  if (ctx.device().mode() == simgpu::ExecMode::kExecute) {
+    double sum = 0;
+    for (float v : loss.to_vector()) sum += v;
+    res.loss = static_cast<float>(sum / static_cast<double>(B));
+    const auto lg = logits.to_vector();
+    const auto lb = batch.labels.to_vector();
+    for (int64_t b = 0; b < B; ++b) {
+      int best = 0;
+      for (int64_t c = 1; c < cfg_.num_classes; ++c) {
+        if (lg[b * cfg_.num_classes + c] > lg[b * cfg_.num_classes + best])
+          best = static_cast<int>(c);
+      }
+      if (best == static_cast<int>(lb[static_cast<size_t>(b)])) ++res.correct;
+    }
+  }
+  saved_ = Saved{h, out, mean, rstd, cls, logits, stats, batch.labels, B, L};
+  return res;
+}
+
+void Bert::backward(layers::LayerContext& ctx) {
+  LS2_CHECK(saved_.has_value()) << "backward without forward";
+  Saved& s = *saved_;
+  const DType dt = params_.dtype();
+
+  Tensor dlogits = ctx.alloc({s.B, cfg_.num_classes}, dt);
+  kern::ls_cross_entropy_bw(ctx.kern, ctx.policy.criterion, s.logits, s.labels, s.stats,
+                            dlogits, 0.0f, 1.0f / static_cast<float>(s.B), -1);
+  kern::bias_grad(ctx.kern, dlogits, params_.grad(cls_b_));
+
+  Tensor dcls = ctx.alloc({s.B, cfg_.hidden}, dt);
+  layers::linear_bw(ctx, dlogits, s.cls, params_.value(cls_w_), dcls,
+                    params_.grad(cls_w_), "bert.classifier");
+
+  Tensor d_out = ctx.alloc({s.B, s.L, cfg_.hidden}, dt);
+  scatter_cls(ctx, dcls, d_out);
+
+  Tensor dh = ctx.alloc({s.B, s.L, cfg_.hidden}, dt);
+  kern::layernorm_bw(ctx.kern, ctx.policy.layernorm, d_out, s.stack_out,
+                     params_.value(ln_gamma_), s.mean, s.rstd, dh, params_.grad(ln_gamma_),
+                     params_.grad(ln_beta_));
+  for (int64_t i = cfg_.layers - 1; i >= 0; --i) {
+    dh = blocks_[static_cast<size_t>(i)]->backward(ctx, dh);
+  }
+  embed_->backward(ctx, dh);
+  release();
+}
+
+void Bert::release() {
+  saved_.reset();
+  embed_->release();
+  for (auto& b : blocks_) b->release();
+}
+
+}  // namespace ls2::models

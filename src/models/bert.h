@@ -1,0 +1,70 @@
+// BERT-style encoder-only classifier for GLUE/MRPC (Table II row 3):
+// embedding, pre-LN encoder stack with GELU FFNs, [CLS] pooling, two-way
+// classification head.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "layers/embedding_layer.h"
+#include "layers/encoder_layer.h"
+
+namespace ls2::models {
+
+struct BertConfig {
+  int64_t vocab = 30522;
+  int64_t hidden = 768;
+  int64_t heads = 12;
+  int64_t ffn_dim = 3072;
+  int64_t layers = 12;
+  int64_t max_len = 512;
+  int64_t num_classes = 2;
+  float dropout = 0.1f;
+  int32_t pad_id = 0;
+
+  static BertConfig base();   ///< BERT-Base: 12 layers, 768 hidden
+  static BertConfig large();  ///< BERT-Large: 24 layers, 1024 hidden
+  int64_t parameter_count() const;
+};
+
+struct ClsBatch {
+  Tensor ids;     ///< [B, L] i32, [CLS] at position 0
+  Tensor lens;    ///< [B] i32
+  Tensor labels;  ///< [B] i32
+};
+
+struct ClsResult {
+  float loss = 0;      ///< mean cross entropy over the batch
+  int64_t correct = 0; ///< argmax accuracy numerator
+  int64_t total = 0;
+};
+
+class Bert {
+ public:
+  Bert(BertConfig cfg, layers::System system, DType dtype, uint64_t seed,
+       BufferAllocator* param_alloc = nullptr);
+
+  ClsResult forward(layers::LayerContext& ctx, const ClsBatch& batch);
+  void backward(layers::LayerContext& ctx);
+  void release();
+
+  layers::ParamRegistry& params() { return params_; }
+  const BertConfig& config() const { return cfg_; }
+
+ private:
+  BertConfig cfg_;
+  layers::ParamRegistry params_;
+  std::unique_ptr<layers::EmbeddingLayer> embed_;
+  std::vector<std::unique_ptr<layers::TransformerEncoderLayer>> blocks_;
+  layers::ParamRef ln_gamma_, ln_beta_, cls_w_, cls_b_;
+
+  struct Saved {
+    Tensor stack_out, out, mean, rstd;  // final LN
+    Tensor cls, logits, stats, labels;  // pooled [CLS] and classifier head
+    int64_t B = 0, L = 0;
+  };
+  std::optional<Saved> saved_;
+};
+
+}  // namespace ls2::models

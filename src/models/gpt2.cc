@@ -1,0 +1,98 @@
+#include "models/gpt2.h"
+
+#include "kernels/layernorm.h"
+
+namespace ls2::models {
+
+Gpt2Config Gpt2Config::base() { return Gpt2Config{}; }
+
+Gpt2Config Gpt2Config::large() {
+  Gpt2Config c;
+  c.hidden = 1280;
+  c.heads = 20;
+  c.ffn_dim = 5120;
+  c.layers = 36;
+  return c;
+}
+
+int64_t Gpt2Config::parameter_count() const {
+  const int64_t h = hidden, f = ffn_dim;
+  const int64_t block = 3 * h * h + 3 * h + h * h + h + 4 * h + 2 * h * f + f + h;
+  return layers * block + vocab * h + 2 * h;
+}
+
+Gpt2::Gpt2(Gpt2Config cfg, layers::System system, DType dtype, uint64_t seed,
+           BufferAllocator* param_alloc)
+    : cfg_(cfg) {
+  layers::EmbeddingConfig ecfg;
+  ecfg.vocab = cfg.vocab;
+  ecfg.hidden = cfg.hidden;
+  ecfg.max_len = cfg.max_len;
+  ecfg.dropout = cfg.dropout;
+  ecfg.pad_id = cfg.pad_id;
+  embed_ = std::make_unique<layers::EmbeddingLayer>(params_, "gpt2.embed", ecfg);
+
+  layers::TransformerLayerConfig lcfg;
+  lcfg.hidden = cfg.hidden;
+  lcfg.heads = cfg.heads;
+  lcfg.ffn_dim = cfg.ffn_dim;
+  lcfg.dropout = cfg.dropout;
+  lcfg.attn_dropout = cfg.dropout;
+  lcfg.act_dropout = cfg.dropout;
+  lcfg.activation = layers::Activation::kGelu;
+  lcfg.causal = true;  // decoder-only: causal self-attention
+  for (int64_t i = 0; i < cfg.layers; ++i) {
+    blocks_.push_back(std::make_unique<layers::TransformerEncoderLayer>(
+        params_, "gpt2.blocks." + std::to_string(i), lcfg));
+  }
+  ln_gamma_ = params_.declare("gpt2.ln_f.gamma", Shape{cfg.hidden}, layers::Init::kOne);
+  ln_beta_ = params_.declare("gpt2.ln_f.beta", Shape{cfg.hidden}, layers::Init::kZero);
+
+  layers::CriterionConfig ccfg;
+  ccfg.vocab = cfg.vocab;
+  ccfg.hidden = cfg.hidden;
+  ccfg.label_smoothing = 0.0f;  // plain LM cross entropy
+  ccfg.pad_id = cfg.pad_id;
+  criterion_ = std::make_unique<layers::CriterionLayer>(params_, "gpt2.lm_head", ccfg,
+                                                        embed_->table());
+
+  params_.materialize(dtype, system == layers::System::kLightSeq2, Rng(seed), param_alloc);
+}
+
+layers::CriterionResult Gpt2::forward(layers::LayerContext& ctx, const LmBatch& batch) {
+  const int64_t B = batch.ids.shape()[0], L = batch.ids.shape()[1];
+  Tensor h = embed_->forward(ctx, batch.ids);
+  for (auto& block : blocks_) h = block->forward(ctx, h, /*key_lens=*/nullptr);
+  Tensor out = ctx.alloc({B, L, cfg_.hidden}, params_.dtype());
+  Tensor mean = ctx.alloc({B * L}, DType::kF32);
+  Tensor rstd = ctx.alloc({B * L}, DType::kF32);
+  kern::layernorm_fw(ctx.kern, ctx.policy.layernorm, h, params_.value(ln_gamma_),
+                     params_.value(ln_beta_), out, mean, rstd);
+  layers::CriterionResult res = criterion_->forward(ctx, out, batch.targets);
+  saved_ = Saved{h, out, mean, rstd, B, L};
+  return res;
+}
+
+void Gpt2::backward(layers::LayerContext& ctx) {
+  LS2_CHECK(saved_.has_value()) << "backward without forward";
+  Saved& s = *saved_;
+  Tensor d_out = criterion_->backward(ctx);
+  Tensor dh = ctx.alloc({s.B, s.L, cfg_.hidden}, params_.dtype());
+  kern::layernorm_bw(ctx.kern, ctx.policy.layernorm, d_out, s.stack_out,
+                     params_.value(ln_gamma_), s.mean, s.rstd, dh, params_.grad(ln_gamma_),
+                     params_.grad(ln_beta_));
+  for (int64_t i = cfg_.layers - 1; i >= 0; --i) {
+    dh = blocks_[static_cast<size_t>(i)]->backward(ctx, dh);
+  }
+  embed_->backward(ctx, dh);
+  release();
+}
+
+void Gpt2::release() {
+  saved_.reset();
+  embed_->release();
+  for (auto& b : blocks_) b->release();
+  criterion_->release();
+}
+
+}  // namespace ls2::models

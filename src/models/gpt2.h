@@ -1,0 +1,62 @@
+// GPT-2: decoder-only language model — embedding, causal pre-LN Transformer
+// stack with GELU FFNs, tied LM head (Table II row 4).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "layers/criterion_layer.h"
+#include "layers/embedding_layer.h"
+#include "layers/encoder_layer.h"
+
+namespace ls2::models {
+
+struct Gpt2Config {
+  int64_t vocab = 50257;
+  int64_t hidden = 768;
+  int64_t heads = 12;
+  int64_t ffn_dim = 3072;
+  int64_t layers = 12;
+  int64_t max_len = 1024;
+  float dropout = 0.1f;
+  int32_t pad_id = 0;
+
+  static Gpt2Config base();   ///< 117M parameters
+  static Gpt2Config large();  ///< 762M parameters
+  int64_t parameter_count() const;
+};
+
+struct LmBatch {
+  Tensor ids;      ///< [B, L] i32 input tokens
+  Tensor targets;  ///< [B, L] i32 next tokens (pad_id where ignored)
+};
+
+class Gpt2 {
+ public:
+  Gpt2(Gpt2Config cfg, layers::System system, DType dtype, uint64_t seed,
+       BufferAllocator* param_alloc = nullptr);
+
+  layers::CriterionResult forward(layers::LayerContext& ctx, const LmBatch& batch);
+  void backward(layers::LayerContext& ctx);
+  void release();
+
+  layers::ParamRegistry& params() { return params_; }
+  const Gpt2Config& config() const { return cfg_; }
+
+ private:
+  Gpt2Config cfg_;
+  layers::ParamRegistry params_;
+  std::unique_ptr<layers::EmbeddingLayer> embed_;
+  std::vector<std::unique_ptr<layers::TransformerEncoderLayer>> blocks_;
+  layers::ParamRef ln_gamma_, ln_beta_;
+  std::unique_ptr<layers::CriterionLayer> criterion_;
+
+  struct Saved {
+    Tensor stack_out, out, mean, rstd;
+    int64_t B = 0, L = 0;
+  };
+  std::optional<Saved> saved_;
+};
+
+}  // namespace ls2::models

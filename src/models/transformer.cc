@@ -1,0 +1,297 @@
+#include "models/transformer.h"
+
+#include "gemm/gemm_device.h"
+#include "kernels/elementwise.h"
+#include "kernels/layernorm.h"
+#include "kernels/transform.h"
+#include "layers/linear.h"
+
+namespace ls2::models {
+
+using layers::LayerContext;
+
+TransformerConfig TransformerConfig::base(int64_t e, int64_t d) {
+  TransformerConfig c;
+  c.hidden = 512;
+  c.heads = 8;
+  c.ffn_dim = 2048;
+  c.encoder_layers = e;
+  c.decoder_layers = d;
+  return c;
+}
+
+TransformerConfig TransformerConfig::big(int64_t e, int64_t d) {
+  TransformerConfig c;
+  c.hidden = 1024;
+  c.heads = 16;
+  c.ffn_dim = 4096;
+  c.encoder_layers = e;
+  c.decoder_layers = d;
+  return c;
+}
+
+layers::TransformerLayerConfig TransformerConfig::layer_config() const {
+  layers::TransformerLayerConfig l;
+  l.hidden = hidden;
+  l.heads = heads;
+  l.ffn_dim = ffn_dim;
+  l.dropout = dropout;
+  l.attn_dropout = attn_dropout;
+  l.act_dropout = act_dropout;
+  return l;
+}
+
+int64_t TransformerConfig::parameter_count() const {
+  const int64_t h = hidden, f = ffn_dim;
+  // Per encoder layer: QKV (3h*h + 3h) + out (h*h + h) + 2 LN (4h) +
+  // FFN (h*f + f + f*h + h) + FFN LN is included in the 2 LN above.
+  const int64_t enc_layer = 3 * h * h + 3 * h + h * h + h + 4 * h + 2 * h * f + f + h;
+  // Decoder adds cross-attn Q (h*h+h) + out (h*h+h) + LN (2h); the cross
+  // K/V projection lives at stack level: 2h*h + 2h per layer.
+  const int64_t dec_layer = enc_layer + 2 * h * h + 2 * h + 2 * h + 2 * h * h + 2 * h;
+  int64_t total = encoder_layers * enc_layer + decoder_layers * dec_layer;
+  total += vocab * h;       // shared token table
+  total += 4 * h;           // final encoder+decoder LN
+  if (!tied_embeddings) total += 2 * vocab * h;
+  return total;
+}
+
+Transformer::Transformer(TransformerConfig cfg, layers::System system, DType dtype,
+                         uint64_t seed, BufferAllocator* param_alloc)
+    : cfg_(cfg) {
+  layers::EmbeddingConfig ecfg;
+  ecfg.vocab = cfg.vocab;
+  ecfg.hidden = cfg.hidden;
+  ecfg.max_len = cfg.max_len;
+  ecfg.dropout = cfg.dropout;
+  ecfg.pad_id = cfg.pad_id;
+
+  src_embed_ = std::make_unique<layers::EmbeddingLayer>(params_, "encoder.embed", ecfg);
+  tgt_embed_ = std::make_unique<layers::EmbeddingLayer>(
+      params_, "decoder.embed", ecfg,
+      cfg.tied_embeddings ? src_embed_->table() : layers::ParamRef{});
+
+  const layers::TransformerLayerConfig lcfg = cfg.layer_config();
+  for (int64_t i = 0; i < cfg.encoder_layers; ++i) {
+    encoder_.push_back(std::make_unique<layers::TransformerEncoderLayer>(
+        params_, "encoder.layers." + std::to_string(i), lcfg));
+  }
+  enc_ln_gamma_ = params_.declare("encoder.ln.gamma", Shape{cfg.hidden}, layers::Init::kOne);
+  enc_ln_beta_ = params_.declare("encoder.ln.beta", Shape{cfg.hidden}, layers::Init::kZero);
+
+  // Layer-batched cross-attention projection: ALL decoder layers' K/V
+  // weights concatenated (Fig. 5b). Layer i owns rows [2iH, 2(i+1)H).
+  cross_kv_weight_ = params_.declare(
+      "decoder.cross_kv.weight", Shape{2 * cfg.decoder_layers * cfg.hidden, cfg.hidden},
+      layers::Init::kXavier);
+  cross_kv_bias_ = params_.declare("decoder.cross_kv.bias",
+                                   Shape{2 * cfg.decoder_layers * cfg.hidden},
+                                   layers::Init::kZero);
+  for (int64_t i = 0; i < cfg.decoder_layers; ++i) {
+    decoder_.push_back(std::make_unique<layers::TransformerDecoderLayer>(
+        params_, "decoder.layers." + std::to_string(i), lcfg));
+  }
+  dec_ln_gamma_ = params_.declare("decoder.ln.gamma", Shape{cfg.hidden}, layers::Init::kOne);
+  dec_ln_beta_ = params_.declare("decoder.ln.beta", Shape{cfg.hidden}, layers::Init::kZero);
+
+  layers::CriterionConfig ccfg;
+  ccfg.vocab = cfg.vocab;
+  ccfg.hidden = cfg.hidden;
+  ccfg.label_smoothing = cfg.label_smoothing;
+  ccfg.pad_id = cfg.pad_id;
+  criterion_ = std::make_unique<layers::CriterionLayer>(
+      params_, "criterion", ccfg,
+      cfg.tied_embeddings ? src_embed_->table() : layers::ParamRef{});
+
+  params_.materialize(dtype, /*contiguous=*/system == layers::System::kLightSeq2, Rng(seed),
+                      param_alloc);
+}
+
+std::vector<Tensor> Transformer::project_cross_kv(LayerContext& ctx, const Tensor& enc_out) {
+  const int64_t B = enc_out.shape()[0], Ls = enc_out.shape()[1], H = cfg_.hidden;
+  const int64_t N = cfg_.heads, D = H / N, n = cfg_.decoder_layers;
+  const DType dt = enc_out.dtype();
+  const Tensor w = params_.value(cross_kv_weight_);
+  const Tensor b = params_.value(cross_kv_bias_);
+
+  std::vector<Tensor> kv;
+  kv.reserve(static_cast<size_t>(2 * n));
+  for (int64_t i = 0; i < 2 * n; ++i) kv.push_back(ctx.alloc({B, N, Ls, D}, dt));
+
+  if (ctx.policy.layer_batched_cross_attn) {
+    // ONE GEMM for all layers' keys and values, one fused bias+split.
+    Tensor kv_gemm = ctx.alloc({B, Ls, 2 * n * H}, dt);
+    layers::linear_fw(ctx, enc_out, w, kv_gemm, "decoder.cross_kv");
+    kern::bias_split_transpose_fw(ctx.kern, ctx.policy.transform, kv_gemm, b, kv);
+    return kv;
+  }
+  // Per-layer: two GEMMs (K and V) + bias/reshape per decoder layer (Fig. 5a).
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t g = 0; g < 2; ++g) {
+      Tensor wi = w.slice((2 * i + g) * H, (2 * i + g + 1) * H);
+      Tensor bi = b.slice((2 * i + g) * H, (2 * i + g + 1) * H);
+      Tensor gemm_out = ctx.alloc({B, Ls, H}, dt);
+      layers::linear_fw(ctx, enc_out, wi, gemm_out,
+                        "decoder.cross_kv." + std::to_string(i));
+      kern::bias_split_transpose_fw(ctx.kern, ctx.policy.transform, gemm_out, bi,
+                                    {kv[static_cast<size_t>(2 * i + g)]});
+    }
+  }
+  return kv;
+}
+
+Tensor Transformer::cross_kv_backward(LayerContext& ctx, const std::vector<Tensor>& dkv) {
+  LS2_CHECK(saved_.has_value());
+  const Saved& s = *saved_;
+  const int64_t B = s.B, Ls = s.Ls, H = cfg_.hidden, n = cfg_.decoder_layers;
+  const DType dt = dkv[0].dtype();
+  const Tensor w = params_.value(cross_kv_weight_);
+  Tensor d_enc = ctx.alloc({B, Ls, H}, dt);
+
+  if (ctx.policy.layer_batched_cross_attn) {
+    Tensor dkv_gemm = ctx.alloc({B, Ls, 2 * n * H}, dt);
+    kern::split_transpose_bw(ctx.kern, ctx.policy.transform, dkv, dkv_gemm);
+    kern::bias_grad(ctx.kern, dkv_gemm, params_.grad(cross_kv_bias_));
+    layers::linear_bw(ctx, dkv_gemm, s.enc_out, w, d_enc, params_.grad(cross_kv_weight_),
+                      "decoder.cross_kv");
+    return d_enc;
+  }
+  // Per-layer path accumulates into d_enc with one extra add per GEMM.
+  bool first = true;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t g = 0; g < 2; ++g) {
+      Tensor dgemm = ctx.alloc({B, Ls, H}, dt);
+      kern::split_transpose_bw(ctx.kern, ctx.policy.transform,
+                               {dkv[static_cast<size_t>(2 * i + g)]}, dgemm);
+      Tensor bi_grad = params_.grad(cross_kv_bias_).slice((2 * i + g) * H,
+                                                          (2 * i + g + 1) * H);
+      kern::bias_grad(ctx.kern, dgemm, bi_grad);
+      Tensor wi = w.slice((2 * i + g) * H, (2 * i + g + 1) * H);
+      Tensor dwi = params_.grad(cross_kv_weight_).slice((2 * i + g) * H,
+                                                        (2 * i + g + 1) * H);
+      if (first) {
+        layers::linear_bw(ctx, dgemm, s.enc_out, wi, d_enc, dwi, "decoder.cross_kv");
+        first = false;
+      } else {
+        Tensor d_tmp = ctx.alloc({B, Ls, H}, dt);
+        layers::linear_bw(ctx, dgemm, s.enc_out, wi, d_tmp, dwi, "decoder.cross_kv");
+        kern::baseline::add(ctx.kern, d_tmp, d_enc, d_enc);
+      }
+    }
+  }
+  return d_enc;
+}
+
+layers::CriterionResult Transformer::forward(LayerContext& ctx, const MtBatch& batch) {
+  const int64_t B = batch.src_ids.shape()[0];
+  const int64_t Ls = batch.src_ids.shape()[1];
+  const int64_t Lt = batch.tgt_in.shape()[1];
+  const DType dt = params_.dtype();
+
+  // Encoder.
+  Tensor h = src_embed_->forward(ctx, batch.src_ids);
+  for (auto& layer : encoder_) h = layer->forward(ctx, h, &batch.src_lens);
+  Tensor enc_stack_out = h;
+  Tensor enc_out = ctx.alloc({B, Ls, cfg_.hidden}, dt);
+  Tensor enc_mean = ctx.alloc({B * Ls}, DType::kF32);
+  Tensor enc_rstd = ctx.alloc({B * Ls}, DType::kF32);
+  kern::layernorm_fw(ctx.kern, ctx.policy.layernorm, enc_stack_out,
+                     params_.value(enc_ln_gamma_), params_.value(enc_ln_beta_), enc_out,
+                     enc_mean, enc_rstd);
+
+  // Cross-attention K/V for every decoder layer.
+  std::vector<Tensor> kv = project_cross_kv(ctx, enc_out);
+
+  // Decoder.
+  Tensor d = tgt_embed_->forward(ctx, batch.tgt_in);
+  for (size_t i = 0; i < decoder_.size(); ++i) {
+    d = decoder_[i]->forward(ctx, d, kv[2 * i], kv[2 * i + 1], &batch.src_lens,
+                             &batch.tgt_lens);
+  }
+  Tensor dec_stack_out = d;
+  Tensor dec_out = ctx.alloc({B, Lt, cfg_.hidden}, dt);
+  Tensor dec_mean = ctx.alloc({B * Lt}, DType::kF32);
+  Tensor dec_rstd = ctx.alloc({B * Lt}, DType::kF32);
+  kern::layernorm_fw(ctx.kern, ctx.policy.layernorm, dec_stack_out,
+                     params_.value(dec_ln_gamma_), params_.value(dec_ln_beta_), dec_out,
+                     dec_mean, dec_rstd);
+
+  layers::CriterionResult result = criterion_->forward(ctx, dec_out, batch.tgt_out);
+  saved_ = Saved{batch.src_lens, batch.tgt_lens, enc_stack_out, enc_out,     enc_mean,
+                 enc_rstd,       dec_stack_out,  dec_out,       dec_mean,    dec_rstd,
+                 std::move(kv),  B,              Ls,            Lt};
+  return result;
+}
+
+void Transformer::backward(LayerContext& ctx) {
+  LS2_CHECK(saved_.has_value()) << "backward without forward";
+  Saved& s = *saved_;
+  const DType dt = params_.dtype();
+  const int64_t H = cfg_.hidden;
+  const int64_t N = cfg_.heads, D = H / N;
+
+  Tensor d_dec_out = criterion_->backward(ctx);
+
+  // Final decoder LayerNorm.
+  Tensor d_dec = ctx.alloc({s.B, s.Lt, H}, dt);
+  kern::layernorm_bw(ctx.kern, ctx.policy.layernorm, d_dec_out, s.dec_stack_out,
+                     params_.value(dec_ln_gamma_), s.dec_mean, s.dec_rstd, d_dec,
+                     params_.grad(dec_ln_gamma_), params_.grad(dec_ln_beta_));
+
+  // Decoder layers (reverse), accumulating cross K/V grads. Zeroing the
+  // accumulators is real device work: one fused launch under LightSeq2, one
+  // per tensor for the baselines.
+  std::vector<Tensor> dkv;
+  for (int64_t i = 0; i < 2 * cfg_.decoder_layers; ++i) {
+    dkv.push_back(ctx.alloc({s.B, N, s.Ls, D}, dt));
+  }
+  {
+    const int zero_launches =
+        ctx.policy.fused_elementwise ? 1 : static_cast<int>(dkv.size());
+    const int64_t each = static_cast<int64_t>(dkv.size()) *
+                         static_cast<int64_t>(dkv[0].bytes()) / zero_launches;
+    for (int i = 0; i < zero_launches; ++i) {
+      simgpu::KernelDesc d;
+      d.name = ctx.policy.fused_elementwise ? "ls2.zero_dkv" : "torch.zero";
+      d.bytes_written = each;
+      d.mem_efficiency = ctx.policy.fused_elementwise ? 0.9 : 0.7;
+      ctx.kern.dev.launch(d, i == 0 ? std::function<void()>([&] {
+        for (Tensor& t : dkv) t.zero_();
+      })
+                                    : std::function<void()>(nullptr));
+    }
+  }
+  for (int64_t i = cfg_.decoder_layers - 1; i >= 0; --i) {
+    d_dec = decoder_[static_cast<size_t>(i)]->backward(
+        ctx, d_dec, dkv[static_cast<size_t>(2 * i)], dkv[static_cast<size_t>(2 * i + 1)]);
+  }
+  tgt_embed_->backward(ctx, d_dec);
+
+  // Cross K/V projection backward -> gradient into the encoder output
+  // (computed after the 0-th decoder layer finishes, as in §IV-A.4).
+  Tensor d_enc_out = cross_kv_backward(ctx, dkv);
+  dkv.clear();
+
+  // Final encoder LayerNorm.
+  Tensor d_enc = ctx.alloc({s.B, s.Ls, H}, dt);
+  kern::layernorm_bw(ctx.kern, ctx.policy.layernorm, d_enc_out, s.enc_stack_out,
+                     params_.value(enc_ln_gamma_), s.enc_mean, s.enc_rstd, d_enc,
+                     params_.grad(enc_ln_gamma_), params_.grad(enc_ln_beta_));
+
+  for (int64_t i = cfg_.encoder_layers - 1; i >= 0; --i) {
+    d_enc = encoder_[static_cast<size_t>(i)]->backward(ctx, d_enc);
+  }
+  src_embed_->backward(ctx, d_enc);
+  release();
+}
+
+void Transformer::release() {
+  saved_.reset();
+  src_embed_->release();
+  tgt_embed_->release();
+  for (auto& l : encoder_) l->release();
+  for (auto& l : decoder_) l->release();
+  criterion_->release();
+}
+
+}  // namespace ls2::models

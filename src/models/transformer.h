@@ -1,0 +1,90 @@
+// Full encoder-decoder Transformer for machine translation (Fig. 2) —
+// embedding, encoder stack, decoder stack with layer-batched cross
+// attention (Fig. 5b), criterion with tied output projection.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "layers/criterion_layer.h"
+#include "layers/decoder_layer.h"
+#include "layers/embedding_layer.h"
+#include "layers/encoder_layer.h"
+
+namespace ls2::models {
+
+struct TransformerConfig {
+  int64_t vocab = 32768;
+  int64_t hidden = 512;
+  int64_t heads = 8;
+  int64_t ffn_dim = 2048;
+  int64_t encoder_layers = 6;
+  int64_t decoder_layers = 6;
+  int64_t max_len = 1024;
+  float dropout = 0.1f;
+  float attn_dropout = 0.1f;
+  float act_dropout = 0.1f;
+  float label_smoothing = 0.1f;
+  int32_t pad_id = 0;
+  bool tied_embeddings = true;  ///< share src/tgt tables and output projection
+
+  /// Transformer-Base (512d, 8 heads) with e encoder / d decoder layers.
+  static TransformerConfig base(int64_t e = 6, int64_t d = 6);
+  /// Transformer-Big (1024d, 16 heads).
+  static TransformerConfig big(int64_t e = 6, int64_t d = 6);
+
+  layers::TransformerLayerConfig layer_config() const;
+  int64_t parameter_count() const;  ///< analytic, before materialisation
+};
+
+/// One training batch of padded token matrices.
+struct MtBatch {
+  Tensor src_ids;   ///< [B, Ls] i32
+  Tensor tgt_in;    ///< [B, Lt] i32, shifted-right target
+  Tensor tgt_out;   ///< [B, Lt] i32, gold next tokens
+  Tensor src_lens;  ///< [B] i32
+  Tensor tgt_lens;  ///< [B] i32
+  int64_t tokens = 0;  ///< non-pad target tokens
+};
+
+class Transformer {
+ public:
+  Transformer(TransformerConfig cfg, layers::System system, DType dtype, uint64_t seed,
+              BufferAllocator* param_alloc = nullptr);
+
+  layers::CriterionResult forward(layers::LayerContext& ctx, const MtBatch& batch);
+  void backward(layers::LayerContext& ctx);
+  void release();
+
+  layers::ParamRegistry& params() { return params_; }
+  const TransformerConfig& config() const { return cfg_; }
+
+ private:
+  /// Layer-batched (one GEMM + one split) or per-layer cross-attention K/V
+  /// projection of the encoder output, per policy (Fig. 5).
+  std::vector<Tensor> project_cross_kv(layers::LayerContext& ctx, const Tensor& enc_out);
+  /// Backward of the projection; returns d(enc_out) contribution.
+  Tensor cross_kv_backward(layers::LayerContext& ctx, const std::vector<Tensor>& dkv);
+
+  TransformerConfig cfg_;
+  layers::ParamRegistry params_;
+  std::unique_ptr<layers::EmbeddingLayer> src_embed_, tgt_embed_;
+  std::vector<std::unique_ptr<layers::TransformerEncoderLayer>> encoder_;
+  std::vector<std::unique_ptr<layers::TransformerDecoderLayer>> decoder_;
+  layers::ParamRef enc_ln_gamma_, enc_ln_beta_, dec_ln_gamma_, dec_ln_beta_;
+  layers::ParamRef cross_kv_weight_, cross_kv_bias_;
+  std::unique_ptr<layers::CriterionLayer> criterion_;
+
+  struct Saved {
+    Tensor src_lens, tgt_lens;
+    Tensor enc_stack_out, enc_out, enc_mean, enc_rstd;  // final encoder LN
+    Tensor dec_stack_out, dec_out, dec_mean, dec_rstd;  // final decoder LN
+    std::vector<Tensor> kv;  // 2 per decoder layer, head layout
+    int64_t B = 0, Ls = 0, Lt = 0;
+  };
+  std::optional<Saved> saved_;
+};
+
+}  // namespace ls2::models

@@ -1,0 +1,296 @@
+#include "models/vit.h"
+
+#include "common/parallel.h"
+#include "kernels/criterion.h"
+#include "kernels/elementwise.h"
+#include "kernels/layernorm.h"
+#include "layers/linear.h"
+
+namespace ls2::models {
+
+namespace {
+
+// y[B, P+1, H] = Dropout(concat(cls+pos0, proj+b+pos[1..])) — fused for
+// LightSeq2, four framework launches otherwise. The math runs once.
+template <typename T>
+void vit_embed_body(const Tensor& proj, const Tensor& bias, const Tensor& cls_token,
+                    const Tensor& pos, const Tensor& y, const Tensor& mask, float p,
+                    const Rng& rng, uint64_t stream) {
+  const int64_t B = proj.shape()[0], P = proj.shape()[1], H = proj.shape()[2];
+  const int64_t S = P + 1;
+  const T* pp = proj.data<T>();
+  const T* bp = bias.data<T>();
+  const T* cp = cls_token.data<T>();
+  const T* ep = pos.data<T>();
+  T* yp = y.data<T>();
+  uint8_t* mp = mask.data<uint8_t>();
+  const float keep_scale = 1.0f / (1.0f - p);
+  parallel_for(0, B * S, [&](int64_t bs) {
+    const int64_t b = bs / S, s = bs % S;
+    T* yrow = yp + bs * H;
+    uint8_t* mrow = mp + bs * H;
+    for (int64_t j = 0; j < H; ++j) {
+      float v;
+      if (s == 0) {
+        v = static_cast<float>(cp[j]) + static_cast<float>(ep[j]);
+      } else {
+        v = static_cast<float>(pp[(b * P + s - 1) * H + j]) + static_cast<float>(bp[j]) +
+            static_cast<float>(ep[s * H + j]);
+      }
+      const uint8_t keep =
+          rng.uniform(stream, static_cast<uint64_t>(bs * H + j)) >= p ? 1 : 0;
+      mrow[j] = keep;
+      yrow[j] = T(keep ? v * keep_scale : 0.0f);
+    }
+  });
+}
+
+template <typename T>
+void vit_embed_bw_body(const Tensor& dy, const Tensor& mask, float p, const Tensor& dproj,
+                       const Tensor& dbias, const Tensor& dcls, const Tensor& dpos) {
+  const int64_t B = dproj.shape()[0], P = dproj.shape()[1], H = dproj.shape()[2];
+  const int64_t S = P + 1;
+  const T* dyp = dy.data<T>();
+  const uint8_t* mp = mask.data<uint8_t>();
+  T* dpp = dproj.data<T>();
+  T* dbp = dbias.data<T>();
+  T* dcp = dcls.data<T>();
+  T* dep = dpos.data<T>();
+  const float keep_scale = 1.0f / (1.0f - p);
+  parallel_for_chunks(0, H, 32, [&](int64_t j_lo, int64_t j_hi) {
+    for (int64_t j = j_lo; j < j_hi; ++j) {
+      double db = 0, dc = 0;
+      std::vector<double> dpos_acc(static_cast<size_t>(S), 0.0);
+      for (int64_t b = 0; b < B; ++b) {
+        for (int64_t s = 0; s < S; ++s) {
+          const int64_t idx = (b * S + s) * H + j;
+          const float g = mp[idx] ? static_cast<float>(dyp[idx]) * keep_scale : 0.0f;
+          dpos_acc[static_cast<size_t>(s)] += g;
+          if (s == 0) {
+            dc += g;
+          } else {
+            db += g;
+            dpp[(b * P + s - 1) * H + j] = T(g);
+          }
+        }
+      }
+      dbp[j] = T(static_cast<float>(db));
+      dcp[j] = T(static_cast<float>(dc));
+      for (int64_t s = 0; s < S; ++s)
+        dep[s * H + j] = T(static_cast<float>(dpos_acc[static_cast<size_t>(s)]));
+    }
+  });
+}
+
+}  // namespace
+
+VitConfig VitConfig::b32() { return VitConfig{}; }
+
+VitConfig VitConfig::l32() {
+  VitConfig c;
+  c.hidden = 1024;
+  c.heads = 16;
+  c.ffn_dim = 4096;
+  c.layers = 24;
+  return c;
+}
+
+int64_t VitConfig::parameter_count() const {
+  const int64_t h = hidden, f = ffn_dim;
+  const int64_t block = 3 * h * h + 3 * h + h * h + h + 4 * h + 2 * h * f + f + h;
+  return layers * block + patch_dim() * h + h + h + seq_len() * h + 2 * h +
+         num_classes * h + num_classes;
+}
+
+Vit::Vit(VitConfig cfg, layers::System system, DType dtype, uint64_t seed,
+         BufferAllocator* param_alloc)
+    : cfg_(cfg) {
+  patch_w_ = params_.declare("vit.patch_proj.weight", Shape{cfg.hidden, cfg.patch_dim()},
+                             layers::Init::kXavier);
+  patch_b_ = params_.declare("vit.patch_proj.bias", Shape{cfg.hidden}, layers::Init::kZero);
+  cls_token_ = params_.declare("vit.cls_token", Shape{cfg.hidden}, layers::Init::kNormal);
+  pos_embed_ = params_.declare("vit.pos_embed", Shape{cfg.seq_len(), cfg.hidden},
+                               layers::Init::kNormal);
+
+  layers::TransformerLayerConfig lcfg;
+  lcfg.hidden = cfg.hidden;
+  lcfg.heads = cfg.heads;
+  lcfg.ffn_dim = cfg.ffn_dim;
+  lcfg.dropout = cfg.dropout;
+  lcfg.attn_dropout = cfg.dropout;
+  lcfg.act_dropout = cfg.dropout;
+  lcfg.activation = layers::Activation::kGelu;
+  for (int64_t i = 0; i < cfg.layers; ++i) {
+    blocks_.push_back(std::make_unique<layers::TransformerEncoderLayer>(
+        params_, "vit.blocks." + std::to_string(i), lcfg));
+  }
+  ln_gamma_ = params_.declare("vit.ln_f.gamma", Shape{cfg.hidden}, layers::Init::kOne);
+  ln_beta_ = params_.declare("vit.ln_f.beta", Shape{cfg.hidden}, layers::Init::kZero);
+  head_w_ = params_.declare("vit.head.weight", Shape{cfg.num_classes, cfg.hidden},
+                            layers::Init::kXavier);
+  head_b_ = params_.declare("vit.head.bias", Shape{cfg.num_classes}, layers::Init::kZero);
+
+  params_.materialize(dtype, system == layers::System::kLightSeq2, Rng(seed), param_alloc);
+}
+
+ClsResultVit Vit::forward(layers::LayerContext& ctx, const ImageBatch& batch) {
+  const int64_t B = batch.patches.shape()[0], P = cfg_.patches(), S = cfg_.seq_len();
+  const DType dt = params_.dtype();
+  LS2_CHECK_EQ(batch.patches.shape()[1], P);
+  LS2_CHECK_EQ(batch.patches.shape()[2], cfg_.patch_dim());
+  LS2_CHECK(batch.patches.dtype() == dt) << "patch dtype must match model dtype";
+
+  Tensor proj = ctx.alloc({B, P, cfg_.hidden}, dt);
+  layers::linear_fw(ctx, batch.patches, params_.value(patch_w_), proj, "vit.patch_proj");
+
+  Tensor h = ctx.alloc({B, S, cfg_.hidden}, dt);
+  Tensor mask = ctx.alloc({B, S, cfg_.hidden}, DType::kU8);
+  const uint64_t stream = ctx.kern.next_dropout_stream();
+  const int launches = ctx.policy.fused_elementwise ? 1 : 4;  // bias/concat/pos/dropout
+  for (int i = 0; i < launches; ++i) {
+    const bool last = i + 1 == launches;
+    simgpu::KernelDesc d;
+    d.name = ctx.policy.fused_elementwise ? "ls2.vit_embed_fw" : "torch.vit_embed_stage";
+    d.bytes_read = static_cast<int64_t>(proj.bytes());
+    d.bytes_written = static_cast<int64_t>(h.bytes()) / launches +
+                      (last ? static_cast<int64_t>(mask.bytes()) : 0);
+    d.mem_efficiency = ctx.policy.fused_elementwise ? 0.85 : 0.70;
+    ctx.kern.dev.launch(d, last ? std::function<void()>([&, stream] {
+      LS2_DISPATCH_FLOAT(dt, T,
+                         vit_embed_body<T>(proj, params_.value(patch_b_),
+                                           params_.value(cls_token_),
+                                           params_.value(pos_embed_), h, mask,
+                                           cfg_.dropout, ctx.kern.rng, stream));
+    })
+                                 : std::function<void()>(nullptr));
+  }
+
+  Tensor x = h;
+  for (auto& block : blocks_) x = block->forward(ctx, x, /*key_lens=*/nullptr);
+  Tensor out = ctx.alloc({B, S, cfg_.hidden}, dt);
+  Tensor mean = ctx.alloc({B * S}, DType::kF32);
+  Tensor rstd = ctx.alloc({B * S}, DType::kF32);
+  kern::layernorm_fw(ctx.kern, ctx.policy.layernorm, x, params_.value(ln_gamma_),
+                     params_.value(ln_beta_), out, mean, rstd);
+
+  // Classification head on [CLS].
+  Tensor cls = ctx.alloc({B, cfg_.hidden}, dt);
+  {
+    simgpu::KernelDesc d;
+    d.name = "vit.gather_cls";
+    d.bytes_read = static_cast<int64_t>(cls.bytes());
+    d.bytes_written = static_cast<int64_t>(cls.bytes());
+    d.mem_efficiency = 0.6;
+    ctx.kern.dev.launch(d, [&, B, S] {
+      LS2_DISPATCH_FLOAT(dt, T, {
+        const T* op = out.data<T>();
+        T* cp = cls.data<T>();
+        for (int64_t b = 0; b < B; ++b)
+          for (int64_t j = 0; j < cfg_.hidden; ++j)
+            cp[b * cfg_.hidden + j] = op[b * S * cfg_.hidden + j];
+      });
+    });
+  }
+  Tensor logits_nb = ctx.alloc({B, cfg_.num_classes}, dt);
+  layers::linear_fw(ctx, cls, params_.value(head_w_), logits_nb, "vit.head");
+  Tensor logits = ctx.alloc({B, cfg_.num_classes}, dt);
+  kern::baseline::add_bias(ctx.kern, logits_nb, params_.value(head_b_), logits);
+
+  Tensor loss = ctx.alloc({B}, DType::kF32);
+  Tensor stats = ctx.alloc({B, 2}, DType::kF32);
+  kern::ls_cross_entropy_fw(ctx.kern, ctx.policy.criterion, logits, batch.labels, loss,
+                            stats, 0.0f, -1);
+
+  ClsResultVit res;
+  res.total = B;
+  if (ctx.device().mode() == simgpu::ExecMode::kExecute) {
+    double sum = 0;
+    for (float v : loss.to_vector()) sum += v;
+    res.loss = static_cast<float>(sum / static_cast<double>(B));
+    const auto lg = logits.to_vector();
+    const auto lb = batch.labels.to_vector();
+    for (int64_t b = 0; b < B; ++b) {
+      int best = 0;
+      for (int64_t c = 1; c < cfg_.num_classes; ++c) {
+        if (lg[b * cfg_.num_classes + c] > lg[b * cfg_.num_classes + best])
+          best = static_cast<int>(c);
+      }
+      if (best == static_cast<int>(lb[static_cast<size_t>(b)])) ++res.correct;
+    }
+  }
+  saved_ = Saved{batch.patches, proj, mask, x, out, mean, rstd, cls, logits, stats,
+                 batch.labels, B};
+  return res;
+}
+
+void Vit::backward(layers::LayerContext& ctx) {
+  LS2_CHECK(saved_.has_value()) << "backward without forward";
+  Saved& s = *saved_;
+  const int64_t B = s.B, P = cfg_.patches(), S = cfg_.seq_len();
+  const DType dt = params_.dtype();
+
+  Tensor dlogits = ctx.alloc({B, cfg_.num_classes}, dt);
+  kern::ls_cross_entropy_bw(ctx.kern, ctx.policy.criterion, s.logits, s.labels, s.stats,
+                            dlogits, 0.0f, 1.0f / static_cast<float>(B), -1);
+  kern::bias_grad(ctx.kern, dlogits, params_.grad(head_b_));
+  Tensor dcls = ctx.alloc({B, cfg_.hidden}, dt);
+  layers::linear_bw(ctx, dlogits, s.cls, params_.value(head_w_), dcls,
+                    params_.grad(head_w_), "vit.head");
+
+  Tensor d_out = ctx.alloc({B, S, cfg_.hidden}, dt);
+  {
+    simgpu::KernelDesc d;
+    d.name = "vit.scatter_cls";
+    d.bytes_read = static_cast<int64_t>(dcls.bytes());
+    d.bytes_written = static_cast<int64_t>(d_out.bytes());
+    d.mem_efficiency = 0.6;
+    ctx.kern.dev.launch(d, [&, B, S] {
+      LS2_DISPATCH_FLOAT(dt, T, {
+        std::memset(d_out.raw(), 0, d_out.bytes());
+        const T* cp = dcls.data<T>();
+        T* op = d_out.data<T>();
+        for (int64_t b = 0; b < B; ++b)
+          for (int64_t j = 0; j < cfg_.hidden; ++j)
+            op[b * S * cfg_.hidden + j] = cp[b * cfg_.hidden + j];
+      });
+    });
+  }
+
+  Tensor dh = ctx.alloc({B, S, cfg_.hidden}, dt);
+  kern::layernorm_bw(ctx.kern, ctx.policy.layernorm, d_out, s.stack_out,
+                     params_.value(ln_gamma_), s.mean, s.rstd, dh, params_.grad(ln_gamma_),
+                     params_.grad(ln_beta_));
+  for (int64_t i = cfg_.layers - 1; i >= 0; --i) {
+    dh = blocks_[static_cast<size_t>(i)]->backward(ctx, dh);
+  }
+
+  // Embedding backward: dropout + split into dproj/dbias/dcls_token/dpos.
+  Tensor dproj = ctx.alloc({B, P, cfg_.hidden}, dt);
+  const int launches = ctx.policy.fused_elementwise ? 1 : 4;
+  for (int i = 0; i < launches; ++i) {
+    const bool last = i + 1 == launches;
+    simgpu::KernelDesc d;
+    d.name = ctx.policy.fused_elementwise ? "ls2.vit_embed_bw" : "torch.vit_embed_bw_stage";
+    d.bytes_read = static_cast<int64_t>(dh.bytes()) / launches;
+    d.bytes_written = static_cast<int64_t>(dproj.bytes()) / launches;
+    d.mem_efficiency = ctx.policy.fused_elementwise ? 0.85 : 0.70;
+    ctx.kern.dev.launch(d, last ? std::function<void()>([&] {
+      LS2_DISPATCH_FLOAT(dt, T,
+                         vit_embed_bw_body<T>(dh, s.embed_mask, cfg_.dropout, dproj,
+                                              params_.grad(patch_b_),
+                                              params_.grad(cls_token_),
+                                              params_.grad(pos_embed_)));
+    })
+                                 : std::function<void()>(nullptr));
+  }
+  layers::linear_bw(ctx, dproj, s.patches_in, params_.value(patch_w_), Tensor{},
+                    params_.grad(patch_w_), "vit.patch_proj");
+  release();
+}
+
+void Vit::release() {
+  saved_.reset();
+  for (auto& b : blocks_) b->release();
+}
+
+}  // namespace ls2::models

@@ -1,0 +1,78 @@
+// Vision Transformer (ViT) for image classification (Table II row 2).
+//
+// Input arrives as pre-extracted patch vectors [B, P, C·ps²] (the host data
+// pipeline performs resize + im2col, as real loaders do on CPU workers);
+// the model projects patches to the hidden size, prepends a learned [CLS]
+// token, adds learned positional embeddings, applies dropout, then a GELU
+// pre-LN encoder stack and a classification head on [CLS].
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "layers/encoder_layer.h"
+#include "layers/params.h"
+
+namespace ls2::models {
+
+struct VitConfig {
+  int64_t image = 224;
+  int64_t patch = 32;
+  int64_t channels = 3;
+  int64_t hidden = 768;
+  int64_t heads = 12;
+  int64_t ffn_dim = 3072;
+  int64_t layers = 12;
+  int64_t num_classes = 10;
+  float dropout = 0.1f;
+
+  static VitConfig b32();  ///< ViT-B/32
+  static VitConfig l32();  ///< ViT-L/32
+  int64_t patches() const { return (image / patch) * (image / patch); }
+  int64_t patch_dim() const { return channels * patch * patch; }
+  int64_t seq_len() const { return patches() + 1; }  // +[CLS]
+  int64_t parameter_count() const;
+};
+
+struct ImageBatch {
+  Tensor patches;  ///< [B, P, C·ps²] float
+  Tensor labels;   ///< [B] i32
+};
+
+struct ClsResultVit {
+  float loss = 0;
+  int64_t correct = 0;
+  int64_t total = 0;
+};
+
+class Vit {
+ public:
+  Vit(VitConfig cfg, layers::System system, DType dtype, uint64_t seed,
+      BufferAllocator* param_alloc = nullptr);
+
+  ClsResultVit forward(layers::LayerContext& ctx, const ImageBatch& batch);
+  void backward(layers::LayerContext& ctx);
+  void release();
+
+  layers::ParamRegistry& params() { return params_; }
+  const VitConfig& config() const { return cfg_; }
+
+ private:
+  VitConfig cfg_;
+  layers::ParamRegistry params_;
+  layers::ParamRef patch_w_, patch_b_, cls_token_, pos_embed_;
+  std::vector<std::unique_ptr<layers::TransformerEncoderLayer>> blocks_;
+  layers::ParamRef ln_gamma_, ln_beta_, head_w_, head_b_;
+
+  struct Saved {
+    Tensor patches_in, proj;  // [B,P,pd] input and [B,P,H] projection
+    Tensor embed_mask;        // u8 dropout mask over [B, P+1, H]
+    Tensor stack_out, out, mean, rstd;
+    Tensor cls, logits, stats, labels;
+    int64_t B = 0;
+  };
+  std::optional<Saved> saved_;
+};
+
+}  // namespace ls2::models

@@ -1,0 +1,21 @@
+#include "optim/lr_schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ls2::optim {
+
+float InverseSqrtSchedule::lr(int64_t step) const {
+  LS2_CHECK_GE(step, 1);
+  if (warmup_ <= 0) {
+    return peak_lr_ / std::sqrt(static_cast<float>(step));
+  }
+  if (step < warmup_) {
+    return peak_lr_ * static_cast<float>(step) / static_cast<float>(warmup_);
+  }
+  return peak_lr_ * std::sqrt(static_cast<float>(warmup_) / static_cast<float>(step));
+}
+
+}  // namespace ls2::optim

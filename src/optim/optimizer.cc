@@ -1,0 +1,222 @@
+#include "optim/optimizer.h"
+
+#include "kernels/elementwise.h"
+
+namespace ls2::optim {
+
+namespace {
+
+kern::AdamHyper adam_hyper(const OptimConfig& cfg, int64_t step) {
+  kern::AdamHyper h;
+  h.lr = cfg.lr;
+  h.beta1 = cfg.beta1;
+  h.beta2 = cfg.beta2;
+  h.eps = cfg.eps;
+  h.weight_decay = cfg.weight_decay;
+  h.step = step;
+  return h;
+}
+
+kern::SgdHyper sgd_hyper(const OptimConfig& cfg) {
+  kern::SgdHyper h;
+  h.lr = cfg.lr;
+  h.momentum = cfg.momentum;
+  h.weight_decay = cfg.weight_decay;
+  return h;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Torch ----
+
+TorchTrainer::TorchTrainer(layers::ParamRegistry& params, OptimConfig cfg,
+                           BufferAllocator* state_alloc)
+    : params_(&params), cfg_(cfg), fp16_model_(params.dtype() == DType::kF16) {
+  params.for_each([&](const std::string&, Tensor value, Tensor) {
+    const Shape shape = value.shape();
+    if (fp16_model_) {
+      Tensor master = Tensor::empty(shape, DType::kF32, state_alloc);
+      if (value.backs_real_memory() && master.backs_real_memory()) {
+        master.copy_from(value.to_vector());
+      }
+      master_.push_back(master);
+      master_grad_.push_back(Tensor::zeros(shape, DType::kF32, state_alloc));
+      state_bytes_ += static_cast<int64_t>(master.bytes()) * 2;
+    }
+    m_.push_back(Tensor::zeros(shape, DType::kF32, state_alloc));
+    if (cfg_.algo == Algo::kAdam) {
+      v_.push_back(Tensor::zeros(shape, DType::kF32, state_alloc));
+      state_bytes_ += static_cast<int64_t>(shape.numel()) * 8;
+    } else {
+      state_bytes_ += static_cast<int64_t>(shape.numel()) * 4;
+    }
+  });
+}
+
+void TorchTrainer::step(kern::KernelContext& kc) {
+  ++steps_;
+  const float grad_scale = 1.0f / cfg_.loss_scale;
+  int i = 0;
+  params_->for_each([&](const std::string&, Tensor value, Tensor grad) {
+    const size_t idx = static_cast<size_t>(i++);
+    Tensor p = value, g = grad;
+    if (fp16_model_) {
+      // Per-tensor copy kernels (Fig. 6a): grad fp16 -> fp32 master grad.
+      kern::baseline::cast(kc, grad, master_grad_[idx]);
+      p = master_[idx];
+      g = master_grad_[idx];
+    }
+    if (cfg_.algo == Algo::kAdam) {
+      kern::adam_update(kc, kern::TrainerImpl::kTorch, p, g, m_[idx], v_[idx],
+                        adam_hyper(cfg_, steps_), grad_scale);
+    } else {
+      kern::sgd_update(kc, kern::TrainerImpl::kTorch, p, g, m_[idx], sgd_hyper(cfg_),
+                       grad_scale);
+    }
+    if (fp16_model_) {
+      // Master fp32 -> model fp16, another launch per tensor.
+      kern::baseline::cast(kc, p, value);
+    }
+  });
+}
+
+// ----------------------------------------------------------------- Apex ----
+
+ApexTrainer::ApexTrainer(layers::ParamRegistry& params, OptimConfig cfg,
+                         BufferAllocator* state_alloc)
+    : params_(&params), cfg_(cfg), fp16_model_(params.dtype() == DType::kF16) {
+  const int64_t n = params.total_elements();
+  master_ = Tensor::empty({n}, DType::kF32, state_alloc);
+  master_grad_ = Tensor::zeros({n}, DType::kF32, state_alloc);
+  m_ = Tensor::zeros({n}, DType::kF32, state_alloc);
+  overflow_flag_ = Tensor::zeros({1}, DType::kF32, state_alloc);
+  state_bytes_ = n * 12;
+  if (cfg_.algo == Algo::kAdam) {
+    v_ = Tensor::zeros({n}, DType::kF32, state_alloc);
+    state_bytes_ += n * 4;
+  }
+  // Initialise masters from the model (skipped for timing-only tensors).
+  if (params.size() > 0 && params.value({0}).backs_real_memory() &&
+      master_.backs_real_memory()) {
+    std::vector<float> host(static_cast<size_t>(n));
+    int64_t off = 0;
+    params.for_each([&](const std::string&, Tensor value, Tensor) {
+      const auto v = value.to_vector();
+      std::copy(v.begin(), v.end(), host.begin() + off);
+      off += value.numel();
+    });
+    master_.copy_from(host);
+  }
+}
+
+void ApexTrainer::step(kern::KernelContext& kc) {
+  ++steps_;
+  const float grad_scale = 1.0f / cfg_.loss_scale;
+  const int64_t n = params_->total_elements();
+
+  // Multi-tensor gather: all model grads -> flat fp32 buffer, one launch.
+  {
+    simgpu::KernelDesc d;
+    d.name = "apex.multi_tensor_l2_copy";
+    int64_t in_bytes = 0;
+    params_->for_each(
+        [&](const std::string&, Tensor, Tensor g) { in_bytes += static_cast<int64_t>(g.bytes()); });
+    d.bytes_read = in_bytes;
+    d.bytes_written = n * 4;
+    d.mem_efficiency = 0.80;
+    kc.dev.launch(d, [&] {
+      float* dst = master_grad_.data<float>();
+      int64_t off = 0;
+      params_->for_each([&](const std::string&, Tensor, Tensor g) {
+        const auto v = g.to_vector();
+        std::copy(v.begin(), v.end(), dst + off);
+        off += g.numel();
+      });
+    });
+  }
+  // Mixed-precision overflow check (fairseq FP16Optimizer does this).
+  kern::check_overflow(kc, master_grad_, overflow_flag_);
+  if (kc.dev.mode() == simgpu::ExecMode::kExecute && overflow_flag_.item() != 0.0f) {
+    return;  // skip step on overflow
+  }
+
+  // Fused multi-tensor update on the FP32 masters.
+  if (cfg_.algo == Algo::kAdam) {
+    kern::adam_update(kc, kern::TrainerImpl::kApex, master_, master_grad_, m_, v_,
+                      adam_hyper(cfg_, steps_), grad_scale);
+  } else {
+    kern::sgd_update(kc, kern::TrainerImpl::kApex, master_, master_grad_, m_,
+                     sgd_hyper(cfg_), grad_scale);
+  }
+
+  // Multi-tensor scatter: masters -> model parameters, one launch.
+  {
+    simgpu::KernelDesc d;
+    d.name = "apex.multi_tensor_sync";
+    int64_t out_bytes = 0;
+    params_->for_each([&](const std::string&, Tensor value, Tensor) {
+      out_bytes += static_cast<int64_t>(value.bytes());
+    });
+    d.bytes_read = n * 4;
+    d.bytes_written = out_bytes;
+    d.mem_efficiency = 0.80;
+    kc.dev.launch(d, [&] {
+      const auto host = master_.to_vector();
+      int64_t off = 0;
+      params_->for_each([&](const std::string&, Tensor value, Tensor) {
+        std::vector<float> piece(host.begin() + off, host.begin() + off + value.numel());
+        value.copy_from(piece);
+        off += value.numel();
+      });
+    });
+  }
+}
+
+// ------------------------------------------------------------ LightSeq2 ----
+
+LightSeq2Trainer::LightSeq2Trainer(layers::ParamRegistry& params, OptimConfig cfg,
+                                   BufferAllocator* state_alloc)
+    : params_(&params), cfg_(cfg) {
+  LS2_CHECK(params.contiguous())
+      << "LightSeq2 trainer requires symbolic tensor linking (contiguous workspace)";
+  const int64_t n = params.flat_values().numel();
+  m_ = Tensor::zeros({n}, DType::kF32, state_alloc);
+  state_bytes_ = n * 4;
+  if (cfg_.algo == Algo::kAdam) {
+    v_ = Tensor::zeros({n}, DType::kF32, state_alloc);
+    state_bytes_ += n * 4;
+  }
+}
+
+void LightSeq2Trainer::step(kern::KernelContext& kc) {
+  ++steps_;
+  const float grad_scale = 1.0f / cfg_.loss_scale;
+  // ONE launch over the whole workspace, FP16 loads/stores with on-the-fly
+  // conversion; overflow handling is inline (NaN/Inf grads produce NaN
+  // params which the loss-scaler would catch — modeled as free).
+  Tensor p = params_->flat_values();
+  Tensor g = params_->flat_grads();
+  if (cfg_.algo == Algo::kAdam) {
+    kern::adam_update(kc, kern::TrainerImpl::kLS2, p, g, m_, v_, adam_hyper(cfg_, steps_),
+                      grad_scale);
+  } else {
+    kern::sgd_update(kc, kern::TrainerImpl::kLS2, p, g, m_, sgd_hyper(cfg_), grad_scale);
+  }
+}
+
+std::unique_ptr<Optimizer> make_trainer(layers::System system,
+                                        layers::ParamRegistry& params, OptimConfig cfg,
+                                        BufferAllocator* state_alloc) {
+  switch (system) {
+    case layers::System::kFairseq:
+      return std::make_unique<TorchTrainer>(params, cfg, state_alloc);
+    case layers::System::kFairseqApex:
+    case layers::System::kDeepSpeed:  // DeepSpeed ships an Apex-style fused trainer
+      return std::make_unique<ApexTrainer>(params, cfg, state_alloc);
+    case layers::System::kLightSeq2:
+      return std::make_unique<LightSeq2Trainer>(params, cfg, state_alloc);
+  }
+  return nullptr;
+}
+
+}  // namespace ls2::optim

@@ -1,0 +1,120 @@
+// Trainer strategies (§IV-C, Fig. 6).
+//
+// Three systems, one arithmetic (kernels/trainer_kernels.h):
+//
+//  * TorchTrainer — the Fig. 6(a) baseline. For FP16 models it keeps FP32
+//    master parameters and, per tensor per step, launches: gradient
+//    FP16->FP32 copy, update on the FP32 master, master->FP16 parameter
+//    copy. Hundreds of small launches and 8 bytes/param of extra state.
+//  * ApexTrainer — fused multi-tensor updates over flattened FP32 masters:
+//    a handful of launches regardless of tensor count, but the FP32
+//    master copies (and the gradient up-cast traffic) remain.
+//  * LightSeq2Trainer — Fig. 6(b): parameters/gradients already live in one
+//    contiguous FP16 workspace (symbolic tensor linking), so the whole
+//    model updates in ONE kernel with on-the-fly FP16<->FP32 conversion.
+//    Extra state is only the FP32 Adam moments.
+//
+// All trainers also implement SGD with momentum (Fig. 18b).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "kernels/trainer_kernels.h"
+#include "layers/layer_context.h"
+#include "layers/params.h"
+
+namespace ls2::optim {
+
+enum class Algo { kAdam, kSgd };
+
+struct OptimConfig {
+  Algo algo = Algo::kAdam;
+  float lr = 5e-4f;
+  float beta1 = 0.9f;
+  float beta2 = 0.98f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;
+  float momentum = 0.9f;       ///< SGD
+  float loss_scale = 1.0f;     ///< static loss scale for FP16 gradients
+};
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// Consume gradients in the registry and update parameter values.
+  virtual void step(kern::KernelContext& kc) = 0;
+  virtual const char* name() const = 0;
+  /// Adjust the learning rate (driven by an LR schedule between steps).
+  virtual void set_lr(float lr) = 0;
+  /// Bytes of trainer-owned state (masters, moments, scratch) — the §IV-C
+  /// memory claim ("reduces memory usage by 2 GB on Transformer-Big").
+  virtual int64_t state_bytes() const = 0;
+
+  int64_t steps_taken() const { return steps_; }
+
+ protected:
+  int64_t steps_ = 0;
+};
+
+/// PyTorch-style per-tensor trainer.
+class TorchTrainer final : public Optimizer {
+ public:
+  TorchTrainer(layers::ParamRegistry& params, OptimConfig cfg,
+               BufferAllocator* state_alloc = nullptr);
+  void step(kern::KernelContext& kc) override;
+  const char* name() const override { return "torch"; }
+  void set_lr(float lr) override { cfg_.lr = lr; }
+  int64_t state_bytes() const override { return state_bytes_; }
+
+ private:
+  layers::ParamRegistry* params_;
+  OptimConfig cfg_;
+  // Per-tensor FP32 masters/grads (FP16 models only) + moments.
+  std::vector<Tensor> master_, master_grad_, m_, v_;
+  int64_t state_bytes_ = 0;
+  bool fp16_model_ = false;
+};
+
+/// Apex-style fused multi-tensor trainer with FP32 masters.
+class ApexTrainer final : public Optimizer {
+ public:
+  ApexTrainer(layers::ParamRegistry& params, OptimConfig cfg,
+              BufferAllocator* state_alloc = nullptr);
+  void step(kern::KernelContext& kc) override;
+  const char* name() const override { return "apex"; }
+  void set_lr(float lr) override { cfg_.lr = lr; }
+  int64_t state_bytes() const override { return state_bytes_; }
+
+ private:
+  layers::ParamRegistry* params_;
+  OptimConfig cfg_;
+  Tensor master_, master_grad_, m_, v_, overflow_flag_;
+  Tensor model_flat_;  // fp16 workspace view (contiguous mode) or staging
+  int64_t state_bytes_ = 0;
+  bool fp16_model_ = false;
+};
+
+/// LightSeq2 trainer: one launch over the linked workspace.
+class LightSeq2Trainer final : public Optimizer {
+ public:
+  LightSeq2Trainer(layers::ParamRegistry& params, OptimConfig cfg,
+                   BufferAllocator* state_alloc = nullptr);
+  void step(kern::KernelContext& kc) override;
+  const char* name() const override { return "lightseq2"; }
+  void set_lr(float lr) override { cfg_.lr = lr; }
+  int64_t state_bytes() const override { return state_bytes_; }
+
+ private:
+  layers::ParamRegistry* params_;
+  OptimConfig cfg_;
+  Tensor m_, v_;  // FP32 moments over the flat workspace
+  int64_t state_bytes_ = 0;
+};
+
+/// Factory matching the layer System to its trainer.
+std::unique_ptr<Optimizer> make_trainer(layers::System system,
+                                        layers::ParamRegistry& params, OptimConfig cfg,
+                                        BufferAllocator* state_alloc = nullptr);
+
+}  // namespace ls2::optim

@@ -1,0 +1,119 @@
+#include "simgpu/device.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ls2::simgpu {
+
+Device::Device(DeviceProfile profile, ExecMode mode)
+    : profile_(std::move(profile)), mode_(mode) {}
+
+double Device::kernel_time_us(const KernelDesc& desc) const {
+  const double bytes = static_cast<double>(desc.bytes_read + desc.bytes_written);
+  // GB/s == bytes/ns, so us = bytes / (BW * 1e3).
+  const double mem_us = bytes / (profile_.mem_bw_gb_s * desc.mem_efficiency * 1e3);
+  const double peak_tflops = desc.tensor_core ? profile_.fp16_tflops : profile_.fp32_tflops;
+  const double compute_us = desc.flops / (peak_tflops * desc.compute_efficiency * 1e6);
+  return std::max(mem_us, compute_us);
+}
+
+void Device::launch(const KernelDesc& desc, const std::function<void()>& body) {
+  LS2_CHECK(desc.mem_efficiency > 0 && desc.mem_efficiency <= 1.0)
+      << desc.name << " mem_efficiency " << desc.mem_efficiency;
+  LS2_CHECK(desc.compute_efficiency > 0 && desc.compute_efficiency <= 1.0)
+      << desc.name << " compute_efficiency " << desc.compute_efficiency;
+
+  // Launch gap: the GPU is idle while the host dispatches the kernel.
+  const double overhead = profile_.launch_overhead_us;
+  const double exec = kernel_time_us(desc);
+
+  stats_.launches += 1;
+  stats_.bytes_moved += desc.bytes_read + desc.bytes_written;
+  stats_.flops += desc.flops;
+  stats_.overhead_us += overhead;
+  stats_.busy_us += exec;
+
+  KernelStats& ks = per_kernel_[desc.name];
+  ks.launches += 1;
+  ks.bytes += desc.bytes_read + desc.bytes_written;
+  ks.flops += desc.flops;
+  ks.time_us += overhead + exec;
+
+  clock_us_ += overhead;
+  const double busy_begin = clock_us_;
+  clock_us_ += exec;
+  if (record_timeline_) timeline_.record_busy(busy_begin, clock_us_);
+  attribute(overhead + exec);
+
+  if (mode_ == ExecMode::kExecute && body) body();
+}
+
+void Device::advance(double us, bool busy, const std::string& attribution) {
+  if (us <= 0) return;
+  if (busy) {
+    const double begin = clock_us_;
+    stats_.busy_us += us;
+    clock_us_ += us;
+    if (record_timeline_) timeline_.record_busy(begin, clock_us_);
+  } else {
+    stats_.overhead_us += us;
+    clock_us_ += us;
+  }
+  if (!attribution.empty()) {
+    range_times_[attribution] += us;
+  } else {
+    attribute(us);
+  }
+}
+
+void Device::charge_alloc(bool cache_hit) {
+  stats_.alloc_events += 1;
+  const double us = cache_hit ? profile_.cached_alloc_us : profile_.malloc_us;
+  stats_.overhead_us += us;
+  clock_us_ += us;
+  attribute(us);
+}
+
+void Device::charge_free() {
+  stats_.alloc_events += 1;
+  const double us = profile_.free_us;
+  stats_.overhead_us += us;
+  clock_us_ += us;
+  attribute(us);
+}
+
+void Device::on_memory_change(int64_t bytes_in_use) {
+  if (record_timeline_) timeline_.record_memory(clock_us_, bytes_in_use);
+}
+
+double Device::range_time_us(const std::string& range) const {
+  auto it = range_times_.find(range);
+  return it == range_times_.end() ? 0.0 : it->second;
+}
+
+double Device::utilization() const {
+  const double total = stats_.busy_us + stats_.overhead_us;
+  return total <= 0 ? 1.0 : stats_.busy_us / total;
+}
+
+void Device::reset() {
+  clock_us_ = 0;
+  stats_ = DeviceStats{};
+  per_kernel_.clear();
+  range_times_.clear();
+  timeline_.clear();
+}
+
+void Device::push_range(const std::string& name) { range_stack_.push_back(name); }
+
+void Device::pop_range() {
+  LS2_CHECK(!range_stack_.empty()) << "pop_range with empty stack";
+  range_stack_.pop_back();
+}
+
+void Device::attribute(double us) {
+  if (!range_stack_.empty()) range_times_[range_stack_.back()] += us;
+}
+
+}  // namespace ls2::simgpu

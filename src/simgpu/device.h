@@ -1,0 +1,135 @@
+// Simulated GPU device: executes kernels on the host while advancing an
+// analytical device clock.
+//
+// Two modes (see DESIGN.md §2):
+//  * kExecute   — the kernel body runs for real (tests, examples, op benches);
+//  * kModelOnly — only the cost model runs, so paper-scale configurations
+//                 (24e24d, 15k batch tokens) can be swept in milliseconds.
+//
+// Every kernel launch declares what it touches (bytes read/written, flops,
+// achieved efficiencies); the device charges
+//     launch_overhead + max(bytes/BW_eff, flops/TP_eff)
+// and attributes the time to the innermost active ScopedRange, which is how
+// per-stage breakdowns (Fig. 3) and layer-wise timings (Fig. 19) fall out.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "simgpu/profile.h"
+#include "simgpu/timeline.h"
+
+namespace ls2::simgpu {
+
+enum class ExecMode {
+  kExecute,    ///< run kernel bodies (real math) + cost model
+  kModelOnly,  ///< cost model only; bodies skipped
+};
+
+/// Static description of one kernel launch, from which its simulated
+/// duration is computed.
+struct KernelDesc {
+  std::string name;           ///< e.g. "ls2.layernorm_fw" / "torch.add"
+  int64_t bytes_read = 0;     ///< global-memory bytes read
+  int64_t bytes_written = 0;  ///< global-memory bytes written
+  double flops = 0;           ///< floating point operations
+  double mem_efficiency = 0.80;      ///< achieved fraction of peak bandwidth
+  double compute_efficiency = 0.70;  ///< achieved fraction of peak FLOPs
+  bool tensor_core = false;  ///< true => use fp16 tensor-core peak (GEMM)
+};
+
+struct KernelStats {
+  int64_t launches = 0;
+  int64_t bytes = 0;
+  double flops = 0;
+  double time_us = 0;
+};
+
+struct DeviceStats {
+  int64_t launches = 0;
+  int64_t bytes_moved = 0;
+  double flops = 0;
+  double busy_us = 0;        ///< kernel execution time
+  double overhead_us = 0;    ///< launch gaps + allocator stalls (GPU idle)
+  double alloc_events = 0;   ///< number of device malloc/free calls
+};
+
+class Device {
+ public:
+  explicit Device(DeviceProfile profile, ExecMode mode = ExecMode::kExecute);
+
+  const DeviceProfile& profile() const { return profile_; }
+  ExecMode mode() const { return mode_; }
+  void set_mode(ExecMode m) { mode_ = m; }
+
+  /// Launch one kernel: advances the clock by the modeled duration and (in
+  /// execute mode) runs `body`.
+  void launch(const KernelDesc& desc, const std::function<void()>& body);
+
+  /// Modeled duration of a kernel without launching it.
+  double kernel_time_us(const KernelDesc& desc) const;
+
+  /// Advance the clock without a kernel (allocator stalls, comm waits...).
+  /// `busy` selects whether the span counts toward utilisation.
+  void advance(double us, bool busy, const std::string& attribution);
+
+  /// Allocator hooks: charge allocation latency and record the watermark.
+  void charge_alloc(bool cache_hit);
+  void charge_free();
+  void on_memory_change(int64_t bytes_in_use);
+
+  double clock_us() const { return clock_us_; }
+  const DeviceStats& stats() const { return stats_; }
+  const std::map<std::string, KernelStats>& per_kernel() const { return per_kernel_; }
+
+  /// Time attributed to a named range across all launches so far.
+  double range_time_us(const std::string& range) const;
+  const std::map<std::string, double>& range_times() const { return range_times_; }
+
+  /// GPU utilisation so far: busy / (busy + idle overhead).
+  double utilization() const;
+
+  Timeline& timeline() { return timeline_; }
+  const Timeline& timeline() const { return timeline_; }
+  void set_record_timeline(bool on) { record_timeline_ = on; }
+
+  /// Reset clock/stats/timeline (memory watermark is kept by the allocator).
+  void reset();
+
+  // --- Scoped range API (see ScopedRange below) ---
+  void push_range(const std::string& name);
+  void pop_range();
+
+ private:
+  void attribute(double us);
+
+  DeviceProfile profile_;
+  ExecMode mode_;
+  double clock_us_ = 0;
+  DeviceStats stats_;
+  std::map<std::string, KernelStats> per_kernel_;
+  std::map<std::string, double> range_times_;
+  std::vector<std::string> range_stack_;
+  Timeline timeline_;
+  bool record_timeline_ = false;
+};
+
+/// RAII stage marker: time advanced while alive is attributed to `name`
+/// (innermost wins). Mirrors nvtx ranges.
+class ScopedRange {
+ public:
+  ScopedRange(Device& device, std::string name) : device_(device) {
+    device_.push_range(std::move(name));
+  }
+  ~ScopedRange() { device_.pop_range(); }
+  ScopedRange(const ScopedRange&) = delete;
+  ScopedRange& operator=(const ScopedRange&) = delete;
+
+ private:
+  Device& device_;
+};
+
+}  // namespace ls2::simgpu

@@ -1,0 +1,62 @@
+// Analytical device profiles.
+//
+// We cannot measure CUDA wall-clock in this environment, so device time is
+// *modeled*: each kernel launch is charged
+//
+//     t = launch_overhead + max(bytes_moved / achieved_bandwidth,
+//                               flops / achieved_throughput)
+//
+// with peak numbers taken from NVIDIA's published V100/A100 specifications.
+// The achieved fractions come from the kernel implementations themselves
+// (a naive two-pass LayerNorm both moves more bytes *and* sustains a lower
+// fraction of peak bandwidth than the fused single-pass rewrite). This keeps
+// the comparisons honest: LightSeq2 wins in the model for exactly the
+// reasons the paper gives — fewer launches, fewer bytes, better reductions —
+// not because results are hard-coded.
+#pragma once
+
+#include <string>
+
+namespace ls2::simgpu {
+
+struct DeviceProfile {
+  std::string name;
+
+  // Kernel launch.
+  double launch_overhead_us = 4.5;  ///< host->device launch latency per kernel
+
+  // Memory system.
+  double mem_bw_gb_s = 900.0;  ///< peak HBM bandwidth
+
+  // Compute.
+  double fp32_tflops = 15.7;   ///< peak FP32 (CUDA cores)
+  double fp16_tflops = 125.0;  ///< peak FP16 (tensor cores), used by GEMM
+
+  // Allocator costs (paper §II-A / Fig. 20: dynamic allocation slows and
+  // destabilises training; LightSeq2 allocates once up front).
+  double malloc_us = 120.0;  ///< cudaMalloc
+  double free_us = 60.0;     ///< cudaFree
+  double cached_alloc_us = 2.0;  ///< cache-hit in a caching allocator
+
+  // Interconnect, for the data-parallel simulator (Fig. 3 "Synchronize",
+  // Fig. 22 scalability).
+  double nvlink_bus_gb_s = 130.0;  ///< intra-node all-reduce bus bandwidth
+  double ib_bus_gb_s = 12.0;       ///< inter-node bus bandwidth
+  double allreduce_latency_us = 30.0;  ///< per-ring-step latency
+
+  // Device memory capacity, for OOM modelling (Fig. 10: Fairseq OOMs at
+  // batch sizes LightSeq2 still trains).
+  double memory_gb = 32.0;
+};
+
+/// Tesla V100-SXM2-32GB.
+DeviceProfile v100();
+/// Tesla A100-SXM4-40GB.
+DeviceProfile a100();
+/// Conservative generic profile used by unit tests.
+DeviceProfile generic();
+
+/// Look up by case-insensitive name ("v100", "a100", "generic").
+DeviceProfile profile_by_name(const std::string& name);
+
+}  // namespace ls2::simgpu

@@ -1,0 +1,69 @@
+#include "simgpu/timeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ls2::simgpu {
+
+void Timeline::record_memory(double t_us, int64_t bytes_in_use) {
+  memory_.push_back({t_us, bytes_in_use});
+}
+
+void Timeline::record_busy(double begin_us, double end_us) {
+  if (end_us <= begin_us) return;
+  // Merge with the previous span when contiguous to keep the vector small.
+  if (!busy_.empty() && std::abs(busy_.back().end_us - begin_us) < 1e-9) {
+    busy_.back().end_us = end_us;
+    return;
+  }
+  busy_.push_back({begin_us, end_us});
+}
+
+std::vector<int64_t> Timeline::memory_series(double bucket_us, double horizon_us) const {
+  const size_t buckets = static_cast<size_t>(std::ceil(horizon_us / bucket_us));
+  std::vector<int64_t> series(buckets, 0);
+  int64_t current = 0;
+  size_t si = 0;
+  for (size_t b = 0; b < buckets; ++b) {
+    const double bucket_end = (static_cast<double>(b) + 1.0) * bucket_us;
+    int64_t peak_in_bucket = current;
+    while (si < memory_.size() && memory_[si].t_us <= bucket_end) {
+      current = memory_[si].bytes;
+      peak_in_bucket = std::max(peak_in_bucket, current);
+      ++si;
+    }
+    series[b] = peak_in_bucket;
+  }
+  return series;
+}
+
+std::vector<double> Timeline::utilization_series(double bucket_us, double horizon_us) const {
+  const size_t buckets = static_cast<size_t>(std::ceil(horizon_us / bucket_us));
+  std::vector<double> series(buckets, 0.0);
+  for (const BusySpan& span : busy_) {
+    double t = span.begin_us;
+    while (t < span.end_us) {
+      const size_t b = static_cast<size_t>(t / bucket_us);
+      if (b >= buckets) break;
+      const double bucket_end = (static_cast<double>(b) + 1.0) * bucket_us;
+      const double covered = std::min(span.end_us, bucket_end) - t;
+      series[b] += covered;
+      t += covered;
+    }
+  }
+  for (double& v : series) v = std::min(1.0, v / bucket_us);
+  return series;
+}
+
+int64_t Timeline::peak_memory_bytes() const {
+  int64_t peak = 0;
+  for (const MemorySample& s : memory_) peak = std::max(peak, s.bytes);
+  return peak;
+}
+
+void Timeline::clear() {
+  memory_.clear();
+  busy_.clear();
+}
+
+}  // namespace ls2::simgpu

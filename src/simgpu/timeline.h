@@ -1,0 +1,47 @@
+// Recording of device activity over simulated time.
+//
+// Produces the data behind the paper's Fig. 20 (GPU memory over wall time)
+// and Fig. 21 (GPU utilisation over wall time): the device reports busy/idle
+// intervals and the allocator reports memory watermarks, and the timeline
+// buckets them into series.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ls2::simgpu {
+
+struct MemorySample {
+  double t_us = 0;       ///< simulated time of the event
+  int64_t bytes = 0;     ///< bytes in use after the event
+};
+
+struct BusySpan {
+  double begin_us = 0;
+  double end_us = 0;
+};
+
+class Timeline {
+ public:
+  void record_memory(double t_us, int64_t bytes_in_use);
+  void record_busy(double begin_us, double end_us);
+
+  const std::vector<MemorySample>& memory_samples() const { return memory_; }
+
+  /// Memory in use at the end of each fixed-width bucket (carry-forward).
+  std::vector<int64_t> memory_series(double bucket_us, double horizon_us) const;
+
+  /// Fraction of each bucket spent busy, in [0,1].
+  std::vector<double> utilization_series(double bucket_us, double horizon_us) const;
+
+  /// Peak memory over all samples.
+  int64_t peak_memory_bytes() const;
+
+  void clear();
+
+ private:
+  std::vector<MemorySample> memory_;
+  std::vector<BusySpan> busy_;
+};
+
+}  // namespace ls2::simgpu

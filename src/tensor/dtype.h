@@ -1,0 +1,42 @@
+// Element types supported by LightSeq2 tensors.
+//
+// Mixed-precision training (paper §IV-C) stores parameters, gradients and
+// activations in FP16 and converts to FP32 on the fly inside kernels; Adam
+// moments stay FP32; token ids are INT32 and dropout masks are UINT8.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace ls2 {
+
+enum class DType : uint8_t {
+  kF32 = 0,  ///< IEEE binary32
+  kF16 = 1,  ///< IEEE binary16 (storage type; math in FP32)
+  kI32 = 2,  ///< token ids / indices
+  kU8 = 3,   ///< dropout masks, boolean flags
+};
+
+constexpr size_t dtype_size(DType t) {
+  switch (t) {
+    case DType::kF32: return 4;
+    case DType::kF16: return 2;
+    case DType::kI32: return 4;
+    case DType::kU8: return 1;
+  }
+  return 0;
+}
+
+constexpr const char* dtype_name(DType t) {
+  switch (t) {
+    case DType::kF32: return "f32";
+    case DType::kF16: return "f16";
+    case DType::kI32: return "i32";
+    case DType::kU8: return "u8";
+  }
+  return "?";
+}
+
+}  // namespace ls2

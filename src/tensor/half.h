@@ -1,0 +1,56 @@
+// Software IEEE 754 binary16 ("half") implementation.
+//
+// The paper stores parameters/gradients/activations in FP16 and converts to
+// FP32 in registers for arithmetic ("on-the-fly conversion", §IV-C). We
+// reproduce exactly that discipline: Half is a 16-bit storage type with
+// round-to-nearest-even conversion; all arithmetic happens in float.
+#pragma once
+
+#include <cstdint>
+
+namespace ls2 {
+
+/// Convert binary32 -> binary16 bits with round-to-nearest-even,
+/// preserving NaN/Inf and flushing values below the subnormal range to
+/// signed zero the same way CUDA's __float2half does.
+uint16_t float_to_half_bits(float f);
+
+/// Convert binary16 bits -> binary32 (exact).
+float half_bits_to_float(uint16_t h);
+
+/// 16-bit floating point storage type. Implicit conversion mirrors CUDA
+/// __half ergonomics; arithmetic promotes to float.
+struct Half {
+  uint16_t bits = 0;
+
+  Half() = default;
+  explicit Half(float f) : bits(float_to_half_bits(f)) {}
+  operator float() const { return half_bits_to_float(bits); }
+
+  static Half from_bits(uint16_t b) {
+    Half h;
+    h.bits = b;
+    return h;
+  }
+
+  Half& operator=(float f) {
+    bits = float_to_half_bits(f);
+    return *this;
+  }
+  Half& operator+=(float f) {
+    *this = static_cast<float>(*this) + f;
+    return *this;
+  }
+};
+
+static_assert(sizeof(Half) == 2, "Half must be 16 bits");
+
+/// Bulk conversions (the FP16<->FP32 "copy" kernels of the baseline trainer).
+void convert_float_to_half(const float* src, Half* dst, int64_t n);
+void convert_half_to_float(const Half* src, float* dst, int64_t n);
+
+/// Largest finite half value (65504); used by overflow tests and loss-scale
+/// logic.
+constexpr float kHalfMax = 65504.0f;
+
+}  // namespace ls2

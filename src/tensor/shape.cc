@@ -1,0 +1,42 @@
+#include "tensor/shape.h"
+
+#include <sstream>
+
+namespace ls2 {
+
+int64_t Shape::dim(int i) const {
+  if (i < 0) i += rank();
+  LS2_CHECK(i >= 0 && i < rank()) << "dim index " << i << " out of range for " << str();
+  return dims_[static_cast<size_t>(i)];
+}
+
+int64_t Shape::numel() const {
+  int64_t n = 1;
+  for (int64_t d : dims_) n *= d;
+  return n;
+}
+
+Shape Shape::flatten_2d() const {
+  LS2_CHECK_GE(rank(), 1);
+  if (rank() == 1) return Shape{1, dims_[0]};
+  int64_t rows = 1;
+  for (int i = 0; i + 1 < rank(); ++i) rows *= dims_[static_cast<size_t>(i)];
+  return Shape{rows, dims_.back()};
+}
+
+std::string Shape::str() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i) os << ",";
+    os << dims_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+void Shape::validate() const {
+  for (int64_t d : dims_) LS2_CHECK_GE(d, 0) << "negative dimension in " << str();
+}
+
+}  // namespace ls2

@@ -1,0 +1,43 @@
+// Tensor shape: a small vector of dimension sizes.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ls2 {
+
+/// Dimension sizes of a (contiguous, row-major) tensor. Rank 0 denotes a
+/// scalar with one element.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims) : dims_(dims) { validate(); }
+  explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) { validate(); }
+
+  int rank() const { return static_cast<int>(dims_.size()); }
+  int64_t dim(int i) const;
+  int64_t operator[](int i) const { return dim(i); }
+
+  /// Total number of elements (product of dims; 1 for rank 0).
+  int64_t numel() const;
+
+  /// Flatten all but the last dimension: {a,b,c} -> {a*b, c}. Rows/columns
+  /// view used by every reduction kernel (LayerNorm, Softmax, criterion).
+  Shape flatten_2d() const;
+
+  const std::vector<int64_t>& dims() const { return dims_; }
+  bool operator==(const Shape& o) const { return dims_ == o.dims_; }
+  bool operator!=(const Shape& o) const { return !(*this == o); }
+
+  std::string str() const;
+
+ private:
+  void validate() const;
+  std::vector<int64_t> dims_;
+};
+
+}  // namespace ls2

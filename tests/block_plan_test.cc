@@ -1,0 +1,91 @@
+#include "memory/block_plan.h"
+
+#include <gtest/gtest.h>
+
+namespace ls2::mem {
+namespace {
+
+size_t align256(size_t n) { return (n + 255) / 256 * 256; }
+
+TEST(BlockPlanTest, DisjointLifetimesShareOneBlock) {
+  BlockPlan plan({{"a", 1000, 1, 2}, {"b", 1000, 3, 4}, {"c", 1000, 5, 6}});
+  EXPECT_EQ(plan.block_count(), 1);
+  EXPECT_EQ(plan.total_bytes(), align256(1000));
+  EXPECT_EQ(plan.block_of("a"), plan.block_of("b"));
+  EXPECT_EQ(plan.block_of("b"), plan.block_of("c"));
+}
+
+TEST(BlockPlanTest, OverlappingLifetimesGetSeparateBlocks) {
+  BlockPlan plan({{"a", 1000, 1, 4}, {"b", 1000, 2, 3}});
+  EXPECT_EQ(plan.block_count(), 2);
+  EXPECT_NE(plan.block_of("a"), plan.block_of("b"));
+}
+
+TEST(BlockPlanTest, BlockGrowsToLargestTenant) {
+  BlockPlan plan({{"small", 100, 1, 1}, {"big", 10000, 2, 2}});
+  EXPECT_EQ(plan.block_count(), 1);
+  EXPECT_EQ(plan.total_bytes(), align256(10000));
+  EXPECT_EQ(plan.naive_bytes(), align256(100) + align256(10000));
+}
+
+TEST(BlockPlanTest, SameStepProducersDoNotShare) {
+  // Written in the same step => both live simultaneously.
+  BlockPlan plan({{"x", 500, 3, 5}, {"y", 500, 3, 5}});
+  EXPECT_EQ(plan.block_count(), 2);
+}
+
+TEST(BlockPlanTest, DeathBeforeBirthThrows) {
+  EXPECT_THROW(BlockPlan({{"bad", 100, 5, 4}}), Error);
+}
+
+TEST(BlockPlanTest, DuplicateNameThrows) {
+  EXPECT_THROW(BlockPlan({{"t", 100, 1, 2}, {"t", 100, 3, 4}}), Error);
+}
+
+TEST(BlockPlanTest, MaterializedViewsLandInAssignedBlocks) {
+  BlockPlan plan({{"a", 1024, 1, 2}, {"b", 1024, 3, 4}});
+  plan.materialize();
+  Tensor a = plan.tensor("a", Shape{256}, DType::kF32);
+  Tensor b = plan.tensor("b", Shape{256}, DType::kF32);
+  EXPECT_EQ(a.raw(), b.raw());  // same block reused
+  EXPECT_THROW(plan.tensor("a", Shape{1024}, DType::kF32), Error);  // too big
+}
+
+// The paper's headline memory result (§IV-D, Fig. 8): self-attention
+// backward fits in 3*BLH + max(BL^2*N, 3*BLH) bytes vs 9*BLH + BL^2*N naive.
+class AttentionPlanTest : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(AttentionPlanTest, MatchesPaperBound) {
+  const auto [B, L, H, N] = GetParam();
+  const size_t elem = 2;  // fp16
+  BlockPlan plan(attention_backward_plan(B, L, H, N, elem));
+  const size_t blh = align256(static_cast<size_t>(B) * L * H * elem);
+  const size_t bl2n = align256(static_cast<size_t>(B) * L * L * N * elem);
+  const size_t expected = 3 * blh + std::max(bl2n, 3 * blh);
+  EXPECT_EQ(plan.total_bytes(), expected);
+  // And the paper's naive comparison: 9*BLH + BL^2*N.
+  EXPECT_EQ(plan.naive_bytes(), 9 * blh + bl2n);
+  EXPECT_LT(plan.total_bytes(), plan.naive_bytes());
+}
+
+std::string attention_plan_name(
+    const ::testing::TestParamInfo<std::tuple<int, int, int, int>>& info) {
+  return "B" + std::to_string(std::get<0>(info.param)) + "_L" +
+         std::to_string(std::get<1>(info.param)) + "_H" +
+         std::to_string(std::get<2>(info.param)) + "_N" +
+         std::to_string(std::get<3>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AttentionPlanTest,
+    ::testing::Values(
+        // L*N < 3H and L*N > 3H regimes, both branches of the max().
+        std::make_tuple(8, 32, 512, 8),    // BL2N < 3BLH
+        std::make_tuple(8, 256, 512, 8),   // BL2N > 3BLH
+        std::make_tuple(1, 64, 1024, 16),  // Transformer-Big single sample
+        std::make_tuple(64, 16, 256, 4),   // wide batch, short sequences
+        std::make_tuple(2, 100, 768, 12)), // BERT-like
+    attention_plan_name);
+
+}  // namespace
+}  // namespace ls2::mem

@@ -1,0 +1,269 @@
+#include "kernels/elementwise.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernels/dropout.h"
+#include "simgpu/profile.h"
+
+namespace ls2::kern {
+namespace {
+
+class ElementwiseTest : public ::testing::Test {
+ protected:
+  ElementwiseTest() : dev(simgpu::v100(), simgpu::ExecMode::kExecute), kc(dev, nullptr, 42) {}
+
+  Tensor randn(Shape shape, uint64_t stream, DType dt = DType::kF32) {
+    Tensor t = Tensor::empty(std::move(shape), dt);
+    kc.rng.fill_normal(t, 1000 + stream, 0.0f, 1.0f);
+    return t;
+  }
+
+  simgpu::Device dev;
+  KernelContext kc;
+};
+
+// The paper's core correctness claim: fused kernels compute exactly what the
+// unfused composition computes.
+TEST_F(ElementwiseTest, FusedBiasReluDropoutMatchesComposition) {
+  const int64_t rows = 64, cols = 96;
+  Tensor x = randn({rows, cols}, 1);
+  Tensor bias = randn({cols}, 2);
+  const float p = 0.1f;
+  const uint64_t stream = 7;
+
+  Tensor y_fused = Tensor::empty({rows, cols}, DType::kF32);
+  Tensor mask = Tensor::empty({rows, cols}, DType::kU8);
+  fused::bias_relu_dropout_fw(kc, x, bias, y_fused, mask, p, stream);
+
+  // Composition: add_bias -> relu -> dropout (same rng stream).
+  Tensor t1 = Tensor::empty({rows, cols}, DType::kF32);
+  Tensor t2 = Tensor::empty({rows, cols}, DType::kF32);
+  Tensor y_ref = Tensor::empty({rows, cols}, DType::kF32);
+  Tensor mask_ref = Tensor::empty({rows, cols}, DType::kU8);
+  baseline::add_bias(kc, x, bias, t1);
+  baseline::relu_fw(kc, t1, t2);
+  dropout_fw(kc, Impl::kTorch, t2, y_ref, mask_ref, p, stream);
+
+  EXPECT_EQ(y_fused.to_vector(), y_ref.to_vector());
+  EXPECT_EQ(mask.to_vector(), mask_ref.to_vector());
+}
+
+TEST_F(ElementwiseTest, FusedBiasReluDropoutBackward) {
+  const int64_t rows = 32, cols = 64;
+  Tensor x = randn({rows, cols}, 1);
+  Tensor bias = randn({cols}, 2);
+  const float p = 0.2f;
+  Tensor y = Tensor::empty({rows, cols}, DType::kF32);
+  Tensor mask = Tensor::empty({rows, cols}, DType::kU8);
+  fused::bias_relu_dropout_fw(kc, x, bias, y, mask, p, 3);
+
+  Tensor dy = randn({rows, cols}, 4);
+  Tensor dx = Tensor::empty({rows, cols}, DType::kF32);
+  fused::bias_relu_dropout_bw(kc, dy, mask, x, bias, dx, p);
+
+  // Reference: dx = dy * mask/(1-p) * 1[x+b > 0].
+  const auto xv = x.to_vector(), bv = bias.to_vector(), dyv = dy.to_vector(),
+             mv = mask.to_vector(), dxv = dx.to_vector();
+  for (int64_t i = 0; i < rows * cols; ++i) {
+    const float pre = xv[i] + bv[i % cols];
+    const float expect = mv[i] ? dyv[i] / (1 - p) * (pre > 0 ? 1.0f : 0.0f) : 0.0f;
+    ASSERT_FLOAT_EQ(dxv[i], expect) << i;
+  }
+}
+
+TEST_F(ElementwiseTest, FusedBiasDropoutResidualMatchesComposition) {
+  const int64_t rows = 48, cols = 80;
+  Tensor x = randn({rows, cols}, 1);
+  Tensor bias = randn({cols}, 2);
+  Tensor res = randn({rows, cols}, 3);
+  const float p = 0.15f;
+  const uint64_t stream = 9;
+
+  Tensor y_fused = Tensor::empty({rows, cols}, DType::kF32);
+  Tensor mask = Tensor::empty({rows, cols}, DType::kU8);
+  fused::bias_dropout_residual_fw(kc, x, bias, res, y_fused, mask, p, stream);
+
+  Tensor t1 = Tensor::empty({rows, cols}, DType::kF32);
+  Tensor t2 = Tensor::empty({rows, cols}, DType::kF32);
+  Tensor mask_ref = Tensor::empty({rows, cols}, DType::kU8);
+  Tensor y_ref = Tensor::empty({rows, cols}, DType::kF32);
+  baseline::add_bias(kc, x, bias, t1);
+  dropout_fw(kc, Impl::kTorch, t1, t2, mask_ref, p, stream);
+  baseline::add(kc, t2, res, y_ref);
+
+  EXPECT_EQ(y_fused.to_vector(), y_ref.to_vector());
+
+  // Backward: dx = dy*mask/(1-p).
+  Tensor dy = randn({rows, cols}, 5);
+  Tensor dx = Tensor::empty({rows, cols}, DType::kF32);
+  fused::bias_dropout_residual_bw(kc, dy, mask, dx, p);
+  Tensor dx_ref = Tensor::empty({rows, cols}, DType::kF32);
+  dropout_bw(kc, Impl::kTorch, dy, mask_ref, dx_ref, p);
+  EXPECT_EQ(dx.to_vector(), dx_ref.to_vector());
+}
+
+TEST_F(ElementwiseTest, GeluBackwardMatchesFiniteDifference) {
+  const int64_t n = 64;
+  Tensor x = randn({n}, 1);
+  Tensor dy = Tensor::empty({n}, DType::kF32);
+  dy.fill_(1.0f);
+  Tensor dx = Tensor::empty({n}, DType::kF32);
+  baseline::gelu_bw(kc, dy, x, dx);
+
+  const float h = 1e-3f;
+  const auto xv = x.to_vector();
+  const auto dxv = dx.to_vector();
+  for (int64_t i = 0; i < n; ++i) {
+    Tensor xp = Tensor::from_vector({xv[i] + h}, {1}, DType::kF32);
+    Tensor xm = Tensor::from_vector({xv[i] - h}, {1}, DType::kF32);
+    Tensor yp = Tensor::empty({1}, DType::kF32), ym = Tensor::empty({1}, DType::kF32);
+    baseline::gelu_fw(kc, xp, yp);
+    baseline::gelu_fw(kc, xm, ym);
+    const float numeric = (yp.item() - ym.item()) / (2 * h);
+    EXPECT_NEAR(dxv[i], numeric, 2e-3f) << "x=" << xv[i];
+  }
+}
+
+TEST_F(ElementwiseTest, FusedGeluDropoutMatchesComposition) {
+  const int64_t rows = 16, cols = 32;
+  Tensor x = randn({rows, cols}, 1);
+  Tensor bias = randn({cols}, 2);
+  Tensor y_fused = Tensor::empty({rows, cols}, DType::kF32);
+  Tensor mask = Tensor::empty({rows, cols}, DType::kU8);
+  fused::bias_gelu_dropout_fw(kc, x, bias, y_fused, mask, 0.1f, 11);
+
+  Tensor t1 = Tensor::empty({rows, cols}, DType::kF32);
+  Tensor t2 = Tensor::empty({rows, cols}, DType::kF32);
+  Tensor y_ref = Tensor::empty({rows, cols}, DType::kF32);
+  Tensor mref = Tensor::empty({rows, cols}, DType::kU8);
+  baseline::add_bias(kc, x, bias, t1);
+  baseline::gelu_fw(kc, t1, t2);
+  dropout_fw(kc, Impl::kTorch, t2, y_ref, mref, 0.1f, 11);
+  EXPECT_EQ(y_fused.to_vector(), y_ref.to_vector());
+}
+
+TEST_F(ElementwiseTest, BiasGradColumnSums) {
+  const int64_t rows = 100, cols = 7;
+  Tensor dx = randn({rows, cols}, 1);
+  Tensor dbias = Tensor::empty({cols}, DType::kF32);
+  bias_grad(kc, dx, dbias);
+  const auto dxv = dx.to_vector();
+  const auto dbv = dbias.to_vector();
+  for (int64_t j = 0; j < cols; ++j) {
+    double s = 0;
+    for (int64_t i = 0; i < rows; ++i) s += dxv[i * cols + j];
+    EXPECT_NEAR(dbv[j], s, 1e-4) << j;
+  }
+}
+
+TEST_F(ElementwiseTest, FusionReducesLaunchesAndBytes) {
+  const int64_t rows = 128, cols = 512;
+  Tensor x = randn({rows, cols}, 1);
+  Tensor bias = randn({cols}, 2);
+  Tensor y = Tensor::empty({rows, cols}, DType::kF32);
+  Tensor mask = Tensor::empty({rows, cols}, DType::kU8);
+
+  dev.reset();
+  fused::bias_relu_dropout_fw(kc, x, bias, y, mask, 0.1f, 1);
+  const auto fused_stats = dev.stats();
+
+  dev.reset();
+  Tensor t1 = Tensor::empty({rows, cols}, DType::kF32);
+  Tensor t2 = Tensor::empty({rows, cols}, DType::kF32);
+  baseline::add_bias(kc, x, bias, t1);
+  baseline::relu_fw(kc, t1, t2);
+  dropout_fw(kc, Impl::kTorch, t2, y, mask, 0.1f, 1);
+  const auto base_stats = dev.stats();
+
+  EXPECT_EQ(fused_stats.launches, 1);
+  EXPECT_EQ(base_stats.launches, 3);
+  EXPECT_LT(fused_stats.bytes_moved, base_stats.bytes_moved);
+  EXPECT_LT(fused_stats.busy_us + fused_stats.overhead_us,
+            base_stats.busy_us + base_stats.overhead_us);
+}
+
+TEST_F(ElementwiseTest, HalfPrecisionWithinTolerance) {
+  const int64_t rows = 32, cols = 64;
+  Tensor x32 = randn({rows, cols}, 1);
+  Tensor b32 = randn({cols}, 2);
+  Tensor x16 = Tensor::from_vector(x32.to_vector(), {rows, cols}, DType::kF16);
+  Tensor b16 = Tensor::from_vector(b32.to_vector(), {cols}, DType::kF16);
+
+  Tensor y32 = Tensor::empty({rows, cols}, DType::kF32);
+  Tensor y16 = Tensor::empty({rows, cols}, DType::kF16);
+  Tensor m32 = Tensor::empty({rows, cols}, DType::kU8);
+  Tensor m16 = Tensor::empty({rows, cols}, DType::kU8);
+  fused::bias_relu_dropout_fw(kc, x32, b32, y32, m32, 0.1f, 3);
+  fused::bias_relu_dropout_fw(kc, x16, b16, y16, m16, 0.1f, 3);
+
+  EXPECT_EQ(m32.to_vector(), m16.to_vector());  // identical masks
+  const auto v32 = y32.to_vector(), v16 = y16.to_vector();
+  for (size_t i = 0; i < v32.size(); ++i) {
+    EXPECT_NEAR(v16[i], v32[i], 0.01f + 0.01f * std::abs(v32[i]));
+  }
+}
+
+TEST_F(ElementwiseTest, CastRoundTrip) {
+  Tensor x = randn({100}, 1);
+  Tensor h = Tensor::empty({100}, DType::kF16);
+  Tensor back = Tensor::empty({100}, DType::kF32);
+  baseline::cast(kc, x, h);
+  baseline::cast(kc, h, back);
+  const auto xv = x.to_vector(), bv = back.to_vector();
+  for (size_t i = 0; i < xv.size(); ++i)
+    EXPECT_NEAR(bv[i], xv[i], std::abs(xv[i]) * 0.001f + 1e-4f);
+}
+
+TEST_F(ElementwiseTest, DropoutZeroRateKeepsEverything) {
+  Tensor x = randn({1000}, 1);
+  Tensor y = Tensor::empty({1000}, DType::kF32);
+  Tensor mask = Tensor::empty({1000}, DType::kU8);
+  dropout_fw(kc, Impl::kLS2, x, y, mask, 0.0f, 1);
+  EXPECT_EQ(y.to_vector(), x.to_vector());
+}
+
+TEST_F(ElementwiseTest, DropoutRateIsRespected) {
+  const int64_t n = 100000;
+  Tensor x = Tensor::empty({n}, DType::kF32);
+  x.fill_(1.0f);
+  Tensor y = Tensor::empty({n}, DType::kF32);
+  Tensor mask = Tensor::empty({n}, DType::kU8);
+  dropout_fw(kc, Impl::kLS2, x, y, mask, 0.3f, 5);
+  double kept = 0;
+  for (float v : mask.to_vector()) kept += v;
+  EXPECT_NEAR(kept / n, 0.7, 0.01);
+  // Kept values are scaled by 1/(1-p): E[y] ~ 1.
+  double mean = 0;
+  for (float v : y.to_vector()) mean += v;
+  EXPECT_NEAR(mean / n, 1.0, 0.02);
+}
+
+TEST_F(ElementwiseTest, DropoutImplsShareMasks) {
+  // All four modeled systems draw identical masks for a (seed, stream):
+  // they differ only in performance accounting.
+  const int64_t n = 4096;
+  Tensor x = randn({n}, 1);
+  for (Impl impl : {Impl::kTorch, Impl::kTensorFlow, Impl::kDeepSpeed, Impl::kLS2}) {
+    Tensor y = Tensor::empty({n}, DType::kF32);
+    Tensor mask = Tensor::empty({n}, DType::kU8);
+    dropout_fw(kc, impl, x, y, mask, 0.25f, 77);
+    Tensor yl = Tensor::empty({n}, DType::kF32);
+    Tensor ml = Tensor::empty({n}, DType::kU8);
+    dropout_fw(kc, Impl::kLS2, x, yl, ml, 0.25f, 77);
+    EXPECT_EQ(mask.to_vector(), ml.to_vector()) << impl_name(impl);
+    EXPECT_EQ(y.to_vector(), yl.to_vector()) << impl_name(impl);
+  }
+}
+
+TEST_F(ElementwiseTest, InvalidDropoutRateThrows) {
+  Tensor x = randn({8}, 1);
+  Tensor y = Tensor::empty({8}, DType::kF32);
+  Tensor mask = Tensor::empty({8}, DType::kU8);
+  EXPECT_THROW(dropout_fw(kc, Impl::kLS2, x, y, mask, 1.0f, 1), Error);
+  EXPECT_THROW(dropout_fw(kc, Impl::kLS2, x, y, mask, -0.1f, 1), Error);
+}
+
+}  // namespace
+}  // namespace ls2::kern

@@ -1,0 +1,150 @@
+#include "gemm/gemm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "gemm/gemm_device.h"
+#include "simgpu/profile.h"
+#include "tensor/random.h"
+
+namespace ls2::gemm {
+namespace {
+
+// Textbook reference for validation.
+void ref_gemm(bool ta, bool tb, int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+              const float* b, float beta, float* c) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0;
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = ta ? a[p * m + i] : a[i * k + p];
+        const float bv = tb ? b[j * k + p] : b[p * n + j];
+        acc += static_cast<double>(av) * bv;
+      }
+      c[i * n + j] = alpha * static_cast<float>(acc) + beta * c[i * n + j];
+    }
+  }
+}
+
+std::vector<float> random_vec(size_t n, uint64_t stream) {
+  Rng rng(1234);
+  std::vector<float> v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = rng.normal(stream, i);
+  return v;
+}
+
+class SgemmTransposeTest
+    : public ::testing::TestWithParam<std::tuple<bool, bool, int, int, int>> {};
+
+TEST_P(SgemmTransposeTest, MatchesReference) {
+  const auto [ta, tb, m, n, k] = GetParam();
+  const auto a = random_vec(static_cast<size_t>(m * k), 1);
+  const auto b = random_vec(static_cast<size_t>(k * n), 2);
+  std::vector<float> c = random_vec(static_cast<size_t>(m * n), 3);
+  std::vector<float> expect = c;
+  sgemm(ta, tb, m, n, k, 0.5f, a.data(), b.data(), 0.25f, c.data());
+  ref_gemm(ta, tb, m, n, k, 0.5f, a.data(), b.data(), 0.25f, expect.data());
+  for (size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], expect[i], 1e-3f) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLayouts, SgemmTransposeTest,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool(),
+                       ::testing::Values(1, 7, 64), ::testing::Values(1, 5, 96),
+                       ::testing::Values(1, 13, 130)));
+
+TEST(SgemmTest, BetaZeroIgnoresGarbageInC) {
+  const int64_t m = 8, n = 8, k = 8;
+  const auto a = random_vec(64, 1);
+  const auto b = random_vec(64, 2);
+  std::vector<float> c(64, std::nanf(""));
+  sgemm(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f, c.data());
+  for (float v : c) EXPECT_FALSE(std::isnan(v));
+}
+
+TEST(SgemmTest, StridedBatchedMatchesLoop) {
+  const int64_t m = 6, n = 5, k = 4, batch = 3;
+  const auto a = random_vec(static_cast<size_t>(batch * m * k), 1);
+  const auto b = random_vec(static_cast<size_t>(batch * k * n), 2);
+  std::vector<float> c(static_cast<size_t>(batch * m * n), 0.0f);
+  std::vector<float> expect = c;
+  sgemm_strided_batched(false, false, m, n, k, 1.0f, a.data(), m * k, b.data(), k * n, 0.0f,
+                        c.data(), m * n, batch);
+  for (int64_t i = 0; i < batch; ++i)
+    ref_gemm(false, false, m, n, k, 1.0f, a.data() + i * m * k, b.data() + i * k * n, 0.0f,
+             expect.data() + i * m * n);
+  for (size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], expect[i], 1e-4f);
+}
+
+TEST(HgemmTest, MatchesFloatWithinHalfPrecision) {
+  const int64_t m = 16, n = 12, k = 20;
+  const auto af = random_vec(static_cast<size_t>(m * k), 1);
+  const auto bf = random_vec(static_cast<size_t>(k * n), 2);
+  std::vector<Half> a(af.size()), b(bf.size()), c(static_cast<size_t>(m * n));
+  convert_float_to_half(af.data(), a.data(), static_cast<int64_t>(af.size()));
+  convert_float_to_half(bf.data(), b.data(), static_cast<int64_t>(bf.size()));
+  hgemm(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f, c.data());
+  std::vector<float> expect(static_cast<size_t>(m * n), 0.0f);
+  ref_gemm(false, false, m, n, k, 1.0f, af.data(), bf.data(), 0.0f, expect.data());
+  for (size_t i = 0; i < c.size(); ++i) {
+    // Inputs are rounded to fp16 and the result is stored to fp16: allow a
+    // few fp16 ulps of k-fold accumulation error.
+    EXPECT_NEAR(static_cast<float>(c[i]), expect[i], 0.05f) << i;
+  }
+}
+
+TEST(UtilizationTest, MonotoneAndClamped) {
+  EXPECT_LT(gemm_utilization(8, 8, 8), gemm_utilization(512, 512, 512));
+  EXPECT_GE(gemm_utilization(1, 1, 1), 0.05);
+  EXPECT_LE(gemm_utilization(8192, 8192, 8192), 0.95);
+  // Batching restores occupancy for small matrices (attention GEMMs).
+  EXPECT_GT(gemm_utilization(32, 64, 64, 128), gemm_utilization(32, 64, 64, 1));
+}
+
+TEST(DeviceGemmTest, ChargesCostModelAndComputes) {
+  simgpu::Device dev(simgpu::v100(), simgpu::ExecMode::kExecute);
+  const int64_t m = 32, n = 16, k = 8;
+  Tensor a = Tensor::from_vector(random_vec(static_cast<size_t>(m * k), 1), Shape{m, k},
+                                 DType::kF32);
+  Tensor b = Tensor::from_vector(random_vec(static_cast<size_t>(k * n), 2), Shape{k, n},
+                                 DType::kF32);
+  Tensor c = Tensor::zeros(Shape{m, n}, DType::kF32);
+  device_gemm(dev, false, false, m, n, k, 1.0f, a, b, 0.0f, c);
+  EXPECT_EQ(dev.stats().launches, 1);
+  EXPECT_GT(dev.clock_us(), 0.0);
+  std::vector<float> expect(static_cast<size_t>(m * n), 0.0f);
+  const auto av = a.to_vector(), bv = b.to_vector();
+  ref_gemm(false, false, m, n, k, 1.0f, av.data(), bv.data(), 0.0f, expect.data());
+  const auto cv = c.to_vector();
+  for (size_t i = 0; i < cv.size(); ++i) EXPECT_NEAR(cv[i], expect[i], 1e-4f);
+}
+
+TEST(DeviceGemmTest, Fp16UsesTensorCoreRate) {
+  simgpu::Device dev(simgpu::v100(), simgpu::ExecMode::kModelOnly);
+  const int64_t m = 1024, n = 1024, k = 1024;
+  Tensor a16 = Tensor::zeros(Shape{m, k}, DType::kF16);
+  Tensor b16 = Tensor::zeros(Shape{k, n}, DType::kF16);
+  Tensor c16 = Tensor::zeros(Shape{m, n}, DType::kF16);
+  device_gemm(dev, false, false, m, n, k, 1.0f, a16, b16, 0.0f, c16);
+  const double t16 = dev.clock_us();
+  dev.reset();
+  Tensor a32 = Tensor::zeros(Shape{m, k}, DType::kF32);
+  Tensor b32 = Tensor::zeros(Shape{k, n}, DType::kF32);
+  Tensor c32 = Tensor::zeros(Shape{m, n}, DType::kF32);
+  device_gemm(dev, false, false, m, n, k, 1.0f, a32, b32, 0.0f, c32);
+  const double t32 = dev.clock_us();
+  EXPECT_GT(t32, t16 * 3);  // tensor cores are ~8x peak; model must show a big gap
+}
+
+TEST(DeviceGemmTest, MixedDtypeRejected) {
+  simgpu::Device dev(simgpu::v100(), simgpu::ExecMode::kModelOnly);
+  Tensor a = Tensor::zeros(Shape{2, 2}, DType::kF32);
+  Tensor b = Tensor::zeros(Shape{2, 2}, DType::kF16);
+  Tensor c = Tensor::zeros(Shape{2, 2}, DType::kF32);
+  EXPECT_THROW(device_gemm(dev, false, false, 2, 2, 2, 1.0f, a, b, 0.0f, c), Error);
+}
+
+}  // namespace
+}  // namespace ls2::gemm

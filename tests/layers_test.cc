@@ -1,0 +1,388 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "layers/criterion_layer.h"
+#include "layers/decoder_layer.h"
+#include "layers/embedding_layer.h"
+#include "layers/encoder_layer.h"
+#include "simgpu/profile.h"
+
+namespace ls2::layers {
+namespace {
+
+TransformerLayerConfig tiny_config(float dropout) {
+  TransformerLayerConfig cfg;
+  cfg.hidden = 16;
+  cfg.heads = 2;
+  cfg.ffn_dim = 32;
+  cfg.dropout = dropout;
+  cfg.attn_dropout = dropout;
+  cfg.act_dropout = dropout;
+  return cfg;
+}
+
+struct Harness {
+  explicit Harness(System system, uint64_t seed = 42)
+      : device(simgpu::v100(), simgpu::ExecMode::kExecute),
+        ctx(device, nullptr, policy_for(system), seed) {}
+
+  Tensor randn(Shape shape, uint64_t stream, float sd = 1.0f) {
+    Tensor t = Tensor::empty(std::move(shape), DType::kF32);
+    Rng(123).fill_normal(t, stream, 0.0f, sd);
+    return t;
+  }
+
+  simgpu::Device device;
+  LayerContext ctx;
+};
+
+TEST(ParamRegistryTest, WorkspaceAndPerTensorInitIdentical) {
+  Rng rng(7);
+  ParamRegistry a, b;
+  a.declare("w", Shape{8, 4}, Init::kXavier);
+  a.declare("g", Shape{4}, Init::kOne);
+  a.declare("e", Shape{10, 4}, Init::kNormal);
+  b.declare("w", Shape{8, 4}, Init::kXavier);
+  b.declare("g", Shape{4}, Init::kOne);
+  b.declare("e", Shape{10, 4}, Init::kNormal);
+  a.materialize(DType::kF32, /*contiguous=*/true, rng);
+  b.materialize(DType::kF32, /*contiguous=*/false, rng);
+  for (int i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.value({i}).to_vector(), b.value({i}).to_vector()) << a.name({i});
+  }
+  // Workspace flat view must cover all parameters.
+  EXPECT_GE(a.flat_values().numel(), a.total_elements());
+  EXPECT_THROW(b.flat_values(), Error);
+}
+
+TEST(ParamRegistryTest, GradsZeroedAndLinked) {
+  Rng rng(7);
+  ParamRegistry reg;
+  ParamRef w = reg.declare("w", Shape{4, 4}, Init::kXavier);
+  reg.materialize(DType::kF32, true, rng);
+  reg.grad(w).fill_(3.0f);
+  // The flat gradient view must see the same storage.
+  bool found = false;
+  const auto flat = reg.flat_grads().to_vector();
+  for (float v : flat) {
+    if (v == 3.0f) found = true;
+  }
+  EXPECT_TRUE(found);
+  reg.zero_grads();
+  for (float v : reg.grad(w).to_vector()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(EncoderLayerTest, ForwardShapeAndFiniteValues) {
+  Harness h(System::kLightSeq2);
+  ParamRegistry params;
+  TransformerEncoderLayer layer(params, "enc.0", tiny_config(0.1f));
+  params.materialize(DType::kF32, true, Rng(1));
+  Tensor x = h.randn({2, 5, 16}, 1, 0.5f);
+  Tensor y = layer.forward(h.ctx, x, nullptr);
+  EXPECT_EQ(y.shape(), (Shape{2, 5, 16}));
+  for (float v : y.to_vector()) ASSERT_FALSE(std::isnan(v) || std::isinf(v));
+  layer.release();
+}
+
+// All four systems implement the same math: given identical parameters and
+// RNG streams they must produce identical outputs and gradients. This is
+// the layer-level statement of the paper's "no change in training behavior".
+TEST(EncoderLayerTest, PolicyEquivalenceForwardBackward) {
+  std::vector<float> ref_y, ref_dx;
+  std::vector<std::vector<float>> ref_grads;
+  for (System sys : {System::kFairseq, System::kFairseqApex, System::kDeepSpeed,
+                     System::kLightSeq2}) {
+    Harness h(sys, /*seed=*/99);
+    ParamRegistry params;
+    TransformerEncoderLayer layer(params, "enc.0", tiny_config(0.2f));
+    params.materialize(DType::kF32, sys == System::kLightSeq2, Rng(1));
+    params.zero_grads();
+    Tensor x = h.randn({2, 4, 16}, 1, 0.5f);
+    Tensor y = layer.forward(h.ctx, x, nullptr);
+    Tensor dy = h.randn({2, 4, 16}, 2, 0.1f);
+    Tensor dx = layer.backward(h.ctx, dy);
+
+    std::vector<std::vector<float>> grads;
+    params.for_each([&](const std::string&, Tensor, Tensor g) {
+      grads.push_back(g.to_vector());
+    });
+    if (ref_y.empty()) {
+      ref_y = y.to_vector();
+      ref_dx = dx.to_vector();
+      ref_grads = grads;
+    } else {
+      EXPECT_EQ(y.to_vector(), ref_y) << system_name(sys);
+      EXPECT_EQ(dx.to_vector(), ref_dx) << system_name(sys);
+      ASSERT_EQ(grads.size(), ref_grads.size());
+      for (size_t i = 0; i < grads.size(); ++i) {
+        ASSERT_EQ(grads[i].size(), ref_grads[i].size());
+        for (size_t j = 0; j < grads[i].size(); ++j) {
+          ASSERT_NEAR(grads[i][j], ref_grads[i][j], 1e-5)
+              << system_name(sys) << " param " << i << " elem " << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(EncoderLayerTest, InputGradientMatchesFiniteDifference) {
+  Harness h(System::kLightSeq2);
+  ParamRegistry params;
+  TransformerEncoderLayer layer(params, "enc.0", tiny_config(0.0f));
+  params.materialize(DType::kF32, true, Rng(1));
+
+  Tensor x = h.randn({1, 3, 16}, 1, 0.5f);
+  Tensor dy = h.randn({1, 3, 16}, 2, 0.3f);
+
+  params.zero_grads();
+  Tensor y = layer.forward(h.ctx, x, nullptr);
+  Tensor dx = layer.backward(h.ctx, dy);
+  const auto dxv = dx.to_vector();
+
+  auto objective = [&](const std::vector<float>& xv) {
+    Tensor xt = Tensor::from_vector(xv, {1, 3, 16}, DType::kF32);
+    Tensor yt = layer.forward(h.ctx, xt, nullptr);
+    layer.release();
+    const auto yv = yt.to_vector();
+    const auto dyv = dy.to_vector();
+    double s = 0;
+    for (size_t i = 0; i < yv.size(); ++i) s += static_cast<double>(dyv[i]) * yv[i];
+    return s;
+  };
+  const auto xv = x.to_vector();
+  const float eps = 1e-3f;
+  for (size_t i = 0; i < xv.size(); i += 5) {
+    auto xp = xv, xm = xv;
+    xp[i] += eps;
+    xm[i] -= eps;
+    const double numeric = (objective(xp) - objective(xm)) / (2 * eps);
+    EXPECT_NEAR(dxv[i], numeric, 3e-2 * (1.0 + std::abs(numeric))) << "i=" << i;
+  }
+}
+
+TEST(EncoderLayerTest, WeightGradientMatchesFiniteDifference) {
+  Harness h(System::kLightSeq2);
+  ParamRegistry params;
+  TransformerEncoderLayer layer(params, "enc.0", tiny_config(0.0f));
+  params.materialize(DType::kF32, true, Rng(1));
+
+  Tensor x = h.randn({1, 3, 16}, 1, 0.5f);
+  Tensor dy = h.randn({1, 3, 16}, 2, 0.3f);
+  params.zero_grads();
+  layer.forward(h.ctx, x, nullptr);
+  layer.backward(h.ctx, dy);
+
+  // Check a few entries of the first FFN weight and the QKV projection.
+  for (const char* pname : {"enc.0.ffn.fc1.weight", "enc.0.self_attn.qkv_proj.weight",
+                            "enc.0.self_attn.ln.gamma"}) {
+    ParamRef ref;
+    for (int i = 0; i < params.size(); ++i) {
+      if (params.name({i}) == pname) ref = {i};
+    }
+    ASSERT_TRUE(ref.valid()) << pname;
+    Tensor w = params.value(ref);
+    const auto gv = params.grad(ref).to_vector();
+    auto wv = w.to_vector();
+    const float eps = 1e-3f;
+    for (size_t i = 0; i < wv.size(); i += std::max<size_t>(1, wv.size() / 4)) {
+      const float orig = wv[i];
+      auto perturb = [&](float delta) {
+        wv[i] = orig + delta;
+        w.copy_from(wv);
+        Tensor yt = layer.forward(h.ctx, x, nullptr);
+        layer.release();
+        const auto yv = yt.to_vector();
+        const auto dyv = dy.to_vector();
+        double s = 0;
+        for (size_t j = 0; j < yv.size(); ++j) s += static_cast<double>(dyv[j]) * yv[j];
+        return s;
+      };
+      const double numeric = (perturb(eps) - perturb(-eps)) / (2 * eps);
+      wv[i] = orig;
+      w.copy_from(wv);
+      EXPECT_NEAR(gv[i], numeric, 3e-2 * (1.0 + std::abs(numeric)))
+          << pname << "[" << i << "]";
+    }
+  }
+}
+
+TEST(EncoderLayerTest, PaddingMaskExcludesPaddedKeys) {
+  Harness h(System::kLightSeq2);
+  ParamRegistry params;
+  TransformerEncoderLayer layer(params, "enc.0", tiny_config(0.0f));
+  params.materialize(DType::kF32, true, Rng(1));
+
+  // Two inputs identical in the first 3 positions, garbage beyond; with
+  // key_lens=3 the first 3 output rows must match exactly.
+  Tensor x1 = h.randn({1, 5, 16}, 1, 0.5f);
+  Tensor x2 = Tensor::from_vector(x1.to_vector(), {1, 5, 16}, DType::kF32);
+  {
+    auto v = x2.to_vector();
+    for (size_t i = 3 * 16; i < v.size(); ++i) v[i] = 9.0f;
+    x2.copy_from(v);
+  }
+  Tensor lens = Tensor::from_vector({3.0f}, {1}, DType::kI32);
+  Tensor y1 = layer.forward(h.ctx, x1, &lens);
+  layer.release();
+  Tensor y2 = layer.forward(h.ctx, x2, &lens);
+  layer.release();
+  const auto v1 = y1.to_vector(), v2 = y2.to_vector();
+  for (size_t i = 0; i < 3 * 16; ++i) EXPECT_FLOAT_EQ(v1[i], v2[i]) << i;
+}
+
+TEST(DecoderLayerTest, CausalityHolds) {
+  Harness h(System::kLightSeq2);
+  ParamRegistry params;
+  TransformerLayerConfig cfg = tiny_config(0.0f);
+  TransformerDecoderLayer layer(params, "dec.0", cfg);
+  params.materialize(DType::kF32, true, Rng(1));
+
+  const int64_t B = 1, Lt = 6, Ls = 4, H = 16, N = 2, D = 8;
+  Tensor k = h.randn({B, N, Ls, D}, 10, 0.5f);
+  Tensor v = h.randn({B, N, Ls, D}, 11, 0.5f);
+  Tensor x1 = h.randn({B, Lt, H}, 1, 0.5f);
+  Tensor x2 = Tensor::from_vector(x1.to_vector(), {B, Lt, H}, DType::kF32);
+  {
+    // Change only the last position.
+    auto xv = x2.to_vector();
+    for (int64_t j = 0; j < H; ++j) xv[static_cast<size_t>((Lt - 1) * H + j)] += 5.0f;
+    x2.copy_from(xv);
+  }
+  Tensor y1 = layer.forward(h.ctx, x1, k, v, nullptr, nullptr);
+  layer.release();
+  Tensor y2 = layer.forward(h.ctx, x2, k, v, nullptr, nullptr);
+  layer.release();
+  const auto v1 = y1.to_vector(), v2 = y2.to_vector();
+  // Positions 0..Lt-2 must be unaffected by the change at Lt-1.
+  for (size_t i = 0; i < static_cast<size_t>((Lt - 1) * H); ++i) {
+    EXPECT_FLOAT_EQ(v1[i], v2[i]) << i;
+  }
+  // The changed position must differ.
+  bool differs = false;
+  for (size_t i = static_cast<size_t>((Lt - 1) * H); i < v1.size(); ++i) {
+    if (v1[i] != v2[i]) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(DecoderLayerTest, CrossAttentionGradsAccumulate) {
+  Harness h(System::kLightSeq2);
+  ParamRegistry params;
+  TransformerDecoderLayer layer(params, "dec.0", tiny_config(0.0f));
+  params.materialize(DType::kF32, true, Rng(1));
+  params.zero_grads();
+
+  const int64_t B = 1, Lt = 3, Ls = 4, H = 16, N = 2, D = 8;
+  Tensor k = h.randn({B, N, Ls, D}, 10, 0.5f);
+  Tensor v = h.randn({B, N, Ls, D}, 11, 0.5f);
+  Tensor x = h.randn({B, Lt, H}, 1, 0.5f);
+  Tensor y = layer.forward(h.ctx, x, k, v, nullptr, nullptr);
+  Tensor dy = h.randn({B, Lt, H}, 2, 0.2f);
+  Tensor dk = Tensor::zeros({B, N, Ls, D}, DType::kF32);
+  Tensor dv = Tensor::zeros({B, N, Ls, D}, DType::kF32);
+  Tensor dx = layer.backward(h.ctx, dy, dk, dv);
+  EXPECT_EQ(dx.shape(), x.shape());
+  double knorm = 0, vnorm = 0;
+  for (float f : dk.to_vector()) knorm += std::abs(f);
+  for (float f : dv.to_vector()) vnorm += std::abs(f);
+  EXPECT_GT(knorm, 0.0);
+  EXPECT_GT(vnorm, 0.0);
+}
+
+TEST(DecoderLayerTest, DeepSpeedPolicyRejectsDecoder) {
+  Harness h(System::kDeepSpeed);
+  ParamRegistry params;
+  TransformerDecoderLayer layer(params, "dec.0", tiny_config(0.0f));
+  params.materialize(DType::kF32, false, Rng(1));
+  Tensor x = h.randn({1, 4, 16}, 1);
+  Tensor k = h.randn({1, 2, 4, 8}, 2);
+  Tensor v = h.randn({1, 2, 4, 8}, 3);
+  EXPECT_THROW(layer.forward(h.ctx, x, k, v, nullptr, nullptr), Error);
+}
+
+TEST(EmbeddingLayerTest, ForwardAndTiedBackward) {
+  Harness h(System::kLightSeq2);
+  ParamRegistry params;
+  EmbeddingConfig ecfg;
+  ecfg.vocab = 20;
+  ecfg.hidden = 16;
+  ecfg.max_len = 8;
+  ecfg.dropout = 0.0f;
+  ecfg.pad_id = 0;
+  EmbeddingLayer emb(params, "embed", ecfg);
+  CriterionConfig ccfg;
+  ccfg.vocab = 20;
+  ccfg.hidden = 16;
+  ccfg.pad_id = 0;
+  CriterionLayer crit(params, "criterion", ccfg, emb.table());
+  params.materialize(DType::kF32, true, Rng(1));
+  params.zero_grads();
+
+  Tensor ids = Tensor::from_vector({1, 2, 3, 4}, {1, 4}, DType::kI32);
+  Tensor targets = Tensor::from_vector({2, 3, 4, 5}, {1, 4}, DType::kI32);
+  Tensor x = emb.forward(h.ctx, ids);
+  CriterionResult res = crit.forward(h.ctx, x, targets);
+  EXPECT_EQ(res.tokens, 4);
+  EXPECT_GT(res.loss_sum, 0.0f);
+  Tensor dx = crit.backward(h.ctx);
+  emb.backward(h.ctx, dx);
+
+  // The tied table must have received gradient from BOTH the projection and
+  // the embedding lookup: rows for target tokens AND input tokens non-zero.
+  const auto g = params.grad(emb.table()).to_vector();
+  auto row_norm = [&](int row) {
+    double s = 0;
+    for (int64_t j = 0; j < 16; ++j) s += std::abs(g[static_cast<size_t>(row * 16 + j)]);
+    return s;
+  };
+  EXPECT_GT(row_norm(1), 0.0);   // input token 1 (embedding path)
+  EXPECT_GT(row_norm(5), 0.0);   // target token 5 (projection path)
+  EXPECT_GT(row_norm(19), 0.0);  // softmax spreads gradient over all rows
+}
+
+TEST(CriterionLayerTest, LossIgnoresPadTargets) {
+  Harness h(System::kLightSeq2);
+  ParamRegistry params;
+  CriterionConfig cfg;
+  cfg.vocab = 12;
+  cfg.hidden = 8;
+  cfg.pad_id = 0;
+  CriterionLayer crit(params, "criterion", cfg);
+  params.materialize(DType::kF32, true, Rng(1));
+  params.zero_grads();
+  Tensor x = Tensor::empty({1, 3, 8}, DType::kF32);
+  Rng(5).fill_normal(x, 1, 0.0f, 1.0f);
+  Tensor targets = Tensor::from_vector({3, 0, 7}, {1, 3}, DType::kI32);
+  CriterionResult res = crit.forward(h.ctx, x, targets);
+  EXPECT_EQ(res.tokens, 2);  // pad target excluded
+  crit.release();
+}
+
+TEST(EncoderLayerTest, LightSeq2LaunchesFarFewerKernels) {
+  const int64_t B = 4, L = 32;
+  int64_t fair_launches = 0, ls2_launches = 0;
+  for (System sys : {System::kFairseq, System::kLightSeq2}) {
+    Harness h(sys);
+    ParamRegistry params;
+    TransformerLayerConfig cfg = tiny_config(0.1f);
+    TransformerEncoderLayer layer(params, "enc.0", cfg);
+    params.materialize(DType::kF32, sys == System::kLightSeq2, Rng(1));
+    params.zero_grads();
+    Tensor x = h.randn({B, L, 16}, 1, 0.5f);
+    h.device.reset();
+    Tensor y = layer.forward(h.ctx, x, nullptr);
+    Tensor dy = h.randn({B, L, 16}, 2, 0.1f);
+    layer.backward(h.ctx, dy);
+    if (sys == System::kFairseq) {
+      fair_launches = h.device.stats().launches;
+    } else {
+      ls2_launches = h.device.stats().launches;
+    }
+  }
+  EXPECT_LT(ls2_launches, fair_launches);
+  EXPECT_GE(fair_launches - ls2_launches, 15);  // substantial fusion
+}
+
+}  // namespace
+}  // namespace ls2::layers

@@ -1,0 +1,87 @@
+#include "tensor/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ls2 {
+namespace {
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.bits(7, static_cast<uint64_t>(i)), b.bits(7, static_cast<uint64_t>(i)));
+  }
+}
+
+TEST(RngTest, SeedsAndStreamsDecorrelate) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.bits(0, static_cast<uint64_t>(i)) == b.bits(0, static_cast<uint64_t>(i))) ++same;
+    if (a.bits(0, static_cast<uint64_t>(i)) == a.bits(1, static_cast<uint64_t>(i))) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformInRangeAndWellSpread) {
+  Rng rng(123);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const float u = rng.uniform(3, static_cast<uint64_t>(i));
+    ASSERT_GE(u, 0.0f);
+    ASSERT_LT(u, 1.0f);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, NormalMomentsApproximatelyStandard) {
+  Rng rng(9);
+  const int n = 100000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const float x = rng.normal(5, static_cast<uint64_t>(i));
+    sum += x;
+    sq += static_cast<double>(x) * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, RandintBounds) {
+  Rng rng(77);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.randint(1, static_cast<uint64_t>(i), 17);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 17);
+  }
+}
+
+TEST(RngTest, FillHelpers) {
+  Rng rng(5);
+  Tensor u = Tensor::empty(Shape{1000}, DType::kF32);
+  rng.fill_uniform(u, 0, -2.0f, 2.0f);
+  for (float v : u.to_vector()) {
+    ASSERT_GE(v, -2.0f);
+    ASSERT_LT(v, 2.0f);
+  }
+  Tensor ids = Tensor::empty(Shape{1000}, DType::kI32);
+  rng.fill_randint(ids, 1, 0, 32);
+  for (float v : ids.to_vector()) {
+    ASSERT_GE(v, 0.0f);
+    ASSERT_LT(v, 32.0f);
+  }
+  Tensor g = Tensor::empty(Shape{1000}, DType::kF16);
+  rng.fill_normal(g, 2, 0.0f, 0.02f);
+  double maxabs = 0;
+  for (float v : g.to_vector()) maxabs = std::max(maxabs, std::abs(static_cast<double>(v)));
+  EXPECT_LT(maxabs, 0.2);
+  EXPECT_GT(maxabs, 0.01);
+}
+
+}  // namespace
+}  // namespace ls2

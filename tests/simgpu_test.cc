@@ -1,0 +1,158 @@
+#include "simgpu/device.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "simgpu/profile.h"
+
+namespace ls2::simgpu {
+namespace {
+
+KernelDesc bytes_kernel(int64_t bytes, double eff = 0.8) {
+  KernelDesc d;
+  d.name = "test.bytes";
+  d.bytes_read = bytes / 2;
+  d.bytes_written = bytes - bytes / 2;
+  d.mem_efficiency = eff;
+  return d;
+}
+
+TEST(ProfileTest, LookupByName) {
+  EXPECT_EQ(profile_by_name("v100").name, "V100");
+  EXPECT_EQ(profile_by_name("A100").name, "A100");
+  EXPECT_THROW(profile_by_name("h100"), Error);
+}
+
+TEST(ProfileTest, A100IsFasterThanV100) {
+  const DeviceProfile v = v100(), a = a100();
+  EXPECT_GT(a.mem_bw_gb_s, v.mem_bw_gb_s);
+  EXPECT_GT(a.fp16_tflops, v.fp16_tflops);
+}
+
+TEST(DeviceTest, BandwidthBoundKernelTime) {
+  Device dev(v100(), ExecMode::kModelOnly);
+  // 900 GB/s * 0.8 eff => 720 bytes/ns. 720 MB should take 1000 us.
+  const double t = dev.kernel_time_us(bytes_kernel(720 * 1000 * 1000));
+  EXPECT_NEAR(t, 1000.0, 1e-6);
+}
+
+TEST(DeviceTest, ComputeBoundKernelTime) {
+  Device dev(v100(), ExecMode::kModelOnly);
+  KernelDesc d;
+  d.name = "test.flops";
+  d.flops = 15.7e12 * 0.7 * 1e-3;  // exactly 1 ms at 70% of fp32 peak
+  d.compute_efficiency = 0.7;
+  EXPECT_NEAR(dev.kernel_time_us(d), 1000.0, 1e-6);
+}
+
+TEST(DeviceTest, TensorCoreUsesFp16Peak) {
+  Device dev(v100(), ExecMode::kModelOnly);
+  KernelDesc d;
+  d.name = "test.tc";
+  d.flops = 1e12;
+  d.compute_efficiency = 0.5;
+  d.tensor_core = false;
+  const double fp32_t = dev.kernel_time_us(d);
+  d.tensor_core = true;
+  const double fp16_t = dev.kernel_time_us(d);
+  EXPECT_NEAR(fp32_t / fp16_t, 125.0 / 15.7, 1e-6);
+}
+
+TEST(DeviceTest, LaunchAdvancesClockAndStats) {
+  Device dev(v100(), ExecMode::kModelOnly);
+  dev.launch(bytes_kernel(720 * 1000), nullptr);
+  EXPECT_NEAR(dev.clock_us(), 4.5 + 1.0, 1e-9);
+  EXPECT_EQ(dev.stats().launches, 1);
+  EXPECT_EQ(dev.stats().bytes_moved, 720 * 1000);
+}
+
+TEST(DeviceTest, ModelOnlySkipsBody) {
+  Device dev(v100(), ExecMode::kModelOnly);
+  bool ran = false;
+  dev.launch(bytes_kernel(100), [&] { ran = true; });
+  EXPECT_FALSE(ran);
+  dev.set_mode(ExecMode::kExecute);
+  dev.launch(bytes_kernel(100), [&] { ran = true; });
+  EXPECT_TRUE(ran);
+}
+
+TEST(DeviceTest, RangesAttributeTime) {
+  Device dev(v100(), ExecMode::kModelOnly);
+  {
+    ScopedRange fw(dev, "forward");
+    dev.launch(bytes_kernel(720 * 1000), nullptr);
+    {
+      ScopedRange inner(dev, "attn");
+      dev.launch(bytes_kernel(720 * 1000), nullptr);
+    }
+  }
+  {
+    ScopedRange bw(dev, "backward");
+    dev.launch(bytes_kernel(720 * 1000), nullptr);
+  }
+  EXPECT_NEAR(dev.range_time_us("forward"), 5.5, 1e-9);
+  EXPECT_NEAR(dev.range_time_us("attn"), 5.5, 1e-9);
+  EXPECT_NEAR(dev.range_time_us("backward"), 5.5, 1e-9);
+  EXPECT_EQ(dev.range_time_us("update"), 0.0);
+}
+
+TEST(DeviceTest, UtilizationCountsOverheadAsIdle) {
+  Device dev(v100(), ExecMode::kModelOnly);
+  // Launch overhead 4.5us + exec 1.0us => utilization ~ 1/5.5.
+  dev.launch(bytes_kernel(720 * 1000), nullptr);
+  EXPECT_NEAR(dev.utilization(), 1.0 / 5.5, 1e-9);
+}
+
+TEST(DeviceTest, PerKernelStatsAggregate) {
+  Device dev(v100(), ExecMode::kModelOnly);
+  for (int i = 0; i < 3; ++i) dev.launch(bytes_kernel(720 * 1000), nullptr);
+  const auto& pk = dev.per_kernel().at("test.bytes");
+  EXPECT_EQ(pk.launches, 3);
+  EXPECT_NEAR(pk.time_us, 3 * 5.5, 1e-9);
+}
+
+TEST(DeviceTest, ResetClearsEverything) {
+  Device dev(v100(), ExecMode::kModelOnly);
+  dev.launch(bytes_kernel(100), nullptr);
+  dev.reset();
+  EXPECT_EQ(dev.clock_us(), 0.0);
+  EXPECT_EQ(dev.stats().launches, 0);
+  EXPECT_TRUE(dev.per_kernel().empty());
+}
+
+TEST(TimelineTest, UtilizationSeries) {
+  Timeline tl;
+  tl.record_busy(0, 50);     // bucket 0: 50% busy
+  tl.record_busy(100, 300);  // buckets 1-2: fully busy
+  const auto series = tl.utilization_series(100, 300);
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_NEAR(series[0], 0.5, 1e-9);
+  EXPECT_NEAR(series[1], 1.0, 1e-9);
+  EXPECT_NEAR(series[2], 1.0, 1e-9);
+}
+
+TEST(TimelineTest, MemorySeriesCarriesForward) {
+  Timeline tl;
+  tl.record_memory(10, 1000);
+  tl.record_memory(250, 3000);
+  const auto series = tl.memory_series(100, 400);
+  ASSERT_EQ(series.size(), 4u);
+  EXPECT_EQ(series[0], 1000);
+  EXPECT_EQ(series[1], 1000);
+  EXPECT_EQ(series[2], 3000);
+  EXPECT_EQ(series[3], 3000);
+  EXPECT_EQ(tl.peak_memory_bytes(), 3000);
+}
+
+TEST(DeviceTest, AdvanceBusyVsIdle) {
+  Device dev(v100(), ExecMode::kModelOnly);
+  dev.advance(10.0, /*busy=*/true, "comm");
+  dev.advance(30.0, /*busy=*/false, "wait");
+  EXPECT_NEAR(dev.clock_us(), 40.0, 1e-9);
+  EXPECT_NEAR(dev.utilization(), 0.25, 1e-9);
+  EXPECT_NEAR(dev.range_time_us("comm"), 10.0, 1e-9);
+  EXPECT_NEAR(dev.range_time_us("wait"), 30.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ls2::simgpu

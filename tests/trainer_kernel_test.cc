@@ -1,0 +1,210 @@
+#include "kernels/trainer_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "simgpu/profile.h"
+
+namespace ls2::kern {
+namespace {
+
+class TrainerKernelTest : public ::testing::Test {
+ protected:
+  TrainerKernelTest() : dev(simgpu::v100(), simgpu::ExecMode::kExecute), kc(dev, nullptr, 7) {}
+
+  Tensor randn(Shape shape, uint64_t stream, float sd = 0.1f, DType dt = DType::kF32) {
+    Tensor t = Tensor::empty(std::move(shape), dt);
+    kc.rng.fill_normal(t, 5000 + stream, 0.0f, sd);
+    return t;
+  }
+
+  simgpu::Device dev;
+  KernelContext kc;
+};
+
+// Reference Adam (direct transcription of the algorithm).
+void ref_adam(std::vector<float>& p, const std::vector<float>& g, std::vector<float>& m,
+              std::vector<float>& v, const AdamHyper& h) {
+  const float bc1 = 1.0f - std::pow(h.beta1, static_cast<float>(h.step));
+  const float bc2 = 1.0f - std::pow(h.beta2, static_cast<float>(h.step));
+  for (size_t i = 0; i < p.size(); ++i) {
+    m[i] = h.beta1 * m[i] + (1 - h.beta1) * g[i];
+    v[i] = h.beta2 * v[i] + (1 - h.beta2) * g[i] * g[i];
+    p[i] -= h.lr * ((m[i] / bc1) / (std::sqrt(v[i] / bc2) + h.eps) + h.weight_decay * p[i]);
+  }
+}
+
+TEST_F(TrainerKernelTest, AdamMatchesReference) {
+  const int64_t n = 1000;
+  Tensor p = randn({n}, 1);
+  Tensor g = randn({n}, 2);
+  Tensor m = Tensor::zeros({n}, DType::kF32);
+  Tensor v = Tensor::zeros({n}, DType::kF32);
+  AdamHyper h;
+  h.lr = 0.01f;
+  h.weight_decay = 0.1f;
+
+  auto pv = p.to_vector();
+  auto gv = g.to_vector();
+  std::vector<float> mv(n, 0.0f), vv(n, 0.0f);
+
+  for (int step = 1; step <= 3; ++step) {
+    h.step = step;
+    adam_update(kc, TrainerImpl::kLS2, p, g, m, v, h, 1.0f);
+    ref_adam(pv, gv, mv, vv, h);
+  }
+  const auto got = p.to_vector();
+  for (int64_t i = 0; i < n; ++i) EXPECT_NEAR(got[i], pv[i], 1e-6) << i;
+}
+
+TEST_F(TrainerKernelTest, AllImplsBitIdenticalOnF32) {
+  const int64_t n = 512;
+  AdamHyper h;
+  h.step = 1;
+  std::vector<std::vector<float>> results;
+  for (TrainerImpl impl : {TrainerImpl::kTorch, TrainerImpl::kApex, TrainerImpl::kLS2}) {
+    Tensor p = randn({n}, 1);
+    Tensor g = randn({n}, 2);
+    Tensor m = Tensor::zeros({n}, DType::kF32);
+    Tensor v = Tensor::zeros({n}, DType::kF32);
+    adam_update(kc, impl, p, g, m, v, h, 1.0f);
+    results.push_back(p.to_vector());
+  }
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[1], results[2]);
+}
+
+TEST_F(TrainerKernelTest, Fp16WorkspaceTracksFp32Master) {
+  // The paper's claim: updating FP16 parameters with on-the-fly conversion
+  // does not change training behaviour. One step must agree with the FP32
+  // path within FP16 resolution.
+  const int64_t n = 2048;
+  Tensor p32 = randn({n}, 1);
+  Tensor g32 = randn({n}, 2);
+  Tensor p16 = Tensor::from_vector(p32.to_vector(), {n}, DType::kF16);
+  Tensor g16 = Tensor::from_vector(g32.to_vector(), {n}, DType::kF16);
+  Tensor m1 = Tensor::zeros({n}, DType::kF32), v1 = Tensor::zeros({n}, DType::kF32);
+  Tensor m2 = Tensor::zeros({n}, DType::kF32), v2 = Tensor::zeros({n}, DType::kF32);
+  AdamHyper h;
+  h.lr = 0.01f;
+  adam_update(kc, TrainerImpl::kApex, p32, g32, m1, v1, h, 1.0f);
+  adam_update(kc, TrainerImpl::kLS2, p16, g16, m2, v2, h, 1.0f);
+  const auto a = p32.to_vector(), b = p16.to_vector();
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(b[i], a[i], 1.5e-3f * (1.0f + std::abs(a[i]))) << i;
+  }
+}
+
+TEST_F(TrainerKernelTest, GradScaleUnscalesLossScaling) {
+  const int64_t n = 64;
+  Tensor p1 = randn({n}, 1);
+  Tensor p2 = Tensor::from_vector(p1.to_vector(), {n}, DType::kF32);
+  Tensor g = randn({n}, 2);
+  // Scaled gradients: g*1024 with grad_scale 1/1024 must equal plain g.
+  auto gv = g.to_vector();
+  for (float& f : gv) f *= 1024.0f;
+  Tensor gs = Tensor::from_vector(gv, {n}, DType::kF32);
+  Tensor m1 = Tensor::zeros({n}, DType::kF32), v1 = Tensor::zeros({n}, DType::kF32);
+  Tensor m2 = Tensor::zeros({n}, DType::kF32), v2 = Tensor::zeros({n}, DType::kF32);
+  AdamHyper h;
+  adam_update(kc, TrainerImpl::kLS2, p1, g, m1, v1, h, 1.0f);
+  adam_update(kc, TrainerImpl::kLS2, p2, gs, m2, v2, h, 1.0f / 1024.0f);
+  const auto a = p1.to_vector(), b = p2.to_vector();
+  for (int64_t i = 0; i < n; ++i) EXPECT_NEAR(a[i], b[i], 1e-6f);
+}
+
+TEST_F(TrainerKernelTest, ApexWritesFp16ModelCopy) {
+  const int64_t n = 128;
+  Tensor p32 = randn({n}, 1);
+  Tensor g32 = randn({n}, 2);
+  Tensor m = Tensor::zeros({n}, DType::kF32), v = Tensor::zeros({n}, DType::kF32);
+  Tensor p16 = Tensor::zeros({n}, DType::kF16);
+  AdamHyper h;
+  adam_update(kc, TrainerImpl::kApex, p32, g32, m, v, h, 1.0f, &p16);
+  const auto a = p32.to_vector(), b = p16.to_vector();
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(b[i], a[i], 1e-3f * (1.0f + std::abs(a[i])));
+  }
+}
+
+void ref_sgd(std::vector<float>& p, const std::vector<float>& g, std::vector<float>& mom,
+             const SgdHyper& h) {
+  for (size_t i = 0; i < p.size(); ++i) {
+    const float gi = g[i] + h.weight_decay * p[i];
+    mom[i] = h.momentum * mom[i] + gi;
+    p[i] -= h.lr * mom[i];
+  }
+}
+
+TEST_F(TrainerKernelTest, SgdMatchesReference) {
+  const int64_t n = 777;
+  Tensor p = randn({n}, 1);
+  Tensor g = randn({n}, 2);
+  Tensor mom = Tensor::zeros({n}, DType::kF32);
+  SgdHyper h;
+  h.lr = 0.05f;
+  h.momentum = 0.9f;
+  h.weight_decay = 0.01f;
+  auto pv = p.to_vector();
+  auto gv = g.to_vector();
+  std::vector<float> mv(n, 0.0f);
+  for (int step = 0; step < 3; ++step) {
+    sgd_update(kc, TrainerImpl::kLS2, p, g, mom, h, 1.0f);
+    ref_sgd(pv, gv, mv, h);
+  }
+  const auto got = p.to_vector();
+  for (int64_t i = 0; i < n; ++i) EXPECT_NEAR(got[i], pv[i], 1e-5f) << i;
+}
+
+TEST_F(TrainerKernelTest, OverflowDetection) {
+  Tensor g = randn({100}, 1);
+  Tensor flag = Tensor::empty({1}, DType::kF32);
+  check_overflow(kc, g, flag);
+  EXPECT_EQ(flag.item(), 0.0f);
+  auto gv = g.to_vector();
+  gv[50] = std::numeric_limits<float>::infinity();
+  g.copy_from(gv);
+  check_overflow(kc, g, flag);
+  EXPECT_EQ(flag.item(), 1.0f);
+  // Half inf as well.
+  Tensor h = Tensor::zeros({8}, DType::kF16);
+  h.data<Half>()[3] = Half::from_bits(0x7c00);  // +inf
+  check_overflow(kc, h, flag);
+  EXPECT_EQ(flag.item(), 1.0f);
+}
+
+TEST_F(TrainerKernelTest, StateDtypeEnforced) {
+  Tensor p = randn({8}, 1, 0.1f, DType::kF16);
+  Tensor g = randn({8}, 2, 0.1f, DType::kF16);
+  Tensor bad_m = Tensor::zeros({8}, DType::kF16);
+  Tensor v = Tensor::zeros({8}, DType::kF32);
+  AdamHyper h;
+  EXPECT_THROW(adam_update(kc, TrainerImpl::kLS2, p, g, bad_m, v, h, 1.0f), Error);
+}
+
+TEST_F(TrainerKernelTest, ModeledLs2FasterThanApexFasterThanTorch) {
+  simgpu::Device mdev(simgpu::v100(), simgpu::ExecMode::kModelOnly);
+  KernelContext mkc(mdev, nullptr, 0);
+  const int64_t n = 1 << 22;
+  Tensor p32 = Tensor::empty({n}, DType::kF32);
+  Tensor g32 = Tensor::empty({n}, DType::kF32);
+  Tensor p16 = Tensor::empty({n}, DType::kF16);
+  Tensor g16 = Tensor::empty({n}, DType::kF16);
+  Tensor m = Tensor::empty({n}, DType::kF32), v = Tensor::empty({n}, DType::kF32);
+  AdamHyper h;
+  mdev.reset();
+  adam_update(mkc, TrainerImpl::kTorch, p32, g32, m, v, h, 1.0f);
+  const double torch_t = mdev.clock_us();
+  mdev.reset();
+  adam_update(mkc, TrainerImpl::kApex, p32, g32, m, v, h, 1.0f);
+  const double apex_t = mdev.clock_us();
+  mdev.reset();
+  adam_update(mkc, TrainerImpl::kLS2, p16, g16, m, v, h, 1.0f);
+  const double ls2_t = mdev.clock_us();
+  EXPECT_LT(ls2_t, apex_t);
+  EXPECT_LT(apex_t, torch_t);
+}
+
+}  // namespace
+}  // namespace ls2::kern
