@@ -14,9 +14,13 @@ int main() {
   print_header("Fig. 22(a): 48e48d Transformer, batch 4096 tokens/GPU — speedup vs "
                "Fairseq on N x 8 A100");
   std::printf("%-10s %14s %14s %10s\n", "GPUs", "Fairseq(wps)", "LS2(wps)", "speedup");
+  // (a)/(b) reproduce the paper's setting: both systems pay the same
+  // BLOCKING all-reduce, so sync's growing share dilutes the speedup.
+  // (c) below studies the overlapped path separately.
   const auto cfg48 = models::TransformerConfig::base(48, 48);
   for (int nodes : {1, 2, 3, 4, 5}) {
-    const dist::ClusterConfig cluster{8, nodes};
+    dist::ClusterConfig cluster{8, nodes};
+    cluster.overlap = false;
     const MtPerf fs = measure_mt(System::kFairseq, cfg48, profile, 4096, cluster);
     const MtPerf ls = measure_mt(System::kLightSeq2, cfg48, profile, 4096, cluster);
     std::printf("%dx8%7s %14.0f %14.0f %9.2fx\n", nodes, "", fs.words_per_sec,
@@ -26,7 +30,8 @@ int main() {
   print_header("Fig. 22(b): model-size sweep on 5x8 A100 — speedup vs Fairseq");
   std::printf("%-10s %12s %14s %14s %10s\n", "model", "tokens/GPU", "Fairseq(wps)",
               "LS2(wps)", "speedup");
-  const dist::ClusterConfig cluster{8, 5};
+  dist::ClusterConfig cluster{8, 5};
+  cluster.overlap = false;
   for (int layers : {24, 36, 48, 60}) {
     const auto cfg = models::TransformerConfig::base(layers, layers);
     // Deeper models must train with smaller per-GPU batches (activation
@@ -39,7 +44,28 @@ int main() {
                 static_cast<long long>(tokens), fs.words_per_sec, ls.words_per_sec,
                 ls.words_per_sec / fs.words_per_sec);
   }
+  print_header("Fig. 22(c): sync hiding — bucketed all-reduce overlapped with backward\n"
+               "(48e48d LightSeq2, exposed vs blocking sync per N x 8 A100)");
+  // "overlapped" = comm run concurrently with backward (includes the extra
+  // per-ring latency bucketing costs); "saved" = blocking - exposed, the
+  // critical-path time overlap actually removed.
+  std::printf("%-10s %14s %14s %15s %10s\n", "GPUs", "blocking(ms)", "exposed(ms)",
+              "overlapped(ms)", "saved%");
+  for (int nodes : {1, 2, 3, 4, 5}) {
+    const dist::ClusterConfig overlap_on{8, nodes};
+    const MtPerf on = measure_mt(System::kLightSeq2, cfg48, profile, 4096, overlap_on);
+    // StepTimes carries the blocking-equivalent ring time, so no second
+    // (overlap-off) simulation is needed.
+    const double blocking_ms = on.stages.sync_blocking_us * 1e-3;
+    const double exposed_ms = on.stages.sync_us * 1e-3;
+    std::printf("%dx8%7s %14.2f %14.2f %15.2f %9.0f%%\n", nodes, "", blocking_ms,
+                exposed_ms, on.stages.sync_overlapped_us * 1e-3,
+                blocking_ms > 0 ? 100.0 * (1.0 - exposed_ms / blocking_ms) : 0.0);
+  }
+
   std::printf("\nPaper reference: 1.14-1.41x across 1x8..5x8 GPUs and 1.12-1.22x across\n"
-              "model sizes on 5x8; speedup shrinks as synchronisation's share grows.\n");
+              "model sizes on 5x8; speedup shrinks as synchronisation's share grows.\n"
+              "With overlap, only the tail bucket (embeddings, final at backward's end)\n"
+              "stays on the critical path; the rest hides under backward compute.\n");
   return 0;
 }

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build everything, run the full test suite.
+# Fails on the first error, including any ctest failure — run this before
+# merging anything.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+cd build
+ctest --output-on-failure -j "$(nproc)"
+
+# Smoke-run the headline scaling benchmark end-to-end (exercises the
+# overlapped sync path at 1..5 nodes).
+./fig22_scaling >/dev/null
+
+echo "ci.sh: all checks passed"

@@ -15,6 +15,7 @@
 #include "core/train_step.h"    // IWYU pragma: export
 #include "data/synthetic.h"     // IWYU pragma: export
 #include "dist/allreduce.h"     // IWYU pragma: export
+#include "dist/bucket.h"        // IWYU pragma: export
 #include "dist/data_parallel.h" // IWYU pragma: export
 #include "memory/measuring_allocator.h"  // IWYU pragma: export
 #include "models/bert.h"        // IWYU pragma: export

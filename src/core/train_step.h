@@ -1,12 +1,26 @@
 // One timed training step: the four stages of §II-B (forward, backward,
 // synchronize, update), each attributed via device ranges — this is what
 // regenerates Fig. 3 and every end-to-end speedup figure.
+//
+// The step is a two-stream stage scheduler. Compute (zero-grad, forward,
+// backward, update) runs on the compute stream; gradient synchronization
+// runs on the communication stream. With `cluster.overlap` (the default),
+// the flat gradient buffer is partitioned into size-capped buckets in
+// grad-ready order (dist/bucket.h) and each bucket's ring all-reduce is
+// enqueued as soon as the layers owning it finish their backward — so most
+// of the communication is hidden under backward, and only the tail
+// (embedding gradients, final only when backward ends) stays exposed.
+// `StepTimes::sync_us` is that exposed, critical-path time; the hidden part
+// is reported separately as `sync_overlapped_us`.
 #pragma once
 
+#include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "core/session.h"
 #include "dist/allreduce.h"
+#include "dist/bucket.h"
 #include "optim/optimizer.h"
 
 namespace ls2::core {
@@ -14,14 +28,23 @@ namespace ls2::core {
 struct StepTimes {
   double forward_us = 0;
   double backward_us = 0;
-  double sync_us = 0;
-  double update_us = 0;
+  double sync_us = 0;    ///< EXPOSED synchronize time (critical path)
+  double update_us = 0;  ///< trainer step + gradient zeroing
+  /// Informational sub-component of update_us: zeroing the gradient buffers
+  /// (its own "zero_grad" device range; charged to the update stage so the
+  /// four stages still sum to the step total).
+  double zero_grad_us = 0;
+  /// Comm time hidden under backward (runs concurrently; not in total_us).
+  double sync_overlapped_us = 0;
+  /// What one blocking ring over all gradients would have cost.
+  double sync_blocking_us = 0;
   double total_us() const { return forward_us + backward_us + sync_us + update_us; }
 };
 
 /// Zero all gradients with charged device kernels: one launch over the flat
 /// workspace under LightSeq2, one per tensor for the baselines.
 inline void zero_grads_charged(Session& session, layers::ParamRegistry& params) {
+  LS2_CHECK(params.materialized()) << "zero_grads_charged before materialize";
   auto& dev = session.device();
   if (params.contiguous()) {
     Tensor flat = params.flat_grads();
@@ -52,30 +75,58 @@ auto train_step(Session& session, ModelT& model, const BatchT& batch,
     -> std::pair<StepTimes, decltype(model.forward(session.ctx(), batch))> {
   auto& dev = session.device();
   StepTimes times;
+  const bool sync_needed = cluster.total_gpus() > 1;
+  const bool overlap = sync_needed && cluster.overlap;
+  const int64_t grad_bytes = static_cast<int64_t>(model.params().flat_grad_bytes());
+  times.sync_blocking_us =
+      sync_needed ? dist::ring_allreduce_us(grad_bytes, cluster, dev.profile()) : 0.0;
 
+  // Stage 0 — zero gradients (own device range; charged to update below).
+  const double tz = dev.clock_us();
+  {
+    simgpu::ScopedRange r(dev, "zero_grad");
+    zero_grads_charged(session, model.params());
+  }
   const double t0 = dev.clock_us();
-  zero_grads_charged(session, model.params());
+  times.zero_grad_us = t0 - tz;
+
+  // The scheduler owns the registry's grad-ready callback for this step and
+  // enqueues each completed bucket's all-reduce on the comm stream.
+  std::optional<dist::OverlapScheduler> scheduler;
+  if (overlap) scheduler.emplace(model.params(), dev, cluster);
+
+  // Stage 1 — forward.
   decltype(model.forward(session.ctx(), batch)) result;
   {
     simgpu::ScopedRange r(dev, "forward");
     result = model.forward(session.ctx(), batch);
   }
   const double t1 = dev.clock_us();
+
+  // Stage 2 — backward; bucket all-reduces launch concurrently as layers
+  // report their gradients final.
   {
     simgpu::ScopedRange r(dev, "backward");
     model.backward(session.ctx());
   }
   const double t2 = dev.clock_us();
+
+  // Stage 3 — synchronize: drain the comm stream (overlapped) or run one
+  // blocking ring over the whole gradient buffer.
   {
     simgpu::ScopedRange r(dev, "synchronize");
-    if (cluster.total_gpus() > 1) {
-      const int64_t grad_bytes = model.params().total_elements() *
-                                 static_cast<int64_t>(dtype_size(model.params().dtype()));
-      dev.advance(dist::ring_allreduce_us(grad_bytes, cluster, dev.profile()),
-                  /*busy=*/true, "synchronize");
+    if (overlap) {
+      scheduler->finish();  // tail buckets: ready only now that backward ended
+      const double exposed = dev.sync_comm("synchronize");
+      times.sync_overlapped_us = std::max(0.0, scheduler->enqueued_us() - exposed);
+    } else if (sync_needed) {
+      dev.advance(times.sync_blocking_us, /*busy=*/true, "synchronize");
     }
   }
+  scheduler.reset();
   const double t3 = dev.clock_us();
+
+  // Stage 4 — update.
   {
     simgpu::ScopedRange r(dev, "update");
     trainer.step(session.ctx().kern);
@@ -83,10 +134,10 @@ auto train_step(Session& session, ModelT& model, const BatchT& batch,
   const double t4 = dev.clock_us();
   session.end_step();
 
-  times.forward_us = t1 - t0;  // includes the zero-grad kernels
+  times.forward_us = t1 - t0;
   times.backward_us = t2 - t1;
   times.sync_us = t3 - t2;
-  times.update_us = t4 - t3;
+  times.update_us = (t4 - t3) + times.zero_grad_us;
   return {times, result};
 }
 

@@ -1,0 +1,66 @@
+#include "dist/allreduce.h"
+
+#include "common/check.h"
+
+namespace ls2::dist {
+
+double bottleneck_bus_gb_s(const ClusterConfig& cluster,
+                           const simgpu::DeviceProfile& profile) {
+  return cluster.nodes > 1 ? profile.ib_bus_gb_s : profile.nvlink_bus_gb_s;
+}
+
+double ring_allreduce_us(int64_t bytes, const ClusterConfig& cluster,
+                         const simgpu::DeviceProfile& profile) {
+  LS2_CHECK(bytes >= 0) << "negative all-reduce size";
+  LS2_CHECK(cluster.gpus_per_node >= 1 && cluster.nodes >= 1)
+      << cluster.gpus_per_node << "x" << cluster.nodes;
+  const int n = cluster.total_gpus();
+  if (n <= 1 || bytes == 0) return 0.0;
+  const double bus_gb_s = bottleneck_bus_gb_s(cluster, profile);
+  const double steps = 2.0 * (n - 1);
+  const double chunk_bytes = static_cast<double>(bytes) / n;
+  // GB/s == bytes/ns => us = bytes / (GB/s * 1e3).
+  const double wire_us = steps * chunk_bytes / (bus_gb_s * 1e3);
+  return wire_us + steps * profile.allreduce_latency_us;
+}
+
+namespace {
+
+void accumulate_and_store(const std::vector<Tensor>& replicas, float scale) {
+  LS2_CHECK(!replicas.empty()) << "allreduce over zero replicas";
+  const Tensor& first = replicas.front();
+  for (const Tensor& t : replicas) {
+    LS2_CHECK(t.defined()) << "allreduce over undefined tensor";
+    LS2_CHECK_EQ(t.numel(), first.numel());
+    LS2_CHECK(t.dtype() == first.dtype())
+        << dtype_name(t.dtype()) << " vs " << dtype_name(first.dtype());
+  }
+  // Model-only sweeps back tensors with never-committed virtual pages; the
+  // arithmetic is skipped there just like every other kernel body.
+  for (const Tensor& t : replicas) {
+    if (!t.backs_real_memory()) return;
+  }
+  // to_vector() up-converts FP16 to FP32, so the sum below accumulates in
+  // FP32 regardless of the storage dtype; copy_from() converts back.
+  std::vector<float> acc = first.to_vector();
+  for (size_t r = 1; r < replicas.size(); ++r) {
+    const std::vector<float> v = replicas[r].to_vector();
+    for (size_t i = 0; i < acc.size(); ++i) acc[i] += v[i];
+  }
+  if (scale != 1.0f) {
+    for (float& x : acc) x *= scale;
+  }
+  for (const Tensor& t : replicas) t.copy_from(acc);
+}
+
+}  // namespace
+
+void allreduce_average(const std::vector<Tensor>& replicas) {
+  accumulate_and_store(replicas, 1.0f / static_cast<float>(replicas.size()));
+}
+
+void allreduce_sum(const std::vector<Tensor>& replicas) {
+  accumulate_and_store(replicas, 1.0f);
+}
+
+}  // namespace ls2::dist

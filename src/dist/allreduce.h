@@ -1,0 +1,59 @@
+// All-reduce: the arithmetic (real, host-executed — used by the replica
+// tests) and the analytical ring cost model (used by the simulated device
+// for Fig. 3's synchronize stage and Fig. 22's scaling study).
+//
+// The cost model is the standard ring all-reduce: each of the N participants
+// sends 2*(N-1) chunks of size bytes/N, so the wire time is
+//     2 * (N-1)/N * bytes / bus_bandwidth  +  2*(N-1) * step_latency.
+// Within one node the ring runs over NVLink; as soon as a second node is
+// involved the inter-node fabric (InfiniBand) is the bottleneck link and the
+// whole ring is paced by it — which is why Fig. 22's speedups shrink as
+// nodes are added.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simgpu/profile.h"
+#include "tensor/tensor.h"
+
+namespace ls2::dist {
+
+/// Data-parallel cluster shape: `nodes` machines of `gpus_per_node` GPUs.
+/// This device simulates rank 0; the other replicas are assumed identical
+/// (same compute time), so only the all-reduce cost is added.
+struct ClusterConfig {
+  int gpus_per_node = 1;
+  int nodes = 1;
+  /// Overlap bucketed gradient all-reduce with the backward pass (the DDP
+  /// strategy). false => one blocking ring after backward completes.
+  bool overlap = true;
+  /// Gradient bucket size cap for the overlapped path (bytes). 25 MB is the
+  /// PyTorch-DDP default; smaller buckets start communicating earlier but
+  /// pay the per-ring latency more often.
+  int64_t bucket_bytes = 25 * 1024 * 1024;
+
+  int total_gpus() const { return gpus_per_node * nodes; }
+};
+
+/// The ring's bottleneck bus bandwidth: NVLink within one node, the
+/// inter-node fabric as soon as the ring crosses machines. Shared by the
+/// ring time model and the bucket-size amortization bound so the two can
+/// never disagree about which link paces the ring.
+double bottleneck_bus_gb_s(const ClusterConfig& cluster,
+                           const simgpu::DeviceProfile& profile);
+
+/// Modeled microseconds for one ring all-reduce of `bytes` gradient bytes
+/// over the cluster. Zero when the cluster is a single GPU.
+double ring_allreduce_us(int64_t bytes, const ClusterConfig& cluster,
+                         const simgpu::DeviceProfile& profile);
+
+/// Average the replica tensors element-wise IN PLACE (every tensor ends up
+/// holding the mean). Accumulation is always FP32, so FP16 gradients do not
+/// lose low-magnitude contributions (§IV-C's mixed-precision discipline).
+void allreduce_average(const std::vector<Tensor>& replicas);
+
+/// Element-wise in-place sum across replicas (FP32 accumulation).
+void allreduce_sum(const std::vector<Tensor>& replicas);
+
+}  // namespace ls2::dist

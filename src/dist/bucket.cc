@@ -1,0 +1,123 @@
+#include "dist/bucket.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ls2::dist {
+
+int64_t effective_bucket_bytes(const ClusterConfig& cluster,
+                               const simgpu::DeviceProfile& profile) {
+  // Wire time of B bucket bytes is 2(N-1)/N * B / bus; its latency term is
+  // 2(N-1) * step_latency. Requiring wire >= 4x latency gives
+  //     B >= 4 * step_latency * N * bus,
+  // which bounds bucketing's total latency overhead at 25% of the wire time
+  // no matter how many buckets the model splits into.
+  const double min_bytes = 4.0 * profile.allreduce_latency_us *
+                           cluster.total_gpus() *
+                           bottleneck_bus_gb_s(cluster, profile) * 1e3;
+  return std::max(cluster.bucket_bytes, static_cast<int64_t>(min_bytes));
+}
+
+BucketPlan::BucketPlan(const layers::ParamRegistry& params, int64_t cap_bytes) {
+  LS2_CHECK(params.materialized()) << "bucket plan before materialize";
+  LS2_CHECK(cap_bytes > 0) << "bucket cap must be positive";
+  const int n = params.size();
+  bucket_of_param_.assign(static_cast<size_t>(n), -1);
+  total_bytes_ = static_cast<int64_t>(params.flat_grad_bytes());
+
+  // Walk params from last declared to first, closing a bucket once it holds
+  // at least one param and would exceed the cap with the next. Each bucket
+  // is a contiguous byte range because declaration order is layout order.
+  int end = n;  // param_end of the bucket being built (exclusive)
+  int64_t acc = 0;
+  for (int i = n - 1; i >= 0; --i) {
+    const auto [b, e] = params.grad_byte_span(i);
+    const int64_t bytes = static_cast<int64_t>(e - b);
+    if (acc > 0 && acc + bytes > cap_bytes) {
+      GradBucket bucket;
+      bucket.index = static_cast<int>(buckets_.size());
+      bucket.param_begin = i + 1;
+      bucket.param_end = end;
+      bucket.byte_begin = params.grad_byte_span(i + 1).first;
+      bucket.byte_end = params.grad_byte_span(end - 1).second;
+      buckets_.push_back(bucket);
+      end = i + 1;
+      acc = 0;
+    }
+    acc += bytes;
+  }
+  if (end > 0) {
+    GradBucket bucket;
+    bucket.index = static_cast<int>(buckets_.size());
+    bucket.param_begin = 0;
+    bucket.param_end = end;
+    bucket.byte_begin = 0;
+    bucket.byte_end = params.grad_byte_span(end - 1).second;
+    buckets_.push_back(bucket);
+  }
+  for (const GradBucket& b : buckets_) {
+    for (int i = b.param_begin; i < b.param_end; ++i) {
+      bucket_of_param_[static_cast<size_t>(i)] = b.index;
+    }
+  }
+}
+
+int BucketPlan::bucket_of(int param_index) const {
+  LS2_CHECK(param_index >= 0 &&
+            param_index < static_cast<int>(bucket_of_param_.size()));
+  return bucket_of_param_[static_cast<size_t>(param_index)];
+}
+
+Tensor BucketPlan::grad_view(const layers::ParamRegistry& params,
+                             const GradBucket& b) const {
+  return params.grad_byte_view(b.byte_begin, b.byte_end);
+}
+
+OverlapScheduler::OverlapScheduler(layers::ParamRegistry& params,
+                                   simgpu::Device& device,
+                                   const ClusterConfig& cluster)
+    : params_(params),
+      device_(device),
+      cluster_(cluster),
+      plan_(params, effective_bucket_bytes(cluster, device.profile())) {
+  LS2_CHECK(!params_.has_grad_ready_callback())
+      << "another grad-ready listener is already installed";
+  param_ready_.assign(static_cast<size_t>(params_.size()), 0);
+  pending_in_bucket_.resize(static_cast<size_t>(plan_.size()));
+  for (const GradBucket& b : plan_.buckets()) {
+    pending_in_bucket_[static_cast<size_t>(b.index)] = b.params();
+  }
+  params_.set_grad_ready_callback(
+      [this](const layers::ParamRange& r) { on_grads_ready(r); });
+}
+
+OverlapScheduler::~OverlapScheduler() { params_.clear_grad_ready_callback(); }
+
+void OverlapScheduler::on_grads_ready(const layers::ParamRange& range) {
+  if (finished_) return;
+  for (int i = range.begin; i < range.end; ++i) {
+    if (param_ready_[static_cast<size_t>(i)]) continue;  // shared params fire once
+    param_ready_[static_cast<size_t>(i)] = 1;
+    const int b = plan_.bucket_of(i);
+    if (--pending_in_bucket_[static_cast<size_t>(b)] == 0) {
+      flush(plan_.buckets()[static_cast<size_t>(b)]);
+    }
+  }
+}
+
+void OverlapScheduler::finish() {
+  if (finished_) return;
+  on_grads_ready({0, params_.size()});
+  finished_ = true;
+}
+
+void OverlapScheduler::flush(const GradBucket& bucket) {
+  const double us = ring_allreduce_us(bucket.bytes(), cluster_, device_.profile());
+  if (us <= 0) return;
+  device_.enqueue_comm(us, "synchronize");
+  enqueued_us_ += us;
+  ++buckets_flushed_;
+}
+
+}  // namespace ls2::dist

@@ -1,0 +1,109 @@
+// Gradient bucketing for overlapped data-parallel synchronization (§II-B
+// stage 3, Fig. 22).
+//
+// The flat gradient workspace is partitioned into size-capped buckets in
+// REVERSE declaration order: backward produces gradients roughly from the
+// last declared parameter (criterion / top layers) to the first (embeddings),
+// so bucket 0 — the byte range at the END of the flat buffer — fills first
+// and its all-reduce can be launched on the communication stream while the
+// backward pass is still running. Each bucket is one contiguous byte range;
+// together the buckets tile the flat buffer exactly (no gap, no overlap,
+// every parameter covered once).
+//
+// BucketPlan is the static partition; OverlapScheduler is the per-step
+// driver that listens to ParamRegistry's grad-ready callback and enqueues
+// each completed bucket's ring all-reduce on the device's comm stream.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/allreduce.h"
+#include "layers/params.h"
+#include "simgpu/device.h"
+
+namespace ls2::dist {
+
+/// One communication bucket: params [param_begin, param_end) occupying
+/// gradient bytes [byte_begin, byte_end). Bucket 0 holds the LAST declared
+/// params (first ready during backward) and the highest byte range.
+struct GradBucket {
+  int index = 0;
+  int param_begin = 0;
+  int param_end = 0;
+  size_t byte_begin = 0;
+  size_t byte_end = 0;
+  int64_t bytes() const { return static_cast<int64_t>(byte_end - byte_begin); }
+  int params() const { return param_end - param_begin; }
+};
+
+/// Effective bucket cap for a cluster: at least `cluster.bucket_bytes`, but
+/// grown until one bucket's wire time is >= 4x its per-ring latency term —
+/// otherwise on large rings (many nodes, high per-step latency) the
+/// repeated ring setup would cost more than bucketing saves, and the
+/// "overlapped" path could end up slower than one blocking all-reduce.
+int64_t effective_bucket_bytes(const ClusterConfig& cluster,
+                               const simgpu::DeviceProfile& profile);
+
+/// Size-capped partition of a registry's flat gradient buffer.
+class BucketPlan {
+ public:
+  BucketPlan() = default;
+  explicit BucketPlan(const layers::ParamRegistry& params,
+                      int64_t cap_bytes = ClusterConfig{}.bucket_bytes);
+
+  const std::vector<GradBucket>& buckets() const { return buckets_; }
+  int size() const { return static_cast<int>(buckets_.size()); }
+  /// Which bucket holds a given parameter declaration index.
+  int bucket_of(int param_index) const;
+  int64_t total_bytes() const { return total_bytes_; }
+
+  /// The bucket's gradient payload as one tensor view (workspace registries
+  /// only) — what a real implementation would hand to NCCL.
+  Tensor grad_view(const layers::ParamRegistry& params, const GradBucket& b) const;
+
+ private:
+  std::vector<GradBucket> buckets_;
+  std::vector<int> bucket_of_param_;
+  int64_t total_bytes_ = 0;
+};
+
+/// Per-step overlap driver. While alive it owns the registry's grad-ready
+/// callback; as each bucket's parameters all become ready it charges that
+/// bucket's ring all-reduce to the device's communication stream, where it
+/// runs concurrently with the (compute-stream) backward kernels. finish()
+/// flushes buckets whose params were never notified — they are implicitly
+/// ready once backward has returned.
+class OverlapScheduler {
+ public:
+  OverlapScheduler(layers::ParamRegistry& params, simgpu::Device& device,
+                   const ClusterConfig& cluster);
+  ~OverlapScheduler();
+  OverlapScheduler(const OverlapScheduler&) = delete;
+  OverlapScheduler& operator=(const OverlapScheduler&) = delete;
+
+  /// Mark params [range.begin, range.end) final; flush any completed bucket.
+  void on_grads_ready(const layers::ParamRange& range);
+  /// Mark everything still pending as ready and flush remaining buckets.
+  void finish();
+
+  const BucketPlan& plan() const { return plan_; }
+  /// Total comm-stream microseconds enqueued so far.
+  double enqueued_us() const { return enqueued_us_; }
+  int buckets_flushed() const { return buckets_flushed_; }
+
+ private:
+  void flush(const GradBucket& bucket);
+
+  layers::ParamRegistry& params_;
+  simgpu::Device& device_;
+  ClusterConfig cluster_;
+  BucketPlan plan_;
+  std::vector<int> pending_in_bucket_;  // params not yet ready, per bucket
+  std::vector<char> param_ready_;
+  double enqueued_us_ = 0;
+  int buckets_flushed_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace ls2::dist

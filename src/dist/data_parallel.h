@@ -1,0 +1,56 @@
+// Data-parallel replica management (§II-B stage "synchronize").
+//
+// This repo simulates rank 0 of a cluster for *timing*; for *numerics* the
+// replica tests construct several real model instances and use the helpers
+// here: sync_gradients averages gradients across registries exactly like an
+// all-reduce would, and find_divergence proves the invariant that makes data
+// parallelism correct — identically initialised replicas that apply the same
+// averaged gradients stay bitwise identical forever.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dist/allreduce.h"
+#include "dist/bucket.h"
+#include "layers/params.h"
+
+namespace ls2::dist {
+
+/// Average every parameter's gradient across the replica registries in
+/// place (FP32 accumulation, see allreduce_average). The registries must
+/// have identical declarations.
+void sync_gradients(const std::vector<layers::ParamRegistry*>& replicas);
+
+/// Bucketed variant: averages one bucket at a time following `plan` — the
+/// payload granularity the overlapped scheduler communicates at. Numerically
+/// identical to sync_gradients (workspace registries only).
+void sync_gradients_bucketed(const std::vector<layers::ParamRegistry*>& replicas,
+                             const BucketPlan& plan);
+
+/// "" when all replicas hold bitwise-identical parameter values; otherwise a
+/// human-readable description of the first divergent parameter.
+std::string find_divergence(const std::vector<const layers::ParamRegistry*>& replicas);
+
+/// Convenience owner for a set of replica registries participating in
+/// gradient synchronization, with the cluster's ring time model attached.
+class ReplicaGroup {
+ public:
+  explicit ReplicaGroup(ClusterConfig cluster) : cluster_(cluster) {}
+
+  void add_replica(layers::ParamRegistry* params) { replicas_.push_back(params); }
+  int size() const { return static_cast<int>(replicas_.size()); }
+  const ClusterConfig& cluster() const { return cluster_; }
+
+  /// All-reduce-average all gradients across the registered replicas.
+  void sync() { sync_gradients(replicas_); }
+  /// Modeled ring time for one full gradient sync of `registry`.
+  double modeled_sync_us(const layers::ParamRegistry& params,
+                         const simgpu::DeviceProfile& profile) const;
+
+ private:
+  ClusterConfig cluster_;
+  std::vector<layers::ParamRegistry*> replicas_;
+};
+
+}  // namespace ls2::dist

@@ -64,6 +64,17 @@ void ParamRegistry::materialize(DType dtype, bool contiguous, const Rng& rng,
       init_tensor(values_.back(), specs_[i], rng, 9000 + static_cast<uint64_t>(i));
     }
   }
+  // Cumulative gradient byte offsets (n+1 entries), so grad_byte_span is
+  // O(1). Workspace mode uses the padded slot layout; per-tensor mode a
+  // conceptual unpadded layout in declaration order.
+  grad_offsets_.resize(specs_.size() + 1);
+  grad_offsets_[0] = 0;
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    grad_offsets_[i + 1] =
+        contiguous_ ? grad_ws_.byte_end(static_cast<int>(i))
+                    : grad_offsets_[i] + static_cast<size_t>(specs_[i].shape.numel()) *
+                                             dtype_size(dtype_);
+  }
   materialized_ = true;
 }
 
@@ -95,16 +106,44 @@ int64_t ParamRegistry::total_elements() const {
 }
 
 Tensor ParamRegistry::flat_values() const {
+  LS2_CHECK(materialized_) << "flat view before materialize";
   LS2_CHECK(contiguous_) << "flat view requires workspace mode";
   return value_ws_.flat();
 }
 
 Tensor ParamRegistry::flat_grads() const {
+  LS2_CHECK(materialized_) << "flat view before materialize";
   LS2_CHECK(contiguous_) << "flat view requires workspace mode";
   return grad_ws_.flat();
 }
 
+std::pair<size_t, size_t> ParamRegistry::grad_byte_span(int index) const {
+  LS2_CHECK(materialized_) << "grad_byte_span before materialize";
+  LS2_CHECK(index >= 0 && index < size());
+  return {grad_offsets_[static_cast<size_t>(index)],
+          grad_offsets_[static_cast<size_t>(index) + 1]};
+}
+
+size_t ParamRegistry::flat_grad_bytes() const {
+  LS2_CHECK(materialized_) << "flat_grad_bytes before materialize";
+  return grad_offsets_.back();
+}
+
+Tensor ParamRegistry::grad_byte_view(size_t begin, size_t end) const {
+  LS2_CHECK(materialized_) << "grad view before materialize";
+  LS2_CHECK(contiguous_) << "grad view requires workspace mode";
+  return grad_ws_.byte_range_view(begin, end, dtype_);
+}
+
+void ParamRegistry::notify_grad_ready(const ParamRange& range) const {
+  if (!grad_ready_ || range.empty()) return;
+  LS2_CHECK(range.begin >= 0 && range.end <= size())
+      << "[" << range.begin << ", " << range.end << ") of " << size();
+  grad_ready_(range);
+}
+
 void ParamRegistry::zero_grads() const {
+  LS2_CHECK(materialized_) << "zero_grads before materialize";
   if (contiguous_) {
     grad_ws_.flat().zero_();
   } else {

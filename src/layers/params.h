@@ -10,6 +10,7 @@
 
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "memory/workspace.h"
@@ -29,6 +30,14 @@ enum class Init {
 struct ParamRef {
   int index = -1;
   bool valid() const { return index >= 0; }
+};
+
+/// Half-open range [begin, end) of parameter declaration indices — the unit
+/// in which models report gradient readiness during backward.
+struct ParamRange {
+  int begin = 0;
+  int end = 0;
+  bool empty() const { return begin >= end; }
 };
 
 class ParamRegistry {
@@ -53,10 +62,42 @@ class ParamRegistry {
   int size() const { return static_cast<int>(specs_.size()); }
   int64_t total_elements() const;
 
+  /// Range of every param declared since `begin` (= a size() captured before
+  /// constructing a component) — the idiom models use to record each
+  /// component's params for grad-ready reporting:
+  ///   const int mark = params.size();
+  ///   ... declare the component's params ...
+  ///   range = params.range_since(mark);
+  ParamRange range_since(int begin) const { return {begin, size()}; }
+
   /// Flat views over ALL parameters / gradients (workspace mode only) — the
   /// tensors the fused trainer updates in one launch.
   Tensor flat_values() const;
   Tensor flat_grads() const;
+
+  /// Byte span [first, second) of one parameter's gradient inside the flat
+  /// gradient buffer, including its trailing alignment padding: consecutive
+  /// params' spans tile the buffer exactly. In per-tensor mode the spans are
+  /// cumulative unpadded sizes over a *conceptual* flat buffer (no views
+  /// exist, but bucket sizing still works).
+  std::pair<size_t, size_t> grad_byte_span(int index) const;
+  /// Total bytes of the (real or conceptual) flat gradient buffer.
+  size_t flat_grad_bytes() const;
+  /// View of the gradient bytes [begin, end) — one bucket's communication
+  /// payload. Workspace mode only.
+  Tensor grad_byte_view(size_t begin, size_t end) const;
+
+  /// Grad-ready hook (overlapped data-parallel sync): models fire this as
+  /// each layer's backward completes, meaning the gradients of params
+  /// [range.begin, range.end) are FINAL (no further accumulation). The
+  /// bucketer (src/dist/bucket.h) listens and launches each size-capped
+  /// bucket's all-reduce as soon as all of its params are ready.
+  using GradReadyFn = std::function<void(const ParamRange&)>;
+  void set_grad_ready_callback(GradReadyFn fn) { grad_ready_ = std::move(fn); }
+  void clear_grad_ready_callback() { grad_ready_ = nullptr; }
+  bool has_grad_ready_callback() const { return static_cast<bool>(grad_ready_); }
+  /// No-op when no callback is installed, so models call it unconditionally.
+  void notify_grad_ready(const ParamRange& range) const;
 
   /// Zero every gradient buffer (bookkeeping only; systems charge their own
   /// zeroing kernels).
@@ -75,6 +116,8 @@ class ParamRegistry {
   void init_tensor(const Tensor& t, const Spec& spec, const Rng& rng, uint64_t stream) const;
 
   std::vector<Spec> specs_;
+  std::vector<size_t> grad_offsets_;  // n+1 cumulative gradient byte offsets
+  GradReadyFn grad_ready_;
   std::vector<Tensor> values_;  // per-tensor mode
   std::vector<Tensor> grads_;
   mem::Workspace value_ws_;  // workspace mode

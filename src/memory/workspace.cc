@@ -60,6 +60,22 @@ Tensor Workspace::flat() const {
   return storage_.byte_view(0, Shape{elems}, dtype_);
 }
 
+size_t Workspace::byte_end(int index) const {
+  LS2_CHECK(index >= 0 && index < size());
+  return index + 1 < size() ? slots_[static_cast<size_t>(index) + 1].byte_offset
+                            : total_bytes_;
+}
+
+Tensor Workspace::byte_range_view(size_t begin, size_t end, DType dtype) const {
+  LS2_CHECK(frozen_) << "workspace not frozen";
+  LS2_CHECK(begin <= end && end <= total_bytes_)
+      << "[" << begin << ", " << end << ") of " << total_bytes_;
+  LS2_CHECK((end - begin) % dtype_size(dtype) == 0)
+      << "range " << (end - begin) << "B not aligned to " << dtype_name(dtype);
+  const int64_t elems = static_cast<int64_t>((end - begin) / dtype_size(dtype));
+  return storage_.byte_view(begin, Shape{elems}, dtype);
+}
+
 const std::string& Workspace::name_of(int index) const {
   LS2_CHECK(index >= 0 && index < size());
   return slots_[static_cast<size_t>(index)].name;

@@ -38,6 +38,17 @@ class Workspace {
   int size() const { return static_cast<int>(slots_.size()); }
   const std::string& name_of(int index) const;
 
+  /// End (exclusive) of one slot's byte span inside the flat buffer,
+  /// including the slot's trailing alignment padding: slot i occupies
+  /// [byte_end(i-1), byte_end(i)) with byte_end(-1) == 0, so consecutive
+  /// slots' spans tile the buffer exactly — the invariant the gradient
+  /// bucketer (src/dist/bucket.h) relies on.
+  size_t byte_end(int index) const;
+
+  /// Reinterpreting view of the byte range [begin, end) as `dtype` elements
+  /// (valid after freeze(); the range must be dtype-aligned).
+  Tensor byte_range_view(size_t begin, size_t end, DType dtype) const;
+
  private:
   struct Slot {
     std::string name;

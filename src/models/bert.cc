@@ -74,7 +74,9 @@ Bert::Bert(BertConfig cfg, layers::System system, DType dtype, uint64_t seed,
   ecfg.max_len = cfg.max_len;
   ecfg.dropout = cfg.dropout;
   ecfg.pad_id = cfg.pad_id;
+  int mark = params_.size();
   embed_ = std::make_unique<layers::EmbeddingLayer>(params_, "bert.embed", ecfg);
+  embed_range_ = params_.range_since(mark);
 
   layers::TransformerLayerConfig lcfg;
   lcfg.hidden = cfg.hidden;
@@ -85,15 +87,21 @@ Bert::Bert(BertConfig cfg, layers::System system, DType dtype, uint64_t seed,
   lcfg.act_dropout = cfg.dropout;
   lcfg.activation = layers::Activation::kGelu;
   for (int64_t i = 0; i < cfg.layers; ++i) {
+    mark = params_.size();
     blocks_.push_back(std::make_unique<layers::TransformerEncoderLayer>(
         params_, "bert.blocks." + std::to_string(i), lcfg));
+    block_ranges_.push_back(params_.range_since(mark));
   }
+  mark = params_.size();
   ln_gamma_ = params_.declare("bert.ln_f.gamma", Shape{cfg.hidden}, layers::Init::kOne);
   ln_beta_ = params_.declare("bert.ln_f.beta", Shape{cfg.hidden}, layers::Init::kZero);
+  ln_range_ = params_.range_since(mark);
+  mark = params_.size();
   cls_w_ = params_.declare("bert.classifier.weight", Shape{cfg.num_classes, cfg.hidden},
                            layers::Init::kXavier);
   cls_b_ = params_.declare("bert.classifier.bias", Shape{cfg.num_classes},
                            layers::Init::kZero);
+  head_range_ = params_.range_since(mark);
 
   params_.materialize(dtype, system == layers::System::kLightSeq2, Rng(seed), param_alloc);
 }
@@ -159,6 +167,7 @@ void Bert::backward(layers::LayerContext& ctx) {
   Tensor dcls = ctx.alloc({s.B, cfg_.hidden}, dt);
   layers::linear_bw(ctx, dlogits, s.cls, params_.value(cls_w_), dcls,
                     params_.grad(cls_w_), "bert.classifier");
+  params_.notify_grad_ready(head_range_);
 
   Tensor d_out = ctx.alloc({s.B, s.L, cfg_.hidden}, dt);
   scatter_cls(ctx, dcls, d_out);
@@ -167,10 +176,13 @@ void Bert::backward(layers::LayerContext& ctx) {
   kern::layernorm_bw(ctx.kern, ctx.policy.layernorm, d_out, s.stack_out,
                      params_.value(ln_gamma_), s.mean, s.rstd, dh, params_.grad(ln_gamma_),
                      params_.grad(ln_beta_));
+  params_.notify_grad_ready(ln_range_);
   for (int64_t i = cfg_.layers - 1; i >= 0; --i) {
     dh = blocks_[static_cast<size_t>(i)]->backward(ctx, dh);
+    params_.notify_grad_ready(block_ranges_[static_cast<size_t>(i)]);
   }
   embed_->backward(ctx, dh);
+  params_.notify_grad_ready(embed_range_);
   release();
 }
 

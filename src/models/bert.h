@@ -59,6 +59,10 @@ class Bert {
   std::vector<std::unique_ptr<layers::TransformerEncoderLayer>> blocks_;
   layers::ParamRef ln_gamma_, ln_beta_, cls_w_, cls_b_;
 
+  // Declaration ranges for the gradient bucketer (src/dist/bucket.h).
+  layers::ParamRange embed_range_, ln_range_, head_range_;
+  std::vector<layers::ParamRange> block_ranges_;
+
   struct Saved {
     Tensor stack_out, out, mean, rstd;  // final LN
     Tensor cls, logits, stats, labels;  // pooled [CLS] and classifier head

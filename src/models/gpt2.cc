@@ -30,7 +30,9 @@ Gpt2::Gpt2(Gpt2Config cfg, layers::System system, DType dtype, uint64_t seed,
   ecfg.max_len = cfg.max_len;
   ecfg.dropout = cfg.dropout;
   ecfg.pad_id = cfg.pad_id;
+  int mark = params_.size();
   embed_ = std::make_unique<layers::EmbeddingLayer>(params_, "gpt2.embed", ecfg);
+  embed_range_ = params_.range_since(mark);
 
   layers::TransformerLayerConfig lcfg;
   lcfg.hidden = cfg.hidden;
@@ -42,11 +44,15 @@ Gpt2::Gpt2(Gpt2Config cfg, layers::System system, DType dtype, uint64_t seed,
   lcfg.activation = layers::Activation::kGelu;
   lcfg.causal = true;  // decoder-only: causal self-attention
   for (int64_t i = 0; i < cfg.layers; ++i) {
+    mark = params_.size();
     blocks_.push_back(std::make_unique<layers::TransformerEncoderLayer>(
         params_, "gpt2.blocks." + std::to_string(i), lcfg));
+    block_ranges_.push_back(params_.range_since(mark));
   }
+  mark = params_.size();
   ln_gamma_ = params_.declare("gpt2.ln_f.gamma", Shape{cfg.hidden}, layers::Init::kOne);
   ln_beta_ = params_.declare("gpt2.ln_f.beta", Shape{cfg.hidden}, layers::Init::kZero);
+  ln_range_ = params_.range_since(mark);
 
   layers::CriterionConfig ccfg;
   ccfg.vocab = cfg.vocab;
@@ -81,10 +87,13 @@ void Gpt2::backward(layers::LayerContext& ctx) {
   kern::layernorm_bw(ctx.kern, ctx.policy.layernorm, d_out, s.stack_out,
                      params_.value(ln_gamma_), s.mean, s.rstd, dh, params_.grad(ln_gamma_),
                      params_.grad(ln_beta_));
+  params_.notify_grad_ready(ln_range_);
   for (int64_t i = cfg_.layers - 1; i >= 0; --i) {
     dh = blocks_[static_cast<size_t>(i)]->backward(ctx, dh);
+    params_.notify_grad_ready(block_ranges_[static_cast<size_t>(i)]);
   }
   embed_->backward(ctx, dh);
+  params_.notify_grad_ready(embed_range_);  // tied LM-head table now final
   release();
 }
 

@@ -52,6 +52,12 @@ class Gpt2 {
   layers::ParamRef ln_gamma_, ln_beta_;
   std::unique_ptr<layers::CriterionLayer> criterion_;
 
+  // Declaration ranges for the gradient bucketer (src/dist/bucket.h). The
+  // LM head is tied to the token table, so embed_range_ — fired after the
+  // embedding backward, the table's last accumulation — covers it.
+  layers::ParamRange embed_range_, ln_range_;
+  std::vector<layers::ParamRange> block_ranges_;
+
   struct Saved {
     Tensor stack_out, out, mean, rstd;
     int64_t B = 0, L = 0;

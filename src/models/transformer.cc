@@ -66,42 +66,61 @@ Transformer::Transformer(TransformerConfig cfg, layers::System system, DType dty
   ecfg.dropout = cfg.dropout;
   ecfg.pad_id = cfg.pad_id;
 
+  // Each component's declaration range is recorded for the gradient
+  // bucketer; backward reports a range grad-ready once its last
+  // accumulation has run.
+  int mark = params_.size();
   src_embed_ = std::make_unique<layers::EmbeddingLayer>(params_, "encoder.embed", ecfg);
+  src_range_ = params_.range_since(mark);
+  mark = params_.size();
   tgt_embed_ = std::make_unique<layers::EmbeddingLayer>(
       params_, "decoder.embed", ecfg,
       cfg.tied_embeddings ? src_embed_->table() : layers::ParamRef{});
+  tgt_range_ = params_.range_since(mark);
 
   const layers::TransformerLayerConfig lcfg = cfg.layer_config();
   for (int64_t i = 0; i < cfg.encoder_layers; ++i) {
+    mark = params_.size();
     encoder_.push_back(std::make_unique<layers::TransformerEncoderLayer>(
         params_, "encoder.layers." + std::to_string(i), lcfg));
+    enc_ranges_.push_back(params_.range_since(mark));
   }
+  mark = params_.size();
   enc_ln_gamma_ = params_.declare("encoder.ln.gamma", Shape{cfg.hidden}, layers::Init::kOne);
   enc_ln_beta_ = params_.declare("encoder.ln.beta", Shape{cfg.hidden}, layers::Init::kZero);
+  enc_ln_range_ = params_.range_since(mark);
 
   // Layer-batched cross-attention projection: ALL decoder layers' K/V
   // weights concatenated (Fig. 5b). Layer i owns rows [2iH, 2(i+1)H).
+  mark = params_.size();
   cross_kv_weight_ = params_.declare(
       "decoder.cross_kv.weight", Shape{2 * cfg.decoder_layers * cfg.hidden, cfg.hidden},
       layers::Init::kXavier);
   cross_kv_bias_ = params_.declare("decoder.cross_kv.bias",
                                    Shape{2 * cfg.decoder_layers * cfg.hidden},
                                    layers::Init::kZero);
+  cross_kv_range_ = params_.range_since(mark);
   for (int64_t i = 0; i < cfg.decoder_layers; ++i) {
+    mark = params_.size();
     decoder_.push_back(std::make_unique<layers::TransformerDecoderLayer>(
         params_, "decoder.layers." + std::to_string(i), lcfg));
+    dec_ranges_.push_back(params_.range_since(mark));
   }
+  mark = params_.size();
   dec_ln_gamma_ = params_.declare("decoder.ln.gamma", Shape{cfg.hidden}, layers::Init::kOne);
   dec_ln_beta_ = params_.declare("decoder.ln.beta", Shape{cfg.hidden}, layers::Init::kZero);
+  dec_ln_range_ = params_.range_since(mark);
 
   layers::CriterionConfig ccfg;
   ccfg.vocab = cfg.vocab;
   ccfg.hidden = cfg.hidden;
   ccfg.label_smoothing = cfg.label_smoothing;
   ccfg.pad_id = cfg.pad_id;
+  mark = params_.size();
   criterion_ = std::make_unique<layers::CriterionLayer>(
       params_, "criterion", ccfg,
       cfg.tied_embeddings ? src_embed_->table() : layers::ParamRef{});
+  criterion_range_ = params_.range_since(mark);
 
   params_.materialize(dtype, /*contiguous=*/system == layers::System::kLightSeq2, Rng(seed),
                       param_alloc);
@@ -231,12 +250,17 @@ void Transformer::backward(LayerContext& ctx) {
   const int64_t N = cfg_.heads, D = H / N;
 
   Tensor d_dec_out = criterion_->backward(ctx);
+  // With tied embeddings the criterion wrote into the shared token table,
+  // which keeps accumulating until the source embedding backward — so only
+  // an untied criterion's own projection is final here.
+  params_.notify_grad_ready(criterion_range_);
 
   // Final decoder LayerNorm.
   Tensor d_dec = ctx.alloc({s.B, s.Lt, H}, dt);
   kern::layernorm_bw(ctx.kern, ctx.policy.layernorm, d_dec_out, s.dec_stack_out,
                      params_.value(dec_ln_gamma_), s.dec_mean, s.dec_rstd, d_dec,
                      params_.grad(dec_ln_gamma_), params_.grad(dec_ln_beta_));
+  params_.notify_grad_ready(dec_ln_range_);
 
   // Decoder layers (reverse), accumulating cross K/V grads. Zeroing the
   // accumulators is real device work: one fused launch under LightSeq2, one
@@ -264,24 +288,30 @@ void Transformer::backward(LayerContext& ctx) {
   for (int64_t i = cfg_.decoder_layers - 1; i >= 0; --i) {
     d_dec = decoder_[static_cast<size_t>(i)]->backward(
         ctx, d_dec, dkv[static_cast<size_t>(2 * i)], dkv[static_cast<size_t>(2 * i + 1)]);
+    params_.notify_grad_ready(dec_ranges_[static_cast<size_t>(i)]);
   }
   tgt_embed_->backward(ctx, d_dec);
+  params_.notify_grad_ready(tgt_range_);  // empty when the table is tied
 
   // Cross K/V projection backward -> gradient into the encoder output
   // (computed after the 0-th decoder layer finishes, as in §IV-A.4).
   Tensor d_enc_out = cross_kv_backward(ctx, dkv);
   dkv.clear();
+  params_.notify_grad_ready(cross_kv_range_);
 
   // Final encoder LayerNorm.
   Tensor d_enc = ctx.alloc({s.B, s.Ls, H}, dt);
   kern::layernorm_bw(ctx.kern, ctx.policy.layernorm, d_enc_out, s.enc_stack_out,
                      params_.value(enc_ln_gamma_), s.enc_mean, s.enc_rstd, d_enc,
                      params_.grad(enc_ln_gamma_), params_.grad(enc_ln_beta_));
+  params_.notify_grad_ready(enc_ln_range_);
 
   for (int64_t i = cfg_.encoder_layers - 1; i >= 0; --i) {
     d_enc = encoder_[static_cast<size_t>(i)]->backward(ctx, d_enc);
+    params_.notify_grad_ready(enc_ranges_[static_cast<size_t>(i)]);
   }
   src_embed_->backward(ctx, d_enc);
+  params_.notify_grad_ready(src_range_);  // shared token table now final
   release();
 }
 

@@ -77,6 +77,14 @@ class Transformer {
   layers::ParamRef cross_kv_weight_, cross_kv_bias_;
   std::unique_ptr<layers::CriterionLayer> criterion_;
 
+  // Parameter declaration ranges per component, reported grad-ready to the
+  // bucketer as each backward stage completes (src/dist/bucket.h). The
+  // shared token table lives in src_range_ and is final only after the
+  // source embedding backward — the very last grad accumulation.
+  layers::ParamRange src_range_, tgt_range_, enc_ln_range_, cross_kv_range_;
+  layers::ParamRange dec_ln_range_, criterion_range_;
+  std::vector<layers::ParamRange> enc_ranges_, dec_ranges_;
+
   struct Saved {
     Tensor src_lens, tgt_lens;
     Tensor enc_stack_out, enc_out, enc_mean, enc_rstd;  // final encoder LN

@@ -105,12 +105,14 @@ int64_t VitConfig::parameter_count() const {
 Vit::Vit(VitConfig cfg, layers::System system, DType dtype, uint64_t seed,
          BufferAllocator* param_alloc)
     : cfg_(cfg) {
+  int mark = params_.size();
   patch_w_ = params_.declare("vit.patch_proj.weight", Shape{cfg.hidden, cfg.patch_dim()},
                              layers::Init::kXavier);
   patch_b_ = params_.declare("vit.patch_proj.bias", Shape{cfg.hidden}, layers::Init::kZero);
   cls_token_ = params_.declare("vit.cls_token", Shape{cfg.hidden}, layers::Init::kNormal);
   pos_embed_ = params_.declare("vit.pos_embed", Shape{cfg.seq_len(), cfg.hidden},
                                layers::Init::kNormal);
+  embed_range_ = params_.range_since(mark);
 
   layers::TransformerLayerConfig lcfg;
   lcfg.hidden = cfg.hidden;
@@ -121,14 +123,20 @@ Vit::Vit(VitConfig cfg, layers::System system, DType dtype, uint64_t seed,
   lcfg.act_dropout = cfg.dropout;
   lcfg.activation = layers::Activation::kGelu;
   for (int64_t i = 0; i < cfg.layers; ++i) {
+    mark = params_.size();
     blocks_.push_back(std::make_unique<layers::TransformerEncoderLayer>(
         params_, "vit.blocks." + std::to_string(i), lcfg));
+    block_ranges_.push_back(params_.range_since(mark));
   }
+  mark = params_.size();
   ln_gamma_ = params_.declare("vit.ln_f.gamma", Shape{cfg.hidden}, layers::Init::kOne);
   ln_beta_ = params_.declare("vit.ln_f.beta", Shape{cfg.hidden}, layers::Init::kZero);
+  ln_range_ = params_.range_since(mark);
+  mark = params_.size();
   head_w_ = params_.declare("vit.head.weight", Shape{cfg.num_classes, cfg.hidden},
                             layers::Init::kXavier);
   head_b_ = params_.declare("vit.head.bias", Shape{cfg.num_classes}, layers::Init::kZero);
+  head_range_ = params_.range_since(mark);
 
   params_.materialize(dtype, system == layers::System::kLightSeq2, Rng(seed), param_alloc);
 }
@@ -236,6 +244,7 @@ void Vit::backward(layers::LayerContext& ctx) {
   Tensor dcls = ctx.alloc({B, cfg_.hidden}, dt);
   layers::linear_bw(ctx, dlogits, s.cls, params_.value(head_w_), dcls,
                     params_.grad(head_w_), "vit.head");
+  params_.notify_grad_ready(head_range_);
 
   Tensor d_out = ctx.alloc({B, S, cfg_.hidden}, dt);
   {
@@ -260,8 +269,10 @@ void Vit::backward(layers::LayerContext& ctx) {
   kern::layernorm_bw(ctx.kern, ctx.policy.layernorm, d_out, s.stack_out,
                      params_.value(ln_gamma_), s.mean, s.rstd, dh, params_.grad(ln_gamma_),
                      params_.grad(ln_beta_));
+  params_.notify_grad_ready(ln_range_);
   for (int64_t i = cfg_.layers - 1; i >= 0; --i) {
     dh = blocks_[static_cast<size_t>(i)]->backward(ctx, dh);
+    params_.notify_grad_ready(block_ranges_[static_cast<size_t>(i)]);
   }
 
   // Embedding backward: dropout + split into dproj/dbias/dcls_token/dpos.
@@ -285,6 +296,7 @@ void Vit::backward(layers::LayerContext& ctx) {
   }
   layers::linear_bw(ctx, dproj, s.patches_in, params_.value(patch_w_), Tensor{},
                     params_.grad(patch_w_), "vit.patch_proj");
+  params_.notify_grad_ready(embed_range_);
   release();
 }
 

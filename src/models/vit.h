@@ -65,6 +65,10 @@ class Vit {
   std::vector<std::unique_ptr<layers::TransformerEncoderLayer>> blocks_;
   layers::ParamRef ln_gamma_, ln_beta_, head_w_, head_b_;
 
+  // Declaration ranges for the gradient bucketer (src/dist/bucket.h).
+  layers::ParamRange embed_range_, ln_range_, head_range_;
+  std::vector<layers::ParamRange> block_ranges_;
+
   struct Saved {
     Tensor patches_in, proj;  // [B,P,pd] input and [B,P,H] projection
     Tensor embed_mask;        // u8 dropout mask over [B, P+1, H]

@@ -67,6 +67,33 @@ void Device::advance(double us, bool busy, const std::string& attribution) {
   }
 }
 
+double Device::enqueue_comm(double us, const std::string& attribution) {
+  LS2_CHECK(us >= 0) << "negative comm time";
+  if (us == 0) return std::max(comm_clock_us_, clock_us_);
+  // The transfer starts once its payload exists (now, on the compute clock)
+  // and the comm stream is free; transfers serialize among themselves.
+  const double begin = std::max(comm_clock_us_, clock_us_);
+  comm_clock_us_ = begin + us;
+  stats_.comm_transfers += 1;
+  stats_.comm_us += us;
+  if (record_timeline_) timeline_.record_comm(begin, comm_clock_us_);
+  // Overlapped time is deliberately NOT attributed to the active compute
+  // range; only the exposed wait (sync_comm) lands in a range.
+  (void)attribution;
+  return comm_clock_us_;
+}
+
+double Device::sync_comm(const std::string& attribution) {
+  const double exposed = std::max(0.0, comm_clock_us_ - clock_us_);
+  if (exposed > 0) {
+    // The compute stream stalls while the fabric finishes: idle SMs, busy
+    // links. Counted as busy so utilisation matches the blocking path.
+    advance(exposed, /*busy=*/true, attribution);
+    stats_.exposed_comm_us += exposed;
+  }
+  return exposed;
+}
+
 void Device::charge_alloc(bool cache_hit) {
   stats_.alloc_events += 1;
   const double us = cache_hit ? profile_.cached_alloc_us : profile_.malloc_us;
@@ -99,6 +126,7 @@ double Device::utilization() const {
 
 void Device::reset() {
   clock_us_ = 0;
+  comm_clock_us_ = 0;
   stats_ = DeviceStats{};
   per_kernel_.clear();
   range_times_.clear();

@@ -55,6 +55,9 @@ struct DeviceStats {
   double busy_us = 0;        ///< kernel execution time
   double overhead_us = 0;    ///< launch gaps + allocator stalls (GPU idle)
   double alloc_events = 0;   ///< number of device malloc/free calls
+  int64_t comm_transfers = 0;   ///< transfers enqueued on the comm stream
+  double comm_us = 0;           ///< total comm-stream busy time
+  double exposed_comm_us = 0;   ///< comm time the compute stream waited on
 };
 
 class Device {
@@ -75,6 +78,24 @@ class Device {
   /// Advance the clock without a kernel (allocator stalls, comm waits...).
   /// `busy` selects whether the span counts toward utilisation.
   void advance(double us, bool busy, const std::string& attribution);
+
+  // --- Communication stream (overlapped data-parallel sync) ---
+  //
+  // The device models TWO streams: the compute stream (`clock_us`, which
+  // every kernel launch advances) and a communication stream on which
+  // gradient all-reduces run concurrently with compute. A transfer enqueued
+  // at compute time t starts at max(t, previous transfer's end) — it can
+  // overlap later compute but transfers serialize among themselves, like
+  // NCCL calls on one comm stream.
+
+  /// Enqueue `us` microseconds of communication; returns the transfer's
+  /// modeled completion time. Does NOT advance the compute clock.
+  double enqueue_comm(double us, const std::string& attribution);
+  /// Block the compute stream until the comm stream drains (stream sync).
+  /// The wait — comm time NOT hidden behind compute — is charged to
+  /// `attribution` and returned ("exposed" synchronization time).
+  double sync_comm(const std::string& attribution);
+  double comm_clock_us() const { return comm_clock_us_; }
 
   /// Allocator hooks: charge allocation latency and record the watermark.
   void charge_alloc(bool cache_hit);
@@ -109,6 +130,7 @@ class Device {
   DeviceProfile profile_;
   ExecMode mode_;
   double clock_us_ = 0;
+  double comm_clock_us_ = 0;  ///< completion time of the last comm transfer
   DeviceStats stats_;
   std::map<std::string, KernelStats> per_kernel_;
   std::map<std::string, double> range_times_;

@@ -9,14 +9,26 @@ void Timeline::record_memory(double t_us, int64_t bytes_in_use) {
   memory_.push_back({t_us, bytes_in_use});
 }
 
-void Timeline::record_busy(double begin_us, double end_us) {
+namespace {
+
+// Merge with the previous span when contiguous to keep the vector small.
+void append_span(std::vector<BusySpan>& spans, double begin_us, double end_us) {
   if (end_us <= begin_us) return;
-  // Merge with the previous span when contiguous to keep the vector small.
-  if (!busy_.empty() && std::abs(busy_.back().end_us - begin_us) < 1e-9) {
-    busy_.back().end_us = end_us;
+  if (!spans.empty() && std::abs(spans.back().end_us - begin_us) < 1e-9) {
+    spans.back().end_us = end_us;
     return;
   }
-  busy_.push_back({begin_us, end_us});
+  spans.push_back({begin_us, end_us});
+}
+
+}  // namespace
+
+void Timeline::record_busy(double begin_us, double end_us) {
+  append_span(busy_, begin_us, end_us);
+}
+
+void Timeline::record_comm(double begin_us, double end_us) {
+  append_span(comm_, begin_us, end_us);
 }
 
 std::vector<int64_t> Timeline::memory_series(double bucket_us, double horizon_us) const {
@@ -64,6 +76,7 @@ int64_t Timeline::peak_memory_bytes() const {
 void Timeline::clear() {
   memory_.clear();
   busy_.clear();
+  comm_.clear();
 }
 
 }  // namespace ls2::simgpu

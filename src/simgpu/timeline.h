@@ -25,8 +25,11 @@ class Timeline {
  public:
   void record_memory(double t_us, int64_t bytes_in_use);
   void record_busy(double begin_us, double end_us);
+  /// Activity on the second (communication) stream — overlapped all-reduces.
+  void record_comm(double begin_us, double end_us);
 
   const std::vector<MemorySample>& memory_samples() const { return memory_; }
+  const std::vector<BusySpan>& comm_spans() const { return comm_; }
 
   /// Memory in use at the end of each fixed-width bucket (carry-forward).
   std::vector<int64_t> memory_series(double bucket_us, double horizon_us) const;
@@ -42,6 +45,7 @@ class Timeline {
  private:
   std::vector<MemorySample> memory_;
   std::vector<BusySpan> busy_;
+  std::vector<BusySpan> comm_;
 };
 
 }  // namespace ls2::simgpu
