@@ -9,7 +9,11 @@ using namespace ls2::bench;
 int main() {
   const auto cfg = models::TransformerConfig::base(24, 24);
   const auto profile = simgpu::a100();
-  const dist::ClusterConfig cluster{8, 1};
+  // The paper's figure shows four SERIAL stages; pin the update pipeline off
+  // so "synchronize" stays an isolated stage (with it on, the update lane
+  // hides the whole drain and sync reads ~0 — see fig22d for that study).
+  dist::ClusterConfig cluster{8, 1};
+  cluster.pipeline_update = false;
   const int64_t batch_tokens = 4096;
 
   print_header("Fig. 3: per-stage step time (ms), Transformer-24e24d, 8x A100");

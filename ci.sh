@@ -11,7 +11,14 @@ cd build
 ctest --output-on-failure -j "$(nproc)"
 
 # Smoke-run the headline scaling benchmark end-to-end (exercises the
-# overlapped sync path at 1..5 nodes).
+# overlapped sync + pipelined update paths at 1..5 nodes) and validate its
+# machine-readable output so perf-trajectory tracking can rely on it.
 ./fig22_scaling >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool bench/fig22.json >/dev/null
+  echo "ci.sh: bench/fig22.json parses"
+else
+  echo "ci.sh: python3 not found — skipped fig22.json validation"
+fi
 
 echo "ci.sh: all checks passed"

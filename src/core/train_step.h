@@ -2,21 +2,28 @@
 // synchronize, update), each attributed via device ranges — this is what
 // regenerates Fig. 3 and every end-to-end speedup figure.
 //
-// The step is a two-stream stage scheduler. Compute (zero-grad, forward,
-// backward, update) runs on the compute stream; gradient synchronization
-// runs on the communication stream. With `cluster.overlap` (the default),
-// the flat gradient buffer is partitioned into size-capped buckets in
-// grad-ready order (dist/bucket.h) and each bucket's ring all-reduce is
-// enqueued as soon as the layers owning it finish their backward — so most
-// of the communication is hidden under backward, and only the tail
-// (embedding gradients, final only when backward ends) stays exposed.
-// `StepTimes::sync_us` is that exposed, critical-path time; the hidden part
-// is reported separately as `sync_overlapped_us`.
+// The step is a three-lane pipeline. Compute (zero-grad, forward, backward,
+// update) runs on the compute stream; gradient synchronization runs on the
+// communication stream. With `cluster.overlap` (the default), the flat
+// gradient buffer is partitioned into size-capped buckets in grad-ready
+// order (dist/bucket.h) and each bucket's ring all-reduce is enqueued as
+// soon as the layers owning it finish their backward — so most of the
+// communication is hidden under backward. With `cluster.pipeline_update`
+// (also the default), the third lane kicks in: as each bucket's all-reduce
+// lands, that bucket's optimizer update (`Optimizer::step_range`) is
+// launched on the compute stream immediately — update work that used to sit
+// serially after the full comm drain now overlaps the remaining transfers,
+// and only the tail bucket's wait + update stay fully exposed.
+// `StepTimes::sync_us` is the exposed, critical-path wait; hidden comm is
+// `sync_overlapped_us`, and the update time that ran while the comm stream
+// was still draining is `update_overlapped_us` (informational — it is
+// contained in `update_us`; the four stages always sum to the step total).
 #pragma once
 
 #include <algorithm>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "core/session.h"
 #include "dist/allreduce.h"
@@ -34,10 +41,18 @@ struct StepTimes {
   /// (its own "zero_grad" device range; charged to the update stage so the
   /// four stages still sum to the step total).
   double zero_grad_us = 0;
-  /// Comm time hidden under backward (runs concurrently; not in total_us).
+  /// Comm time hidden under backward or under per-bucket updates (runs
+  /// concurrently; not in total_us).
   double sync_overlapped_us = 0;
+  /// Informational sub-component of update_us: optimizer time that ran while
+  /// the comm stream was still draining later buckets (the pipelined-update
+  /// lane; 0 without cluster.pipeline_update).
+  double update_overlapped_us = 0;
   /// What one blocking ring over all gradients would have cost.
   double sync_blocking_us = 0;
+  /// Modeled gradient payload this rank put on the ring, at the wire dtype
+  /// (ClusterConfig::wire_dtype; kF16 halves the FP32-wire default).
+  int64_t wire_bytes = 0;
   double total_us() const { return forward_us + backward_us + sync_us + update_us; }
 };
 
@@ -77,9 +92,15 @@ auto train_step(Session& session, ModelT& model, const BatchT& batch,
   StepTimes times;
   const bool sync_needed = cluster.total_gpus() > 1;
   const bool overlap = sync_needed && cluster.overlap;
+  const bool pipeline = overlap && cluster.pipeline_update;
   const int64_t grad_bytes = static_cast<int64_t>(model.params().flat_grad_bytes());
+  const int64_t ring_bytes =
+      sync_needed ? dist::wire_payload_bytes(grad_bytes, model.params().dtype(),
+                                             cluster.wire_dtype)
+                  : 0;
+  times.wire_bytes = ring_bytes;
   times.sync_blocking_us =
-      sync_needed ? dist::ring_allreduce_us(grad_bytes, cluster, dev.profile()) : 0.0;
+      sync_needed ? dist::ring_allreduce_us(ring_bytes, cluster, dev.profile()) : 0.0;
 
   // Stage 0 — zero gradients (own device range; charged to update below).
   const double tz = dev.clock_us();
@@ -91,11 +112,29 @@ auto train_step(Session& session, ModelT& model, const BatchT& batch,
   times.zero_grad_us = t0 - tz;
 
   // The scheduler owns the registry's grad-ready callback for this step and
-  // enqueues each completed bucket's all-reduce on the comm stream.
+  // enqueues each completed bucket's all-reduce on the comm stream. With
+  // pipelining it also reports each bucket's completion time, so the update
+  // lane below can start that bucket's optimizer work the moment it lands.
+  struct LandedBucket {
+    size_t byte_begin, byte_end;
+    double done_us;
+  };
+  std::vector<LandedBucket> landed;
   std::optional<dist::OverlapScheduler> scheduler;
-  if (overlap) scheduler.emplace(model.params(), dev, cluster);
+  if (overlap) {
+    scheduler.emplace(model.params(), dev, cluster);
+    if (pipeline) {
+      scheduler->set_bucket_done_callback(
+          [&landed](const dist::GradBucket& b, double done_us) {
+            landed.push_back({b.byte_begin, b.byte_end, done_us});
+          });
+    }
+  }
 
-  // Stage 1 — forward.
+  // Stage 1 — forward. The criterion multiplies the trainer's expected loss
+  // scale into the backward seed (mixed-precision discipline); the trainer
+  // divides it back out in the update.
+  session.ctx().loss_scale = trainer.loss_scale();
   decltype(model.forward(session.ctx(), batch)) result;
   {
     simgpu::ScopedRange r(dev, "forward");
@@ -111,33 +150,63 @@ auto train_step(Session& session, ModelT& model, const BatchT& batch,
   }
   const double t2 = dev.clock_us();
 
-  // Stage 3 — synchronize: drain the comm stream (overlapped) or run one
-  // blocking ring over the whole gradient buffer.
-  {
-    simgpu::ScopedRange r(dev, "synchronize");
-    if (overlap) {
+  if (pipeline) {
+    // Stages 3+4 interleaved — per-bucket: wait for the bucket's transfer
+    // (exposed sync), then run its optimizer range update (update lane,
+    // overlapping the comm stream's later transfers).
+    trainer.begin_step();
+    {
+      simgpu::ScopedRange r(dev, "synchronize");
       scheduler->finish();  // tail buckets: ready only now that backward ended
-      const double exposed = dev.sync_comm("synchronize");
-      times.sync_overlapped_us = std::max(0.0, scheduler->enqueued_us() - exposed);
-    } else if (sync_needed) {
-      dev.advance(times.sync_blocking_us, /*busy=*/true, "synchronize");
     }
-  }
-  scheduler.reset();
-  const double t3 = dev.clock_us();
+    const double comm_drain_us = dev.comm_clock_us();
+    double update_work_us = 0;
+    for (const LandedBucket& b : landed) {
+      dev.wait_comm_until(b.done_us, "synchronize");
+      simgpu::ScopedRange r(dev, "update");
+      const double u0 = dev.clock_us();
+      trainer.step_range(session.ctx().kern, b.byte_begin, b.byte_end);
+      const double u1 = dev.clock_us();
+      update_work_us += u1 - u0;
+      times.update_overlapped_us += std::max(0.0, std::min(u1, comm_drain_us) - u0);
+    }
+    dev.sync_comm("synchronize");  // residual drain (normally zero)
+    trainer.end_step();
+    const double enqueued_us = scheduler->enqueued_us();
+    scheduler.reset();
+    const double t4 = dev.clock_us();
+    times.sync_us = (t4 - t2) - update_work_us;
+    times.sync_overlapped_us = std::max(0.0, enqueued_us - times.sync_us);
+    times.update_us = update_work_us + times.zero_grad_us;
+  } else {
+    // Stage 3 — synchronize: drain the comm stream (overlapped) or run one
+    // blocking ring over the whole gradient buffer.
+    {
+      simgpu::ScopedRange r(dev, "synchronize");
+      if (overlap) {
+        scheduler->finish();  // tail buckets: ready only now that backward ended
+        const double exposed = dev.sync_comm("synchronize");
+        times.sync_overlapped_us = std::max(0.0, scheduler->enqueued_us() - exposed);
+      } else if (sync_needed) {
+        dev.advance(times.sync_blocking_us, /*busy=*/true, "synchronize");
+      }
+    }
+    scheduler.reset();
+    const double t3 = dev.clock_us();
 
-  // Stage 4 — update.
-  {
-    simgpu::ScopedRange r(dev, "update");
-    trainer.step(session.ctx().kern);
+    // Stage 4 — update.
+    {
+      simgpu::ScopedRange r(dev, "update");
+      trainer.step(session.ctx().kern);
+    }
+    const double t4 = dev.clock_us();
+    times.sync_us = t3 - t2;
+    times.update_us = (t4 - t3) + times.zero_grad_us;
   }
-  const double t4 = dev.clock_us();
   session.end_step();
 
   times.forward_us = t1 - t0;
   times.backward_us = t2 - t1;
-  times.sync_us = t3 - t2;
-  times.update_us = (t4 - t3) + times.zero_grad_us;
   return {times, result};
 }
 

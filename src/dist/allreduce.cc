@@ -24,9 +24,28 @@ double ring_allreduce_us(int64_t bytes, const ClusterConfig& cluster,
   return wire_us + steps * profile.allreduce_latency_us;
 }
 
+int64_t wire_payload_bytes(int64_t storage_bytes, DType storage_dtype,
+                           DType wire_dtype) {
+  LS2_CHECK(storage_bytes >= 0) << "negative payload";
+  const int64_t selem = static_cast<int64_t>(dtype_size(storage_dtype));
+  const int64_t welem = static_cast<int64_t>(dtype_size(wire_dtype));
+  LS2_CHECK(storage_bytes % selem == 0)
+      << storage_bytes << " bytes not a multiple of " << dtype_name(storage_dtype);
+  return storage_bytes / selem * welem;
+}
+
 namespace {
 
-void accumulate_and_store(const std::vector<Tensor>& replicas, float scale) {
+/// Round `v` the way the wire would: FP16 payloads lose precision per hop,
+/// FP32 payloads are exact.
+inline float wire_round(float v, DType wire_dtype) {
+  return wire_dtype == DType::kF16 ? static_cast<float>(Half(v)) : v;
+}
+
+void accumulate_and_store(const std::vector<Tensor>& replicas, float scale,
+                          DType wire_dtype) {
+  LS2_CHECK(wire_dtype == DType::kF32 || wire_dtype == DType::kF16)
+      << "unsupported wire dtype " << dtype_name(wire_dtype);
   LS2_CHECK(!replicas.empty()) << "allreduce over zero replicas";
   const Tensor& first = replicas.front();
   for (const Tensor& t : replicas) {
@@ -41,26 +60,32 @@ void accumulate_and_store(const std::vector<Tensor>& replicas, float scale) {
     if (!t.backs_real_memory()) return;
   }
   // to_vector() up-converts FP16 to FP32, so the sum below accumulates in
-  // FP32 regardless of the storage dtype; copy_from() converts back.
+  // FP32 regardless of the storage dtype; copy_from() converts back. Each
+  // replica's contribution is first rounded to the wire dtype (what the
+  // hop's payload carries); the accumulator itself stays FP32.
   std::vector<float> acc = first.to_vector();
+  for (float& x : acc) x = wire_round(x, wire_dtype);
   for (size_t r = 1; r < replicas.size(); ++r) {
     const std::vector<float> v = replicas[r].to_vector();
-    for (size_t i = 0; i < acc.size(); ++i) acc[i] += v[i];
+    for (size_t i = 0; i < acc.size(); ++i) acc[i] += wire_round(v[i], wire_dtype);
   }
   if (scale != 1.0f) {
     for (float& x : acc) x *= scale;
   }
+  // The reduced chunk travels the all-gather phase in the wire dtype too.
+  for (float& x : acc) x = wire_round(x, wire_dtype);
   for (const Tensor& t : replicas) t.copy_from(acc);
 }
 
 }  // namespace
 
-void allreduce_average(const std::vector<Tensor>& replicas) {
-  accumulate_and_store(replicas, 1.0f / static_cast<float>(replicas.size()));
+void allreduce_average(const std::vector<Tensor>& replicas, DType wire_dtype) {
+  accumulate_and_store(replicas, 1.0f / static_cast<float>(replicas.size()),
+                       wire_dtype);
 }
 
-void allreduce_sum(const std::vector<Tensor>& replicas) {
-  accumulate_and_store(replicas, 1.0f);
+void allreduce_sum(const std::vector<Tensor>& replicas, DType wire_dtype) {
+  accumulate_and_store(replicas, 1.0f, wire_dtype);
 }
 
 }  // namespace ls2::dist

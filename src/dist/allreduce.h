@@ -28,13 +28,33 @@ struct ClusterConfig {
   /// Overlap bucketed gradient all-reduce with the backward pass (the DDP
   /// strategy). false => one blocking ring after backward completes.
   bool overlap = true;
+  /// Apply the optimizer per communication bucket as each all-reduce lands
+  /// (Optimizer::step_range on the compute stream), instead of one
+  /// monolithic update after the comm stream drains. Only takes effect with
+  /// `overlap`; false reproduces the serial synchronize-then-update schedule.
+  bool pipeline_update = true;
   /// Gradient bucket size cap for the overlapped path (bytes). 25 MB is the
   /// PyTorch-DDP default; smaller buckets start communicating earlier but
   /// pay the per-ring latency more often.
   int64_t bucket_bytes = 25 * 1024 * 1024;
+  /// Dtype of the gradient payload ON THE WIRE. The numerically safe default
+  /// is FP32 (gradients are up-cast before transmission, matching
+  /// allreduce_average's FP32-accumulation contract); kF16 sends half the
+  /// bytes — the Fig. 6(b) on-the-fly-conversion trick applied to the ring —
+  /// with reduction accumulators still FP32, at the cost of one FP16
+  /// rounding per hop. Pair FP16 wire with dynamic loss scaling
+  /// (OptimConfig::dynamic_loss_scale) so overflows are caught per bucket.
+  DType wire_dtype = DType::kF32;
 
   int total_gpus() const { return gpus_per_node * nodes; }
 };
+
+/// Bytes `storage_bytes` of `storage_dtype` gradients occupy on the wire
+/// once converted to the cluster's wire dtype: the payload the ring model
+/// should be charged for. Halves the ring bytes of an FP16-wire cluster
+/// relative to the FP32-wire default.
+int64_t wire_payload_bytes(int64_t storage_bytes, DType storage_dtype,
+                           DType wire_dtype);
 
 /// The ring's bottleneck bus bandwidth: NVLink within one node, the
 /// inter-node fabric as soon as the ring crosses machines. Shared by the
@@ -51,9 +71,15 @@ double ring_allreduce_us(int64_t bytes, const ClusterConfig& cluster,
 /// Average the replica tensors element-wise IN PLACE (every tensor ends up
 /// holding the mean). Accumulation is always FP32, so FP16 gradients do not
 /// lose low-magnitude contributions (§IV-C's mixed-precision discipline).
-void allreduce_average(const std::vector<Tensor>& replicas);
+/// `wire_dtype` models the payload dtype: kF16 rounds every replica's
+/// contribution — and the reduced result — through FP16 on its way across
+/// the ring (accumulators stay FP32), exactly what the compressed-comm path
+/// does; the default FP32 wire is lossless.
+void allreduce_average(const std::vector<Tensor>& replicas,
+                       DType wire_dtype = DType::kF32);
 
 /// Element-wise in-place sum across replicas (FP32 accumulation).
-void allreduce_sum(const std::vector<Tensor>& replicas);
+void allreduce_sum(const std::vector<Tensor>& replicas,
+                   DType wire_dtype = DType::kF32);
 
 }  // namespace ls2::dist

@@ -113,11 +113,15 @@ void OverlapScheduler::finish() {
 }
 
 void OverlapScheduler::flush(const GradBucket& bucket) {
-  const double us = ring_allreduce_us(bucket.bytes(), cluster_, device_.profile());
+  const int64_t payload =
+      wire_payload_bytes(bucket.bytes(), params_.dtype(), cluster_.wire_dtype);
+  const double us = ring_allreduce_us(payload, cluster_, device_.profile());
   if (us <= 0) return;
-  device_.enqueue_comm(us, "synchronize");
+  const double done = device_.enqueue_comm(us, "synchronize");
   enqueued_us_ += us;
+  wire_bytes_ += payload;
   ++buckets_flushed_;
+  if (bucket_done_) bucket_done_(bucket, done);
 }
 
 }  // namespace ls2::dist

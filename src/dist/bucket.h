@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "dist/allreduce.h"
@@ -70,17 +71,29 @@ class BucketPlan {
 
 /// Per-step overlap driver. While alive it owns the registry's grad-ready
 /// callback; as each bucket's parameters all become ready it charges that
-/// bucket's ring all-reduce to the device's communication stream, where it
-/// runs concurrently with the (compute-stream) backward kernels. finish()
-/// flushes buckets whose params were never notified — they are implicitly
-/// ready once backward has returned.
+/// bucket's ring all-reduce (at the cluster's WIRE dtype — FP16 wire halves
+/// the payload of an FP32 wire) to the device's communication stream, where
+/// it runs concurrently with the (compute-stream) backward kernels.
+/// finish() flushes buckets whose params were never notified — they are
+/// implicitly ready once backward has returned.
 class OverlapScheduler {
  public:
+  /// Invoked right after a bucket's ring time has been charged to the comm
+  /// stream: the bucket plus the comm-stream clock at which its all-reduce
+  /// completes (its gradients are replica-averaged from then on). The
+  /// pipelined train_step uses this to launch the bucket's optimizer update
+  /// as soon as the transfer lands. Buckets fire in flush order, so the
+  /// completion times a listener observes are non-decreasing.
+  using BucketDoneFn = std::function<void(const GradBucket&, double comm_done_us)>;
+
   OverlapScheduler(layers::ParamRegistry& params, simgpu::Device& device,
                    const ClusterConfig& cluster);
   ~OverlapScheduler();
   OverlapScheduler(const OverlapScheduler&) = delete;
   OverlapScheduler& operator=(const OverlapScheduler&) = delete;
+
+  /// Install the bucket-complete listener (before backward starts).
+  void set_bucket_done_callback(BucketDoneFn fn) { bucket_done_ = std::move(fn); }
 
   /// Mark params [range.begin, range.end) final; flush any completed bucket.
   void on_grads_ready(const layers::ParamRange& range);
@@ -90,6 +103,9 @@ class OverlapScheduler {
   const BucketPlan& plan() const { return plan_; }
   /// Total comm-stream microseconds enqueued so far.
   double enqueued_us() const { return enqueued_us_; }
+  /// Total modeled gradient bytes this rank put on the ring so far (at the
+  /// wire dtype, not the storage dtype).
+  int64_t wire_bytes() const { return wire_bytes_; }
   int buckets_flushed() const { return buckets_flushed_; }
 
  private:
@@ -99,9 +115,11 @@ class OverlapScheduler {
   simgpu::Device& device_;
   ClusterConfig cluster_;
   BucketPlan plan_;
+  BucketDoneFn bucket_done_;
   std::vector<int> pending_in_bucket_;  // params not yet ready, per bucket
   std::vector<char> param_ready_;
   double enqueued_us_ = 0;
+  int64_t wire_bytes_ = 0;
   int buckets_flushed_ = 0;
   bool finished_ = false;
 };

@@ -22,7 +22,8 @@ void check_same_layout(const std::vector<layers::ParamRegistry*>& replicas) {
 
 }  // namespace
 
-void sync_gradients(const std::vector<layers::ParamRegistry*>& replicas) {
+void sync_gradients(const std::vector<layers::ParamRegistry*>& replicas,
+                    DType wire_dtype) {
   check_same_layout(replicas);
   if (replicas.size() < 2) return;
   std::vector<Tensor> grads(replicas.size());
@@ -30,12 +31,12 @@ void sync_gradients(const std::vector<layers::ParamRegistry*>& replicas) {
     for (size_t r = 0; r < replicas.size(); ++r) {
       grads[r] = replicas[r]->grad({i});
     }
-    allreduce_average(grads);
+    allreduce_average(grads, wire_dtype);
   }
 }
 
 void sync_gradients_bucketed(const std::vector<layers::ParamRegistry*>& replicas,
-                             const BucketPlan& plan) {
+                             const BucketPlan& plan, DType wire_dtype) {
   check_same_layout(replicas);
   if (replicas.size() < 2) return;
   std::vector<Tensor> payloads(replicas.size());
@@ -43,7 +44,7 @@ void sync_gradients_bucketed(const std::vector<layers::ParamRegistry*>& replicas
     for (size_t r = 0; r < replicas.size(); ++r) {
       payloads[r] = plan.grad_view(*replicas[r], b);
     }
-    allreduce_average(payloads);
+    allreduce_average(payloads, wire_dtype);
   }
 }
 
@@ -82,8 +83,10 @@ std::string find_divergence(
 
 double ReplicaGroup::modeled_sync_us(const layers::ParamRegistry& params,
                                      const simgpu::DeviceProfile& profile) const {
-  return ring_allreduce_us(static_cast<int64_t>(params.flat_grad_bytes()), cluster_,
-                           profile);
+  const int64_t payload = wire_payload_bytes(
+      static_cast<int64_t>(params.flat_grad_bytes()), params.dtype(),
+      cluster_.wire_dtype);
+  return ring_allreduce_us(payload, cluster_, profile);
 }
 
 }  // namespace ls2::dist

@@ -19,14 +19,17 @@ namespace ls2::dist {
 
 /// Average every parameter's gradient across the replica registries in
 /// place (FP32 accumulation, see allreduce_average). The registries must
-/// have identical declarations.
-void sync_gradients(const std::vector<layers::ParamRegistry*>& replicas);
+/// have identical declarations. `wire_dtype` models the on-the-wire payload
+/// (kF16 rounds each hop's contribution; the FP32 default is lossless).
+void sync_gradients(const std::vector<layers::ParamRegistry*>& replicas,
+                    DType wire_dtype = DType::kF32);
 
 /// Bucketed variant: averages one bucket at a time following `plan` — the
 /// payload granularity the overlapped scheduler communicates at. Numerically
 /// identical to sync_gradients (workspace registries only).
 void sync_gradients_bucketed(const std::vector<layers::ParamRegistry*>& replicas,
-                             const BucketPlan& plan);
+                             const BucketPlan& plan,
+                             DType wire_dtype = DType::kF32);
 
 /// "" when all replicas hold bitwise-identical parameter values; otherwise a
 /// human-readable description of the first divergent parameter.
@@ -42,8 +45,9 @@ class ReplicaGroup {
   int size() const { return static_cast<int>(replicas_.size()); }
   const ClusterConfig& cluster() const { return cluster_; }
 
-  /// All-reduce-average all gradients across the registered replicas.
-  void sync() { sync_gradients(replicas_); }
+  /// All-reduce-average all gradients across the registered replicas, over
+  /// the cluster's configured wire dtype.
+  void sync() { sync_gradients(replicas_, cluster_.wire_dtype); }
   /// Modeled ring time for one full gradient sync of `registry`.
   double modeled_sync_us(const layers::ParamRegistry& params,
                          const simgpu::DeviceProfile& profile) const;

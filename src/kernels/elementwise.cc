@@ -46,6 +46,17 @@ void check_same_numel(const Tensor& a, const Tensor& b) {
   LS2_CHECK(a.dtype() == b.dtype()) << "dtype mismatch";
 }
 
+void add_body(const Tensor& a, const Tensor& b, const Tensor& y) {
+  LS2_DISPATCH_FLOAT(a.dtype(), T, {
+    const T* ap = a.data<T>();
+    const T* bp = b.data<T>();
+    T* yp = y.data<T>();
+    parallel_for(0, a.numel(), [&](int64_t i) {
+      yp[i] = T(static_cast<float>(ap[i]) + static_cast<float>(bp[i]));
+    });
+  });
+}
+
 }  // namespace
 
 namespace baseline {
@@ -140,16 +151,7 @@ void add(KernelContext& kc, const Tensor& a, const Tensor& b, const Tensor& y) {
   check_same_numel(a, y);
   kc.dev.launch(
       ew_desc("torch.add", a.bytes() + b.bytes(), y.bytes(), a.numel(), 1.0, kBaselineEff),
-      [&] {
-        LS2_DISPATCH_FLOAT(a.dtype(), T, {
-          const T* ap = a.data<T>();
-          const T* bp = b.data<T>();
-          T* yp = y.data<T>();
-          parallel_for(0, a.numel(), [&](int64_t i) {
-            yp[i] = T(static_cast<float>(ap[i]) + static_cast<float>(bp[i]));
-          });
-        });
-      });
+      [&] { add_body(a, b, y); });
 }
 
 void scale(KernelContext& kc, const Tensor& x, const Tensor& y, float s) {
@@ -329,6 +331,19 @@ void bias_dropout_residual_bw(KernelContext& kc, const Tensor& dy, const Tensor&
 }
 
 }  // namespace fused
+
+void add(KernelContext& kc, Impl impl, const Tensor& a, const Tensor& b,
+         const Tensor& y) {
+  if (impl != Impl::kLS2) {
+    baseline::add(kc, a, b, y);
+    return;
+  }
+  check_same_numel(a, b);
+  check_same_numel(a, y);
+  kc.dev.launch(
+      ew_desc("ls2.add", a.bytes() + b.bytes(), y.bytes(), a.numel(), 1.0, kFusedEff),
+      [&] { add_body(a, b, y); });
+}
 
 void bias_grad(KernelContext& kc, const Tensor& dx, const Tensor& dbias) {
   const Shape flat = dx.shape().flatten_2d();

@@ -11,6 +11,7 @@
 // registers (on-the-fly conversion).
 #pragma once
 
+#include "kernels/dropout.h"  // Impl
 #include "kernels/kernel_context.h"
 
 namespace ls2::kern {
@@ -65,5 +66,13 @@ void bias_dropout_residual_bw(KernelContext& kc, const Tensor& dy, const Tensor&
 
 /// dbias[j] = sum_i dx[i,j] — column reduction shared by both systems.
 void bias_grad(KernelContext& kc, const Tensor& dx, const Tensor& dbias);
+
+/// y = a + b with the kernel family the policy selects: kLS2 launches the
+/// vectorised (half2/float4) LightSeq2 kernel, every other system the
+/// generic baseline one. Layers doing gradient accumulation (e.g. the
+/// encoder-side dk/dv of cross attention) route through this so the
+/// LightSeq2 policy never silently pays baseline launches.
+void add(KernelContext& kc, Impl impl, const Tensor& a, const Tensor& b,
+         const Tensor& y);
 
 }  // namespace ls2::kern

@@ -122,9 +122,11 @@ void sgd_update(KernelContext& kc, TrainerImpl impl, const Tensor& p, const Tens
                 });
 }
 
-void check_overflow(KernelContext& kc, const Tensor& g, const Tensor& flag) {
+void check_overflow(KernelContext& kc, const Tensor& g, const Tensor& flag,
+                    TrainerImpl impl) {
   LS2_CHECK(flag.dtype() == DType::kF32);
-  kc.dev.launch(desc("fp16.check_overflow", static_cast<int64_t>(g.bytes()), 4,
+  kc.dev.launch(desc(std::string(trainer_impl_name(impl)) + ".check_overflow",
+                     static_cast<int64_t>(g.bytes()), 4,
                      static_cast<double>(g.numel()), 0.85),
                 [&] {
                   bool bad = false;

@@ -52,8 +52,11 @@ void sgd_update(KernelContext& kc, TrainerImpl impl, const Tensor& p, const Tens
                 const Tensor& momentum_buf, const SgdHyper& h, float grad_scale,
                 const Tensor* model_fp16_out = nullptr);
 
-/// flag[0] = 1.0f if any gradient element is Inf/NaN (mixed-precision
-/// overflow check the FP32-master trainers run before updating).
-void check_overflow(KernelContext& kc, const Tensor& g, const Tensor& flag);
+/// flag[0] = 1.0f if any gradient element is Inf/NaN — the mixed-precision
+/// overflow check trainers run before updating (whole-model through step(),
+/// per bucket through step_range). `impl` tags the launch name so per-bucket
+/// checks show up per system in the kernel stats.
+void check_overflow(KernelContext& kc, const Tensor& g, const Tensor& flag,
+                    TrainerImpl impl = TrainerImpl::kApex);
 
 }  // namespace ls2::kern

@@ -284,9 +284,11 @@ Tensor CrossAttention::backward(LayerContext& ctx, const Tensor& dy, const Tenso
 
   AttentionCore::CoreGrads g = core_.backward(ctx, dy);
 
-  // Accumulate encoder-side grads (keys/values shared across queries).
-  kern::baseline::add(ctx.kern, g.dk, dk, dk);
-  kern::baseline::add(ctx.kern, g.dv, dv, dv);
+  // Accumulate encoder-side grads (keys/values shared across queries) with
+  // the policy-selected elementwise family, so the LightSeq2 policy pays the
+  // vectorised kernel rather than a silent baseline launch.
+  kern::add(ctx.kern, ctx.policy.elementwise, g.dk, dk, dk);
+  kern::add(ctx.kern, ctx.policy.elementwise, g.dv, dv, dv);
 
   Tensor dq_gemm = ctx.alloc({B, L, H}, dt);
   kern::split_transpose_bw(ctx.kern, ctx.policy.transform, {g.dq}, dq_gemm);

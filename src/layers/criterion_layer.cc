@@ -58,8 +58,12 @@ Tensor CriterionLayer::backward(LayerContext& ctx) {
   const int64_t B = s.x.shape()[0], L = s.x.shape()[1], H = s.x.shape()[2];
   const int64_t rows = B * L;
   const DType dt = s.x.dtype();
+  // Mean-per-token gradient, multiplied by the session's loss scale (the
+  // mixed-precision discipline: scale the loss up here, un-scale in the
+  // trainer's update — a power-of-two round trip that is exact in FP32).
   const float grad_scale =
-      s.valid_tokens > 0 ? 1.0f / static_cast<float>(s.valid_tokens) : 0.0f;
+      (s.valid_tokens > 0 ? 1.0f / static_cast<float>(s.valid_tokens) : 0.0f) *
+      ctx.loss_scale;
 
   Tensor dlogits = ctx.alloc({rows, cfg_.vocab}, dt);
   kern::ls_cross_entropy_bw(ctx.kern, ctx.policy.criterion, s.logits, s.targets, s.stats,

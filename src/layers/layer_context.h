@@ -65,6 +65,11 @@ class LayerContext {
 
   kern::KernelContext kern;
   Policy policy;
+  /// Loss scale the criterion multiplies into the backward seed, so FP16
+  /// gradients stay above the representable range's floor (and survive an
+  /// FP16 wire). train_step sets it from the trainer's expected scale each
+  /// step; the trainer divides it back out during the update.
+  float loss_scale = 1.0f;
 
  private:
   BufferAllocator* act_alloc_;

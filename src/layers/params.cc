@@ -1,5 +1,6 @@
 #include "layers/params.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace ls2::layers {
@@ -133,6 +134,26 @@ Tensor ParamRegistry::grad_byte_view(size_t begin, size_t end) const {
   LS2_CHECK(materialized_) << "grad view before materialize";
   LS2_CHECK(contiguous_) << "grad view requires workspace mode";
   return grad_ws_.byte_range_view(begin, end, dtype_);
+}
+
+Tensor ParamRegistry::value_byte_view(size_t begin, size_t end) const {
+  LS2_CHECK(materialized_) << "value view before materialize";
+  LS2_CHECK(contiguous_) << "value view requires workspace mode";
+  return value_ws_.byte_range_view(begin, end, dtype_);
+}
+
+ParamRange ParamRegistry::params_in_byte_range(size_t begin, size_t end) const {
+  LS2_CHECK(materialized_) << "params_in_byte_range before materialize";
+  LS2_CHECK(begin <= end && end <= grad_offsets_.back())
+      << "[" << begin << ", " << end << ") of " << grad_offsets_.back();
+  if (begin == end) return {0, 0};
+  // grad_offsets_ is strictly increasing over n+1 entries. First param whose
+  // span END is past `begin`; one past the last whose span BEGIN is before
+  // `end`.
+  const auto lo = std::upper_bound(grad_offsets_.begin(), grad_offsets_.end(), begin);
+  const auto hi = std::lower_bound(grad_offsets_.begin(), grad_offsets_.end(), end);
+  return {static_cast<int>(lo - grad_offsets_.begin()) - 1,
+          static_cast<int>(hi - grad_offsets_.begin())};
 }
 
 void ParamRegistry::notify_grad_ready(const ParamRange& range) const {

@@ -86,6 +86,16 @@ class ParamRegistry {
   /// View of the gradient bytes [begin, end) — one bucket's communication
   /// payload. Workspace mode only.
   Tensor grad_byte_view(size_t begin, size_t end) const;
+  /// View of the parameter VALUE bytes [begin, end). The value workspace has
+  /// the same slot layout as the gradient workspace, so a gradient byte range
+  /// addresses exactly the corresponding parameters' values — what a
+  /// range-granular trainer updates. Workspace mode only.
+  Tensor value_byte_view(size_t begin, size_t end) const;
+  /// Declaration indices of every parameter whose gradient byte span
+  /// intersects [begin, end) — the tensor-intersection fallback per-tensor
+  /// trainers use to honour a byte-range update request. Works in both
+  /// layout modes (per-tensor registries use the conceptual spans).
+  ParamRange params_in_byte_range(size_t begin, size_t end) const;
 
   /// Grad-ready hook (overlapped data-parallel sync): models fire this as
   /// each layer's backward completes, meaning the gradients of params

@@ -70,6 +70,8 @@ Tensor Workspace::byte_range_view(size_t begin, size_t end, DType dtype) const {
   LS2_CHECK(frozen_) << "workspace not frozen";
   LS2_CHECK(begin <= end && end <= total_bytes_)
       << "[" << begin << ", " << end << ") of " << total_bytes_;
+  LS2_CHECK(begin % dtype_size(dtype) == 0)
+      << "offset " << begin << "B not aligned to " << dtype_name(dtype);
   LS2_CHECK((end - begin) % dtype_size(dtype) == 0)
       << "range " << (end - begin) << "B not aligned to " << dtype_name(dtype);
   const int64_t elems = static_cast<int64_t>((end - begin) / dtype_size(dtype));

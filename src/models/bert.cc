@@ -161,7 +161,8 @@ void Bert::backward(layers::LayerContext& ctx) {
 
   Tensor dlogits = ctx.alloc({s.B, cfg_.num_classes}, dt);
   kern::ls_cross_entropy_bw(ctx.kern, ctx.policy.criterion, s.logits, s.labels, s.stats,
-                            dlogits, 0.0f, 1.0f / static_cast<float>(s.B), -1);
+                            dlogits, 0.0f,
+                            ctx.loss_scale / static_cast<float>(s.B), -1);
   kern::bias_grad(ctx.kern, dlogits, params_.grad(cls_b_));
 
   Tensor dcls = ctx.alloc({s.B, cfg_.hidden}, dt);

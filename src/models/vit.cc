@@ -239,7 +239,7 @@ void Vit::backward(layers::LayerContext& ctx) {
 
   Tensor dlogits = ctx.alloc({B, cfg_.num_classes}, dt);
   kern::ls_cross_entropy_bw(ctx.kern, ctx.policy.criterion, s.logits, s.labels, s.stats,
-                            dlogits, 0.0f, 1.0f / static_cast<float>(B), -1);
+                            dlogits, 0.0f, ctx.loss_scale / static_cast<float>(B), -1);
   kern::bias_grad(ctx.kern, dlogits, params_.grad(head_b_));
   Tensor dcls = ctx.alloc({B, cfg_.hidden}, dt);
   layers::linear_bw(ctx, dlogits, s.cls, params_.value(head_w_), dcls,

@@ -1,0 +1,28 @@
+#include "optim/grad_scaler.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ls2::optim {
+
+GradScaler::GradScaler(GradScalerConfig cfg) : cfg_(cfg), scale_(cfg.init_scale) {
+  LS2_CHECK(cfg.init_scale > 0 && cfg.growth_factor > 1.0f &&
+            cfg.backoff_factor > 0.0f && cfg.backoff_factor < 1.0f &&
+            cfg.growth_interval > 0)
+      << "invalid GradScalerConfig";
+}
+
+float GradScaler::update(bool overflowed) {
+  if (overflowed) {
+    ++overflow_steps_;
+    clean_streak_ = 0;
+    scale_ = std::max(cfg_.min_scale, scale_ * cfg_.backoff_factor);
+  } else if (++clean_streak_ >= cfg_.growth_interval) {
+    clean_streak_ = 0;
+    scale_ = std::min(cfg_.max_scale, scale_ * cfg_.growth_factor);
+  }
+  return scale_;
+}
+
+}  // namespace ls2::optim

@@ -1,0 +1,48 @@
+// Dynamic loss scaling (the mixed-precision discipline fairseq's
+// FP16Optimizer and torch.cuda.amp.GradScaler implement).
+//
+// FP16 gradients underflow when the loss scale is too small and overflow
+// (Inf/NaN) when it is too large. The scaler keeps the scale as high as the
+// gradients allow: every step that observes an overflow multiplies the scale
+// by `backoff_factor` and the step is (wholly or per-bucket, see
+// optimizer.h) skipped; after `growth_interval` consecutive clean steps the
+// scale is multiplied by `growth_factor`. This matters doubly once gradients
+// travel the ring as FP16 payloads (ClusterConfig::wire_dtype == kF16):
+// the wire narrows the representable range exactly where overflows appear
+// first, so compressed communication is only safe behind these checks.
+#pragma once
+
+#include <cstdint>
+
+namespace ls2::optim {
+
+struct GradScalerConfig {
+  float init_scale = 65536.0f;   ///< 2^16, torch.cuda.amp default
+  float growth_factor = 2.0f;
+  float backoff_factor = 0.5f;
+  int growth_interval = 2000;    ///< clean steps before growing
+  float min_scale = 1.0f;        ///< never un-scale by less than 1
+  float max_scale = 16777216.0f; ///< 2^24; beyond this fp16 grads are all Inf
+};
+
+class GradScaler {
+ public:
+  GradScaler() = default;
+  explicit GradScaler(GradScalerConfig cfg);
+
+  float scale() const { return scale_; }
+  /// End-of-step notification: backoff on overflow, growth bookkeeping
+  /// otherwise. Returns the (possibly changed) scale.
+  float update(bool overflowed);
+
+  int64_t overflow_steps() const { return overflow_steps_; }
+  int growth_countdown() const { return cfg_.growth_interval - clean_streak_; }
+
+ private:
+  GradScalerConfig cfg_;
+  float scale_ = GradScalerConfig{}.init_scale;
+  int clean_streak_ = 0;
+  int64_t overflow_steps_ = 0;
+};
+
+}  // namespace ls2::optim

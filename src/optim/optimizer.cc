@@ -27,11 +27,26 @@ kern::SgdHyper sgd_hyper(const OptimConfig& cfg) {
 
 }  // namespace
 
+// ----------------------------------------------------------------- base ----
+
+void Optimizer::step(kern::KernelContext& kc) {
+  begin_step();
+  step_range(kc, 0, params_->flat_grad_bytes());
+  end_step();
+}
+
+void Optimizer::begin_step() { ++steps_; }
+
+void Optimizer::end_step() {}
+
 // ---------------------------------------------------------------- Torch ----
 
 TorchTrainer::TorchTrainer(layers::ParamRegistry& params, OptimConfig cfg,
                            BufferAllocator* state_alloc)
-    : params_(&params), cfg_(cfg), fp16_model_(params.dtype() == DType::kF16) {
+    : Optimizer(params, cfg), fp16_model_(params.dtype() == DType::kF16) {
+  LS2_CHECK(!cfg.dynamic_loss_scale)
+      << "dynamic loss scaling is implemented for the Apex and LightSeq2 trainers; "
+         "the per-tensor Torch baseline models the unchecked Fig. 6(a) path";
   params.for_each([&](const std::string&, Tensor value, Tensor) {
     const Shape shape = value.shape();
     if (fp16_model_) {
@@ -53,16 +68,16 @@ TorchTrainer::TorchTrainer(layers::ParamRegistry& params, OptimConfig cfg,
   });
 }
 
-void TorchTrainer::step(kern::KernelContext& kc) {
-  ++steps_;
-  const float grad_scale = 1.0f / cfg_.loss_scale;
-  int i = 0;
-  params_->for_each([&](const std::string&, Tensor value, Tensor grad) {
-    const size_t idx = static_cast<size_t>(i++);
-    Tensor p = value, g = grad;
+void TorchTrainer::step_range(kern::KernelContext& kc, size_t byte_lo, size_t byte_hi) {
+  const float grad_scale = 1.0f / loss_scale();
+  const layers::ParamRange r = params_->params_in_byte_range(byte_lo, byte_hi);
+  for (int i = r.begin; i < r.end; ++i) {
+    const size_t idx = static_cast<size_t>(i);
+    const Tensor value = params_->value({i});
+    Tensor p = value, g = params_->grad({i});
     if (fp16_model_) {
       // Per-tensor copy kernels (Fig. 6a): grad fp16 -> fp32 master grad.
-      kern::baseline::cast(kc, grad, master_grad_[idx]);
+      kern::baseline::cast(kc, g, master_grad_[idx]);
       p = master_[idx];
       g = master_grad_[idx];
     }
@@ -77,14 +92,16 @@ void TorchTrainer::step(kern::KernelContext& kc) {
       // Master fp32 -> model fp16, another launch per tensor.
       kern::baseline::cast(kc, p, value);
     }
-  });
+  }
 }
 
 // ----------------------------------------------------------------- Apex ----
 
 ApexTrainer::ApexTrainer(layers::ParamRegistry& params, OptimConfig cfg,
                          BufferAllocator* state_alloc)
-    : params_(&params), cfg_(cfg), fp16_model_(params.dtype() == DType::kF16) {
+    : Optimizer(params, cfg),
+      scaler_(cfg.scaler),
+      fp16_model_(params.dtype() == DType::kF16) {
   const int64_t n = params.total_elements();
   master_ = Tensor::empty({n}, DType::kF32, state_alloc);
   master_grad_ = Tensor::zeros({n}, DType::kF32, state_alloc);
@@ -94,6 +111,12 @@ ApexTrainer::ApexTrainer(layers::ParamRegistry& params, OptimConfig cfg,
   if (cfg_.algo == Algo::kAdam) {
     v_ = Tensor::zeros({n}, DType::kF32, state_alloc);
     state_bytes_ += n * 4;
+  }
+  elem_offset_.resize(static_cast<size_t>(params.size()) + 1);
+  elem_offset_[0] = 0;
+  for (int i = 0; i < params.size(); ++i) {
+    elem_offset_[static_cast<size_t>(i) + 1] =
+        elem_offset_[static_cast<size_t>(i)] + params.shape({i}).numel();
   }
   // Initialise masters from the model (skipped for timing-only tensors).
   if (params.size() > 0 && params.value({0}).backs_real_memory() &&
@@ -109,43 +132,52 @@ ApexTrainer::ApexTrainer(layers::ParamRegistry& params, OptimConfig cfg,
   }
 }
 
-void ApexTrainer::step(kern::KernelContext& kc) {
-  ++steps_;
-  const float grad_scale = 1.0f / cfg_.loss_scale;
-  const int64_t n = params_->total_elements();
+void ApexTrainer::step_range(kern::KernelContext& kc, size_t byte_lo, size_t byte_hi) {
+  const float grad_scale = 1.0f / loss_scale();
+  const layers::ParamRange r = params_->params_in_byte_range(byte_lo, byte_hi);
+  if (r.empty()) return;
+  const int64_t e0 = elem_offset_[static_cast<size_t>(r.begin)];
+  const int64_t e1 = elem_offset_[static_cast<size_t>(r.end)];
+  Tensor master = master_.slice(e0, e1);
+  Tensor master_grad = master_grad_.slice(e0, e1);
+  Tensor m = m_.slice(e0, e1);
 
-  // Multi-tensor gather: all model grads -> flat fp32 buffer, one launch.
+  // Multi-tensor gather: the range's model grads -> flat fp32, one launch.
   {
     simgpu::KernelDesc d;
     d.name = "apex.multi_tensor_l2_copy";
     int64_t in_bytes = 0;
-    params_->for_each(
-        [&](const std::string&, Tensor, Tensor g) { in_bytes += static_cast<int64_t>(g.bytes()); });
+    for (int i = r.begin; i < r.end; ++i) {
+      in_bytes += static_cast<int64_t>(params_->grad({i}).bytes());
+    }
     d.bytes_read = in_bytes;
-    d.bytes_written = n * 4;
+    d.bytes_written = (e1 - e0) * 4;
     d.mem_efficiency = 0.80;
     kc.dev.launch(d, [&] {
-      float* dst = master_grad_.data<float>();
+      float* dst = master_grad.data<float>();
       int64_t off = 0;
-      params_->for_each([&](const std::string&, Tensor, Tensor g) {
-        const auto v = g.to_vector();
+      for (int i = r.begin; i < r.end; ++i) {
+        const auto v = params_->grad({i}).to_vector();
         std::copy(v.begin(), v.end(), dst + off);
-        off += g.numel();
-      });
+        off += static_cast<int64_t>(v.size());
+      }
     });
   }
-  // Mixed-precision overflow check (fairseq FP16Optimizer does this).
-  kern::check_overflow(kc, master_grad_, overflow_flag_);
+  // Mixed-precision overflow check (fairseq FP16Optimizer does this). Range
+  // granularity: through step() this is the classic whole-step skip; through
+  // per-bucket calls each bucket checks (and skips) itself.
+  kern::check_overflow(kc, master_grad, overflow_flag_, kern::TrainerImpl::kApex);
   if (kc.dev.mode() == simgpu::ExecMode::kExecute && overflow_flag_.item() != 0.0f) {
-    return;  // skip step on overflow
+    overflowed_ = true;
+    return;  // skip this range's update on overflow
   }
 
   // Fused multi-tensor update on the FP32 masters.
   if (cfg_.algo == Algo::kAdam) {
-    kern::adam_update(kc, kern::TrainerImpl::kApex, master_, master_grad_, m_, v_,
-                      adam_hyper(cfg_, steps_), grad_scale);
+    kern::adam_update(kc, kern::TrainerImpl::kApex, master, master_grad, m,
+                      v_.slice(e0, e1), adam_hyper(cfg_, steps_), grad_scale);
   } else {
-    kern::sgd_update(kc, kern::TrainerImpl::kApex, master_, master_grad_, m_,
+    kern::sgd_update(kc, kern::TrainerImpl::kApex, master, master_grad, m,
                      sgd_hyper(cfg_), grad_scale);
   }
 
@@ -154,29 +186,35 @@ void ApexTrainer::step(kern::KernelContext& kc) {
     simgpu::KernelDesc d;
     d.name = "apex.multi_tensor_sync";
     int64_t out_bytes = 0;
-    params_->for_each([&](const std::string&, Tensor value, Tensor) {
-      out_bytes += static_cast<int64_t>(value.bytes());
-    });
-    d.bytes_read = n * 4;
+    for (int i = r.begin; i < r.end; ++i) {
+      out_bytes += static_cast<int64_t>(params_->value({i}).bytes());
+    }
+    d.bytes_read = (e1 - e0) * 4;
     d.bytes_written = out_bytes;
     d.mem_efficiency = 0.80;
     kc.dev.launch(d, [&] {
-      const auto host = master_.to_vector();
+      const auto host = master.to_vector();
       int64_t off = 0;
-      params_->for_each([&](const std::string&, Tensor value, Tensor) {
+      for (int i = r.begin; i < r.end; ++i) {
+        const Tensor value = params_->value({i});
         std::vector<float> piece(host.begin() + off, host.begin() + off + value.numel());
         value.copy_from(piece);
         off += value.numel();
-      });
+      }
     });
   }
+}
+
+void ApexTrainer::end_step() {
+  if (cfg_.dynamic_loss_scale) scaler_.update(overflowed_);
+  overflowed_ = false;
 }
 
 // ------------------------------------------------------------ LightSeq2 ----
 
 LightSeq2Trainer::LightSeq2Trainer(layers::ParamRegistry& params, OptimConfig cfg,
                                    BufferAllocator* state_alloc)
-    : params_(&params), cfg_(cfg) {
+    : Optimizer(params, cfg), scaler_(cfg.scaler) {
   LS2_CHECK(params.contiguous())
       << "LightSeq2 trainer requires symbolic tensor linking (contiguous workspace)";
   const int64_t n = params.flat_values().numel();
@@ -186,21 +224,42 @@ LightSeq2Trainer::LightSeq2Trainer(layers::ParamRegistry& params, OptimConfig cf
     v_ = Tensor::zeros({n}, DType::kF32, state_alloc);
     state_bytes_ += n * 4;
   }
+  overflow_flag_ = Tensor::zeros({1}, DType::kF32, state_alloc);
 }
 
-void LightSeq2Trainer::step(kern::KernelContext& kc) {
-  ++steps_;
-  const float grad_scale = 1.0f / cfg_.loss_scale;
-  // ONE launch over the whole workspace, FP16 loads/stores with on-the-fly
-  // conversion; overflow handling is inline (NaN/Inf grads produce NaN
-  // params which the loss-scaler would catch — modeled as free).
-  Tensor p = params_->flat_values();
-  Tensor g = params_->flat_grads();
+void LightSeq2Trainer::step_range(kern::KernelContext& kc, size_t byte_lo,
+                                  size_t byte_hi) {
+  if (byte_lo >= byte_hi) return;
+  const size_t esz = dtype_size(params_->dtype());
+  LS2_CHECK(byte_lo % esz == 0 && byte_hi % esz == 0)
+      << "range [" << byte_lo << ", " << byte_hi << ") not element-aligned";
+  // ONE launch over the range of the workspace, FP16 loads/stores with
+  // on-the-fly conversion; the moments are the matching FP32 slice.
+  Tensor p = params_->value_byte_view(byte_lo, byte_hi);
+  Tensor g = params_->grad_byte_view(byte_lo, byte_hi);
+  if (cfg_.dynamic_loss_scale) {
+    kern::check_overflow(kc, g, overflow_flag_, kern::TrainerImpl::kLS2);
+    if (kc.dev.mode() == simgpu::ExecMode::kExecute && overflow_flag_.item() != 0.0f) {
+      overflowed_ = true;
+      return;  // this range's grads are Inf/NaN — skip its update
+    }
+  }
+  const float grad_scale = 1.0f / loss_scale();
+  const int64_t e0 = static_cast<int64_t>(byte_lo / esz);
+  const int64_t e1 = static_cast<int64_t>(byte_hi / esz);
   if (cfg_.algo == Algo::kAdam) {
-    kern::adam_update(kc, kern::TrainerImpl::kLS2, p, g, m_, v_, adam_hyper(cfg_, steps_),
-                      grad_scale);
+    kern::adam_update(kc, kern::TrainerImpl::kLS2, p, g, m_.slice(e0, e1),
+                      v_.slice(e0, e1), adam_hyper(cfg_, steps_), grad_scale);
   } else {
-    kern::sgd_update(kc, kern::TrainerImpl::kLS2, p, g, m_, sgd_hyper(cfg_), grad_scale);
+    kern::sgd_update(kc, kern::TrainerImpl::kLS2, p, g, m_.slice(e0, e1),
+                     sgd_hyper(cfg_), grad_scale);
+  }
+}
+
+void LightSeq2Trainer::end_step() {
+  if (cfg_.dynamic_loss_scale) {
+    scaler_.update(overflowed_);
+    overflowed_ = false;
   }
 }
 

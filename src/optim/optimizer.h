@@ -15,6 +15,29 @@
 //    Extra state is only the FP32 Adam moments.
 //
 // All trainers also implement SGD with momentum (Fig. 18b).
+//
+// The update is RANGE-GRANULAR: `step_range(kc, byte_lo, byte_hi)` updates
+// only the parameters whose gradients occupy [byte_lo, byte_hi) of the flat
+// gradient buffer (real for LightSeq2's workspace, conceptual for the
+// per-tensor baselines, see ParamRegistry::grad_byte_span). A full step is
+//
+//     begin_step();                        // step counter / bias correction
+//     step_range(kc, 0, flat_grad_bytes);  // any partition works
+//     end_step();                          // loss-scaler bookkeeping
+//
+// and is bitwise identical to the sum of any disjoint cover of bucket
+// updates in any order — the invariant that lets core::train_step apply the
+// optimizer per communication bucket as each all-reduce lands, instead of
+// serially after the full gradient sync. `step()` wraps the sequence above.
+//
+// Dynamic loss scaling (optim/grad_scaler.h): with
+// `OptimConfig::dynamic_loss_scale`, every step_range first runs a
+// check_overflow kernel on its gradient range and skips that range's update
+// when it finds Inf/NaN; end_step feeds the verdict to the GradScaler.
+// Through `step()` this is the classic whole-step skip; through per-bucket
+// step_range the skip is bucket-granular — every replica sees the same
+// averaged gradients, so every replica makes the same per-bucket decision
+// and parameters stay replica-identical either way.
 #pragma once
 
 #include <memory>
@@ -23,6 +46,7 @@
 #include "kernels/trainer_kernels.h"
 #include "layers/layer_context.h"
 #include "layers/params.h"
+#include "optim/grad_scaler.h"
 
 namespace ls2::optim {
 
@@ -37,23 +61,53 @@ struct OptimConfig {
   float weight_decay = 0.0f;
   float momentum = 0.9f;       ///< SGD
   float loss_scale = 1.0f;     ///< static loss scale for FP16 gradients
+  /// Replace the static loss scale with a GradScaler (growth/backoff on
+  /// overflow) and run check_overflow before every range update.
+  bool dynamic_loss_scale = false;
+  GradScalerConfig scaler;     ///< used when dynamic_loss_scale
 };
 
 class Optimizer {
  public:
+  explicit Optimizer(layers::ParamRegistry& params, OptimConfig cfg)
+      : params_(&params), cfg_(cfg) {}
   virtual ~Optimizer() = default;
-  /// Consume gradients in the registry and update parameter values.
-  virtual void step(kern::KernelContext& kc) = 0;
+
+  /// Consume gradients and update parameters: one full-extent step.
+  void step(kern::KernelContext& kc);
+
+  /// Per-step prologue: advances the step counter (Adam bias correction).
+  /// Call exactly once per step, before any step_range.
+  virtual void begin_step();
+  /// Update only the parameters whose gradient bytes lie in
+  /// [byte_lo, byte_hi) of the flat gradient buffer. Ranges of one step must
+  /// be disjoint and are order-independent; their union over a step must
+  /// cover every parameter exactly once for the step to equal `step()`.
+  virtual void step_range(kern::KernelContext& kc, size_t byte_lo, size_t byte_hi) = 0;
+  /// Per-step epilogue: dynamic loss-scaler update (growth/backoff).
+  virtual void end_step();
+
   virtual const char* name() const = 0;
+  /// The scale gradients are expected to carry INTO the update — what
+  /// core::train_step sets as LayerContext::loss_scale so the criterion
+  /// seeds backward with scaled loss, and what step_range divides back out.
+  /// Static cfg.loss_scale, or the GradScaler's current scale under dynamic
+  /// scaling.
+  virtual float loss_scale() const { return cfg_.loss_scale; }
   /// Adjust the learning rate (driven by an LR schedule between steps).
-  virtual void set_lr(float lr) = 0;
+  void set_lr(float lr) { cfg_.lr = lr; }
   /// Bytes of trainer-owned state (masters, moments, scratch) — the §IV-C
   /// memory claim ("reduces memory usage by 2 GB on Transformer-Big").
   virtual int64_t state_bytes() const = 0;
 
+  /// The dynamic scaler, when cfg.dynamic_loss_scale — nullptr otherwise.
+  virtual const GradScaler* scaler() const { return nullptr; }
+
   int64_t steps_taken() const { return steps_; }
 
  protected:
+  layers::ParamRegistry* params_;
+  OptimConfig cfg_;
   int64_t steps_ = 0;
 };
 
@@ -62,15 +116,13 @@ class TorchTrainer final : public Optimizer {
  public:
   TorchTrainer(layers::ParamRegistry& params, OptimConfig cfg,
                BufferAllocator* state_alloc = nullptr);
-  void step(kern::KernelContext& kc) override;
+  void step_range(kern::KernelContext& kc, size_t byte_lo, size_t byte_hi) override;
   const char* name() const override { return "torch"; }
-  void set_lr(float lr) override { cfg_.lr = lr; }
   int64_t state_bytes() const override { return state_bytes_; }
 
  private:
-  layers::ParamRegistry* params_;
-  OptimConfig cfg_;
-  // Per-tensor FP32 masters/grads (FP16 models only) + moments.
+  // Per-tensor FP32 masters/grads (FP16 models only) + moments, indexed by
+  // parameter declaration order.
   std::vector<Tensor> master_, master_grad_, m_, v_;
   int64_t state_bytes_ = 0;
   bool fp16_model_ = false;
@@ -81,34 +133,53 @@ class ApexTrainer final : public Optimizer {
  public:
   ApexTrainer(layers::ParamRegistry& params, OptimConfig cfg,
               BufferAllocator* state_alloc = nullptr);
-  void step(kern::KernelContext& kc) override;
+  void step_range(kern::KernelContext& kc, size_t byte_lo, size_t byte_hi) override;
+  void end_step() override;
   const char* name() const override { return "apex"; }
-  void set_lr(float lr) override { cfg_.lr = lr; }
   int64_t state_bytes() const override { return state_bytes_; }
+  float loss_scale() const override {
+    return cfg_.dynamic_loss_scale ? scaler_.scale() : cfg_.loss_scale;
+  }
+  const GradScaler* scaler() const override {
+    return cfg_.dynamic_loss_scale ? &scaler_ : nullptr;
+  }
 
  private:
-  layers::ParamRegistry* params_;
-  OptimConfig cfg_;
   Tensor master_, master_grad_, m_, v_, overflow_flag_;
-  Tensor model_flat_;  // fp16 workspace view (contiguous mode) or staging
+  GradScaler scaler_;
+  bool overflowed_ = false;
+  // Cumulative element offsets per declaration index (n+1 entries): where
+  // each parameter lives inside the flat FP32 masters. The
+  // tensor-intersection fallback maps a gradient byte range to the master
+  // element range [elem_offset_[p0], elem_offset_[p1]).
+  std::vector<int64_t> elem_offset_;
   int64_t state_bytes_ = 0;
   bool fp16_model_ = false;
 };
 
-/// LightSeq2 trainer: one launch over the linked workspace.
+/// LightSeq2 trainer: one launch over the linked workspace (or over one
+/// bucket's byte range of it — step_range slices the workspace views and the
+/// FP32 moments directly, no per-tensor iteration).
 class LightSeq2Trainer final : public Optimizer {
  public:
   LightSeq2Trainer(layers::ParamRegistry& params, OptimConfig cfg,
                    BufferAllocator* state_alloc = nullptr);
-  void step(kern::KernelContext& kc) override;
+  void step_range(kern::KernelContext& kc, size_t byte_lo, size_t byte_hi) override;
+  void end_step() override;
   const char* name() const override { return "lightseq2"; }
-  void set_lr(float lr) override { cfg_.lr = lr; }
   int64_t state_bytes() const override { return state_bytes_; }
+  float loss_scale() const override {
+    return cfg_.dynamic_loss_scale ? scaler_.scale() : cfg_.loss_scale;
+  }
+  const GradScaler* scaler() const override {
+    return cfg_.dynamic_loss_scale ? &scaler_ : nullptr;
+  }
 
  private:
-  layers::ParamRegistry* params_;
-  OptimConfig cfg_;
   Tensor m_, v_;  // FP32 moments over the flat workspace
+  Tensor overflow_flag_;
+  GradScaler scaler_;
+  bool overflowed_ = false;  // any range of the current step overflowed
   int64_t state_bytes_ = 0;
 };
 

@@ -94,6 +94,18 @@ double Device::sync_comm(const std::string& attribution) {
   return exposed;
 }
 
+double Device::wait_comm_until(double t_us, const std::string& attribution) {
+  // A transfer's completion time can never exceed the comm clock; waiting
+  // past it would be waiting on nothing.
+  const double target = std::min(t_us, comm_clock_us_);
+  const double exposed = std::max(0.0, target - clock_us_);
+  if (exposed > 0) {
+    advance(exposed, /*busy=*/true, attribution);
+    stats_.exposed_comm_us += exposed;
+  }
+  return exposed;
+}
+
 void Device::charge_alloc(bool cache_hit) {
   stats_.alloc_events += 1;
   const double us = cache_hit ? profile_.cached_alloc_us : profile_.malloc_us;

@@ -95,6 +95,12 @@ class Device {
   /// The wait — comm time NOT hidden behind compute — is charged to
   /// `attribution` and returned ("exposed" synchronization time).
   double sync_comm(const std::string& attribution);
+  /// Block the compute stream until the comm stream has reached `t_us` —
+  /// a stream-wait-event on one transfer's completion rather than a full
+  /// drain. Later transfers keep running; the wait (charged to
+  /// `attribution`, counted as exposed comm) is returned. No-op when the
+  /// compute clock is already past `t_us`.
+  double wait_comm_until(double t_us, const std::string& attribution);
   double comm_clock_us() const { return comm_clock_us_; }
 
   /// Allocator hooks: charge allocation latency and record the watermark.
