@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -70,6 +71,20 @@ inline MtPerf measure_mt(System system, const models::TransformerConfig& cfg,
     perf.oom = true;
   }
   return perf;
+}
+
+/// Arena sizing for arena-backed LightSeq2 Transformer runs: the shared
+/// core::capacity_scan probe (§IV-D) over an FP16 model of `cfg`.
+inline size_t capacity_scan(const models::TransformerConfig& cfg,
+                            const models::MtBatch& batch, uint64_t seed = 17) {
+  core::CapacityScanOptions opt;
+  opt.seed = seed;
+  return core::capacity_scan(
+      [&](BufferAllocator* alloc) {
+        return std::make_unique<models::Transformer>(cfg, System::kLightSeq2,
+                                                     DType::kF16, seed, alloc);
+      },
+      batch, opt);
 }
 
 inline void print_header(const std::string& title) {

@@ -1,0 +1,171 @@
+// Step-graph capture & replay: the launch-bound regime and what one-graph-
+// launch replay (SessionConfig::graph_capture) recovers.
+//
+// A deep encoder-decoder step issues hundreds of kernel launches; each pays
+// the modeled host->device dispatch latency (DeviceProfile::
+// launch_overhead_us) whether the kernel runs 2 us or 2 ms. At small
+// per-GPU batches the kernels are short and the step is LAUNCH-BOUND; a
+// captured step graph replays the whole static region as ONE dispatch, so
+// the per-kernel gaps vanish. This bench sweeps batch size x depth to show
+// (a) the launch-gap fraction of the eager step, (b) the replay speedup —
+// largest at batch <= 1k tokens, vanishing at 15k — and (c) that replay
+// composes with the overlapped-sync + pipelined-update schedule (the
+// dynamic pieces stay outside the graph).
+//
+// Machine-readable output: bench/fig_launch_graph.json (validated by ci.sh).
+#include <filesystem>
+#include <fstream>
+
+#include "bench_common.h"
+
+using namespace ls2;
+using namespace ls2::bench;
+
+namespace {
+
+struct GraphPerf {
+  double step_us = 0;
+  int64_t launches = 0;
+  double launch_gap_us = 0;
+  StepTimes stages;
+  bool replayed = false;
+  int64_t graph_kernels = 0;  ///< kernel nodes in the captured graph
+  bool oom = false;
+};
+
+/// Steady-state LS2-arena step, eager or replayed. With `graph` the session
+/// runs warm-up / capture / measured-replay; without it the measured step is
+/// the second (post-warm-up) eager step, so both measurements see identical
+/// allocator state.
+GraphPerf measure(const models::TransformerConfig& cfg, int64_t batch_tokens, bool graph,
+                  dist::ClusterConfig cluster = {1, 1}) {
+  GraphPerf gp;
+  try {
+    data::MtDataset ds(cfg.vocab, 192, 8, 72, 17);
+    auto batches = data::make_mt_batches(ds, batch_tokens, DType::kF16);
+    const models::MtBatch& batch = data::largest_batch(batches);
+
+    SessionConfig sc;
+    sc.system = System::kLightSeq2;
+    sc.profile = simgpu::v100();
+    sc.mode = simgpu::ExecMode::kModelOnly;
+    sc.dtype = DType::kF16;
+    sc.arena_bytes = capacity_scan(cfg, batch);
+    sc.graph_capture = graph;
+    Session session(sc);
+    models::Transformer model(cfg, System::kLightSeq2, DType::kF16, 17,
+                              session.param_alloc());
+    optim::OptimConfig ocfg;
+    optim::LightSeq2Trainer trainer(model.params(), ocfg, session.param_alloc());
+
+    (void)core::train_step(session, model, batch, trainer, cluster);  // warm-up
+    if (graph) {
+      (void)core::train_step(session, model, batch, trainer, cluster);  // capture
+      LS2_CHECK(session.step_graph() != nullptr)
+          << "capture poisoned: " << session.graph_poison_reason();
+      gp.graph_kernels = session.step_graph()->kernel_launches;
+    }
+    const auto s0 = session.device().stats();
+    const double t0 = session.device().clock_us();
+    auto [times, res] = core::train_step(session, model, batch, trainer, cluster);
+    const auto s1 = session.device().stats();
+    gp.step_us = session.device().clock_us() - t0;
+    gp.stages = times;
+    gp.replayed = times.replayed;
+    gp.launches = s1.launches - s0.launches;
+    gp.launch_gap_us = s1.launch_gap_us - s0.launch_gap_us;
+  } catch (const mem::OutOfMemory&) {
+    gp.oom = true;
+  }
+  return gp;
+}
+
+struct JsonRow {
+  std::string section, model;
+  int64_t batch_tokens = 0;
+  int gpus = 1;
+  GraphPerf eager, replay;
+};
+std::vector<JsonRow> g_rows;
+
+void write_json() {
+  std::filesystem::create_directories("bench");
+  std::ofstream out("bench/fig_launch_graph.json");
+  out << "{\n  \"figure\": \"fig_launch_graph\",\n  \"schema\": 1,\n  \"configs\": [";
+  char buf[1024];
+  for (size_t i = 0; i < g_rows.size(); ++i) {
+    const JsonRow& r = g_rows[i];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s\n    {\"section\": \"%s\", \"model\": \"%s\", \"batch_tokens\": %lld, "
+        "\"gpus\": %d, \"eager_step_us\": %.3f, \"replay_step_us\": %.3f, "
+        "\"speedup\": %.4f, \"launches_per_step\": %lld, \"launch_gap_us\": %.3f, "
+        "\"launch_gap_pct\": %.2f, \"graph_kernels\": %lld, \"replayed\": %s}",
+        i == 0 ? "" : ",", r.section.c_str(), r.model.c_str(),
+        static_cast<long long>(r.batch_tokens), r.gpus, r.eager.step_us,
+        r.replay.step_us, r.eager.step_us / r.replay.step_us,
+        static_cast<long long>(r.eager.launches), r.eager.launch_gap_us,
+        100.0 * r.eager.launch_gap_us / r.eager.step_us,
+        static_cast<long long>(r.replay.graph_kernels),
+        r.replay.replayed ? "true" : "false");
+    out << buf;
+  }
+  out << "\n  ]\n}\n";
+  std::printf("\nwrote %zu configs to bench/fig_launch_graph.json\n", g_rows.size());
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Step-graph replay: launch-bound sweep, LightSeq2+arena on one V100 (FP16)");
+  std::printf("%-8s %-12s %9s %9s %12s %12s %8s\n", "model", "batch_tokens",
+              "launches", "gap%", "eager_us", "replay_us", "speedup");
+  for (int depth : {6, 12, 24}) {
+    const auto cfg = models::TransformerConfig::base(depth, depth);
+    const std::string label = model_label(cfg);
+    for (int64_t tokens : {512, 1024, 2048, 4096, 8192, 15000}) {
+      const GraphPerf eager = measure(cfg, tokens, /*graph=*/false);
+      const GraphPerf replay = measure(cfg, tokens, /*graph=*/true);
+      if (eager.oom || replay.oom) {
+        std::printf("%-8s %-12lld %9s\n", label.c_str(),
+                    static_cast<long long>(tokens), "OOM");
+        continue;
+      }
+      g_rows.push_back({"launch_bound", label, tokens, 1, eager, replay});
+      std::printf("%-8s %-12lld %9lld %8.1f%% %12.0f %12.0f %7.2fx\n", label.c_str(),
+                  static_cast<long long>(tokens),
+                  static_cast<long long>(eager.launches),
+                  100.0 * eager.launch_gap_us / eager.step_us, eager.step_us,
+                  replay.step_us, eager.step_us / replay.step_us);
+    }
+  }
+  std::printf("\nThe replay win tracks the launch-gap fraction: biggest for deep\n"
+              "models at small per-GPU batches (launch-bound), gone at 15k tokens\n"
+              "(bandwidth/compute-bound) — the CUDA-Graphs result on real GPUs.\n");
+
+  // Composition with the distributed schedule: the graph records the comm
+  // enqueues but their completion times stay replay-time parameters, so
+  // overlapped sync + pipelined per-bucket update run unchanged under
+  // replay.
+  print_header("Replay x pipelined update: 12e12d, 2x8 V100, batch/GPU sweep");
+  std::printf("%-12s %12s %12s %8s %14s\n", "batch_tokens", "eager_us", "replay_us",
+              "speedup", "exposed_sync_us");
+  const auto cfg = models::TransformerConfig::base(12, 12);
+  for (int64_t tokens : {512, 1024, 4096}) {
+    const dist::ClusterConfig cluster{8, 2};
+    const GraphPerf eager = measure(cfg, tokens, false, cluster);
+    const GraphPerf replay = measure(cfg, tokens, true, cluster);
+    if (eager.oom || replay.oom) continue;
+    g_rows.push_back({"pipelined", model_label(cfg), tokens, cluster.total_gpus(), eager,
+                      replay});
+    std::printf("%-12lld %12.0f %12.0f %7.2fx %14.0f\n", static_cast<long long>(tokens),
+                eager.step_us, replay.step_us, eager.step_us / replay.step_us,
+                replay.stages.sync_us);
+  }
+  std::printf("\nWith multi-GPU sync in the picture the compute-side launch savings\n"
+              "shrink the step until the (unchanged) ring time becomes the floor.\n");
+
+  write_json();
+  return 0;
+}

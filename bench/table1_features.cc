@@ -9,12 +9,13 @@ using namespace ls2::bench;
 
 int main() {
   print_header("Table I: accelerated Transformer TRAINING systems");
-  std::printf("%-12s %-10s %-8s %-8s %-10s %-8s %-18s\n", "library", "Embedding",
-              "Encoder", "Decoder", "Criterion", "Trainer", "sequence length");
-  std::printf("%-12s %-10s %-8s %-8s %-10s %-8s %-18s\n", "DeepSpeed", "no", "yes", "no",
-              "no", "yes", "multiples of 16");
-  std::printf("%-12s %-10s %-8s %-8s %-10s %-8s %-18s\n", "LightSeq2", "yes", "yes", "yes",
-              "yes", "yes", "arbitrary");
+  std::printf("%-12s %-10s %-8s %-8s %-10s %-8s %-18s %-12s\n", "library", "Embedding",
+              "Encoder", "Decoder", "Criterion", "Trainer", "sequence length",
+              "graph step");
+  std::printf("%-12s %-10s %-8s %-8s %-10s %-8s %-18s %-12s\n", "DeepSpeed", "no", "yes",
+              "no", "no", "yes", "multiples of 16", "no");
+  std::printf("%-12s %-10s %-8s %-8s %-10s %-8s %-18s %-12s\n", "LightSeq2", "yes", "yes",
+              "yes", "yes", "yes", "arbitrary", "yes (arena)");
 
   // Live check: sequence length 33 (not a multiple of 16).
   print_header("Arbitrary-length check: BERT step at sequence length 33");
@@ -52,5 +53,40 @@ int main() {
                                                                       : "REJECTS",
               layers::policy_for(System::kLightSeq2).supports_decoder ? "supports"
                                                                       : "REJECTS");
+
+  // New feature row: step-graph capture (CUDA-Graphs discipline). The
+  // LightSeq2 arena serves every per-step tensor from stable addresses with
+  // zero device malloc/free traffic, so its train step is certified
+  // capture-safe; a dynamic caching allocator stalls on device mallocs
+  // mid-step, which poisons capture. Live check: capture the first step of
+  // each memory strategy.
+  print_header("Graph capture: arena step captures, caching-allocator step poisons");
+  models::BertConfig gcfg;
+  gcfg.layers = 2;
+  for (bool arena : {false, true}) {
+    SessionConfig sc;
+    sc.system = System::kLightSeq2;
+    sc.mode = simgpu::ExecMode::kModelOnly;
+    sc.dtype = DType::kF16;
+    sc.graph_capture = true;
+    sc.graph_warmup_steps = 0;  // capture cold: exposes allocator stalls
+    if (arena) sc.arena_bytes = 2ull << 30;
+    Session session(sc);
+    models::Bert model(gcfg, System::kLightSeq2, DType::kF16, 1, session.param_alloc());
+    optim::OptimConfig ocfg;
+    auto trainer = optim::make_trainer(System::kLightSeq2, model.params(), ocfg,
+                                       session.param_alloc());
+    data::ClsDataset ds(gcfg.vocab, 64, 48, 1);
+    auto batch = ds.batch(0, 16, 48);
+    (void)core::train_step(session, model, batch, *trainer);
+    if (session.step_graph() != nullptr) {
+      std::printf("%-18s capture OK: %lld kernels recorded as one graph\n",
+                  arena ? "arena (LS2)" : "caching",
+                  static_cast<long long>(session.step_graph()->kernel_launches));
+    } else {
+      std::printf("%-18s capture POISONED: %s\n", arena ? "arena (LS2)" : "caching",
+                  session.graph_poison_reason().c_str());
+    }
+  }
   return 0;
 }

@@ -10,15 +10,21 @@ cmake --build build -j "$(nproc)"
 cd build
 ctest --output-on-failure -j "$(nproc)"
 
-# Smoke-run the headline scaling benchmark end-to-end (exercises the
-# overlapped sync + pipelined update paths at 1..5 nodes) and validate its
-# machine-readable output so perf-trajectory tracking can rely on it.
-./fig22_scaling >/dev/null
+# Smoke-run EVERY paper-figure bench (all run in kModelOnly, so this is
+# cheap) so bench binaries can't bit-rot silently, then validate the
+# machine-readable outputs perf-trajectory tracking relies on.
+for bench in ./fig*; do
+  [ -x "$bench" ] || continue
+  echo "ci.sh: smoke-running $bench"
+  "$bench" >/dev/null
+done
 if command -v python3 >/dev/null 2>&1; then
   python3 -m json.tool bench/fig22.json >/dev/null
   echo "ci.sh: bench/fig22.json parses"
+  python3 -m json.tool bench/fig_launch_graph.json >/dev/null
+  echo "ci.sh: bench/fig_launch_graph.json parses"
 else
-  echo "ci.sh: python3 not found — skipped fig22.json validation"
+  echo "ci.sh: python3 not found — skipped JSON validation"
 fi
 
 echo "ci.sh: all checks passed"

@@ -1,0 +1,51 @@
+// Capacity scan (§IV-D): LightSeq2 sizes its activation arena BEFORE
+// training by probing one forward+backward over the largest batch with a
+// peak-tracking allocator. This is the one shared implementation of that
+// probe — benches and tests size `SessionConfig::arena_bytes` through it,
+// so "arena-sized-by-capacity-scan" means the same thing everywhere.
+#pragma once
+
+#include "layers/layer_context.h"
+#include "memory/caching_allocator.h"
+#include "memory/measuring_allocator.h"
+#include "simgpu/device.h"
+#include "simgpu/profile.h"
+
+namespace ls2::core {
+
+struct CapacityScanOptions {
+  /// kModelOnly probes byte-identically to an execute-mode run (all tensor
+  /// allocation happens outside kernel bodies) but skips the math, so even
+  /// paper-scale configs probe in milliseconds. The probe's parameters get
+  /// virtual (never-committed) backing in this mode.
+  simgpu::ExecMode mode = simgpu::ExecMode::kModelOnly;
+  /// Device the sized session will run on — the probe's OOM ceiling
+  /// (DeviceProfile::memory_gb) comes from here.
+  simgpu::DeviceProfile profile = simgpu::v100();
+  uint64_t seed = 17;
+  /// Fractional slack added on top of the measured peak.
+  double headroom = 1.0 / 16.0;
+};
+
+/// Probe `make(param_alloc)`'s forward+backward over `batch` and return a
+/// capacity for `SessionConfig::arena_bytes`. `make` builds the model
+/// behind a (smart) pointer against the probe's parameter allocator.
+template <typename MakeModel, typename Batch>
+size_t capacity_scan(MakeModel&& make, const Batch& batch,
+                     CapacityScanOptions opt = {}) {
+  simgpu::Device dev(opt.profile, opt.mode);
+  mem::CachingAllocator param_alloc(dev, opt.mode == simgpu::ExecMode::kModelOnly
+                                             ? mem::DeviceAllocator::Backing::kVirtual
+                                             : mem::DeviceAllocator::Backing::kMalloc);
+  mem::MeasuringAllocator probe;
+  layers::LayerContext ctx(dev, &probe,
+                           layers::policy_for(layers::System::kLightSeq2), opt.seed);
+  auto model = make(&param_alloc);
+  model->params().zero_grads();
+  model->forward(ctx, batch);
+  model->backward(ctx);
+  const size_t peak = static_cast<size_t>(probe.peak_bytes());
+  return peak + static_cast<size_t>(static_cast<double>(peak) * opt.headroom);
+}
+
+}  // namespace ls2::core

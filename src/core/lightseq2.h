@@ -11,6 +11,7 @@
 // See README.md for a quickstart and DESIGN.md for the architecture map.
 #pragma once
 
+#include "core/capacity_scan.h" // IWYU pragma: export
 #include "core/session.h"       // IWYU pragma: export
 #include "core/train_step.h"    // IWYU pragma: export
 #include "data/synthetic.h"     // IWYU pragma: export

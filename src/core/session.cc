@@ -1,5 +1,7 @@
 #include "core/session.h"
 
+#include "common/logging.h"
+
 namespace ls2::core {
 
 Session::Session(SessionConfig cfg) : cfg_(cfg), device_(cfg.profile, cfg.mode) {
@@ -21,8 +23,35 @@ Session::Session(SessionConfig cfg) : cfg_(cfg), device_(cfg.profile, cfg.mode) 
                                                 layers::policy_for(cfg.system), cfg.seed);
 }
 
+GraphAction Session::begin_step() {
+  // The per-step RNG offset is the graph parameter of §"graph capture":
+  // dropout masks become a pure function of (seed, step, site), so a
+  // replayed step draws bitwise the masks its eager twin would.
+  ctx_->kern.begin_step_rng(static_cast<uint64_t>(step_index_));
+  if (!cfg_.graph_capture || graph_poisoned_) return GraphAction::kEager;
+  if (graph_.valid) return GraphAction::kReplay;
+  if (step_index_ < cfg_.graph_warmup_steps) return GraphAction::kEager;
+  return GraphAction::kCapture;
+}
+
+void Session::store_graph(simgpu::StepGraph graph) {
+  if (!graph.valid) {
+    graph_poisoned_ = true;
+    graph_ = std::move(graph);  // keep the reason readable
+    LS2_LOG(kWarn) << "step-graph capture POISONED — training stays eager: "
+                   << graph_.poison_reason
+                   << (graph_capture_supported()
+                           ? ""
+                           : " (session has no activation arena; the caching "
+                             "allocator is capture-unsafe)");
+    return;
+  }
+  graph_ = std::move(graph);
+}
+
 void Session::end_step() {
   if (arena_ != nullptr) arena_->reset();
+  ++step_index_;
 }
 
 }  // namespace ls2::core

@@ -23,7 +23,25 @@ struct SessionConfig {
   /// sessions may also use 0 in tests where memory strategy is irrelevant).
   size_t arena_bytes = 0;
   bool record_timeline = false;
+  /// Capture the steady-state train step as a device StepGraph and replay it
+  /// (CUDA-Graphs discipline): after `graph_warmup_steps` eager steps the
+  /// next step is captured-while-executing, and every later step replays the
+  /// graph — one graph-launch overhead, no per-kernel launch gaps, bitwise
+  /// identical numerics. Capture is poisoned (with a logged diagnostic, and
+  /// the session stays eager) if the step is not capture-safe — e.g. the
+  /// dynamic caching allocator stalls on a device malloc mid-step. Like
+  /// real CUDA Graphs, replay requires STATIC batch shapes: feed the same
+  /// (padded) shape every step — a shape change after capture makes the
+  /// replayed launch sequence diverge from the graph, which throws with a
+  /// diagnostic rather than mis-charging silently.
+  bool graph_capture = false;
+  /// Eager steps before capture (allocator warm-up; default: capture the
+  /// second step).
+  int graph_warmup_steps = 1;
 };
+
+/// What core::train_step should do with the device graph on this step.
+enum class GraphAction { kEager, kCapture, kReplay };
 
 class Session {
  public:
@@ -41,9 +59,32 @@ class Session {
   int64_t permanent_bytes() const { return param_alloc_->bytes_in_use(); }
   int64_t activation_peak_bytes() const { return act_alloc_->peak_bytes(); }
 
+  /// Called by train_step at the start of each step: advances the per-step
+  /// RNG offset (the graph parameter that keeps dropout masks bitwise
+  /// reproducible under replay) and decides whether this step runs eager,
+  /// is captured, or replays the stored graph.
+  GraphAction begin_step();
+
   /// Called at the end of each training step: rewinds the arena (LightSeq2)
-  /// so the next step reuses the same memory.
+  /// so the next step reuses the same memory, and advances the step index.
   void end_step();
+
+  // --- step-graph state (driven by core::train_step) ---
+  /// Deposit the graph end_capture returned. An invalid (poisoned) graph
+  /// logs a loud diagnostic and pins the session to eager execution.
+  void store_graph(simgpu::StepGraph graph);
+  /// The captured graph, or nullptr before capture / after poisoning.
+  const simgpu::StepGraph* step_graph() const {
+    return graph_.valid ? &graph_ : nullptr;
+  }
+  bool graph_poisoned() const { return graph_poisoned_; }
+  const std::string& graph_poison_reason() const { return graph_.poison_reason; }
+  /// Certified capture-safe memory strategy: the pre-reserved arena serves
+  /// every per-step tensor from stable addresses with zero device
+  /// malloc/free traffic (Table-1 feature row; the caching allocator is
+  /// capture-unsafe and poisons at its first mid-step stall).
+  bool graph_capture_supported() const { return act_alloc_->capture_safe(); }
+  int64_t step_index() const { return step_index_; }
 
  private:
   SessionConfig cfg_;
@@ -52,6 +93,9 @@ class Session {
   std::unique_ptr<mem::DeviceAllocator> act_alloc_;
   mem::ArenaAllocator* arena_ = nullptr;  // non-null when arena strategy active
   std::unique_ptr<layers::LayerContext> ctx_;
+  int64_t step_index_ = 0;
+  simgpu::StepGraph graph_;       // valid once captured
+  bool graph_poisoned_ = false;   // capture failed; stay eager forever
 };
 
 }  // namespace ls2::core

@@ -53,6 +53,10 @@ struct StepTimes {
   /// Modeled gradient payload this rank put on the ring, at the wire dtype
   /// (ClusterConfig::wire_dtype; kF16 halves the FP32-wire default).
   int64_t wire_bytes = 0;
+  /// This step replayed the session's captured StepGraph: the
+  /// zero-grad/forward/backward region ran as ONE graph launch with no
+  /// per-kernel launch gaps (SessionConfig::graph_capture).
+  bool replayed = false;
   double total_us() const { return forward_us + backward_us + sync_us + update_us; }
 };
 
@@ -90,6 +94,9 @@ auto train_step(Session& session, ModelT& model, const BatchT& batch,
     -> std::pair<StepTimes, decltype(model.forward(session.ctx(), batch))> {
   auto& dev = session.device();
   StepTimes times;
+  // Per-step prologue: advances the RNG step offset (the per-step graph
+  // parameter) and picks eager / capture / replay for the static region.
+  const GraphAction graph_action = session.begin_step();
   const bool sync_needed = cluster.total_gpus() > 1;
   const bool overlap = sync_needed && cluster.overlap;
   const bool pipeline = overlap && cluster.pipeline_update;
@@ -102,10 +109,35 @@ auto train_step(Session& session, ModelT& model, const BatchT& batch,
   times.sync_blocking_us =
       sync_needed ? dist::ring_allreduce_us(ring_bytes, cluster, dev.profile()) : 0.0;
 
+  // The static region — zero-grad, forward, backward, and the comm enqueues
+  // fired from backward — is what gets captured into / replayed from the
+  // step graph. Everything after backward (bucket waits, optimizer ranges,
+  // scaler decisions) is dynamic and stays outside the graph. The guard
+  // abandons a half-open capture/replay if the step unwinds (e.g. OOM).
+  struct GraphRegionGuard {
+    simgpu::Device& dev;
+    bool active = false;
+    ~GraphRegionGuard() {
+      if (active) dev.abort_graph();
+    }
+  } graph_guard{dev};
+
   // Stage 0 — zero gradients (own device range; charged to update below).
+  // The graph region opens INSIDE the zero_grad range so the one-time
+  // graph-launch overhead of a replay is attributed there — both the
+  // StepTimes stage windows and the per-range (Fig. 3) sums still cover
+  // the whole step.
   const double tz = dev.clock_us();
   {
     simgpu::ScopedRange r(dev, "zero_grad");
+    if (graph_action == GraphAction::kCapture) {
+      dev.begin_capture();
+      graph_guard.active = true;
+    } else if (graph_action == GraphAction::kReplay) {
+      dev.begin_replay(*session.step_graph());
+      graph_guard.active = true;
+      times.replayed = true;
+    }
     zero_grads_charged(session, model.params());
   }
   const double t0 = dev.clock_us();
@@ -149,6 +181,18 @@ auto train_step(Session& session, ModelT& model, const BatchT& batch,
     model.backward(session.ctx());
   }
   const double t2 = dev.clock_us();
+
+  // Close the static region: deposit the captured graph (or its poison
+  // diagnostic) with the session, or finish consuming the replayed one. The
+  // guard is deactivated only AFTER the close succeeds — end_replay throws
+  // on a node-count mismatch, and the device must not be left mid-replay.
+  if (graph_action == GraphAction::kCapture) {
+    session.store_graph(dev.end_capture());
+    graph_guard.active = false;
+  } else if (graph_action == GraphAction::kReplay) {
+    dev.end_replay();
+    graph_guard.active = false;
+  }
 
   if (pipeline) {
     // Stages 3+4 interleaved — per-bucket: wait for the bucket's transfer

@@ -20,10 +20,26 @@ struct KernelContext {
   BufferAllocator* scratch;
   Rng rng;
 
-  /// Monotone dropout stream id so each dropout site draws distinct masks
-  /// while remaining reproducible across fused/unfused implementations.
-  uint64_t next_dropout_stream() { return dropout_stream++; }
-  uint64_t dropout_stream = 1;
+  /// Dropout stream id for the next dropout site: a per-step base plus a
+  /// per-site counter, so every mask is a pure function of
+  /// (seed, step, site) — the Philox-style (seed, offset) discipline. Each
+  /// site draws a distinct mask, fused and unfused implementations draw
+  /// identical masks (same site order), and a step replayed from a captured
+  /// graph draws bitwise the masks its eager twin would: the step base
+  /// advances OUTSIDE the graph (begin_step_rng is the per-step graph
+  /// parameter), never from inside a captured kernel.
+  uint64_t next_dropout_stream() { return rng_step_base + dropout_site++; }
+
+  /// Advance the RNG to step `step_index` (0-based) and reset the site
+  /// counter. core::Session::begin_step calls this once per training step;
+  /// code that never calls it keeps the legacy monotone stream sequence.
+  void begin_step_rng(uint64_t step_index) {
+    rng_step_base = (step_index + 1) << 32;
+    dropout_site = 1;
+  }
+
+  uint64_t rng_step_base = 0;
+  uint64_t dropout_site = 1;
 };
 
 /// Dispatch a template over the two floating dtypes.
@@ -46,7 +62,11 @@ struct KernelContext {
 /// Achieved-bandwidth model for row-reduction kernels (LayerNorm, Softmax,
 /// criterion). `threads_per_row` is the parallelisation strategy; efficiency
 /// degrades when threads outnumber row elements (idle lanes) or when too few
-/// rows exist to occupy the device.
+/// rows exist to occupy the device. `device_threads` is the device's
+/// thread-residency capacity (DeviceProfile::resident_threads); the
+/// four-argument form assumes a V100-class part.
 double reduction_efficiency(double base, int64_t rows, int64_t cols, int threads_per_row);
+double reduction_efficiency(double base, int64_t rows, int64_t cols, int threads_per_row,
+                            double device_threads);
 
 }  // namespace ls2::kern

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 #include <mutex>
+#include <tuple>
 
 #include "common/parallel.h"
 
@@ -17,35 +18,63 @@ const std::vector<SoftmaxConfig>& softmax_candidates() {
   return kCandidates;
 }
 
-double softmax_config_efficiency(const SoftmaxConfig& cfg, int64_t rows, int64_t cols) {
+namespace {
+constexpr double kV100Threads = 163840.0;  // the pre-profile-aware default
+
+// device identity + log2-bucketed shape
+using TunerKey = std::tuple<int64_t, int, int>;
+std::map<TunerKey, SoftmaxConfig>& tuner_cache() {
+  static std::map<TunerKey, SoftmaxConfig> cache;
+  return cache;
+}
+std::mutex& tuner_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+}  // namespace
+
+double softmax_config_efficiency(const SoftmaxConfig& cfg, int64_t rows, int64_t cols,
+                                 double device_threads) {
   // Wide rows need bigger thread teams (more reduce steps otherwise); small
   // teams on wide rows serialise, big teams on narrow rows idle.
   const double serial_penalty =
       std::min(1.0, 4.0 * cfg.threads_per_row / static_cast<double>(cols));
   const double base = 0.92 * std::max(serial_penalty, 0.35);
-  return reduction_efficiency(base, rows, cols, cfg.threads_per_row);
+  return reduction_efficiency(base, rows, cols, cfg.threads_per_row, device_threads);
 }
 
-SoftmaxConfig tune_softmax(int64_t rows, int64_t cols) {
-  static std::map<std::pair<int, int>, SoftmaxConfig> cache;
-  static std::mutex mu;
-  const auto bucket = std::make_pair(
+double softmax_config_efficiency(const SoftmaxConfig& cfg, int64_t rows, int64_t cols) {
+  return softmax_config_efficiency(cfg, rows, cols, kV100Threads);
+}
+
+SoftmaxConfig tune_softmax(int64_t rows, int64_t cols, double device_threads) {
+  const TunerKey key{
+      static_cast<int64_t>(device_threads),
       rows <= 1 ? 0 : static_cast<int>(std::floor(std::log2(static_cast<double>(rows)))),
-      cols <= 1 ? 0 : static_cast<int>(std::floor(std::log2(static_cast<double>(cols)))));
-  std::lock_guard<std::mutex> lock(mu);
-  auto it = cache.find(bucket);
-  if (it != cache.end()) return it->second;
+      cols <= 1 ? 0 : static_cast<int>(std::floor(std::log2(static_cast<double>(cols))))};
+  std::lock_guard<std::mutex> lock(tuner_mutex());
+  auto it = tuner_cache().find(key);
+  if (it != tuner_cache().end()) return it->second;
   SoftmaxConfig best = softmax_candidates().front();
   double best_eff = -1;
   for (const SoftmaxConfig& c : softmax_candidates()) {
-    const double eff = softmax_config_efficiency(c, rows, cols);
+    const double eff = softmax_config_efficiency(c, rows, cols, device_threads);
     if (eff > best_eff) {
       best_eff = eff;
       best = c;
     }
   }
-  cache.emplace(bucket, best);
+  tuner_cache().emplace(key, best);
   return best;
+}
+
+SoftmaxConfig tune_softmax(int64_t rows, int64_t cols) {
+  return tune_softmax(rows, cols, kV100Threads);
+}
+
+void reset_softmax_tuner() {
+  std::lock_guard<std::mutex> lock(tuner_mutex());
+  tuner_cache().clear();
 }
 
 namespace {
@@ -60,29 +89,36 @@ simgpu::KernelDesc desc(std::string name, int64_t br, int64_t bw, double flops, 
   return d;
 }
 
-double baseline_eff(Impl impl, int64_t rows, int64_t cols) {
+// No defaulted device_threads: every caller must say which device it is on
+// (a silent V100 default is exactly the stale-profile bug the keyed tuner
+// cache exists to prevent).
+double baseline_eff(Impl impl, int64_t rows, int64_t cols, double device_threads) {
   const double e = static_cast<double>(rows) * cols;
   // Framework softmax is a single generic kernel with one fixed warp-per-row
   // template; long rows force serial per-lane loops with strided accesses,
   // eroding achieved bandwidth. LightSeq2 escapes this via the shape-tuned
   // templates, so its speedup grows with sequence length (Fig. 17b).
   const double long_row = std::pow(std::min(1.0, 96.0 / static_cast<double>(cols)), 0.55);
+  // Every impl sees the SAME device residency — the systems differ in launch
+  // structure and achieved bandwidth, never in which GPU they run on.
   switch (impl) {
     case Impl::kTorch:
-      return reduction_efficiency(0.62 * long_row, rows, cols, 32);
+      return reduction_efficiency(0.62 * long_row, rows, cols, 32, device_threads);
     case Impl::kTensorFlow:
       return reduction_efficiency((0.54 + 0.2 * (e / (e + 2.5e7))) * long_row, rows, cols,
-                                  32);
+                                  32, device_threads);
     case Impl::kDeepSpeed: {
       // Coarse team adaptation (power-of-two up to one block), but a fixed
       // grid that degrades once the input outgrows it.
       int threads = 32;
       while (threads < cols && threads < 256) threads *= 2;
-      return std::max(0.08, reduction_efficiency(0.82, rows, cols, threads) *
-                                std::pow(std::min(1.0, 6e6 / e), 0.5));
+      return std::max(0.08,
+                      reduction_efficiency(0.82, rows, cols, threads, device_threads) *
+                          std::pow(std::min(1.0, 6e6 / e), 0.5));
     }
     case Impl::kLS2:
-      return softmax_config_efficiency(tune_softmax(rows, cols), rows, cols);
+      return softmax_config_efficiency(tune_softmax(rows, cols, device_threads), rows,
+                                       cols, device_threads);
   }
   return 0.5;
 }
@@ -169,11 +205,12 @@ void softmax_fw(KernelContext& kc, Impl impl, const Tensor& x, const Tensor& y) 
   const Shape flat = x.shape().flatten_2d();
   const int64_t rows = flat[0], cols = flat[1];
   const int64_t xb = static_cast<int64_t>(x.bytes());
-  const double eff = baseline_eff(impl, rows, cols);
+  const double dev_threads = kc.dev.profile().resident_threads;
+  const double eff = baseline_eff(impl, rows, cols, dev_threads);
   const double flops = static_cast<double>(rows) * cols * 4.0;
 
   if (impl == Impl::kLS2 || impl == Impl::kDeepSpeed) {
-    const SoftmaxConfig cfg = tune_softmax(rows, cols);
+    const SoftmaxConfig cfg = tune_softmax(rows, cols, dev_threads);
     const std::string name = impl == Impl::kLS2
                                  ? std::string("ls2.softmax_fw.") + cfg.tag
                                  : "deepspeed.softmax_fw";
@@ -196,7 +233,7 @@ void softmax_bw(KernelContext& kc, Impl impl, const Tensor& dy, const Tensor& y,
   const Shape flat = y.shape().flatten_2d();
   const int64_t rows = flat[0], cols = flat[1];
   const int64_t nb = static_cast<int64_t>(y.bytes());
-  const double eff = baseline_eff(impl, rows, cols);
+  const double eff = baseline_eff(impl, rows, cols, kc.dev.profile().resident_threads);
   const double flops = static_cast<double>(rows) * cols * 3.0;
 
   if (impl == Impl::kLS2 || impl == Impl::kDeepSpeed) {
@@ -217,12 +254,13 @@ void attn_softmax_fw(KernelContext& kc, Impl impl, const Tensor& x, const Tensor
   const int64_t rows = x.shape()[0] * x.shape()[1] * x.shape()[2];
   const int64_t cols = x.shape()[3];
   const int64_t xb = static_cast<int64_t>(x.bytes());
-  const double eff = baseline_eff(impl, rows, cols);
+  const double dev_threads = kc.dev.profile().resident_threads;
+  const double eff = baseline_eff(impl, rows, cols, dev_threads);
   const double flops = static_cast<double>(rows) * cols * 4.0;
   const bool masked = causal || key_lens != nullptr;
 
   if (impl == Impl::kLS2 || impl == Impl::kDeepSpeed) {
-    const SoftmaxConfig cfg = tune_softmax(rows, cols);
+    const SoftmaxConfig cfg = tune_softmax(rows, cols, dev_threads);
     const std::string name = impl == Impl::kLS2
                                  ? std::string("ls2.attn_softmax_fw.") + cfg.tag
                                  : "deepspeed.attn_softmax_fw";

@@ -27,14 +27,25 @@ struct SoftmaxConfig {
 /// Candidate templates (sub-warp to multi-warp teams).
 const std::vector<SoftmaxConfig>& softmax_candidates();
 
-/// Pick the best template for (rows, cols): evaluates the achieved-bandwidth
-/// model for every candidate and caches per log2-bucketed shape. This is the
-/// pre-training search of §IV-B.
+/// Pick the best template for (rows, cols) on a device with
+/// `device_threads` of thread residency (DeviceProfile::resident_threads):
+/// evaluates the achieved-bandwidth model for every candidate and caches the
+/// winner per (device, log2-bucketed shape). This is the pre-training search
+/// of §IV-B. The cache is keyed by the device identity — benches that sweep
+/// profiles get per-profile winners, never another profile's stale ones.
+/// The two-argument form assumes a V100-class part.
 SoftmaxConfig tune_softmax(int64_t rows, int64_t cols);
+SoftmaxConfig tune_softmax(int64_t rows, int64_t cols, double device_threads);
+
+/// Drop every cached tuning decision (benches/tests that re-tune from a
+/// clean slate; cheap — the next tune_softmax re-runs the search).
+void reset_softmax_tuner();
 
 /// Modeled achieved bandwidth of a template on a shape (exposed for the
-/// tuner ablation bench).
+/// tuner ablation bench). The three-argument form assumes a V100-class part.
 double softmax_config_efficiency(const SoftmaxConfig& cfg, int64_t rows, int64_t cols);
+double softmax_config_efficiency(const SoftmaxConfig& cfg, int64_t rows, int64_t cols,
+                                 double device_threads);
 
 // --- plain row softmax over the last dimension ---
 

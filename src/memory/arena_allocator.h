@@ -24,6 +24,9 @@ class ArenaAllocator final : public DeviceAllocator {
   void* allocate(size_t bytes) override;
   void deallocate(void* ptr, size_t bytes) override;
   const char* name() const override { return "arena"; }
+  /// One up-front reservation, stable addresses, zero device traffic per
+  /// step — the arena is what makes a LightSeq2 step graph-capturable.
+  bool capture_safe() const override { return true; }
 
   /// Sanity hook between steps: verifies everything was released and resets
   /// fragmentation to a single free block.

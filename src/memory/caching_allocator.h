@@ -25,6 +25,9 @@ class CachingAllocator final : public DeviceAllocator {
   void* allocate(size_t bytes) override;
   void deallocate(void* ptr, size_t bytes) override;
   const char* name() const override { return "caching"; }
+  /// Never certified: a cold request (or a free-list re-bucketing) calls
+  /// device malloc mid-step, which poisons any in-progress graph capture.
+  bool capture_safe() const override { return false; }
 
   /// cudaFree everything in the cache (PyTorch's empty_cache()).
   void release_cached();

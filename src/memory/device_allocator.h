@@ -36,6 +36,13 @@ class DeviceAllocator : public BufferAllocator {
 
   bool backs_real_memory() const override { return backing_ == Backing::kMalloc; }
 
+  /// Certified safe to allocate from inside a device step-graph capture:
+  /// every per-step request is served from pre-reserved, address-stable
+  /// memory with zero device malloc/free traffic. Capture-unsafe allocators
+  /// poison an in-progress capture the moment they stall on a device malloc
+  /// (simgpu::Device::charge_alloc) — the CUDA-Graphs constraint.
+  virtual bool capture_safe() const { return false; }
+
   int64_t bytes_in_use() const { return bytes_in_use_; }
   int64_t peak_bytes() const { return peak_bytes_; }
   simgpu::Device& device() { return device_; }

@@ -1,6 +1,7 @@
 #include "simgpu/device.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.h"
 
@@ -24,27 +25,51 @@ void Device::launch(const KernelDesc& desc, const std::function<void()>& body) {
   LS2_CHECK(desc.compute_efficiency > 0 && desc.compute_efficiency <= 1.0)
       << desc.name << " compute_efficiency " << desc.compute_efficiency;
 
-  // Launch gap: the GPU is idle while the host dispatches the kernel.
-  const double overhead = profile_.launch_overhead_us;
-  const double exec = kernel_time_us(desc);
-
   stats_.launches += 1;
   stats_.bytes_moved += desc.bytes_read + desc.bytes_written;
   stats_.flops += desc.flops;
-  stats_.overhead_us += overhead;
-  stats_.busy_us += exec;
 
   KernelStats& ks = per_kernel_[desc.name];
   ks.launches += 1;
   ks.bytes += desc.bytes_read + desc.bytes_written;
   ks.flops += desc.flops;
-  ks.time_us += overhead + exec;
 
-  clock_us_ += overhead;
-  const double busy_begin = clock_us_;
-  clock_us_ += exec;
-  if (record_timeline_) timeline_.record_busy(busy_begin, clock_us_);
-  attribute(overhead + exec);
+  if (graph_phase_ == GraphPhase::kReplay) {
+    // Replayed kernels run back to back: the graph was dispatched as one
+    // unit (charged in begin_replay), so there is no per-launch gap. The
+    // execution time is the one BAKED INTO the graph node at capture — a
+    // replay runs the captured launch parameters, not freshly-derived ones.
+    const double exec = consume_node(GraphNode::Kind::kKernel, &desc).exec_us;
+    stats_.replayed_launches += 1;
+    stats_.busy_us += exec;
+    ks.time_us += exec;
+    const double busy_begin = clock_us_;
+    clock_us_ += exec;
+    if (record_timeline_) timeline_.record_busy(busy_begin, clock_us_);
+    attribute(exec);
+  } else {
+    const double exec = kernel_time_us(desc);
+    stats_.busy_us += exec;
+    // Launch gap: the GPU is idle while the host dispatches the kernel.
+    const double overhead = profile_.launch_overhead_us;
+    stats_.overhead_us += overhead;
+    stats_.launch_gap_us += overhead;
+    ks.time_us += overhead + exec;
+    clock_us_ += overhead;
+    const double busy_begin = clock_us_;
+    clock_us_ += exec;
+    if (record_timeline_) timeline_.record_busy(busy_begin, clock_us_);
+    attribute(overhead + exec);
+    if (graph_phase_ == GraphPhase::kCapture) {
+      GraphNode node;
+      node.kind = GraphNode::Kind::kKernel;
+      node.desc = desc;
+      node.exec_us = exec;
+      capture_.nodes.push_back(std::move(node));
+      capture_.kernel_launches += 1;
+      capture_.kernel_exec_us += exec;
+    }
+  }
 
   if (mode_ == ExecMode::kExecute && body) body();
 }
@@ -70,6 +95,19 @@ void Device::advance(double us, bool busy, const std::string& attribution) {
 double Device::enqueue_comm(double us, const std::string& attribution) {
   LS2_CHECK(us >= 0) << "negative comm time";
   if (us == 0) return std::max(comm_clock_us_, clock_us_);
+  if (graph_phase_ == GraphPhase::kCapture) {
+    GraphNode node;
+    node.kind = GraphNode::Kind::kCommEnqueue;
+    node.comm_us = us;
+    capture_.nodes.push_back(std::move(node));
+  } else if (graph_phase_ == GraphPhase::kReplay) {
+    // The transfer is a graph node, but its begin/completion times are
+    // recomputed below from the live clocks (replay-time parameters).
+    const GraphNode& node = consume_node(GraphNode::Kind::kCommEnqueue, nullptr);
+    LS2_CHECK(node.comm_us == us)
+        << "replayed comm transfer duration " << us << " us != captured "
+        << node.comm_us << " us — gradient payload changed under replay";
+  }
   // The transfer starts once its payload exists (now, on the compute clock)
   // and the comm stream is free; transfers serialize among themselves.
   const double begin = std::max(comm_clock_us_, clock_us_);
@@ -84,6 +122,16 @@ double Device::enqueue_comm(double us, const std::string& attribution) {
 }
 
 double Device::sync_comm(const std::string& attribution) {
+  if (graph_phase_ == GraphPhase::kCapture) {
+    // cudaStreamSynchronize is illegal inside a stream capture.
+    poison_capture("full comm-stream sync during capture (" + attribution + ")");
+  }
+  // A valid graph can never contain a sync (it would have poisoned its own
+  // capture), so a sync inside a replay is a divergence from the captured
+  // step — reject it like every other graph-illegal operation.
+  LS2_CHECK(graph_phase_ != GraphPhase::kReplay)
+      << "full comm-stream sync during graph replay (" << attribution
+      << ") — the replayed step diverged from the capture";
   const double exposed = std::max(0.0, comm_clock_us_ - clock_us_);
   if (exposed > 0) {
     // The compute stream stalls while the fabric finishes: idle SMs, busy
@@ -95,6 +143,15 @@ double Device::sync_comm(const std::string& attribution) {
 }
 
 double Device::wait_comm_until(double t_us, const std::string& attribution) {
+  if (graph_phase_ == GraphPhase::kCapture) {
+    GraphNode node;
+    node.kind = GraphNode::Kind::kCommWait;
+    capture_.nodes.push_back(std::move(node));
+  } else if (graph_phase_ == GraphPhase::kReplay) {
+    // A stream-wait edge: the edge is part of the graph, the timestamp it
+    // resolves to is not — the exposed wait is recomputed every replay.
+    (void)consume_node(GraphNode::Kind::kCommWait, nullptr);
+  }
   // A transfer's completion time can never exceed the comm clock; waiting
   // past it would be waiting on nothing.
   const double target = std::min(t_us, comm_clock_us_);
@@ -108,22 +165,121 @@ double Device::wait_comm_until(double t_us, const std::string& attribution) {
 
 void Device::charge_alloc(bool cache_hit) {
   stats_.alloc_events += 1;
+  if (graph_phase_ == GraphPhase::kReplay) {
+    // A replayed graph has its addresses baked in: a cache-hit is pure host
+    // bookkeeping (free — the device never sees it), and an actual device
+    // malloc means the address set changed under the graph.
+    LS2_CHECK(cache_hit) << "device malloc during graph replay — the captured "
+                            "step is not address-stable; capture is only safe "
+                            "over a pre-reserved arena";
+    return;
+  }
+  if (graph_phase_ == GraphPhase::kCapture && !cache_hit) {
+    // cudaMalloc inside a stream capture is illegal — this is the allocator
+    // stall that makes the dynamic caching allocator capture-unsafe.
+    poison_capture("allocator stall (device malloc) during capture");
+  }
   const double us = cache_hit ? profile_.cached_alloc_us : profile_.malloc_us;
   stats_.overhead_us += us;
+  stats_.alloc_stall_us += us;
   clock_us_ += us;
   attribute(us);
 }
 
 void Device::charge_free() {
   stats_.alloc_events += 1;
+  if (graph_phase_ == GraphPhase::kReplay) {
+    LS2_CHECK(false) << "device free during graph replay — the captured step "
+                        "is not address-stable";
+  }
+  if (graph_phase_ == GraphPhase::kCapture) {
+    poison_capture("allocator stall (device free) during capture");
+  }
   const double us = profile_.free_us;
   stats_.overhead_us += us;
+  stats_.alloc_stall_us += us;
   clock_us_ += us;
   attribute(us);
 }
 
 void Device::on_memory_change(int64_t bytes_in_use) {
   if (record_timeline_) timeline_.record_memory(clock_us_, bytes_in_use);
+}
+
+void Device::begin_capture() {
+  LS2_CHECK(graph_phase_ == GraphPhase::kNone)
+      << "begin_capture while a capture or replay is in progress";
+  capture_ = StepGraph{};
+  capture_poisoned_ = false;
+  graph_phase_ = GraphPhase::kCapture;
+}
+
+StepGraph Device::end_capture() {
+  LS2_CHECK(graph_phase_ == GraphPhase::kCapture) << "end_capture without capture";
+  graph_phase_ = GraphPhase::kNone;
+  capture_.valid = !capture_poisoned_;
+  return std::move(capture_);
+}
+
+void Device::poison_capture(const std::string& reason) {
+  if (graph_phase_ != GraphPhase::kCapture || capture_poisoned_) return;
+  capture_poisoned_ = true;
+  capture_.poison_reason = reason;
+}
+
+void Device::begin_replay(const StepGraph& graph) {
+  LS2_CHECK(graph_phase_ == GraphPhase::kNone)
+      << "begin_replay while a capture or replay is in progress";
+  LS2_CHECK(graph.valid) << "begin_replay on an invalid (poisoned) graph: "
+                         << graph.poison_reason;
+  graph_phase_ = GraphPhase::kReplay;
+  replay_ = &graph;
+  replay_cursor_ = 0;
+  // One dispatch for the whole step, instead of one per kernel.
+  const double overhead = profile_.graph_launch_overhead_us;
+  stats_.graph_replays += 1;
+  stats_.graph_launch_us += overhead;
+  stats_.overhead_us += overhead;
+  clock_us_ += overhead;
+  attribute(overhead);
+}
+
+void Device::end_replay() {
+  LS2_CHECK(graph_phase_ == GraphPhase::kReplay) << "end_replay without replay";
+  LS2_CHECK(replay_cursor_ == replay_->nodes.size())
+      << "replay consumed " << replay_cursor_ << " of " << replay_->nodes.size()
+      << " graph nodes — the replayed step diverged from the capture";
+  graph_phase_ = GraphPhase::kNone;
+  replay_ = nullptr;
+  replay_cursor_ = 0;
+}
+
+void Device::abort_graph() noexcept {
+  graph_phase_ = GraphPhase::kNone;
+  replay_ = nullptr;
+  replay_cursor_ = 0;
+  capture_ = StepGraph{};
+  capture_poisoned_ = false;
+}
+
+const GraphNode& Device::consume_node(GraphNode::Kind kind, const KernelDesc* desc) {
+  LS2_CHECK(replay_cursor_ < replay_->nodes.size())
+      << "replayed step issued more operations than the captured graph ("
+      << replay_->nodes.size() << " nodes)";
+  const GraphNode& node = replay_->nodes[replay_cursor_++];
+  LS2_CHECK(node.kind == kind)
+      << "graph node " << (replay_cursor_ - 1) << " kind mismatch under replay";
+  if (desc != nullptr) {
+    LS2_CHECK(node.desc.name == desc->name &&
+              node.desc.bytes_read == desc->bytes_read &&
+              node.desc.bytes_written == desc->bytes_written &&
+              node.desc.flops == desc->flops)
+        << "graph node " << (replay_cursor_ - 1) << " ('" << node.desc.name
+        << "') does not match replayed launch '" << desc->name
+        << "' — the step is not static (did the batch shape change?); graph "
+           "capture requires fixed shapes, like real CUDA Graphs";
+  }
+  return node;
 }
 
 double Device::range_time_us(const std::string& range) const {
@@ -143,6 +299,7 @@ void Device::reset() {
   per_kernel_.clear();
   range_times_.clear();
   timeline_.clear();
+  abort_graph();
 }
 
 void Device::push_range(const std::string& name) { range_stack_.push_back(name); }

@@ -49,15 +49,50 @@ struct KernelStats {
 };
 
 struct DeviceStats {
-  int64_t launches = 0;
+  int64_t launches = 0;      ///< kernel executions (eager-launched or replayed)
   int64_t bytes_moved = 0;
   double flops = 0;
   double busy_us = 0;        ///< kernel execution time
-  double overhead_us = 0;    ///< launch gaps + allocator stalls (GPU idle)
+  /// Total GPU-idle overhead. At least launch_gap_us + alloc_stall_us +
+  /// graph_launch_us; `advance(us, busy=false, ...)` also lands here.
+  double overhead_us = 0;
+  double launch_gap_us = 0;   ///< per-kernel host-dispatch gaps (eager launches)
+  double alloc_stall_us = 0;  ///< cudaMalloc/cudaFree/cached-alloc stalls
   double alloc_events = 0;   ///< number of device malloc/free calls
   int64_t comm_transfers = 0;   ///< transfers enqueued on the comm stream
   double comm_us = 0;           ///< total comm-stream busy time
   double exposed_comm_us = 0;   ///< comm time the compute stream waited on
+  // --- step-graph replay (see StepGraph below) ---
+  int64_t graph_replays = 0;       ///< begin_replay calls
+  int64_t replayed_launches = 0;   ///< kernel executions issued via replay
+  double graph_launch_us = 0;      ///< whole-graph dispatch overhead charged
+};
+
+/// One recorded operation of a captured step graph.
+struct GraphNode {
+  enum class Kind { kKernel, kCommEnqueue, kCommWait };
+  Kind kind = Kind::kKernel;
+  KernelDesc desc;     ///< kKernel: validated against the replayed launch
+  /// kKernel: execution time baked in at capture — what each replay charges
+  /// (a replay runs the captured launch parameters, not fresh ones).
+  double exec_us = 0;
+  double comm_us = 0;  ///< kCommEnqueue: modeled transfer duration
+};
+
+/// An immutable recording of one steady-state step's device work, produced
+/// by Device::begin_capture/end_capture and replayed with begin_replay:
+/// the replay charges ONE graph-launch overhead plus the kernels'
+/// back-to-back execution times — no per-launch gaps. Comm transfers and
+/// stream-wait edges are recorded as graph nodes, but their *completion
+/// times* are recomputed at each replay from the live comm clock (they are
+/// replay-time parameters, which is what lets the pipelined per-bucket
+/// update compose with replay).
+struct StepGraph {
+  std::vector<GraphNode> nodes;
+  int64_t kernel_launches = 0;  ///< number of kKernel nodes
+  double kernel_exec_us = 0;    ///< sum of their execution times
+  bool valid = false;           ///< false until end_capture, or when poisoned
+  std::string poison_reason;    ///< why capture failed (first offense)
 };
 
 class Device {
@@ -103,6 +138,39 @@ class Device {
   double wait_comm_until(double t_us, const std::string& attribution);
   double comm_clock_us() const { return comm_clock_us_; }
 
+  // --- Step-graph capture & replay (CUDA-Graphs discipline) ---
+  //
+  // Capture is CONCURRENT with eager execution: between begin_capture and
+  // end_capture every launch / comm enqueue / stream-wait is charged exactly
+  // as usual AND recorded as a graph node, so the capture step stays
+  // bitwise- and time-identical to an eager step. Capture is POISONED (the
+  // returned graph is invalid, with a reason) by operations that are illegal
+  // inside a real CUDA stream capture: device malloc/free (an allocator
+  // stall means addresses are not stable — the arena never stalls, which is
+  // what certifies it capture-safe) and full-stream syncs.
+  //
+  // Replay consumes the graph's nodes in order: begin_replay charges one
+  // graph-launch overhead, each launch is validated against its node (name,
+  // bytes, flops — a mismatch means the step is not actually static) and
+  // charged only its execution time, back to back. Kernel bodies still run
+  // in kExecute mode — replay changes the cost model, never the numerics.
+
+  void begin_capture();
+  /// Finish capture; the result is valid unless capture was poisoned.
+  StepGraph end_capture();
+  /// Invalidate an in-progress capture (no-op otherwise). The remainder of
+  /// the step keeps charging eagerly; end_capture returns the reason.
+  void poison_capture(const std::string& reason);
+  /// Start replaying `graph` (must outlive the replay and be valid).
+  void begin_replay(const StepGraph& graph);
+  /// Finish replay; checks every node was consumed.
+  void end_replay();
+  /// Abandon any capture/replay in progress without validation — for
+  /// unwinding after an exception mid-step. Never throws.
+  void abort_graph() noexcept;
+  bool capturing() const { return graph_phase_ == GraphPhase::kCapture; }
+  bool replaying() const { return graph_phase_ == GraphPhase::kReplay; }
+
   /// Allocator hooks: charge allocation latency and record the watermark.
   void charge_alloc(bool cache_hit);
   void charge_free();
@@ -131,12 +199,22 @@ class Device {
   void pop_range();
 
  private:
+  enum class GraphPhase { kNone, kCapture, kReplay };
+
   void attribute(double us);
+  /// Replay-side node matching: checks the next node has `kind` (and, for
+  /// kernels, an equal descriptor) and advances the cursor.
+  const GraphNode& consume_node(GraphNode::Kind kind, const KernelDesc* desc);
 
   DeviceProfile profile_;
   ExecMode mode_;
   double clock_us_ = 0;
   double comm_clock_us_ = 0;  ///< completion time of the last comm transfer
+  GraphPhase graph_phase_ = GraphPhase::kNone;
+  StepGraph capture_;                  ///< graph being built (kCapture)
+  bool capture_poisoned_ = false;
+  const StepGraph* replay_ = nullptr;  ///< graph being consumed (kReplay)
+  size_t replay_cursor_ = 0;
   DeviceStats stats_;
   std::map<std::string, KernelStats> per_kernel_;
   std::map<std::string, double> range_times_;

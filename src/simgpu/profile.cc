@@ -11,6 +11,8 @@ DeviceProfile v100() {
   DeviceProfile p;
   p.name = "V100";
   p.launch_overhead_us = 4.5;
+  p.graph_launch_overhead_us = 10.0;
+  p.resident_threads = 80 * 2048;  // 80 SMs x 2048 threads
   p.mem_bw_gb_s = 900.0;
   p.fp32_tflops = 15.7;
   p.fp16_tflops = 125.0;
@@ -31,6 +33,8 @@ DeviceProfile a100() {
   // paper observes *larger* LightSeq2 speedups on A100: fixed overheads are
   // a bigger fraction of the (shorter) kernel times.
   p.launch_overhead_us = 4.2;
+  p.graph_launch_overhead_us = 9.0;
+  p.resident_threads = 108 * 2048;  // 108 SMs x 2048 threads
   p.mem_bw_gb_s = 1555.0;
   p.fp32_tflops = 19.5;
   p.fp16_tflops = 312.0;

@@ -24,6 +24,16 @@ struct DeviceProfile {
 
   // Kernel launch.
   double launch_overhead_us = 4.5;  ///< host->device launch latency per kernel
+  /// Launching a whole captured step graph costs one (bigger) dispatch
+  /// instead of one per kernel — the CUDA-Graphs amortization a replayed
+  /// step pays once per `Device::begin_replay`.
+  double graph_launch_overhead_us = 10.0;
+
+  /// Thread-residency capacity (SMs x max threads/SM). The Softmax kernels
+  /// and their auto-tuner key their occupancy model (and the tuner cache)
+  /// off this, so tuning decisions are per-profile; the other reduction
+  /// kernels still assume V100-class residency.
+  double resident_threads = 163840;
 
   // Memory system.
   double mem_bw_gb_s = 900.0;  ///< peak HBM bandwidth

@@ -187,6 +187,50 @@ TEST(SoftmaxTunerTest, CacheIsStable) {
   EXPECT_EQ(a.threads_per_row, b.threads_per_row);
 }
 
+TEST(SoftmaxTunerTest, ResetTunerRetunesDeterministically) {
+  const SoftmaxConfig a = tune_softmax(1 << 12, 256);
+  reset_softmax_tuner();
+  const SoftmaxConfig b = tune_softmax(1 << 12, 256);
+  EXPECT_EQ(a.threads_per_row, b.threads_per_row);
+  EXPECT_STREQ(a.tag, b.tag);
+}
+
+// The cache is keyed by the device's thread-residency capacity: a bench
+// sweeping profiles must get each profile's own winner, never a stale one
+// tuned for another device. Verified against a fresh argmax per profile.
+TEST(SoftmaxTunerTest, CacheIsKeyedByDeviceIdentity) {
+  reset_softmax_tuner();
+  const double devices[] = {163840.0, 8 * 163840.0};
+  for (int64_t rows : {256, 4096}) {
+    for (int64_t cols : {32, 512}) {
+      // Warm the cache with the first device, then query all of them; each
+      // answer must equal the winner recomputed from scratch for THAT
+      // device.
+      (void)tune_softmax(rows, cols, devices[0]);
+      for (double dt : devices) {
+        const SoftmaxConfig got = tune_softmax(rows, cols, dt);
+        SoftmaxConfig want = softmax_candidates().front();
+        double want_eff = -1;
+        for (const SoftmaxConfig& c : softmax_candidates()) {
+          const double eff = softmax_config_efficiency(c, rows, cols, dt);
+          if (eff > want_eff) {
+            want_eff = eff;
+            want = c;
+          }
+        }
+        EXPECT_EQ(got.threads_per_row, want.threads_per_row)
+            << rows << "x" << cols << " on device_threads " << dt;
+      }
+    }
+  }
+  // And the occupancy term really does shift the winner between devices for
+  // occupancy-limited shapes: a device with 8x the residency prefers teams
+  // at least as large (more threads needed to fill it).
+  const SoftmaxConfig small_dev = tune_softmax(256, 512, devices[0]);
+  const SoftmaxConfig big_dev = tune_softmax(256, 512, devices[1]);
+  EXPECT_GE(big_dev.threads_per_row, small_dev.threads_per_row);
+}
+
 // Fig. 17(b): LightSeq2's speedup over the baseline grows with sequence
 // length (shape-specialised templates).
 TEST(SoftmaxModelTest, SpeedupGrowsWithSequenceLength) {
