@@ -1,0 +1,176 @@
+// Serving: KV-cache incremental decoding under continuous vs static
+// batching, and the decode-step graph-replay win.
+//
+// A GPT-2 serving engine (src/infer/) holds a fixed set of KV-cache slots
+// and runs one static-shape decode step per engine tick. Two scheduling
+// disciplines are compared under Poisson request arrivals:
+//
+//   continuous — arrived requests are admitted into any free slot every
+//                step, so the decode batch stays full under load;
+//   static     — a wave is admitted only when ALL slots have drained, so
+//                short sequences idle their slots while the wave's longest
+//                sequence finishes (the classic static-batching tail).
+//
+// The second section turns on SessionConfig::graph_capture: after one
+// warm-up the decode step is captured and every later step replays as ONE
+// graph launch. At small slot counts the decode step is launch-bound
+// (~150 kernels of a few us each), so replay's effect is largest there and
+// fades as the KV-cache reads grow bandwidth-bound — the serving twin of
+// fig_launch_graph.
+//
+// Machine-readable output: bench/fig_serve.json (validated by ci.sh).
+// Run with --trace to also export the busiest continuous run as a Chrome
+// trace (bench/fig_serve_trace.json; open in chrome://tracing).
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "bench_common.h"
+
+using namespace ls2;
+using namespace ls2::bench;
+
+namespace {
+
+models::Gpt2Config serve_model() {
+  models::Gpt2Config cfg = models::Gpt2Config::base();  // 117M params
+  return cfg;
+}
+
+struct ServeRun {
+  infer::ServeReport report;
+  bool poisoned = false;
+};
+
+ServeRun run_serve(const simgpu::DeviceProfile& profile, int64_t slots, int64_t max_len,
+                   const std::vector<infer::Request>& reqs, infer::BatchMode mode,
+                   bool graph, bool trace = false) {
+  const models::Gpt2Config cfg = serve_model();
+  SessionConfig sc;
+  sc.system = System::kLightSeq2;
+  sc.profile = profile;
+  sc.mode = simgpu::ExecMode::kModelOnly;
+  sc.dtype = DType::kF16;
+  sc.arena_bytes = infer::serve_capacity_scan(cfg, DType::kF16, slots, max_len, 32);
+  sc.graph_capture = graph;
+  sc.record_timeline = trace;
+  Session session(sc);
+  models::Gpt2 model(cfg, System::kLightSeq2, DType::kF16, 17, session.param_alloc());
+  infer::KvCache cache(model.kv_cache_config(slots, max_len), session.param_alloc());
+  infer::ServeConfig scfg;
+  scfg.mode = mode;
+  infer::ContinuousBatcher engine(session, model, cache, scfg);
+  ServeRun run;
+  run.report = engine.serve(reqs);
+  run.poisoned = session.graph_poisoned();
+  if (trace) {
+    std::filesystem::create_directories("bench");
+    session.device().timeline().write_chrome_trace("bench/fig_serve_trace.json");
+    std::printf("wrote Chrome trace to bench/fig_serve_trace.json\n");
+  }
+  return run;
+}
+
+struct JsonRow {
+  std::string section, profile;
+  int64_t slots = 0;
+  double rate = 0;
+  int64_t requests = 0;
+  infer::ServeReport a, b;  ///< batching: continuous/static; graph: replay/eager
+};
+std::vector<JsonRow> g_rows;
+
+void write_json() {
+  std::filesystem::create_directories("bench");
+  std::ofstream out("bench/fig_serve.json");
+  out << "{\n  \"figure\": \"fig_serve\",\n  \"schema\": 1,\n  \"configs\": [";
+  char buf[1024];
+  for (size_t i = 0; i < g_rows.size(); ++i) {
+    const JsonRow& r = g_rows[i];
+    const char* a_name = r.section == "batching" ? "continuous" : "replay";
+    const char* b_name = r.section == "batching" ? "static" : "eager";
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s\n    {\"section\": \"%s\", \"profile\": \"%s\", \"slots\": %lld, "
+        "\"rate_per_sec\": %.1f, \"requests\": %lld, "
+        "\"%s_tokens_per_sec\": %.1f, \"%s_tokens_per_sec\": %.1f, "
+        "\"tokens_per_sec_speedup\": %.3f, "
+        "\"%s_p50_ms\": %.3f, \"%s_p99_ms\": %.3f, \"%s_p50_ms\": %.3f, "
+        "\"%s_p99_ms\": %.3f, \"decode_steps\": %lld, \"replayed_steps\": %lld}",
+        i == 0 ? "" : ",", r.section.c_str(), r.profile.c_str(),
+        static_cast<long long>(r.slots), r.rate, static_cast<long long>(r.requests),
+        a_name, r.a.tokens_per_sec, b_name, r.b.tokens_per_sec,
+        r.a.tokens_per_sec / r.b.tokens_per_sec, a_name, r.a.p50_latency_us / 1e3,
+        a_name, r.a.p99_latency_us / 1e3, b_name, r.b.p50_latency_us / 1e3, b_name,
+        r.b.p99_latency_us / 1e3, static_cast<long long>(r.a.decode_steps),
+        static_cast<long long>(r.a.replayed_steps));
+    out << buf;
+  }
+  out << "\n  ]\n}\n";
+  std::printf("\nwrote %zu configs to bench/fig_serve.json\n", g_rows.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool trace = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) trace = true;
+  }
+  const int64_t slots = 8, max_len = 192;
+  const int64_t n_requests = 64;
+
+  print_header("Serving GPT-2 base (FP16): continuous vs static batching, Poisson arrivals");
+  std::printf("%-8s %-10s %10s %12s %12s %8s %10s %10s\n", "profile", "rate/s", "tok/s_cont",
+              "tok/s_stat", "speedup", "p50_ms", "p99_cont", "p99_stat");
+  bool traced = false;
+  for (const char* prof_name : {"v100", "a100"}) {
+    const simgpu::DeviceProfile profile = simgpu::profile_by_name(prof_name);
+    for (double rate : {120.0, 400.0}) {
+      const auto reqs = infer::poisson_requests(n_requests, rate, /*prompt*/ 8, 24,
+                                                /*gen*/ 16, 128, serve_model().vocab, 29);
+      // Saturated runs exercise the scheduling gap; the moderate rate shows
+      // latency under head-room. Trace the first saturated continuous run.
+      const bool do_trace = trace && !traced && rate > 200.0;
+      traced |= do_trace;
+      const ServeRun cont = run_serve(profile, slots, max_len, reqs,
+                                      infer::BatchMode::kContinuous, /*graph=*/false,
+                                      do_trace);
+      const ServeRun stat =
+          run_serve(profile, slots, max_len, reqs, infer::BatchMode::kStatic, false);
+      g_rows.push_back({"batching", prof_name, slots, rate, n_requests, cont.report,
+                        stat.report});
+      std::printf("%-8s %-10.0f %10.0f %12.0f %11.2fx %8.1f %10.1f %10.1f\n", prof_name,
+                  rate, cont.report.tokens_per_sec, stat.report.tokens_per_sec,
+                  cont.report.tokens_per_sec / stat.report.tokens_per_sec,
+                  cont.report.p50_latency_us / 1e3, cont.report.p99_latency_us / 1e3,
+                  stat.report.p99_latency_us / 1e3);
+    }
+  }
+  std::printf("\nContinuous batching refills a slot the step its sequence retires; the\n"
+              "static wave pays the longest sequence's tail for every slot.\n");
+
+  print_header("Decode-step graph replay: one graph launch per decode step (V100)");
+  std::printf("%-8s %12s %12s %8s %14s\n", "slots", "eager_tok/s", "replay_tok/s", "speedup",
+              "replayed_steps");
+  for (int64_t gslots : {2, 8, 32}) {
+    const auto reqs = infer::poisson_requests(32, /*rate=*/100000.0, 8, 16, 32, 96,
+                                              serve_model().vocab, 31);
+    const ServeRun eager = run_serve(simgpu::v100(), gslots, max_len, reqs,
+                                     infer::BatchMode::kContinuous, /*graph=*/false);
+    const ServeRun replay = run_serve(simgpu::v100(), gslots, max_len, reqs,
+                                      infer::BatchMode::kContinuous, /*graph=*/true);
+    LS2_CHECK(!replay.poisoned) << "decode capture poisoned";
+    g_rows.push_back({"graph", "v100", gslots, 100000.0, 32, replay.report, eager.report});
+    std::printf("%-8lld %12.0f %12.0f %7.2fx %14lld\n", static_cast<long long>(gslots),
+                eager.report.tokens_per_sec, replay.report.tokens_per_sec,
+                replay.report.tokens_per_sec / eager.report.tokens_per_sec,
+                static_cast<long long>(replay.report.replayed_steps));
+  }
+  std::printf("\nSmall decode batches are launch-bound (~150 short kernels/step), so one\n"
+              "graph launch recovers the dispatch gaps; big batches turn bandwidth-bound\n"
+              "on the KV-cache reads and the replay win narrows — CUDA Graphs behavior.\n");
+
+  write_json();
+  return 0;
+}

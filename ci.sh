@@ -23,6 +23,31 @@ if command -v python3 >/dev/null 2>&1; then
   echo "ci.sh: bench/fig22.json parses"
   python3 -m json.tool bench/fig_launch_graph.json >/dev/null
   echo "ci.sh: bench/fig_launch_graph.json parses"
+  # fig_serve: parse + schema-check the fields the serving claims rest on
+  # (continuous >= 1.5x static tokens/sec; replayed decode beats eager on the
+  # launch-bound small-batch profile).
+  python3 - <<'EOF'
+import json
+with open("bench/fig_serve.json") as f:
+    doc = json.load(f)
+assert doc["figure"] == "fig_serve" and doc["schema"] == 1
+rows = doc["configs"]
+assert rows, "fig_serve.json has no configs"
+for r in rows:
+    assert r["section"] in ("batching", "graph"), r
+    for key in ("profile", "slots", "rate_per_sec", "requests",
+                "tokens_per_sec_speedup", "decode_steps"):
+        assert key in r, (key, r)
+batching = [r for r in rows if r["section"] == "batching"]
+graph = [r for r in rows if r["section"] == "graph"]
+assert batching and graph
+assert all(r["tokens_per_sec_speedup"] >= 1.5 for r in batching), \
+    "continuous batching must be >= 1.5x static tokens/sec"
+small = min(graph, key=lambda r: r["slots"])
+assert small["tokens_per_sec_speedup"] > 1.2 and small["replayed_steps"] > 0, \
+    "graph-replayed decode must beat eager on the launch-bound profile"
+print("ci.sh: bench/fig_serve.json parses and passes the schema check")
+EOF
 else
   echo "ci.sh: python3 not found — skipped JSON validation"
 fi

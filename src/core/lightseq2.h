@@ -7,6 +7,7 @@
 //   optim::*           — Torch / Apex / LightSeq2 trainers, LR schedules
 //   data::*            — synthetic WMT / WikiText / MRPC / CIFAR workloads
 //   dist::*            — all-reduce (real + modeled), data-parallel helpers
+//   infer::*           — serving: KV cache, generator, continuous batching
 //
 // See README.md for a quickstart and DESIGN.md for the architecture map.
 #pragma once
@@ -18,6 +19,9 @@
 #include "dist/allreduce.h"     // IWYU pragma: export
 #include "dist/bucket.h"        // IWYU pragma: export
 #include "dist/data_parallel.h" // IWYU pragma: export
+#include "infer/batcher.h"      // IWYU pragma: export
+#include "infer/generator.h"    // IWYU pragma: export
+#include "infer/kv_cache.h"     // IWYU pragma: export
 #include "memory/measuring_allocator.h"  // IWYU pragma: export
 #include "models/bert.h"        // IWYU pragma: export
 #include "models/checkpoint.h"  // IWYU pragma: export

@@ -34,6 +34,20 @@ GraphAction Session::begin_step() {
   return GraphAction::kCapture;
 }
 
+GraphAction Session::begin_decode_step() {
+  // Same RNG discipline as training: the per-step offset advances OUTSIDE
+  // the graph, so a replayed decode step samples bitwise the tokens its
+  // eager twin would.
+  ctx_->kern.begin_step_rng(static_cast<uint64_t>(step_index_));
+  if (!cfg_.graph_capture || graph_poisoned_) return GraphAction::kEager;
+  if (graph_.valid) return GraphAction::kReplay;
+  if (decode_warmups_ < cfg_.graph_warmup_steps) {
+    ++decode_warmups_;
+    return GraphAction::kEager;
+  }
+  return GraphAction::kCapture;
+}
+
 void Session::store_graph(simgpu::StepGraph graph) {
   if (!graph.valid) {
     graph_poisoned_ = true;

@@ -65,6 +65,17 @@ class Session {
   /// is captured, or replays the stored graph.
   GraphAction begin_step();
 
+  /// Inference twin of begin_step for the serving engine (src/infer/): the
+  /// steady-state DECODE step is the static region — prefills and
+  /// admissions run eager in between, so the engine (not the step index)
+  /// decides which steps are graph candidates by calling this only for
+  /// them. Advances the per-step RNG offset (token sampling stays a pure
+  /// function of (seed, step, slot) under replay) and returns eager /
+  /// capture / replay for the decode region. Warm-up counts DECODE steps
+  /// only; an engine step may also run admission prefills before the
+  /// captured region — they stay outside the graph.
+  GraphAction begin_decode_step();
+
   /// Called at the end of each training step: rewinds the arena (LightSeq2)
   /// so the next step reuses the same memory, and advances the step index.
   void end_step();
@@ -94,7 +105,9 @@ class Session {
   mem::ArenaAllocator* arena_ = nullptr;  // non-null when arena strategy active
   std::unique_ptr<layers::LayerContext> ctx_;
   int64_t step_index_ = 0;
-  simgpu::StepGraph graph_;       // valid once captured
+  int64_t decode_warmups_ = 0;    // eager decode steps before capture
+  simgpu::StepGraph graph_;       // valid once captured (train OR decode —
+                                  // a session runs one workload, not both)
   bool graph_poisoned_ = false;   // capture failed; stay eager forever
 };
 

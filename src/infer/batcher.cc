@@ -1,0 +1,279 @@
+#include "infer/batcher.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "memory/measuring_allocator.h"
+
+namespace ls2::infer {
+
+namespace {
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const double idx = p * static_cast<double>(v.size() - 1);
+  const size_t lo = static_cast<size_t>(idx);
+  const size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return v[lo] + (v[hi] - v[lo]) * frac;
+}
+
+/// Deterministic stand-in token for model-only runs (no real logits): keeps
+/// the control flow identical across eager and replayed serving.
+int32_t synth_token(int64_t slot, int64_t generated, int64_t vocab) {
+  return static_cast<int32_t>(3 + (slot * 131 + generated * 7) % std::max<int64_t>(vocab - 3, 1));
+}
+
+}  // namespace
+
+ContinuousBatcher::ContinuousBatcher(core::Session& session, models::Gpt2& model,
+                                     KvCache& cache, ServeConfig cfg)
+    : session_(&session), model_(&model), cache_(&cache), cfg_(cfg), gen_(cfg.sampling) {}
+
+int32_t ContinuousBatcher::harvest_token(const Tensor& sampled, int64_t row, int64_t slot,
+                                         int64_t generated) const {
+  if (session_->device().mode() == simgpu::ExecMode::kExecute) {
+    return sampled.data<int32_t>()[row];
+  }
+  return synth_token(slot, generated, model_->config().vocab);
+}
+
+void ContinuousBatcher::admit(size_t r, int64_t slot) {
+  auto& ctx = session_->ctx();
+  auto& dev = session_->device();
+  const Request& req = reqs_[r];
+  const int64_t Lp = static_cast<int64_t>(req.prompt.size());
+  const int64_t V = model_->config().vocab;
+  LS2_CHECK(Lp > 0 && Lp < cache_->config().max_len)
+      << "prompt must fit the cache with room to generate";
+
+  RequestStats& st = stats_[r];
+  st.id = req.id;
+  st.arrival_us = req.arrival_us;
+  st.admitted_us = dev.clock_us();
+  st.prompt_len = Lp;
+
+  // Host-written metadata tensors stay heap-backed (real even in model-only
+  // sessions); activations inside prefill come from the session arena.
+  Tensor ids = Tensor::empty({1, Lp}, DType::kI32);
+  std::vector<float> host(req.prompt.begin(), req.prompt.end());
+  ids.copy_from(host);
+  {
+    simgpu::ScopedRange range(dev, "serve.prefill");
+    Tensor logits = model_->prefill(ctx, ids, cache_, {slot});  // [1, Lp, V]
+    cache_->set_len(slot, static_cast<int32_t>(Lp));
+    Tensor last = logits.view({Lp, V}).slice(Lp - 1, Lp);  // next-token logits
+    Tensor first_tok = Tensor::zeros({1}, DType::kI32);
+    gen_.next_tokens(ctx.kern, ctx.policy.softmax, last, first_tok);
+    const int32_t tok = harvest_token(first_tok, 0, slot, 0);
+    st.tokens.push_back(tok);
+    st.first_token_us = dev.clock_us();
+    ++report_->prefills;
+    ++report_->generated_tokens;
+    slots_[static_cast<size_t>(slot)] = SlotState{static_cast<int64_t>(r), 1, tok};
+  }
+  const bool finished = reqs_[r].gen_len <= 1 ||
+                        (cfg_.eos_id >= 0 &&
+                         session_->device().mode() == simgpu::ExecMode::kExecute &&
+                         slots_[static_cast<size_t>(slot)].next_token == cfg_.eos_id);
+  if (finished) {
+    st.done_us = dev.clock_us();
+    st.generated = 1;
+    cache_->release_slot(slot);
+    slots_[static_cast<size_t>(slot)] = SlotState{};
+    ++done_;
+  }
+}
+
+ServeReport ContinuousBatcher::serve(std::vector<Request> requests) {
+  std::sort(requests.begin(), requests.end(),
+            [](const Request& a, const Request& b) { return a.arrival_us < b.arrival_us; });
+  auto& dev = session_->device();
+  auto& ctx = session_->ctx();
+  const int64_t S = cache_->config().slots;
+  const bool execute = dev.mode() == simgpu::ExecMode::kExecute;
+
+  ServeReport report;
+  reqs_ = std::move(requests);
+  slots_.assign(static_cast<size_t>(S), SlotState{});
+  stats_.assign(reqs_.size(), RequestStats{});
+  report_ = &report;
+  done_ = 0;
+  cache_->reset();
+
+  Tensor ids = Tensor::zeros({S, 1}, DType::kI32);       // decode-step inputs
+  Tensor sampled = Tensor::zeros({S}, DType::kI32);      // decode-step outputs
+  size_t next_req = 0;
+  const double start_us = dev.clock_us();
+
+  while (done_ < static_cast<int64_t>(reqs_.size())) {
+    // --- admissions (eager; never part of the captured region) ---
+    const bool may_admit =
+        cfg_.mode == BatchMode::kContinuous || cache_->active_slots() == 0;
+    if (may_admit) {
+      while (next_req < reqs_.size() && reqs_[next_req].arrival_us <= dev.clock_us()) {
+        const int64_t slot = cache_->acquire_slot();
+        if (slot < 0) break;  // batch full — request queues
+        admit(next_req++, slot);
+      }
+    }
+    if (cache_->active_slots() == 0) {
+      if (done_ >= static_cast<int64_t>(reqs_.size())) break;
+      LS2_CHECK(next_req < reqs_.size());
+      // Nothing resident: idle until the next arrival.
+      const double wait = reqs_[next_req].arrival_us - dev.clock_us();
+      if (wait > 0) dev.advance(wait, /*busy=*/false, "serve.idle");
+      continue;
+    }
+
+    // --- one static-shape decode step over every slot ---
+    {
+      int32_t* ip = ids.data<int32_t>();
+      for (int64_t s = 0; s < S; ++s) {
+        ip[s] = slots_[static_cast<size_t>(s)].req >= 0
+                    ? slots_[static_cast<size_t>(s)].next_token
+                    : model_->config().pad_id;
+      }
+      cache_->begin_decode();
+      const core::GraphAction act = session_->begin_decode_step();
+      struct GraphGuard {
+        simgpu::Device& dev;
+        bool active = false;
+        ~GraphGuard() {
+          if (active) dev.abort_graph();
+        }
+      } guard{dev};
+      if (act == core::GraphAction::kCapture) {
+        dev.begin_capture();
+        guard.active = true;
+      } else if (act == core::GraphAction::kReplay) {
+        dev.begin_replay(*session_->step_graph());
+        guard.active = true;
+      }
+      {
+        simgpu::ScopedRange range(dev, "serve.decode");
+        Tensor logits = model_->decode_step(ctx, ids, *cache_);  // [S, V]
+        gen_.next_tokens(ctx.kern, ctx.policy.softmax, logits, sampled);
+      }
+      if (act == core::GraphAction::kCapture) {
+        session_->store_graph(dev.end_capture());
+        guard.active = false;
+      } else if (act == core::GraphAction::kReplay) {
+        dev.end_replay();
+        guard.active = false;
+        ++report.replayed_steps;
+      }
+      cache_->commit_decode();
+      ++report.decode_steps;
+
+      // --- harvest and retire ---
+      for (int64_t s = 0; s < S; ++s) {
+        SlotState& ss = slots_[static_cast<size_t>(s)];
+        if (ss.req < 0) continue;
+        const int32_t tok = harvest_token(sampled, s, s, ss.generated);
+        stats_[static_cast<size_t>(ss.req)].tokens.push_back(tok);
+        ++ss.generated;
+        ++report.generated_tokens;
+        // Retire at the request's cap, at EOS, or when the slot's K/V block
+        // is full — capacity caps generation rather than crashing the step.
+        const bool finished = ss.generated >= reqs_[static_cast<size_t>(ss.req)].gen_len ||
+                              (execute && cfg_.eos_id >= 0 && tok == cfg_.eos_id) ||
+                              cache_->len(s) >= cache_->config().max_len;
+        if (finished) {
+          RequestStats& st = stats_[static_cast<size_t>(ss.req)];
+          st.done_us = dev.clock_us();
+          st.generated = ss.generated;
+          cache_->release_slot(s);
+          ss = SlotState{};
+          ++done_;
+        } else {
+          ss.next_token = tok;
+        }
+      }
+    }
+    session_->end_step();  // arena rewind + per-step RNG advance
+  }
+
+  report.makespan_us = dev.clock_us() - start_us;
+  report.tokens_per_sec = report.makespan_us > 0
+                              ? static_cast<double>(report.generated_tokens) /
+                                    (report.makespan_us * 1e-6)
+                              : 0;
+  std::vector<double> lat;
+  lat.reserve(stats_.size());
+  double sum = 0;
+  for (const RequestStats& st : stats_) {
+    lat.push_back(st.latency_us());
+    sum += st.latency_us();
+  }
+  report.p50_latency_us = percentile(lat, 0.50);
+  report.p99_latency_us = percentile(lat, 0.99);
+  report.mean_latency_us = lat.empty() ? 0 : sum / static_cast<double>(lat.size());
+  report.requests = std::move(stats_);
+  report_ = nullptr;
+  return report;
+}
+
+std::vector<Request> poisson_requests(int64_t n, double rate_per_sec, int64_t prompt_lo,
+                                      int64_t prompt_hi, int64_t gen_lo, int64_t gen_hi,
+                                      int64_t vocab, uint64_t seed) {
+  LS2_CHECK(rate_per_sec > 0 && n > 0);
+  LS2_CHECK(prompt_lo >= 1 && prompt_hi >= prompt_lo && gen_lo >= 1 && gen_hi >= gen_lo);
+  Rng rng(seed);
+  std::vector<Request> reqs;
+  reqs.reserve(static_cast<size_t>(n));
+  double t_us = 0;
+  const double mean_gap_us = 1e6 / rate_per_sec;
+  for (int64_t i = 0; i < n; ++i) {
+    // Exponential inter-arrival gaps -> Poisson process.
+    const double u = std::max(1e-12, 1.0 - static_cast<double>(rng.uniform(1, static_cast<uint64_t>(i))));
+    t_us += -std::log(u) * mean_gap_us;
+    Request r;
+    r.id = i;
+    r.arrival_us = t_us;
+    const int64_t plen = prompt_lo + rng.randint(2, static_cast<uint64_t>(i), prompt_hi - prompt_lo + 1);
+    r.prompt.reserve(static_cast<size_t>(plen));
+    for (int64_t j = 0; j < plen; ++j) {
+      r.prompt.push_back(static_cast<int32_t>(
+          3 + rng.randint(3, static_cast<uint64_t>(i * 1024 + j), std::max<int64_t>(vocab - 3, 1))));
+    }
+    r.gen_len = gen_lo + rng.randint(4, static_cast<uint64_t>(i), gen_hi - gen_lo + 1);
+    reqs.push_back(std::move(r));
+  }
+  return reqs;
+}
+
+size_t serve_capacity_scan(const models::Gpt2Config& cfg, DType dtype, int64_t slots,
+                           int64_t max_len, int64_t max_prompt_len, uint64_t seed) {
+  LS2_CHECK(max_prompt_len < max_len);
+  // Probe in model-only mode: allocation is byte-identical to execute mode
+  // (every tensor is created outside kernel bodies) and the math is skipped.
+  simgpu::Device dev(simgpu::v100(), simgpu::ExecMode::kModelOnly);
+  mem::CachingAllocator param_alloc(dev, mem::DeviceAllocator::Backing::kVirtual);
+  mem::MeasuringAllocator probe;
+  layers::LayerContext ctx(dev, &probe, layers::policy_for(layers::System::kLightSeq2),
+                           seed);
+  models::Gpt2 model(cfg, layers::System::kLightSeq2, dtype, seed, &param_alloc);
+  KvCache cache(model.kv_cache_config(slots, max_len), &param_alloc);
+
+  // Worst-case admission: a full-slot padded prefill at the prompt cap...
+  Tensor ids = Tensor::zeros({slots, max_prompt_len}, DType::kI32);
+  ids.fill_(3);
+  std::vector<int64_t> slot_ids;
+  for (int64_t s = 0; s < slots; ++s) slot_ids.push_back(cache.acquire_slot());
+  { (void)model.prefill(ctx, ids, &cache, slot_ids); }
+  for (int64_t s = 0; s < slots; ++s) cache.set_len(s, static_cast<int32_t>(max_prompt_len));
+  // ...plus the steady-state decode step with its sampling launch.
+  Tensor step_ids = Tensor::zeros({slots, 1}, DType::kI32);
+  Tensor sampled = Tensor::zeros({slots}, DType::kI32);
+  cache.begin_decode();
+  {
+    Tensor logits = model.decode_step(ctx, step_ids, cache);
+    kern::argmax_rows(ctx.kern, kern::Impl::kLS2, logits, sampled);
+  }
+  const size_t peak = static_cast<size_t>(probe.peak_bytes());
+  return peak + peak / 16;
+}
+
+}  // namespace ls2::infer

@@ -1,0 +1,130 @@
+// Request scheduling for the serving engine: continuous batching vs the
+// static-wave baseline.
+//
+// The engine owns one steady-state DECODE loop over a fixed set of KV-cache
+// slots. Each engine step is:
+//
+//   [admissions]  arrived requests claim free slots; each prompt runs one
+//                 eager prefill (B=1) that writes its K/V and samples the
+//                 first token — never captured, shapes vary per prompt;
+//   [decode]      ONE static-shape decode step over ALL slots (inactive
+//                 slots attend nothing and are ignored) — the region
+//                 core::Session::begin_decode_step captures once and then
+//                 replays as a single graph launch;
+//   [retire]      finished sequences free their slots immediately.
+//
+// Continuous batching (FastSeq/Orca discipline) admits into any free slot
+// every step, so the decode batch stays full under load; the static
+// baseline admits a wave only when ALL slots are empty and pays the
+// straggler tail — the gap bench/fig_serve.cc measures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/session.h"
+#include "infer/generator.h"
+#include "infer/kv_cache.h"
+#include "models/gpt2.h"
+
+namespace ls2::infer {
+
+enum class BatchMode {
+  kContinuous,  ///< admit into free slots every step
+  kStatic,      ///< admit a wave only when the batch has fully drained
+};
+
+struct ServeConfig {
+  BatchMode mode = BatchMode::kContinuous;
+  SamplingConfig sampling;  ///< greedy by default
+  /// >= 0: retire a sequence when it samples this token (execute mode only —
+  /// model-only runs have no real logits and retire on gen_len alone).
+  int32_t eos_id = -1;
+};
+
+struct Request {
+  int64_t id = 0;
+  std::vector<int32_t> prompt;
+  /// Tokens to generate — a cap: EOS (execute mode) or the slot's K/V
+  /// capacity (prompt + generated reaching KvCacheConfig::max_len) may
+  /// retire the sequence earlier.
+  int64_t gen_len = 1;
+  double arrival_us = 0;
+};
+
+struct RequestStats {
+  int64_t id = 0;
+  double arrival_us = 0;
+  double admitted_us = 0;     ///< slot claimed + prefill issued
+  double first_token_us = 0;  ///< first generated token available
+  double done_us = 0;
+  int64_t prompt_len = 0;
+  int64_t generated = 0;
+  /// The generated ids (real samples in execute mode, the deterministic
+  /// stand-ins in model-only runs) — what the replay-parity test compares.
+  std::vector<int32_t> tokens;
+  double latency_us() const { return done_us - arrival_us; }
+  double queue_us() const { return admitted_us - arrival_us; }
+};
+
+struct ServeReport {
+  std::vector<RequestStats> requests;
+  int64_t prefills = 0;
+  int64_t decode_steps = 0;
+  int64_t replayed_steps = 0;    ///< decode steps run as one graph launch
+  int64_t generated_tokens = 0;
+  double makespan_us = 0;
+  double tokens_per_sec = 0;     ///< generated tokens / makespan
+  double p50_latency_us = 0, p99_latency_us = 0, mean_latency_us = 0;
+};
+
+class ContinuousBatcher {
+ public:
+  ContinuousBatcher(core::Session& session, models::Gpt2& model, KvCache& cache,
+                    ServeConfig cfg = {});
+
+  /// Serve every request to completion; requests may arrive in any order.
+  ServeReport serve(std::vector<Request> requests);
+
+ private:
+  struct SlotState {
+    int64_t req = -1;        ///< index into the request vector; -1 free
+    int64_t generated = 0;
+    int32_t next_token = 0;  ///< fed to the next decode step
+  };
+
+  /// Claim `slot` for request `r`: prefill its prompt (eager), record the
+  /// cache length, and sample the first generated token.
+  void admit(size_t r, int64_t slot);
+  int32_t harvest_token(const Tensor& sampled, int64_t row, int64_t slot,
+                        int64_t generated) const;
+
+  core::Session* session_;
+  models::Gpt2* model_;
+  KvCache* cache_;
+  ServeConfig cfg_;
+  Generator gen_;
+  // serve() state shared with admit()
+  std::vector<Request> reqs_;
+  std::vector<SlotState> slots_;
+  std::vector<RequestStats> stats_;
+  ServeReport* report_ = nullptr;
+  int64_t done_ = 0;
+};
+
+/// Poisson arrivals for benches/tests: `n` requests at `rate_per_sec`, with
+/// prompt lengths uniform in [prompt_lo, prompt_hi] and generation lengths
+/// uniform in [gen_lo, gen_hi] — all drawn from the counter RNG, so a
+/// workload is reproducible from its seed.
+std::vector<Request> poisson_requests(int64_t n, double rate_per_sec, int64_t prompt_lo,
+                                      int64_t prompt_hi, int64_t gen_lo, int64_t gen_hi,
+                                      int64_t vocab, uint64_t seed);
+
+/// Arena sizing for a serving session (the capacity-scan discipline of
+/// §IV-D applied to the serving step): probes one full-slot padded prefill
+/// plus one decode step against a peak-tracking allocator and returns a
+/// capacity for SessionConfig::arena_bytes.
+size_t serve_capacity_scan(const models::Gpt2Config& cfg, DType dtype, int64_t slots,
+                           int64_t max_len, int64_t max_prompt_len, uint64_t seed = 17);
+
+}  // namespace ls2::infer

@@ -1,0 +1,125 @@
+#include "infer/kv_cache.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ls2::infer {
+
+size_t KvCacheConfig::bytes() const {
+  const size_t e = dtype_size(dtype);
+  const size_t self_block =
+      static_cast<size_t>(slots * heads * max_len * head_dim) * e;
+  const size_t cross_block =
+      static_cast<size_t>(slots * heads * cross_len * head_dim) * e;
+  return static_cast<size_t>(layers) * 2 * (self_block + cross_block);
+}
+
+KvCache::KvCache(KvCacheConfig cfg, BufferAllocator* alloc) : cfg_(cfg) {
+  LS2_CHECK(cfg.layers > 0 && cfg.heads > 0 && cfg.head_dim > 0);
+  LS2_CHECK(cfg.slots > 0 && cfg.max_len > 0);
+  const Shape self_shape{cfg.slots, cfg.heads, cfg.max_len, cfg.head_dim};
+  for (int64_t i = 0; i < cfg.layers; ++i) {
+    k_.push_back(Tensor::empty(self_shape, cfg.dtype, alloc));
+    v_.push_back(Tensor::empty(self_shape, cfg.dtype, alloc));
+    k_.back().zero_();
+    v_.back().zero_();
+    if (cfg.cross_len > 0) {
+      const Shape cross_shape{cfg.slots, cfg.heads, cfg.cross_len, cfg.head_dim};
+      cross_k_.push_back(Tensor::empty(cross_shape, cfg.dtype, alloc));
+      cross_v_.push_back(Tensor::empty(cross_shape, cfg.dtype, alloc));
+      cross_k_.back().zero_();
+      cross_v_.back().zero_();
+    }
+  }
+  // Step views are host-written metadata (graph parameters under replay):
+  // always heap-backed, even when the blocks live in virtual model-only
+  // memory.
+  positions_ = Tensor::zeros({cfg.slots}, DType::kI32);
+  attend_lens_ = Tensor::zeros({cfg.slots}, DType::kI32);
+  src_lens_ = Tensor::zeros({cfg.slots}, DType::kI32);
+  lens_.assign(static_cast<size_t>(cfg.slots), 0);
+  src_lens_host_.assign(static_cast<size_t>(cfg.slots), 0);
+  active_.assign(static_cast<size_t>(cfg.slots), false);
+}
+
+int64_t KvCache::acquire_slot() {
+  for (int64_t s = 0; s < cfg_.slots; ++s) {
+    if (!active_[static_cast<size_t>(s)]) {
+      active_[static_cast<size_t>(s)] = true;
+      lens_[static_cast<size_t>(s)] = 0;
+      return s;
+    }
+  }
+  return -1;
+}
+
+void KvCache::release_slot(int64_t slot) {
+  LS2_CHECK(slot >= 0 && slot < cfg_.slots);
+  active_[static_cast<size_t>(slot)] = false;
+  lens_[static_cast<size_t>(slot)] = 0;
+  src_lens_host_[static_cast<size_t>(slot)] = 0;
+  src_lens_.data<int32_t>()[slot] = 0;
+}
+
+int64_t KvCache::active_slots() const {
+  int64_t n = 0;
+  for (bool a : active_) n += a ? 1 : 0;
+  return n;
+}
+
+void KvCache::set_len(int64_t slot, int32_t new_len) {
+  LS2_CHECK(slot >= 0 && slot < cfg_.slots && active_[static_cast<size_t>(slot)]);
+  LS2_CHECK(new_len >= 0 && new_len <= cfg_.max_len)
+      << "slot length " << new_len << " exceeds cache capacity " << cfg_.max_len;
+  lens_[static_cast<size_t>(slot)] = new_len;
+}
+
+void KvCache::set_src_len(int64_t slot, int32_t src_len) {
+  LS2_CHECK(cfg_.cross_len > 0) << "cache has no cross blocks";
+  LS2_CHECK(slot >= 0 && slot < cfg_.slots);
+  LS2_CHECK(src_len >= 0 && src_len <= cfg_.cross_len);
+  src_lens_host_[static_cast<size_t>(slot)] = src_len;
+  // The tensor view must track immediately: decoder PREFILL reads it for
+  // the cross-attention mask before any begin_decode refresh runs.
+  src_lens_.data<int32_t>()[slot] = src_len;
+}
+
+void KvCache::begin_decode() {
+  int32_t* pp = positions_.data<int32_t>();
+  int32_t* ap = attend_lens_.data<int32_t>();
+  int32_t* sp = src_lens_.data<int32_t>();
+  for (int64_t s = 0; s < cfg_.slots; ++s) {
+    const size_t i = static_cast<size_t>(s);
+    if (active_[i]) {
+      LS2_CHECK(lens_[i] < cfg_.max_len)
+          << "slot " << s << " is full (" << lens_[i] << "/" << cfg_.max_len
+          << ") — retire or cap generation length";
+      pp[s] = lens_[i];
+      ap[s] = lens_[i] + 1;
+      sp[s] = src_lens_host_[i];
+    } else {
+      // Free slots decode garbage into row 0 and attend nothing: their
+      // softmax rows are exact zeros and the engine ignores their output.
+      pp[s] = 0;
+      ap[s] = 0;
+      sp[s] = 0;
+    }
+  }
+}
+
+void KvCache::commit_decode() {
+  for (int64_t s = 0; s < cfg_.slots; ++s) {
+    const size_t i = static_cast<size_t>(s);
+    if (active_[i]) ++lens_[i];
+  }
+}
+
+void KvCache::reset() {
+  std::fill(active_.begin(), active_.end(), false);
+  std::fill(lens_.begin(), lens_.end(), 0);
+  std::fill(src_lens_host_.begin(), src_lens_host_.end(), 0);
+  src_lens_.zero_();  // the tensor view must track (prefill reads it directly)
+}
+
+}  // namespace ls2::infer

@@ -1,0 +1,101 @@
+// KV cache for incremental decoding (the serving half of the system; see
+// DESIGN.md §"Serving").
+//
+// Every layer's keys/values live in pre-allocated head-layout blocks
+// [slots, N, max_len, D], allocated ONCE at engine setup from the session's
+// permanent pool — zero device malloc/free traffic during serving, which is
+// what keeps the decode step capture-safe (the same discipline that
+// certifies the training arena for step graphs). A request is admitted into
+// a free slot, its prompt's K/V are written by prefill, each decode step
+// appends one row per slot, and retirement just frees the slot — eviction
+// is O(1) bookkeeping, the block is overwritten by the next occupant.
+//
+// The decode step always runs the FULL slot batch [slots, 1, H]: inactive
+// slots carry attend_lens = 0 (their softmax rows are exact zeros and their
+// outputs are ignored), so the step's kernel sequence and shapes are STATIC
+// — the property that lets SessionConfig::graph_capture replay the
+// steady-state decode loop as one graph launch.
+//
+// Encoder-decoder models additionally keep per-slot CROSS K/V blocks
+// [slots, N, cross_len, D] (cross_len > 0): written once at encode time,
+// read by every decode step — LightSeq's "compute the encoder projections
+// once" serving trick.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ls2::infer {
+
+struct KvCacheConfig {
+  int64_t layers = 0;    ///< decoder blocks with a self-attention K/V pair
+  int64_t heads = 0;
+  int64_t head_dim = 0;
+  int64_t slots = 0;     ///< max concurrently-resident sequences
+  int64_t max_len = 0;   ///< per-sequence K/V capacity (prompt + generated)
+  int64_t cross_len = 0; ///< >0: also hold per-slot cross K/V of this length
+  DType dtype = DType::kF32;
+
+  /// Total block bytes the cache reserves (self + cross K/V, all layers).
+  size_t bytes() const;
+};
+
+class KvCache {
+ public:
+  /// Reserves every block up front from `alloc` (the session's permanent
+  /// pool) and zero-fills them, so masked-off tail rows multiply through
+  /// attention as exact zeros, never NaN-producing garbage.
+  KvCache(KvCacheConfig cfg, BufferAllocator* alloc = nullptr);
+
+  const KvCacheConfig& config() const { return cfg_; }
+
+  // --- per-layer blocks (head layout) ---
+  const Tensor& k(int64_t layer) const { return k_[static_cast<size_t>(layer)]; }
+  const Tensor& v(int64_t layer) const { return v_[static_cast<size_t>(layer)]; }
+  const Tensor& cross_k(int64_t layer) const { return cross_k_[static_cast<size_t>(layer)]; }
+  const Tensor& cross_v(int64_t layer) const { return cross_v_[static_cast<size_t>(layer)]; }
+
+  // --- decode-step views (i32 [slots], host-updated graph parameters) ---
+  /// Append index per slot this step (= tokens already cached; 0 if free).
+  const Tensor& positions() const { return positions_; }
+  /// Rows the single query attends: positions + 1 for active slots, 0 for
+  /// free ones (their softmax rows come out as exact zeros).
+  const Tensor& attend_lens() const { return attend_lens_; }
+  /// Per-slot encoder lengths (cross-attention mask; cross_len > 0 only).
+  const Tensor& src_lens() const { return src_lens_; }
+
+  // --- slot lifecycle (host bookkeeping, no kernels) ---
+  /// Claim a free slot; -1 when every slot is occupied.
+  int64_t acquire_slot();
+  /// Retire a sequence: the slot becomes free immediately (its block is
+  /// simply overwritten by the next occupant).
+  void release_slot(int64_t slot);
+  bool slot_active(int64_t slot) const { return active_[static_cast<size_t>(slot)]; }
+  int64_t active_slots() const;
+  int64_t free_slots() const { return cfg_.slots - active_slots(); }
+
+  /// Cached length of a slot (prompt after prefill, +1 per decode commit).
+  int32_t len(int64_t slot) const { return lens_[static_cast<size_t>(slot)]; }
+  void set_len(int64_t slot, int32_t new_len);
+  void set_src_len(int64_t slot, int32_t src_len);
+
+  /// Refresh positions/attend_lens for the next decode step. Checks every
+  /// active slot still has capacity (len < max_len).
+  void begin_decode();
+  /// Account the row each active slot appended during the decode step.
+  void commit_decode();
+
+  /// Free every slot and zero all lengths (blocks keep their bytes).
+  void reset();
+
+ private:
+  KvCacheConfig cfg_;
+  std::vector<Tensor> k_, v_, cross_k_, cross_v_;
+  Tensor positions_, attend_lens_, src_lens_;  // heap i32 [slots]
+  std::vector<int32_t> lens_, src_lens_host_;
+  std::vector<bool> active_;
+};
+
+}  // namespace ls2::infer

@@ -146,6 +146,71 @@ void embedding_fw(KernelContext& kc, Impl impl, const Tensor& ids, const Tensor&
                 });
 }
 
+namespace {
+
+template <typename T>
+void embedding_decode_body(const Tensor& ids, const Tensor& emb, const Tensor& pos,
+                           const Tensor& positions, const Tensor& y, float scale,
+                           int32_t pad_id) {
+  const int64_t S = ids.numel();
+  const int64_t H = emb.shape()[1];
+  const int32_t* idp = ids.data<int32_t>();
+  const int32_t* posp = positions.data<int32_t>();
+  const T* ep = emb.data<T>();
+  const T* pp = pos.data<T>();
+  T* yp = y.data<T>();
+  parallel_for(0, S, [&](int64_t s) {
+    const int32_t w = idp[s];
+    T* yrow = yp + s * H;
+    if (w == pad_id) {
+      for (int64_t j = 0; j < H; ++j) yrow[j] = T(0.0f);
+      return;
+    }
+    LS2_CHECK(w >= 0 && w < emb.shape()[0]) << "token id " << w << " out of vocabulary";
+    LS2_CHECK(posp[s] >= 0 && posp[s] < pos.shape()[0])
+        << "decode position " << posp[s] << " beyond position table";
+    const T* erow = ep + static_cast<int64_t>(w) * H;
+    const T* prow = pp + static_cast<int64_t>(posp[s]) * H;
+    for (int64_t j = 0; j < H; ++j) {
+      const float v = scale * static_cast<float>(erow[j]) + static_cast<float>(prow[j]);
+      yrow[j] = T(v);
+    }
+  });
+}
+
+}  // namespace
+
+void embedding_decode_fw(KernelContext& kc, Impl impl, const Tensor& ids, const Tensor& emb,
+                         const Tensor& pos, const Tensor& positions, const Tensor& y,
+                         float scale, int32_t pad_id) {
+  LS2_CHECK(ids.dtype() == DType::kI32 && positions.dtype() == DType::kI32);
+  const int64_t S = ids.numel();
+  const int64_t H = emb.shape()[1];
+  LS2_CHECK_EQ(positions.numel(), S);
+  LS2_CHECK_EQ(y.numel(), S * H);
+  const int64_t act_bytes = static_cast<int64_t>(y.bytes());
+  const int64_t lookup_read =
+      S * (8 + 2 * H * static_cast<int64_t>(dtype_size(emb.dtype())));
+  auto body = [&, scale, pad_id] {
+    LS2_DISPATCH_FLOAT(emb.dtype(), T, embedding_decode_body<T>(ids, emb, pos, positions, y,
+                                                                scale, pad_id));
+  };
+  if (impl == Impl::kLS2) {
+    kc.dev.launch(desc("ls2.embedding_decode", lookup_read, act_bytes,
+                       static_cast<double>(S) * H * 2.0, 0.85),
+                  body);
+    return;
+  }
+  // Baseline: gather, scale, positional gather+add — three launches.
+  kc.dev.launch(desc("torch.embedding_lookup", lookup_read, act_bytes, 0, 0.70), nullptr);
+  kc.dev.launch(desc("torch.embedding_scale", act_bytes, act_bytes, static_cast<double>(S) * H,
+                     0.70),
+                nullptr);
+  kc.dev.launch(desc("torch.pos_add", 2 * act_bytes, act_bytes, static_cast<double>(S) * H,
+                     0.70),
+                body);
+}
+
 void embedding_bw(KernelContext& kc, Impl impl, const Tensor& dy, const Tensor& ids,
                   const Tensor& mask, const Tensor& d_emb, float scale, float p,
                   int32_t pad_id, bool zero_first) {

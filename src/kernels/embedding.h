@@ -25,6 +25,15 @@ void embedding_fw(KernelContext& kc, Impl impl, const Tensor& ids, const Tensor&
                   const Tensor& pos, const Tensor& y, const Tensor& mask, float scale,
                   float p, uint64_t stream, int32_t pad_id = -1);
 
+/// Single-token decode lookup (serving): ids [S, 1] i32, positions [S] i32
+/// (each slot's next position), y [S, 1, H]. Computes
+/// y(s) = scale * E[ids_s] + P[positions_s] with NO dropout (inference) —
+/// arithmetic matches embedding_fw at p = 0, so incremental decode is
+/// bitwise-identical to the full forward. pad ids produce zero rows.
+void embedding_decode_fw(KernelContext& kc, Impl impl, const Tensor& ids, const Tensor& emb,
+                         const Tensor& pos, const Tensor& positions, const Tensor& y,
+                         float scale, int32_t pad_id = -1);
+
 /// Accumulate token-embedding gradients into d_emb. `zero_first` zeroes the
 /// table in its own launch before scattering; pass false when the training
 /// step already zeroed all gradients (required for tied embeddings, where

@@ -1,0 +1,29 @@
+// Token-selection kernels for the serving engine (src/infer/).
+//
+// Both kernels operate row-wise on a logits matrix [rows, vocab] and write
+// one token id per row. Sampling follows the counter-based RNG discipline
+// (tensor/random.h): the drawn token is a pure function of
+// (seed, stream, row), so a decode step replayed from a captured graph
+// samples bitwise the tokens its eager twin would — the stream advances
+// OUTSIDE the graph via KernelContext::begin_step_rng, exactly like the
+// dropout sites.
+#pragma once
+
+#include "kernels/dropout.h"  // Impl
+#include "kernels/kernel_context.h"
+
+namespace ls2::kern {
+
+/// Greedy decoding: out[r] = argmax_j logits[r, j] (ties -> lowest id).
+/// logits: [rows, V] f32/f16; out: [rows] i32. One reduction launch.
+void argmax_rows(KernelContext& kc, Impl impl, const Tensor& logits, const Tensor& out);
+
+/// Temperature + top-k sampling: per row, keep the k largest logits
+/// (k <= 0 or k >= V keeps all), softmax them at `temperature`, and draw by
+/// inverse CDF with u = rng.uniform(stream, row). Fused single launch under
+/// kLS2 (filter + softmax + draw resident); baselines charge the
+/// top-k partition and the categorical draw as separate launches.
+void sample_topk(KernelContext& kc, Impl impl, const Tensor& logits, const Tensor& out,
+                 int64_t k, float temperature, uint64_t stream);
+
+}  // namespace ls2::kern

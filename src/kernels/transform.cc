@@ -147,6 +147,83 @@ void merge_heads_fw(KernelContext& kc, Impl impl, const Tensor& x, const Tensor&
                 [&] { LS2_DISPATCH_FLOAT(x.dtype(), T, merge_body<T>({x}, y)); });
 }
 
+namespace {
+
+// Scatter [B, N, Lq, D] head rows into cache slots [S, N, Lmax, D]:
+// row l of batch item b lands at cache row start_b + l of slot slot_b.
+// `slot_ids` maps batch row -> slot (nullptr: slot s = row s, the decode
+// full-slot batch); `positions` gives the start row per batch item
+// (nullptr: 0, the prefill case).
+template <typename T>
+void kv_scatter_body(const Tensor& src, const Tensor& cache, const Tensor* slot_ids,
+                     const Tensor* positions) {
+  const int64_t N = src.shape()[1], Lq = src.shape()[2], D = src.shape()[3];
+  const int64_t Lmax = cache.shape()[2];
+  const int32_t* sp = slot_ids ? slot_ids->data<int32_t>() : nullptr;
+  const int32_t* pp = positions ? positions->data<int32_t>() : nullptr;
+  const T* xp = src.data<T>();
+  T* cp = cache.data<T>();
+  parallel_for(0, src.shape()[0] * N, [&](int64_t bn) {
+    const int64_t b = bn / N, n = bn % N;
+    const int64_t slot = sp ? sp[b] : b;
+    const int64_t start = pp ? pp[b] : 0;
+    LS2_CHECK(slot >= 0 && slot < cache.shape()[0]) << "kv cache slot out of range";
+    LS2_CHECK(start >= 0 && start + Lq <= Lmax) << "kv cache overflow: slot " << slot;
+    const T* srow = xp + (bn * Lq) * D;
+    T* crow = cp + ((slot * N + n) * Lmax + start) * D;
+    std::memcpy(crow, srow, static_cast<size_t>(Lq * D) * sizeof(T));
+  });
+}
+
+void kv_write(KernelContext& kc, Impl impl, const char* tag, const Tensor& k_new,
+              const Tensor& v_new, const Tensor& k_cache, const Tensor& v_cache,
+              const Tensor* slots, const Tensor* positions) {
+  LS2_CHECK_EQ(k_new.shape().rank(), 4);
+  LS2_CHECK(k_new.shape() == v_new.shape());
+  LS2_CHECK(k_cache.shape() == v_cache.shape());
+  LS2_CHECK_EQ(k_new.shape()[1], k_cache.shape()[1]);
+  LS2_CHECK_EQ(k_new.shape()[3], k_cache.shape()[3]);
+  const int64_t nb = static_cast<int64_t>(k_new.bytes());
+  auto body = [&] {
+    LS2_DISPATCH_FLOAT(k_new.dtype(), T, {
+      kv_scatter_body<T>(k_new, k_cache, slots, positions);
+      kv_scatter_body<T>(v_new, v_cache, slots, positions);
+    });
+  };
+  if (impl == Impl::kLS2) {
+    kc.dev.launch(desc(std::string("ls2.") + tag, 2 * nb + k_new.shape()[0] * 8, 2 * nb,
+                       kFusedTransposeEff),
+                  body);
+    return;
+  }
+  // Baseline: one strided copy launch per tensor.
+  kc.dev.launch(desc(std::string("torch.") + tag + "_k", nb, nb, kBaselineTransposeEff),
+                nullptr);
+  kc.dev.launch(desc(std::string("torch.") + tag + "_v", nb, nb, kBaselineTransposeEff),
+                body);
+}
+
+}  // namespace
+
+void kv_cache_store(KernelContext& kc, Impl impl, const Tensor& k_new, const Tensor& v_new,
+                    const Tensor& k_cache, const Tensor& v_cache, const Tensor& slots) {
+  LS2_CHECK(slots.dtype() == DType::kI32);
+  LS2_CHECK_EQ(slots.numel(), k_new.shape()[0]);
+  kv_write(kc, impl, "kv_cache_store", k_new, v_new, k_cache, v_cache, &slots,
+           /*positions=*/nullptr);
+}
+
+void kv_cache_append(KernelContext& kc, Impl impl, const Tensor& k_new, const Tensor& v_new,
+                     const Tensor& k_cache, const Tensor& v_cache, const Tensor& positions) {
+  LS2_CHECK(positions.dtype() == DType::kI32);
+  LS2_CHECK_EQ(k_new.shape()[2], 1) << "append writes one token per slot";
+  LS2_CHECK_EQ(k_new.shape()[0], k_cache.shape()[0])
+      << "decode appends run at full slot batch";
+  LS2_CHECK_EQ(positions.numel(), k_new.shape()[0]);
+  kv_write(kc, impl, "kv_cache_append", k_new, v_new, k_cache, v_cache, /*slots=*/nullptr,
+           &positions);
+}
+
 void merge_heads_bw(KernelContext& kc, Impl impl, const Tensor& dy, const Tensor& dx) {
   LS2_CHECK_EQ(dx.shape().rank(), 4);
   LS2_CHECK_EQ(dy.numel(), dx.numel());

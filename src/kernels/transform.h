@@ -30,4 +30,21 @@ void merge_heads_fw(KernelContext& kc, Impl impl, const Tensor& x, const Tensor&
 /// [B, L, H] -> [B, N, L, D].
 void merge_heads_bw(KernelContext& kc, Impl impl, const Tensor& dy, const Tensor& dx);
 
+// --- KV-cache layout kernels (incremental decoding, src/infer/) ---
+//
+// The cache keeps each layer's keys/values in head layout [S, N, Lmax, D]
+// (S pre-allocated request slots). Writes are strided row scatters; under
+// kLS2 keys and values move in ONE fused launch, baselines charge one copy
+// kernel per tensor.
+
+/// Prefill write: k_new/v_new [B, N, Lq, D] land in cache slots
+/// `slots` (i32 [B]) at rows [0, Lq).
+void kv_cache_store(KernelContext& kc, Impl impl, const Tensor& k_new, const Tensor& v_new,
+                    const Tensor& k_cache, const Tensor& v_cache, const Tensor& slots);
+
+/// Decode append: k_new/v_new [S, N, 1, D] land in cache row
+/// `positions[s]` (i32 [S]) of slot s — one token per slot per step.
+void kv_cache_append(KernelContext& kc, Impl impl, const Tensor& k_new, const Tensor& v_new,
+                     const Tensor& k_cache, const Tensor& v_cache, const Tensor& positions);
+
 }  // namespace ls2::kern

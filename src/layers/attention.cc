@@ -111,6 +111,49 @@ Tensor AttentionCore::forward(LayerContext& ctx, const Tensor& q, const Tensor& 
   return y;
 }
 
+Tensor AttentionCore::infer_forward(LayerContext& ctx, const Tensor& q, const Tensor& k,
+                                    const Tensor& v, const Tensor& residual,
+                                    const Tensor* key_lens, bool causal) {
+  const int64_t B = q.shape()[0], N = q.shape()[1], Lq = q.shape()[2], D = q.shape()[3];
+  const int64_t Lk = k.shape()[2];
+  const int64_t H = N * D;
+  const DType dt = q.dtype();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(D));
+  const Policy& pol = ctx.policy;
+
+  // Scores and masked softmax. With cache blocks Lk = Lmax and key_lens
+  // bounds the valid prefix; masked tail rows contribute exact zeros.
+  Tensor scores = ctx.alloc({B, N, Lq, Lk}, dt);
+  gemm::device_gemm_batched(ctx.device(), false, true, Lq, Lk, D, scale, q, Lq * D, k,
+                            Lk * D, 0.0f, scores, Lq * Lk, B * N, "attn.scores");
+  Tensor probs = ctx.alloc({B, N, Lq, Lk}, dt);
+  kern::attn_softmax_fw(ctx.kern, pol.softmax, scores, probs, causal, key_lens);
+
+  // Context and head merge (no attention dropout at inference).
+  Tensor ctx_h = ctx.alloc({B, N, Lq, D}, dt);
+  gemm::device_gemm_batched(ctx.device(), false, false, Lq, D, Lk, 1.0f, probs, Lq * Lk, v,
+                            Lk * D, 0.0f, ctx_h, Lq * D, B * N, "attn.context");
+  Tensor merged = ctx.alloc({B, Lq, H}, dt);
+  kern::merge_heads_fw(ctx.kern, pol.transform, ctx_h, merged);
+
+  // Output projection + bias/residual. The dropout kernels run at p = 0
+  // (identity, all-ones masks) so the serving path stays bitwise-identical
+  // to the training forward under zero dropout — the parity contract
+  // tests/infer_test.cc checks.
+  Tensor out = ctx.alloc({B, Lq, H}, dt);
+  linear_fw(ctx, merged, params_->value(w_out_), out, "attn.out_proj");
+  Tensor y = ctx.alloc({B, Lq, H}, dt);
+  Tensor out_mask = ctx.alloc({B, Lq, H}, DType::kU8);
+  if (pol.fused_elementwise) {
+    kern::fused::bias_dropout_residual_fw(ctx.kern, out, params_->value(b_out_), residual, y,
+                                          out_mask, 0.0f, ctx.kern.next_dropout_stream());
+  } else {
+    kern::baseline::add_bias(ctx.kern, out, params_->value(b_out_), out);
+    kern::baseline::add(ctx.kern, out, residual, y);
+  }
+  return y;
+}
+
 AttentionCore::CoreGrads AttentionCore::backward(LayerContext& ctx, const Tensor& dy) {
   LS2_CHECK(saved_.has_value()) << "backward without forward";
   Saved& s = *saved_;
@@ -232,6 +275,64 @@ Tensor SelfAttention::backward(LayerContext& ctx, const Tensor& dy) {
   return dx;
 }
 
+Tensor SelfAttention::prefill(LayerContext& ctx, const Tensor& x, const Tensor* key_lens,
+                              Tensor* k_out, Tensor* v_out) {
+  LS2_CHECK_EQ(x.shape().rank(), 3);
+  const int64_t B = x.shape()[0], L = x.shape()[1], H = x.shape()[2];
+  LS2_CHECK_EQ(H, cfg_.hidden);
+  const int64_t N = cfg_.heads, D = cfg_.head_dim();
+  const DType dt = x.dtype();
+
+  Tensor ln = ctx.alloc({B, L, H}, dt);
+  Tensor mean = ctx.alloc({B * L}, DType::kF32);
+  Tensor rstd = ctx.alloc({B * L}, DType::kF32);
+  kern::layernorm_fw(ctx.kern, ctx.policy.layernorm, x, params_->value(ln_gamma_),
+                     params_->value(ln_beta_), ln, mean, rstd);
+
+  Tensor qkv = ctx.alloc({B, L, 3 * H}, dt);
+  linear_fw(ctx, ln, params_->value(w_qkv_), qkv, "attn.qkv_proj");
+
+  Tensor q = ctx.alloc({B, N, L, D}, dt);
+  Tensor k = ctx.alloc({B, N, L, D}, dt);
+  Tensor v = ctx.alloc({B, N, L, D}, dt);
+  kern::bias_split_transpose_fw(ctx.kern, ctx.policy.transform, qkv, params_->value(b_qkv_),
+                                {q, k, v});
+  if (k_out) *k_out = k;
+  if (v_out) *v_out = v;
+  return core_.infer_forward(ctx, q, k, v, /*residual=*/x, key_lens, cfg_.causal);
+}
+
+Tensor SelfAttention::decode_step(LayerContext& ctx, const Tensor& x, const Tensor& k_cache,
+                                  const Tensor& v_cache, const Tensor& positions,
+                                  const Tensor& attend_lens) {
+  const int64_t S = x.shape()[0], H = x.shape()[2];
+  LS2_CHECK_EQ(x.shape()[1], 1) << "decode_step takes one token per slot";
+  LS2_CHECK_EQ(H, cfg_.hidden);
+  const int64_t N = cfg_.heads, D = cfg_.head_dim();
+  const DType dt = x.dtype();
+
+  Tensor ln = ctx.alloc({S, 1, H}, dt);
+  Tensor mean = ctx.alloc({S}, DType::kF32);
+  Tensor rstd = ctx.alloc({S}, DType::kF32);
+  kern::layernorm_fw(ctx.kern, ctx.policy.layernorm, x, params_->value(ln_gamma_),
+                     params_->value(ln_beta_), ln, mean, rstd);
+
+  Tensor qkv = ctx.alloc({S, 1, 3 * H}, dt);
+  linear_fw(ctx, ln, params_->value(w_qkv_), qkv, "attn.qkv_proj");
+
+  Tensor q = ctx.alloc({S, N, 1, D}, dt);
+  Tensor k = ctx.alloc({S, N, 1, D}, dt);
+  Tensor v = ctx.alloc({S, N, 1, D}, dt);
+  kern::bias_split_transpose_fw(ctx.kern, ctx.policy.transform, qkv, params_->value(b_qkv_),
+                                {q, k, v});
+
+  // The new token's K/V must be resident in the cache before the scores
+  // GEMM — the single query then attends rows [0, attend_lens[s]).
+  kern::kv_cache_append(ctx.kern, ctx.policy.transform, k, v, k_cache, v_cache, positions);
+  return core_.infer_forward(ctx, q, k_cache, v_cache, /*residual=*/x, &attend_lens,
+                             /*causal=*/false);
+}
+
 void SelfAttention::release() {
   saved_.reset();
   core_.release();
@@ -304,6 +405,26 @@ Tensor CrossAttention::backward(LayerContext& ctx, const Tensor& dy, const Tenso
                      /*residual_grad=*/&dy);
   release();
   return dx;
+}
+
+Tensor CrossAttention::infer_forward(LayerContext& ctx, const Tensor& x, const Tensor& k,
+                                     const Tensor& v, const Tensor* src_lens) {
+  const int64_t B = x.shape()[0], L = x.shape()[1], H = x.shape()[2];
+  const int64_t N = cfg_.heads, D = cfg_.head_dim();
+  const DType dt = x.dtype();
+
+  Tensor ln = ctx.alloc({B, L, H}, dt);
+  Tensor mean = ctx.alloc({B * L}, DType::kF32);
+  Tensor rstd = ctx.alloc({B * L}, DType::kF32);
+  kern::layernorm_fw(ctx.kern, ctx.policy.layernorm, x, params_->value(ln_gamma_),
+                     params_->value(ln_beta_), ln, mean, rstd);
+
+  Tensor q_gemm = ctx.alloc({B, L, H}, dt);
+  linear_fw(ctx, ln, params_->value(w_q_), q_gemm, "attn.q_proj");
+  Tensor q = ctx.alloc({B, N, L, D}, dt);
+  kern::bias_split_transpose_fw(ctx.kern, ctx.policy.transform, q_gemm,
+                                params_->value(b_q_), {q});
+  return core_.infer_forward(ctx, q, k, v, /*residual=*/x, src_lens, /*causal=*/false);
 }
 
 void CrossAttention::release() {

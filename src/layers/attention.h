@@ -39,6 +39,14 @@ class AttentionCore {
   Tensor forward(LayerContext& ctx, const Tensor& q, const Tensor& k, const Tensor& v,
                  const Tensor& residual, const Tensor* key_lens);
 
+  /// Inference-only forward (serving): same math as forward at dropout p = 0,
+  /// nothing saved for backward. `causal` is explicit because cached decode
+  /// attends a single query over [0, len) — causal masking is encoded in
+  /// key_lens there, while prefill keeps the config's causal mask. k/v may be
+  /// KV-cache blocks [S, N, Lmax, D] whose tail rows key_lens masks off.
+  Tensor infer_forward(LayerContext& ctx, const Tensor& q, const Tensor& k, const Tensor& v,
+                       const Tensor& residual, const Tensor* key_lens, bool causal);
+
   /// Returns (dq, dk, dv) in head layout plus d_residual == dy contribution
   /// handled by the caller adding `dy` into its input gradient.
   struct CoreGrads {
@@ -74,6 +82,24 @@ class SelfAttention {
   Tensor backward(LayerContext& ctx, const Tensor& dy);
   void release();
 
+  // --- serving (inference-only, no dropout, nothing saved) ---
+
+  /// Full-prompt prefill: causal (per config) attention over x [B, Lp, H];
+  /// `key_lens` masks right-padded prompts. The projected K/V (head layout
+  /// [B, N, Lp, D]) are handed back through `k_out`/`v_out` for the caller
+  /// to scatter into its KV cache (kern::kv_cache_store).
+  Tensor prefill(LayerContext& ctx, const Tensor& x, const Tensor* key_lens,
+                 Tensor* k_out = nullptr, Tensor* v_out = nullptr);
+
+  /// Single-query cached decode: x [S, 1, H]. This step's K/V are appended
+  /// into the cache blocks (k_cache/v_cache [S, N, Lmax, D]) at row
+  /// `positions[s]` BEFORE the scores GEMM, and the query attends over
+  /// cache rows [0, attend_lens[s]) via the masked softmax — the causal
+  /// structure reduces to the key-length bound at Lq = 1.
+  Tensor decode_step(LayerContext& ctx, const Tensor& x, const Tensor& k_cache,
+                     const Tensor& v_cache, const Tensor& positions,
+                     const Tensor& attend_lens);
+
  private:
   AttentionConfig cfg_;
   ParamRegistry* params_;
@@ -96,6 +122,12 @@ class CrossAttention {
   /// Returns dx; ACCUMULATES key/value grads into dk/dv (head layout).
   Tensor backward(LayerContext& ctx, const Tensor& dy, const Tensor& dk, const Tensor& dv);
   void release();
+
+  /// Serving forward (no dropout, nothing saved): x [B, Lq, H] queries over
+  /// precomputed k/v — at decode time the per-slot cross K/V cache blocks
+  /// [S, N, Ls_max, D], masked by src_lens.
+  Tensor infer_forward(LayerContext& ctx, const Tensor& x, const Tensor& k, const Tensor& v,
+                       const Tensor* src_lens);
 
  private:
   AttentionConfig cfg_;

@@ -76,6 +76,13 @@ Tensor CriterionLayer::backward(LayerContext& ctx) {
   return dx;
 }
 
+Tensor CriterionLayer::infer_logits(LayerContext& ctx, const Tensor& x) {
+  const int64_t rows = x.shape()[0] * x.shape()[1];
+  Tensor logits = ctx.alloc({rows, cfg_.vocab}, x.dtype());
+  linear_fw(ctx, x, params_->value(proj_), logits, "criterion.proj");
+  return logits;
+}
+
 void CriterionLayer::release() { saved_.reset(); }
 
 }  // namespace ls2::layers

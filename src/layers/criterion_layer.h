@@ -37,6 +37,12 @@ class CriterionLayer {
   Tensor backward(LayerContext& ctx);
   void release();
 
+  /// Serving: just the output projection — logits [B*L, vocab] from
+  /// x [B, L, H], no loss, nothing saved. Shares the (possibly tied)
+  /// projection table with training, which is what makes a trained
+  /// checkpoint servable as-is (§V-B).
+  Tensor infer_logits(LayerContext& ctx, const Tensor& x);
+
  private:
   CriterionConfig cfg_;
   ParamRegistry* params_;

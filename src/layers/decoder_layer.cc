@@ -19,6 +19,27 @@ Tensor TransformerDecoderLayer::forward(LayerContext& ctx, const Tensor& x, cons
   return ffn_.forward(ctx, h);
 }
 
+Tensor TransformerDecoderLayer::prefill(LayerContext& ctx, const Tensor& x,
+                                        const Tensor* tgt_lens, const Tensor& cross_k,
+                                        const Tensor& cross_v, const Tensor* src_lens,
+                                        Tensor* k_out, Tensor* v_out) {
+  LS2_CHECK(ctx.policy.supports_decoder)
+      << system_name(ctx.policy.system) << " does not support decoder layers";
+  Tensor h = self_attn_.prefill(ctx, x, tgt_lens, k_out, v_out);
+  h = cross_attn_.infer_forward(ctx, h, cross_k, cross_v, src_lens);
+  return ffn_.infer_forward(ctx, h);
+}
+
+Tensor TransformerDecoderLayer::decode_step(LayerContext& ctx, const Tensor& x,
+                                            const Tensor& k_cache, const Tensor& v_cache,
+                                            const Tensor& positions,
+                                            const Tensor& attend_lens, const Tensor& cross_k,
+                                            const Tensor& cross_v, const Tensor* src_lens) {
+  Tensor h = self_attn_.decode_step(ctx, x, k_cache, v_cache, positions, attend_lens);
+  h = cross_attn_.infer_forward(ctx, h, cross_k, cross_v, src_lens);
+  return ffn_.infer_forward(ctx, h);
+}
+
 Tensor TransformerDecoderLayer::backward(LayerContext& ctx, const Tensor& dy,
                                          const Tensor& dk, const Tensor& dv) {
   Tensor dh = ffn_.backward(ctx, dy);

@@ -28,6 +28,21 @@ class TransformerDecoderLayer {
   Tensor backward(LayerContext& ctx, const Tensor& dy, const Tensor& dk, const Tensor& dv);
   void release();
 
+  // --- serving (inference-only; see layers/attention.h) ---
+
+  /// Prefill the target prefix: causal self-attention (K/V returned for the
+  /// cache), cross attention over the per-slot cross K/V blocks
+  /// (cross_k/cross_v [S, N, Ls_max, D], masked by src_lens), FFN.
+  Tensor prefill(LayerContext& ctx, const Tensor& x, const Tensor* tgt_lens,
+                 const Tensor& cross_k, const Tensor& cross_v, const Tensor* src_lens,
+                 Tensor* k_out = nullptr, Tensor* v_out = nullptr);
+  /// Single-token cached decode: self-attention over the growing cache,
+  /// cross attention over the static per-slot cross K/V.
+  Tensor decode_step(LayerContext& ctx, const Tensor& x, const Tensor& k_cache,
+                     const Tensor& v_cache, const Tensor& positions,
+                     const Tensor& attend_lens, const Tensor& cross_k,
+                     const Tensor& cross_v, const Tensor* src_lens);
+
  private:
   SelfAttention self_attn_;
   CrossAttention cross_attn_;

@@ -19,17 +19,21 @@ EmbeddingLayer::EmbeddingLayer(ParamRegistry& params, const std::string& prefix,
   }
 }
 
+void EmbeddingLayer::ensure_positions() {
+  const Tensor table = params_->value(table_);
+  if (pos_.defined() && pos_.dtype() == table.dtype()) return;
+  Tensor pos_f32 = Tensor::empty({cfg_.max_len, cfg_.hidden}, DType::kF32);
+  kern::init_sinusoidal_positions(pos_f32);
+  pos_ = Tensor::empty({cfg_.max_len, cfg_.hidden}, table.dtype());
+  pos_.copy_from(pos_f32.to_vector());
+}
+
 Tensor EmbeddingLayer::forward(LayerContext& ctx, const Tensor& ids) {
   LS2_CHECK(ids.dtype() == DType::kI32);
   const int64_t B = ids.shape()[0], L = ids.shape()[-1];
   LS2_CHECK_LE(L, cfg_.max_len);
   const Tensor table = params_->value(table_);
-  if (!pos_.defined() || pos_.dtype() != table.dtype()) {
-    Tensor pos_f32 = Tensor::empty({cfg_.max_len, cfg_.hidden}, DType::kF32);
-    kern::init_sinusoidal_positions(pos_f32);
-    pos_ = Tensor::empty({cfg_.max_len, cfg_.hidden}, table.dtype());
-    pos_.copy_from(pos_f32.to_vector());
-  }
+  ensure_positions();
   Tensor y = ctx.alloc({B, L, cfg_.hidden}, table.dtype());
   Tensor mask = ctx.alloc({B, L, cfg_.hidden}, DType::kU8);
   const float scale = std::sqrt(static_cast<float>(cfg_.hidden));
@@ -37,6 +41,34 @@ Tensor EmbeddingLayer::forward(LayerContext& ctx, const Tensor& ids) {
                      pos_.slice(0, L), y, mask, scale, cfg_.dropout,
                      ctx.kern.next_dropout_stream(), cfg_.pad_id);
   saved_ = Saved{ids, mask};
+  return y;
+}
+
+Tensor EmbeddingLayer::prefill(LayerContext& ctx, const Tensor& ids) {
+  LS2_CHECK(ids.dtype() == DType::kI32);
+  const int64_t B = ids.shape()[0], L = ids.shape()[-1];
+  LS2_CHECK_LE(L, cfg_.max_len);
+  const Tensor table = params_->value(table_);
+  ensure_positions();
+  Tensor y = ctx.alloc({B, L, cfg_.hidden}, table.dtype());
+  Tensor mask = ctx.alloc({B, L, cfg_.hidden}, DType::kU8);
+  const float scale = std::sqrt(static_cast<float>(cfg_.hidden));
+  kern::embedding_fw(ctx.kern, ctx.policy.embedding, ids, table, pos_.slice(0, L), y, mask,
+                     scale, /*p=*/0.0f, ctx.kern.next_dropout_stream(), cfg_.pad_id);
+  return y;
+}
+
+Tensor EmbeddingLayer::decode_step(LayerContext& ctx, const Tensor& ids,
+                                   const Tensor& positions) {
+  LS2_CHECK(ids.dtype() == DType::kI32);
+  const int64_t S = ids.shape()[0];
+  LS2_CHECK_EQ(ids.numel(), S) << "decode_step takes one token per slot";
+  const Tensor table = params_->value(table_);
+  ensure_positions();
+  Tensor y = ctx.alloc({S, 1, cfg_.hidden}, table.dtype());
+  const float scale = std::sqrt(static_cast<float>(cfg_.hidden));
+  kern::embedding_decode_fw(ctx.kern, ctx.policy.embedding, ids, table, pos_, positions, y,
+                            scale, cfg_.pad_id);
   return y;
 }
 

@@ -33,12 +33,21 @@ class EmbeddingLayer {
   void backward(LayerContext& ctx, const Tensor& dy);
   void release();
 
+  /// Serving prefill: the forward lookup at dropout p = 0, nothing saved.
+  Tensor prefill(LayerContext& ctx, const Tensor& ids);
+  /// Serving decode: one token per slot (ids [S, 1]) at per-slot positions
+  /// (i32 [S] — each sequence's next index), no dropout.
+  Tensor decode_step(LayerContext& ctx, const Tensor& ids, const Tensor& positions);
+
   /// The token table parameter — shared with the output projection when
   /// embeddings are tied.
   ParamRef table() const { return table_; }
   const EmbeddingConfig& config() const { return cfg_; }
 
  private:
+  /// Build pos_ for the table's dtype if not already present.
+  void ensure_positions();
+
   EmbeddingConfig cfg_;
   ParamRegistry* params_;
   ParamRef table_;

@@ -14,6 +14,21 @@ Tensor TransformerEncoderLayer::forward(LayerContext& ctx, const Tensor& x,
   return ffn_.forward(ctx, h);
 }
 
+Tensor TransformerEncoderLayer::prefill(LayerContext& ctx, const Tensor& x,
+                                        const Tensor* key_lens, Tensor* k_out,
+                                        Tensor* v_out) {
+  Tensor h = attn_.prefill(ctx, x, key_lens, k_out, v_out);
+  return ffn_.infer_forward(ctx, h);
+}
+
+Tensor TransformerEncoderLayer::decode_step(LayerContext& ctx, const Tensor& x,
+                                            const Tensor& k_cache, const Tensor& v_cache,
+                                            const Tensor& positions,
+                                            const Tensor& attend_lens) {
+  Tensor h = attn_.decode_step(ctx, x, k_cache, v_cache, positions, attend_lens);
+  return ffn_.infer_forward(ctx, h);
+}
+
 Tensor TransformerEncoderLayer::backward(LayerContext& ctx, const Tensor& dy) {
   Tensor dh = ffn_.backward(ctx, dy);
   return attn_.backward(ctx, dh);

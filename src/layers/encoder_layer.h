@@ -49,6 +49,17 @@ class TransformerEncoderLayer {
   Tensor backward(LayerContext& ctx, const Tensor& dy);
   void release();
 
+  // --- serving (inference-only; see layers/attention.h) ---
+
+  /// Prefill: dropout-free forward; this layer's projected K/V come back
+  /// through k_out/v_out for the caller's cache.
+  Tensor prefill(LayerContext& ctx, const Tensor& x, const Tensor* key_lens,
+                 Tensor* k_out = nullptr, Tensor* v_out = nullptr);
+  /// Single-token cached decode over this layer's cache blocks.
+  Tensor decode_step(LayerContext& ctx, const Tensor& x, const Tensor& k_cache,
+                     const Tensor& v_cache, const Tensor& positions,
+                     const Tensor& attend_lens);
+
  private:
   SelfAttention attn_;
   FeedForward ffn_;

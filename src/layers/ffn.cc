@@ -77,6 +77,57 @@ Tensor FeedForward::forward(LayerContext& ctx, const Tensor& x) {
   return y;
 }
 
+Tensor FeedForward::infer_forward(LayerContext& ctx, const Tensor& x) {
+  const int64_t B = x.shape()[0], L = x.shape()[1], H = x.shape()[2];
+  const int64_t F = cfg_.ffn_dim;
+  const DType dt = x.dtype();
+  const Policy& pol = ctx.policy;
+
+  Tensor ln = ctx.alloc({B, L, H}, dt);
+  Tensor mean = ctx.alloc({B * L}, DType::kF32);
+  Tensor rstd = ctx.alloc({B * L}, DType::kF32);
+  kern::layernorm_fw(ctx.kern, pol.layernorm, x, params_->value(ln_gamma_),
+                     params_->value(ln_beta_), ln, mean, rstd);
+
+  Tensor h1 = ctx.alloc({B, L, F}, dt);
+  linear_fw(ctx, ln, params_->value(w1_), h1, "ffn.fc1");
+
+  // Bias + activation; the dropout stage runs at p = 0 (identity) so the
+  // serving path is bitwise the training forward under zero dropout.
+  Tensor a = ctx.alloc({B, L, F}, dt);
+  if (pol.fused_elementwise) {
+    Tensor act_mask = ctx.alloc({B, L, F}, DType::kU8);
+    if (cfg_.activation == Activation::kRelu) {
+      kern::fused::bias_relu_dropout_fw(ctx.kern, h1, params_->value(b1_), a, act_mask, 0.0f,
+                                        ctx.kern.next_dropout_stream());
+    } else {
+      kern::fused::bias_gelu_dropout_fw(ctx.kern, h1, params_->value(b1_), a, act_mask, 0.0f,
+                                        ctx.kern.next_dropout_stream());
+    }
+  } else {
+    kern::baseline::add_bias(ctx.kern, h1, params_->value(b1_), h1);
+    if (cfg_.activation == Activation::kRelu) {
+      kern::baseline::relu_fw(ctx.kern, h1, a);
+    } else {
+      kern::baseline::gelu_fw(ctx.kern, h1, a);
+    }
+  }
+
+  Tensor h2 = ctx.alloc({B, L, H}, dt);
+  linear_fw(ctx, a, params_->value(w2_), h2, "ffn.fc2");
+
+  Tensor y = ctx.alloc({B, L, H}, dt);
+  if (pol.fused_elementwise) {
+    Tensor out_mask = ctx.alloc({B, L, H}, DType::kU8);
+    kern::fused::bias_dropout_residual_fw(ctx.kern, h2, params_->value(b2_), x, y, out_mask,
+                                          0.0f, ctx.kern.next_dropout_stream());
+  } else {
+    kern::baseline::add_bias(ctx.kern, h2, params_->value(b2_), h2);
+    kern::baseline::add(ctx.kern, h2, x, y);
+  }
+  return y;
+}
+
 Tensor FeedForward::backward(LayerContext& ctx, const Tensor& dy) {
   LS2_CHECK(saved_.has_value()) << "backward without forward";
   Saved& s = *saved_;

@@ -30,6 +30,9 @@ class FeedForward {
   Tensor backward(LayerContext& ctx, const Tensor& dy);
   void release();
 
+  /// Serving forward: same math at dropout p = 0, nothing saved.
+  Tensor infer_forward(LayerContext& ctx, const Tensor& x);
+
  private:
   FfnConfig cfg_;
   ParamRegistry* params_;

@@ -1,6 +1,9 @@
 #include "models/gpt2.h"
 
+#include <algorithm>
+
 #include "kernels/layernorm.h"
+#include "kernels/transform.h"
 
 namespace ls2::models {
 
@@ -95,6 +98,64 @@ void Gpt2::backward(layers::LayerContext& ctx) {
   embed_->backward(ctx, dh);
   params_.notify_grad_ready(embed_range_);  // tied LM-head table now final
   release();
+}
+
+infer::KvCacheConfig Gpt2::kv_cache_config(int64_t slots, int64_t max_len) const {
+  infer::KvCacheConfig kcfg;
+  kcfg.layers = cfg_.layers;
+  kcfg.heads = cfg_.heads;
+  kcfg.head_dim = cfg_.hidden / cfg_.heads;
+  kcfg.slots = slots;
+  kcfg.max_len = std::min<int64_t>(max_len, cfg_.max_len);
+  kcfg.dtype = params_.dtype();
+  return kcfg;
+}
+
+Tensor Gpt2::prefill(layers::LayerContext& ctx, const Tensor& ids, infer::KvCache* cache,
+                     const std::vector<int64_t>& slots, const Tensor* prompt_lens) {
+  const int64_t B = ids.shape()[0], L = ids.shape()[-1];
+  Tensor slot_ids;
+  if (cache) {
+    LS2_CHECK_EQ(static_cast<int64_t>(slots.size()), B);
+    slot_ids = Tensor::empty({B}, DType::kI32);  // heap: host-written metadata
+    int32_t* sp = slot_ids.data<int32_t>();
+    for (int64_t b = 0; b < B; ++b) sp[b] = static_cast<int32_t>(slots[static_cast<size_t>(b)]);
+  }
+  Tensor h = embed_->prefill(ctx, ids);
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    Tensor k_new, v_new;
+    h = blocks_[i]->prefill(ctx, h, prompt_lens, cache ? &k_new : nullptr,
+                            cache ? &v_new : nullptr);
+    if (cache) {
+      kern::kv_cache_store(ctx.kern, ctx.policy.transform, k_new, v_new,
+                           cache->k(static_cast<int64_t>(i)),
+                           cache->v(static_cast<int64_t>(i)), slot_ids);
+    }
+  }
+  Tensor out = ctx.alloc({B, L, cfg_.hidden}, params_.dtype());
+  Tensor mean = ctx.alloc({B * L}, DType::kF32);
+  Tensor rstd = ctx.alloc({B * L}, DType::kF32);
+  kern::layernorm_fw(ctx.kern, ctx.policy.layernorm, h, params_.value(ln_gamma_),
+                     params_.value(ln_beta_), out, mean, rstd);
+  return criterion_->infer_logits(ctx, out).view({B, L, cfg_.vocab});
+}
+
+Tensor Gpt2::decode_step(layers::LayerContext& ctx, const Tensor& ids,
+                         infer::KvCache& cache) {
+  const int64_t S = cache.config().slots;
+  LS2_CHECK_EQ(ids.shape()[0], S) << "decode runs the full slot batch";
+  Tensor h = embed_->decode_step(ctx, ids, cache.positions());
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    h = blocks_[i]->decode_step(ctx, h, cache.k(static_cast<int64_t>(i)),
+                                cache.v(static_cast<int64_t>(i)), cache.positions(),
+                                cache.attend_lens());
+  }
+  Tensor out = ctx.alloc({S, 1, cfg_.hidden}, params_.dtype());
+  Tensor mean = ctx.alloc({S}, DType::kF32);
+  Tensor rstd = ctx.alloc({S}, DType::kF32);
+  kern::layernorm_fw(ctx.kern, ctx.policy.layernorm, h, params_.value(ln_gamma_),
+                     params_.value(ln_beta_), out, mean, rstd);
+  return criterion_->infer_logits(ctx, out);  // [S, vocab]
 }
 
 void Gpt2::release() {

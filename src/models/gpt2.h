@@ -6,6 +6,7 @@
 #include <optional>
 #include <vector>
 
+#include "infer/kv_cache.h"
 #include "layers/criterion_layer.h"
 #include "layers/embedding_layer.h"
 #include "layers/encoder_layer.h"
@@ -40,6 +41,27 @@ class Gpt2 {
   layers::CriterionResult forward(layers::LayerContext& ctx, const LmBatch& batch);
   void backward(layers::LayerContext& ctx);
   void release();
+
+  // --- serving (inference-only: no dropout, nothing saved) ---
+
+  /// Cache geometry this model needs for `slots` concurrent sequences of up
+  /// to `max_len` tokens each (prompt + generated).
+  infer::KvCacheConfig kv_cache_config(int64_t slots, int64_t max_len) const;
+
+  /// Prefill: run prompts ids [B, Lp] (right-padded; `prompt_lens` i32 [B]
+  /// masks the padding, nullptr for unpadded) through the full causal stack
+  /// and return logits [B, Lp, vocab]. With `cache`, each layer's K/V are
+  /// scattered into cache slots `slots[b]` rows [0, Lp) — the caller then
+  /// records the true lengths via KvCache::set_len. With cache == nullptr
+  /// this doubles as the full re-forward reference of the parity tests.
+  Tensor prefill(layers::LayerContext& ctx, const Tensor& ids, infer::KvCache* cache,
+                 const std::vector<int64_t>& slots, const Tensor* prompt_lens = nullptr);
+
+  /// One incremental decode step over ALL cache slots: ids [S, 1] (the next
+  /// token per slot, pad for free slots), returns logits [S, vocab]. Static
+  /// shape every step — the graph-capturable serving region. The caller
+  /// brackets it with KvCache::begin_decode / commit_decode.
+  Tensor decode_step(layers::LayerContext& ctx, const Tensor& ids, infer::KvCache& cache);
 
   layers::ParamRegistry& params() { return params_; }
   const Gpt2Config& config() const { return cfg_; }

@@ -1,5 +1,7 @@
 #include "models/transformer.h"
 
+#include <algorithm>
+
 #include "gemm/gemm_device.h"
 #include "kernels/elementwise.h"
 #include "kernels/layernorm.h"
@@ -199,6 +201,97 @@ Tensor Transformer::cross_kv_backward(LayerContext& ctx, const std::vector<Tenso
     }
   }
   return d_enc;
+}
+
+infer::KvCacheConfig Transformer::kv_cache_config(int64_t slots, int64_t max_len,
+                                                  int64_t cross_len) const {
+  infer::KvCacheConfig kcfg;
+  kcfg.layers = cfg_.decoder_layers;
+  kcfg.heads = cfg_.heads;
+  kcfg.head_dim = cfg_.hidden / cfg_.heads;
+  kcfg.slots = slots;
+  kcfg.max_len = std::min<int64_t>(max_len, cfg_.max_len);
+  kcfg.cross_len = cross_len;
+  kcfg.dtype = params_.dtype();
+  return kcfg;
+}
+
+void Transformer::encode(LayerContext& ctx, const Tensor& src_ids, const Tensor& src_lens,
+                         infer::KvCache& cache) {
+  const int64_t B = src_ids.shape()[0], Ls = src_ids.shape()[1], H = cfg_.hidden;
+  LS2_CHECK_EQ(B, cache.config().slots) << "encode runs the full slot batch";
+  LS2_CHECK_LE(Ls, cache.config().cross_len);
+  const DType dt = params_.dtype();
+
+  Tensor h = src_embed_->prefill(ctx, src_ids);
+  for (auto& layer : encoder_) h = layer->prefill(ctx, h, &src_lens);
+  Tensor enc_out = ctx.alloc({B, Ls, H}, dt);
+  Tensor mean = ctx.alloc({B * Ls}, DType::kF32);
+  Tensor rstd = ctx.alloc({B * Ls}, DType::kF32);
+  kern::layernorm_fw(ctx.kern, ctx.policy.layernorm, h, params_.value(enc_ln_gamma_),
+                     params_.value(enc_ln_beta_), enc_out, mean, rstd);
+
+  // Layer-batched cross K/V (Fig. 5b), computed once per request and
+  // installed in the cache for every future decode step.
+  std::vector<Tensor> kv = project_cross_kv(ctx, enc_out);
+  Tensor slot_ids = Tensor::empty({B}, DType::kI32);  // heap: host metadata
+  int32_t* sp = slot_ids.data<int32_t>();
+  for (int64_t b = 0; b < B; ++b) sp[b] = static_cast<int32_t>(b);
+  const int32_t* lens = src_lens.data<int32_t>();
+  for (int64_t i = 0; i < cfg_.decoder_layers; ++i) {
+    kern::kv_cache_store(ctx.kern, ctx.policy.transform, kv[static_cast<size_t>(2 * i)],
+                         kv[static_cast<size_t>(2 * i + 1)], cache.cross_k(i),
+                         cache.cross_v(i), slot_ids);
+  }
+  for (int64_t b = 0; b < B; ++b) cache.set_src_len(b, lens[b]);
+}
+
+Tensor Transformer::prefill(LayerContext& ctx, const Tensor& tgt_in, infer::KvCache& cache,
+                            const Tensor* tgt_lens) {
+  const int64_t B = tgt_in.shape()[0], Lp = tgt_in.shape()[1], H = cfg_.hidden;
+  LS2_CHECK_EQ(B, cache.config().slots) << "prefill runs the full slot batch";
+  const DType dt = params_.dtype();
+
+  Tensor slot_ids = Tensor::empty({B}, DType::kI32);  // heap: host metadata
+  {
+    int32_t* sp = slot_ids.data<int32_t>();
+    for (int64_t b = 0; b < B; ++b) sp[b] = static_cast<int32_t>(b);
+  }
+  Tensor h = tgt_embed_->prefill(ctx, tgt_in);
+  for (size_t i = 0; i < decoder_.size(); ++i) {
+    Tensor k_new, v_new;
+    h = decoder_[i]->prefill(ctx, h, tgt_lens, cache.cross_k(static_cast<int64_t>(i)),
+                             cache.cross_v(static_cast<int64_t>(i)), &cache.src_lens(),
+                             &k_new, &v_new);
+    kern::kv_cache_store(ctx.kern, ctx.policy.transform, k_new, v_new,
+                         cache.k(static_cast<int64_t>(i)), cache.v(static_cast<int64_t>(i)),
+                         slot_ids);
+  }
+  Tensor out = ctx.alloc({B, Lp, H}, dt);
+  Tensor mean = ctx.alloc({B * Lp}, DType::kF32);
+  Tensor rstd = ctx.alloc({B * Lp}, DType::kF32);
+  kern::layernorm_fw(ctx.kern, ctx.policy.layernorm, h, params_.value(dec_ln_gamma_),
+                     params_.value(dec_ln_beta_), out, mean, rstd);
+  return criterion_->infer_logits(ctx, out).view({B, Lp, cfg_.vocab});
+}
+
+Tensor Transformer::decode_step(LayerContext& ctx, const Tensor& ids,
+                                infer::KvCache& cache) {
+  const int64_t S = cache.config().slots, H = cfg_.hidden;
+  LS2_CHECK_EQ(ids.shape()[0], S) << "decode runs the full slot batch";
+  Tensor h = tgt_embed_->decode_step(ctx, ids, cache.positions());
+  for (size_t i = 0; i < decoder_.size(); ++i) {
+    h = decoder_[i]->decode_step(ctx, h, cache.k(static_cast<int64_t>(i)),
+                                 cache.v(static_cast<int64_t>(i)), cache.positions(),
+                                 cache.attend_lens(), cache.cross_k(static_cast<int64_t>(i)),
+                                 cache.cross_v(static_cast<int64_t>(i)), &cache.src_lens());
+  }
+  Tensor out = ctx.alloc({S, 1, H}, params_.dtype());
+  Tensor mean = ctx.alloc({S}, DType::kF32);
+  Tensor rstd = ctx.alloc({S}, DType::kF32);
+  kern::layernorm_fw(ctx.kern, ctx.policy.layernorm, h, params_.value(dec_ln_gamma_),
+                     params_.value(dec_ln_beta_), out, mean, rstd);
+  return criterion_->infer_logits(ctx, out);  // [S, vocab]
 }
 
 layers::CriterionResult Transformer::forward(LayerContext& ctx, const MtBatch& batch) {

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/check.h"
 
 namespace ls2::simgpu {
 
@@ -71,6 +75,49 @@ int64_t Timeline::peak_memory_bytes() const {
   int64_t peak = 0;
   for (const MemorySample& s : memory_) peak = std::max(peak, s.bytes);
   return peak;
+}
+
+void Timeline::write_chrome_trace(const std::string& path) const {
+  std::ofstream out(path);
+  LS2_CHECK(out.good()) << "cannot open " << path;
+  out << "{\"traceEvents\":[\n";
+  char buf[256];
+  bool first = true;
+  auto emit = [&](const char* text) {
+    if (!first) out << ",\n";
+    first = false;
+    out << text;
+  };
+  // Track names (one fake process, one thread per stream).
+  emit("{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"thread_name\","
+       "\"args\":{\"name\":\"compute stream\"}}");
+  emit("{\"ph\":\"M\",\"pid\":0,\"tid\":1,\"name\":\"thread_name\","
+       "\"args\":{\"name\":\"comm stream\"}}");
+  // Complete ("X") events per busy/comm span; ts/dur are microseconds,
+  // which is exactly the simulated clock's unit.
+  for (const BusySpan& s : busy_) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"X\",\"pid\":0,\"tid\":0,\"name\":\"busy\","
+                  "\"ts\":%.3f,\"dur\":%.3f}",
+                  s.begin_us, s.end_us - s.begin_us);
+    emit(buf);
+  }
+  for (const BusySpan& s : comm_) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"X\",\"pid\":0,\"tid\":1,\"name\":\"comm\","
+                  "\"ts\":%.3f,\"dur\":%.3f}",
+                  s.begin_us, s.end_us - s.begin_us);
+    emit(buf);
+  }
+  // Memory watermark as a counter series (renders as an area chart).
+  for (const MemorySample& m : memory_) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"C\",\"pid\":0,\"name\":\"memory\",\"ts\":%.3f,"
+                  "\"args\":{\"bytes_in_use\":%lld}}",
+                  m.t_us, static_cast<long long>(m.bytes));
+    emit(buf);
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
 }
 
 void Timeline::clear() {

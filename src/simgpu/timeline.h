@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace ls2::simgpu {
@@ -29,7 +30,14 @@ class Timeline {
   void record_comm(double begin_us, double end_us);
 
   const std::vector<MemorySample>& memory_samples() const { return memory_; }
+  const std::vector<BusySpan>& busy_spans() const { return busy_; }
   const std::vector<BusySpan>& comm_spans() const { return comm_; }
+
+  /// Export the recording as a Chrome trace_event JSON (open in
+  /// chrome://tracing or Perfetto): compute-stream busy spans on one track,
+  /// comm-stream transfers on a second, memory-in-use as a counter series.
+  /// Timestamps are the simulated-device microseconds recorded here.
+  void write_chrome_trace(const std::string& path) const;
 
   /// Memory in use at the end of each fixed-width bucket (carry-forward).
   std::vector<int64_t> memory_series(double bucket_us, double horizon_us) const;

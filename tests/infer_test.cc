@@ -1,0 +1,655 @@
+// Serving subsystem tests: KV-cache bookkeeping, bitwise parity of cached
+// incremental decoding against the full re-forward (GPT-2 and the
+// encoder-decoder Transformer, padded batches included), checkpoint
+// round-trips into a fresh inference session, and the continuous-batching
+// engine (graph-replayed decode, continuous >= 1.5x static throughput).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "core/lightseq2.h"
+#include "kernels/sampling.h"
+#include "kernels/transform.h"
+
+namespace ls2::infer {
+namespace {
+
+using core::Session;
+using core::SessionConfig;
+using layers::System;
+
+models::Gpt2Config tiny_gpt2(float dropout = 0.1f) {
+  models::Gpt2Config cfg;
+  cfg.vocab = 48;
+  cfg.hidden = 16;
+  cfg.heads = 2;
+  cfg.ffn_dim = 32;
+  cfg.layers = 2;
+  cfg.max_len = 32;
+  cfg.dropout = dropout;
+  return cfg;
+}
+
+SessionConfig ls2_session(DType dtype = DType::kF32) {
+  SessionConfig sc;
+  sc.system = System::kLightSeq2;
+  sc.dtype = dtype;
+  return sc;
+}
+
+/// Random non-pad token ids [B, L] on the heap.
+Tensor random_ids(int64_t B, int64_t L, int64_t vocab, uint64_t seed) {
+  Tensor t = Tensor::empty({B, L}, DType::kI32);
+  Rng rng(seed);
+  rng.fill_randint(t, 77, 3, vocab);
+  return t;
+}
+
+/// Column t of ids [B, L] as a [B, 1] tensor.
+Tensor column(const Tensor& ids, int64_t t) {
+  const int64_t B = ids.shape()[0], L = ids.shape()[1];
+  Tensor c = Tensor::empty({B, 1}, DType::kI32);
+  const int32_t* ip = ids.data<int32_t>();
+  int32_t* cp = c.data<int32_t>();
+  for (int64_t b = 0; b < B; ++b) cp[b] = ip[b * L + t];
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// KV cache bookkeeping
+// ---------------------------------------------------------------------------
+
+TEST(KvCacheTest, SlotLifecycleAndDecodeViews) {
+  KvCacheConfig cfg;
+  cfg.layers = 2;
+  cfg.heads = 2;
+  cfg.head_dim = 4;
+  cfg.slots = 3;
+  cfg.max_len = 8;
+  KvCache cache(cfg);
+  EXPECT_EQ(cache.free_slots(), 3);
+  const int64_t a = cache.acquire_slot();
+  const int64_t b = cache.acquire_slot();
+  const int64_t c = cache.acquire_slot();
+  EXPECT_EQ(cache.acquire_slot(), -1) << "cache full";
+  cache.set_len(a, 5);
+  cache.set_len(b, 2);
+  cache.release_slot(c);
+  EXPECT_EQ(cache.free_slots(), 1);
+
+  cache.begin_decode();
+  const int32_t* pos = cache.positions().data<int32_t>();
+  const int32_t* att = cache.attend_lens().data<int32_t>();
+  EXPECT_EQ(pos[a], 5);
+  EXPECT_EQ(att[a], 6);
+  EXPECT_EQ(pos[b], 2);
+  EXPECT_EQ(att[b], 3);
+  EXPECT_EQ(pos[c], 0);
+  EXPECT_EQ(att[c], 0) << "free slots attend nothing";
+  cache.commit_decode();
+  EXPECT_EQ(cache.len(a), 6);
+  EXPECT_EQ(cache.len(b), 3);
+
+  // A slot at capacity must refuse another decode step.
+  cache.set_len(a, 8);
+  EXPECT_THROW(cache.begin_decode(), Error);
+  EXPECT_THROW(cache.set_len(b, 9), Error);
+}
+
+TEST(KvCacheTest, AppendAndStoreKernelsWriteTheRightRows) {
+  simgpu::Device dev(simgpu::generic(), simgpu::ExecMode::kExecute);
+  kern::KernelContext kc(dev, nullptr, 1);
+  const int64_t S = 2, N = 2, Lmax = 4, D = 2;
+  KvCacheConfig cfg;
+  cfg.layers = 1;
+  cfg.heads = N;
+  cfg.head_dim = D;
+  cfg.slots = S;
+  cfg.max_len = Lmax;
+  KvCache cache(cfg);
+
+  // Prefill two rows into slot 1 only.
+  Tensor k_new = Tensor::empty({1, N, 2, D}, DType::kF32);
+  Tensor v_new = Tensor::empty({1, N, 2, D}, DType::kF32);
+  k_new.fill_(2.0f);
+  v_new.fill_(3.0f);
+  Tensor slots = Tensor::from_vector({1.0f}, {1}, DType::kI32);
+  kern::kv_cache_store(kc, kern::Impl::kLS2, k_new, v_new, cache.k(0), cache.v(0), slots);
+  auto kv = cache.k(0).to_vector();
+  // slot 0 untouched (zeros), slot 1 rows 0..1 = 2.0, rows 2..3 zeros.
+  for (int64_t n = 0; n < N; ++n) {
+    for (int64_t l = 0; l < Lmax; ++l) {
+      for (int64_t d = 0; d < D; ++d) {
+        EXPECT_EQ(kv[static_cast<size_t>(((0 * N + n) * Lmax + l) * D + d)], 0.0f);
+        const float want = l < 2 ? 2.0f : 0.0f;
+        EXPECT_EQ(kv[static_cast<size_t>(((1 * N + n) * Lmax + l) * D + d)], want);
+      }
+    }
+  }
+
+  // Decode append at per-slot positions {0, 2}.
+  Tensor k1 = Tensor::empty({S, N, 1, D}, DType::kF32);
+  Tensor v1 = Tensor::empty({S, N, 1, D}, DType::kF32);
+  k1.fill_(7.0f);
+  v1.fill_(8.0f);
+  Tensor positions = Tensor::from_vector({0.0f, 2.0f}, {S}, DType::kI32);
+  kern::kv_cache_append(kc, kern::Impl::kLS2, k1, v1, cache.k(0), cache.v(0), positions);
+  kv = cache.k(0).to_vector();
+  EXPECT_EQ(kv[0], 7.0f);                                             // slot 0 row 0
+  EXPECT_EQ(kv[static_cast<size_t>(((1 * N) * Lmax + 2) * D)], 7.0f); // slot 1 row 2
+  EXPECT_EQ(kv[static_cast<size_t>(((1 * N) * Lmax + 0) * D)], 2.0f) << "prefix intact";
+}
+
+// ---------------------------------------------------------------------------
+// Sampling kernels
+// ---------------------------------------------------------------------------
+
+TEST(SamplingTest, ArgmaxAndTopKOneAgree) {
+  simgpu::Device dev(simgpu::generic(), simgpu::ExecMode::kExecute);
+  kern::KernelContext kc(dev, nullptr, 9);
+  const int64_t rows = 5, V = 17;
+  Tensor logits = Tensor::empty({rows, V}, DType::kF32);
+  kc.rng.fill_normal(logits, 11, 0.0f, 3.0f);
+  Tensor greedy = Tensor::zeros({rows}, DType::kI32);
+  Tensor top1 = Tensor::zeros({rows}, DType::kI32);
+  kern::argmax_rows(kc, kern::Impl::kLS2, logits, greedy);
+  kern::sample_topk(kc, kern::Impl::kLS2, logits, top1, /*k=*/1, 1.0f, /*stream=*/42);
+  EXPECT_EQ(greedy.to_vector(), top1.to_vector());
+}
+
+TEST(SamplingTest, SamplingIsDeterministicInVocabAndStreamSensitive) {
+  simgpu::Device dev(simgpu::generic(), simgpu::ExecMode::kExecute);
+  kern::KernelContext kc(dev, nullptr, 9);
+  const int64_t rows = 8, V = 31;
+  Tensor logits = Tensor::empty({rows, V}, DType::kF32);
+  kc.rng.fill_normal(logits, 5, 0.0f, 2.0f);
+  Tensor a = Tensor::zeros({rows}, DType::kI32);
+  Tensor b = Tensor::zeros({rows}, DType::kI32);
+  Tensor c = Tensor::zeros({rows}, DType::kI32);
+  kern::sample_topk(kc, kern::Impl::kLS2, logits, a, 5, 0.8f, 100);
+  kern::sample_topk(kc, kern::Impl::kLS2, logits, b, 5, 0.8f, 100);
+  kern::sample_topk(kc, kern::Impl::kLS2, logits, c, 5, 0.8f, 101);
+  EXPECT_EQ(a.to_vector(), b.to_vector()) << "same (seed, stream, row) => same token";
+  EXPECT_NE(a.to_vector(), c.to_vector()) << "a fresh stream draws differently";
+  for (float t : a.to_vector()) {
+    EXPECT_GE(t, 0.0f);
+    EXPECT_LT(t, static_cast<float>(V));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental-decode parity: prefill + N x decode_step == full re-forward
+// ---------------------------------------------------------------------------
+
+TEST(Gpt2InferTest, IncrementalDecodeMatchesFullForwardBitwise) {
+  Session s(ls2_session());
+  models::Gpt2 model(tiny_gpt2(), System::kLightSeq2, DType::kF32, 1);
+  const int64_t B = 2, L = 10, P = 4, V = model.config().vocab;
+  Tensor ids = random_ids(B, L, V, 21);
+
+  // Reference: one full-sequence forward through the non-cached stack.
+  const auto ref = model.prefill(s.ctx(), ids, nullptr, {}).to_vector();  // [B, L, V]
+
+  KvCache cache(model.kv_cache_config(B, 16));
+  std::vector<int64_t> slots;
+  for (int64_t b = 0; b < B; ++b) slots.push_back(cache.acquire_slot());
+
+  // Prompt prefill must reproduce the reference at every prompt position.
+  Tensor prefix = Tensor::empty({B, P}, DType::kI32);
+  {
+    const int32_t* ip = ids.data<int32_t>();
+    int32_t* pp = prefix.data<int32_t>();
+    for (int64_t b = 0; b < B; ++b)
+      for (int64_t t = 0; t < P; ++t) pp[b * P + t] = ip[b * L + t];
+  }
+  const auto pre = model.prefill(s.ctx(), prefix, &cache, slots).to_vector();  // [B, P, V]
+  for (int64_t b = 0; b < B; ++b) {
+    for (int64_t t = 0; t < P; ++t) {
+      for (int64_t j = 0; j < V; ++j) {
+        ASSERT_EQ(pre[static_cast<size_t>((b * P + t) * V + j)],
+                  ref[static_cast<size_t>((b * L + t) * V + j)])
+            << "prefill b=" << b << " t=" << t << " j=" << j;
+      }
+    }
+  }
+  for (int64_t b = 0; b < B; ++b) cache.set_len(b, P);
+
+  // Teacher-forced decode steps must be BITWISE the full forward's logits.
+  for (int64_t t = P; t < L; ++t) {
+    cache.begin_decode();
+    const auto step = model.decode_step(s.ctx(), column(ids, t), cache).to_vector();
+    cache.commit_decode();
+    for (int64_t b = 0; b < B; ++b) {
+      for (int64_t j = 0; j < V; ++j) {
+        ASSERT_EQ(step[static_cast<size_t>(b * V + j)],
+                  ref[static_cast<size_t>((b * L + t) * V + j)])
+            << "decode b=" << b << " t=" << t << " j=" << j;
+      }
+    }
+  }
+}
+
+// Padded prompts: a batch of different-length prompts right-padded to one
+// shape must decode exactly like each sequence run alone at its true length.
+TEST(Gpt2InferTest, PaddedBatchMatchesPerSequenceForward) {
+  Session s(ls2_session());
+  models::Gpt2 model(tiny_gpt2(), System::kLightSeq2, DType::kF32, 2);
+  const int64_t V = model.config().vocab;
+  const std::vector<int64_t> plen = {3, 5};
+  const int64_t B = 2, Lp = 5, steps = 3;
+  Tensor seqs = random_ids(B, 8, V, 33);  // prompt + continuation per row
+
+  // Padded prompt batch.
+  Tensor padded = Tensor::zeros({B, Lp}, DType::kI32);  // pad id 0
+  {
+    const int32_t* sp = seqs.data<int32_t>();
+    int32_t* pp = padded.data<int32_t>();
+    for (int64_t b = 0; b < B; ++b)
+      for (int64_t t = 0; t < plen[static_cast<size_t>(b)]; ++t)
+        pp[b * Lp + t] = sp[b * 8 + t];
+  }
+  Tensor lens = Tensor::from_vector({3.0f, 5.0f}, {B}, DType::kI32);
+
+  KvCache cache(model.kv_cache_config(B, 16));
+  std::vector<int64_t> slots;
+  for (int64_t b = 0; b < B; ++b) slots.push_back(cache.acquire_slot());
+  const auto pre = model.prefill(s.ctx(), padded, &cache, slots, &lens).to_vector();
+  for (int64_t b = 0; b < B; ++b) cache.set_len(b, static_cast<int32_t>(plen[static_cast<size_t>(b)]));
+
+  // Decode the continuations at per-slot positions (a genuinely ragged
+  // batch — the continuous-batching shape).
+  std::vector<std::vector<float>> step_logits;
+  for (int64_t k = 0; k < steps; ++k) {
+    Tensor tok = Tensor::empty({B, 1}, DType::kI32);
+    const int32_t* sp = seqs.data<int32_t>();
+    int32_t* tp = tok.data<int32_t>();
+    for (int64_t b = 0; b < B; ++b) tp[b] = sp[b * 8 + plen[static_cast<size_t>(b)] + k];
+    cache.begin_decode();
+    step_logits.push_back(model.decode_step(s.ctx(), tok, cache).to_vector());
+    cache.commit_decode();
+  }
+
+  // Per-sequence unpadded references.
+  for (int64_t b = 0; b < B; ++b) {
+    const int64_t pl = plen[static_cast<size_t>(b)];
+    const int64_t full = pl + steps;
+    Tensor solo = Tensor::empty({1, full}, DType::kI32);
+    const int32_t* sp = seqs.data<int32_t>();
+    int32_t* op = solo.data<int32_t>();
+    for (int64_t t = 0; t < full; ++t) op[t] = sp[b * 8 + t];
+    const auto ref = model.prefill(s.ctx(), solo, nullptr, {}).to_vector();  // [1, full, V]
+    for (int64_t t = 0; t < pl; ++t) {
+      for (int64_t j = 0; j < V; ++j) {
+        ASSERT_EQ(pre[static_cast<size_t>((b * Lp + t) * V + j)],
+                  ref[static_cast<size_t>(t * V + j)])
+            << "padded prefill b=" << b << " t=" << t;
+      }
+    }
+    for (int64_t k = 0; k < steps; ++k) {
+      for (int64_t j = 0; j < V; ++j) {
+        ASSERT_EQ(step_logits[static_cast<size_t>(k)][static_cast<size_t>(b * V + j)],
+                  ref[static_cast<size_t>((pl + k) * V + j)])
+            << "ragged decode b=" << b << " step=" << k;
+      }
+    }
+  }
+}
+
+// The serving path is tied back to the training path: with dropout 0 the
+// training forward's loss must be reproducible from prefill logits.
+TEST(Gpt2InferTest, PrefillLogitsReproduceTrainingLoss) {
+  Session s(ls2_session());
+  models::Gpt2 model(tiny_gpt2(/*dropout=*/0.0f), System::kLightSeq2, DType::kF32, 3);
+  const int64_t B = 2, L = 8, V = model.config().vocab;
+  data::LmDataset ds(V, 512, 5);
+  models::LmBatch batch = ds.batch(0, B, L);
+  model.params().zero_grads();
+  const auto res = model.forward(s.ctx(), batch);
+  model.release();
+
+  const auto logits = model.prefill(s.ctx(), batch.ids, nullptr, {}).to_vector();
+  const auto targets = batch.targets.to_vector();
+  double loss = 0;
+  int64_t tokens = 0;
+  for (int64_t r = 0; r < B * L; ++r) {
+    const int32_t tgt = static_cast<int32_t>(targets[static_cast<size_t>(r)]);
+    if (tgt == model.config().pad_id) continue;
+    double mx = -1e30, z = 0;
+    for (int64_t j = 0; j < V; ++j)
+      mx = std::max(mx, static_cast<double>(logits[static_cast<size_t>(r * V + j)]));
+    for (int64_t j = 0; j < V; ++j)
+      z += std::exp(logits[static_cast<size_t>(r * V + j)] - mx);
+    loss += -(logits[static_cast<size_t>(r * V + tgt)] - mx - std::log(z));
+    ++tokens;
+  }
+  ASSERT_EQ(tokens, res.tokens);
+  EXPECT_NEAR(loss / tokens, res.loss_per_token(), 1e-4);
+}
+
+models::TransformerConfig tiny_mt() {
+  models::TransformerConfig cfg;
+  cfg.vocab = 64;
+  cfg.hidden = 16;
+  cfg.heads = 2;
+  cfg.ffn_dim = 32;
+  cfg.encoder_layers = 2;
+  cfg.decoder_layers = 2;
+  cfg.max_len = 32;
+  return cfg;
+}
+
+TEST(TransformerInferTest, IncrementalDecodeMatchesFullPrefillBitwise) {
+  Session s(ls2_session());
+  models::Transformer model(tiny_mt(), System::kLightSeq2, DType::kF32, 7);
+  data::MtDataset ds(64, 16, 4, 9, 5);
+  auto batches = data::make_mt_batches(ds, 64, DType::kF32);
+  const models::MtBatch& batch = batches.front();
+  const int64_t B = batch.src_ids.shape()[0];
+  const int64_t Ls = batch.src_ids.shape()[1];
+  const int64_t Lt = batch.tgt_in.shape()[1];
+  const int64_t V = model.config().vocab;
+
+  // Reference: encode + full-target prefill.
+  KvCache ref_cache(model.kv_cache_config(B, Lt + 1, Ls));
+  for (int64_t b = 0; b < B; ++b) ref_cache.acquire_slot();
+  model.encode(s.ctx(), batch.src_ids, batch.src_lens, ref_cache);
+  const auto ref =
+      model.prefill(s.ctx(), batch.tgt_in, ref_cache, &batch.tgt_lens).to_vector();
+
+  // Incremental: encode, prefill the BOS column, then teacher-forced decode.
+  KvCache cache(model.kv_cache_config(B, Lt + 1, Ls));
+  for (int64_t b = 0; b < B; ++b) cache.acquire_slot();
+  model.encode(s.ctx(), batch.src_ids, batch.src_lens, cache);
+  const auto tgt_lens = batch.tgt_lens.to_vector();
+  const auto pre = model.prefill(s.ctx(), column(batch.tgt_in, 0), cache).to_vector();
+  for (int64_t b = 0; b < B; ++b) {
+    for (int64_t j = 0; j < V; ++j) {
+      ASSERT_EQ(pre[static_cast<size_t>(b * V + j)], ref[static_cast<size_t>(b * Lt * V + j)])
+          << "decoder prefill b=" << b;
+    }
+  }
+  for (int64_t b = 0; b < B; ++b) cache.set_len(b, 1);
+  for (int64_t t = 1; t < Lt; ++t) {
+    cache.begin_decode();
+    const auto step = model.decode_step(s.ctx(), column(batch.tgt_in, t), cache).to_vector();
+    cache.commit_decode();
+    for (int64_t b = 0; b < B; ++b) {
+      if (t >= static_cast<int64_t>(tgt_lens[static_cast<size_t>(b)])) continue;  // padding
+      for (int64_t j = 0; j < V; ++j) {
+        ASSERT_EQ(step[static_cast<size_t>(b * V + j)],
+                  ref[static_cast<size_t>((b * Lt + t) * V + j)])
+            << "decode b=" << b << " t=" << t;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint round-trip into serving (§V-B: train -> convert -> serve)
+// ---------------------------------------------------------------------------
+
+TEST(ServingCheckpointTest, TrainedFp32ModelServesIdenticallyAfterReload) {
+  const std::string path = "/tmp/ls2_serve_ckpt_f32.bin";
+  Session train_s(ls2_session());
+  models::Gpt2 trained(tiny_gpt2(), System::kLightSeq2, DType::kF32, 11);
+  optim::OptimConfig ocfg;
+  ocfg.lr = 1e-3f;
+  optim::LightSeq2Trainer trainer(trained.params(), ocfg);
+  data::LmDataset ds(48, 1024, 3);
+  for (int step = 0; step < 3; ++step) {
+    (void)core::train_step(train_s, trained, ds.batch(step, 4, 8), trainer);
+  }
+  models::save_checkpoint(trained.params(), path);
+
+  Tensor ids = random_ids(2, 6, 48, 44);
+  const auto want = trained.prefill(train_s.ctx(), ids, nullptr, {}).to_vector();
+
+  // Fresh inference session, differently-seeded weights, then reload.
+  Session serve_s(ls2_session());
+  models::Gpt2 served(tiny_gpt2(), System::kLightSeq2, DType::kF32, 99);
+  models::load_checkpoint(served.params(), path);
+  const auto got = served.prefill(serve_s.ctx(), ids, nullptr, {}).to_vector();
+  EXPECT_EQ(got, want) << "first-step serving logits must match the trained model";
+
+  // The checkpoint also serves under a baseline policy (same math, other
+  // kernel family).
+  SessionConfig fcfg;
+  fcfg.system = System::kFairseq;
+  Session fair_s(fcfg);
+  models::Gpt2 fair(tiny_gpt2(), System::kFairseq, DType::kF32, 5);
+  models::load_checkpoint(fair.params(), path);
+  const auto fair_logits = fair.prefill(fair_s.ctx(), ids, nullptr, {}).to_vector();
+  ASSERT_EQ(fair_logits.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    ASSERT_NEAR(fair_logits[i], want[i], 1e-4f) << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ServingCheckpointTest, Fp16TrainedModelReloadsIntoFp32Serving) {
+  const std::string path = "/tmp/ls2_serve_ckpt_f16.bin";
+  Session train_s(ls2_session(DType::kF16));
+  models::Gpt2 trained(tiny_gpt2(), System::kLightSeq2, DType::kF16, 13);
+  optim::OptimConfig ocfg;
+  ocfg.lr = 1e-3f;
+  optim::LightSeq2Trainer trainer(trained.params(), ocfg);
+  data::LmDataset ds(48, 1024, 7);
+  for (int step = 0; step < 3; ++step) {
+    (void)core::train_step(train_s, trained, ds.batch(step, 4, 8), trainer);
+  }
+  models::save_checkpoint(trained.params(), path);  // serialises FP32
+
+  Tensor ids = random_ids(2, 6, 48, 45);
+  Session a_s(ls2_session());
+  models::Gpt2 a(tiny_gpt2(), System::kLightSeq2, DType::kF32, 101);
+  models::load_checkpoint(a.params(), path);
+  const auto la = a.prefill(a_s.ctx(), ids, nullptr, {}).to_vector();
+
+  Session b_s(ls2_session());
+  models::Gpt2 b(tiny_gpt2(), System::kLightSeq2, DType::kF32, 202);
+  models::load_checkpoint(b.params(), path);
+  const auto lb = b.prefill(b_s.ctx(), ids, nullptr, {}).to_vector();
+
+  EXPECT_EQ(la, lb) << "independent reloads must serve identical first-step logits";
+  for (float v : la) ASSERT_TRUE(std::isfinite(v));
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Continuous batching + decode-step graph replay
+// ---------------------------------------------------------------------------
+
+std::vector<Request> test_requests(int64_t n, int64_t vocab, uint64_t seed,
+                                   double rate_per_sec = 5000.0) {
+  return poisson_requests(n, rate_per_sec, /*prompt*/ 2, 6, /*gen*/ 3, 10, vocab, seed);
+}
+
+TEST(ContinuousBatcherTest, ServesEveryRequestAndReplaysTheDecodeStep) {
+  const auto cfg = tiny_gpt2();
+  const int64_t slots = 2, max_len = 24;
+  SessionConfig sc = ls2_session();
+  sc.arena_bytes = serve_capacity_scan(cfg, DType::kF32, slots, max_len, 8);
+  sc.graph_capture = true;
+  Session s(sc);
+  models::Gpt2 model(cfg, System::kLightSeq2, DType::kF32, 17, s.param_alloc());
+  KvCache cache(model.kv_cache_config(slots, max_len), s.param_alloc());
+  ServeConfig scfg;
+  scfg.sampling.greedy = false;
+  scfg.sampling.temperature = 0.9f;
+  scfg.sampling.top_k = 8;
+  ContinuousBatcher engine(s, model, cache, scfg);
+
+  const auto reqs = test_requests(6, cfg.vocab, 71);
+  ServeReport report = engine.serve(reqs);
+
+  ASSERT_EQ(report.requests.size(), reqs.size());
+  int64_t total = 0;
+  for (const RequestStats& st : report.requests) {
+    EXPECT_GE(st.admitted_us, st.arrival_us);
+    EXPECT_GE(st.first_token_us, st.admitted_us);
+    EXPECT_GE(st.done_us, st.first_token_us);
+    EXPECT_GE(st.generated, 1);
+    EXPECT_EQ(st.generated, static_cast<int64_t>(st.tokens.size()));
+    for (int32_t tok : st.tokens) {
+      EXPECT_GE(tok, 0);
+      EXPECT_LT(tok, cfg.vocab);
+    }
+    total += st.generated;
+  }
+  EXPECT_EQ(report.generated_tokens, total);
+  EXPECT_GT(report.tokens_per_sec, 0);
+  EXPECT_FALSE(s.graph_poisoned()) << s.graph_poison_reason();
+  EXPECT_GT(report.replayed_steps, 0) << "steady-state decode must replay the graph";
+  EXPECT_EQ(report.replayed_steps, report.decode_steps - 2)
+      << "all but the warm-up and capture decode steps replay";
+
+  // Replay must not change a single sampled token: rerun the identical
+  // workload eagerly and compare the generated ids.
+  SessionConfig ec = ls2_session();
+  ec.arena_bytes = sc.arena_bytes;
+  Session es(ec);
+  models::Gpt2 emodel(cfg, System::kLightSeq2, DType::kF32, 17, es.param_alloc());
+  KvCache ecache(emodel.kv_cache_config(slots, max_len), es.param_alloc());
+  ContinuousBatcher eager(es, emodel, ecache, scfg);
+  ServeReport ereport = eager.serve(reqs);
+  ASSERT_EQ(ereport.requests.size(), report.requests.size());
+  for (size_t i = 0; i < report.requests.size(); ++i) {
+    EXPECT_EQ(report.requests[i].tokens, ereport.requests[i].tokens)
+        << "request " << i << ": replayed decode diverged from eager";
+  }
+}
+
+TEST(ContinuousBatcherTest, EosRetiresEarlyInExecuteMode) {
+  const auto cfg = tiny_gpt2();
+  SessionConfig sc = ls2_session();
+  Session s(sc);
+  models::Gpt2 model(cfg, System::kLightSeq2, DType::kF32, 23);
+  KvCache cache(model.kv_cache_config(2, 24));
+  ServeConfig scfg;
+  scfg.eos_id = data::kEos;
+  ContinuousBatcher engine(s, model, cache, scfg);
+  const auto reqs = test_requests(4, cfg.vocab, 5);  // id == index
+  ServeReport report = engine.serve(reqs);
+  for (const RequestStats& st : report.requests) {
+    EXPECT_GE(st.generated, 1);
+    const int64_t cap = reqs[static_cast<size_t>(st.id)].gen_len;
+    EXPECT_LE(st.generated, cap);
+    // Either ran to its cap or stopped at EOS.
+    if (st.generated < cap) {
+      EXPECT_EQ(st.tokens.back(), data::kEos);
+    }
+  }
+}
+
+// A request whose cap exceeds the slot's K/V capacity must be retired when
+// the block fills — it caps generation, it must not crash the serve loop
+// (KvCache::begin_decode throws on an over-full slot).
+TEST(ContinuousBatcherTest, CacheCapacityCapsGenerationInsteadOfThrowing) {
+  const auto cfg = tiny_gpt2();
+  const int64_t max_len = 12;
+  Session s(ls2_session());
+  models::Gpt2 model(cfg, System::kLightSeq2, DType::kF32, 29);
+  KvCache cache(model.kv_cache_config(2, max_len));
+  ContinuousBatcher engine(s, model, cache, {});
+  Request req;
+  req.id = 0;
+  req.prompt = {5, 6, 7, 8};
+  req.gen_len = 100;  // far beyond the 12-token slot
+  ServeReport report = engine.serve({req});
+  ASSERT_EQ(report.requests.size(), 1u);
+  // prefill caches 4 tokens and samples 1; each decode step appends the
+  // previous sample and emits one more, until the block is full.
+  EXPECT_EQ(report.requests[0].generated, 1 + (max_len - 4));
+}
+
+// Model-only serving at a bench-like scale: continuous batching must beat
+// the static-wave baseline by >= 1.5x tokens/sec under Poisson arrivals.
+TEST(ContinuousBatcherTest, ContinuousBeatsStaticThroughput) {
+  models::Gpt2Config cfg;
+  cfg.vocab = 512;
+  cfg.hidden = 64;
+  cfg.heads = 4;
+  cfg.ffn_dim = 128;
+  cfg.layers = 4;
+  cfg.max_len = 256;
+  const int64_t slots = 8, max_len = 144;
+  const auto reqs = poisson_requests(48, /*rate=*/4000.0, 4, 8, 8, 128, cfg.vocab, 97);
+
+  auto run = [&](BatchMode mode) {
+    SessionConfig sc = ls2_session(DType::kF16);
+    sc.mode = simgpu::ExecMode::kModelOnly;
+    sc.arena_bytes = serve_capacity_scan(cfg, DType::kF16, slots, max_len, 8);
+    Session s(sc);
+    models::Gpt2 model(cfg, System::kLightSeq2, DType::kF16, 31, s.param_alloc());
+    KvCache cache(model.kv_cache_config(slots, max_len), s.param_alloc());
+    ServeConfig scfg;
+    scfg.mode = mode;
+    ContinuousBatcher engine(s, model, cache, scfg);
+    return engine.serve(reqs);
+  };
+  const ServeReport cont = run(BatchMode::kContinuous);
+  const ServeReport stat = run(BatchMode::kStatic);
+  EXPECT_EQ(cont.generated_tokens, stat.generated_tokens) << "same workload both modes";
+  EXPECT_GE(cont.tokens_per_sec, 1.5 * stat.tokens_per_sec)
+      << "continuous " << cont.tokens_per_sec << " vs static " << stat.tokens_per_sec;
+  EXPECT_LE(cont.p99_latency_us, stat.p99_latency_us);
+}
+
+// Launch-bound regime: replaying the captured decode step must beat eager
+// decoding end-to-end (small slot count, deep-ish stack, short kernels).
+TEST(ContinuousBatcherTest, GraphReplayBeatsEagerOnLaunchBoundProfile) {
+  models::Gpt2Config cfg;
+  cfg.vocab = 256;
+  cfg.hidden = 64;
+  cfg.heads = 4;
+  cfg.ffn_dim = 128;
+  cfg.layers = 8;
+  cfg.max_len = 128;
+  const int64_t slots = 2, max_len = 96;
+  const auto reqs = poisson_requests(24, /*rate=*/50000.0, 2, 4, 24, 64, cfg.vocab, 13);
+
+  auto run = [&](bool graph) {
+    SessionConfig sc = ls2_session(DType::kF16);
+    sc.mode = simgpu::ExecMode::kModelOnly;
+    sc.arena_bytes = serve_capacity_scan(cfg, DType::kF16, slots, max_len, 4);
+    sc.graph_capture = graph;
+    Session s(sc);
+    models::Gpt2 model(cfg, System::kLightSeq2, DType::kF16, 41, s.param_alloc());
+    KvCache cache(model.kv_cache_config(slots, max_len), s.param_alloc());
+    ContinuousBatcher engine(s, model, cache, {});
+    return engine.serve(reqs);
+  };
+  const ServeReport eager = run(false);
+  const ServeReport graph = run(true);
+  EXPECT_GT(graph.replayed_steps, 0);
+  EXPECT_EQ(eager.generated_tokens, graph.generated_tokens);
+  EXPECT_GE(graph.tokens_per_sec, 1.2 * eager.tokens_per_sec)
+      << "graph " << graph.tokens_per_sec << " vs eager " << eager.tokens_per_sec;
+}
+
+// Chrome-trace export: serving timelines open in chrome://tracing.
+TEST(ChromeTraceTest, ServeTimelineExports) {
+  const auto cfg = tiny_gpt2();
+  SessionConfig sc = ls2_session();
+  sc.record_timeline = true;
+  Session s(sc);
+  models::Gpt2 model(cfg, System::kLightSeq2, DType::kF32, 3);
+  KvCache cache(model.kv_cache_config(2, 24));
+  ContinuousBatcher engine(s, model, cache, {});
+  (void)engine.serve(test_requests(3, cfg.vocab, 9));
+
+  const std::string path = "/tmp/ls2_serve_trace.json";
+  s.device().timeline().write_chrome_trace(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("compute stream"), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ls2::infer

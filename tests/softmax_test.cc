@@ -231,6 +231,84 @@ TEST(SoftmaxTunerTest, CacheIsKeyedByDeviceIdentity) {
   EXPECT_GE(big_dev.threads_per_row, small_dev.threads_per_row);
 }
 
+// Serving shapes: the single-query decode softmax is rows = batch*heads
+// (tiny) by cols = L_past (long) — the opposite corner from training's
+// million-row score tensors. The per-profile tuner cache must hand each
+// device its own winner on these shapes too (the serving engine hits this
+// every decode step).
+TEST(SoftmaxTunerTest, DecodeShapesGetPerProfileWinners) {
+  reset_softmax_tuner();
+  const double devices[] = {simgpu::v100().resident_threads,
+                            simgpu::a100().resident_threads};
+  // rows = slots * heads for slot counts 4..64; cols = cached lengths.
+  for (int64_t rows : {8, 64, 512}) {
+    for (int64_t cols : {128, 512, 1024}) {
+      (void)tune_softmax(rows, cols, devices[0]);  // warm with the first device
+      for (double dt : devices) {
+        const SoftmaxConfig got = tune_softmax(rows, cols, dt);
+        SoftmaxConfig want = softmax_candidates().front();
+        double want_eff = -1;
+        for (const SoftmaxConfig& c : softmax_candidates()) {
+          const double eff = softmax_config_efficiency(c, rows, cols, dt);
+          if (eff > want_eff) {
+            want_eff = eff;
+            want = c;
+          }
+        }
+        EXPECT_EQ(got.threads_per_row, want.threads_per_row)
+            << "decode shape " << rows << "x" << cols << " on device_threads " << dt;
+      }
+    }
+  }
+  // Long cached rows with few queries want big cooperative teams — decode
+  // must not inherit the narrow-row training template.
+  EXPECT_GE(tune_softmax(8, 1024).threads_per_row, tune_softmax(1 << 20, 16).threads_per_row);
+}
+
+// The decode-step softmax ([S, N, 1, Lmax] + attend_lens) must equal the
+// last valid row of the full causal softmax — the kernel-level statement of
+// incremental-decode parity.
+TEST_F(SoftmaxTest, SingleQueryDecodeRowMatchesFullCausalRow) {
+  const int64_t B = 3, N = 2, L = 6, Lmax = 9;
+  Tensor full = randn({B, N, L, L}, 1);
+  Tensor full_y = Tensor::empty({B, N, L, L}, DType::kF32);
+  attn_softmax_fw(kc, Impl::kLS2, full, full_y, /*causal=*/true, nullptr);
+
+  // Decode view: each sequence's scores against its L cached keys, padded
+  // out to the static cache width Lmax (tail is garbage the mask hides).
+  Tensor dec = Tensor::empty({B, N, 1, Lmax}, DType::kF32);
+  {
+    const auto fv = full.to_vector();
+    auto dv = std::vector<float>(static_cast<size_t>(B * N * Lmax), 1e30f);
+    for (int64_t b = 0; b < B; ++b)
+      for (int64_t n = 0; n < N; ++n)
+        for (int64_t k = 0; k < L; ++k)
+          dv[static_cast<size_t>((b * N + n) * Lmax + k)] =
+              fv[static_cast<size_t>((((b * N + n) * L) + (L - 1)) * L + k)];
+    dec.copy_from(dv);
+  }
+  Tensor lens = Tensor::from_vector({static_cast<float>(L), static_cast<float>(L),
+                                     static_cast<float>(L)},
+                                    {B}, DType::kI32);
+  Tensor dec_y = Tensor::empty({B, N, 1, Lmax}, DType::kF32);
+  attn_softmax_fw(kc, Impl::kLS2, dec, dec_y, /*causal=*/false, &lens);
+
+  const auto fy = full_y.to_vector();
+  const auto dy = dec_y.to_vector();
+  for (int64_t b = 0; b < B; ++b) {
+    for (int64_t n = 0; n < N; ++n) {
+      for (int64_t k = 0; k < Lmax; ++k) {
+        const float got = dy[static_cast<size_t>((b * N + n) * Lmax + k)];
+        if (k < L) {
+          EXPECT_EQ(got, fy[static_cast<size_t>((((b * N + n) * L) + (L - 1)) * L + k)]);
+        } else {
+          EXPECT_EQ(got, 0.0f) << "masked cache tail must be exactly zero";
+        }
+      }
+    }
+  }
+}
+
 // Fig. 17(b): LightSeq2's speedup over the baseline grows with sequence
 // length (shape-specialised templates).
 TEST(SoftmaxModelTest, SpeedupGrowsWithSequenceLength) {
