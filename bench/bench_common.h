@@ -87,6 +87,52 @@ inline size_t capacity_scan(const models::TransformerConfig& cfg,
       batch, opt);
 }
 
+/// Serving harness: the session + model + KV cache + engine bundle every
+/// serving measurement needs, arena-sized by infer::serve_capacity_scan —
+/// one shared setup instead of per-bench copies, so a config tweak (or a
+/// fixed latent bug) lands everywhere at once. Each call builds a FULLY
+/// ISOLATED bundle: nothing is shared between two harnesses except the
+/// process-wide softmax-tuner cache, which is keyed by device identity.
+struct ServeHarness {
+  std::unique_ptr<Session> session;
+  std::unique_ptr<models::Gpt2> model;
+  std::unique_ptr<infer::KvCache> cache;
+  std::unique_ptr<infer::ContinuousBatcher> engine;
+
+  infer::ServeReport serve(const std::vector<infer::Request>& reqs) {
+    return engine->serve(reqs);
+  }
+  bool poisoned() const { return session->graph_poisoned(); }
+};
+
+inline ServeHarness make_serve_harness(const models::Gpt2Config& cfg,
+                                       const simgpu::DeviceProfile& profile,
+                                       int64_t slots, int64_t max_len,
+                                       infer::BatchMode mode, bool graph,
+                                       bool record_timeline = false,
+                                       int64_t max_prompt_len = 32,
+                                       DType dtype = DType::kF16, uint64_t seed = 17) {
+  ServeHarness h;
+  SessionConfig sc;
+  sc.system = System::kLightSeq2;
+  sc.profile = profile;
+  sc.mode = simgpu::ExecMode::kModelOnly;
+  sc.dtype = dtype;
+  sc.arena_bytes = infer::serve_capacity_scan(cfg, dtype, slots, max_len, max_prompt_len);
+  sc.graph_capture = graph;
+  sc.record_timeline = record_timeline;
+  h.session = std::make_unique<Session>(sc);
+  h.model = std::make_unique<models::Gpt2>(cfg, System::kLightSeq2, dtype, seed,
+                                           h.session->param_alloc());
+  h.cache = std::make_unique<infer::KvCache>(h.model->kv_cache_config(slots, max_len),
+                                             h.session->param_alloc());
+  infer::ServeConfig scfg;
+  scfg.mode = mode;
+  h.engine = std::make_unique<infer::ContinuousBatcher>(*h.session, *h.model, *h.cache,
+                                                        scfg);
+  return h;
+}
+
 inline void print_header(const std::string& title) {
   std::printf("\n================================================================\n");
   std::printf("%s\n", title.c_str());

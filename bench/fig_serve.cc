@@ -42,30 +42,19 @@ struct ServeRun {
   bool poisoned = false;
 };
 
+// One measurement point = one fully isolated bench::ServeHarness (the setup
+// previously copied here, now shared in bench_common.h).
 ServeRun run_serve(const simgpu::DeviceProfile& profile, int64_t slots, int64_t max_len,
                    const std::vector<infer::Request>& reqs, infer::BatchMode mode,
                    bool graph, bool trace = false) {
-  const models::Gpt2Config cfg = serve_model();
-  SessionConfig sc;
-  sc.system = System::kLightSeq2;
-  sc.profile = profile;
-  sc.mode = simgpu::ExecMode::kModelOnly;
-  sc.dtype = DType::kF16;
-  sc.arena_bytes = infer::serve_capacity_scan(cfg, DType::kF16, slots, max_len, 32);
-  sc.graph_capture = graph;
-  sc.record_timeline = trace;
-  Session session(sc);
-  models::Gpt2 model(cfg, System::kLightSeq2, DType::kF16, 17, session.param_alloc());
-  infer::KvCache cache(model.kv_cache_config(slots, max_len), session.param_alloc());
-  infer::ServeConfig scfg;
-  scfg.mode = mode;
-  infer::ContinuousBatcher engine(session, model, cache, scfg);
+  ServeHarness h = make_serve_harness(serve_model(), profile, slots, max_len, mode, graph,
+                                      /*record_timeline=*/trace);
   ServeRun run;
-  run.report = engine.serve(reqs);
-  run.poisoned = session.graph_poisoned();
+  run.report = h.serve(reqs);
+  run.poisoned = h.poisoned();
   if (trace) {
     std::filesystem::create_directories("bench");
-    session.device().timeline().write_chrome_trace("bench/fig_serve_trace.json");
+    h.session->device().timeline().write_chrome_trace("bench/fig_serve_trace.json");
     std::printf("wrote Chrome trace to bench/fig_serve_trace.json\n");
   }
   return run;

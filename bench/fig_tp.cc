@@ -1,0 +1,289 @@
+// Tensor parallelism (DESIGN.md §7): TP in {1, 2, 4} across the model zoo
+// on one 4-GPU A100 node (hybrid with DP = 4/TP data-parallel replicas).
+//
+// Reported per configuration:
+//   * per-step time and the TP collective time (total / exposed) — the cost
+//     of intra-layer sharding: one NVLink all-reduce per attention/FFN
+//     sublayer in forward and backward, plus the embedding all-reduce and
+//     the vocab-sharded criterion's gather;
+//   * per-device memory: rank-0 parameters+grads (permanent) and the
+//     activation peak — both shrink ~1/TP for the sharded portions.
+//
+// The capacity section is the headline: Transformer-Big's activation arena
+// sized by the TP=4 capacity scan trains at TP=4 but OVERFLOWS when the
+// unsharded model is run against it — intra-layer model parallelism is the
+// axis that lets a model (or batch) too big for one device train at all.
+//
+// Machine-readable output: bench/fig_tp.json (schema-checked by
+// ci/check_bench_json.py in CI).
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace ls2;
+using namespace ls2::bench;
+
+namespace {
+
+dist::ClusterConfig hybrid_cluster(int tp) {
+  dist::ClusterConfig c;
+  c.gpus_per_node = 4;
+  c.nodes = 1;
+  c.tensor_parallel = tp;
+  return c;
+}
+
+struct TpPerf {
+  std::string model;
+  int tp = 1, dp = 1;
+  double step_us = 0;
+  double tp_comm_us = 0, tp_exposed_us = 0;
+  int64_t tp_bytes = 0;
+  int64_t params_bytes = 0, act_peak_bytes = 0;
+  int64_t max_live() const { return params_bytes + act_peak_bytes; }
+};
+
+/// Two steps of train_step (warm-up + measured) for a TP-sharded model in
+/// kModelOnly. `make_model` receives (TpConfig, param_alloc); peers are
+/// never simulated here — rank 0's shards are the honest device footprint.
+template <typename MakeModel, typename Batch>
+TpPerf measure_tp(const std::string& name, MakeModel make_model, const Batch& batch,
+                  int tp) {
+  // The sweep runs on the dynamic (heap-backed) allocator, so an OOM is
+  // impossible here; if a config ever grows one, let it abort the bench
+  // loudly rather than emit an all-zero row that fails the schema check
+  // with a misleading message. (The capacity section below handles
+  // OutOfMemory deliberately — there it IS the result.)
+  TpPerf perf;
+  perf.model = name;
+  perf.tp = tp;
+  perf.dp = 4 / tp;
+  {
+    SessionConfig sc;
+    sc.system = System::kLightSeq2;
+    sc.profile = simgpu::a100();
+    sc.mode = simgpu::ExecMode::kModelOnly;
+    sc.dtype = DType::kF16;
+    sc.seed = 17;
+    Session session(sc);
+    dist::ProcessGroup pg(hybrid_cluster(tp));
+    if (tp > 1) session.ctx().tp_group = &pg;
+
+    dist::TpConfig tp_cfg;
+    tp_cfg.size = tp;
+    tp_cfg.simulate_peers = false;
+    auto model = make_model(tp_cfg, session.param_alloc());
+    optim::OptimConfig ocfg;
+    auto trainer = optim::make_trainer(System::kLightSeq2, model->params(), ocfg,
+                                       session.param_alloc());
+
+    (void)core::train_step(session, *model, batch, *trainer, hybrid_cluster(tp));
+    const double t0 = session.device().clock_us();
+    auto [times, res] = core::train_step(session, *model, batch, *trainer,
+                                         hybrid_cluster(tp));
+    perf.step_us = session.device().clock_us() - t0;
+    perf.tp_comm_us = times.tp_comm_us;
+    perf.tp_exposed_us = times.tp_exposed_us;
+    perf.tp_bytes = times.tp_bytes;
+    perf.params_bytes = session.permanent_bytes();
+    perf.act_peak_bytes = session.activations().peak_bytes();
+  }
+  return perf;
+}
+
+std::vector<TpPerf> g_rows;
+
+struct CapacityDemo {
+  size_t arena_bytes = 0;
+  size_t tp1_need_bytes = 0;
+  bool tp4_fits = false;
+  bool tp1_overflows = false;
+} g_capacity;
+
+void write_json() {
+  std::filesystem::create_directories("bench");
+  std::ofstream out("bench/fig_tp.json");
+  out << "{\n  \"figure\": \"fig_tp\",\n  \"schema\": 1,\n  \"configs\": [";
+  char buf[512];
+  for (size_t i = 0; i < g_rows.size(); ++i) {
+    const TpPerf& r = g_rows[i];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s\n    {\"model\": \"%s\", \"profile\": \"a100\", \"tp\": %d, \"dp\": %d, "
+        "\"step_us\": %.1f, \"tp_comm_us\": %.1f, \"tp_exposed_us\": %.1f, "
+        "\"tp_mb\": %.1f, \"params_mb\": %.1f, \"act_peak_mb\": %.1f, "
+        "\"max_live_mb\": %.1f}",
+        i == 0 ? "" : ",", r.model.c_str(), r.tp, r.dp, r.step_us, r.tp_comm_us,
+        r.tp_exposed_us, r.tp_bytes / 1e6, r.params_bytes / 1e6, r.act_peak_bytes / 1e6,
+        r.max_live() / 1e6);
+    out << buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "\n  ],\n  \"capacity\": {\"model\": \"transformer-big\", "
+                "\"arena_mb\": %.1f, \"tp1_need_mb\": %.1f, \"tp4_fits\": %s, "
+                "\"tp1_overflows\": %s}\n}\n",
+                g_capacity.arena_bytes / 1e6, g_capacity.tp1_need_bytes / 1e6,
+                g_capacity.tp4_fits ? "true" : "false",
+                g_capacity.tp1_overflows ? "true" : "false");
+  out << buf;
+  std::printf("\nwrote %zu configs to bench/fig_tp.json\n", g_rows.size());
+}
+
+}  // namespace
+
+int main() {
+  const int64_t mt_tokens = 8192;
+
+  print_header(
+      "Tensor parallelism: TP x {1,2,4} on one 4-GPU A100 node (hybrid DP=4/TP, FP16)");
+  std::printf("%-17s %3s %3s %12s %12s %12s %10s %10s %10s\n", "model", "tp", "dp",
+              "step_us", "tp_comm_us", "tp_exposed", "params_MB", "act_MB", "live_MB");
+
+  auto report = [&](const TpPerf& p) {
+    g_rows.push_back(p);
+    std::printf("%-17s %3d %3d %12.0f %12.0f %12.0f %10.1f %10.1f %10.1f\n",
+                p.model.c_str(), p.tp, p.dp, p.step_us, p.tp_comm_us, p.tp_exposed_us,
+                p.params_bytes / 1e6, p.act_peak_bytes / 1e6, p.max_live() / 1e6);
+  };
+
+  for (const char* which : {"transformer-base", "transformer-big"}) {
+    const bool big = std::string(which) == "transformer-big";
+    const models::TransformerConfig cfg =
+        big ? models::TransformerConfig::big() : models::TransformerConfig::base();
+    data::MtDataset ds(cfg.vocab, 192, 8, 70, 17);
+    auto batches = data::make_mt_batches(ds, mt_tokens, DType::kF16);
+    const models::MtBatch& batch = data::largest_batch(batches);
+    for (int tp : {1, 2, 4}) {
+      report(measure_tp(which,
+                        [&](dist::TpConfig tpc, BufferAllocator* alloc) {
+                          models::TransformerConfig c = cfg;
+                          c.tp = tpc;
+                          return std::make_unique<models::Transformer>(
+                              c, System::kLightSeq2, DType::kF16, 17, alloc);
+                        },
+                        batch, tp));
+    }
+  }
+  {
+    models::Gpt2Config cfg = models::Gpt2Config::base();
+    cfg.vocab = 50264;  // Megatron-style vocab padding: 50257 -> multiple of 8
+    data::LmDataset ds(cfg.vocab, 1 << 18, 17);
+    const models::LmBatch batch = ds.batch(0, 8, 512);
+    for (int tp : {1, 2, 4}) {
+      report(measure_tp("gpt2-base",
+                        [&](dist::TpConfig tpc, BufferAllocator* alloc) {
+                          models::Gpt2Config c = cfg;
+                          c.tp = tpc;
+                          return std::make_unique<models::Gpt2>(c, System::kLightSeq2,
+                                                                DType::kF16, 17, alloc);
+                        },
+                        batch, tp));
+    }
+  }
+  {
+    models::BertConfig cfg = models::BertConfig::base();
+    cfg.vocab = 30528;  // pad 30522 -> multiple of 64
+    data::ClsDataset ds(cfg.vocab, 512, 128, 17);
+    const models::ClsBatch batch = ds.batch(0, 32, 128);
+    for (int tp : {1, 2, 4}) {
+      report(measure_tp("bert-base",
+                        [&](dist::TpConfig tpc, BufferAllocator* alloc) {
+                          models::BertConfig c = cfg;
+                          c.tp = tpc;
+                          return std::make_unique<models::Bert>(c, System::kLightSeq2,
+                                                               DType::kF16, 17, alloc);
+                        },
+                        batch, tp));
+    }
+  }
+  {
+    const models::VitConfig cfg = models::VitConfig::b32();
+    data::ImageDataset ds(10, 256, 17);
+    const models::ImageBatch batch = ds.batch(0, 32, cfg, DType::kF16);
+    for (int tp : {1, 2, 4}) {
+      report(measure_tp("vit-b32",
+                        [&](dist::TpConfig tpc, BufferAllocator* alloc) {
+                          models::VitConfig c = cfg;
+                          c.tp = tpc;
+                          return std::make_unique<models::Vit>(c, System::kLightSeq2,
+                                                              DType::kF16, 17, alloc);
+                        },
+                        batch, tp));
+    }
+  }
+
+  std::printf(
+      "\nThe TP collectives ride the intra-node NVLink ring; forward all-reduces are\n"
+      "fully exposed, backward ones partially hide under the weight-gradient GEMMs.\n"
+      "Per-device parameters and activations shrink toward 1/TP for the sharded\n"
+      "portions (LN rows, residual streams and the gathered logits stay replicated).\n");
+
+  // --- The capacity headline: Transformer-Big fits at TP=4 where TP=1 OOMs.
+  print_header("Capacity: Transformer-Big activation arena sized by the TP=4 scan");
+  {
+    const models::TransformerConfig cfg = models::TransformerConfig::big();
+    data::MtDataset ds(cfg.vocab, 192, 8, 70, 17);
+    auto batches = data::make_mt_batches(ds, mt_tokens, DType::kF16);
+    const models::MtBatch& batch = data::largest_batch(batches);
+
+    auto probe = [&](int tp) {
+      dist::ProcessGroup pg(hybrid_cluster(tp));
+      core::CapacityScanOptions opt;
+      opt.seed = 17;
+      opt.profile = simgpu::a100();
+      opt.tp_group = tp > 1 ? &pg : nullptr;
+      return core::capacity_scan(
+          [&](BufferAllocator* alloc) {
+            models::TransformerConfig c = cfg;
+            c.tp.size = tp;
+            c.tp.simulate_peers = false;
+            return std::make_unique<models::Transformer>(c, System::kLightSeq2,
+                                                         DType::kF16, 17, alloc);
+          },
+          batch, opt);
+    };
+    g_capacity.arena_bytes = probe(4);
+    g_capacity.tp1_need_bytes = probe(1);
+
+    auto try_step = [&](int tp) {
+      SessionConfig sc;
+      sc.system = System::kLightSeq2;
+      sc.profile = simgpu::a100();
+      sc.mode = simgpu::ExecMode::kModelOnly;
+      sc.dtype = DType::kF16;
+      sc.arena_bytes = g_capacity.arena_bytes;
+      Session session(sc);
+      dist::ProcessGroup pg(hybrid_cluster(tp));
+      if (tp > 1) session.ctx().tp_group = &pg;
+      models::TransformerConfig c = cfg;
+      c.tp.size = tp;
+      c.tp.simulate_peers = false;
+      models::Transformer model(c, System::kLightSeq2, DType::kF16, 17,
+                                session.param_alloc());
+      optim::OptimConfig ocfg;
+      auto trainer = optim::make_trainer(System::kLightSeq2, model.params(), ocfg,
+                                         session.param_alloc());
+      try {
+        (void)core::train_step(session, model, batch, *trainer, hybrid_cluster(tp));
+        return true;
+      } catch (const mem::OutOfMemory&) {
+        return false;
+      }
+    };
+    g_capacity.tp4_fits = try_step(4);
+    g_capacity.tp1_overflows = !try_step(1);
+    std::printf("arena (TP=4 scan):   %8.1f MB\n", g_capacity.arena_bytes / 1e6);
+    std::printf("TP=1 would need:     %8.1f MB\n", g_capacity.tp1_need_bytes / 1e6);
+    std::printf("TP=4 in that arena:  %s\n", g_capacity.tp4_fits ? "fits" : "OOM");
+    std::printf("TP=1 in that arena:  %s\n",
+                g_capacity.tp1_overflows ? "OOM (as it must)" : "fits (?!)");
+    LS2_CHECK(g_capacity.tp4_fits && g_capacity.tp1_overflows)
+        << "the capacity demonstration regressed";
+  }
+
+  write_json();
+  return 0;
+}

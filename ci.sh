@@ -1,55 +1,92 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure, build everything, run the full test suite.
-# Fails on the first error, including any ctest failure — run this before
-# merging anything.
+# Tier-1 verification, parameterized for the CI matrix (.github/workflows/ci.yml):
+#
+#   ./ci.sh [--preset release|sanitize] [--smoke full|tp]
+#
+#   --preset release   Release build with -Werror (default). Runs the full
+#                      test suite, smoke-runs every fig* bench, and
+#                      schema-checks the machine-readable JSON outputs.
+#   --preset sanitize  Debug build under ASan+UBSan (halt on first report).
+#                      Tests only — the analytic benches add nothing under a
+#                      sanitizer but cost minutes.
+#   --smoke full       Everything the preset covers (default).
+#   --smoke tp         Tensor-parallel smoke lane: builds everything, runs
+#                      the TP test binary, and (release only) runs fig_tp
+#                      and schema-checks its JSON. Fast signal that the
+#                      sharded path still holds its parity/capacity claims.
+#
+# Fails on the first error; a bench that exits nonzero OR writes no/invalid
+# JSON fails the run (ci/check_bench_json.py — python3 is required for the
+# release preset, so missing validation can never pass silently).
 set -euo pipefail
 cd "$(dirname "$0")"
 
-cmake -B build -S .
-cmake --build build -j "$(nproc)"
-cd build
-ctest --output-on-failure -j "$(nproc)"
-
-# Smoke-run EVERY paper-figure bench (all run in kModelOnly, so this is
-# cheap) so bench binaries can't bit-rot silently, then validate the
-# machine-readable outputs perf-trajectory tracking relies on.
-for bench in ./fig*; do
-  [ -x "$bench" ] || continue
-  echo "ci.sh: smoke-running $bench"
-  "$bench" >/dev/null
+PRESET=release
+SMOKE=full
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --preset) PRESET="${2:?ci.sh: --preset needs a value (release|sanitize)}"; shift 2 ;;
+    --smoke) SMOKE="${2:?ci.sh: --smoke needs a value (full|tp)}"; shift 2 ;;
+    *) echo "ci.sh: unknown argument '$1'" >&2; exit 2 ;;
+  esac
 done
-if command -v python3 >/dev/null 2>&1; then
-  python3 -m json.tool bench/fig22.json >/dev/null
-  echo "ci.sh: bench/fig22.json parses"
-  python3 -m json.tool bench/fig_launch_graph.json >/dev/null
-  echo "ci.sh: bench/fig_launch_graph.json parses"
-  # fig_serve: parse + schema-check the fields the serving claims rest on
-  # (continuous >= 1.5x static tokens/sec; replayed decode beats eager on the
-  # launch-bound small-batch profile).
-  python3 - <<'EOF'
-import json
-with open("bench/fig_serve.json") as f:
-    doc = json.load(f)
-assert doc["figure"] == "fig_serve" and doc["schema"] == 1
-rows = doc["configs"]
-assert rows, "fig_serve.json has no configs"
-for r in rows:
-    assert r["section"] in ("batching", "graph"), r
-    for key in ("profile", "slots", "rate_per_sec", "requests",
-                "tokens_per_sec_speedup", "decode_steps"):
-        assert key in r, (key, r)
-batching = [r for r in rows if r["section"] == "batching"]
-graph = [r for r in rows if r["section"] == "graph"]
-assert batching and graph
-assert all(r["tokens_per_sec_speedup"] >= 1.5 for r in batching), \
-    "continuous batching must be >= 1.5x static tokens/sec"
-small = min(graph, key=lambda r: r["slots"])
-assert small["tokens_per_sec_speedup"] > 1.2 and small["replayed_steps"] > 0, \
-    "graph-replayed decode must beat eager on the launch-bound profile"
-print("ci.sh: bench/fig_serve.json parses and passes the schema check")
-EOF
+
+case "$PRESET" in
+  release)
+    BUILD_DIR=build-release
+    CMAKE_ARGS=(-DCMAKE_BUILD_TYPE=Release -DLS2_WERROR=ON)
+    ;;
+  sanitize)
+    BUILD_DIR=build-sanitize
+    SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+    CMAKE_ARGS=(-DCMAKE_BUILD_TYPE=Debug
+                "-DCMAKE_CXX_FLAGS=${SAN_FLAGS}"
+                "-DCMAKE_EXE_LINKER_FLAGS=${SAN_FLAGS}")
+    ;;
+  *) echo "ci.sh: unknown preset '$PRESET'" >&2; exit 2 ;;
+esac
+case "$SMOKE" in full|tp) ;; *) echo "ci.sh: unknown smoke '$SMOKE'" >&2; exit 2 ;; esac
+
+echo "ci.sh: preset=$PRESET smoke=$SMOKE -> $BUILD_DIR"
+cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+cd "$BUILD_DIR"
+
+# A hang is a failure, not a stall: every test binary gets a hard timeout —
+# and a filter that matches nothing is a failure too, never a silent pass.
+if [ "$SMOKE" = tp ]; then
+  ctest --output-on-failure --timeout 300 --no-tests=error -R tensor_parallel_test
 else
-  echo "ci.sh: python3 not found — skipped JSON validation"
+  ctest --output-on-failure --timeout 300 --no-tests=error -j "$(nproc)"
+fi
+
+if [ "$PRESET" != release ]; then
+  echo "ci.sh: $PRESET preset done (benches are a release-lane concern)"
+  exit 0
+fi
+
+command -v python3 >/dev/null 2>&1 || {
+  echo "ci.sh: python3 is required to validate bench JSON" >&2; exit 1; }
+
+# Stale outputs from a previous invocation must never pass validation: a
+# bench that silently stops writing its JSON has to FAIL the schema check.
+rm -f bench/fig*.json
+
+if [ "$SMOKE" = tp ]; then
+  echo "ci.sh: smoke-running ./fig_tp"
+  ./fig_tp >/dev/null
+  python3 ../ci/check_bench_json.py fig_tp
+else
+  # Smoke-run EVERY paper-figure bench (all run in kModelOnly, so this is
+  # cheap) so bench binaries can't bit-rot silently, then schema-check the
+  # machine-readable outputs perf-trajectory tracking relies on — a bench
+  # that silently writes nothing (or garbage) fails here.
+  for bench in ./fig*; do
+    [ -x "$bench" ] || continue
+    echo "ci.sh: smoke-running $bench"
+    "$bench" >/dev/null
+  done
+  python3 ../ci/check_bench_json.py fig22 fig_launch_graph fig_serve fig_tp
 fi
 
 echo "ci.sh: all checks passed"

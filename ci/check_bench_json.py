@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Schema checks for the machine-readable bench outputs.
+
+Every fig* bench that makes a perf/memory claim writes a bench/<name>.json;
+CI fails if a file is missing, unparsable, or violates its figure's schema —
+a bench that silently writes nothing must not pass. Run from the build
+directory (where ci.sh smoke-runs the benches):
+
+    python3 ci/check_bench_json.py [fig22 fig_launch_graph fig_serve fig_tp]
+
+With no arguments, every known figure is checked.
+"""
+import json
+import sys
+from pathlib import Path
+
+
+def fail(msg):
+    print(f"check_bench_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(name):
+    path = Path("bench") / f"{name}.json"
+    if not path.exists():
+        fail(f"{path} was not written (did the bench silently skip its output?)")
+    try:
+        doc = json.loads(path.read_text())
+    except json.JSONDecodeError as e:
+        fail(f"{path} is not valid JSON: {e}")
+    if doc.get("figure") != name or doc.get("schema") != 1:
+        fail(f"{path}: figure/schema header mismatch: {doc.get('figure')}/{doc.get('schema')}")
+    rows = doc.get("configs")
+    if not isinstance(rows, list) or not rows:
+        fail(f"{path} has no configs")
+    return doc, rows
+
+
+def require(row, keys, where):
+    for key in keys:
+        if key not in row:
+            fail(f"{where}: missing key '{key}' in {row}")
+
+
+def check_fig22():
+    _, rows = load("fig22")
+    for r in rows:
+        require(r, ("section", "model", "system", "gpus", "words_per_sec", "step_us",
+                    "sync_exposed_us", "sync_overlapped_us", "sync_blocking_us",
+                    "wire_bytes"), "fig22")
+        if r["step_us"] <= 0 or r["words_per_sec"] <= 0:
+            fail(f"fig22: non-positive timing in {r}")
+    overlap = [r for r in rows if r["gpus"] > 1]
+    if not overlap:
+        fail("fig22 has no multi-GPU rows")
+    if not any(r["sync_overlapped_us"] > 0 for r in overlap):
+        fail("fig22: overlapped sync never hides any communication")
+
+
+def check_fig_launch_graph():
+    _, rows = load("fig_launch_graph")
+    for r in rows:
+        require(r, ("section", "model", "batch_tokens", "eager_step_us",
+                    "replay_step_us", "speedup", "replayed"), "fig_launch_graph")
+    replayed = [r for r in rows if r["replayed"]]
+    if not replayed:
+        fail("fig_launch_graph: no replayed rows")
+    small = min(replayed, key=lambda r: r["batch_tokens"])
+    if small["speedup"] < 1.2:
+        fail("fig_launch_graph: replay must win >= 1.2x at the launch-bound point "
+             f"(got {small['speedup']:.2f}x)")
+
+
+def check_fig_serve():
+    _, rows = load("fig_serve")
+    for r in rows:
+        if r["section"] not in ("batching", "graph"):
+            fail(f"fig_serve: unknown section in {r}")
+        require(r, ("profile", "slots", "rate_per_sec", "requests",
+                    "tokens_per_sec_speedup", "decode_steps"), "fig_serve")
+    batching = [r for r in rows if r["section"] == "batching"]
+    graph = [r for r in rows if r["section"] == "graph"]
+    if not batching or not graph:
+        fail("fig_serve: missing a section")
+    if not all(r["tokens_per_sec_speedup"] >= 1.5 for r in batching):
+        fail("fig_serve: continuous batching must be >= 1.5x static tokens/sec")
+    small = min(graph, key=lambda r: r["slots"])
+    if small["tokens_per_sec_speedup"] <= 1.2 or small["replayed_steps"] <= 0:
+        fail("fig_serve: graph-replayed decode must beat eager on the "
+             "launch-bound profile")
+
+
+def check_fig_tp():
+    doc, rows = load("fig_tp")
+    models = set()
+    for r in rows:
+        require(r, ("model", "profile", "tp", "dp", "step_us", "tp_comm_us",
+                    "tp_exposed_us", "params_mb", "act_peak_mb", "max_live_mb"),
+                "fig_tp")
+        models.add(r["model"])
+        if r["tp"] * r["dp"] != 4:
+            fail(f"fig_tp: tp x dp must cover the 4-GPU node in {r}")
+        if r["tp"] == 1 and r["tp_comm_us"] != 0:
+            fail(f"fig_tp: TP=1 must charge no TP communication in {r}")
+        if r["tp"] > 1 and r["tp_comm_us"] <= 0:
+            fail(f"fig_tp: sharded run charged no TP communication in {r}")
+    if len(models) < 4:
+        fail(f"fig_tp: expected the four-model zoo, got {sorted(models)}")
+    for model in models:
+        by_tp = {r["tp"]: r for r in rows if r["model"] == model}
+        if not {1, 2, 4} <= set(by_tp):
+            fail(f"fig_tp: model {model} missing a TP degree")
+        if not by_tp[4]["params_mb"] < by_tp[2]["params_mb"] < by_tp[1]["params_mb"]:
+            fail(f"fig_tp: per-device parameters must shrink with TP for {model}")
+    cap = doc.get("capacity")
+    if not cap:
+        fail("fig_tp: missing the capacity section")
+    require(cap, ("model", "arena_mb", "tp1_need_mb", "tp4_fits", "tp1_overflows"),
+            "fig_tp.capacity")
+    if not (cap["tp4_fits"] is True and cap["tp1_overflows"] is True):
+        fail("fig_tp: the capacity headline regressed — Transformer-Big must fit "
+             "at TP=4 in an arena TP=1 overflows")
+    if not cap["arena_mb"] < cap["tp1_need_mb"]:
+        fail("fig_tp: the TP=4 arena must be smaller than the TP=1 requirement")
+
+
+CHECKS = {
+    "fig22": check_fig22,
+    "fig_launch_graph": check_fig_launch_graph,
+    "fig_serve": check_fig_serve,
+    "fig_tp": check_fig_tp,
+}
+
+
+def main(argv):
+    names = argv[1:] or list(CHECKS)
+    for name in names:
+        if name not in CHECKS:
+            fail(f"unknown figure '{name}' (known: {', '.join(CHECKS)})")
+        CHECKS[name]()
+        print(f"check_bench_json: bench/{name}.json OK")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -5,6 +5,7 @@
 // so "arena-sized-by-capacity-scan" means the same thing everywhere.
 #pragma once
 
+#include "dist/process_group.h"
 #include "layers/layer_context.h"
 #include "memory/caching_allocator.h"
 #include "memory/measuring_allocator.h"
@@ -25,6 +26,9 @@ struct CapacityScanOptions {
   uint64_t seed = 17;
   /// Fractional slack added on top of the measured peak.
   double headroom = 1.0 / 16.0;
+  /// Tensor-parallel communicator for probing a TP-sharded model (the probe
+  /// context needs it so shard-accounted activations size like a real rank).
+  dist::ProcessGroup* tp_group = nullptr;
 };
 
 /// Probe `make(param_alloc)`'s forward+backward over `batch` and return a
@@ -40,6 +44,7 @@ size_t capacity_scan(MakeModel&& make, const Batch& batch,
   mem::MeasuringAllocator probe;
   layers::LayerContext ctx(dev, &probe,
                            layers::policy_for(layers::System::kLightSeq2), opt.seed);
+  ctx.tp_group = opt.tp_group;
   auto model = make(&param_alloc);
   model->params().zero_grads();
   model->forward(ctx, batch);

@@ -19,6 +19,8 @@
 #include "dist/allreduce.h"     // IWYU pragma: export
 #include "dist/bucket.h"        // IWYU pragma: export
 #include "dist/data_parallel.h" // IWYU pragma: export
+#include "dist/process_group.h"    // IWYU pragma: export
+#include "dist/tensor_parallel.h"  // IWYU pragma: export
 #include "infer/batcher.h"      // IWYU pragma: export
 #include "infer/generator.h"    // IWYU pragma: export
 #include "infer/kv_cache.h"     // IWYU pragma: export

@@ -64,6 +64,9 @@ void Session::store_graph(simgpu::StepGraph graph) {
 }
 
 void Session::end_step() {
+  // TP shard reservations (LayerContext::alloc_shard) are per-step device
+  // allocations; drop them before the arena's everything-returned check.
+  ctx_->release_tp_reservations();
   if (arena_ != nullptr) arena_->reset();
   ++step_index_;
 }

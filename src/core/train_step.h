@@ -22,6 +22,7 @@
 
 #include <algorithm>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -57,6 +58,12 @@ struct StepTimes {
   /// zero-grad/forward/backward region ran as ONE graph launch with no
   /// per-kernel launch gaps (SessionConfig::graph_capture).
   bool replayed = false;
+  // --- tensor parallelism (DESIGN §7; 0 when cluster.tensor_parallel == 1).
+  // TP collectives run inside forward/backward on the comm stream; their
+  // exposed waits are already contained in forward_us/backward_us.
+  double tp_comm_us = 0;     ///< TP collective time enqueued this step
+  double tp_exposed_us = 0;  ///< portion the compute stream waited on
+  int64_t tp_bytes = 0;      ///< logical TP payload bytes this step
   double total_us() const { return forward_us + backward_us + sync_us + update_us; }
 };
 
@@ -94,10 +101,29 @@ auto train_step(Session& session, ModelT& model, const BatchT& batch,
     -> std::pair<StepTimes, decltype(model.forward(session.ctx(), batch))> {
   auto& dev = session.device();
   StepTimes times;
+  // Hybrid data x model parallel composition: the model's TP collectives
+  // charge through the session context's ProcessGroup, and the gradient
+  // ring below runs over the dp_size() replicas of this shard. The three
+  // TP settings (cluster, session ProcessGroup, model config) must agree
+  // in BOTH directions — a half-wired setup would silently mis-account
+  // the very numbers this step reports.
+  dist::ProcessGroup* tp_group = session.ctx().tp_group;
+  LS2_CHECK((tp_group != nullptr ? tp_group->tp_size() : 1) == cluster.tensor_parallel)
+      << "cluster.tensor_parallel = " << cluster.tensor_parallel
+      << " but the session's ProcessGroup is "
+      << (tp_group ? std::to_string(tp_group->tp_size()) : std::string("absent"))
+      << " — install a matching group as session.ctx().tp_group";
+  if constexpr (requires { model.config().tp.size; }) {
+    LS2_CHECK(model.config().tp.size == cluster.tensor_parallel)
+        << "model was built with tp.size = " << model.config().tp.size
+        << " but cluster.tensor_parallel = " << cluster.tensor_parallel;
+  }
+  const dist::ProcessGroup::Stats tp0 =
+      tp_group ? tp_group->stats() : dist::ProcessGroup::Stats{};
   // Per-step prologue: advances the RNG step offset (the per-step graph
   // parameter) and picks eager / capture / replay for the static region.
   const GraphAction graph_action = session.begin_step();
-  const bool sync_needed = cluster.total_gpus() > 1;
+  const bool sync_needed = cluster.dp_size() > 1;
   const bool overlap = sync_needed && cluster.overlap;
   const bool pipeline = overlap && cluster.pipeline_update;
   const int64_t grad_bytes = static_cast<int64_t>(model.params().flat_grad_bytes());
@@ -247,8 +273,20 @@ auto train_step(Session& session, ModelT& model, const BatchT& batch,
     times.sync_us = t3 - t2;
     times.update_us = (t4 - t3) + times.zero_grad_us;
   }
+  // TP epilogue: mirror the update onto the simulated peer shards (host
+  // bookkeeping on a private device — charges nothing here; a no-op when
+  // TP is off or peers are not simulated).
+  if constexpr (requires { model.tp_finish_step(trainer); }) {
+    model.tp_finish_step(trainer);
+  }
   session.end_step();
 
+  if (tp_group != nullptr) {
+    const dist::ProcessGroup::Stats tp1 = tp_group->stats();
+    times.tp_comm_us = tp1.comm_us - tp0.comm_us;
+    times.tp_exposed_us = tp1.exposed_us - tp0.exposed_us;
+    times.tp_bytes = tp1.bytes - tp0.bytes;
+  }
   times.forward_us = t1 - t0;
   times.backward_us = t2 - t1;
   return {times, result};

@@ -6,16 +6,6 @@
 
 namespace ls2::data {
 
-namespace {
-
-std::vector<float> to_float(const std::vector<int32_t>& v) {
-  std::vector<float> out(v.size());
-  for (size_t i = 0; i < v.size(); ++i) out[i] = static_cast<float>(v[i]);
-  return out;
-}
-
-}  // namespace
-
 // ------------------------------------------------------------- MtDataset ---
 
 MtDataset::MtDataset(int64_t vocab, int64_t size, int64_t min_len, int64_t max_len,

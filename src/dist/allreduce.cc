@@ -14,7 +14,14 @@ double ring_allreduce_us(int64_t bytes, const ClusterConfig& cluster,
   LS2_CHECK(bytes >= 0) << "negative all-reduce size";
   LS2_CHECK(cluster.gpus_per_node >= 1 && cluster.nodes >= 1)
       << cluster.gpus_per_node << "x" << cluster.nodes;
-  const int n = cluster.total_gpus();
+  LS2_CHECK(cluster.tensor_parallel >= 1 &&
+            cluster.gpus_per_node % cluster.tensor_parallel == 0)
+      << "tensor_parallel " << cluster.tensor_parallel << " must divide gpus_per_node "
+      << cluster.gpus_per_node;
+  // The gradient ring runs over the DATA-parallel group: with hybrid
+  // data x model parallelism each rank only syncs its own shard with the
+  // dp_size() replicas holding the same shard.
+  const int n = cluster.dp_size();
   if (n <= 1 || bytes == 0) return 0.0;
   const double bus_gb_s = bottleneck_bus_gb_s(cluster, profile);
   const double steps = 2.0 * (n - 1);

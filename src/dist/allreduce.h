@@ -45,8 +45,16 @@ struct ClusterConfig {
   /// rounding per hop. Pair FP16 wire with dynamic loss scaling
   /// (OptimConfig::dynamic_loss_scale) so overflows are caught per bucket.
   DType wire_dtype = DType::kF32;
+  /// Tensor-parallel degree (DESIGN.md §7): each replica's layers are
+  /// sharded Megatron-style across this many GPUs of one node, and the
+  /// remaining factor total_gpus()/tensor_parallel is the data-parallel
+  /// replica count. Must divide gpus_per_node — a TP group's collectives
+  /// stay on the intra-node NVLink ring and never cross the fabric.
+  int tensor_parallel = 1;
 
   int total_gpus() const { return gpus_per_node * nodes; }
+  /// Data-parallel replica count of the hybrid layout.
+  int dp_size() const { return total_gpus() / tensor_parallel; }
 };
 
 /// Bytes `storage_bytes` of `storage_dtype` gradients occupy on the wire

@@ -12,9 +12,11 @@ int64_t effective_bucket_bytes(const ClusterConfig& cluster,
   // 2(N-1) * step_latency. Requiring wire >= 4x latency gives
   //     B >= 4 * step_latency * N * bus,
   // which bounds bucketing's total latency overhead at 25% of the wire time
-  // no matter how many buckets the model splits into.
+  // no matter how many buckets the model splits into. N is the ring the
+  // gradients actually travel: the DATA-parallel group (under hybrid
+  // data x model parallelism the TP peers are not on this ring).
   const double min_bytes = 4.0 * profile.allreduce_latency_us *
-                           cluster.total_gpus() *
+                           cluster.dp_size() *
                            bottleneck_bus_gb_s(cluster, profile) * 1e3;
   return std::max(cluster.bucket_bytes, static_cast<int64_t>(min_bytes));
 }

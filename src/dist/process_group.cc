@@ -1,0 +1,112 @@
+#include "dist/process_group.h"
+
+#include "common/check.h"
+
+namespace ls2::dist {
+
+ProcessGroup::ProcessGroup(ClusterConfig cluster) : cluster_(cluster) {
+  LS2_CHECK(cluster_.tensor_parallel >= 1) << "tensor_parallel must be positive";
+  LS2_CHECK(cluster_.gpus_per_node % cluster_.tensor_parallel == 0)
+      << "tensor_parallel " << cluster_.tensor_parallel
+      << " must divide gpus_per_node " << cluster_.gpus_per_node
+      << " — a TP group never crosses the node boundary";
+}
+
+int ProcessGroup::tp_rank(int rank) const {
+  LS2_CHECK(rank >= 0 && rank < world_size()) << "rank " << rank;
+  return rank % tp_size();
+}
+
+int ProcessGroup::dp_rank(int rank) const {
+  LS2_CHECK(rank >= 0 && rank < world_size()) << "rank " << rank;
+  return rank / tp_size();
+}
+
+std::vector<int> ProcessGroup::tp_group_ranks(int rank) const {
+  const int base = rank - tp_rank(rank);
+  std::vector<int> ranks;
+  ranks.reserve(static_cast<size_t>(tp_size()));
+  for (int i = 0; i < tp_size(); ++i) ranks.push_back(base + i);
+  return ranks;
+}
+
+std::vector<int> ProcessGroup::dp_group_ranks(int rank) const {
+  const int offset = tp_rank(rank);
+  std::vector<int> ranks;
+  ranks.reserve(static_cast<size_t>(dp_size()));
+  for (int r = 0; r < dp_size(); ++r) ranks.push_back(r * tp_size() + offset);
+  return ranks;
+}
+
+double ProcessGroup::all_reduce_us(int64_t bytes,
+                                   const simgpu::DeviceProfile& profile) const {
+  LS2_CHECK(bytes >= 0);
+  const int k = tp_size();
+  if (k <= 1 || bytes == 0) return 0.0;
+  const double steps = 2.0 * (k - 1);
+  const double chunk = static_cast<double>(bytes) / k;
+  return steps * chunk / (profile.nvlink_bus_gb_s * 1e3) +
+         steps * profile.allreduce_latency_us;
+}
+
+double ProcessGroup::all_gather_us(int64_t full_bytes,
+                                   const simgpu::DeviceProfile& profile) const {
+  LS2_CHECK(full_bytes >= 0);
+  const int k = tp_size();
+  if (k <= 1 || full_bytes == 0) return 0.0;
+  const double steps = static_cast<double>(k - 1);
+  const double chunk = static_cast<double>(full_bytes) / k;
+  return steps * chunk / (profile.nvlink_bus_gb_s * 1e3) +
+         steps * profile.allreduce_latency_us;
+}
+
+double ProcessGroup::reduce_scatter_us(int64_t full_bytes,
+                                       const simgpu::DeviceProfile& profile) const {
+  return all_gather_us(full_bytes, profile);  // the mirror ring phase
+}
+
+double ProcessGroup::charge(simgpu::Device& dev, double us, int64_t bytes) {
+  const double done = dev.enqueue_comm(us, "tp");
+  if (us > 0) {
+    stats_.collectives += 1;
+    stats_.bytes += bytes;
+    stats_.comm_us += us;
+  }
+  return done;
+}
+
+double ProcessGroup::all_reduce_begin(simgpu::Device& dev, int64_t bytes,
+                                      const std::string& what) {
+  (void)what;
+  return charge(dev, all_reduce_us(bytes, dev.profile()), bytes);
+}
+
+double ProcessGroup::all_gather_begin(simgpu::Device& dev, int64_t full_bytes,
+                                      const std::string& what) {
+  (void)what;
+  return charge(dev, all_gather_us(full_bytes, dev.profile()), full_bytes);
+}
+
+double ProcessGroup::reduce_scatter_begin(simgpu::Device& dev, int64_t full_bytes,
+                                          const std::string& what) {
+  (void)what;
+  return charge(dev, reduce_scatter_us(full_bytes, dev.profile()), full_bytes);
+}
+
+double ProcessGroup::wait(simgpu::Device& dev, double t_done_us, const std::string& what) {
+  const double exposed = dev.wait_comm_until(t_done_us, what);
+  stats_.exposed_us += exposed;
+  return exposed;
+}
+
+double ProcessGroup::all_reduce(simgpu::Device& dev, int64_t bytes,
+                                const std::string& what) {
+  return wait(dev, all_reduce_begin(dev, bytes, what), what);
+}
+
+double ProcessGroup::all_gather(simgpu::Device& dev, int64_t full_bytes,
+                                const std::string& what) {
+  return wait(dev, all_gather_begin(dev, full_bytes, what), what);
+}
+
+}  // namespace ls2::dist

@@ -1,0 +1,95 @@
+// Process groups for hybrid data x model parallelism (DESIGN.md §7).
+//
+// A ClusterConfig with tensor_parallel = k splits its ranks into two
+// orthogonal communicators, Megatron-style:
+//
+//   * the TENSOR-parallel group — k consecutive ranks of one node, sharing
+//     one replica's sharded layers. Its collectives (all_gather /
+//     reduce_scatter / all_reduce) ride the intra-node NVLink ring and are
+//     charged on the device's communication stream, so they can overlap
+//     compute up to the stream-wait that consumes their result;
+//   * the DATA-parallel group — the total_gpus()/k ranks holding the SAME
+//     shard, over which the existing bucketed gradient all-reduce runs
+//     (dist/allreduce.h charges that ring at dp_size()).
+//
+// Rank layout: rank = node * gpus_per_node + local, with the TP group the k
+// consecutive locals {local - local%k .. +k} — so TP never crosses a node
+// boundary (the ctor enforces k | gpus_per_node) and DP strides across
+// TP blocks and nodes.
+//
+// The simulated collectives REDUCE IN RANK ORDER (an in-order ring): that
+// deterministic order is what makes the row-parallel partial sums land
+// bitwise identical to the unsharded GEMM's ascending-k accumulation — the
+// foundation of the TP parity guarantee (tests/tensor_parallel_test.cc).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dist/allreduce.h"
+#include "simgpu/device.h"
+
+namespace ls2::dist {
+
+class ProcessGroup {
+ public:
+  explicit ProcessGroup(ClusterConfig cluster);
+
+  const ClusterConfig& cluster() const { return cluster_; }
+  int tp_size() const { return cluster_.tensor_parallel; }
+  int dp_size() const { return cluster_.dp_size(); }
+  int world_size() const { return cluster_.total_gpus(); }
+
+  // --- rank math (ranks are 0..world_size) ---
+  int tp_rank(int rank) const;  ///< position within the rank's TP group
+  int dp_rank(int rank) const;  ///< which replica the rank belongs to
+  /// The ranks of `rank`'s tensor-parallel group, ascending (contains rank).
+  std::vector<int> tp_group_ranks(int rank) const;
+  /// The ranks holding the same shard as `rank` (its data-parallel group).
+  std::vector<int> dp_group_ranks(int rank) const;
+
+  // --- analytic TP-group collective times (NVLink ring) ---
+  /// Ring all-reduce of `bytes` over the TP group:
+  /// 2(k-1)/k * bytes / bw + 2(k-1) * latency.
+  double all_reduce_us(int64_t bytes, const simgpu::DeviceProfile& profile) const;
+  /// Ring all-gather assembling `full_bytes` on every rank (each rank
+  /// contributes full_bytes/k): (k-1)/k * full_bytes / bw + (k-1) * latency.
+  double all_gather_us(int64_t full_bytes, const simgpu::DeviceProfile& profile) const;
+  /// Ring reduce-scatter of `full_bytes` down to one shard per rank — the
+  /// all-gather's mirror phase, same wire cost.
+  double reduce_scatter_us(int64_t full_bytes, const simgpu::DeviceProfile& profile) const;
+
+  // --- charging (on the device's comm stream) ---
+  //
+  // begin_* enqueues the transfer and returns its modeled completion time;
+  // wait() stream-waits on that timestamp (the exposed time is charged to
+  // the device's active range and counted in stats). The split lets callers
+  // overlap independent compute between the enqueue and the consuming wait,
+  // exactly like the gradient buckets. The combined forms block immediately.
+  double all_reduce_begin(simgpu::Device& dev, int64_t bytes, const std::string& what);
+  double all_gather_begin(simgpu::Device& dev, int64_t full_bytes, const std::string& what);
+  double reduce_scatter_begin(simgpu::Device& dev, int64_t full_bytes,
+                              const std::string& what);
+  double wait(simgpu::Device& dev, double t_done_us, const std::string& what);
+  double all_reduce(simgpu::Device& dev, int64_t bytes, const std::string& what);
+  double all_gather(simgpu::Device& dev, int64_t full_bytes, const std::string& what);
+
+  /// Cumulative TP-communication accounting (fig_tp's "exposed TP comm").
+  struct Stats {
+    int64_t collectives = 0;
+    int64_t bytes = 0;        ///< logical payload bytes (full tensors)
+    double comm_us = 0;       ///< comm-stream time enqueued
+    double exposed_us = 0;    ///< compute-stream time spent waiting on it
+  };
+  const Stats& stats() const { return stats_; }
+  void reset_stats() { stats_ = Stats{}; }
+
+ private:
+  double charge(simgpu::Device& dev, double us, int64_t bytes);
+
+  ClusterConfig cluster_;
+  Stats stats_;
+};
+
+}  // namespace ls2::dist

@@ -1,0 +1,89 @@
+#include "dist/tensor_parallel.h"
+
+#include <cstring>
+
+#include "common/check.h"
+#include "simgpu/profile.h"
+
+namespace ls2::dist {
+
+TpRuntime::TpRuntime(int tp_size)
+    : tp_size_(tp_size), device_(simgpu::generic(), simgpu::ExecMode::kExecute) {
+  LS2_CHECK(tp_size >= 2) << "TpRuntime is for sharded models";
+}
+
+void TpRuntime::materialize(DType dtype, uint64_t seed) {
+  peers_.materialize(dtype, /*contiguous=*/false, Rng(seed), /*alloc=*/nullptr);
+}
+
+void TpRuntime::zero_grads() { peers_.zero_grads(); }
+
+void TpRuntime::finish_step(const optim::Optimizer& main_trainer) {
+  if (!trainer_) {
+    optim::OptimConfig cfg = main_trainer.config();
+    LS2_CHECK(!cfg.dynamic_loss_scale)
+        << "TP peer simulation needs a static loss scale: the per-range "
+           "overflow checks of a dynamic scaler see different shards per rank";
+    kc_ = std::make_unique<kern::KernelContext>(device_, nullptr, /*seed=*/0);
+    trainer_ = std::make_unique<optim::TorchTrainer>(peers_, cfg);
+  }
+  trainer_->set_lr(main_trainer.config().lr);
+  trainer_->step(*kc_);
+}
+
+namespace {
+
+Tensor find_peer_shard(const layers::ParamRegistry& peers, const std::string& name) {
+  for (int i = 0; i < peers.size(); ++i) {
+    if (peers.name({i}) == name) return peers.value({i});
+  }
+  LS2_CHECK(false) << "peer shard '" << name << "' not declared";
+  return {};
+}
+
+}  // namespace
+
+Tensor gather_full_param(const layers::ParamRegistry& rank0,
+                         const layers::ParamRegistry* peers, layers::ParamRef ref) {
+  const layers::ShardSpec& spec = rank0.shard_spec(ref);
+  if (!spec.sharded()) return rank0.value(ref);
+  LS2_CHECK(peers != nullptr) << "gathering '" << rank0.name(ref)
+                              << "' needs the peer registry";
+  Tensor full = Tensor::empty(rank0.full_shape(ref), rank0.dtype());
+  layers::copy_full_from_shard(rank0.value(ref), full, spec);
+  for (int r = 1; r < spec.count; ++r) {
+    const std::string peer_name = rank0.name(ref) + ".tp" + std::to_string(r);
+    Tensor shard = find_peer_shard(*peers, peer_name);
+    layers::ShardSpec peer_spec = spec;
+    peer_spec.index = r;
+    layers::copy_full_from_shard(shard, full, peer_spec);
+  }
+  return full;
+}
+
+std::string compare_gathered_params(const layers::ParamRegistry& sharded,
+                                    const layers::ParamRegistry* peers,
+                                    const layers::ParamRegistry& reference) {
+  if (sharded.size() != reference.size()) {
+    return "registry size mismatch: " + std::to_string(sharded.size()) + " vs " +
+           std::to_string(reference.size());
+  }
+  for (int i = 0; i < sharded.size(); ++i) {
+    const layers::ParamRef ref{i};
+    if (sharded.name(ref) != reference.name(ref)) {
+      return "declaration order diverged at #" + std::to_string(i) + ": '" +
+             sharded.name(ref) + "' vs '" + reference.name(ref) + "'";
+    }
+    Tensor gathered = gather_full_param(sharded, peers, ref);
+    Tensor expect = reference.value(ref);
+    if (gathered.numel() != expect.numel() || gathered.dtype() != expect.dtype()) {
+      return "'" + sharded.name(ref) + "': gathered shape/dtype mismatch";
+    }
+    if (std::memcmp(gathered.raw(), expect.raw(), expect.bytes()) != 0) {
+      return "'" + sharded.name(ref) + "': gathered values differ from the unsharded run";
+    }
+  }
+  return "";
+}
+
+}  // namespace ls2::dist

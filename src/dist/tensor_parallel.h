@@ -1,0 +1,84 @@
+// Tensor-parallel model runtime (DESIGN.md §7).
+//
+// A model built with TpConfig{size = k} stores rank 0's shards in its
+// normal (device) registry — so bucketing, the flat trainer, checkpoints
+// and memory accounting all see exactly one rank — and, when
+// `simulate_peers` is on, carries ranks 1..k-1's shards in a heap-side peer
+// registry so the full-tensor emulation (layers/tp.h) can assemble weights
+// and scatter gradients. TpRuntime owns that peer state:
+//
+//   * the peer ParamRegistry (per-tensor, heap, initialised from the same
+//     seed with rank-0-pinned RNG streams — shards reassemble bitwise);
+//   * the peer trainer: after the rank-0 trainer's step, finish_step()
+//     applies the SAME elementwise update to the peer shards on a private
+//     throwaway device, so no peer bookkeeping pollutes the simulated
+//     rank-0 clock, stats, or a captured step graph.
+//
+// Timing/bench runs (kModelOnly) set simulate_peers = false: only rank 0's
+// shards exist, which is the honest per-device memory footprint; kernel
+// bodies never run, so nothing ever reads the missing peers.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "kernels/kernel_context.h"
+#include "layers/params.h"
+#include "optim/optimizer.h"
+#include "simgpu/device.h"
+
+namespace ls2::dist {
+
+/// Per-model tensor-parallel configuration (carried in the model configs).
+struct TpConfig {
+  int size = 1;
+  /// Carry ranks 1..size-1's shards so kernel bodies can execute (numeric
+  /// runs). false: rank-0 only — model-only timing/bench runs.
+  bool simulate_peers = true;
+  bool enabled() const { return size > 1; }
+};
+
+class TpRuntime {
+ public:
+  explicit TpRuntime(int tp_size);
+
+  layers::ParamRegistry& peers() { return peers_; }
+  int tp_size() const { return tp_size_; }
+
+  /// Materialise the peer registry (per-tensor mode on the heap) from the
+  /// same seed the model used — call right after the model's materialize.
+  void materialize(DType dtype, uint64_t seed);
+
+  /// Zero the peer gradients (host bookkeeping; rank 0's zeroing is the
+  /// charged kernel). Models call this at the top of forward.
+  void zero_grads();
+
+  /// Apply the rank-0 trainer's update to the peer shards: a config-copied
+  /// per-tensor trainer stepping on a private device. Elementwise-identical
+  /// arithmetic keeps gathered parameters bitwise equal to the unsharded
+  /// run (the trainer-equivalence property of optim/optimizer.h).
+  void finish_step(const optim::Optimizer& main_trainer);
+
+ private:
+  int tp_size_;
+  layers::ParamRegistry peers_;
+  simgpu::Device device_;  ///< throwaway: peer updates must not charge rank 0
+  std::unique_ptr<kern::KernelContext> kc_;
+  std::unique_ptr<optim::Optimizer> trainer_;
+};
+
+/// Reassemble one logical parameter from its shards: `ref` names the rank-0
+/// declaration in `rank0`; peer shards (named "<name>.tp<r>") come from
+/// `peers` (may be null when unsharded). Returns the full tensor.
+Tensor gather_full_param(const layers::ParamRegistry& rank0,
+                         const layers::ParamRegistry* peers, layers::ParamRef ref);
+
+/// "" when every parameter of `sharded` (+ its peers), gathered, is bitwise
+/// the same-named parameter of the unsharded `reference` registry —
+/// otherwise a description of the first mismatch. The TP=k acceptance
+/// check: sharded training must reassemble to the unsharded trajectory.
+std::string compare_gathered_params(const layers::ParamRegistry& sharded,
+                                    const layers::ParamRegistry* peers,
+                                    const layers::ParamRegistry& reference);
+
+}  // namespace ls2::dist

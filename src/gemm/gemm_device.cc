@@ -31,10 +31,13 @@ void check_operands(const Tensor& a, const Tensor& b, const Tensor& c) {
 
 void device_gemm(simgpu::Device& device, bool trans_a, bool trans_b, int64_t m, int64_t n,
                  int64_t k, float alpha, const Tensor& a, const Tensor& b, float beta,
-                 const Tensor& c, const std::string& tag) {
+                 const Tensor& c, const std::string& tag, const GemmCharge* charge) {
   check_operands(a, b, c);
   const bool fp16 = a.dtype() == DType::kF16;
-  const simgpu::KernelDesc desc = make_desc(tag, m, n, k, 1, fp16, beta != 0.0f);
+  const simgpu::KernelDesc desc =
+      charge ? make_desc(tag, charge->m, charge->n, charge->k, charge->batch, fp16,
+                         beta != 0.0f)
+             : make_desc(tag, m, n, k, 1, fp16, beta != 0.0f);
   device.launch(desc, [=, &a, &b, &c] {
     if (fp16) {
       hgemm(trans_a, trans_b, m, n, k, alpha, a.data<Half>(), b.data<Half>(), beta,
@@ -49,10 +52,14 @@ void device_gemm(simgpu::Device& device, bool trans_a, bool trans_b, int64_t m, 
 void device_gemm_batched(simgpu::Device& device, bool trans_a, bool trans_b, int64_t m,
                          int64_t n, int64_t k, float alpha, const Tensor& a, int64_t stride_a,
                          const Tensor& b, int64_t stride_b, float beta, const Tensor& c,
-                         int64_t stride_c, int64_t batch, const std::string& tag) {
+                         int64_t stride_c, int64_t batch, const std::string& tag,
+                         const GemmCharge* charge) {
   check_operands(a, b, c);
   const bool fp16 = a.dtype() == DType::kF16;
-  const simgpu::KernelDesc desc = make_desc(tag, m, n, k, batch, fp16, beta != 0.0f);
+  const simgpu::KernelDesc desc =
+      charge ? make_desc(tag, charge->m, charge->n, charge->k, charge->batch, fp16,
+                         beta != 0.0f)
+             : make_desc(tag, m, n, k, batch, fp16, beta != 0.0f);
   device.launch(desc, [=, &a, &b, &c] {
     if (fp16) {
       hgemm_strided_batched(trans_a, trans_b, m, n, k, alpha, a.data<Half>(), stride_a,

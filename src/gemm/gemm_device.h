@@ -9,18 +9,30 @@
 
 namespace ls2::gemm {
 
+/// Override for the launch's COST model under tensor parallelism: the body
+/// still computes the full (m, n, k, batch) problem — the bitwise stand-in
+/// for the sharded arithmetic, DESIGN.md §7 — but the device is charged for
+/// one rank's shard-shaped GEMM, so the occupancy model sees the real
+/// (smaller) shard shapes a TP rank launches.
+struct GemmCharge {
+  int64_t m = 0, n = 0, k = 0, batch = 1;
+};
+
 /// C = alpha * op(A) @ op(B) + beta * C on the simulated device. A/B/C must
 /// share one dtype (kF32 or kF16); FP16 GEMM is charged at tensor-core
-/// throughput. `tag` names the launch in per-kernel stats.
+/// throughput. `tag` names the launch in per-kernel stats. `charge`
+/// (optional) substitutes shard shapes into the cost model.
 void device_gemm(simgpu::Device& device, bool trans_a, bool trans_b, int64_t m, int64_t n,
                  int64_t k, float alpha, const Tensor& a, const Tensor& b, float beta,
-                 const Tensor& c, const std::string& tag = "cublas.gemm");
+                 const Tensor& c, const std::string& tag = "cublas.gemm",
+                 const GemmCharge* charge = nullptr);
 
 /// Strided batched GEMM in a single launch (cublasGemmStridedBatched).
 void device_gemm_batched(simgpu::Device& device, bool trans_a, bool trans_b, int64_t m,
                          int64_t n, int64_t k, float alpha, const Tensor& a, int64_t stride_a,
                          const Tensor& b, int64_t stride_b, float beta, const Tensor& c,
                          int64_t stride_c, int64_t batch,
-                         const std::string& tag = "cublas.gemm_batched");
+                         const std::string& tag = "cublas.gemm_batched",
+                         const GemmCharge* charge = nullptr);
 
 }  // namespace ls2::gemm

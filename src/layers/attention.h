@@ -17,6 +17,7 @@
 
 #include "layers/layer_context.h"
 #include "layers/params.h"
+#include "layers/tp.h"
 
 namespace ls2::layers {
 
@@ -26,6 +27,11 @@ struct AttentionConfig {
   float attn_dropout = 0.1f;
   float out_dropout = 0.1f;
   bool causal = false;
+  /// Megatron split (DESIGN.md §7): QKV/Q projections column-parallel by
+  /// heads, the per-head attention core local to each rank, the output
+  /// projection row-parallel — one TP all-reduce after it in forward and
+  /// one after the QKV dx in backward. LN params and b_out replicated.
+  TpDecl tp;
   int64_t head_dim() const { return hidden / heads; }
 };
 
@@ -61,7 +67,8 @@ class AttentionCore {
  private:
   AttentionConfig cfg_;
   ParamRegistry* params_;
-  ParamRef w_out_, b_out_;
+  TpParam w_out_;
+  ParamRef b_out_;
 
   struct Saved {
     Tensor q, k, v;          // head layout
@@ -103,7 +110,8 @@ class SelfAttention {
  private:
   AttentionConfig cfg_;
   ParamRegistry* params_;
-  ParamRef ln_gamma_, ln_beta_, w_qkv_, b_qkv_;
+  ParamRef ln_gamma_, ln_beta_;
+  TpParam w_qkv_, b_qkv_;
   AttentionCore core_;
 
   struct Saved {
@@ -132,7 +140,8 @@ class CrossAttention {
  private:
   AttentionConfig cfg_;
   ParamRegistry* params_;
-  ParamRef ln_gamma_, ln_beta_, w_q_, b_q_;
+  ParamRef ln_gamma_, ln_beta_;
+  TpParam w_q_, b_q_;
   AttentionCore core_;
 
   struct Saved {

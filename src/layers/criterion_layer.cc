@@ -6,15 +6,18 @@
 namespace ls2::layers {
 
 CriterionLayer::CriterionLayer(ParamRegistry& params, const std::string& prefix,
-                               CriterionConfig cfg, ParamRef tied_table)
+                               CriterionConfig cfg, TpParam tied_table)
     : cfg_(cfg), params_(&params) {
   if (tied_table.valid()) {
     proj_ = tied_table;
-    LS2_CHECK(params.shape(proj_) == (Shape{cfg.vocab, cfg.hidden}))
+    LS2_CHECK(proj_.full_shape() == (Shape{cfg.vocab, cfg.hidden}))
         << "tied table shape mismatch";
   } else {
-    proj_ = params.declare(prefix + ".output_projection",
-                           Shape{cfg.vocab, cfg.hidden}, Init::kNormal);
+    LS2_CHECK(cfg.tp.size <= 1 || cfg.vocab % cfg.tp.size == 0)
+        << "vocab " << cfg.vocab << " not divisible by tp " << cfg.tp.size
+        << " — pad the vocab (Megatron discipline)";
+    proj_ = TpParam::declare(params, cfg.tp, prefix + ".output_projection",
+                             Shape{cfg.vocab, cfg.hidden}, Init::kNormal, /*dim=*/0);
   }
 }
 
@@ -25,8 +28,15 @@ CriterionResult CriterionLayer::forward(LayerContext& ctx, const Tensor& x,
   LS2_CHECK_EQ(targets.numel(), rows);
   const DType dt = x.dtype();
 
+  // Vocab-sharded projection: each rank computes a [rows, vocab/tp] column
+  // slice (exact), then a TP all-gather concatenates the full logits every
+  // rank needs for the softmax/CE reduction — also exact, so parity holds.
   Tensor logits = ctx.alloc({rows, cfg_.vocab}, dt);
-  linear_fw(ctx, x, params_->value(proj_), logits, "criterion.proj");
+  tp_linear_fw(ctx, x, proj_.value(ctx), logits, "criterion.proj", TpSplit::kColumn);
+  if (ctx.tp_size() > 1) {
+    ctx.tp_group->all_gather(ctx.device(), static_cast<int64_t>(logits.bytes()),
+                             "tp.criterion.gather");
+  }
 
   Tensor loss = ctx.alloc({rows}, DType::kF32);
   Tensor stats = ctx.alloc({rows, 2}, DType::kF32);
@@ -69,17 +79,25 @@ Tensor CriterionLayer::backward(LayerContext& ctx) {
   kern::ls_cross_entropy_bw(ctx.kern, ctx.policy.criterion, s.logits, s.targets, s.stats,
                             dlogits, cfg_.label_smoothing, grad_scale, cfg_.pad_id);
 
+  // Column-parallel backward: dx partials all-reduce over the TP group
+  // (the criterion's backward collective), overlapped with the projection
+  // gradient GEMM inside tp_linear_bw. With tied embeddings that GEMM
+  // accumulates into the rank's vocab shard of the shared table.
   Tensor dx = ctx.alloc({B, L, H}, dt);
-  linear_bw(ctx, dlogits, s.x, params_->value(proj_), dx, params_->grad(proj_),
-            "criterion.proj");
+  {
+    auto dproj = proj_.grad(ctx);
+    tp_linear_bw(ctx, dlogits, s.x, proj_.value(ctx), dx, dproj.tensor(),
+                 "criterion.proj", TpSplit::kColumn);
+  }
   release();
   return dx;
 }
 
 Tensor CriterionLayer::infer_logits(LayerContext& ctx, const Tensor& x) {
+  LS2_CHECK(ctx.tp_size() == 1) << "serving paths run unsharded (TP is a training feature)";
   const int64_t rows = x.shape()[0] * x.shape()[1];
   Tensor logits = ctx.alloc({rows, cfg_.vocab}, x.dtype());
-  linear_fw(ctx, x, params_->value(proj_), logits, "criterion.proj");
+  linear_fw(ctx, x, proj_.value(ctx), logits, "criterion.proj");
   return logits;
 }
 

@@ -7,6 +7,7 @@
 
 #include "layers/layer_context.h"
 #include "layers/params.h"
+#include "layers/tp.h"
 
 namespace ls2::layers {
 
@@ -15,6 +16,14 @@ struct CriterionConfig {
   int64_t hidden = 512;
   float label_smoothing = 0.1f;
   int32_t pad_id = 0;  ///< targets equal to this contribute nothing
+  /// Vocab-shards the (possibly tied) output projection: the logits GEMM is
+  /// column-parallel — each rank computes a [rows, vocab/tp] slice — and a
+  /// TP all-gather (exact concatenation) assembles the full logits every
+  /// rank needs for the softmax/CE reduction. Backward's dx partial sum is
+  /// the criterion's TP all-reduce. Note the gathered logits keep the
+  /// full-vocab activation per rank; a fused vocab-parallel CE that never
+  /// materialises them (Megatron's) is future work.
+  TpDecl tp;
 };
 
 struct CriterionResult {
@@ -25,10 +34,10 @@ struct CriterionResult {
 
 class CriterionLayer {
  public:
-  /// `tied_table`: pass the embedding's table ref to share weights; an
-  /// invalid ref declares a fresh projection matrix.
+  /// `tied_table`: pass the embedding's table handle to share weights; an
+  /// invalid handle declares a fresh projection matrix.
   CriterionLayer(ParamRegistry& params, const std::string& prefix, CriterionConfig cfg,
-                 ParamRef tied_table = {});
+                 TpParam tied_table = {});
 
   /// x: [B, L, H] decoder output; targets: [B, L] i32.
   CriterionResult forward(LayerContext& ctx, const Tensor& x, const Tensor& targets);
@@ -46,7 +55,7 @@ class CriterionLayer {
  private:
   CriterionConfig cfg_;
   ParamRegistry* params_;
-  ParamRef proj_;
+  TpParam proj_;
 
   struct Saved {
     Tensor x, targets, logits, stats;

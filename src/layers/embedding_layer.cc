@@ -7,24 +7,26 @@
 namespace ls2::layers {
 
 EmbeddingLayer::EmbeddingLayer(ParamRegistry& params, const std::string& prefix,
-                               EmbeddingConfig cfg, ParamRef tied_table)
+                               EmbeddingConfig cfg, TpParam tied_table)
     : cfg_(cfg), params_(&params) {
   if (tied_table.valid()) {
     table_ = tied_table;
-    LS2_CHECK(params.shape(table_) == (Shape{cfg.vocab, cfg.hidden}))
+    LS2_CHECK(table_.full_shape() == (Shape{cfg.vocab, cfg.hidden}))
         << "tied embedding shape mismatch";
   } else {
-    table_ = params.declare(prefix + ".token_embedding", Shape{cfg.vocab, cfg.hidden},
-                            Init::kNormal);
+    LS2_CHECK(cfg.tp.size <= 1 || cfg.vocab % cfg.tp.size == 0)
+        << "vocab " << cfg.vocab << " not divisible by tp " << cfg.tp.size
+        << " — pad the vocab (Megatron discipline)";
+    table_ = TpParam::declare(params, cfg.tp, prefix + ".token_embedding",
+                              Shape{cfg.vocab, cfg.hidden}, Init::kNormal, /*dim=*/0);
   }
 }
 
-void EmbeddingLayer::ensure_positions() {
-  const Tensor table = params_->value(table_);
-  if (pos_.defined() && pos_.dtype() == table.dtype()) return;
+void EmbeddingLayer::ensure_positions(DType dtype) {
+  if (pos_.defined() && pos_.dtype() == dtype) return;
   Tensor pos_f32 = Tensor::empty({cfg_.max_len, cfg_.hidden}, DType::kF32);
   kern::init_sinusoidal_positions(pos_f32);
-  pos_ = Tensor::empty({cfg_.max_len, cfg_.hidden}, table.dtype());
+  pos_ = Tensor::empty({cfg_.max_len, cfg_.hidden}, dtype);
   pos_.copy_from(pos_f32.to_vector());
 }
 
@@ -32,24 +34,33 @@ Tensor EmbeddingLayer::forward(LayerContext& ctx, const Tensor& ids) {
   LS2_CHECK(ids.dtype() == DType::kI32);
   const int64_t B = ids.shape()[0], L = ids.shape()[-1];
   LS2_CHECK_LE(L, cfg_.max_len);
-  const Tensor table = params_->value(table_);
-  ensure_positions();
+  // Under TP the lookup runs against the rank's vocab shard producing a
+  // full-size partial (zero rows for foreign ids) that one TP all-reduce
+  // completes — EXACT, since every row has a single owner. The emulation
+  // assembles the full table and looks up directly: the same bits.
+  const Tensor table = table_.value(ctx);
+  ensure_positions(table.dtype());
   Tensor y = ctx.alloc({B, L, cfg_.hidden}, table.dtype());
   Tensor mask = ctx.alloc({B, L, cfg_.hidden}, DType::kU8);
   const float scale = std::sqrt(static_cast<float>(cfg_.hidden));
   kern::embedding_fw(ctx.kern, ctx.policy.embedding, ids, table,
                      pos_.slice(0, L), y, mask, scale, cfg_.dropout,
                      ctx.kern.next_dropout_stream(), cfg_.pad_id);
+  if (ctx.tp_size() > 1) {
+    ctx.tp_group->all_reduce(ctx.device(), static_cast<int64_t>(y.bytes()),
+                             "tp.embed.allreduce");
+  }
   saved_ = Saved{ids, mask};
   return y;
 }
 
 Tensor EmbeddingLayer::prefill(LayerContext& ctx, const Tensor& ids) {
+  LS2_CHECK(ctx.tp_size() == 1) << "serving paths run unsharded (TP is a training feature)";
   LS2_CHECK(ids.dtype() == DType::kI32);
   const int64_t B = ids.shape()[0], L = ids.shape()[-1];
   LS2_CHECK_LE(L, cfg_.max_len);
-  const Tensor table = params_->value(table_);
-  ensure_positions();
+  const Tensor table = table_.value(ctx);
+  ensure_positions(table.dtype());
   Tensor y = ctx.alloc({B, L, cfg_.hidden}, table.dtype());
   Tensor mask = ctx.alloc({B, L, cfg_.hidden}, DType::kU8);
   const float scale = std::sqrt(static_cast<float>(cfg_.hidden));
@@ -60,11 +71,12 @@ Tensor EmbeddingLayer::prefill(LayerContext& ctx, const Tensor& ids) {
 
 Tensor EmbeddingLayer::decode_step(LayerContext& ctx, const Tensor& ids,
                                    const Tensor& positions) {
+  LS2_CHECK(ctx.tp_size() == 1) << "serving paths run unsharded (TP is a training feature)";
   LS2_CHECK(ids.dtype() == DType::kI32);
   const int64_t S = ids.shape()[0];
   LS2_CHECK_EQ(ids.numel(), S) << "decode_step takes one token per slot";
-  const Tensor table = params_->value(table_);
-  ensure_positions();
+  const Tensor table = table_.value(ctx);
+  ensure_positions(table.dtype());
   Tensor y = ctx.alloc({S, 1, cfg_.hidden}, table.dtype());
   const float scale = std::sqrt(static_cast<float>(cfg_.hidden));
   kern::embedding_decode_fw(ctx.kern, ctx.policy.embedding, ids, table, pos_, positions, y,
@@ -76,9 +88,12 @@ void EmbeddingLayer::backward(LayerContext& ctx, const Tensor& dy) {
   LS2_CHECK(saved_.has_value()) << "backward without forward";
   const float scale = std::sqrt(static_cast<float>(cfg_.hidden));
   // Gradients were zeroed at step start; with tied embeddings the output
-  // projection has already accumulated into this table's grad.
+  // projection has already accumulated into this table's grad. Under TP the
+  // scatter-add is LOCAL — each rank only owns its vocab rows — which the
+  // gather->scatter grad scope reproduces slice-exactly.
+  auto d_table = table_.grad(ctx);
   kern::embedding_bw(ctx.kern, ctx.policy.embedding, dy, saved_->ids, saved_->mask,
-                     params_->grad(table_), scale, cfg_.dropout, cfg_.pad_id,
+                     d_table.tensor(), scale, cfg_.dropout, cfg_.pad_id,
                      /*zero_first=*/false);
   release();
 }

@@ -9,6 +9,7 @@
 
 #include "layers/layer_context.h"
 #include "layers/params.h"
+#include "layers/tp.h"
 
 namespace ls2::layers {
 
@@ -18,6 +19,12 @@ struct EmbeddingConfig {
   int64_t max_len = 1024;
   float dropout = 0.1f;
   int32_t pad_id = 0;
+  /// Vocab-shards the token table (Megatron's tied-embedding discipline:
+  /// each rank owns vocab/tp rows; the lookup's partial rows sum over one
+  /// forward TP all-reduce — exact, every row has a single owner — and the
+  /// scatter-add backward stays local). Requires vocab % tp.size == 0 (pad
+  /// the vocab, as Megatron does).
+  TpDecl tp;
 };
 
 class EmbeddingLayer {
@@ -25,7 +32,7 @@ class EmbeddingLayer {
   /// `tied_table` shares another embedding's token table (e.g. source and
   /// target embeddings of a shared-vocabulary translation model).
   EmbeddingLayer(ParamRegistry& params, const std::string& prefix, EmbeddingConfig cfg,
-                 ParamRef tied_table = {});
+                 TpParam tied_table = {});
 
   /// Lazily builds the sinusoidal table on first use (host init, not a
   /// device kernel).
@@ -41,16 +48,16 @@ class EmbeddingLayer {
 
   /// The token table parameter — shared with the output projection when
   /// embeddings are tied.
-  ParamRef table() const { return table_; }
+  const TpParam& table() const { return table_; }
   const EmbeddingConfig& config() const { return cfg_; }
 
  private:
   /// Build pos_ for the table's dtype if not already present.
-  void ensure_positions();
+  void ensure_positions(DType dtype);
 
   EmbeddingConfig cfg_;
   ParamRegistry* params_;
-  ParamRef table_;
+  TpParam table_;
   Tensor pos_;  // sinusoidal, fixed
 
   struct Saved {

@@ -18,6 +18,7 @@ struct TransformerLayerConfig {
   float act_dropout = 0.1f;      ///< FFN activation dropout
   Activation activation = Activation::kRelu;
   bool causal = false;  ///< causal self-attention (GPT-style decoder-only stacks)
+  TpDecl tp;            ///< tensor-parallel sharding of attention + FFN (DESIGN §7)
 
   AttentionConfig attention(bool causal) const {
     AttentionConfig a;
@@ -26,6 +27,7 @@ struct TransformerLayerConfig {
     a.attn_dropout = attn_dropout;
     a.out_dropout = dropout;
     a.causal = causal;
+    a.tp = tp;
     return a;
   }
   FfnConfig ffn() const {
@@ -35,6 +37,7 @@ struct TransformerLayerConfig {
     f.act_dropout = act_dropout;
     f.out_dropout = dropout;
     f.activation = activation;
+    f.tp = tp;
     return f;
   }
 };

@@ -10,13 +10,19 @@ FeedForward::FeedForward(ParamRegistry& params, const std::string& prefix, FfnCo
     : cfg_(cfg),
       params_(&params),
       ln_gamma_(params.declare(prefix + ".ln.gamma", Shape{cfg.hidden}, Init::kOne)),
-      ln_beta_(params.declare(prefix + ".ln.beta", Shape{cfg.hidden}, Init::kZero)),
-      w1_(params.declare(prefix + ".fc1.weight", Shape{cfg.ffn_dim, cfg.hidden},
-                         Init::kXavier)),
-      b1_(params.declare(prefix + ".fc1.bias", Shape{cfg.ffn_dim}, Init::kZero)),
-      w2_(params.declare(prefix + ".fc2.weight", Shape{cfg.hidden, cfg.ffn_dim},
-                         Init::kXavier)),
-      b2_(params.declare(prefix + ".fc2.bias", Shape{cfg.hidden}, Init::kZero)) {}
+      ln_beta_(params.declare(prefix + ".ln.beta", Shape{cfg.hidden}, Init::kZero)) {
+  LS2_CHECK(cfg.tp.size <= 1 || cfg.ffn_dim % cfg.tp.size == 0)
+      << "ffn_dim " << cfg.ffn_dim << " not divisible by tp " << cfg.tp.size;
+  // Registry order matches the unsharded layer declaration-for-declaration,
+  // which is what keeps sharded initialisation streams aligned (DESIGN §7).
+  w1_ = TpParam::declare(params, cfg.tp, prefix + ".fc1.weight",
+                         Shape{cfg.ffn_dim, cfg.hidden}, Init::kXavier, /*dim=*/0);
+  b1_ = TpParam::declare(params, cfg.tp, prefix + ".fc1.bias", Shape{cfg.ffn_dim},
+                         Init::kZero, /*dim=*/0);
+  w2_ = TpParam::declare(params, cfg.tp, prefix + ".fc2.weight",
+                         Shape{cfg.hidden, cfg.ffn_dim}, Init::kXavier, /*dim=*/1);
+  b2_ = params.declare(prefix + ".fc2.bias", Shape{cfg.hidden}, Init::kZero);
+}
 
 Tensor FeedForward::forward(LayerContext& ctx, const Tensor& x) {
   const int64_t B = x.shape()[0], L = x.shape()[1], H = x.shape()[2];
@@ -30,35 +36,46 @@ Tensor FeedForward::forward(LayerContext& ctx, const Tensor& x) {
   kern::layernorm_fw(ctx.kern, pol.layernorm, x, params_->value(ln_gamma_),
                      params_->value(ln_beta_), ln, mean, rstd);
 
-  Tensor h1 = ctx.alloc({B, L, F}, dt);
-  linear_fw(ctx, ln, params_->value(w1_), h1, "ffn.fc1");
+  // fc1 is column-parallel over ffn_dim: h1/a live sharded on a real TP
+  // rank, and the bias+activation+dropout chain runs at shard width.
+  Tensor h1 = ctx.alloc_shard({B, L, F}, dt);
+  tp_linear_fw(ctx, ln, w1_.value(ctx), h1, "ffn.fc1", TpSplit::kColumn);
 
-  Tensor a = ctx.alloc({B, L, F}, dt);
-  Tensor act_mask = ctx.alloc({B, L, F}, DType::kU8);
-  if (pol.fused_elementwise) {
-    if (cfg_.activation == Activation::kRelu) {
-      kern::fused::bias_relu_dropout_fw(ctx.kern, h1, params_->value(b1_), a, act_mask,
-                                        cfg_.act_dropout, ctx.kern.next_dropout_stream());
+  Tensor a = ctx.alloc_shard({B, L, F}, dt);
+  Tensor act_mask = ctx.alloc_shard({B, L, F}, DType::kU8);
+  {
+    TpChargeScale tp_scale(ctx);
+    if (pol.fused_elementwise) {
+      if (cfg_.activation == Activation::kRelu) {
+        kern::fused::bias_relu_dropout_fw(ctx.kern, h1, b1_.value(ctx), a, act_mask,
+                                          cfg_.act_dropout, ctx.kern.next_dropout_stream());
+      } else {
+        kern::fused::bias_gelu_dropout_fw(ctx.kern, h1, b1_.value(ctx), a, act_mask,
+                                          cfg_.act_dropout, ctx.kern.next_dropout_stream());
+      }
     } else {
-      kern::fused::bias_gelu_dropout_fw(ctx.kern, h1, params_->value(b1_), a, act_mask,
-                                        cfg_.act_dropout, ctx.kern.next_dropout_stream());
+      // Framework decomposition; h1 is overwritten with h1+b1 so the same
+      // buffer feeds the activation backward (as PyTorch's autograd saves it).
+      kern::baseline::add_bias(ctx.kern, h1, b1_.value(ctx), h1);
+      Tensor t = ctx.alloc_shard({B, L, F}, dt);
+      if (cfg_.activation == Activation::kRelu) {
+        kern::baseline::relu_fw(ctx.kern, h1, t);
+      } else {
+        kern::baseline::gelu_fw(ctx.kern, h1, t);
+      }
+      kern::dropout_fw(ctx.kern, pol.elementwise, t, a, act_mask, cfg_.act_dropout,
+                       ctx.kern.next_dropout_stream());
     }
-  } else {
-    // Framework decomposition; h1 is overwritten with h1+b1 so the same
-    // buffer feeds the activation backward (as PyTorch's autograd saves it).
-    kern::baseline::add_bias(ctx.kern, h1, params_->value(b1_), h1);
-    Tensor t = ctx.alloc({B, L, F}, dt);
-    if (cfg_.activation == Activation::kRelu) {
-      kern::baseline::relu_fw(ctx.kern, h1, t);
-    } else {
-      kern::baseline::gelu_fw(ctx.kern, h1, t);
-    }
-    kern::dropout_fw(ctx.kern, pol.elementwise, t, a, act_mask, cfg_.act_dropout,
-                     ctx.kern.next_dropout_stream());
   }
 
+  // fc2 is row-parallel: every rank holds a full-size partial of h2 and the
+  // TP all-reduce sums them (in rank order — bitwise the full GEMM).
   Tensor h2 = ctx.alloc({B, L, H}, dt);
-  linear_fw(ctx, a, params_->value(w2_), h2, "ffn.fc2");
+  tp_linear_fw(ctx, a, w2_.value(ctx), h2, "ffn.fc2", TpSplit::kRow);
+  if (ctx.tp_size() > 1) {
+    ctx.tp_group->all_reduce(ctx.device(), static_cast<int64_t>(h2.bytes()),
+                             "tp.ffn.allreduce");
+  }
 
   Tensor y = ctx.alloc({B, L, H}, dt);
   Tensor out_mask = ctx.alloc({B, L, H}, DType::kU8);
@@ -77,7 +94,10 @@ Tensor FeedForward::forward(LayerContext& ctx, const Tensor& x) {
   return y;
 }
 
+// (infer_forward below stays TP-free: serving sessions run unsharded.)
+
 Tensor FeedForward::infer_forward(LayerContext& ctx, const Tensor& x) {
+  LS2_CHECK(ctx.tp_size() == 1) << "serving paths run unsharded (TP is a training feature)";
   const int64_t B = x.shape()[0], L = x.shape()[1], H = x.shape()[2];
   const int64_t F = cfg_.ffn_dim;
   const DType dt = x.dtype();
@@ -90,7 +110,7 @@ Tensor FeedForward::infer_forward(LayerContext& ctx, const Tensor& x) {
                      params_->value(ln_beta_), ln, mean, rstd);
 
   Tensor h1 = ctx.alloc({B, L, F}, dt);
-  linear_fw(ctx, ln, params_->value(w1_), h1, "ffn.fc1");
+  linear_fw(ctx, ln, w1_.value(ctx), h1, "ffn.fc1");
 
   // Bias + activation; the dropout stage runs at p = 0 (identity) so the
   // serving path is bitwise the training forward under zero dropout.
@@ -98,14 +118,14 @@ Tensor FeedForward::infer_forward(LayerContext& ctx, const Tensor& x) {
   if (pol.fused_elementwise) {
     Tensor act_mask = ctx.alloc({B, L, F}, DType::kU8);
     if (cfg_.activation == Activation::kRelu) {
-      kern::fused::bias_relu_dropout_fw(ctx.kern, h1, params_->value(b1_), a, act_mask, 0.0f,
+      kern::fused::bias_relu_dropout_fw(ctx.kern, h1, b1_.value(ctx), a, act_mask, 0.0f,
                                         ctx.kern.next_dropout_stream());
     } else {
-      kern::fused::bias_gelu_dropout_fw(ctx.kern, h1, params_->value(b1_), a, act_mask, 0.0f,
+      kern::fused::bias_gelu_dropout_fw(ctx.kern, h1, b1_.value(ctx), a, act_mask, 0.0f,
                                         ctx.kern.next_dropout_stream());
     }
   } else {
-    kern::baseline::add_bias(ctx.kern, h1, params_->value(b1_), h1);
+    kern::baseline::add_bias(ctx.kern, h1, b1_.value(ctx), h1);
     if (cfg_.activation == Activation::kRelu) {
       kern::baseline::relu_fw(ctx.kern, h1, a);
     } else {
@@ -114,7 +134,7 @@ Tensor FeedForward::infer_forward(LayerContext& ctx, const Tensor& x) {
   }
 
   Tensor h2 = ctx.alloc({B, L, H}, dt);
-  linear_fw(ctx, a, params_->value(w2_), h2, "ffn.fc2");
+  linear_fw(ctx, a, w2_.value(ctx), h2, "ffn.fc2");
 
   Tensor y = ctx.alloc({B, L, H}, dt);
   if (pol.fused_elementwise) {
@@ -145,32 +165,50 @@ Tensor FeedForward::backward(LayerContext& ctx, const Tensor& dy) {
   }
   kern::bias_grad(ctx.kern, dh2, params_->grad(b2_));
 
-  Tensor da = ctx.alloc({B, L, F}, dt);
-  linear_bw(ctx, dh2, s.a, params_->value(w2_), da, params_->grad(w2_), "ffn.fc2");
+  // fc2 (row-parallel) backward is fully local: da is the rank's ffn_dim
+  // slice, dW2 its column shard.
+  Tensor da = ctx.alloc_shard({B, L, F}, dt);
+  {
+    auto dw2 = w2_.grad(ctx);
+    tp_linear_bw(ctx, dh2, s.a, w2_.value(ctx), da, dw2.tensor(), "ffn.fc2",
+                 TpSplit::kRow);
+  }
 
-  // Through activation + dropout.
-  Tensor dh1 = ctx.alloc({B, L, F}, dt);
-  if (pol.fused_elementwise) {
-    if (cfg_.activation == Activation::kRelu) {
-      kern::fused::bias_relu_dropout_bw(ctx.kern, da, s.act_mask, s.h1, params_->value(b1_),
-                                        dh1, cfg_.act_dropout);
+  // Through activation + dropout (shard width under TP).
+  Tensor dh1 = ctx.alloc_shard({B, L, F}, dt);
+  {
+    TpChargeScale tp_scale(ctx);
+    if (pol.fused_elementwise) {
+      if (cfg_.activation == Activation::kRelu) {
+        kern::fused::bias_relu_dropout_bw(ctx.kern, da, s.act_mask, s.h1, b1_.value(ctx),
+                                          dh1, cfg_.act_dropout);
+      } else {
+        kern::fused::bias_gelu_dropout_bw(ctx.kern, da, s.act_mask, s.h1, b1_.value(ctx),
+                                          dh1, cfg_.act_dropout);
+      }
     } else {
-      kern::fused::bias_gelu_dropout_bw(ctx.kern, da, s.act_mask, s.h1, params_->value(b1_),
-                                        dh1, cfg_.act_dropout);
+      Tensor t = ctx.alloc_shard({B, L, F}, dt);
+      kern::dropout_bw(ctx.kern, pol.elementwise, da, s.act_mask, t, cfg_.act_dropout);
+      if (cfg_.activation == Activation::kRelu) {
+        kern::baseline::relu_bw(ctx.kern, t, s.h1, dh1);  // s.h1 holds h1+b1 here
+      } else {
+        kern::baseline::gelu_bw(ctx.kern, t, s.h1, dh1);
+      }
     }
-  } else {
-    Tensor t = ctx.alloc({B, L, F}, dt);
-    kern::dropout_bw(ctx.kern, pol.elementwise, da, s.act_mask, t, cfg_.act_dropout);
-    if (cfg_.activation == Activation::kRelu) {
-      kern::baseline::relu_bw(ctx.kern, t, s.h1, dh1);  // s.h1 holds h1+b1 here
-    } else {
-      kern::baseline::gelu_bw(ctx.kern, t, s.h1, dh1);
+    {
+      auto db1 = b1_.grad(ctx);
+      kern::bias_grad(ctx.kern, dh1, db1.tensor());
     }
   }
-  kern::bias_grad(ctx.kern, dh1, params_->grad(b1_));
 
+  // fc1 (column-parallel) backward: dln partials all-reduce over the TP
+  // group; tp_linear_bw overlaps the transfer with the dW1 GEMM.
   Tensor dln = ctx.alloc({B, L, H}, dt);
-  linear_bw(ctx, dh1, s.ln, params_->value(w1_), dln, params_->grad(w1_), "ffn.fc1");
+  {
+    auto dw1 = w1_.grad(ctx);
+    tp_linear_bw(ctx, dh1, s.ln, w1_.value(ctx), dln, dw1.tensor(), "ffn.fc1",
+                 TpSplit::kColumn);
+  }
 
   Tensor dx = ctx.alloc({B, L, H}, dt);
   kern::layernorm_bw(ctx.kern, pol.layernorm, dln, s.x, params_->value(ln_gamma_), s.mean,

@@ -9,6 +9,7 @@
 
 #include "layers/layer_context.h"
 #include "layers/params.h"
+#include "layers/tp.h"
 
 namespace ls2::layers {
 
@@ -20,6 +21,10 @@ struct FfnConfig {
   float act_dropout = 0.1f;
   float out_dropout = 0.1f;
   Activation activation = Activation::kRelu;
+  /// Megatron split (DESIGN.md §7): W1 column-parallel over ffn_dim, W2
+  /// row-parallel — one TP all-reduce after W2 in forward, one after W1's
+  /// dx in backward. LN params and the output bias stay replicated.
+  TpDecl tp;
 };
 
 class FeedForward {
@@ -36,7 +41,8 @@ class FeedForward {
  private:
   FfnConfig cfg_;
   ParamRegistry* params_;
-  ParamRef ln_gamma_, ln_beta_, w1_, b1_, w2_, b2_;
+  ParamRef ln_gamma_, ln_beta_, b2_;
+  TpParam w1_, b1_, w2_;
 
   struct Saved {
     Tensor x, ln, mean, rstd;

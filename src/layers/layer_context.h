@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "dist/process_group.h"
 #include "kernels/dropout.h"
 #include "kernels/kernel_context.h"
 
@@ -60,11 +61,38 @@ class LayerContext {
     return Tensor::empty(std::move(shape), dtype, act_alloc_);
   }
 
+  /// Allocate an activation that tensor parallelism shards 1/k per device
+  /// (DESIGN.md §7): the returned tensor is FULL-shape (the emulation runs
+  /// the unsharded arithmetic, which is bitwise what the shards reassemble
+  /// to) and heap-backed, while one shard's bytes are reserved from the
+  /// device activation allocator so per-device memory accounting — arena
+  /// sizing, capacity scans, OOM — sees what a real TP rank would allocate.
+  /// Reservations live until release_tp_reservations() (Session::end_step).
+  /// Identical to alloc() when TP is off.
+  Tensor alloc_shard(Shape shape, DType dtype) {
+    const int k = tp_size();
+    if (k <= 1) return alloc(std::move(shape), dtype);
+    const int64_t shard_bytes = static_cast<int64_t>(
+        (shape.numel() * static_cast<int64_t>(dtype_size(dtype)) + k - 1) / k);
+    tp_reservations_.push_back(
+        Tensor::empty({shard_bytes}, DType::kU8, act_alloc_));
+    return Tensor::empty(std::move(shape), dtype);
+  }
+
+  /// Drop the per-step shard reservations (before the arena's end-of-step
+  /// reset, which asserts everything was returned).
+  void release_tp_reservations() { tp_reservations_.clear(); }
+
   simgpu::Device& device() { return kern.dev; }
   BufferAllocator* activation_allocator() { return act_alloc_; }
+  int tp_size() const { return tp_group ? tp_group->tp_size() : 1; }
 
   kern::KernelContext kern;
   Policy policy;
+  /// Tensor-parallel communicator (DESIGN.md §7), or nullptr when TP is
+  /// off. Installed by the run's owner (bench/test) after session creation;
+  /// TP-enabled layers charge their collectives through it.
+  dist::ProcessGroup* tp_group = nullptr;
   /// Loss scale the criterion multiplies into the backward seed, so FP16
   /// gradients stay above the representable range's floor (and survive an
   /// FP16 wire). train_step sets it from the trainer's expected scale each
@@ -73,6 +101,7 @@ class LayerContext {
 
  private:
   BufferAllocator* act_alloc_;
+  std::vector<Tensor> tp_reservations_;
 };
 
 /// Pad a sequence length up to the policy's required multiple (DeepSpeed's

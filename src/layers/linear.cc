@@ -32,4 +32,58 @@ void linear_bw(LayerContext& ctx, const Tensor& dy, const Tensor& x, const Tenso
                     x, 1.0f, dw, tag + ".bw_dw");
 }
 
+void tp_linear_fw(LayerContext& ctx, const Tensor& x, const Tensor& w, const Tensor& y,
+                  const std::string& tag, TpSplit split) {
+  const int64_t k = ctx.tp_size();
+  if (k <= 1) {
+    linear_fw(ctx, x, w, y, tag);
+    return;
+  }
+  const Shape xf = x.shape().flatten_2d();
+  const int64_t m = xf[0], in = xf[1];
+  const int64_t out = w.shape()[0];
+  LS2_CHECK_EQ(w.shape()[1], in) << tag;
+  LS2_CHECK_EQ(y.numel(), m * out) << tag;
+  const bool col = split == TpSplit::kColumn;
+  LS2_CHECK((col ? out : in) % k == 0) << tag << ": " << (col ? out : in) << " % " << k;
+  const gemm::GemmCharge charge{m, col ? out / k : out, col ? in : in / k, 1};
+  gemm::device_gemm(ctx.device(), false, /*trans_b=*/true, m, out, in, 1.0f, x, w, 0.0f, y,
+                    tag + ".fw", &charge);
+}
+
+void tp_linear_bw(LayerContext& ctx, const Tensor& dy, const Tensor& x, const Tensor& w,
+                  const Tensor& dx, const Tensor& dw, const std::string& tag,
+                  TpSplit split) {
+  const int64_t k = ctx.tp_size();
+  if (k <= 1) {
+    linear_bw(ctx, dy, x, w, dx, dw, tag);
+    return;
+  }
+  const Shape xf = x.shape().flatten_2d();
+  const int64_t m = xf[0], in = xf[1];
+  const int64_t out = w.shape()[0];
+  LS2_CHECK_EQ(dy.numel(), m * out) << tag;
+  const bool col = split == TpSplit::kColumn;
+  double ar_done = -1.0;
+  if (dx.defined()) {
+    LS2_CHECK_EQ(dx.numel(), m * in) << tag;
+    // kColumn dx: partials over the sharded out dim, summed by the in-order
+    // TP ring — bitwise the full GEMM's ascending-k accumulation.
+    // kRow dx: the rank's own input slice, fully local.
+    const gemm::GemmCharge charge{m, col ? in : in / k, col ? out / k : out, 1};
+    gemm::device_gemm(ctx.device(), false, false, m, in, out, 1.0f, dy, w, 0.0f, dx,
+                      tag + ".bw_dx", &charge);
+    if (col) {
+      ar_done = ctx.tp_group->all_reduce_begin(
+          ctx.device(), static_cast<int64_t>(dx.bytes()), tag + ".bw_dx.allreduce");
+    }
+  }
+  const gemm::GemmCharge wcharge{col ? out / k : out, col ? in : in / k, m, 1};
+  gemm::device_gemm(ctx.device(), /*trans_a=*/true, false, out, in, m, 1.0f, dy, x, 1.0f,
+                    dw, tag + ".bw_dw", &wcharge);
+  if (ar_done >= 0) {
+    ctx.tp_group->wait(ctx.device(), ar_done, tag + ".bw_dx.allreduce");
+  }
+}
+
 }  // namespace ls2::layers

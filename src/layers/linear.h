@@ -19,4 +19,27 @@ void linear_fw(LayerContext& ctx, const Tensor& x, const Tensor& w, const Tensor
 void linear_bw(LayerContext& ctx, const Tensor& dy, const Tensor& x, const Tensor& w,
                const Tensor& dx, const Tensor& dw, const std::string& tag);
 
+// --- tensor-parallel variants (DESIGN.md §7) ---
+//
+// Same math as linear_fw/linear_bw on the full tensors (the bitwise
+// stand-in for the sharded arithmetic), but the device is charged for ONE
+// rank's shard-shaped GEMM. kColumn shards the output features: no forward
+// comm, and the backward dx is a cross-rank partial sum — tp_linear_bw
+// enqueues its TP all-reduce right after the dx GEMM and stream-waits only
+// after the dW GEMM, so weight-gradient work hides part of the transfer.
+// kRow shards the input features: backward is fully local, and the FORWARD
+// output is the partial sum — the caller charges that all-reduce (after
+// tp_linear_fw, before anything consumes y). Identity when TP is off.
+
+enum class TpSplit {
+  kColumn,  ///< shard out-features; input replicated
+  kRow,     ///< shard in-features; output is a partial sum
+};
+
+void tp_linear_fw(LayerContext& ctx, const Tensor& x, const Tensor& w, const Tensor& y,
+                  const std::string& tag, TpSplit split);
+void tp_linear_bw(LayerContext& ctx, const Tensor& dy, const Tensor& x, const Tensor& w,
+                  const Tensor& dx, const Tensor& dw, const std::string& tag,
+                  TpSplit split);
+
 }  // namespace ls2::layers

@@ -2,38 +2,145 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 namespace ls2::layers {
+
+Shape shard_shape(const Shape& full_shape, const ShardSpec& spec) {
+  if (!spec.sharded()) return full_shape;
+  LS2_CHECK(spec.dim == 0 || spec.dim == 1) << "shard dim " << spec.dim;
+  LS2_CHECK(spec.index >= 0 && spec.index < spec.count);
+  LS2_CHECK(full_shape.rank() > spec.dim);
+  std::vector<int64_t> dims;
+  for (int i = 0; i < full_shape.rank(); ++i) dims.push_back(full_shape[i]);
+  if (spec.dim == 0) {
+    LS2_CHECK(spec.groups >= 1 && dims[0] % (spec.groups * spec.count) == 0)
+        << dims[0] << " rows / " << spec.groups << " groups x " << spec.count
+        << " shards";
+    dims[0] /= spec.count;
+  } else {
+    LS2_CHECK_EQ(spec.groups, 1) << "grouped sharding is a dim-0 layout";
+    LS2_CHECK(dims[1] % spec.count == 0) << dims[1] << " cols / " << spec.count;
+    dims[1] /= spec.count;
+  }
+  return Shape(dims);
+}
+
+namespace {
+
+/// Byte-level shard copy in either direction. Row-major layout means a dim-0
+/// slice of one group is contiguous and a dim-1 slice is one span per row.
+void shard_copy(const Tensor& full, const Tensor& shard, const ShardSpec& spec,
+                bool to_shard) {
+  LS2_CHECK(spec.sharded());
+  LS2_CHECK(full.dtype() == shard.dtype());
+  if (!full.backs_real_memory() || !shard.backs_real_memory()) return;
+  const size_t esize = dtype_size(full.dtype());
+  char* fp = static_cast<char*>(full.raw());
+  char* sp = static_cast<char*>(shard.raw());
+  const int64_t full_rows = full.shape()[0];
+  const int64_t row_elems = full_rows > 0 ? full.numel() / full_rows : 0;
+  if (spec.dim == 0) {
+    const int64_t group_rows = full_rows / spec.groups;
+    const int64_t rows_per_shard = group_rows / spec.count;
+    const size_t row_bytes = static_cast<size_t>(row_elems) * esize;
+    for (int64_t g = 0; g < spec.groups; ++g) {
+      char* f = fp + static_cast<size_t>(g * group_rows + spec.index * rows_per_shard) *
+                         row_bytes;
+      char* s = sp + static_cast<size_t>(g * rows_per_shard) * row_bytes;
+      const size_t n = static_cast<size_t>(rows_per_shard) * row_bytes;
+      if (to_shard) {
+        std::memcpy(s, f, n);
+      } else {
+        std::memcpy(f, s, n);
+      }
+    }
+  } else {
+    const int64_t cols = full.shape()[1];
+    const int64_t rest = row_elems / cols;  // trailing dims folded into cols' row
+    const int64_t shard_cols = cols / spec.count;
+    const size_t span = static_cast<size_t>(shard_cols * rest) * esize;
+    const size_t full_stride = static_cast<size_t>(cols * rest) * esize;
+    for (int64_t r = 0; r < full_rows; ++r) {
+      char* f = fp + static_cast<size_t>(r) * full_stride +
+                static_cast<size_t>(spec.index) * span;
+      char* s = sp + static_cast<size_t>(r) * span;
+      if (to_shard) {
+        std::memcpy(s, f, span);
+      } else {
+        std::memcpy(f, s, span);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void copy_shard_from_full(const Tensor& full, const Tensor& shard, const ShardSpec& spec) {
+  shard_copy(full, shard, spec, /*to_shard=*/true);
+}
+
+void copy_full_from_shard(const Tensor& shard, const Tensor& full, const ShardSpec& spec) {
+  shard_copy(full, shard, spec, /*to_shard=*/false);
+}
 
 ParamRef ParamRegistry::declare(const std::string& name, Shape shape, Init init) {
   LS2_CHECK(!materialized_) << "declare after materialize";
   for (const Spec& s : specs_) {
     LS2_CHECK(s.name != name) << "duplicate parameter '" << name << "'";
   }
-  specs_.push_back({name, std::move(shape), init});
+  Shape full = shape;
+  specs_.push_back({name, std::move(shape), init, std::move(full), ShardSpec{}, -1});
+  return ParamRef{static_cast<int>(specs_.size()) - 1};
+}
+
+ParamRef ParamRegistry::declare_sharded(const std::string& name, Shape full_shape,
+                                        Init init, const ShardSpec& spec,
+                                        int64_t init_stream) {
+  if (!spec.sharded()) return declare(name, std::move(full_shape), init);
+  LS2_CHECK(!materialized_) << "declare after materialize";
+  for (const Spec& s : specs_) {
+    LS2_CHECK(s.name != name) << "duplicate parameter '" << name << "'";
+  }
+  Shape stored = shard_shape(full_shape, spec);
+  specs_.push_back(
+      {name, std::move(stored), init, std::move(full_shape), spec, init_stream});
   return ParamRef{static_cast<int>(specs_.size()) - 1};
 }
 
 void ParamRegistry::init_tensor(const Tensor& t, const Spec& spec, const Rng& rng,
                                 uint64_t stream) const {
+  if (spec.init_stream >= 0) stream = static_cast<uint64_t>(spec.init_stream);
+  // Fan counts come from the FULL shape so a shard's values are bitwise the
+  // corresponding slice of the unsharded initialisation.
   switch (spec.init) {
     case Init::kZero:
       t.zero_();
-      break;
+      return;
     case Init::kOne:
       t.fill_(1.0f);
+      return;
+    default:
       break;
-    case Init::kNormal:
-      rng.fill_normal(t, stream, 0.0f, 0.02f);
-      break;
-    case Init::kXavier: {
-      const int64_t fan_out = spec.shape.rank() >= 1 ? spec.shape[0] : 1;
-      const int64_t fan_in = spec.shape.rank() >= 2 ? spec.shape[1] : fan_out;
-      const float a = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
-      rng.fill_uniform(t, stream, -a, a);
-      break;
-    }
   }
+  const auto fill = [&](const Tensor& dst) {
+    if (spec.init == Init::kNormal) {
+      rng.fill_normal(dst, stream, 0.0f, 0.02f);
+    } else {
+      const int64_t fan_out = spec.full_shape.rank() >= 1 ? spec.full_shape[0] : 1;
+      const int64_t fan_in = spec.full_shape.rank() >= 2 ? spec.full_shape[1] : fan_out;
+      const float a = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+      rng.fill_uniform(dst, stream, -a, a);
+    }
+  };
+  if (!spec.shard.sharded()) {
+    fill(t);
+    return;
+  }
+  if (!t.backs_real_memory()) return;  // timing-only backing: skip like fill_*
+  Tensor full = Tensor::empty(spec.full_shape, t.dtype());
+  fill(full);
+  copy_shard_from_full(full, t, spec.shard);
 }
 
 void ParamRegistry::materialize(DType dtype, bool contiguous, const Rng& rng,
@@ -98,6 +205,16 @@ const std::string& ParamRegistry::name(ParamRef ref) const {
 Shape ParamRegistry::shape(ParamRef ref) const {
   LS2_CHECK(ref.valid() && ref.index < size());
   return specs_[static_cast<size_t>(ref.index)].shape;
+}
+
+const ShardSpec& ParamRegistry::shard_spec(ParamRef ref) const {
+  LS2_CHECK(ref.valid() && ref.index < size());
+  return specs_[static_cast<size_t>(ref.index)].shard;
+}
+
+const Shape& ParamRegistry::full_shape(ParamRef ref) const {
+  LS2_CHECK(ref.valid() && ref.index < size());
+  return specs_[static_cast<size_t>(ref.index)].full_shape;
 }
 
 int64_t ParamRegistry::total_elements() const {

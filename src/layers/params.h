@@ -26,6 +26,40 @@ enum class Init {
   kOne,      ///< LayerNorm gain
 };
 
+/// How one shard of a tensor-parallel parameter relates to the full tensor
+/// (DESIGN.md §7). `dim` 0 slices rows (column-parallel layers), `dim` 1
+/// slices columns (row-parallel layers). `groups` handles packed row
+/// layouts: the full rows are `groups` equal blocks (QKV projections pack
+/// G=3, the layer-batched cross-K/V weight packs G=2·layers) and the shard
+/// takes its slice WITHIN each block, so "shard by heads" stays one spec.
+struct ShardSpec {
+  int dim = 0;
+  int64_t groups = 1;
+  int index = 0;
+  int count = 1;
+  bool sharded() const { return count > 1; }
+};
+
+class ParamRegistry;
+
+/// Tensor-parallel declaration context threaded through layer configs.
+/// `size` is the TP degree; `peers` (when non-null) is the heap-side
+/// registry holding the shards of ranks 1..size-1 — null means only rank
+/// 0's shard exists (timing/bench runs, which never execute kernel bodies).
+struct TpDecl {
+  int size = 1;
+  ParamRegistry* peers = nullptr;
+  bool enabled() const { return size > 1; }
+};
+
+/// Copy the `spec` shard of `full` into `shard` (both dense, same dtype).
+void copy_shard_from_full(const Tensor& full, const Tensor& shard, const ShardSpec& spec);
+/// Scatter `shard` back into its slice of `full`.
+void copy_full_from_shard(const Tensor& shard, const Tensor& full, const ShardSpec& spec);
+/// The shard's own shape: `full_shape` with dimension `spec.dim` divided by
+/// `spec.count` (checked for divisibility, per group along dim 0).
+Shape shard_shape(const Shape& full_shape, const ShardSpec& spec);
+
 /// Opaque handle to a registered parameter.
 struct ParamRef {
   int index = -1;
@@ -45,6 +79,18 @@ class ParamRegistry {
   /// Declare a parameter (before materialize()).
   ParamRef declare(const std::string& name, Shape shape, Init init);
 
+  /// Declare one SHARD of a tensor-parallel parameter whose full shape is
+  /// `full_shape`; the stored tensor has `shard_shape(full_shape, spec)`.
+  /// Initialisation draws the FULL tensor (Xavier fans and RNG stream come
+  /// from the full spec) and keeps only this shard's slice, so shards of a
+  /// logical parameter reassemble bitwise into the unsharded init.
+  /// `init_stream` pins the RNG stream; -1 uses this declaration's own
+  /// index — right for the rank-0/device registry, whose declarations match
+  /// the unsharded model one-to-one. Peer registries pass the rank-0
+  /// sibling's stream (9000 + its declaration index) explicitly.
+  ParamRef declare_sharded(const std::string& name, Shape full_shape, Init init,
+                           const ShardSpec& spec, int64_t init_stream = -1);
+
   /// Create storage. `contiguous` selects workspace linking (LightSeq2) vs
   /// per-tensor buffers (baselines). Initialisation uses `rng` streams
   /// derived from declaration order, so it is identical either way.
@@ -58,6 +104,10 @@ class ParamRegistry {
   Tensor grad(ParamRef ref) const;
   const std::string& name(ParamRef ref) const;
   Shape shape(ParamRef ref) const;
+  /// Shard metadata ({.count = 1} for plain declarations).
+  const ShardSpec& shard_spec(ParamRef ref) const;
+  /// The logical (pre-sharding) shape; equals shape() when unsharded.
+  const Shape& full_shape(ParamRef ref) const;
 
   int size() const { return static_cast<int>(specs_.size()); }
   int64_t total_elements() const;
@@ -119,8 +169,11 @@ class ParamRegistry {
  private:
   struct Spec {
     std::string name;
-    Shape shape;
+    Shape shape;       ///< stored (shard) shape
     Init init;
+    Shape full_shape;  ///< logical shape (== shape when unsharded)
+    ShardSpec shard;
+    int64_t init_stream = -1;  ///< >= 0 pins the RNG stream (peer shards)
   };
 
   void init_tensor(const Tensor& t, const Spec& spec, const Rng& rng, uint64_t stream) const;

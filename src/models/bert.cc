@@ -68,12 +68,21 @@ int64_t BertConfig::parameter_count() const {
 Bert::Bert(BertConfig cfg, layers::System system, DType dtype, uint64_t seed,
            BufferAllocator* param_alloc)
     : cfg_(cfg) {
+  if (cfg.tp.enabled()) {
+    LS2_CHECK(system == layers::System::kLightSeq2)
+        << "tensor parallelism is implemented for the LightSeq2 system";
+    if (cfg.tp.simulate_peers) tp_ = std::make_unique<dist::TpRuntime>(cfg.tp.size);
+  }
+  const layers::TpDecl tp_decl{cfg.tp.enabled() ? cfg.tp.size : 1,
+                               tp_ ? &tp_->peers() : nullptr};
+
   layers::EmbeddingConfig ecfg;
   ecfg.vocab = cfg.vocab;
   ecfg.hidden = cfg.hidden;
   ecfg.max_len = cfg.max_len;
   ecfg.dropout = cfg.dropout;
   ecfg.pad_id = cfg.pad_id;
+  ecfg.tp = tp_decl;
   int mark = params_.size();
   embed_ = std::make_unique<layers::EmbeddingLayer>(params_, "bert.embed", ecfg);
   embed_range_ = params_.range_since(mark);
@@ -86,6 +95,7 @@ Bert::Bert(BertConfig cfg, layers::System system, DType dtype, uint64_t seed,
   lcfg.attn_dropout = cfg.dropout;
   lcfg.act_dropout = cfg.dropout;
   lcfg.activation = layers::Activation::kGelu;
+  lcfg.tp = tp_decl;  // the two-way classifier head stays replicated
   for (int64_t i = 0; i < cfg.layers; ++i) {
     mark = params_.size();
     blocks_.push_back(std::make_unique<layers::TransformerEncoderLayer>(
@@ -104,9 +114,11 @@ Bert::Bert(BertConfig cfg, layers::System system, DType dtype, uint64_t seed,
   head_range_ = params_.range_since(mark);
 
   params_.materialize(dtype, system == layers::System::kLightSeq2, Rng(seed), param_alloc);
+  if (tp_) tp_->materialize(dtype, seed);
 }
 
 ClsResult Bert::forward(layers::LayerContext& ctx, const ClsBatch& batch) {
+  if (tp_) tp_->zero_grads();  // peer mirror of the zeroed-at-step-start contract
   const int64_t B = batch.ids.shape()[0], L = batch.ids.shape()[1];
   const DType dt = params_.dtype();
   const int64_t padded = layers::pad_length(ctx.policy, L);

@@ -7,6 +7,7 @@
 #include <optional>
 #include <vector>
 
+#include "dist/tensor_parallel.h"
 #include "layers/embedding_layer.h"
 #include "layers/encoder_layer.h"
 
@@ -22,6 +23,9 @@ struct BertConfig {
   int64_t num_classes = 2;
   float dropout = 0.1f;
   int32_t pad_id = 0;
+  /// Tensor parallelism (DESIGN §7): shards blocks + the vocab table; the
+  /// tiny classifier head stays replicated. Requires kLightSeq2.
+  dist::TpConfig tp;
 
   static BertConfig base();   ///< BERT-Base: 12 layers, 768 hidden
   static BertConfig large();  ///< BERT-Large: 24 layers, 1024 hidden
@@ -52,9 +56,17 @@ class Bert {
   layers::ParamRegistry& params() { return params_; }
   const BertConfig& config() const { return cfg_; }
 
+  /// TP epilogue (no-op when TP is off): peer-shard update after the rank-0
+  /// trainer step — see core::train_step.
+  void tp_finish_step(const optim::Optimizer& trainer) {
+    if (tp_) tp_->finish_step(trainer);
+  }
+  layers::ParamRegistry* tp_peers() { return tp_ ? &tp_->peers() : nullptr; }
+
  private:
   BertConfig cfg_;
   layers::ParamRegistry params_;
+  std::unique_ptr<dist::TpRuntime> tp_;
   std::unique_ptr<layers::EmbeddingLayer> embed_;
   std::vector<std::unique_ptr<layers::TransformerEncoderLayer>> blocks_;
   layers::ParamRef ln_gamma_, ln_beta_, cls_w_, cls_b_;

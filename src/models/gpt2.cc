@@ -27,12 +27,21 @@ int64_t Gpt2Config::parameter_count() const {
 Gpt2::Gpt2(Gpt2Config cfg, layers::System system, DType dtype, uint64_t seed,
            BufferAllocator* param_alloc)
     : cfg_(cfg) {
+  if (cfg.tp.enabled()) {
+    LS2_CHECK(system == layers::System::kLightSeq2)
+        << "tensor parallelism is implemented for the LightSeq2 system";
+    if (cfg.tp.simulate_peers) tp_ = std::make_unique<dist::TpRuntime>(cfg.tp.size);
+  }
+  const layers::TpDecl tp_decl{cfg.tp.enabled() ? cfg.tp.size : 1,
+                               tp_ ? &tp_->peers() : nullptr};
+
   layers::EmbeddingConfig ecfg;
   ecfg.vocab = cfg.vocab;
   ecfg.hidden = cfg.hidden;
   ecfg.max_len = cfg.max_len;
   ecfg.dropout = cfg.dropout;
   ecfg.pad_id = cfg.pad_id;
+  ecfg.tp = tp_decl;
   int mark = params_.size();
   embed_ = std::make_unique<layers::EmbeddingLayer>(params_, "gpt2.embed", ecfg);
   embed_range_ = params_.range_since(mark);
@@ -46,6 +55,7 @@ Gpt2::Gpt2(Gpt2Config cfg, layers::System system, DType dtype, uint64_t seed,
   lcfg.act_dropout = cfg.dropout;
   lcfg.activation = layers::Activation::kGelu;
   lcfg.causal = true;  // decoder-only: causal self-attention
+  lcfg.tp = tp_decl;
   for (int64_t i = 0; i < cfg.layers; ++i) {
     mark = params_.size();
     blocks_.push_back(std::make_unique<layers::TransformerEncoderLayer>(
@@ -62,13 +72,16 @@ Gpt2::Gpt2(Gpt2Config cfg, layers::System system, DType dtype, uint64_t seed,
   ccfg.hidden = cfg.hidden;
   ccfg.label_smoothing = 0.0f;  // plain LM cross entropy
   ccfg.pad_id = cfg.pad_id;
+  ccfg.tp = tp_decl;
   criterion_ = std::make_unique<layers::CriterionLayer>(params_, "gpt2.lm_head", ccfg,
                                                         embed_->table());
 
   params_.materialize(dtype, system == layers::System::kLightSeq2, Rng(seed), param_alloc);
+  if (tp_) tp_->materialize(dtype, seed);
 }
 
 layers::CriterionResult Gpt2::forward(layers::LayerContext& ctx, const LmBatch& batch) {
+  if (tp_) tp_->zero_grads();  // peer mirror of the zeroed-at-step-start contract
   const int64_t B = batch.ids.shape()[0], L = batch.ids.shape()[1];
   Tensor h = embed_->forward(ctx, batch.ids);
   for (auto& block : blocks_) h = block->forward(ctx, h, /*key_lens=*/nullptr);
@@ -113,6 +126,8 @@ infer::KvCacheConfig Gpt2::kv_cache_config(int64_t slots, int64_t max_len) const
 
 Tensor Gpt2::prefill(layers::LayerContext& ctx, const Tensor& ids, infer::KvCache* cache,
                      const std::vector<int64_t>& slots, const Tensor* prompt_lens) {
+  LS2_CHECK(ctx.tp_size() == 1 && !cfg_.tp.enabled())
+      << "serving runs unsharded (TP is a training feature)";
   const int64_t B = ids.shape()[0], L = ids.shape()[-1];
   Tensor slot_ids;
   if (cache) {

@@ -6,6 +6,7 @@
 #include <optional>
 #include <vector>
 
+#include "dist/tensor_parallel.h"
 #include "infer/kv_cache.h"
 #include "layers/criterion_layer.h"
 #include "layers/embedding_layer.h"
@@ -22,6 +23,10 @@ struct Gpt2Config {
   int64_t max_len = 1024;
   float dropout = 0.1f;
   int32_t pad_id = 0;
+  /// Tensor parallelism (DESIGN §7). Requires kLightSeq2 and heads/ffn_dim/
+  /// vocab divisible by tp.size — GPT-2's 50257 vocab needs Megatron-style
+  /// padding (e.g. 50264) before sharding.
+  dist::TpConfig tp;
 
   static Gpt2Config base();   ///< 117M parameters
   static Gpt2Config large();  ///< 762M parameters
@@ -66,9 +71,17 @@ class Gpt2 {
   layers::ParamRegistry& params() { return params_; }
   const Gpt2Config& config() const { return cfg_; }
 
+  /// TP epilogue (no-op when TP is off): peer-shard update after the rank-0
+  /// trainer step — see core::train_step.
+  void tp_finish_step(const optim::Optimizer& trainer) {
+    if (tp_) tp_->finish_step(trainer);
+  }
+  layers::ParamRegistry* tp_peers() { return tp_ ? &tp_->peers() : nullptr; }
+
  private:
   Gpt2Config cfg_;
   layers::ParamRegistry params_;
+  std::unique_ptr<dist::TpRuntime> tp_;
   std::unique_ptr<layers::EmbeddingLayer> embed_;
   std::vector<std::unique_ptr<layers::TransformerEncoderLayer>> blocks_;
   layers::ParamRef ln_gamma_, ln_beta_;

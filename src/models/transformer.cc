@@ -61,12 +61,21 @@ int64_t TransformerConfig::parameter_count() const {
 Transformer::Transformer(TransformerConfig cfg, layers::System system, DType dtype,
                          uint64_t seed, BufferAllocator* param_alloc)
     : cfg_(cfg) {
+  if (cfg.tp.enabled()) {
+    LS2_CHECK(system == layers::System::kLightSeq2)
+        << "tensor parallelism is implemented for the LightSeq2 system";
+    if (cfg.tp.simulate_peers) tp_ = std::make_unique<dist::TpRuntime>(cfg.tp.size);
+  }
+  const layers::TpDecl tp_decl{cfg.tp.enabled() ? cfg.tp.size : 1,
+                               tp_ ? &tp_->peers() : nullptr};
+
   layers::EmbeddingConfig ecfg;
   ecfg.vocab = cfg.vocab;
   ecfg.hidden = cfg.hidden;
   ecfg.max_len = cfg.max_len;
   ecfg.dropout = cfg.dropout;
   ecfg.pad_id = cfg.pad_id;
+  ecfg.tp = tp_decl;
 
   // Each component's declaration range is recorded for the gradient
   // bucketer; backward reports a range grad-ready once its last
@@ -77,10 +86,11 @@ Transformer::Transformer(TransformerConfig cfg, layers::System system, DType dty
   mark = params_.size();
   tgt_embed_ = std::make_unique<layers::EmbeddingLayer>(
       params_, "decoder.embed", ecfg,
-      cfg.tied_embeddings ? src_embed_->table() : layers::ParamRef{});
+      cfg.tied_embeddings ? src_embed_->table() : layers::TpParam{});
   tgt_range_ = params_.range_since(mark);
 
-  const layers::TransformerLayerConfig lcfg = cfg.layer_config();
+  layers::TransformerLayerConfig lcfg = cfg.layer_config();
+  lcfg.tp = tp_decl;
   for (int64_t i = 0; i < cfg.encoder_layers; ++i) {
     mark = params_.size();
     encoder_.push_back(std::make_unique<layers::TransformerEncoderLayer>(
@@ -94,13 +104,17 @@ Transformer::Transformer(TransformerConfig cfg, layers::System system, DType dty
 
   // Layer-batched cross-attention projection: ALL decoder layers' K/V
   // weights concatenated (Fig. 5b). Layer i owns rows [2iH, 2(i+1)H).
+  // Under TP the packed [K0; V0; K1; V1; ...] rows are 2*layers groups,
+  // each sharded by head slice — "shard by heads" for every layer's K and V
+  // in the one concatenated weight.
   mark = params_.size();
-  cross_kv_weight_ = params_.declare(
-      "decoder.cross_kv.weight", Shape{2 * cfg.decoder_layers * cfg.hidden, cfg.hidden},
-      layers::Init::kXavier);
-  cross_kv_bias_ = params_.declare("decoder.cross_kv.bias",
-                                   Shape{2 * cfg.decoder_layers * cfg.hidden},
-                                   layers::Init::kZero);
+  cross_kv_weight_ = layers::TpParam::declare(
+      params_, tp_decl, "decoder.cross_kv.weight",
+      Shape{2 * cfg.decoder_layers * cfg.hidden, cfg.hidden}, layers::Init::kXavier,
+      /*dim=*/0, /*groups=*/2 * cfg.decoder_layers);
+  cross_kv_bias_ = layers::TpParam::declare(
+      params_, tp_decl, "decoder.cross_kv.bias", Shape{2 * cfg.decoder_layers * cfg.hidden},
+      layers::Init::kZero, /*dim=*/0, /*groups=*/2 * cfg.decoder_layers);
   cross_kv_range_ = params_.range_since(mark);
   for (int64_t i = 0; i < cfg.decoder_layers; ++i) {
     mark = params_.size();
@@ -118,34 +132,44 @@ Transformer::Transformer(TransformerConfig cfg, layers::System system, DType dty
   ccfg.hidden = cfg.hidden;
   ccfg.label_smoothing = cfg.label_smoothing;
   ccfg.pad_id = cfg.pad_id;
+  ccfg.tp = tp_decl;
   mark = params_.size();
   criterion_ = std::make_unique<layers::CriterionLayer>(
       params_, "criterion", ccfg,
-      cfg.tied_embeddings ? src_embed_->table() : layers::ParamRef{});
+      cfg.tied_embeddings ? src_embed_->table() : layers::TpParam{});
   criterion_range_ = params_.range_since(mark);
 
   params_.materialize(dtype, /*contiguous=*/system == layers::System::kLightSeq2, Rng(seed),
                       param_alloc);
+  if (tp_) tp_->materialize(dtype, seed);
 }
 
 std::vector<Tensor> Transformer::project_cross_kv(LayerContext& ctx, const Tensor& enc_out) {
   const int64_t B = enc_out.shape()[0], Ls = enc_out.shape()[1], H = cfg_.hidden;
   const int64_t N = cfg_.heads, D = H / N, n = cfg_.decoder_layers;
   const DType dt = enc_out.dtype();
-  const Tensor w = params_.value(cross_kv_weight_);
-  const Tensor b = params_.value(cross_kv_bias_);
+  const Tensor w = cross_kv_weight_.value(ctx);
+  const Tensor b = cross_kv_bias_.value(ctx);
 
+  // Head-sharded under TP (column-parallel: no forward comm; the per-head
+  // cross attention consumes each rank's own head slice).
   std::vector<Tensor> kv;
   kv.reserve(static_cast<size_t>(2 * n));
-  for (int64_t i = 0; i < 2 * n; ++i) kv.push_back(ctx.alloc({B, N, Ls, D}, dt));
+  for (int64_t i = 0; i < 2 * n; ++i) kv.push_back(ctx.alloc_shard({B, N, Ls, D}, dt));
 
   if (ctx.policy.layer_batched_cross_attn) {
     // ONE GEMM for all layers' keys and values, one fused bias+split.
-    Tensor kv_gemm = ctx.alloc({B, Ls, 2 * n * H}, dt);
-    layers::linear_fw(ctx, enc_out, w, kv_gemm, "decoder.cross_kv");
-    kern::bias_split_transpose_fw(ctx.kern, ctx.policy.transform, kv_gemm, b, kv);
+    Tensor kv_gemm = ctx.alloc_shard({B, Ls, 2 * n * H}, dt);
+    layers::tp_linear_fw(ctx, enc_out, w, kv_gemm, "decoder.cross_kv",
+                         layers::TpSplit::kColumn);
+    {
+      layers::TpChargeScale tp_scale(ctx);
+      kern::bias_split_transpose_fw(ctx.kern, ctx.policy.transform, kv_gemm, b, kv);
+    }
     return kv;
   }
+  LS2_CHECK(ctx.tp_size() == 1)
+      << "per-layer cross-K/V projection has no TP path (TP implies kLightSeq2)";
   // Per-layer: two GEMMs (K and V) + bias/reshape per decoder layer (Fig. 5a).
   for (int64_t i = 0; i < n; ++i) {
     for (int64_t g = 0; g < 2; ++g) {
@@ -166,17 +190,26 @@ Tensor Transformer::cross_kv_backward(LayerContext& ctx, const std::vector<Tenso
   const Saved& s = *saved_;
   const int64_t B = s.B, Ls = s.Ls, H = cfg_.hidden, n = cfg_.decoder_layers;
   const DType dt = dkv[0].dtype();
-  const Tensor w = params_.value(cross_kv_weight_);
+  const Tensor w = cross_kv_weight_.value(ctx);
   Tensor d_enc = ctx.alloc({B, Ls, H}, dt);
 
   if (ctx.policy.layer_batched_cross_attn) {
-    Tensor dkv_gemm = ctx.alloc({B, Ls, 2 * n * H}, dt);
-    kern::split_transpose_bw(ctx.kern, ctx.policy.transform, dkv, dkv_gemm);
-    kern::bias_grad(ctx.kern, dkv_gemm, params_.grad(cross_kv_bias_));
-    layers::linear_bw(ctx, dkv_gemm, s.enc_out, w, d_enc, params_.grad(cross_kv_weight_),
-                      "decoder.cross_kv");
+    Tensor dkv_gemm = ctx.alloc_shard({B, Ls, 2 * n * H}, dt);
+    {
+      layers::TpChargeScale tp_scale(ctx);
+      kern::split_transpose_bw(ctx.kern, ctx.policy.transform, dkv, dkv_gemm);
+      auto db = cross_kv_bias_.grad(ctx);
+      kern::bias_grad(ctx.kern, dkv_gemm, db.tensor());
+    }
+    // Column-parallel backward: the d_enc partial sum is the projection's
+    // TP all-reduce, overlapped with the dW GEMM inside tp_linear_bw.
+    auto dw = cross_kv_weight_.grad(ctx);
+    layers::tp_linear_bw(ctx, dkv_gemm, s.enc_out, w, d_enc, dw.tensor(),
+                         "decoder.cross_kv", layers::TpSplit::kColumn);
     return d_enc;
   }
+  LS2_CHECK(ctx.tp_size() == 1)
+      << "per-layer cross-K/V projection has no TP path (TP implies kLightSeq2)";
   // Per-layer path accumulates into d_enc with one extra add per GEMM.
   bool first = true;
   for (int64_t i = 0; i < n; ++i) {
@@ -184,11 +217,11 @@ Tensor Transformer::cross_kv_backward(LayerContext& ctx, const std::vector<Tenso
       Tensor dgemm = ctx.alloc({B, Ls, H}, dt);
       kern::split_transpose_bw(ctx.kern, ctx.policy.transform,
                                {dkv[static_cast<size_t>(2 * i + g)]}, dgemm);
-      Tensor bi_grad = params_.grad(cross_kv_bias_).slice((2 * i + g) * H,
+      Tensor bi_grad = params_.grad(cross_kv_bias_.rank0()).slice((2 * i + g) * H,
                                                           (2 * i + g + 1) * H);
       kern::bias_grad(ctx.kern, dgemm, bi_grad);
       Tensor wi = w.slice((2 * i + g) * H, (2 * i + g + 1) * H);
-      Tensor dwi = params_.grad(cross_kv_weight_).slice((2 * i + g) * H,
+      Tensor dwi = params_.grad(cross_kv_weight_.rank0()).slice((2 * i + g) * H,
                                                         (2 * i + g + 1) * H);
       if (first) {
         layers::linear_bw(ctx, dgemm, s.enc_out, wi, d_enc, dwi, "decoder.cross_kv");
@@ -218,6 +251,8 @@ infer::KvCacheConfig Transformer::kv_cache_config(int64_t slots, int64_t max_len
 
 void Transformer::encode(LayerContext& ctx, const Tensor& src_ids, const Tensor& src_lens,
                          infer::KvCache& cache) {
+  LS2_CHECK(ctx.tp_size() == 1 && !cfg_.tp.enabled())
+      << "serving runs unsharded (TP is a training feature)";
   const int64_t B = src_ids.shape()[0], Ls = src_ids.shape()[1], H = cfg_.hidden;
   LS2_CHECK_EQ(B, cache.config().slots) << "encode runs the full slot batch";
   LS2_CHECK_LE(Ls, cache.config().cross_len);
@@ -295,6 +330,9 @@ Tensor Transformer::decode_step(LayerContext& ctx, const Tensor& ids,
 }
 
 layers::CriterionResult Transformer::forward(LayerContext& ctx, const MtBatch& batch) {
+  // Peer-shard grads mirror rank 0's zeroed-at-step-start contract (host
+  // bookkeeping — rank 0's zero_grad launch is the charged one).
+  if (tp_) tp_->zero_grads();
   const int64_t B = batch.src_ids.shape()[0];
   const int64_t Ls = batch.src_ids.shape()[1];
   const int64_t Lt = batch.tgt_in.shape()[1];
@@ -360,9 +398,10 @@ void Transformer::backward(LayerContext& ctx) {
   // per tensor for the baselines.
   std::vector<Tensor> dkv;
   for (int64_t i = 0; i < 2 * cfg_.decoder_layers; ++i) {
-    dkv.push_back(ctx.alloc({s.B, N, s.Ls, D}, dt));
+    dkv.push_back(ctx.alloc_shard({s.B, N, s.Ls, D}, dt));
   }
   {
+    layers::TpChargeScale tp_scale(ctx);  // zeroing covers the head shard
     const int zero_launches =
         ctx.policy.fused_elementwise ? 1 : static_cast<int>(dkv.size());
     const int64_t each = static_cast<int64_t>(dkv.size()) *

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "dist/tensor_parallel.h"
 #include "infer/kv_cache.h"
 #include "layers/criterion_layer.h"
 #include "layers/decoder_layer.h"
@@ -30,6 +31,11 @@ struct TransformerConfig {
   float label_smoothing = 0.1f;
   int32_t pad_id = 0;
   bool tied_embeddings = true;  ///< share src/tgt tables and output projection
+  /// Tensor parallelism (DESIGN §7): shards attention by heads, FFN by
+  /// ffn_dim, the tied table + criterion logits by vocab, and the
+  /// layer-batched cross-K/V projection by heads. Requires kLightSeq2 and
+  /// heads/ffn_dim/vocab divisible by tp.size.
+  dist::TpConfig tp;
 
   /// Transformer-Base (512d, 8 heads) with e encoder / d decoder layers.
   static TransformerConfig base(int64_t e = 6, int64_t d = 6);
@@ -90,6 +96,15 @@ class Transformer {
   layers::ParamRegistry& params() { return params_; }
   const TransformerConfig& config() const { return cfg_; }
 
+  /// TP epilogue: apply the rank-0 trainer's update to the simulated peer
+  /// shards (no-op when TP is off) — called by core::train_step after the
+  /// optimizer step.
+  void tp_finish_step(const optim::Optimizer& trainer) {
+    if (tp_) tp_->finish_step(trainer);
+  }
+  /// Peer-shard registry, or nullptr (TP off / peers not simulated).
+  layers::ParamRegistry* tp_peers() { return tp_ ? &tp_->peers() : nullptr; }
+
  private:
   /// Layer-batched (one GEMM + one split) or per-layer cross-attention K/V
   /// projection of the encoder output, per policy (Fig. 5).
@@ -99,11 +114,12 @@ class Transformer {
 
   TransformerConfig cfg_;
   layers::ParamRegistry params_;
+  std::unique_ptr<dist::TpRuntime> tp_;  ///< peer shards (TP numeric runs)
   std::unique_ptr<layers::EmbeddingLayer> src_embed_, tgt_embed_;
   std::vector<std::unique_ptr<layers::TransformerEncoderLayer>> encoder_;
   std::vector<std::unique_ptr<layers::TransformerDecoderLayer>> decoder_;
   layers::ParamRef enc_ln_gamma_, enc_ln_beta_, dec_ln_gamma_, dec_ln_beta_;
-  layers::ParamRef cross_kv_weight_, cross_kv_bias_;
+  layers::TpParam cross_kv_weight_, cross_kv_bias_;
   std::unique_ptr<layers::CriterionLayer> criterion_;
 
   // Parameter declaration ranges per component, reported grad-ready to the

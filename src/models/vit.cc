@@ -105,6 +105,14 @@ int64_t VitConfig::parameter_count() const {
 Vit::Vit(VitConfig cfg, layers::System system, DType dtype, uint64_t seed,
          BufferAllocator* param_alloc)
     : cfg_(cfg) {
+  if (cfg.tp.enabled()) {
+    LS2_CHECK(system == layers::System::kLightSeq2)
+        << "tensor parallelism is implemented for the LightSeq2 system";
+    if (cfg.tp.simulate_peers) tp_ = std::make_unique<dist::TpRuntime>(cfg.tp.size);
+  }
+  const layers::TpDecl tp_decl{cfg.tp.enabled() ? cfg.tp.size : 1,
+                               tp_ ? &tp_->peers() : nullptr};
+
   int mark = params_.size();
   patch_w_ = params_.declare("vit.patch_proj.weight", Shape{cfg.hidden, cfg.patch_dim()},
                              layers::Init::kXavier);
@@ -122,6 +130,9 @@ Vit::Vit(VitConfig cfg, layers::System system, DType dtype, uint64_t seed,
   lcfg.attn_dropout = cfg.dropout;
   lcfg.act_dropout = cfg.dropout;
   lcfg.activation = layers::Activation::kGelu;
+  // Blocks shard; the patch projection, [CLS]/positional embeddings and the
+  // small classification head stay replicated.
+  lcfg.tp = tp_decl;
   for (int64_t i = 0; i < cfg.layers; ++i) {
     mark = params_.size();
     blocks_.push_back(std::make_unique<layers::TransformerEncoderLayer>(
@@ -139,9 +150,11 @@ Vit::Vit(VitConfig cfg, layers::System system, DType dtype, uint64_t seed,
   head_range_ = params_.range_since(mark);
 
   params_.materialize(dtype, system == layers::System::kLightSeq2, Rng(seed), param_alloc);
+  if (tp_) tp_->materialize(dtype, seed);
 }
 
 ClsResultVit Vit::forward(layers::LayerContext& ctx, const ImageBatch& batch) {
+  if (tp_) tp_->zero_grads();  // peer mirror of the zeroed-at-step-start contract
   const int64_t B = batch.patches.shape()[0], P = cfg_.patches(), S = cfg_.seq_len();
   const DType dt = params_.dtype();
   LS2_CHECK_EQ(batch.patches.shape()[1], P);

@@ -11,6 +11,7 @@
 #include <optional>
 #include <vector>
 
+#include "dist/tensor_parallel.h"
 #include "layers/encoder_layer.h"
 #include "layers/params.h"
 
@@ -26,6 +27,9 @@ struct VitConfig {
   int64_t layers = 12;
   int64_t num_classes = 10;
   float dropout = 0.1f;
+  /// Tensor parallelism (DESIGN §7): shards the encoder blocks; patch
+  /// projection, embeddings and the classifier head stay replicated.
+  dist::TpConfig tp;
 
   static VitConfig b32();  ///< ViT-B/32
   static VitConfig l32();  ///< ViT-L/32
@@ -58,9 +62,17 @@ class Vit {
   layers::ParamRegistry& params() { return params_; }
   const VitConfig& config() const { return cfg_; }
 
+  /// TP epilogue (no-op when TP is off): peer-shard update after the rank-0
+  /// trainer step — see core::train_step.
+  void tp_finish_step(const optim::Optimizer& trainer) {
+    if (tp_) tp_->finish_step(trainer);
+  }
+  layers::ParamRegistry* tp_peers() { return tp_ ? &tp_->peers() : nullptr; }
+
  private:
   VitConfig cfg_;
   layers::ParamRegistry params_;
+  std::unique_ptr<dist::TpRuntime> tp_;
   layers::ParamRef patch_w_, patch_b_, cls_token_, pos_embed_;
   std::vector<std::unique_ptr<layers::TransformerEncoderLayer>> blocks_;
   layers::ParamRef ln_gamma_, ln_beta_, head_w_, head_b_;

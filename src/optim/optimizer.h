@@ -96,6 +96,9 @@ class Optimizer {
   virtual float loss_scale() const { return cfg_.loss_scale; }
   /// Adjust the learning rate (driven by an LR schedule between steps).
   void set_lr(float lr) { cfg_.lr = lr; }
+  /// Current configuration (lr reflects set_lr updates) — what a TP model's
+  /// peer-shard trainer copies so peers march in lockstep with rank 0.
+  const OptimConfig& config() const { return cfg_; }
   /// Bytes of trainer-owned state (masters, moments, scratch) — the §IV-C
   /// memory claim ("reduces memory usage by 2 GB on Transformer-Big").
   virtual int64_t state_bytes() const = 0;

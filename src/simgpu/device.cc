@@ -19,7 +19,30 @@ double Device::kernel_time_us(const KernelDesc& desc) const {
   return std::max(mem_us, compute_us);
 }
 
-void Device::launch(const KernelDesc& desc, const std::function<void()>& body) {
+void Device::push_charge_scale(double s) {
+  LS2_CHECK(s > 0 && s <= 1.0) << "charge scale " << s;
+  charge_scale_stack_.push_back(charge_scale_);
+  charge_scale_ *= s;
+}
+
+void Device::pop_charge_scale() {
+  LS2_CHECK(!charge_scale_stack_.empty()) << "pop_charge_scale with empty stack";
+  charge_scale_ = charge_scale_stack_.back();
+  charge_scale_stack_.pop_back();
+}
+
+void Device::launch(const KernelDesc& launch_desc, const std::function<void()>& body) {
+  KernelDesc scaled;
+  const KernelDesc& desc = [&]() -> const KernelDesc& {
+    if (charge_scale_ == 1.0) return launch_desc;
+    scaled = launch_desc;
+    scaled.bytes_read = static_cast<int64_t>(
+        static_cast<double>(launch_desc.bytes_read) * charge_scale_);
+    scaled.bytes_written = static_cast<int64_t>(
+        static_cast<double>(launch_desc.bytes_written) * charge_scale_);
+    scaled.flops = launch_desc.flops * charge_scale_;
+    return scaled;
+  }();
   LS2_CHECK(desc.mem_efficiency > 0 && desc.mem_efficiency <= 1.0)
       << desc.name << " mem_efficiency " << desc.mem_efficiency;
   LS2_CHECK(desc.compute_efficiency > 0 && desc.compute_efficiency <= 1.0)
@@ -295,6 +318,8 @@ double Device::utilization() const {
 void Device::reset() {
   clock_us_ = 0;
   comm_clock_us_ = 0;
+  charge_scale_ = 1.0;
+  charge_scale_stack_.clear();
   stats_ = DeviceStats{};
   per_kernel_.clear();
   range_times_.clear();

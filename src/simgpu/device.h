@@ -110,6 +110,19 @@ class Device {
   /// Modeled duration of a kernel without launching it.
   double kernel_time_us(const KernelDesc& desc) const;
 
+  // --- charge scaling (tensor parallelism) ---
+  //
+  // While a scale s is pushed, every launch's modeled bytes and flops are
+  // multiplied by s before costing/recording — how TP layers charge their
+  // row-wise kernels at 1/k shard size without duplicating call sites
+  // (bandwidth-bound kernels scale linearly in bytes; GEMMs instead pass
+  // explicit shard descriptors so their occupancy model sees real shard
+  // shapes). The scaled descriptor is what a capture records, so replay
+  // validation stays consistent as long as the regions are deterministic.
+  void push_charge_scale(double s);
+  void pop_charge_scale();
+  double charge_scale() const { return charge_scale_; }
+
   /// Advance the clock without a kernel (allocator stalls, comm waits...).
   /// `busy` selects whether the span counts toward utilisation.
   void advance(double us, bool busy, const std::string& attribution);
@@ -215,6 +228,8 @@ class Device {
   bool capture_poisoned_ = false;
   const StepGraph* replay_ = nullptr;  ///< graph being consumed (kReplay)
   size_t replay_cursor_ = 0;
+  double charge_scale_ = 1.0;
+  std::vector<double> charge_scale_stack_;
   DeviceStats stats_;
   std::map<std::string, KernelStats> per_kernel_;
   std::map<std::string, double> range_times_;
