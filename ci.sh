@@ -14,6 +14,9 @@
 #                      the TP test binary, and (release only) runs fig_tp
 #                      and schema-checks its JSON. Fast signal that the
 #                      sharded path still holds its parity/capacity claims.
+#   --smoke pp         Pipeline-parallel smoke lane: the PP test binary
+#                      (1F1B parity/schedule/hybrid claims), and (release
+#                      only) fig_3d with its schema check.
 #
 # Fails on the first error; a bench that exits nonzero OR writes no/invalid
 # JSON fails the run (ci/check_bench_json.py — python3 is required for the
@@ -26,7 +29,7 @@ SMOKE=full
 while [ $# -gt 0 ]; do
   case "$1" in
     --preset) PRESET="${2:?ci.sh: --preset needs a value (release|sanitize)}"; shift 2 ;;
-    --smoke) SMOKE="${2:?ci.sh: --smoke needs a value (full|tp)}"; shift 2 ;;
+    --smoke) SMOKE="${2:?ci.sh: --smoke needs a value (full|tp|pp)}"; shift 2 ;;
     *) echo "ci.sh: unknown argument '$1'" >&2; exit 2 ;;
   esac
 done
@@ -45,7 +48,7 @@ case "$PRESET" in
     ;;
   *) echo "ci.sh: unknown preset '$PRESET'" >&2; exit 2 ;;
 esac
-case "$SMOKE" in full|tp) ;; *) echo "ci.sh: unknown smoke '$SMOKE'" >&2; exit 2 ;; esac
+case "$SMOKE" in full|tp|pp) ;; *) echo "ci.sh: unknown smoke '$SMOKE'" >&2; exit 2 ;; esac
 
 echo "ci.sh: preset=$PRESET smoke=$SMOKE -> $BUILD_DIR"
 cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
@@ -56,6 +59,8 @@ cd "$BUILD_DIR"
 # and a filter that matches nothing is a failure too, never a silent pass.
 if [ "$SMOKE" = tp ]; then
   ctest --output-on-failure --timeout 300 --no-tests=error -R tensor_parallel_test
+elif [ "$SMOKE" = pp ]; then
+  ctest --output-on-failure --timeout 300 --no-tests=error -R pipeline_parallel_test
 else
   ctest --output-on-failure --timeout 300 --no-tests=error -j "$(nproc)"
 fi
@@ -76,6 +81,10 @@ if [ "$SMOKE" = tp ]; then
   echo "ci.sh: smoke-running ./fig_tp"
   ./fig_tp >/dev/null
   python3 ../ci/check_bench_json.py fig_tp
+elif [ "$SMOKE" = pp ]; then
+  echo "ci.sh: smoke-running ./fig_3d"
+  ./fig_3d >/dev/null
+  python3 ../ci/check_bench_json.py fig_3d
 else
   # Smoke-run EVERY paper-figure bench (all run in kModelOnly, so this is
   # cheap) so bench binaries can't bit-rot silently, then schema-check the
@@ -86,7 +95,7 @@ else
     echo "ci.sh: smoke-running $bench"
     "$bench" >/dev/null
   done
-  python3 ../ci/check_bench_json.py fig22 fig_launch_graph fig_serve fig_tp
+  python3 ../ci/check_bench_json.py fig22 fig_launch_graph fig_serve fig_tp fig_3d
 fi
 
 echo "ci.sh: all checks passed"

@@ -6,7 +6,7 @@ CI fails if a file is missing, unparsable, or violates its figure's schema —
 a bench that silently writes nothing must not pass. Run from the build
 directory (where ci.sh smoke-runs the benches):
 
-    python3 ci/check_bench_json.py [fig22 fig_launch_graph fig_serve fig_tp]
+    python3 ci/check_bench_json.py [fig22 fig_launch_graph fig_serve fig_tp fig_3d]
 
 With no arguments, every known figure is checked.
 """
@@ -124,11 +124,52 @@ def check_fig_tp():
         fail("fig_tp: the TP=4 arena must be smaller than the TP=1 requirement")
 
 
+def check_fig_3d():
+    doc, rows = load("fig_3d")
+    world = doc.get("world")
+    if world != 8:
+        fail(f"fig_3d: expected the 8-GPU sweep, got world={world}")
+    for r in rows:
+        require(r, ("dp", "tp", "pp", "microbatches", "step_us", "tokens_per_sec",
+                    "pp_bubble_us", "pp_comm_us", "pp_exposed_us",
+                    "sync_blocking_us", "wire_mb", "params_mb", "act_peak_mb"),
+                "fig_3d")
+        if r["dp"] * r["tp"] * r["pp"] != world:
+            fail(f"fig_3d: dp x tp x pp must cover the {world}-GPU cluster in {r}")
+        if r["step_us"] <= 0 or r["tokens_per_sec"] <= 0:
+            fail(f"fig_3d: non-positive timing in {r}")
+        if r["pp"] == 1 and (r["pp_bubble_us"] != 0 or r["pp_comm_us"] != 0):
+            fail(f"fig_3d: pp=1 must charge no pipeline costs in {r}")
+        if r["pp"] > 1 and r["pp_comm_us"] <= 0:
+            fail(f"fig_3d: pipelined run charged no boundary p2p in {r}")
+        if r["pp"] > 1 and r["microbatches"] < r["pp"]:
+            fail(f"fig_3d: 1F1B needs microbatches >= pp in {r}")
+    if not any(r["pp"] > 1 for r in rows) or not any(r["pp"] == 1 for r in rows):
+        fail("fig_3d: the sweep must cover both pp=1 and pp>1 tilings")
+    best_pp = max(r["tokens_per_sec"] for r in rows if r["pp"] > 1)
+    pure_dp = max(r["tokens_per_sec"] for r in rows if r["dp"] == world)
+    pure_tp = max(r["tokens_per_sec"] for r in rows if r["tp"] == 4 and r["pp"] == 1)
+    if not (best_pp > pure_dp and best_pp > pure_tp):
+        fail("fig_3d: some pipelined tiling must out-run both pure-DP and "
+             f"pure-TP (pp {best_pp:.0f} vs dp {pure_dp:.0f} / tp {pure_tp:.0f})")
+    cap = doc.get("capacity")
+    if not cap:
+        fail("fig_3d: missing the capacity section")
+    require(cap, ("model", "arena_mb", "pp1_need_mb", "pp4_fits", "pp1_overflows"),
+            "fig_3d.capacity")
+    if not (cap["pp4_fits"] is True and cap["pp1_overflows"] is True):
+        fail("fig_3d: the capacity headline regressed — Transformer-Big must fit "
+             "at pp=4 in an arena pp=1 overflows")
+    if not cap["arena_mb"] < cap["pp1_need_mb"]:
+        fail("fig_3d: the pp=4 arena must be smaller than the pp=1 requirement")
+
+
 CHECKS = {
     "fig22": check_fig22,
     "fig_launch_graph": check_fig_launch_graph,
     "fig_serve": check_fig_serve,
     "fig_tp": check_fig_tp,
+    "fig_3d": check_fig_3d,
 }
 
 

@@ -19,6 +19,7 @@
 #include "dist/allreduce.h"     // IWYU pragma: export
 #include "dist/bucket.h"        // IWYU pragma: export
 #include "dist/data_parallel.h" // IWYU pragma: export
+#include "dist/pipeline.h"      // IWYU pragma: export
 #include "dist/process_group.h"    // IWYU pragma: export
 #include "dist/tensor_parallel.h"  // IWYU pragma: export
 #include "infer/batcher.h"      // IWYU pragma: export

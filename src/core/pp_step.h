@@ -1,0 +1,546 @@
+// Pipeline-parallel training step: 1F1B microbatch scheduling (DESIGN.md §9).
+//
+// The simulator executes the FULL model on the session device — that is
+// what keeps the numerics bitwise-checkable against the single-device run —
+// while the pipeline is reconstructed analytically. Per step:
+//
+//   1. The global batch is sliced into `cluster.microbatches` equal
+//      microbatches along dim 0. Each runs a complete forward + backward on
+//      the session context with kc.microbatch = j, so every RNG-drawing
+//      kernel offsets into exactly the mask slice the full-batch launch
+//      would have drawn, and gradients ACCUMULATE across microbatches in
+//      ascending order — bitwise the full-batch reduction (the kernels
+//      accumulate float-from-destination in ascending element order).
+//   2. Models mark every stage boundary via LayerContext::pp_enter; the
+//      engine closes the previous (stage, microbatch, direction) chunk at
+//      the device clock, giving measured per-chunk durations. The boundary
+//      hook also swaps the activation allocator: stage-0 chunks allocate
+//      from the session arena (the simulated rank-0 memory), later stages
+//      from a private remote-stage allocator on a throwaway device — so
+//      rank 0's footprint holds only what it would actually host, plus
+//      min(pp, m) - 1 reserved stand-ins for the extra in-flight
+//      microbatch activations a real 1F1B stage 0 retains.
+//   3. dist::solve_1f1b reconstructs when each chunk would run on a real
+//      pp-deep pipeline, with boundary p2p sends from the ProcessGroup's
+//      point-to-point cost model. StepTimes reports the RANK-0 lane:
+//      stage-0 compute in forward/backward_us, schedule idle in
+//      pp_bubble_us, exposed p2p in pp_exposed_us.
+//   4. Data-parallel sync composes per stage: grad-ready notifications
+//      during the LAST microbatch's backward are recorded with their
+//      offsets into each stage's final backward chunk, chopped into
+//      size-capped buckets, and each stage's bucket rings are laid on that
+//      stage's own comm lane. A tied embedding table (GPT-2, tied
+//      Transformer) is final on the LAST stage but lives on stage 0, so
+//      one extra p2p hop gates its stage-0 bucket. Optimizer updates run
+//      for real (range-granular, order-independent — the step_range
+//      contract), with stage-0's waits/updates pipelined per bucket into
+//      sync_us / update_us exactly like the non-PP pipelined path.
+//
+// Graph capture/replay wraps the whole m-microbatch region: remote-stage
+// allocations charge the remote device, so the session capture sees only
+// arena traffic and stays capture-safe; microbatch RNG offsets are baked
+// into launch closures by value, so a replayed step re-executes each
+// microbatch's own mask slice bitwise.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/train_step.h"
+#include "dist/bucket.h"
+#include "dist/pipeline.h"
+#include "dist/process_group.h"
+#include "layers/pp.h"
+#include "memory/caching_allocator.h"
+
+namespace ls2::core::pp_detail {
+
+/// Cross-step engine state, owned (type-erased) by Session::pp_state.
+struct PpState {
+  /// Throwaway device + allocator backing stages >= 1's activations: their
+  /// alloc traffic must neither count against rank-0 memory nor poison a
+  /// session graph capture. kVirtual backing in model-only mode lets
+  /// paper-scale stages "allocate" without committing host memory.
+  std::unique_ptr<simgpu::Device> remote_dev;
+  std::unique_ptr<mem::CachingAllocator> remote_alloc;
+  double trace_base_us = 0;  ///< virtual time base for per-step trace spans
+  bool trace_named = false;  ///< per-rank trace processes named once
+};
+
+// --- batch plumbing -------------------------------------------------------
+// The four batch structs are plain bags of dim-0-major tensors; slicing a
+// microbatch is a set of dim-0 views (no copies). Distinguishing fields:
+// MtBatch has src_ids, ImageBatch has patches, LmBatch has targets,
+// ClsBatch has lens+labels.
+
+template <typename BatchT>
+int64_t pp_batch_rows(const BatchT& b) {
+  if constexpr (requires { b.src_ids; }) {
+    return b.src_ids.shape()[0];
+  } else if constexpr (requires { b.patches; }) {
+    return b.patches.shape()[0];
+  } else {
+    return b.ids.shape()[0];
+  }
+}
+
+template <typename BatchT>
+BatchT pp_slice_batch(const BatchT& b, int64_t lo, int64_t hi) {
+  BatchT s = b;
+  if constexpr (requires { b.src_ids; }) {  // models::MtBatch
+    s.src_ids = b.src_ids.slice(lo, hi);
+    s.tgt_in = b.tgt_in.slice(lo, hi);
+    s.tgt_out = b.tgt_out.slice(lo, hi);
+    s.src_lens = b.src_lens.slice(lo, hi);
+    s.tgt_lens = b.tgt_lens.slice(lo, hi);
+  } else if constexpr (requires { b.patches; }) {  // models::ImageBatch
+    s.patches = b.patches.slice(lo, hi);
+    s.labels = b.labels.slice(lo, hi);
+  } else if constexpr (requires { b.targets; }) {  // models::LmBatch
+    s.ids = b.ids.slice(lo, hi);
+    s.targets = b.targets.slice(lo, hi);
+  } else {  // models::ClsBatch
+    s.ids = b.ids.slice(lo, hi);
+    s.lens = b.lens.slice(lo, hi);
+    s.labels = b.labels.slice(lo, hi);
+  }
+  return s;
+}
+
+/// The GLOBAL loss denominator a microbatch's criterion backward must use:
+/// non-pad target tokens for token criteria (counted exactly as
+/// CriterionLayer::forward counts them), the batch size for classification.
+template <typename BatchT>
+int64_t pp_global_denominator(const BatchT& b, int32_t pad_id, bool execute) {
+  auto count_valid = [&](const Tensor& t) -> int64_t {
+    if (!execute) return t.numel();  // timing-only mode: shape bookkeeping
+    int64_t valid = 0;
+    for (float v : t.to_vector()) {
+      if (static_cast<int32_t>(v) != pad_id) ++valid;
+    }
+    return valid;
+  };
+  if constexpr (requires { b.tgt_out; }) {
+    return count_valid(b.tgt_out);
+  } else if constexpr (requires { b.targets; }) {
+    return count_valid(b.targets);
+  } else {
+    return pp_batch_rows(b);
+  }
+}
+
+template <typename ModelT, typename BatchT>
+auto train_step_pp(Session& session, ModelT& model, const BatchT& batch,
+                   optim::Optimizer& trainer, const dist::ClusterConfig& cluster)
+    -> std::pair<StepTimes,
+                 decltype(std::declval<ModelT&>().forward(
+                     std::declval<Session&>().ctx(), std::declval<const BatchT&>()))> {
+  using ResultT = decltype(model.forward(session.ctx(), batch));
+  if constexpr (!requires { model.pp_configure(1); }) {
+    LS2_CHECK(false) << "model does not implement pp_configure — pipeline "
+                        "parallelism needs a stage partition";
+    return {StepTimes{}, ResultT{}};
+  } else {
+    auto& dev = session.device();
+    auto& ctx = session.ctx();
+    kern::KernelContext& kc = ctx.kern;
+    StepTimes times;
+    cluster.validate();
+    const int pp = cluster.pipeline_parallel;
+    const int m = cluster.microbatches;
+    const int64_t rows = pp_batch_rows(batch);
+    LS2_CHECK(rows % m == 0 && rows >= m)
+        << "batch size " << rows << " must split into " << m << " equal microbatches";
+
+    // Hybrid composition wiring checks — same contract as train_step.
+    dist::ProcessGroup* tp_group = ctx.tp_group;
+    LS2_CHECK((tp_group != nullptr ? tp_group->tp_size() : 1) == cluster.tensor_parallel)
+        << "cluster.tensor_parallel = " << cluster.tensor_parallel
+        << " but the session's ProcessGroup is "
+        << (tp_group ? std::to_string(tp_group->tp_size()) : std::string("absent"))
+        << " — install a matching group as session.ctx().tp_group";
+    if constexpr (requires { model.config().tp.size; }) {
+      LS2_CHECK(model.config().tp.size == cluster.tensor_parallel)
+          << "model was built with tp.size = " << model.config().tp.size
+          << " but cluster.tensor_parallel = " << cluster.tensor_parallel;
+    }
+    const dist::ProcessGroup::Stats tp0 =
+        tp_group ? tp_group->stats() : dist::ProcessGroup::Stats{};
+    // Rank math / p2p costs are pure functions of the cluster, so a local
+    // group serves even when the caller installed none (pp without tp).
+    dist::ProcessGroup pgroup(cluster);
+
+    const layers::PpPlan& plan = model.pp_configure(pp);
+    LS2_CHECK(plan.stages == pp) << "plan stages " << plan.stages << " vs pp " << pp;
+    auto& params = model.params();
+    const auto spans = layers::stage_byte_spans(plan, params);
+    {
+      size_t covered = 0;
+      for (const auto& stage_spans : spans) {
+        for (const auto& [lo, hi] : stage_spans) covered += hi - lo;
+      }
+      LS2_CHECK(covered == params.flat_grad_bytes())
+          << "stage partition covers " << covered << " of "
+          << params.flat_grad_bytes() << " gradient bytes";
+    }
+
+    auto state = std::static_pointer_cast<PpState>(session.pp_state);
+    if (!state) {
+      state = std::make_shared<PpState>();
+      state->remote_dev = std::make_unique<simgpu::Device>(dev.profile(), dev.mode());
+      state->remote_alloc = std::make_unique<mem::CachingAllocator>(
+          *state->remote_dev, dev.mode() == simgpu::ExecMode::kExecute
+                                  ? mem::DeviceAllocator::Backing::kMalloc
+                                  : mem::DeviceAllocator::Backing::kVirtual);
+      session.pp_state = state;
+    }
+
+    const GraphAction graph_action = session.begin_step();
+    struct GraphRegionGuard {
+      simgpu::Device& dev;
+      bool active = false;
+      ~GraphRegionGuard() {
+        if (active) dev.abort_graph();
+      }
+    } graph_guard{dev};
+
+    // Zero gradients ONCE: microbatch gradients accumulate on top.
+    const double tz = dev.clock_us();
+    {
+      simgpu::ScopedRange r(dev, "zero_grad");
+      if (graph_action == GraphAction::kCapture) {
+        dev.begin_capture();
+        graph_guard.active = true;
+      } else if (graph_action == GraphAction::kReplay) {
+        dev.begin_replay(*session.step_graph());
+        graph_guard.active = true;
+        times.replayed = true;
+      }
+      zero_grads_charged(session, params);
+    }
+    const double t0 = dev.clock_us();
+    times.zero_grad_us = t0 - tz;
+
+    // --- measured chunk durations + boundary payloads ---
+    auto su = [](int x) { return static_cast<size_t>(x); };
+    std::vector<std::vector<double>> fdur(su(pp), std::vector<double>(su(m), 0.0));
+    std::vector<std::vector<double>> bdur = fdur;
+    std::vector<int64_t> fwd_bytes(su(pp - 1), 0), bwd_bytes(su(pp - 1), 0);
+    struct NotifyEvent {
+      int stage;
+      size_t lo, hi;
+      double offset;  ///< into the stage's last backward chunk
+    };
+    std::vector<NotifyEvent> notified;
+
+    int cur_stage = 0, cur_mb = 0;
+    bool cur_fwd = true, chunk_open = false;
+    double chunk_begin = 0.0;
+    BufferAllocator* const local_act = ctx.activation_allocator();
+    std::vector<Tensor> residency;  // stand-ins for in-flight 1F1B activations
+    const int64_t act_base = session.activations().bytes_in_use();
+
+    struct CtxRestore {
+      layers::LayerContext& ctx;
+      BufferAllocator* act;
+      ~CtxRestore() {
+        ctx.pp = nullptr;
+        ctx.pp_loss_carry = nullptr;
+        ctx.pp_metric_carry = nullptr;
+        ctx.pp_denominator = 0;
+        ctx.pp_flush = false;
+        ctx.kern.microbatch = 0;
+        ctx.set_activation_allocator(act);
+      }
+    } ctx_restore{ctx, local_act};
+
+    layers::PpHooks hooks;
+    hooks.enter = [&](int stage, bool forward, int64_t payload) {
+      LS2_CHECK(stage >= 0 && stage < pp) << "pp_enter stage " << stage;
+      const double now = dev.clock_us();
+      if (chunk_open) {
+        (cur_fwd ? fdur : bdur)[su(cur_stage)][su(cur_mb)] += now - chunk_begin;
+      }
+      if (cur_mb == 0) {  // microbatches are equal-sized: record payloads once
+        if (forward && stage > 0) {
+          fwd_bytes[su(stage - 1)] = payload;
+        } else if (!forward && stage + 1 < pp) {
+          bwd_bytes[su(stage)] = payload;
+        }
+      }
+      // Leaving stage 0 for the first time: one microbatch's stage-0
+      // activation footprint is now live; a real 1F1B stage 0 holds
+      // min(pp, m) such sets at its steady-state peak, so reserve the
+      // difference for honest arena/capacity accounting.
+      if (forward && stage == 1 && cur_mb == 0 && residency.empty()) {
+        const int64_t live = session.activations().bytes_in_use() - act_base;
+        for (int i = std::min(pp, m) - 1; i > 0 && live > 0; --i) {
+          residency.push_back(Tensor::empty({live}, DType::kU8, local_act));
+        }
+      }
+      ctx.set_activation_allocator(stage == 0 ? local_act : state->remote_alloc.get());
+      cur_stage = stage;
+      cur_fwd = forward;
+      chunk_begin = now;
+      chunk_open = true;
+    };
+    ctx.pp = &hooks;
+
+    int32_t pad_id = 0;
+    if constexpr (requires { model.config().pad_id; }) pad_id = model.config().pad_id;
+    const int64_t denom = pp_global_denominator(
+        batch, pad_id, dev.mode() == simgpu::ExecMode::kExecute);
+    double loss_carry = 0.0, metric_carry = 0.0;
+    ctx.pp_loss_carry = &loss_carry;
+    ctx.pp_metric_carry = &metric_carry;
+    ctx.pp_denominator = denom;
+    ctx.loss_scale = trainer.loss_scale();
+
+    // --- run the m microbatches (ascending: the accumulation order that is
+    // bitwise the full-batch reduction) ---
+    ResultT result{};
+    const int64_t mb_rows = rows / m;
+    for (int j = 0; j < m; ++j) {
+      cur_mb = j;
+      kc.microbatch = static_cast<uint64_t>(j);
+      kc.dropout_site = 1;  // every microbatch walks the full batch's site order
+      ctx.pp_flush = (j == m - 1);  // layers flush deferred tied-table work
+      const BatchT mb = pp_slice_batch(batch, j * mb_rows, (j + 1) * mb_rows);
+      if (j == m - 1) {
+        // Gradients are FINAL only on the last microbatch: record each
+        // notification's stage + offset into that stage's backward chunk,
+        // the inputs of the per-stage DP bucket schedule below.
+        params.set_grad_ready_callback([&](const layers::ParamRange& range) {
+          if (range.empty()) return;
+          const size_t lo = params.grad_byte_span(range.begin).first;
+          const size_t hi = params.grad_byte_span(range.end - 1).second;
+          const int stage = layers::stage_of_byte(spans, lo);
+          LS2_CHECK(stage >= 0) << "grad-ready range outside the stage plan";
+          notified.push_back({stage, lo, hi, dev.clock_us() - chunk_begin});
+        });
+      }
+      {
+        simgpu::ScopedRange r(dev, "forward");
+        chunk_open = false;  // the model's pp_enter(0, true) opens stage 0
+        result = model.forward(ctx, mb);
+        if (chunk_open) {
+          fdur[su(cur_stage)][su(j)] += dev.clock_us() - chunk_begin;
+        }
+        chunk_open = false;
+      }
+      {
+        simgpu::ScopedRange r(dev, "backward");
+        model.backward(ctx);
+        if (chunk_open) {
+          bdur[su(cur_stage)][su(j)] += dev.clock_us() - chunk_begin;
+        }
+        chunk_open = false;
+      }
+    }
+    params.clear_grad_ready_callback();
+    if constexpr (requires { result.tokens; }) {
+      result.tokens = denom;  // the last microbatch's carry holds the global sum
+    }
+
+    // Close the static region (same discipline as the non-PP step).
+    if (graph_action == GraphAction::kCapture) {
+      session.store_graph(dev.end_capture());
+      graph_guard.active = false;
+    } else if (graph_action == GraphAction::kReplay) {
+      dev.end_replay();
+      graph_guard.active = false;
+    }
+
+    // --- reconstruct the 1F1B schedule from the measured chunks ---
+    dist::PipelineScheduleInput sin;
+    sin.stages = pp;
+    sin.microbatches = m;
+    sin.f = fdur;
+    sin.b = bdur;
+    for (int s = 0; s + 1 < pp; ++s) {
+      sin.fwd_p2p_us.push_back(pgroup.stage_send_us(fwd_bytes[su(s)], s, dev.profile()));
+      sin.bwd_p2p_us.push_back(pgroup.stage_send_us(bwd_bytes[su(s)], s, dev.profile()));
+    }
+    const dist::PipelineSchedule sched = dist::solve_1f1b(sin);
+    for (int j = 0; j < m; ++j) {
+      times.forward_us += fdur[0][su(j)];
+      times.backward_us += bdur[0][su(j)];
+    }
+    times.pp_bubble_us = sched.lanes[0].bubble_us;
+    times.pp_exposed_us = sched.lanes[0].comm_idle_us;
+    times.pp_comm_us = m * (sin.fwd_p2p_us[0] + sin.bwd_p2p_us[0]);
+
+    std::vector<double> bstart_last(su(pp), 0.0), bend_last(su(pp), 0.0);
+    for (int s = 0; s < pp; ++s) {
+      for (const dist::PipelineChunk& c : sched.lanes[su(s)].chunks) {
+        if (!c.forward && c.microbatch == m - 1) {
+          bstart_last[su(s)] = c.begin_us;
+          bend_last[su(s)] = c.end_us;
+        }
+      }
+    }
+
+    // Tied embedding table: declared on stage 0, last written by the final
+    // stage's criterion backward — its accumulated gradient rides one extra
+    // p2p hop home before stage 0's bucket can ring.
+    double tied_arrival = -1.0;
+    size_t tied_lo = 0, tied_hi = 0;
+    if (plan.tied_table_bytes > 0) {
+      const double hop =
+          pgroup.send_us(plan.tied_table_bytes, pgroup.rank_of(0, pp - 1, 0),
+                         pgroup.rank_of(0, 0, 0), dev.profile());
+      tied_arrival = bend_last[su(pp - 1)] + hop;
+      times.pp_comm_us += hop;
+      std::tie(tied_lo, tied_hi) = params.grad_byte_span(plan.tied_param.index);
+    }
+
+    // --- per-stage DP sync + pipelined range-granular update ---
+    const bool sync_needed = cluster.dp_size() > 1;
+    struct PpBucket {
+      int stage;
+      size_t lo, hi;
+      double ready_us;
+      double done_us = 0;  ///< ring completion on the stage's comm lane
+    };
+    std::vector<PpBucket> buckets;
+    if (sync_needed) {
+      const int64_t cap = dist::effective_bucket_bytes(cluster, dev.profile());
+      for (const NotifyEvent& e : notified) {
+        const double ready = bstart_last[su(e.stage)] + e.offset;
+        PpBucket* back = buckets.empty() ? nullptr : &buckets.back();
+        const bool adjacent =
+            back && back->stage == e.stage && (e.hi == back->lo || e.lo == back->hi);
+        if (adjacent && static_cast<int64_t>(std::max(back->hi, e.hi) -
+                                             std::min(back->lo, e.lo)) <= cap) {
+          back->lo = std::min(back->lo, e.lo);
+          back->hi = std::max(back->hi, e.hi);
+          back->ready_us = std::max(back->ready_us, ready);
+        } else {
+          buckets.push_back({e.stage, e.lo, e.hi, ready});
+        }
+      }
+      for (PpBucket& bk : buckets) {
+        if (tied_arrival >= 0 && bk.stage == 0 && bk.lo < tied_hi && tied_lo < bk.hi) {
+          bk.ready_us = std::max(bk.ready_us, tied_arrival);
+        }
+      }
+      size_t covered = 0;
+      for (const PpBucket& bk : buckets) covered += bk.hi - bk.lo;
+      LS2_CHECK(covered == params.flat_grad_bytes())
+          << "grad-ready notifications tile " << covered << " of "
+          << params.flat_grad_bytes() << " gradient bytes";
+    } else {
+      for (int s = 0; s < pp; ++s) {
+        for (const auto& [lo, hi] : spans[su(s)]) buckets.push_back({s, lo, hi, 0.0});
+      }
+    }
+
+    // Each stage is a different rank: its bucket rings serialize on its OWN
+    // comm lane, independent of the other stages'.
+    std::vector<double> comm_clock(su(pp), 0.0);
+    double ring0_us = 0;
+    int64_t stage0_bytes = 0;
+    for (const auto& [lo, hi] : spans[0]) stage0_bytes += static_cast<int64_t>(hi - lo);
+    if (sync_needed) {
+      for (PpBucket& bk : buckets) {
+        const int64_t wire = dist::wire_payload_bytes(
+            static_cast<int64_t>(bk.hi - bk.lo), params.dtype(), cluster.wire_dtype);
+        const double ring = dist::ring_allreduce_us(wire, cluster, dev.profile());
+        double& lane = comm_clock[su(bk.stage)];
+        lane = std::max(lane, bk.ready_us) + ring;
+        bk.done_us = lane;
+        if (bk.stage == 0) {
+          ring0_us += ring;
+          times.wire_bytes += wire;
+        }
+      }
+      times.sync_blocking_us = dist::ring_allreduce_us(
+          dist::wire_payload_bytes(stage0_bytes, params.dtype(), cluster.wire_dtype),
+          cluster, dev.profile());
+    }
+
+    // Updates execute for real over every stage's ranges (the numerics need
+    // the whole model updated; step_range is order-independent), while the
+    // StepTimes lane tracks only stage 0: wait for each stage-0 bucket's
+    // ring, then its update — pipelined exactly like the non-PP path.
+    trainer.begin_step();
+    double cursor = bend_last[0];  // stage 0's compute lane ends its 1F1B step
+    const double comm_drain0 = comm_clock[0];
+    double update0_us = 0;
+    {
+      simgpu::ScopedRange r(dev, "update");
+      for (const PpBucket& bk : buckets) {
+        const double u0 = dev.clock_us();
+        trainer.step_range(kc, bk.lo, bk.hi);
+        const double dur = dev.clock_us() - u0;
+        if (bk.stage != 0) continue;
+        if (sync_needed) {
+          times.sync_us += std::max(0.0, bk.done_us - cursor);
+          cursor = std::max(cursor, bk.done_us);
+        }
+        times.update_overlapped_us +=
+            std::max(0.0, std::min(cursor + dur, comm_drain0) - cursor);
+        cursor += dur;
+        update0_us += dur;
+      }
+    }
+    trainer.end_step();
+    times.update_us = update0_us + times.zero_grad_us;
+    times.sync_overlapped_us = std::max(0.0, ring0_us - times.sync_us);
+
+    if constexpr (requires { model.tp_finish_step(trainer); }) {
+      model.tp_finish_step(trainer);
+    }
+
+    // --- named trace spans: the reconstructed per-rank 1F1B lanes ---
+    if (session.config().record_timeline) {
+      simgpu::Timeline& tl = dev.timeline();
+      const double base = state->trace_base_us;
+      char name[64];
+      for (int s = 0; s < pp; ++s) {
+        const int pid = pgroup.rank_of(0, s, 0);
+        if (!state->trace_named) {
+          tl.name_process(pid, "rank " + std::to_string(pid) + " (stage " +
+                                   std::to_string(s) + ")");
+        }
+        for (const dist::PipelineChunk& c : sched.lanes[su(s)].chunks) {
+          std::snprintf(name, sizeof(name), "s%d.mb%d.%s", s, c.microbatch,
+                        c.forward ? "F" : "B");
+          tl.record_span(pid, 0, name, base + c.begin_us, base + c.end_us);
+          if (c.forward && s + 1 < pp) {
+            std::snprintf(name, sizeof(name), "s%d>s%d.mb%d.act", s, s + 1,
+                          c.microbatch);
+            tl.record_span(pid, 1, name, base + c.end_us,
+                           base + c.end_us + sin.fwd_p2p_us[su(s)]);
+          } else if (!c.forward && s > 0) {
+            std::snprintf(name, sizeof(name), "s%d>s%d.mb%d.grad", s, s - 1,
+                          c.microbatch);
+            tl.record_span(pid, 1, name, base + c.end_us,
+                           base + c.end_us + sin.bwd_p2p_us[su(s - 1)]);
+          }
+        }
+      }
+      state->trace_named = true;
+      double extent = std::max(sched.makespan_us, cursor);
+      for (double lane : comm_clock) extent = std::max(extent, lane);
+      state->trace_base_us = base + extent + 100.0;
+    }
+
+    residency.clear();  // before the arena's end-of-step reset
+    session.end_step();
+
+    if (tp_group != nullptr) {
+      const dist::ProcessGroup::Stats tp1 = tp_group->stats();
+      times.tp_comm_us = tp1.comm_us - tp0.comm_us;
+      times.tp_exposed_us = tp1.exposed_us - tp0.exposed_us;
+      times.tp_bytes = tp1.bytes - tp0.bytes;
+    }
+    return {times, result};
+  }
+}
+
+}  // namespace ls2::core::pp_detail

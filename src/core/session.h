@@ -97,6 +97,12 @@ class Session {
   bool graph_capture_supported() const { return act_alloc_->capture_safe(); }
   int64_t step_index() const { return step_index_; }
 
+  /// Cross-step state of the pipeline-parallel engine (core/pp_step.h):
+  /// the remote-stage device/allocator pair and the trace time base. Owned
+  /// here (type-erased) so the engine — a header template — keeps its
+  /// warm allocator cache across steps. Null until the first PP step.
+  std::shared_ptr<void> pp_state;
+
  private:
   SessionConfig cfg_;
   simgpu::Device device_;

@@ -64,7 +64,18 @@ struct StepTimes {
   double tp_comm_us = 0;     ///< TP collective time enqueued this step
   double tp_exposed_us = 0;  ///< portion the compute stream waited on
   int64_t tp_bytes = 0;      ///< logical TP payload bytes this step
-  double total_us() const { return forward_us + backward_us + sync_us + update_us; }
+  // --- pipeline parallelism (DESIGN §9; 0 when cluster.pipeline_parallel
+  // == 1). All three describe rank 0's (stage 0's) 1F1B lane: forward_us /
+  // backward_us above hold only stage 0's compute chunks, so the lane's
+  // idle time is reported separately and total_us() stays rank 0's wall
+  // clock.
+  double pp_bubble_us = 0;   ///< 1F1B schedule idle on the rank-0 lane
+  double pp_comm_us = 0;     ///< boundary p2p time touching rank 0
+  double pp_exposed_us = 0;  ///< p2p waits on the rank-0 critical path
+  double total_us() const {
+    return forward_us + backward_us + sync_us + update_us + pp_bubble_us +
+           pp_exposed_us;
+  }
 };
 
 /// Zero all gradients with charged device kernels: one launch over the flat
@@ -91,6 +102,19 @@ inline void zero_grads_charged(Session& session, layers::ParamRegistry& params) 
   }
 }
 
+namespace pp_detail {
+/// 1F1B pipeline-parallel step (core/pp_step.h, included at the bottom of
+/// this header): slices the batch into cluster.microbatches microbatches,
+/// drives each through the full model with per-stage boundary accounting,
+/// and reconstructs the 1F1B schedule for StepTimes.
+template <typename ModelT, typename BatchT>
+auto train_step_pp(Session& session, ModelT& model, const BatchT& batch,
+                   optim::Optimizer& trainer, const dist::ClusterConfig& cluster)
+    -> std::pair<StepTimes,
+                 decltype(std::declval<ModelT&>().forward(
+                     std::declval<Session&>().ctx(), std::declval<const BatchT&>()))>;
+}  // namespace pp_detail
+
 /// Run one data-parallel training step on this device; other replicas are
 /// assumed identical (their compute time equals ours; the all-reduce time
 /// comes from the ring model). Returns per-stage times and the forward
@@ -99,6 +123,9 @@ template <typename ModelT, typename BatchT>
 auto train_step(Session& session, ModelT& model, const BatchT& batch,
                 optim::Optimizer& trainer, const dist::ClusterConfig& cluster = {})
     -> std::pair<StepTimes, decltype(model.forward(session.ctx(), batch))> {
+  if (cluster.pipeline_parallel > 1) {
+    return pp_detail::train_step_pp(session, model, batch, trainer, cluster);
+  }
   auto& dev = session.device();
   StepTimes times;
   // Hybrid data x model parallel composition: the model's TP collectives
@@ -293,3 +320,8 @@ auto train_step(Session& session, ModelT& model, const BatchT& batch,
 }
 
 }  // namespace ls2::core
+
+// The pipeline-parallel engine needs StepTimes/Session/zero_grads_charged
+// from above; including it here (instead of the other way round) keeps
+// train_step the single entry point.
+#include "core/pp_step.h"  // IWYU pragma: keep

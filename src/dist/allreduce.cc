@@ -4,6 +4,27 @@
 
 namespace ls2::dist {
 
+void ClusterConfig::validate() const {
+  LS2_CHECK(gpus_per_node >= 1 && nodes >= 1)
+      << "cluster shape " << gpus_per_node << "x" << nodes;
+  LS2_CHECK(tensor_parallel >= 1) << "tensor_parallel must be positive";
+  LS2_CHECK(pipeline_parallel >= 1) << "pipeline_parallel must be positive";
+  LS2_CHECK(microbatches >= 1) << "microbatches must be positive";
+  LS2_CHECK(gpus_per_node % tensor_parallel == 0)
+      << "tensor_parallel " << tensor_parallel << " must divide gpus_per_node "
+      << gpus_per_node << " — a TP group never crosses the node boundary";
+  const int model = tensor_parallel * pipeline_parallel;
+  LS2_CHECK(total_gpus() % model == 0 && total_gpus() >= model)
+      << "dp x tp x pp must equal world_size: tp " << tensor_parallel << " x pp "
+      << pipeline_parallel << " does not tile the " << total_gpus() << "-GPU cluster ("
+      << gpus_per_node << " GPUs x " << nodes << " nodes) — "
+      << total_gpus() % model << " ranks would be left over";
+  LS2_CHECK(pipeline_parallel == 1 || microbatches >= pipeline_parallel)
+      << "pipeline_parallel " << pipeline_parallel << " needs at least that many "
+      << "microbatches to fill the pipe (got " << microbatches
+      << "); the 1F1B bubble fraction (pp-1)/(m+pp-1) only shrinks with m";
+}
+
 double bottleneck_bus_gb_s(const ClusterConfig& cluster,
                            const simgpu::DeviceProfile& profile) {
   return cluster.nodes > 1 ? profile.ib_bus_gb_s : profile.nvlink_bus_gb_s;

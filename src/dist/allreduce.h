@@ -51,10 +51,29 @@ struct ClusterConfig {
   /// replica count. Must divide gpus_per_node — a TP group's collectives
   /// stay on the intra-node NVLink ring and never cross the fabric.
   int tensor_parallel = 1;
+  /// Pipeline-parallel degree (DESIGN.md §9): the model's layers are
+  /// partitioned across this many consecutive stages driven by a 1F1B
+  /// microbatch schedule, the third orthogonal axis of the 3D layout
+  /// rank = ((dp * pp) + pp_rank) * tp + tp_rank. PP neighbors are
+  /// adjacent ranks (stride tensor_parallel) so the large activation
+  /// sends ride the cheapest links available.
+  int pipeline_parallel = 1;
+  /// Microbatches per step under pipeline parallelism (the global batch
+  /// is sliced along dim 0; B % microbatches must be 0). More microbatches
+  /// shrink the 1F1B bubble fraction (pp-1)/(m+pp-1). Ignored when
+  /// pipeline_parallel == 1.
+  int microbatches = 1;
 
   int total_gpus() const { return gpus_per_node * nodes; }
-  /// Data-parallel replica count of the hybrid layout.
-  int dp_size() const { return total_gpus() / tensor_parallel; }
+  /// Data-parallel replica count of the hybrid 3D layout.
+  int dp_size() const { return total_gpus() / (tensor_parallel * pipeline_parallel); }
+
+  /// Reject inconsistent shapes with a clear message at configuration time
+  /// (instead of deep inside a group split): dp x tp x pp must exactly
+  /// cover world_size, TP must stay within one node, and the microbatch
+  /// count must be sane. Called by ProcessGroup's constructor and
+  /// core::train_step; callers building configs by hand can call it early.
+  void validate() const;
 };
 
 /// Bytes `storage_bytes` of `storage_dtype` gradients occupy on the wire

@@ -1,0 +1,130 @@
+#include "dist/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ls2::dist {
+
+double PipelineSchedule::analytic_bubble_fraction(int stages, int microbatches) {
+  if (stages <= 1) return 0.0;
+  return static_cast<double>(stages - 1) /
+         static_cast<double>(microbatches + stages - 1);
+}
+
+namespace {
+
+struct Slot {
+  bool forward;
+  int microbatch;
+};
+
+// 1F1B slot order for one stage: w = min(m, pp-1-s) warm-up forwards, then
+// steady-state F/B pairs, then the backward drain.
+std::vector<Slot> slot_order(int stages, int m, int s) {
+  std::vector<Slot> slots;
+  slots.reserve(static_cast<size_t>(2 * m));
+  const int w = std::min(m, stages - 1 - s);
+  for (int j = 0; j < w; ++j) slots.push_back({true, j});
+  for (int k = 0; k + w < m; ++k) {
+    slots.push_back({true, w + k});
+    slots.push_back({false, k});
+  }
+  for (int j = m - w; j < m; ++j) slots.push_back({false, j});
+  return slots;
+}
+
+}  // namespace
+
+PipelineSchedule solve_1f1b(const PipelineScheduleInput& in) {
+  const int S = in.stages, m = in.microbatches;
+  LS2_CHECK(S >= 1 && m >= 1) << "stages " << S << " microbatches " << m;
+  LS2_CHECK(m >= S || S == 1) << "1F1B needs microbatches >= stages";
+  LS2_CHECK_EQ(static_cast<int>(in.f.size()), S);
+  LS2_CHECK_EQ(static_cast<int>(in.b.size()), S);
+  auto su = [](int x) { return static_cast<size_t>(x); };
+  for (int s = 0; s < S; ++s) {
+    LS2_CHECK_EQ(static_cast<int>(in.f[su(s)].size()), m);
+    LS2_CHECK_EQ(static_cast<int>(in.b[su(s)].size()), m);
+  }
+  LS2_CHECK_EQ(static_cast<int>(in.fwd_p2p_us.size()), S - 1);
+  LS2_CHECK_EQ(static_cast<int>(in.bwd_p2p_us.size()), S - 1);
+
+  std::vector<std::vector<Slot>> slots(su(S));
+  for (int s = 0; s < S; ++s) slots[su(s)] = slot_order(S, m, s);
+
+  // Relax chunk times until stable. Forward deps point down-stage and
+  // backward deps up-stage while each lane serialises its own slots, so a
+  // bounded number of alternating sweeps reaches the fixpoint.
+  std::vector<std::vector<double>> fend(su(S), std::vector<double>(su(m), 0.0));
+  std::vector<std::vector<double>> bend(su(S), std::vector<double>(su(m), 0.0));
+  std::vector<std::vector<double>> fbeg = fend, bbeg = bend;
+  bool changed = true;
+  int rounds = 0;
+  while (changed) {
+    changed = false;
+    LS2_CHECK(++rounds <= 2 * (S + m) + 4) << "1F1B relaxation diverged";
+    for (int s = 0; s < S; ++s) {
+      double cursor = 0.0;
+      for (const Slot& slot : slots[su(s)]) {
+        const int j = slot.microbatch;
+        double ready = cursor;
+        if (slot.forward && s > 0) {
+          ready = std::max(ready, fend[su(s - 1)][su(j)] + in.fwd_p2p_us[su(s - 1)]);
+        }
+        if (!slot.forward && s + 1 < S) {
+          ready = std::max(ready, bend[su(s + 1)][su(j)] + in.bwd_p2p_us[su(s)]);
+        }
+        const double dur =
+            slot.forward ? in.f[su(s)][su(j)] : in.b[su(s)][su(j)];
+        auto& beg = slot.forward ? fbeg : bbeg;
+        auto& end = slot.forward ? fend : bend;
+        if (beg[su(s)][su(j)] != ready || end[su(s)][su(j)] != ready + dur) {
+          beg[su(s)][su(j)] = ready;
+          end[su(s)][su(j)] = ready + dur;
+          changed = true;
+        }
+        cursor = ready + dur;
+      }
+    }
+  }
+
+  PipelineSchedule out;
+  out.lanes.resize(su(S));
+  for (int s = 0; s < S; ++s) {
+    PipelineLane& lane = out.lanes[su(s)];
+    double prev_end = 0.0;
+    for (const Slot& slot : slots[su(s)]) {
+      const int j = slot.microbatch;
+      PipelineChunk c;
+      c.forward = slot.forward;
+      c.microbatch = j;
+      c.begin_us = (slot.forward ? fbeg : bbeg)[su(s)][su(j)];
+      c.end_us = (slot.forward ? fend : bend)[su(s)][su(j)];
+      lane.busy_us += c.end_us - c.begin_us;
+      const double gap = c.begin_us - prev_end;
+      if (gap > 0) {
+        // If a cross-stage dependency is what pinned this start, up to one
+        // p2p cost of the gap is exposed communication; the rest is bubble.
+        double p2p = 0.0;
+        if (slot.forward && s > 0 &&
+            fend[su(s - 1)][su(j)] + in.fwd_p2p_us[su(s - 1)] >= c.begin_us) {
+          p2p = in.fwd_p2p_us[su(s - 1)];
+        } else if (!slot.forward && s + 1 < S &&
+                   bend[su(s + 1)][su(j)] + in.bwd_p2p_us[su(s)] >= c.begin_us) {
+          p2p = in.bwd_p2p_us[su(s)];
+        }
+        const double comm = std::min(gap, p2p);
+        lane.comm_idle_us += comm;
+        lane.bubble_us += gap - comm;
+      }
+      prev_end = c.end_us;
+      lane.chunks.push_back(c);
+      out.makespan_us = std::max(out.makespan_us, c.end_us);
+    }
+  }
+  return out;
+}
+
+}  // namespace ls2::dist

@@ -1,0 +1,56 @@
+// 1F1B pipeline-parallel schedule solver (DESIGN.md §9).
+//
+// Given measured per-(stage, microbatch) forward/backward durations and
+// inter-stage p2p send costs, reconstructs the 1F1B ("one forward, one
+// backward") schedule of Narayanan et al. / Megatron-LM: each stage runs
+// min(m, pp-1-s) warm-up forwards, then alternates forward/backward in
+// steady state, then drains the remaining backwards. The solver is a pure
+// host-side computation — stage work is executed (and timed) elsewhere;
+// this module answers "when would each chunk run on a real pp-deep
+// pipeline, and how much of each lane is bubble vs. exposed p2p?"
+#pragma once
+
+#include <vector>
+
+namespace ls2::dist {
+
+struct PipelineScheduleInput {
+  int stages = 1;
+  int microbatches = 1;
+  // f[s][j] / b[s][j]: forward / backward compute microseconds of
+  // microbatch j's chunk on stage s.
+  std::vector<std::vector<double>> f, b;
+  // fwd_p2p_us[s]: activation send stage s -> s+1 (size stages-1);
+  // bwd_p2p_us[s]: gradient send stage s+1 -> s (size stages-1).
+  std::vector<double> fwd_p2p_us, bwd_p2p_us;
+};
+
+struct PipelineChunk {
+  bool forward = true;
+  int microbatch = 0;
+  double begin_us = 0, end_us = 0;
+};
+
+struct PipelineLane {
+  std::vector<PipelineChunk> chunks;  ///< in 1F1B slot order
+  double busy_us = 0;       ///< sum of chunk durations
+  double comm_idle_us = 0;  ///< lane gaps attributable to a binding p2p send
+  double bubble_us = 0;     ///< remaining lane idle inside [0, lane end]
+};
+
+struct PipelineSchedule {
+  std::vector<PipelineLane> lanes;  ///< one per stage
+  double makespan_us = 0;
+  /// Steady-state bubble fraction of the reference analytic model with
+  /// uniform chunks and free communication: (pp-1) / (m + pp-1).
+  static double analytic_bubble_fraction(int stages, int microbatches);
+};
+
+/// Solve the 1F1B schedule. Chunk begin/end times satisfy, for every
+/// stage s and microbatch j:
+///   F(s,j) starts after F(s-1,j) ends + fwd_p2p[s-1],
+///   B(s,j) starts after B(s+1,j) ends + bwd_p2p[s],
+/// and chunks on one stage run back-to-back in 1F1B slot order.
+PipelineSchedule solve_1f1b(const PipelineScheduleInput& in);
+
+}  // namespace ls2::dist

@@ -5,11 +5,7 @@
 namespace ls2::dist {
 
 ProcessGroup::ProcessGroup(ClusterConfig cluster) : cluster_(cluster) {
-  LS2_CHECK(cluster_.tensor_parallel >= 1) << "tensor_parallel must be positive";
-  LS2_CHECK(cluster_.gpus_per_node % cluster_.tensor_parallel == 0)
-      << "tensor_parallel " << cluster_.tensor_parallel
-      << " must divide gpus_per_node " << cluster_.gpus_per_node
-      << " — a TP group never crosses the node boundary";
+  cluster_.validate();
 }
 
 int ProcessGroup::tp_rank(int rank) const {
@@ -17,9 +13,21 @@ int ProcessGroup::tp_rank(int rank) const {
   return rank % tp_size();
 }
 
+int ProcessGroup::pp_rank(int rank) const {
+  LS2_CHECK(rank >= 0 && rank < world_size()) << "rank " << rank;
+  return (rank / tp_size()) % pp_size();
+}
+
 int ProcessGroup::dp_rank(int rank) const {
   LS2_CHECK(rank >= 0 && rank < world_size()) << "rank " << rank;
-  return rank / tp_size();
+  return rank / (tp_size() * pp_size());
+}
+
+int ProcessGroup::rank_of(int dp, int pp, int tp) const {
+  LS2_CHECK(dp >= 0 && dp < dp_size() && pp >= 0 && pp < pp_size() && tp >= 0 &&
+            tp < tp_size())
+      << "(" << dp << "," << pp << "," << tp << ")";
+  return (dp * pp_size() + pp) * tp_size() + tp;
 }
 
 std::vector<int> ProcessGroup::tp_group_ranks(int rank) const {
@@ -30,11 +38,19 @@ std::vector<int> ProcessGroup::tp_group_ranks(int rank) const {
   return ranks;
 }
 
+std::vector<int> ProcessGroup::pp_group_ranks(int rank) const {
+  const int dp = dp_rank(rank), tp = tp_rank(rank);
+  std::vector<int> ranks;
+  ranks.reserve(static_cast<size_t>(pp_size()));
+  for (int s = 0; s < pp_size(); ++s) ranks.push_back(rank_of(dp, s, tp));
+  return ranks;
+}
+
 std::vector<int> ProcessGroup::dp_group_ranks(int rank) const {
-  const int offset = tp_rank(rank);
+  const int pp = pp_rank(rank), tp = tp_rank(rank);
   std::vector<int> ranks;
   ranks.reserve(static_cast<size_t>(dp_size()));
-  for (int r = 0; r < dp_size(); ++r) ranks.push_back(r * tp_size() + offset);
+  for (int r = 0; r < dp_size(); ++r) ranks.push_back(rank_of(r, pp, tp));
   return ranks;
 }
 
@@ -65,6 +81,22 @@ double ProcessGroup::reduce_scatter_us(int64_t full_bytes,
   return all_gather_us(full_bytes, profile);  // the mirror ring phase
 }
 
+double ProcessGroup::send_us(int64_t bytes, int from_rank, int to_rank,
+                             const simgpu::DeviceProfile& profile) const {
+  LS2_CHECK(bytes >= 0);
+  if (bytes == 0 || from_rank == to_rank) return 0.0;
+  const double bus_gb_s = node_of(from_rank) == node_of(to_rank)
+                              ? profile.nvlink_bus_gb_s
+                              : profile.ib_bus_gb_s;
+  return profile.allreduce_latency_us + static_cast<double>(bytes) / (bus_gb_s * 1e3);
+}
+
+double ProcessGroup::stage_send_us(int64_t bytes, int stage,
+                                   const simgpu::DeviceProfile& profile) const {
+  LS2_CHECK(stage >= 0 && stage + 1 < pp_size()) << "boundary " << stage;
+  return send_us(bytes, rank_of(0, stage, 0), rank_of(0, stage + 1, 0), profile);
+}
+
 double ProcessGroup::charge(simgpu::Device& dev, double us, int64_t bytes) {
   const double done = dev.enqueue_comm(us, "tp");
   if (us > 0) {
@@ -91,6 +123,12 @@ double ProcessGroup::reduce_scatter_begin(simgpu::Device& dev, int64_t full_byte
                                           const std::string& what) {
   (void)what;
   return charge(dev, reduce_scatter_us(full_bytes, dev.profile()), full_bytes);
+}
+
+double ProcessGroup::send_begin(simgpu::Device& dev, int64_t bytes, int stage,
+                                const std::string& what) {
+  (void)what;
+  return charge(dev, stage_send_us(bytes, stage, dev.profile()), bytes);
 }
 
 double ProcessGroup::wait(simgpu::Device& dev, double t_done_us, const std::string& what) {

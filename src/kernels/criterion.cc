@@ -171,16 +171,21 @@ void ls_cross_entropy_bw(KernelContext& kc, Impl impl, const Tensor& logits,
                 });
 }
 
-void reduce_sum(KernelContext& kc, const Tensor& x, const Tensor& out) {
+void reduce_sum(KernelContext& kc, const Tensor& x, const Tensor& out, double* carry) {
   LS2_CHECK(x.dtype() == DType::kF32 && out.dtype() == DType::kF32);
   LS2_CHECK_GE(out.numel(), 1);
   kc.dev.launch(desc("ls2.reduce_sum", static_cast<int64_t>(x.bytes()), 4,
                      static_cast<double>(x.numel()),
                      reduction_efficiency(0.85, 1, x.numel(), 256)),
-                [&] {
+                [&, carry] {
                   const float* xp = x.data<float>();
-                  double acc = 0;
+                  // With a carry, the double accumulator continues across
+                  // calls — microbatch slices (pipeline parallelism) sum in
+                  // the exact order the full batch would, so the final
+                  // float cast is bitwise the full-batch reduction.
+                  double acc = carry ? *carry : 0.0;
                   for (int64_t i = 0; i < x.numel(); ++i) acc += xp[i];
+                  if (carry) *carry = acc;
                   out.data<float>()[0] = static_cast<float>(acc);
                 });
 }

@@ -30,7 +30,11 @@ void ls_cross_entropy_bw(KernelContext& kc, Impl impl, const Tensor& logits,
                          float alpha, float grad_scale, int32_t ignore_index = -1);
 
 /// Scalar reduction helper: out[0] = sum(x) (f32). One small launch; used to
-/// turn per-token losses into the batch loss.
-void reduce_sum(KernelContext& kc, const Tensor& x, const Tensor& out);
+/// turn per-token losses into the batch loss. When `carry` is non-null the
+/// double accumulator starts from — and is written back to — *carry, so
+/// consecutive calls over microbatch slices reproduce the full-batch
+/// reduction bitwise (out[0] holds the running total's float cast).
+void reduce_sum(KernelContext& kc, const Tensor& x, const Tensor& out,
+                double* carry = nullptr);
 
 }  // namespace ls2::kern

@@ -50,14 +50,17 @@ void dropout_fw(KernelContext& kc, Impl impl, const Tensor& x, const Tensor& y,
   d.bytes_written = static_cast<int64_t>(y.bytes() + mask.bytes());
   d.flops = static_cast<double>(x.numel()) * 3.0;  // rng + select + scale
   d.mem_efficiency = dropout_efficiency(impl, x.numel());
-  kc.dev.launch(d, [&, p, stream] {
+  // Baked at launch time so captured graph nodes replay the microbatch's
+  // own mask slice under pipeline parallelism.
+  kc.dev.launch(d, [&, p, stream, mb_off = kc.microbatch * static_cast<uint64_t>(x.numel())] {
     LS2_DISPATCH_FLOAT(x.dtype(), T, {
       const float keep_scale = 1.0f / (1.0f - p);
       const T* xp = x.data<T>();
       T* yp = y.data<T>();
       uint8_t* mp = mask.data<uint8_t>();
       parallel_for(0, x.numel(), [&](int64_t i) {
-        const uint8_t keep = kc.rng.uniform(stream, static_cast<uint64_t>(i)) >= p ? 1 : 0;
+        const uint8_t keep =
+            kc.rng.uniform(stream, mb_off + static_cast<uint64_t>(i)) >= p ? 1 : 0;
         mp[i] = keep;
         yp[i] = T(keep ? static_cast<float>(xp[i]) * keep_scale : 0.0f);
       });

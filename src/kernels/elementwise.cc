@@ -196,7 +196,7 @@ namespace {
 template <typename T, typename Act>
 void bias_act_dropout_body(const Tensor& x, const Tensor& bias, const Tensor& y,
                            const Tensor& mask, float p, const Rng& rng, uint64_t stream,
-                           Act act) {
+                           uint64_t index_offset, Act act) {
   const Shape flat = x.shape().flatten_2d();
   const int64_t cols = flat[1];
   const float keep_scale = 1.0f / (1.0f - p);
@@ -207,7 +207,8 @@ void bias_act_dropout_body(const Tensor& x, const Tensor& bias, const Tensor& y,
   parallel_for(0, x.numel(), [&](int64_t i) {
     const float v =
         act(static_cast<float>(xp[i]) + static_cast<float>(bp[i % cols]));
-    const uint8_t keep = rng.uniform(stream, static_cast<uint64_t>(i)) >= p ? 1 : 0;
+    const uint8_t keep =
+        rng.uniform(stream, index_offset + static_cast<uint64_t>(i)) >= p ? 1 : 0;
     mp[i] = keep;
     yp[i] = T(keep ? v * keep_scale : 0.0f);
   });
@@ -235,11 +236,14 @@ void bias_act_dropout_bw_body(const Tensor& dy, const Tensor& mask, const Tensor
 void bias_relu_dropout_fw(KernelContext& kc, const Tensor& x, const Tensor& bias,
                           const Tensor& y, const Tensor& mask, float p, uint64_t stream) {
   LS2_CHECK(p >= 0.0f && p < 1.0f) << "dropout p=" << p;
+  // Baked by value at launch time so a captured graph node replays the
+  // microbatch's own mask slice (KernelContext::microbatch).
+  const uint64_t mb_off = kc.microbatch * static_cast<uint64_t>(x.numel());
   kc.dev.launch(ew_desc("ls2.bias_relu_dropout_fw", x.bytes() + bias.bytes(),
                         y.bytes() + mask.bytes(), x.numel(), 4.0, kFusedEff),
-                [&, p, stream] {
+                [&, p, stream, mb_off] {
                   LS2_DISPATCH_FLOAT(x.dtype(), T, {
-                    bias_act_dropout_body<T>(x, bias, y, mask, p, kc.rng, stream,
+                    bias_act_dropout_body<T>(x, bias, y, mask, p, kc.rng, stream, mb_off,
                                              [](float v) { return v > 0.0f ? v : 0.0f; });
                   });
                 });
@@ -262,11 +266,12 @@ void bias_relu_dropout_bw(KernelContext& kc, const Tensor& dy, const Tensor& mas
 void bias_gelu_dropout_fw(KernelContext& kc, const Tensor& x, const Tensor& bias,
                           const Tensor& y, const Tensor& mask, float p, uint64_t stream) {
   LS2_CHECK(p >= 0.0f && p < 1.0f) << "dropout p=" << p;
+  const uint64_t mb_off = kc.microbatch * static_cast<uint64_t>(x.numel());
   kc.dev.launch(ew_desc("ls2.bias_gelu_dropout_fw", x.bytes() + bias.bytes(),
                         y.bytes() + mask.bytes(), x.numel(), 12.0, kFusedEff),
-                [&, p, stream] {
+                [&, p, stream, mb_off] {
                   LS2_DISPATCH_FLOAT(x.dtype(), T, {
-                    bias_act_dropout_body<T>(x, bias, y, mask, p, kc.rng, stream,
+                    bias_act_dropout_body<T>(x, bias, y, mask, p, kc.rng, stream, mb_off,
                                              gelu_scalar);
                   });
                 });
@@ -295,7 +300,7 @@ void bias_dropout_residual_fw(KernelContext& kc, const Tensor& x, const Tensor& 
   kc.dev.launch(
       ew_desc("ls2.bias_dropout_residual_fw", x.bytes() + bias.bytes() + residual.bytes(),
               y.bytes() + mask.bytes(), x.numel(), 4.0, kFusedEff),
-      [&, p, stream, cols] {
+      [&, p, stream, cols, mb_off = kc.microbatch * static_cast<uint64_t>(x.numel())] {
         LS2_DISPATCH_FLOAT(x.dtype(), T, {
           const float keep_scale = 1.0f / (1.0f - p);
           const T* xp = x.data<T>();
@@ -305,7 +310,8 @@ void bias_dropout_residual_fw(KernelContext& kc, const Tensor& x, const Tensor& 
           uint8_t* mp = mask.data<uint8_t>();
           parallel_for(0, x.numel(), [&](int64_t i) {
             const float v = static_cast<float>(xp[i]) + static_cast<float>(bp[i % cols]);
-            const uint8_t keep = kc.rng.uniform(stream, static_cast<uint64_t>(i)) >= p ? 1 : 0;
+            const uint8_t keep =
+                kc.rng.uniform(stream, mb_off + static_cast<uint64_t>(i)) >= p ? 1 : 0;
             mp[i] = keep;
             yp[i] = T(static_cast<float>(rp[i]) + (keep ? v * keep_scale : 0.0f));
           });
@@ -355,10 +361,15 @@ void bias_grad(KernelContext& kc, const Tensor& dx, const Tensor& dbias) {
     LS2_DISPATCH_FLOAT(dx.dtype(), T, {
       const T* dxp = dx.data<T>();
       T* dbp = dbias.data<T>();
+      // Accumulate in FP32 FROM the destination, ascending rows — the same
+      // per-element chain whether the batch arrives whole or as microbatch
+      // slices (pipeline parallelism): slice j continues exactly where
+      // slice j-1 left off, so the final value is bitwise the full-batch
+      // reduction's. Callers rely on grads being zeroed at step start.
       parallel_for(0, cols, [&](int64_t j) {
-        double acc = 0;
+        float acc = static_cast<float>(dbp[j]);
         for (int64_t i = 0; i < rows; ++i) acc += static_cast<float>(dxp[i * cols + j]);
-        dbp[j] = T(static_cast<float>(acc));
+        dbp[j] = T(acc);
       });
     });
   });

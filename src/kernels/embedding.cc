@@ -37,7 +37,8 @@ simgpu::KernelDesc desc(std::string name, int64_t br, int64_t bw, double flops, 
 template <typename T>
 void embedding_fw_body(const Tensor& ids, const Tensor& emb, const Tensor& pos,
                        const Tensor& y, const Tensor& mask, float scale, float p,
-                       const Rng& rng, uint64_t stream, int32_t pad_id) {
+                       const Rng& rng, uint64_t stream, uint64_t index_offset,
+                       int32_t pad_id) {
   const int64_t tokens = ids.numel();
   const int64_t H = emb.shape()[1];
   const int64_t L = ids.shape()[-1];
@@ -65,7 +66,7 @@ void embedding_fw_body(const Tensor& ids, const Tensor& emb, const Tensor& pos,
     for (int64_t j = 0; j < H; ++j) {
       const float v = scale * static_cast<float>(erow[j]) + static_cast<float>(prow[j]);
       const uint8_t keep =
-          rng.uniform(stream, static_cast<uint64_t>(t * H + j)) >= p ? 1 : 0;
+          rng.uniform(stream, index_offset + static_cast<uint64_t>(t * H + j)) >= p ? 1 : 0;
       mrow[j] = keep;
       yrow[j] = T(keep ? v * keep_scale : 0.0f);
     }
@@ -116,14 +117,18 @@ void embedding_fw(KernelContext& kc, Impl impl, const Tensor& ids, const Tensor&
   const int64_t act_bytes = static_cast<int64_t>(y.bytes());
   const int64_t lookup_read = tokens * (4 + H * static_cast<int64_t>(dtype_size(emb.dtype())));
 
+  // Microbatch slice offset, baked at launch time: the j-th microbatch's
+  // tokens are the global token range [j*tokens, (j+1)*tokens).
+  const uint64_t mb_off = kc.microbatch * static_cast<uint64_t>(tokens * H);
+
   if (impl == Impl::kLS2) {
     kc.dev.launch(desc("ls2.embedding_fw", lookup_read + act_bytes /*pos rows*/,
                        act_bytes + static_cast<int64_t>(mask.bytes()),
                        static_cast<double>(tokens) * H * 4.0, 0.85),
-                  [&, scale, p, stream, pad_id] {
+                  [&, scale, p, stream, mb_off, pad_id] {
                     LS2_DISPATCH_FLOAT(emb.dtype(), T,
                                        embedding_fw_body<T>(ids, emb, pos, y, mask, scale, p,
-                                                            kc.rng, stream, pad_id));
+                                                            kc.rng, stream, mb_off, pad_id));
                   });
     return;
   }
@@ -139,10 +144,10 @@ void embedding_fw(KernelContext& kc, Impl impl, const Tensor& ids, const Tensor&
   kc.dev.launch(desc("torch.embedding_dropout", act_bytes,
                      act_bytes + static_cast<int64_t>(mask.bytes()),
                      static_cast<double>(tokens) * H * 3.0, 0.65),
-                [&, scale, p, stream, pad_id] {
+                [&, scale, p, stream, mb_off, pad_id] {
                   LS2_DISPATCH_FLOAT(emb.dtype(), T,
                                      embedding_fw_body<T>(ids, emb, pos, y, mask, scale, p,
-                                                          kc.rng, stream, pad_id));
+                                                          kc.rng, stream, mb_off, pad_id));
                 });
 }
 

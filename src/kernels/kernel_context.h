@@ -40,6 +40,17 @@ struct KernelContext {
 
   uint64_t rng_step_base = 0;
   uint64_t dropout_site = 1;
+
+  /// Microbatch index under pipeline parallelism (core/pp_step.h), 0
+  /// otherwise. RNG-drawing kernels offset their element index by
+  /// `microbatch * numel` so microbatch j draws exactly the mask slice the
+  /// full-batch launch would have drawn for the same global elements
+  /// (batches are sliced along dim 0, so the j-th microbatch's elements ARE
+  /// the contiguous index range [j*numel, (j+1)*numel) of the full tensor).
+  /// The engine resets dropout_site to 1 per microbatch for the same
+  /// reason: every microbatch walks the same site sequence the full batch
+  /// walks once.
+  uint64_t microbatch = 0;
 };
 
 /// Dispatch a template over the two floating dtypes.

@@ -148,17 +148,21 @@ void compute_param_grads(const Tensor& dy, const Tensor& x, const Tensor& mean,
   const float* rp = rstd.data<float>();
   T* dgp = dgamma.data<T>();
   T* dbp = dbeta.data<T>();
+  // FP32 accumulation FROM the destination, ascending rows: microbatch
+  // slices (pipeline parallelism) continue the exact chain the full batch
+  // would run, so the accumulated grads are bitwise identical. Grads are
+  // zeroed at step start, like the beta=1 dW GEMMs.
   parallel_for(0, cols, [&](int64_t j) {
-    double dg = 0, db = 0;
+    float dg = static_cast<float>(dgp[j]), db = static_cast<float>(dbp[j]);
     for (int64_t r = 0; r < rows; ++r) {
-      const double dyv = static_cast<float>(dyp[r * cols + j]);
-      const double xhat = (static_cast<double>(static_cast<float>(xp[r * cols + j])) - mp[r]) *
-                          rp[r];
+      const float dyv = static_cast<float>(dyp[r * cols + j]);
+      const float xhat =
+          (static_cast<float>(xp[r * cols + j]) - mp[r]) * rp[r];
       dg += dyv * xhat;
       db += dyv;
     }
-    dgp[j] = T(static_cast<float>(dg));
-    dbp[j] = T(static_cast<float>(db));
+    dgp[j] = T(dg);
+    dbp[j] = T(db);
   });
 }
 

@@ -43,8 +43,11 @@ CriterionResult CriterionLayer::forward(LayerContext& ctx, const Tensor& x,
   kern::ls_cross_entropy_fw(ctx.kern, ctx.policy.criterion, logits, targets, loss, stats,
                             cfg_.label_smoothing, cfg_.pad_id);
 
+  // Under microbatched execution the carry continues the double accumulator
+  // across slices, so the final microbatch's total is bitwise the
+  // full-batch sum (kernels/criterion.h).
   Tensor total = ctx.alloc({1}, DType::kF32);
-  kern::reduce_sum(ctx.kern, loss, total);
+  kern::reduce_sum(ctx.kern, loss, total, ctx.pp_loss_carry);
 
   int64_t valid = 0;
   CriterionResult result;
@@ -71,9 +74,12 @@ Tensor CriterionLayer::backward(LayerContext& ctx) {
   // Mean-per-token gradient, multiplied by the session's loss scale (the
   // mixed-precision discipline: scale the loss up here, un-scale in the
   // trainer's update — a power-of-two round trip that is exact in FP32).
+  // Under microbatched execution (pipeline parallelism) the denominator is
+  // the GLOBAL valid-token count — a microbatch's gradient contribution
+  // must be scaled exactly as its rows were in the single-batch run.
+  const int64_t denom = ctx.pp_denominator > 0 ? ctx.pp_denominator : s.valid_tokens;
   const float grad_scale =
-      (s.valid_tokens > 0 ? 1.0f / static_cast<float>(s.valid_tokens) : 0.0f) *
-      ctx.loss_scale;
+      (denom > 0 ? 1.0f / static_cast<float>(denom) : 0.0f) * ctx.loss_scale;
 
   Tensor dlogits = ctx.alloc({rows, cfg_.vocab}, dt);
   kern::ls_cross_entropy_bw(ctx.kern, ctx.policy.criterion, s.logits, s.targets, s.stats,

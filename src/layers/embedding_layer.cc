@@ -91,6 +91,27 @@ void EmbeddingLayer::backward(LayerContext& ctx, const Tensor& dy) {
   // projection has already accumulated into this table's grad. Under TP the
   // scatter-add is LOCAL — each rank only owns its vocab rows — which the
   // gather->scatter grad scope reproduces slice-exactly.
+  if (ctx.pp != nullptr) {
+    // Microbatched execution: a tied table's grad has multiple writers (the
+    // criterion's dW GEMM, and every embedding sharing it), and the
+    // single-batch run orders them all-GEMM-then-scatter-by-scatter.
+    // Running this scatter per microbatch would interleave the writers and
+    // change the FP addition chain, so hold each microbatch's inputs back
+    // and flush them in order on the step's last backward — from here, so
+    // the model's grad-ready notification still follows the final write.
+    deferred_.push_back({dy, saved_->ids, saved_->mask});
+    if (ctx.pp_flush) {
+      auto d_table = table_.grad(ctx);
+      for (const Deferred& e : deferred_) {
+        kern::embedding_bw(ctx.kern, ctx.policy.embedding, e.dy, e.ids, e.mask,
+                           d_table.tensor(), scale, cfg_.dropout, cfg_.pad_id,
+                           /*zero_first=*/false);
+      }
+      deferred_.clear();
+    }
+    release();
+    return;
+  }
   auto d_table = table_.grad(ctx);
   kern::embedding_bw(ctx.kern, ctx.policy.embedding, dy, saved_->ids, saved_->mask,
                      d_table.tensor(), scale, cfg_.dropout, cfg_.pad_id,

@@ -6,6 +6,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "layers/layer_context.h"
 #include "layers/params.h"
@@ -64,6 +65,13 @@ class EmbeddingLayer {
     Tensor ids, mask;
   };
   std::optional<Saved> saved_;
+  /// Per-microbatch scatter inputs held back under pipeline parallelism —
+  /// flushed in microbatch order on the step's last backward (see
+  /// backward() for why the table's addition chain requires this).
+  struct Deferred {
+    Tensor dy, ids, mask;
+  };
+  std::vector<Deferred> deferred_;
 };
 
 }  // namespace ls2::layers

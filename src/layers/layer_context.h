@@ -17,6 +17,7 @@
 //                  memory, fused FP16 trainer.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,15 @@ struct Policy {
 };
 
 Policy policy_for(System system);
+
+/// Pipeline-parallel runtime hooks (DESIGN.md §9), installed by the 1F1B
+/// engine (core/pp_step.h) while it drives a microbatch through the model.
+/// Models call pp_mark() / LayerContext::pp_enter at every stage boundary:
+/// ascending stages during forward, descending during backward, `payload`
+/// the bytes the boundary activation (or its gradient) puts on the wire.
+struct PpHooks {
+  std::function<void(int stage, bool forward, int64_t payload_bytes)> enter;
+};
 
 /// Per-run state threaded through all layers.
 class LayerContext {
@@ -87,6 +97,21 @@ class LayerContext {
   BufferAllocator* activation_allocator() { return act_alloc_; }
   int tp_size() const { return tp_group ? tp_group->tp_size() : 1; }
 
+  /// Swap the activation allocator (and the kernel scratch allocator, which
+  /// aliases it). The 1F1B engine uses this at stage boundaries: stage 0's
+  /// activations live in the session arena — the simulated rank-0 memory —
+  /// while stages >= 1 charge a private remote-stage allocator, so rank 0's
+  /// footprint reflects only the layers it would actually host.
+  void set_activation_allocator(BufferAllocator* a) {
+    act_alloc_ = a ? a : heap_allocator();
+    kern.scratch = act_alloc_;
+  }
+
+  /// Notify the pipeline engine of a stage boundary (no-op without PP).
+  void pp_enter(int stage, bool forward, int64_t payload_bytes = 0) {
+    if (pp && pp->enter) pp->enter(stage, forward, payload_bytes);
+  }
+
   kern::KernelContext kern;
   Policy policy;
   /// Tensor-parallel communicator (DESIGN.md §7), or nullptr when TP is
@@ -98,6 +123,24 @@ class LayerContext {
   /// FP16 wire). train_step sets it from the trainer's expected scale each
   /// step; the trainer divides it back out during the update.
   float loss_scale = 1.0f;
+  /// Pipeline-parallel hooks, or nullptr when PP is off (core/pp_step.h
+  /// installs them around each microbatch's forward/backward).
+  PpHooks* pp = nullptr;
+  /// Running double accumulators for the loss (and the secondary metric —
+  /// BERT/ViT accuracy) under microbatched execution: when non-null the
+  /// criterion continues these across microbatches so the final float cast
+  /// is bitwise the full-batch reduction's. Null outside PP.
+  double* pp_loss_carry = nullptr;
+  double* pp_metric_carry = nullptr;
+  /// Global loss denominator override (valid tokens for token criteria,
+  /// batch size for classification) under microbatched execution: each
+  /// microbatch sees only its slice, but the gradient scale 1/denominator
+  /// must use the FULL batch's count to match the single-batch run. 0 = off.
+  int64_t pp_denominator = 0;
+  /// True while the step's LAST microbatch runs: layers that held work back
+  /// across microbatches (EmbeddingLayer's deferred tied-table scatters)
+  /// must flush it during this backward. Always false outside PP.
+  bool pp_flush = false;
 
  private:
   BufferAllocator* act_alloc_;

@@ -117,15 +117,42 @@ Bert::Bert(BertConfig cfg, layers::System system, DType dtype, uint64_t seed,
   if (tp_) tp_->materialize(dtype, seed);
 }
 
+const layers::PpPlan& Bert::pp_configure(int pp) {
+  LS2_CHECK(pp >= 1 && pp <= cfg_.layers)
+      << "pp " << pp << " needs at least one block per stage (layers=" << cfg_.layers << ")";
+  pp_plan_ = layers::PpPlan{};
+  pp_plan_.stages = pp;
+  pp_plan_.stage_params.assign(static_cast<size_t>(pp), {});
+  pp_plan_.stage_params[0].push_back(embed_range_);
+  block_stage_.assign(static_cast<size_t>(cfg_.layers), 0);
+  for (int64_t i = 0; i < cfg_.layers; ++i) {
+    const int s = layers::block_stage(i, cfg_.layers, pp);
+    block_stage_[static_cast<size_t>(i)] = s;
+    pp_plan_.stage_params[static_cast<size_t>(s)].push_back(
+        block_ranges_[static_cast<size_t>(i)]);
+  }
+  pp_plan_.stage_params[static_cast<size_t>(pp - 1)].push_back(ln_range_);
+  pp_plan_.stage_params[static_cast<size_t>(pp - 1)].push_back(head_range_);
+  return pp_plan_;
+}
+
 ClsResult Bert::forward(layers::LayerContext& ctx, const ClsBatch& batch) {
-  if (tp_) tp_->zero_grads();  // peer mirror of the zeroed-at-step-start contract
+  // Peer mirror of the zeroed-at-step-start contract; under microbatched
+  // execution peers accumulate across microbatches like the device grads.
+  if (tp_ && ctx.kern.microbatch == 0) tp_->zero_grads();
   const int64_t B = batch.ids.shape()[0], L = batch.ids.shape()[1];
   const DType dt = params_.dtype();
   const int64_t padded = layers::pad_length(ctx.policy, L);
   LS2_CHECK(padded == L || ctx.policy.seq_multiple > 1);
 
+  ctx.pp_enter(0, /*forward=*/true, 0);
   Tensor h = embed_->forward(ctx, batch.ids);
-  for (auto& block : blocks_) h = block->forward(ctx, h, &batch.lens);
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    if (!block_stage_.empty() && i > 0 && block_stage_[i] != block_stage_[i - 1]) {
+      ctx.pp_enter(block_stage_[i], true, static_cast<int64_t>(h.bytes()));
+    }
+    h = blocks_[i]->forward(ctx, h, &batch.lens);
+  }
   Tensor out = ctx.alloc({B, L, cfg_.hidden}, dt);
   Tensor mean = ctx.alloc({B * L}, DType::kF32);
   Tensor rstd = ctx.alloc({B * L}, DType::kF32);
@@ -145,12 +172,18 @@ ClsResult Bert::forward(layers::LayerContext& ctx, const ClsBatch& batch) {
   kern::ls_cross_entropy_fw(ctx.kern, ctx.policy.criterion, logits, batch.labels, loss,
                             stats, /*alpha=*/0.0f, /*ignore_index=*/-1);
 
+  // Under microbatched execution (pipeline parallelism) the carries
+  // continue the double loss sum and the correct count across slices, and
+  // the mean divides by the GLOBAL batch size — bitwise the full-batch run.
+  const int64_t denom = ctx.pp_denominator > 0 ? ctx.pp_denominator : B;
   ClsResult res;
-  res.total = B;
+  res.total = denom;
   if (ctx.device().mode() == simgpu::ExecMode::kExecute) {
-    double sum = 0;
+    double sum = ctx.pp_loss_carry ? *ctx.pp_loss_carry : 0.0;
     for (float v : loss.to_vector()) sum += v;
-    res.loss = static_cast<float>(sum / static_cast<double>(B));
+    if (ctx.pp_loss_carry) *ctx.pp_loss_carry = sum;
+    res.loss = static_cast<float>(sum / static_cast<double>(denom));
+    double correct = ctx.pp_metric_carry ? *ctx.pp_metric_carry : 0.0;
     const auto lg = logits.to_vector();
     const auto lb = batch.labels.to_vector();
     for (int64_t b = 0; b < B; ++b) {
@@ -159,8 +192,10 @@ ClsResult Bert::forward(layers::LayerContext& ctx, const ClsBatch& batch) {
         if (lg[b * cfg_.num_classes + c] > lg[b * cfg_.num_classes + best])
           best = static_cast<int>(c);
       }
-      if (best == static_cast<int>(lb[static_cast<size_t>(b)])) ++res.correct;
+      if (best == static_cast<int>(lb[static_cast<size_t>(b)])) correct += 1.0;
     }
+    if (ctx.pp_metric_carry) *ctx.pp_metric_carry = correct;
+    res.correct = static_cast<int64_t>(correct);
   }
   saved_ = Saved{h, out, mean, rstd, cls, logits, stats, batch.labels, B, L};
   return res;
@@ -171,10 +206,15 @@ void Bert::backward(layers::LayerContext& ctx) {
   Saved& s = *saved_;
   const DType dt = params_.dtype();
 
+  const int last_stage = pp_plan_.stages - 1;
+  ctx.pp_enter(last_stage, /*forward=*/false, 0);
+  // Mean-over-batch gradient: the denominator is the GLOBAL batch size
+  // under microbatched execution, this slice's otherwise.
+  const int64_t denom = ctx.pp_denominator > 0 ? ctx.pp_denominator : s.B;
   Tensor dlogits = ctx.alloc({s.B, cfg_.num_classes}, dt);
   kern::ls_cross_entropy_bw(ctx.kern, ctx.policy.criterion, s.logits, s.labels, s.stats,
                             dlogits, 0.0f,
-                            ctx.loss_scale / static_cast<float>(s.B), -1);
+                            ctx.loss_scale / static_cast<float>(denom), -1);
   kern::bias_grad(ctx.kern, dlogits, params_.grad(cls_b_));
 
   Tensor dcls = ctx.alloc({s.B, cfg_.hidden}, dt);
@@ -190,7 +230,12 @@ void Bert::backward(layers::LayerContext& ctx) {
                      params_.value(ln_gamma_), s.mean, s.rstd, dh, params_.grad(ln_gamma_),
                      params_.grad(ln_beta_));
   params_.notify_grad_ready(ln_range_);
+  int stage = last_stage;
   for (int64_t i = cfg_.layers - 1; i >= 0; --i) {
+    if (!block_stage_.empty() && block_stage_[static_cast<size_t>(i)] != stage) {
+      stage = block_stage_[static_cast<size_t>(i)];
+      ctx.pp_enter(stage, false, static_cast<int64_t>(dh.bytes()));
+    }
     dh = blocks_[static_cast<size_t>(i)]->backward(ctx, dh);
     params_.notify_grad_ready(block_ranges_[static_cast<size_t>(i)]);
   }

@@ -10,6 +10,7 @@
 #include "dist/tensor_parallel.h"
 #include "layers/embedding_layer.h"
 #include "layers/encoder_layer.h"
+#include "layers/pp.h"
 
 namespace ls2::models {
 
@@ -56,6 +57,12 @@ class Bert {
   layers::ParamRegistry& params() { return params_; }
   const BertConfig& config() const { return cfg_; }
 
+  /// Partition across `pp` pipeline stages (DESIGN.md §9): embedding with
+  /// the first blocks on stage 0, final LayerNorm + classifier head with
+  /// the last blocks on stage pp-1.
+  const layers::PpPlan& pp_configure(int pp);
+  const layers::PpPlan& pp_plan() const { return pp_plan_; }
+
   /// TP epilogue (no-op when TP is off): peer-shard update after the rank-0
   /// trainer step — see core::train_step.
   void tp_finish_step(const optim::Optimizer& trainer) {
@@ -74,6 +81,8 @@ class Bert {
   // Declaration ranges for the gradient bucketer (src/dist/bucket.h).
   layers::ParamRange embed_range_, ln_range_, head_range_;
   std::vector<layers::ParamRange> block_ranges_;
+  layers::PpPlan pp_plan_;
+  std::vector<int> block_stage_;  ///< stage of each block (all 0 without PP)
 
   struct Saved {
     Tensor stack_out, out, mean, rstd;  // final LN

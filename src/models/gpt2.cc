@@ -80,11 +80,45 @@ Gpt2::Gpt2(Gpt2Config cfg, layers::System system, DType dtype, uint64_t seed,
   if (tp_) tp_->materialize(dtype, seed);
 }
 
+const layers::PpPlan& Gpt2::pp_configure(int pp) {
+  LS2_CHECK(pp >= 1 && pp <= cfg_.layers)
+      << "pp " << pp << " needs at least one block per stage (layers=" << cfg_.layers << ")";
+  pp_plan_ = layers::PpPlan{};
+  pp_plan_.stages = pp;
+  pp_plan_.stage_params.assign(static_cast<size_t>(pp), {});
+  pp_plan_.stage_params[0].push_back(embed_range_);
+  block_stage_.assign(static_cast<size_t>(cfg_.layers), 0);
+  for (int64_t i = 0; i < cfg_.layers; ++i) {
+    const int s = layers::block_stage(i, cfg_.layers, pp);
+    block_stage_[static_cast<size_t>(i)] = s;
+    pp_plan_.stage_params[static_cast<size_t>(s)].push_back(
+        block_ranges_[static_cast<size_t>(i)]);
+  }
+  pp_plan_.stage_params[static_cast<size_t>(pp - 1)].push_back(ln_range_);
+  // The LM head is tied to the token table on stage 0: the last stage's
+  // criterion backward writes it, so its gradient rides one extra hop home.
+  if (pp > 1) {
+    const layers::ParamRef table = embed_->table().rank0();
+    const auto [lo, hi] = params_.grad_byte_span(table.index);
+    pp_plan_.tied_table_bytes = static_cast<int64_t>(hi - lo);
+    pp_plan_.tied_param = table;
+  }
+  return pp_plan_;
+}
+
 layers::CriterionResult Gpt2::forward(layers::LayerContext& ctx, const LmBatch& batch) {
-  if (tp_) tp_->zero_grads();  // peer mirror of the zeroed-at-step-start contract
+  // Peer mirror of the zeroed-at-step-start contract; under microbatched
+  // execution peers accumulate across microbatches like the device grads.
+  if (tp_ && ctx.kern.microbatch == 0) tp_->zero_grads();
   const int64_t B = batch.ids.shape()[0], L = batch.ids.shape()[1];
+  ctx.pp_enter(0, /*forward=*/true, 0);
   Tensor h = embed_->forward(ctx, batch.ids);
-  for (auto& block : blocks_) h = block->forward(ctx, h, /*key_lens=*/nullptr);
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    if (!block_stage_.empty() && i > 0 && block_stage_[i] != block_stage_[i - 1]) {
+      ctx.pp_enter(block_stage_[i], true, static_cast<int64_t>(h.bytes()));
+    }
+    h = blocks_[i]->forward(ctx, h, /*key_lens=*/nullptr);
+  }
   Tensor out = ctx.alloc({B, L, cfg_.hidden}, params_.dtype());
   Tensor mean = ctx.alloc({B * L}, DType::kF32);
   Tensor rstd = ctx.alloc({B * L}, DType::kF32);
@@ -98,13 +132,20 @@ layers::CriterionResult Gpt2::forward(layers::LayerContext& ctx, const LmBatch& 
 void Gpt2::backward(layers::LayerContext& ctx) {
   LS2_CHECK(saved_.has_value()) << "backward without forward";
   Saved& s = *saved_;
+  const int last_stage = pp_plan_.stages - 1;
+  ctx.pp_enter(last_stage, /*forward=*/false, 0);
   Tensor d_out = criterion_->backward(ctx);
   Tensor dh = ctx.alloc({s.B, s.L, cfg_.hidden}, params_.dtype());
   kern::layernorm_bw(ctx.kern, ctx.policy.layernorm, d_out, s.stack_out,
                      params_.value(ln_gamma_), s.mean, s.rstd, dh, params_.grad(ln_gamma_),
                      params_.grad(ln_beta_));
   params_.notify_grad_ready(ln_range_);
+  int stage = last_stage;
   for (int64_t i = cfg_.layers - 1; i >= 0; --i) {
+    if (!block_stage_.empty() && block_stage_[static_cast<size_t>(i)] != stage) {
+      stage = block_stage_[static_cast<size_t>(i)];
+      ctx.pp_enter(stage, false, static_cast<int64_t>(dh.bytes()));
+    }
     dh = blocks_[static_cast<size_t>(i)]->backward(ctx, dh);
     params_.notify_grad_ready(block_ranges_[static_cast<size_t>(i)]);
   }

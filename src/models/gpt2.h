@@ -11,6 +11,7 @@
 #include "layers/criterion_layer.h"
 #include "layers/embedding_layer.h"
 #include "layers/encoder_layer.h"
+#include "layers/pp.h"
 
 namespace ls2::models {
 
@@ -71,6 +72,13 @@ class Gpt2 {
   layers::ParamRegistry& params() { return params_; }
   const Gpt2Config& config() const { return cfg_; }
 
+  /// Partition the stack across `pp` pipeline stages (DESIGN.md §9): the
+  /// embedding with the first blocks on stage 0, the final LayerNorm and
+  /// the tied LM head with the last blocks on stage pp-1. forward/backward
+  /// then mark every stage boundary via LayerContext::pp_enter.
+  const layers::PpPlan& pp_configure(int pp);
+  const layers::PpPlan& pp_plan() const { return pp_plan_; }
+
   /// TP epilogue (no-op when TP is off): peer-shard update after the rank-0
   /// trainer step — see core::train_step.
   void tp_finish_step(const optim::Optimizer& trainer) {
@@ -92,6 +100,8 @@ class Gpt2 {
   // embedding backward, the table's last accumulation — covers it.
   layers::ParamRange embed_range_, ln_range_;
   std::vector<layers::ParamRange> block_ranges_;
+  layers::PpPlan pp_plan_;
+  std::vector<int> block_stage_;  ///< stage of each block (all 0 without PP)
 
   struct Saved {
     Tensor stack_out, out, mean, rstd;

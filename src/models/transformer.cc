@@ -329,18 +329,78 @@ Tensor Transformer::decode_step(LayerContext& ctx, const Tensor& ids,
   return criterion_->infer_logits(ctx, out);  // [S, vocab]
 }
 
+const layers::PpPlan& Transformer::pp_configure(int pp) {
+  LS2_CHECK(pp >= 1) << "pp " << pp;
+  const int64_t enc = cfg_.encoder_layers, dec = cfg_.decoder_layers;
+  // Stage budget split proportional to depth, at least one stage per side.
+  int pe = pp == 1 ? 1
+                   : std::clamp(static_cast<int>((pp * enc + (enc + dec) / 2) / (enc + dec)),
+                                1, pp - 1);
+  const int pd = pp == 1 ? 1 : pp - pe;
+  LS2_CHECK(enc >= pe && dec >= pd)
+      << "pp " << pp << " (encoder " << pe << " + decoder " << pd
+      << " stages) needs at least one layer per stage (" << enc << "+" << dec << " layers)";
+  pp_encoder_stages_ = pe;
+  pp_plan_ = layers::PpPlan{};
+  pp_plan_.stages = pp;
+  pp_plan_.stage_params.assign(static_cast<size_t>(pp), {});
+  auto stage_of = [pp](int s) { return std::min(s, pp - 1); };
+  pp_plan_.stage_params[0].push_back(src_range_);
+  enc_stage_.assign(static_cast<size_t>(enc), 0);
+  dec_stage_.assign(static_cast<size_t>(dec), 0);
+  // Declaration order is src_embed, tgt_embed, enc layers, enc_ln,
+  // cross_kv, dec layers, dec_ln, criterion — each range lands on exactly
+  // one stage (tgt_range_/criterion_range_ are empty when tied).
+  pp_plan_.stage_params[static_cast<size_t>(stage_of(pe))].push_back(tgt_range_);
+  for (int64_t i = 0; i < enc; ++i) {
+    const int s = layers::block_stage(i, enc, pe);
+    enc_stage_[static_cast<size_t>(i)] = s;
+    pp_plan_.stage_params[static_cast<size_t>(s)].push_back(
+        enc_ranges_[static_cast<size_t>(i)]);
+  }
+  pp_plan_.stage_params[static_cast<size_t>(pe - 1)].push_back(enc_ln_range_);
+  // The layer-batched cross-K/V projection consumes enc_out where it is
+  // produced: the last encoder stage.
+  pp_plan_.stage_params[static_cast<size_t>(pe - 1)].push_back(cross_kv_range_);
+  for (int64_t i = 0; i < dec; ++i) {
+    const int s = pp == 1 ? 0 : pe + layers::block_stage(i, dec, pd);
+    dec_stage_[static_cast<size_t>(i)] = s;
+    pp_plan_.stage_params[static_cast<size_t>(s)].push_back(
+        dec_ranges_[static_cast<size_t>(i)]);
+  }
+  pp_plan_.stage_params[static_cast<size_t>(pp - 1)].push_back(dec_ln_range_);
+  pp_plan_.stage_params[static_cast<size_t>(pp - 1)].push_back(criterion_range_);
+  // The tied token table is declared with the source embedding on stage 0
+  // but written last by the criterion backward on stage pp-1 — that
+  // gradient rides one extra hop home before stage 0's bucket can launch.
+  if (pp > 1 && cfg_.tied_embeddings) {
+    const layers::ParamRef table = src_embed_->table().rank0();
+    const auto [lo, hi] = params_.grad_byte_span(table.index);
+    pp_plan_.tied_table_bytes = static_cast<int64_t>(hi - lo);
+    pp_plan_.tied_param = table;
+  }
+  return pp_plan_;
+}
+
 layers::CriterionResult Transformer::forward(LayerContext& ctx, const MtBatch& batch) {
   // Peer-shard grads mirror rank 0's zeroed-at-step-start contract (host
-  // bookkeeping — rank 0's zero_grad launch is the charged one).
-  if (tp_) tp_->zero_grads();
+  // bookkeeping — rank 0's zero_grad launch is the charged one). Under
+  // microbatched execution peers accumulate across microbatches.
+  if (tp_ && ctx.kern.microbatch == 0) tp_->zero_grads();
   const int64_t B = batch.src_ids.shape()[0];
   const int64_t Ls = batch.src_ids.shape()[1];
   const int64_t Lt = batch.tgt_in.shape()[1];
   const DType dt = params_.dtype();
 
   // Encoder.
+  ctx.pp_enter(0, /*forward=*/true, 0);
   Tensor h = src_embed_->forward(ctx, batch.src_ids);
-  for (auto& layer : encoder_) h = layer->forward(ctx, h, &batch.src_lens);
+  for (size_t i = 0; i < encoder_.size(); ++i) {
+    if (!enc_stage_.empty() && i > 0 && enc_stage_[i] != enc_stage_[i - 1]) {
+      ctx.pp_enter(enc_stage_[i], true, static_cast<int64_t>(h.bytes()));
+    }
+    h = encoder_[i]->forward(ctx, h, &batch.src_lens);
+  }
   Tensor enc_stack_out = h;
   Tensor enc_out = ctx.alloc({B, Ls, cfg_.hidden}, dt);
   Tensor enc_mean = ctx.alloc({B * Ls}, DType::kF32);
@@ -352,9 +412,24 @@ layers::CriterionResult Transformer::forward(LayerContext& ctx, const MtBatch& b
   // Cross-attention K/V for every decoder layer.
   std::vector<Tensor> kv = project_cross_kv(ctx, enc_out);
 
-  // Decoder.
+  // Decoder. Crossing into the first decoder stage carries every layer's
+  // cross K/V (the target embedding reads host token ids, not enc state);
+  // later boundaries carry the hidden state plus the K/V still needed by
+  // downstream layers.
+  if (pp_plan_.stages > 1) {
+    int64_t kv_bytes = 0;
+    for (const Tensor& t : kv) kv_bytes += static_cast<int64_t>(t.bytes());
+    ctx.pp_enter(pp_encoder_stages_, true, kv_bytes);
+  }
   Tensor d = tgt_embed_->forward(ctx, batch.tgt_in);
   for (size_t i = 0; i < decoder_.size(); ++i) {
+    if (!dec_stage_.empty() && i > 0 && dec_stage_[i] != dec_stage_[i - 1]) {
+      int64_t payload = static_cast<int64_t>(d.bytes());
+      for (size_t l = i; l < decoder_.size(); ++l) {
+        payload += static_cast<int64_t>(kv[2 * l].bytes() + kv[2 * l + 1].bytes());
+      }
+      ctx.pp_enter(dec_stage_[i], true, payload);
+    }
     d = decoder_[i]->forward(ctx, d, kv[2 * i], kv[2 * i + 1], &batch.src_lens,
                              &batch.tgt_lens);
   }
@@ -380,6 +455,7 @@ void Transformer::backward(LayerContext& ctx) {
   const int64_t H = cfg_.hidden;
   const int64_t N = cfg_.heads, D = H / N;
 
+  ctx.pp_enter(pp_plan_.stages - 1, /*forward=*/false, 0);
   Tensor d_dec_out = criterion_->backward(ctx);
   // With tied embeddings the criterion wrote into the shared token table,
   // which keeps accumulating until the source embedding backward — so only
@@ -418,6 +494,17 @@ void Transformer::backward(LayerContext& ctx) {
     }
   }
   for (int64_t i = cfg_.decoder_layers - 1; i >= 0; --i) {
+    if (!dec_stage_.empty() && i + 1 < cfg_.decoder_layers &&
+        dec_stage_[static_cast<size_t>(i)] != dec_stage_[static_cast<size_t>(i + 1)]) {
+      // d plus the cross-K/V grads already produced by later-stage layers,
+      // all bound for the projection backward on stage pe-1.
+      int64_t payload = static_cast<int64_t>(d_dec.bytes());
+      for (int64_t l = i + 1; l < cfg_.decoder_layers; ++l) {
+        payload += static_cast<int64_t>(dkv[static_cast<size_t>(2 * l)].bytes() +
+                                        dkv[static_cast<size_t>(2 * l + 1)].bytes());
+      }
+      ctx.pp_enter(dec_stage_[static_cast<size_t>(i)], false, payload);
+    }
     d_dec = decoder_[static_cast<size_t>(i)]->backward(
         ctx, d_dec, dkv[static_cast<size_t>(2 * i)], dkv[static_cast<size_t>(2 * i + 1)]);
     params_.notify_grad_ready(dec_ranges_[static_cast<size_t>(i)]);
@@ -427,6 +514,11 @@ void Transformer::backward(LayerContext& ctx) {
 
   // Cross K/V projection backward -> gradient into the encoder output
   // (computed after the 0-th decoder layer finishes, as in §IV-A.4).
+  if (pp_plan_.stages > 1) {
+    int64_t dkv_bytes = 0;
+    for (const Tensor& t : dkv) dkv_bytes += static_cast<int64_t>(t.bytes());
+    ctx.pp_enter(pp_encoder_stages_ - 1, false, dkv_bytes);
+  }
   Tensor d_enc_out = cross_kv_backward(ctx, dkv);
   dkv.clear();
   params_.notify_grad_ready(cross_kv_range_);
@@ -439,6 +531,11 @@ void Transformer::backward(LayerContext& ctx) {
   params_.notify_grad_ready(enc_ln_range_);
 
   for (int64_t i = cfg_.encoder_layers - 1; i >= 0; --i) {
+    if (!enc_stage_.empty() && i + 1 < cfg_.encoder_layers &&
+        enc_stage_[static_cast<size_t>(i)] != enc_stage_[static_cast<size_t>(i + 1)]) {
+      ctx.pp_enter(enc_stage_[static_cast<size_t>(i)], false,
+                   static_cast<int64_t>(d_enc.bytes()));
+    }
     d_enc = encoder_[static_cast<size_t>(i)]->backward(ctx, d_enc);
     params_.notify_grad_ready(enc_ranges_[static_cast<size_t>(i)]);
   }

@@ -14,6 +14,7 @@
 #include "layers/decoder_layer.h"
 #include "layers/embedding_layer.h"
 #include "layers/encoder_layer.h"
+#include "layers/pp.h"
 
 namespace ls2::models {
 
@@ -96,6 +97,17 @@ class Transformer {
   layers::ParamRegistry& params() { return params_; }
   const TransformerConfig& config() const { return cfg_; }
 
+  /// Partition across `pp` pipeline stages (DESIGN.md §9). The encoder
+  /// takes the first pe = clamp(round(pp*enc/(enc+dec)), 1, pp-1) stages,
+  /// the decoder the rest: source embedding on stage 0, final encoder LN +
+  /// the layer-batched cross-K/V projection on stage pe-1, target
+  /// embedding on stage pe, final decoder LN + tied criterion on stage
+  /// pp-1. Cross K/V activations ride the stage chain with the hidden
+  /// state, so boundary payloads include the K/V bytes still needed
+  /// downstream.
+  const layers::PpPlan& pp_configure(int pp);
+  const layers::PpPlan& pp_plan() const { return pp_plan_; }
+
   /// TP epilogue: apply the rank-0 trainer's update to the simulated peer
   /// shards (no-op when TP is off) — called by core::train_step after the
   /// optimizer step.
@@ -129,6 +141,9 @@ class Transformer {
   layers::ParamRange src_range_, tgt_range_, enc_ln_range_, cross_kv_range_;
   layers::ParamRange dec_ln_range_, criterion_range_;
   std::vector<layers::ParamRange> enc_ranges_, dec_ranges_;
+  layers::PpPlan pp_plan_;
+  int pp_encoder_stages_ = 1;      ///< pe: stages [0, pe) run the encoder
+  std::vector<int> enc_stage_, dec_stage_;  ///< stage of each layer
 
   struct Saved {
     Tensor src_lens, tgt_lens;

@@ -15,7 +15,7 @@ namespace {
 template <typename T>
 void vit_embed_body(const Tensor& proj, const Tensor& bias, const Tensor& cls_token,
                     const Tensor& pos, const Tensor& y, const Tensor& mask, float p,
-                    const Rng& rng, uint64_t stream) {
+                    const Rng& rng, uint64_t stream, uint64_t index_offset) {
   const int64_t B = proj.shape()[0], P = proj.shape()[1], H = proj.shape()[2];
   const int64_t S = P + 1;
   const T* pp = proj.data<T>();
@@ -38,7 +38,7 @@ void vit_embed_body(const Tensor& proj, const Tensor& bias, const Tensor& cls_to
             static_cast<float>(ep[s * H + j]);
       }
       const uint8_t keep =
-          rng.uniform(stream, static_cast<uint64_t>(bs * H + j)) >= p ? 1 : 0;
+          rng.uniform(stream, index_offset + static_cast<uint64_t>(bs * H + j)) >= p ? 1 : 0;
       mrow[j] = keep;
       yrow[j] = T(keep ? v * keep_scale : 0.0f);
     }
@@ -57,10 +57,16 @@ void vit_embed_bw_body(const Tensor& dy, const Tensor& mask, float p, const Tens
   T* dcp = dcls.data<T>();
   T* dep = dpos.data<T>();
   const float keep_scale = 1.0f / (1.0f - p);
+  // Param grads accumulate in FP32 FROM the destination, ascending batch
+  // rows: microbatch slices (pipeline parallelism) continue the exact
+  // chain the full batch runs, so the result is bitwise identical. dproj
+  // is an activation grad — each microbatch writes only its own rows.
   parallel_for_chunks(0, H, 32, [&](int64_t j_lo, int64_t j_hi) {
     for (int64_t j = j_lo; j < j_hi; ++j) {
-      double db = 0, dc = 0;
-      std::vector<double> dpos_acc(static_cast<size_t>(S), 0.0);
+      float db = static_cast<float>(dbp[j]), dc = static_cast<float>(dcp[j]);
+      std::vector<float> dpos_acc(static_cast<size_t>(S));
+      for (int64_t s = 0; s < S; ++s)
+        dpos_acc[static_cast<size_t>(s)] = static_cast<float>(dep[s * H + j]);
       for (int64_t b = 0; b < B; ++b) {
         for (int64_t s = 0; s < S; ++s) {
           const int64_t idx = (b * S + s) * H + j;
@@ -74,10 +80,10 @@ void vit_embed_bw_body(const Tensor& dy, const Tensor& mask, float p, const Tens
           }
         }
       }
-      dbp[j] = T(static_cast<float>(db));
-      dcp[j] = T(static_cast<float>(dc));
+      dbp[j] = T(db);
+      dcp[j] = T(dc);
       for (int64_t s = 0; s < S; ++s)
-        dep[s * H + j] = T(static_cast<float>(dpos_acc[static_cast<size_t>(s)]));
+        dep[s * H + j] = T(dpos_acc[static_cast<size_t>(s)]);
     }
   });
 }
@@ -153,10 +159,32 @@ Vit::Vit(VitConfig cfg, layers::System system, DType dtype, uint64_t seed,
   if (tp_) tp_->materialize(dtype, seed);
 }
 
+const layers::PpPlan& Vit::pp_configure(int pp) {
+  LS2_CHECK(pp >= 1 && pp <= cfg_.layers)
+      << "pp " << pp << " needs at least one block per stage (layers=" << cfg_.layers << ")";
+  pp_plan_ = layers::PpPlan{};
+  pp_plan_.stages = pp;
+  pp_plan_.stage_params.assign(static_cast<size_t>(pp), {});
+  pp_plan_.stage_params[0].push_back(embed_range_);
+  block_stage_.assign(static_cast<size_t>(cfg_.layers), 0);
+  for (int64_t i = 0; i < cfg_.layers; ++i) {
+    const int s = layers::block_stage(i, cfg_.layers, pp);
+    block_stage_[static_cast<size_t>(i)] = s;
+    pp_plan_.stage_params[static_cast<size_t>(s)].push_back(
+        block_ranges_[static_cast<size_t>(i)]);
+  }
+  pp_plan_.stage_params[static_cast<size_t>(pp - 1)].push_back(ln_range_);
+  pp_plan_.stage_params[static_cast<size_t>(pp - 1)].push_back(head_range_);
+  return pp_plan_;
+}
+
 ClsResultVit Vit::forward(layers::LayerContext& ctx, const ImageBatch& batch) {
-  if (tp_) tp_->zero_grads();  // peer mirror of the zeroed-at-step-start contract
+  // Peer mirror of the zeroed-at-step-start contract; under microbatched
+  // execution peers accumulate across microbatches like the device grads.
+  if (tp_ && ctx.kern.microbatch == 0) tp_->zero_grads();
   const int64_t B = batch.patches.shape()[0], P = cfg_.patches(), S = cfg_.seq_len();
   const DType dt = params_.dtype();
+  ctx.pp_enter(0, /*forward=*/true, 0);
   LS2_CHECK_EQ(batch.patches.shape()[1], P);
   LS2_CHECK_EQ(batch.patches.shape()[2], cfg_.patch_dim());
   LS2_CHECK(batch.patches.dtype() == dt) << "patch dtype must match model dtype";
@@ -176,18 +204,25 @@ ClsResultVit Vit::forward(layers::LayerContext& ctx, const ImageBatch& batch) {
     d.bytes_written = static_cast<int64_t>(h.bytes()) / launches +
                       (last ? static_cast<int64_t>(mask.bytes()) : 0);
     d.mem_efficiency = ctx.policy.fused_elementwise ? 0.85 : 0.70;
-    ctx.kern.dev.launch(d, last ? std::function<void()>([&, stream] {
+    const uint64_t mb_off =
+        ctx.kern.microbatch * static_cast<uint64_t>(B * S * cfg_.hidden);
+    ctx.kern.dev.launch(d, last ? std::function<void()>([&, stream, mb_off] {
       LS2_DISPATCH_FLOAT(dt, T,
                          vit_embed_body<T>(proj, params_.value(patch_b_),
                                            params_.value(cls_token_),
                                            params_.value(pos_embed_), h, mask,
-                                           cfg_.dropout, ctx.kern.rng, stream));
+                                           cfg_.dropout, ctx.kern.rng, stream, mb_off));
     })
                                  : std::function<void()>(nullptr));
   }
 
   Tensor x = h;
-  for (auto& block : blocks_) x = block->forward(ctx, x, /*key_lens=*/nullptr);
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    if (!block_stage_.empty() && i > 0 && block_stage_[i] != block_stage_[i - 1]) {
+      ctx.pp_enter(block_stage_[i], true, static_cast<int64_t>(x.bytes()));
+    }
+    x = blocks_[i]->forward(ctx, x, /*key_lens=*/nullptr);
+  }
   Tensor out = ctx.alloc({B, S, cfg_.hidden}, dt);
   Tensor mean = ctx.alloc({B * S}, DType::kF32);
   Tensor rstd = ctx.alloc({B * S}, DType::kF32);
@@ -222,12 +257,18 @@ ClsResultVit Vit::forward(layers::LayerContext& ctx, const ImageBatch& batch) {
   kern::ls_cross_entropy_fw(ctx.kern, ctx.policy.criterion, logits, batch.labels, loss,
                             stats, 0.0f, -1);
 
+  // Under microbatched execution (pipeline parallelism) the carries
+  // continue the double loss sum and the correct count across slices, and
+  // the mean divides by the GLOBAL batch size — bitwise the full-batch run.
+  const int64_t denom = ctx.pp_denominator > 0 ? ctx.pp_denominator : B;
   ClsResultVit res;
-  res.total = B;
+  res.total = denom;
   if (ctx.device().mode() == simgpu::ExecMode::kExecute) {
-    double sum = 0;
+    double sum = ctx.pp_loss_carry ? *ctx.pp_loss_carry : 0.0;
     for (float v : loss.to_vector()) sum += v;
-    res.loss = static_cast<float>(sum / static_cast<double>(B));
+    if (ctx.pp_loss_carry) *ctx.pp_loss_carry = sum;
+    res.loss = static_cast<float>(sum / static_cast<double>(denom));
+    double correct = ctx.pp_metric_carry ? *ctx.pp_metric_carry : 0.0;
     const auto lg = logits.to_vector();
     const auto lb = batch.labels.to_vector();
     for (int64_t b = 0; b < B; ++b) {
@@ -236,8 +277,10 @@ ClsResultVit Vit::forward(layers::LayerContext& ctx, const ImageBatch& batch) {
         if (lg[b * cfg_.num_classes + c] > lg[b * cfg_.num_classes + best])
           best = static_cast<int>(c);
       }
-      if (best == static_cast<int>(lb[static_cast<size_t>(b)])) ++res.correct;
+      if (best == static_cast<int>(lb[static_cast<size_t>(b)])) correct += 1.0;
     }
+    if (ctx.pp_metric_carry) *ctx.pp_metric_carry = correct;
+    res.correct = static_cast<int64_t>(correct);
   }
   saved_ = Saved{batch.patches, proj, mask, x, out, mean, rstd, cls, logits, stats,
                  batch.labels, B};
@@ -250,9 +293,14 @@ void Vit::backward(layers::LayerContext& ctx) {
   const int64_t B = s.B, P = cfg_.patches(), S = cfg_.seq_len();
   const DType dt = params_.dtype();
 
+  const int last_stage = pp_plan_.stages - 1;
+  ctx.pp_enter(last_stage, /*forward=*/false, 0);
+  // Mean-over-batch gradient: the denominator is the GLOBAL batch size
+  // under microbatched execution, this slice's otherwise.
+  const int64_t denom = ctx.pp_denominator > 0 ? ctx.pp_denominator : B;
   Tensor dlogits = ctx.alloc({B, cfg_.num_classes}, dt);
   kern::ls_cross_entropy_bw(ctx.kern, ctx.policy.criterion, s.logits, s.labels, s.stats,
-                            dlogits, 0.0f, ctx.loss_scale / static_cast<float>(B), -1);
+                            dlogits, 0.0f, ctx.loss_scale / static_cast<float>(denom), -1);
   kern::bias_grad(ctx.kern, dlogits, params_.grad(head_b_));
   Tensor dcls = ctx.alloc({B, cfg_.hidden}, dt);
   layers::linear_bw(ctx, dlogits, s.cls, params_.value(head_w_), dcls,
@@ -283,7 +331,12 @@ void Vit::backward(layers::LayerContext& ctx) {
                      params_.value(ln_gamma_), s.mean, s.rstd, dh, params_.grad(ln_gamma_),
                      params_.grad(ln_beta_));
   params_.notify_grad_ready(ln_range_);
+  int stage = last_stage;
   for (int64_t i = cfg_.layers - 1; i >= 0; --i) {
+    if (!block_stage_.empty() && block_stage_[static_cast<size_t>(i)] != stage) {
+      stage = block_stage_[static_cast<size_t>(i)];
+      ctx.pp_enter(stage, false, static_cast<int64_t>(dh.bytes()));
+    }
     dh = blocks_[static_cast<size_t>(i)]->backward(ctx, dh);
     params_.notify_grad_ready(block_ranges_[static_cast<size_t>(i)]);
   }

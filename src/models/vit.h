@@ -14,6 +14,7 @@
 #include "dist/tensor_parallel.h"
 #include "layers/encoder_layer.h"
 #include "layers/params.h"
+#include "layers/pp.h"
 
 namespace ls2::models {
 
@@ -62,6 +63,12 @@ class Vit {
   layers::ParamRegistry& params() { return params_; }
   const VitConfig& config() const { return cfg_; }
 
+  /// Partition across `pp` pipeline stages (DESIGN.md §9): patch/CLS/pos
+  /// embedding with the first blocks on stage 0, final LayerNorm + head
+  /// with the last blocks on stage pp-1.
+  const layers::PpPlan& pp_configure(int pp);
+  const layers::PpPlan& pp_plan() const { return pp_plan_; }
+
   /// TP epilogue (no-op when TP is off): peer-shard update after the rank-0
   /// trainer step — see core::train_step.
   void tp_finish_step(const optim::Optimizer& trainer) {
@@ -80,6 +87,8 @@ class Vit {
   // Declaration ranges for the gradient bucketer (src/dist/bucket.h).
   layers::ParamRange embed_range_, ln_range_, head_range_;
   std::vector<layers::ParamRange> block_ranges_;
+  layers::PpPlan pp_plan_;
+  std::vector<int> block_stage_;  ///< stage of each block (all 0 without PP)
 
   struct Saved {
     Tensor patches_in, proj;  // [B,P,pd] input and [B,P,H] projection

@@ -35,6 +35,16 @@ void Timeline::record_comm(double begin_us, double end_us) {
   append_span(comm_, begin_us, end_us);
 }
 
+void Timeline::record_span(int pid, int tid, std::string name, double begin_us,
+                           double end_us) {
+  if (end_us <= begin_us) return;
+  named_.push_back({pid, tid, std::move(name), begin_us, end_us});
+}
+
+void Timeline::name_process(int pid, std::string name) {
+  process_names_.emplace_back(pid, std::move(name));
+}
+
 std::vector<int64_t> Timeline::memory_series(double bucket_us, double horizon_us) const {
   const size_t buckets = static_cast<size_t>(std::ceil(horizon_us / bucket_us));
   std::vector<int64_t> series(buckets, 0);
@@ -93,6 +103,35 @@ void Timeline::write_chrome_trace(const std::string& path) const {
        "\"args\":{\"name\":\"compute stream\"}}");
   emit("{\"ph\":\"M\",\"pid\":0,\"tid\":1,\"name\":\"thread_name\","
        "\"args\":{\"name\":\"comm stream\"}}");
+  // Per-rank process lanes (pipeline runs) plus their stream thread names.
+  std::vector<int> named_pids;
+  for (const auto& [pid, name] : process_names_) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"M\",\"pid\":%d,\"name\":\"process_name\","
+                  "\"args\":{\"name\":\"%s\"}}",
+                  pid, name.c_str());
+    emit(buf);
+    named_pids.push_back(pid);
+  }
+  for (const NamedSpan& s : named_) {
+    if (std::find(named_pids.begin(), named_pids.end(), s.pid) != named_pids.end()) {
+      continue;
+    }
+    named_pids.push_back(s.pid);
+  }
+  for (int pid : named_pids) {
+    if (pid == 0) continue;  // pid 0's thread names were emitted above
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"name\":\"thread_name\","
+                  "\"args\":{\"name\":\"compute stream\"}}",
+                  pid);
+    emit(buf);
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"M\",\"pid\":%d,\"tid\":1,\"name\":\"thread_name\","
+                  "\"args\":{\"name\":\"comm stream\"}}",
+                  pid);
+    emit(buf);
+  }
   // Complete ("X") events per busy/comm span; ts/dur are microseconds,
   // which is exactly the simulated clock's unit.
   for (const BusySpan& s : busy_) {
@@ -107,6 +146,14 @@ void Timeline::write_chrome_trace(const std::string& path) const {
                   "{\"ph\":\"X\",\"pid\":0,\"tid\":1,\"name\":\"comm\","
                   "\"ts\":%.3f,\"dur\":%.3f}",
                   s.begin_us, s.end_us - s.begin_us);
+    emit(buf);
+  }
+  // Labelled stage/microbatch chunks on their rank's lanes.
+  for (const NamedSpan& s : named_) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"name\":\"%s\","
+                  "\"ts\":%.3f,\"dur\":%.3f}",
+                  s.pid, s.tid, s.name.c_str(), s.begin_us, s.end_us - s.begin_us);
     emit(buf);
   }
   // Memory watermark as a counter series (renders as an area chart).
@@ -124,6 +171,8 @@ void Timeline::clear() {
   memory_.clear();
   busy_.clear();
   comm_.clear();
+  named_.clear();
+  process_names_.clear();
 }
 
 }  // namespace ls2::simgpu

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace ls2::simgpu {
@@ -22,16 +23,32 @@ struct BusySpan {
   double end_us = 0;
 };
 
+/// A labelled interval on an arbitrary (pid, tid) trace lane — used by the
+/// pipeline engine to plot per-rank stage/microbatch chunks ("s1.mb3.F")
+/// with one trace process per simulated rank and one thread per stream.
+struct NamedSpan {
+  int pid = 0;  ///< trace process (simulated rank)
+  int tid = 0;  ///< trace thread (0 = compute, 1 = comm)
+  std::string name;
+  double begin_us = 0;
+  double end_us = 0;
+};
+
 class Timeline {
  public:
   void record_memory(double t_us, int64_t bytes_in_use);
   void record_busy(double begin_us, double end_us);
   /// Activity on the second (communication) stream — overlapped all-reduces.
   void record_comm(double begin_us, double end_us);
+  /// Labelled span on rank `pid`'s lane `tid` (see NamedSpan).
+  void record_span(int pid, int tid, std::string name, double begin_us, double end_us);
+  /// Display name for rank `pid`'s trace process (e.g. "rank 1 (stage 1)").
+  void name_process(int pid, std::string name);
 
   const std::vector<MemorySample>& memory_samples() const { return memory_; }
   const std::vector<BusySpan>& busy_spans() const { return busy_; }
   const std::vector<BusySpan>& comm_spans() const { return comm_; }
+  const std::vector<NamedSpan>& named_spans() const { return named_; }
 
   /// Export the recording as a Chrome trace_event JSON (open in
   /// chrome://tracing or Perfetto): compute-stream busy spans on one track,
@@ -54,6 +71,8 @@ class Timeline {
   std::vector<MemorySample> memory_;
   std::vector<BusySpan> busy_;
   std::vector<BusySpan> comm_;
+  std::vector<NamedSpan> named_;
+  std::vector<std::pair<int, std::string>> process_names_;
 };
 
 }  // namespace ls2::simgpu

@@ -147,7 +147,7 @@ TEST_F(ElementwiseTest, FusedGeluDropoutMatchesComposition) {
 TEST_F(ElementwiseTest, BiasGradColumnSums) {
   const int64_t rows = 100, cols = 7;
   Tensor dx = randn({rows, cols}, 1);
-  Tensor dbias = Tensor::empty({cols}, DType::kF32);
+  Tensor dbias = Tensor::zeros({cols}, DType::kF32);
   bias_grad(kc, dx, dbias);
   const auto dxv = dx.to_vector();
   const auto dbv = dbias.to_vector();

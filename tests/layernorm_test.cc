@@ -124,8 +124,10 @@ TEST_F(LayerNormTest, BackwardMatchesFiniteDifference) {
 
   Tensor dy = randn({rows, cols}, 4);
   Tensor dx = Tensor::empty({rows, cols}, DType::kF32);
-  Tensor dgamma = Tensor::empty({cols}, DType::kF32);
-  Tensor dbeta = Tensor::empty({cols}, DType::kF32);
+  // Param-grad kernels accumulate into their destination (microbatch
+  // gradient accumulation), so grad outputs start zeroed.
+  Tensor dgamma = Tensor::zeros({cols}, DType::kF32);
+  Tensor dbeta = Tensor::zeros({cols}, DType::kF32);
   layernorm_bw(kc, Impl::kLS2, dy, x, gamma, mean, rstd, dx, dgamma, dbeta);
 
   // Scalar objective: sum(dy * LN(x)).
@@ -181,8 +183,8 @@ TEST_F(LayerNormTest, BackwardImplsAgree) {
   std::vector<float> dx_first, dg_first;
   for (Impl impl : {Impl::kTorch, Impl::kLS2}) {
     Tensor dx = Tensor::empty({rows, cols}, DType::kF32);
-    Tensor dg = Tensor::empty({cols}, DType::kF32);
-    Tensor db = Tensor::empty({cols}, DType::kF32);
+    Tensor dg = Tensor::zeros({cols}, DType::kF32);
+    Tensor db = Tensor::zeros({cols}, DType::kF32);
     layernorm_bw(kc, impl, dy, x, gamma, mean, rstd, dx, dg, db);
     if (dx_first.empty()) {
       dx_first = dx.to_vector();
