@@ -130,10 +130,12 @@ void ablate_pipelined_update() {
 
 }  // namespace
 
-int main() {
+static int bench_body() {
   ablate_memory_blocks();
   ablate_softmax_tuner();
   ablate_cross_attention();
   ablate_pipelined_update();
   return 0;
 }
+
+int main() { return ls2::bench::guarded_main("ablations", bench_body); }

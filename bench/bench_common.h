@@ -149,4 +149,22 @@ inline std::string model_label(const models::TransformerConfig& cfg) {
   return std::to_string(cfg.encoder_layers) + "e" + std::to_string(cfg.decoder_layers) + "d";
 }
 
+/// Run a bench body under a failure boundary: ls2::Error (checks, arena
+/// overflow, capture poison, injected faults that escape recovery) becomes a
+/// clear one-line message on stderr and a nonzero exit instead of a raw
+/// terminate/abort — CI distinguishes "bench found a bug" from "bench
+/// crashed" by the message.
+template <typename Body>
+int guarded_main(const char* name, Body&& body) {
+  try {
+    return std::forward<Body>(body)();
+  } catch (const ls2::Error& e) {
+    std::fprintf(stderr, "%s: FAILED: %s\n", name, e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: FAILED (unexpected %s)\n", name, e.what());
+    return 1;
+  }
+}
+
 }  // namespace ls2::bench

@@ -6,7 +6,7 @@
 using namespace ls2;
 using namespace ls2::bench;
 
-int main() {
+static int bench_body() {
   const auto cfg = models::TransformerConfig::base(24, 24);
   const auto profile = simgpu::a100();
   // The paper's figure shows four SERIAL stages; pin the update pipeline off
@@ -38,3 +38,5 @@ int main() {
               "backward and (especially) the parameter update; synchronize is unchanged.\n");
   return 0;
 }
+
+int main() { return ls2::bench::guarded_main("fig03_training_stages", bench_body); }

@@ -7,7 +7,7 @@
 using namespace ls2;
 using namespace ls2::bench;
 
-int main() {
+static int bench_body() {
   struct Panel {
     int64_t enc, dec;
     const char* profile;
@@ -52,3 +52,5 @@ int main() {
               "speedup grows with model depth and is higher on A100.\n");
   return 0;
 }
+
+int main() { return ls2::bench::guarded_main("fig10_transformer_speedup", bench_body); }

@@ -61,10 +61,12 @@ void run_panel(const char* name, const models::VitConfig& cfg) {
 
 }  // namespace
 
-int main() {
+static int bench_body() {
   run_panel("ViT-B/32", models::VitConfig::b32());
   run_panel("ViT-L/32", models::VitConfig::l32());
   std::printf("\nPaper reference: 1.2-1.7x (B/32) and 1.2-1.5x (L/32); speedup decreases\n"
               "as batch size grows because GEMM's share of the step rises.\n");
   return 0;
 }
+
+int main() { return ls2::bench::guarded_main("fig12_vit", bench_body); }

@@ -43,7 +43,7 @@ void run_panel(const char* name, const models::BertConfig& cfg) {
 
 }  // namespace
 
-int main() {
+static int bench_body() {
   print_header("Fig. 13: BERT on MRPC-style task, 8x V100 (samples/sec, speedup vs HF)");
   std::printf("%-12s %16s %16s %16s %12s %12s\n", "model", "HuggingFace", "DeepSpeed",
               "LightSeq2", "DS/HF", "LS2/HF");
@@ -54,3 +54,5 @@ int main() {
               "the embedding/criterion/trainer DeepSpeed does not optimise.\n");
   return 0;
 }
+
+int main() { return ls2::bench::guarded_main("fig13_bert", bench_body); }

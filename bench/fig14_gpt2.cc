@@ -52,7 +52,7 @@ void run_panel(const char* name, const models::Gpt2Config& cfg,
 
 }  // namespace
 
-int main() {
+static int bench_body() {
   run_panel("GPT-2 Base (117M)", models::Gpt2Config::base(), simgpu::v100(), 512);
   // Large uses 256-token blocks: 24x512 full-activation training does not
   // fit 40 GB without activation checkpointing (which neither system models).
@@ -61,3 +61,5 @@ int main() {
               "GPT-2 Large on A100.\n");
   return 0;
 }
+
+int main() { return ls2::bench::guarded_main("fig14_gpt2", bench_body); }

@@ -81,7 +81,7 @@ LaunchPerf measure_hybrid(System layer_system, bool ls2_trainer,
 
 }  // namespace
 
-int main() {
+static int bench_body() {
   const auto cfg = models::TransformerConfig::base(6, 6);
   print_header("Fig. 15: speedup breakdown, Transformer 6e6d on 8x V100 (vs Fairseq)");
   std::printf("%-12s %12s %14s %12s %10s\n", "batch_tokens", "kernel-fusion", "trainer-only",
@@ -137,3 +137,5 @@ int main() {
               "exactly like the fusion win does.\n");
   return 0;
 }
+
+int main() { return ls2::bench::guarded_main("fig15_breakdown", bench_body); }

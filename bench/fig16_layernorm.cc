@@ -25,7 +25,7 @@ double ln_time_us(kern::Impl impl, int64_t rows, int64_t cols, simgpu::Device& d
 
 }  // namespace
 
-int main() {
+static int bench_body() {
   simgpu::Device dev(simgpu::v100(), simgpu::ExecMode::kModelOnly);
   mem::CachingAllocator alloc(dev, mem::DeviceAllocator::Backing::kVirtual);
 
@@ -49,3 +49,5 @@ int main() {
               "at very large element counts.\n");
   return 0;
 }
+
+int main() { return ls2::bench::guarded_main("fig16_layernorm", bench_body); }

@@ -36,7 +36,7 @@ double softmax_time_us(kern::Impl impl, int64_t batch, int64_t len, simgpu::Devi
 
 }  // namespace
 
-int main() {
+static int bench_body() {
   simgpu::Device dev(simgpu::v100(), simgpu::ExecMode::kModelOnly);
   mem::CachingAllocator alloc(dev, mem::DeviceAllocator::Backing::kVirtual);
 
@@ -71,3 +71,5 @@ int main() {
               "length (shape-tuned templates), up to ~3.5x.\n");
   return 0;
 }
+
+int main() { return ls2::bench::guarded_main("fig17_dropout_softmax", bench_body); }

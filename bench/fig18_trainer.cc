@@ -33,7 +33,7 @@ TrainerPerf measure_trainer(System system, optim::Algo algo,
 
 }  // namespace
 
-int main() {
+static int bench_body() {
   for (optim::Algo algo : {optim::Algo::kAdam, optim::Algo::kSgd}) {
     const char* name = algo == optim::Algo::kAdam ? "Adam" : "SGD";
     print_header(std::string("Fig. 18: ") + name +
@@ -61,3 +61,5 @@ int main() {
               "over Apex and ~4x over PyTorch, independent of model size.\n");
   return 0;
 }
+
+int main() { return ls2::bench::guarded_main("fig18_trainer", bench_body); }

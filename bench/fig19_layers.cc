@@ -120,7 +120,7 @@ FwBw run_criterion(core::Session& s, int64_t L) {
 
 }  // namespace
 
-int main() {
+static int bench_body() {
   print_header("Fig. 19: layer-wise LightSeq2 speedup over Fairseq vs sequence length "
                "(Transformer-Big dims, batch 8, V100)");
   std::printf("%-8s | %9s %9s | %9s %9s | %9s %9s | %9s %9s\n", "seq_len", "embed fw",
@@ -147,3 +147,5 @@ int main() {
               "criterion speedups stay stable.\n");
   return 0;
 }
+
+int main() { return ls2::bench::guarded_main("fig19_layers", bench_body); }

@@ -98,7 +98,7 @@ void run_panel(const char* name, const models::TransformerConfig& cfg) {
 
 }  // namespace
 
-int main() {
+static int bench_body() {
   run_panel("Transformer-Base (6e6d, 512d)", models::TransformerConfig::base(6, 6));
   run_panel("Transformer-Big (6e6d, 1024d)", models::TransformerConfig::big(6, 6));
   std::printf("\nPaper reference: Fairseq uses ~6 GB more and climbs over time as longer\n"
@@ -106,3 +106,5 @@ int main() {
               "~99%% throughout; Fairseq fluctuates (87-95%%) from allocator stalls.\n");
   return 0;
 }
+
+int main() { return ls2::bench::guarded_main("fig20_21_memory_utilization", bench_body); }

@@ -83,7 +83,7 @@ void write_json() {
 
 }  // namespace
 
-int main() {
+static int bench_body() {
   const auto profile = simgpu::a100();
 
   print_header("Fig. 22(a): 48e48d Transformer, batch 4096 tokens/GPU — speedup vs "
@@ -185,3 +185,5 @@ int main() {
   write_json();
   return 0;
 }
+
+int main() { return ls2::bench::guarded_main("fig22_scaling", bench_body); }

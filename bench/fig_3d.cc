@@ -170,7 +170,7 @@ void write_json() {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+static int bench_body(int argc, char** argv) {
   const bool trace = argc > 1 && std::strcmp(argv[1], "--trace") == 0;
   const models::TransformerConfig cfg = models::TransformerConfig::big();
   data::MtDataset ds(cfg.vocab, 2048, 8, 70, 17);
@@ -276,4 +276,8 @@ int main(int argc, char** argv) {
 
   write_json();
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return ls2::bench::guarded_main("fig_3d", [&] { return bench_body(argc, argv); });
 }

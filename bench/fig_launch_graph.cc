@@ -116,7 +116,7 @@ void write_json() {
 
 }  // namespace
 
-int main() {
+static int bench_body() {
   print_header(
       "Step-graph replay: launch-bound sweep, LightSeq2+arena on one V100 (FP16)");
   std::printf("%-8s %-12s %9s %9s %12s %12s %8s\n", "model", "batch_tokens",
@@ -169,3 +169,5 @@ int main() {
   write_json();
   return 0;
 }
+
+int main() { return ls2::bench::guarded_main("fig_launch_graph", bench_body); }

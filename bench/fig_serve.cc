@@ -101,7 +101,7 @@ void write_json() {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+static int bench_body(int argc, char** argv) {
   bool trace = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0) trace = true;
@@ -162,4 +162,8 @@ int main(int argc, char** argv) {
 
   write_json();
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return ls2::bench::guarded_main("fig_serve", [&] { return bench_body(argc, argv); });
 }

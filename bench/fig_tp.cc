@@ -134,7 +134,7 @@ void write_json() {
 
 }  // namespace
 
-int main() {
+static int bench_body() {
   const int64_t mt_tokens = 8192;
 
   print_header(
@@ -287,3 +287,5 @@ int main() {
   write_json();
   return 0;
 }
+
+int main() { return ls2::bench::guarded_main("fig_tp", bench_body); }

@@ -7,7 +7,7 @@
 using namespace ls2;
 using namespace ls2::bench;
 
-int main() {
+static int bench_body() {
   print_header("Table I: accelerated Transformer TRAINING systems");
   std::printf("%-12s %-10s %-8s %-8s %-10s %-8s %-18s %-12s\n", "library", "Embedding",
               "Encoder", "Decoder", "Criterion", "Trainer", "sequence length",
@@ -90,3 +90,5 @@ int main() {
   }
   return 0;
 }
+
+int main() { return ls2::bench::guarded_main("table1_features", bench_body); }

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification, parameterized for the CI matrix (.github/workflows/ci.yml):
 #
-#   ./ci.sh [--preset release|sanitize] [--smoke full|tp]
+#   ./ci.sh [--preset release|sanitize|tsan] [--smoke full|tp|pp|fault]
 #
 #   --preset release   Release build with -Werror (default). Runs the full
 #                      test suite, smoke-runs every fig* bench, and
@@ -9,6 +9,12 @@
 #   --preset sanitize  Debug build under ASan+UBSan (halt on first report).
 #                      Tests only — the analytic benches add nothing under a
 #                      sanitizer but cost minutes.
+#   --preset tsan      Debug build under ThreadSanitizer, running only the
+#                      genuinely multi-threaded surface: the two-stream
+#                      scheduler (dist_overlap_test), the common/parallel.h
+#                      worker pool (gemm_test), and the heartbeat/timeout
+#                      watcher thread (fault_tolerance_test). Everything
+#                      else is single-threaded and would only slow the lane.
 #   --smoke full       Everything the preset covers (default).
 #   --smoke tp         Tensor-parallel smoke lane: builds everything, runs
 #                      the TP test binary, and (release only) runs fig_tp
@@ -17,6 +23,10 @@
 #   --smoke pp         Pipeline-parallel smoke lane: the PP test binary
 #                      (1F1B parity/schedule/hybrid claims), and (release
 #                      only) fig_3d with its schema check.
+#   --smoke fault      Fault-injection smoke lane: the fault-tolerance test
+#                      binary (checkpoint/rollback/elastic/degraded-serving
+#                      claims), and (release only) fig_fault with its
+#                      schema check.
 #
 # Fails on the first error; a bench that exits nonzero OR writes no/invalid
 # JSON fails the run (ci/check_bench_json.py — python3 is required for the
@@ -28,8 +38,8 @@ PRESET=release
 SMOKE=full
 while [ $# -gt 0 ]; do
   case "$1" in
-    --preset) PRESET="${2:?ci.sh: --preset needs a value (release|sanitize)}"; shift 2 ;;
-    --smoke) SMOKE="${2:?ci.sh: --smoke needs a value (full|tp|pp)}"; shift 2 ;;
+    --preset) PRESET="${2:?ci.sh: --preset needs a value (release|sanitize|tsan)}"; shift 2 ;;
+    --smoke) SMOKE="${2:?ci.sh: --smoke needs a value (full|tp|pp|fault)}"; shift 2 ;;
     *) echo "ci.sh: unknown argument '$1'" >&2; exit 2 ;;
   esac
 done
@@ -46,9 +56,16 @@ case "$PRESET" in
                 "-DCMAKE_CXX_FLAGS=${SAN_FLAGS}"
                 "-DCMAKE_EXE_LINKER_FLAGS=${SAN_FLAGS}")
     ;;
+  tsan)
+    BUILD_DIR=build-tsan
+    SAN_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
+    CMAKE_ARGS=(-DCMAKE_BUILD_TYPE=Debug
+                "-DCMAKE_CXX_FLAGS=${SAN_FLAGS}"
+                "-DCMAKE_EXE_LINKER_FLAGS=${SAN_FLAGS}")
+    ;;
   *) echo "ci.sh: unknown preset '$PRESET'" >&2; exit 2 ;;
 esac
-case "$SMOKE" in full|tp|pp) ;; *) echo "ci.sh: unknown smoke '$SMOKE'" >&2; exit 2 ;; esac
+case "$SMOKE" in full|tp|pp|fault) ;; *) echo "ci.sh: unknown smoke '$SMOKE'" >&2; exit 2 ;; esac
 
 echo "ci.sh: preset=$PRESET smoke=$SMOKE -> $BUILD_DIR"
 cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
@@ -57,10 +74,17 @@ cd "$BUILD_DIR"
 
 # A hang is a failure, not a stall: every test binary gets a hard timeout —
 # and a filter that matches nothing is a failure too, never a silent pass.
-if [ "$SMOKE" = tp ]; then
+if [ "$PRESET" = tsan ]; then
+  # The TSan lane pins its scope to the threaded surface regardless of the
+  # smoke flavour — single-threaded tests under TSan are pure slowdown.
+  ctest --output-on-failure --timeout 600 --no-tests=error \
+    -R 'dist_overlap_test|gemm_test|fault_tolerance_test'
+elif [ "$SMOKE" = tp ]; then
   ctest --output-on-failure --timeout 300 --no-tests=error -R tensor_parallel_test
 elif [ "$SMOKE" = pp ]; then
   ctest --output-on-failure --timeout 300 --no-tests=error -R pipeline_parallel_test
+elif [ "$SMOKE" = fault ]; then
+  ctest --output-on-failure --timeout 300 --no-tests=error -R fault_tolerance_test
 else
   ctest --output-on-failure --timeout 300 --no-tests=error -j "$(nproc)"
 fi
@@ -85,6 +109,10 @@ elif [ "$SMOKE" = pp ]; then
   echo "ci.sh: smoke-running ./fig_3d"
   ./fig_3d >/dev/null
   python3 ../ci/check_bench_json.py fig_3d
+elif [ "$SMOKE" = fault ]; then
+  echo "ci.sh: smoke-running ./fig_fault"
+  ./fig_fault >/dev/null
+  python3 ../ci/check_bench_json.py fig_fault
 else
   # Smoke-run EVERY paper-figure bench (all run in kModelOnly, so this is
   # cheap) so bench binaries can't bit-rot silently, then schema-check the
@@ -95,7 +123,7 @@ else
     echo "ci.sh: smoke-running $bench"
     "$bench" >/dev/null
   done
-  python3 ../ci/check_bench_json.py fig22 fig_launch_graph fig_serve fig_tp fig_3d
+  python3 ../ci/check_bench_json.py fig22 fig_launch_graph fig_serve fig_tp fig_3d fig_fault
 fi
 
 echo "ci.sh: all checks passed"

@@ -164,12 +164,75 @@ def check_fig_3d():
         fail("fig_3d: the pp=4 arena must be smaller than the pp=1 requirement")
 
 
+def check_fig_fault():
+    _, rows = load("fig_fault")
+    by_section = {}
+    for r in rows:
+        by_section.setdefault(r.get("section"), []).append(r)
+    for section in ("checkpoint", "recovery", "serve"):
+        if section not in by_section:
+            fail(f"fig_fault: missing the '{section}' section")
+
+    # Async checkpointing must be near-free at the paper-scale cadence.
+    ckpt = by_section["checkpoint"]
+    for r in ckpt:
+        require(r, ("every", "steps", "step_us", "total_us", "checkpoint_stage_us",
+                    "snapshots", "snapshot_mb", "overhead_frac"), "fig_fault.checkpoint")
+        if r["every"] > 0 and r["snapshots"] <= 0:
+            fail(f"fig_fault: cadence {r['every']} took no snapshots: {r}")
+    if not any(r["every"] == 0 for r in ckpt):
+        fail("fig_fault: checkpoint sweep needs the checkpoint-free baseline row")
+    paper = max((r for r in ckpt if r["every"] > 0), key=lambda r: r["every"], default=None)
+    if paper is None:
+        fail("fig_fault: checkpoint sweep has no cadence > 0")
+    if not paper["overhead_frac"] < 0.05:
+        fail("fig_fault: checkpoint overhead at the paper cadence "
+             f"(every {paper['every']}) must stay under 5% "
+             f"(got {paper['overhead_frac'] * 100:.2f}%)")
+
+    # Time-to-recover: both policies, every run actually failed and recovered.
+    rec = by_section["recovery"]
+    for r in rec:
+        require(r, ("policy", "failure_rate", "steps", "failures", "steps_completed",
+                    "mean_recover_us", "max_recover_us", "total_us", "dp_size",
+                    "dp_lost"), "fig_fault.recovery")
+        if r["policy"] not in ("rollback", "elastic"):
+            fail(f"fig_fault: unknown recovery policy in {r}")
+        if r["failures"] < 1 or r["mean_recover_us"] <= 0:
+            fail(f"fig_fault: recovery row saw no recovered failure: {r}")
+        if r["steps_completed"] < r["steps"]:
+            fail(f"fig_fault: recovery run did not complete its steps: {r}")
+    for policy in ("rollback", "elastic"):
+        if not any(r["policy"] == policy for r in rec):
+            fail(f"fig_fault: recovery sweep is missing the '{policy}' policy")
+    # Same seeded schedule: elastic skips the respawn wait, so per-failure
+    # recovery must be at least as fast as rollback at the same rate.
+    rollback = {r["failure_rate"]: r for r in rec if r["policy"] == "rollback"}
+    for r in rec:
+        if r["policy"] == "elastic" and r["failure_rate"] in rollback:
+            if r["mean_recover_us"] > rollback[r["failure_rate"]]["mean_recover_us"]:
+                fail("fig_fault: elastic shrink recovered slower than rollback at "
+                     f"rate {r['failure_rate']} — the skipped respawn wait vanished")
+
+    # Degraded serving: shedding must engage and bound the served tail.
+    for r in by_section["serve"]:
+        require(r, ("requests", "rate_per_sec", "open_p99_ms", "degraded_p99_ms",
+                    "shed_requests", "served", "deadline_retired"), "fig_fault.serve")
+        if r["shed_requests"] <= 0:
+            fail(f"fig_fault: the burst never engaged load shedding: {r}")
+        if not r["degraded_p99_ms"] < r["open_p99_ms"]:
+            fail(f"fig_fault: shedding did not bound p99: {r}")
+        if r["served"] + r["shed_requests"] != r["requests"]:
+            fail(f"fig_fault: served + shed must cover every request: {r}")
+
+
 CHECKS = {
     "fig22": check_fig22,
     "fig_launch_graph": check_fig_launch_graph,
     "fig_serve": check_fig_serve,
     "fig_tp": check_fig_tp,
     "fig_3d": check_fig_3d,
+    "fig_fault": check_fig_fault,
 }
 
 

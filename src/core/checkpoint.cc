@@ -1,0 +1,155 @@
+#include "core/checkpoint.h"
+
+#include <cstring>
+
+namespace ls2::core {
+
+namespace {
+
+/// Snapshot one device tensor into a host blob (bitwise; no-op on
+/// timing-only virtual backing, where only the charge matters).
+void stage_tensor(const Tensor& t, std::vector<unsigned char>& blob) {
+  if (!t.defined()) {
+    blob.clear();
+    return;
+  }
+  if (!t.backs_real_memory()) {
+    blob.clear();
+    return;
+  }
+  blob.resize(t.bytes());
+  std::memcpy(blob.data(), t.raw(), t.bytes());
+}
+
+void unstage_tensor(const std::vector<unsigned char>& blob, const Tensor& t) {
+  if (!t.defined() || !t.backs_real_memory()) return;
+  LS2_CHECK_EQ(blob.size(), t.bytes())
+      << "checkpoint blob size does not match its tensor — the rebuilt "
+         "world's model/trainer shape differs from the snapshot's";
+  std::memcpy(t.raw(), blob.data(), t.bytes());
+}
+
+int64_t tensor_bytes(const Tensor& t) {
+  return t.defined() ? static_cast<int64_t>(t.bytes()) : 0;
+}
+
+}  // namespace
+
+void AsyncCheckpointer::snapshot(Session& session,
+                                 const layers::ParamRegistry& params,
+                                 const optim::Optimizer& trainer,
+                                 int64_t completed_step) {
+  simgpu::Device& dev = session.device();
+  simgpu::ScopedRange range(dev, "checkpoint");
+
+  CheckpointSnapshot snap;
+  snap.step = completed_step;
+  snap.trainer_steps = trainer.steps_taken();
+  if (const optim::GradScaler* s = trainer.scaler()) {
+    snap.scaler = s->state();
+    snap.has_scaler = true;
+  }
+
+  const std::vector<Tensor> opt_state = trainer.state_tensors();
+  int64_t total_bytes = 0;
+  params.for_each([&](const std::string&, Tensor value, Tensor) {
+    total_bytes += tensor_bytes(value);
+  });
+  for (const Tensor& t : opt_state) total_bytes += tensor_bytes(t);
+  snapshot_bytes_ = total_bytes;
+
+  // 1) Device-side staging copy on the compute stream: the step blocks only
+  // on this D2D pass; the params may be overwritten the moment it returns.
+  simgpu::KernelDesc desc;
+  desc.name = "ls2.checkpoint_stage";
+  desc.bytes_read = total_bytes;
+  desc.bytes_written = total_bytes;
+  desc.mem_efficiency = 0.85;
+  snap.params.reserve(static_cast<size_t>(params.size()));
+  snap.opt_state.resize(opt_state.size());
+  dev.launch(desc, [&] {
+    params.for_each([&](const std::string&, Tensor value, Tensor) {
+      snap.params.emplace_back();
+      stage_tensor(value, snap.params.back());
+    });
+    for (size_t i = 0; i < opt_state.size(); ++i)
+      stage_tensor(opt_state[i], snap.opt_state[i]);
+  });
+  if (session.config().mode == simgpu::ExecMode::kModelOnly) {
+    // The launch skipped its body (timing-only execution) — stage on the
+    // host instead. Parameters back real memory in every mode, and a
+    // restore must round-trip bitwise regardless of how the run is timed.
+    snap.params.clear();
+    params.for_each([&](const std::string&, Tensor value, Tensor) {
+      snap.params.emplace_back();
+      stage_tensor(value, snap.params.back());
+    });
+    for (size_t i = 0; i < opt_state.size(); ++i)
+      stage_tensor(opt_state[i], snap.opt_state[i]);
+  }
+
+  // 2) Host drain on the comm stream, overlapping the next steps' compute —
+  // the checkpoint is only USABLE once this completes.
+  const double d2h_us = static_cast<double>(total_bytes) /
+                        (dev.profile().pcie_gb_s * 1e3);
+  snap.ready_us = dev.enqueue_comm(d2h_us, "checkpoint.d2h");
+
+  if (ring_.size() == 2) ring_.erase(ring_.begin());
+  ring_.push_back(std::move(snap));
+  ++snapshots_taken_;
+}
+
+const CheckpointSnapshot* AsyncCheckpointer::latest_ready(double clock_us) const {
+  for (auto it = ring_.rbegin(); it != ring_.rend(); ++it) {
+    if (it->valid() && it->ready_us <= clock_us) return &*it;
+  }
+  return nullptr;
+}
+
+void AsyncCheckpointer::on_failure(double fail_clock_us) {
+  std::vector<CheckpointSnapshot> survivors;
+  for (auto& snap : ring_) {
+    if (!snap.valid() || snap.ready_us > fail_clock_us) continue;  // in flight: lost
+    snap.ready_us = 0;  // the rebuilt world's clock restarts at zero
+    survivors.push_back(std::move(snap));
+  }
+  ring_ = std::move(survivors);
+}
+
+void AsyncCheckpointer::restore(const CheckpointSnapshot& snap, Session& session,
+                                const layers::ParamRegistry& params,
+                                optim::Optimizer& trainer) {
+  LS2_CHECK(snap.valid()) << "restore from an invalid snapshot";
+  simgpu::Device& dev = session.device();
+
+  int64_t total_bytes = 0;
+  size_t i = 0;
+  params.for_each([&](const std::string&, Tensor value, Tensor) {
+    LS2_CHECK(i < snap.params.size())
+        << "snapshot has fewer parameter blobs than the rebuilt registry";
+    unstage_tensor(snap.params[i++], value);
+    total_bytes += tensor_bytes(value);
+  });
+  const std::vector<Tensor> opt_state = trainer.state_tensors();
+  LS2_CHECK_EQ(opt_state.size(), snap.opt_state.size())
+      << "trainer state tensor count changed between snapshot and restore";
+  for (size_t j = 0; j < opt_state.size(); ++j) {
+    unstage_tensor(snap.opt_state[j], opt_state[j]);
+    total_bytes += tensor_bytes(opt_state[j]);
+  }
+  trainer.restore_steps(snap.trainer_steps);
+  if (snap.has_scaler) {
+    optim::GradScaler* s = trainer.mutable_scaler();
+    LS2_CHECK(s != nullptr)
+        << "snapshot carries GradScaler state but the rebuilt trainer has no "
+           "dynamic scaler";
+    s->restore(snap.scaler);
+  }
+
+  // Charge the host-to-device upload: recovery is never free.
+  const double h2d_us = static_cast<double>(total_bytes) /
+                        (dev.profile().pcie_gb_s * 1e3);
+  dev.advance(h2d_us, /*busy=*/false, "fault.restore");
+}
+
+}  // namespace ls2::core

@@ -1,0 +1,92 @@
+// Asynchronous in-memory checkpointing (DESIGN.md §10).
+//
+// Every `checkpoint_every` steps the trainer's recovery-critical state —
+// parameter values (via the ParamRegistry), trainer-owned masters/moments
+// (Optimizer::state_tensors), the GradScaler dynamics, and the step counter
+// that seeds the (seed, step, site) counter-RNG — is snapshotted:
+//
+//   1. a device-side STAGING copy ("ls2.checkpoint_stage") runs on the
+//      compute stream — brief, bandwidth-bound, the only part the step
+//      blocks on (real async checkpointers stage into a pinned buffer so
+//      the optimizer may overwrite params immediately);
+//   2. the drain to host rides the COMM stream (enqueue_comm at PCIe
+//      bandwidth), overlapping the next steps' compute exactly like
+//      gradient all-reduce does. The snapshot is only USABLE once that
+//      transfer's completion time has passed — a failure that lands before
+//      the drain finishes falls back to the previous snapshot, which is why
+//      the checkpointer double-buffers.
+//
+// Snapshots are raw byte blobs (bitwise, dtype-opaque), so a restore into a
+// rebuilt world reproduces the exact FP16/FP32 bit patterns — combined with
+// the counter-RNG discipline this is what makes rollback-and-replay
+// bitwise-identical to the fault-free run (tests/fault_tolerance_test.cc).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/session.h"
+#include "layers/params.h"
+#include "optim/optimizer.h"
+
+namespace ls2::core {
+
+struct CheckpointSnapshot {
+  int64_t step = -1;   ///< global step index this snapshot was taken AFTER
+  double ready_us = 0; ///< comm-stream time the host drain completes
+  std::vector<std::vector<unsigned char>> params;     ///< per registry tensor
+  std::vector<std::vector<unsigned char>> opt_state;  ///< per trainer state tensor
+  optim::GradScaler::State scaler;
+  bool has_scaler = false;
+  int64_t trainer_steps = 0;
+  bool valid() const { return step >= 0; }
+};
+
+class AsyncCheckpointer {
+ public:
+  explicit AsyncCheckpointer(int64_t every) : every_(every) {}
+
+  int64_t every() const { return every_; }
+  /// True when `completed_step` (0-based, just finished) is on the cadence.
+  bool due(int64_t completed_step) const {
+    return every_ > 0 && (completed_step + 1) % every_ == 0;
+  }
+
+  /// Take a snapshot of the world after `completed_step`: charges the
+  /// staging kernel on the compute stream and the host drain on the comm
+  /// stream; copies the bytes host-side (skipped in kModelOnly, where the
+  /// timing is the product). Call after Session::end_step.
+  void snapshot(Session& session, const layers::ParamRegistry& params,
+                const optim::Optimizer& trainer, int64_t completed_step);
+
+  /// Latest snapshot whose host drain completed by `clock_us` — nullptr when
+  /// no snapshot is usable yet. `clock_us` should be the failing device's
+  /// comm-or-compute clock at failure time: an in-flight drain is NOT usable.
+  const CheckpointSnapshot* latest_ready(double clock_us) const;
+
+  /// Failure bookkeeping: drop snapshots whose drain had not completed at
+  /// `fail_clock_us` (their device-side staging died with the device) and
+  /// mark survivors immediately ready — the rebuilt world's clock restarts,
+  /// so stale ready times must not gate them.
+  void on_failure(double fail_clock_us);
+
+  /// Restore `snap` into a (typically rebuilt) world: parameter bytes,
+  /// trainer state tensors, scaler dynamics, and step counters; charges the
+  /// host-to-device upload as idle time ("fault.restore"). The caller
+  /// rewinds the session (Session::rewind_to_step) to snap.step.
+  static void restore(const CheckpointSnapshot& snap, Session& session,
+                      const layers::ParamRegistry& params, optim::Optimizer& trainer);
+
+  int64_t snapshots_taken() const { return snapshots_taken_; }
+  int64_t snapshot_bytes() const { return snapshot_bytes_; }
+
+ private:
+  int64_t every_ = 0;
+  // Double buffer: [0] = previous (always drained), [1] = latest (possibly
+  // still in flight on the comm stream).
+  std::vector<CheckpointSnapshot> ring_;
+  int64_t snapshots_taken_ = 0;
+  int64_t snapshot_bytes_ = 0;  ///< bytes per snapshot (set on first take)
+};
+
+}  // namespace ls2::core

@@ -1,0 +1,224 @@
+// Fault-tolerant training driver (DESIGN.md §10).
+//
+// Wraps the train_step loop with detection and recovery, TorchElastic-style:
+// a FaultInjector armed per step turns scheduled FaultPlan events into real
+// thrown failures (DeviceLostError / PeerLostError / TransientAllocFailure),
+// and on each failure the driver restores the last USABLE asynchronous
+// checkpoint onto a rebuilt world and continues under one of two policies:
+//
+//  * kRollbackReplay — the lost rank respawns (cfg.respawn_delay_us of wall
+//    clock), the world keeps its provisioned DP width, and the steps since
+//    the checkpoint replay. With raw-byte snapshots and the (seed, step,
+//    site) counter-RNG, the replayed trajectory — and therefore the final
+//    parameters — is BITWISE identical to a fault-free run.
+//  * kElasticShrink — a lost DP rank is NOT waited for: the DP communicator
+//    re-forms over the survivors immediately (cluster.dp_lost += 1, so
+//    dp_size() shrinks and every downstream ring/averaging denominator
+//    rescales), trading throughput (and exact batch-size semantics) for
+//    availability. Non-rank failures (transient allocation) still recover
+//    by rollback under this policy — there is nothing to shrink.
+//
+// Both policies rebuild the world from scratch before restoring: a step that
+// unwound mid-flight leaves layer-held activations, arena bookkeeping, and
+// graph state in undefined shape, and production elastic runtimes likewise
+// restart the worker process rather than trusting a poisoned address space.
+//
+// The World contract: make_world(cluster) returns a movable handle (e.g.
+// std::unique_ptr<W>) whose pointee exposes
+//     core::Session session;                  // constructed first
+//     ModelT model;
+//     std::unique_ptr<optim::Optimizer> trainer;
+// and builds the model DETERMINISTICALLY from the session's seed — rebuilds
+// must reproduce the original initialisation bitwise (restores overwrite the
+// parameters anyway, but a run with no usable checkpoint restarts from
+// init). batch_for(step) returns the step's batch, also deterministically.
+#pragma once
+
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/train_step.h"
+#include "memory/device_allocator.h"
+#include "simgpu/fault.h"
+
+namespace ls2::core {
+
+enum class RecoveryPolicy {
+  kRollbackReplay,  ///< respawn the rank, keep DP width, replay bitwise
+  kElasticShrink,   ///< continue degraded on the surviving DP ranks
+};
+
+inline const char* recovery_policy_name(RecoveryPolicy p) {
+  return p == RecoveryPolicy::kRollbackReplay ? "rollback" : "elastic";
+}
+
+struct FtConfig {
+  dist::ClusterConfig cluster;
+  RecoveryPolicy policy = RecoveryPolicy::kRollbackReplay;
+  int64_t steps = 8;  ///< global steps the run must complete
+  /// Rollback policy: modeled wall-clock until a replacement rank is up
+  /// (scheduler + container + NCCL re-init). Elastic shrink skips this —
+  /// that is the availability win it buys.
+  double respawn_delay_us = 50'000.0;
+  /// Terminal backstop: rethrow after this many failures.
+  int max_failures = 8;
+};
+
+struct FtFailure {
+  int64_t fail_step = 0;     ///< step being executed when the failure hit
+  int64_t restart_step = 0;  ///< first step re-executed after restore
+  const char* kind = "";     ///< device_lost / peer_lost / alloc / error
+  bool shrunk = false;       ///< this recovery took a DP rank away
+  /// Global us from the failure instant until the run completed fail_step
+  /// again — detection timeout + (respawn) + restore + replayed steps.
+  double recover_us = 0;
+};
+
+struct FtReport {
+  int64_t steps_completed = 0;
+  int failures = 0;
+  double total_us = 0;  ///< global wall clock, summed across worlds
+  std::vector<FtFailure> events;
+  dist::ClusterConfig final_cluster;  ///< dp_lost reflects elastic shrinks
+  // --- checkpointing ---
+  int64_t snapshots = 0;
+  int64_t snapshot_bytes = 0;
+  double checkpoint_stage_us = 0;  ///< compute-stream staging (the overhead)
+  // --- detection ledger (from the injector) ---
+  int stragglers_detected = 0;
+  std::vector<int64_t> straggler_steps;
+  int64_t timeout_exceedances = 0;
+};
+
+/// Drive `cfg.steps` training steps to completion under `plan`, recovering
+/// from every injected failure. Returns the report AND the final world (so
+/// callers can inspect the trained parameters).
+template <typename MakeWorld, typename BatchFor>
+auto run_fault_tolerant(const FtConfig& cfg, simgpu::FaultPlan plan,
+                        MakeWorld&& make_world, BatchFor&& batch_for)
+    -> std::pair<FtReport, decltype(make_world(cfg.cluster))> {
+  dist::ClusterConfig cluster = cfg.cluster;
+  cluster.validate();
+
+  auto world = make_world(cluster);
+  simgpu::FaultInjector injector(std::move(plan),
+                                 world->session.config().collective_timeout_us);
+  AsyncCheckpointer ckpt(world->session.config().checkpoint_every);
+
+  // The grad-corruption sink writes a NaN burst into the CURRENT world's
+  // flat gradient bytes at the sync point — the moment averaged gradients
+  // materialize. (Workspace registries only; with dynamic loss scaling the
+  // next check_overflow sees the burst and the scaler backs off.)
+  auto install = [&injector](decltype(world)& w) {
+    w->session.device().set_fault_injector(&injector);
+    injector.set_sync_sink([&w](const simgpu::FaultEvent& e) {
+      layers::ParamRegistry& params = w->model.params();
+      if (!params.contiguous()) return;
+      const size_t hi = std::min(e.byte_hi, params.flat_grad_bytes());
+      if (e.byte_lo >= hi) return;
+      Tensor g = params.grad_byte_view(e.byte_lo, hi);
+      if (g.backs_real_memory()) g.fill_(std::numeric_limits<float>::quiet_NaN());
+    });
+  };
+  install(world);
+
+  FtReport report;
+  struct Pending {
+    int64_t fail_step;
+    double global_fail_us;
+    size_t event_index;
+  };
+  std::vector<Pending> pending;
+  double base_us = 0;  // wall clock burned in already-dead worlds
+  int64_t step = 0;
+
+  auto recover = [&](const char* kind, bool rank_loss) {
+    simgpu::Device& dead = world->session.device();
+    const double fail_clock = dead.clock_us();
+    base_us += fail_clock;
+    report.checkpoint_stage_us += dead.range_time_us("checkpoint");
+
+    ++report.failures;
+    if (report.failures > cfg.max_failures) {
+      throw Error("fault-tolerant run exceeded max_failures=" +
+                  std::to_string(cfg.max_failures) + " (last: " + kind + ")");
+    }
+
+    // Snapshots whose host drain was still in flight died with the device.
+    ckpt.on_failure(fail_clock);
+    const CheckpointSnapshot* snap = ckpt.latest_ready(0.0);
+    const int64_t restart_step = snap != nullptr ? snap->step + 1 : 0;
+
+    FtFailure ev;
+    ev.fail_step = step;
+    ev.restart_step = restart_step;
+    ev.kind = kind;
+    // The failure instant — BEFORE any respawn wait, so recover_us charges
+    // the respawn to the rollback policy (that wait is exactly what elastic
+    // shrink buys its availability by skipping).
+    const double global_fail_us = base_us;
+    const bool shrink = cfg.policy == RecoveryPolicy::kElasticShrink &&
+                        rank_loss && cluster.dp_size() > 1;
+    if (shrink) {
+      cluster.dp_lost += 1;  // survivors re-form the ring NOW — no respawn wait
+      ev.shrunk = true;
+    } else {
+      base_us += cfg.respawn_delay_us;
+    }
+    pending.push_back({step, global_fail_us, report.events.size()});
+    report.events.push_back(ev);
+
+    world = make_world(cluster);
+    install(world);
+    if (snap != nullptr) {
+      AsyncCheckpointer::restore(*snap, world->session, world->model.params(),
+                                 *world->trainer);
+    }
+    world->session.rewind_to_step(restart_step);
+    step = restart_step;
+  };
+
+  while (step < cfg.steps) {
+    injector.arm(step);
+    try {
+      (void)train_step(world->session, world->model, batch_for(step),
+                       *world->trainer, cluster);
+      if (ckpt.due(step)) {
+        ckpt.snapshot(world->session, world->model.params(), *world->trainer, step);
+      }
+      ++step;
+      // A failure is RECOVERED once the run has completed the step it died
+      // on — that span is the time-to-recover the bench sweeps.
+      while (!pending.empty() && step > pending.back().fail_step) {
+        const Pending p = pending.back();
+        pending.pop_back();
+        report.events[p.event_index].recover_us =
+            (base_us + world->session.device().clock_us()) - p.global_fail_us;
+      }
+    } catch (const simgpu::DeviceLostError&) {
+      recover("device_lost", /*rank_loss=*/true);
+    } catch (const simgpu::PeerLostError&) {
+      recover("peer_lost", /*rank_loss=*/true);
+    } catch (const mem::TransientAllocFailure&) {
+      recover("alloc", /*rank_loss=*/false);
+    }
+  }
+
+  report.steps_completed = step;
+  report.total_us = base_us + world->session.device().clock_us();
+  report.checkpoint_stage_us +=
+      world->session.device().range_time_us("checkpoint");
+  report.snapshots = ckpt.snapshots_taken();
+  report.snapshot_bytes = ckpt.snapshot_bytes();
+  report.final_cluster = cluster;
+  report.stragglers_detected = injector.stragglers_detected();
+  report.straggler_steps = injector.straggler_steps();
+  report.timeout_exceedances = injector.timeout_exceedances();
+  world->session.device().set_fault_injector(nullptr);
+  return {std::move(report), std::move(world)};
+}
+
+}  // namespace ls2::core

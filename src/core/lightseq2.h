@@ -13,12 +13,15 @@
 #pragma once
 
 #include "core/capacity_scan.h" // IWYU pragma: export
+#include "core/checkpoint.h"    // IWYU pragma: export
+#include "core/fault_tolerant.h" // IWYU pragma: export
 #include "core/session.h"       // IWYU pragma: export
 #include "core/train_step.h"    // IWYU pragma: export
 #include "data/synthetic.h"     // IWYU pragma: export
 #include "dist/allreduce.h"     // IWYU pragma: export
 #include "dist/bucket.h"        // IWYU pragma: export
 #include "dist/data_parallel.h" // IWYU pragma: export
+#include "dist/failure.h"       // IWYU pragma: export
 #include "dist/pipeline.h"      // IWYU pragma: export
 #include "dist/process_group.h"    // IWYU pragma: export
 #include "dist/tensor_parallel.h"  // IWYU pragma: export

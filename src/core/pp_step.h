@@ -56,6 +56,7 @@
 #include "dist/process_group.h"
 #include "layers/pp.h"
 #include "memory/caching_allocator.h"
+#include "simgpu/fault.h"
 
 namespace ls2::core::pp_detail {
 
@@ -445,11 +446,16 @@ auto train_step_pp(Session& session, ModelT& model, const BatchT& batch,
     double ring0_us = 0;
     int64_t stage0_bytes = 0;
     for (const auto& [lo, hi] : spans[0]) stage0_bytes += static_cast<int64_t>(hi - lo);
+    // A stragglered link stretches every analytic DP ring this step, exactly
+    // as Device::enqueue_comm stretches real comm-stream transfers.
+    const double link_factor =
+        dev.fault_injector() != nullptr ? dev.fault_injector()->comm_factor() : 1.0;
     if (sync_needed) {
       for (PpBucket& bk : buckets) {
         const int64_t wire = dist::wire_payload_bytes(
             static_cast<int64_t>(bk.hi - bk.lo), params.dtype(), cluster.wire_dtype);
-        const double ring = dist::ring_allreduce_us(wire, cluster, dev.profile());
+        const double ring =
+            dist::ring_allreduce_us(wire, cluster, dev.profile()) * link_factor;
         double& lane = comm_clock[su(bk.stage)];
         lane = std::max(lane, bk.ready_us) + ring;
         bk.done_us = lane;
@@ -462,6 +468,11 @@ auto train_step_pp(Session& session, ModelT& model, const BatchT& batch,
           dist::wire_payload_bytes(stage0_bytes, params.dtype(), cluster.wire_dtype),
           cluster, dev.profile());
     }
+
+    // The PP engine's DP sync is analytic (comm_clock lanes above, no device
+    // comm-stream calls), so the failure-detection sync point fires
+    // explicitly here — the boundary where averaged gradients materialize.
+    dev.at_sync_point("synchronize");
 
     // Updates execute for real over every stage's ranges (the numerics need
     // the whole model updated; step_range is order-independent), while the
@@ -491,6 +502,11 @@ auto train_step_pp(Session& session, ModelT& model, const BatchT& batch,
     trainer.end_step();
     times.update_us = update0_us + times.zero_grad_us;
     times.sync_overlapped_us = std::max(0.0, ring0_us - times.sync_us);
+    // Detection bookkeeping for the analytic lanes: stage 0's exposed DP
+    // wait is what a watchdog would observe at this sync boundary.
+    if (dev.fault_injector() != nullptr) {
+      dev.fault_injector()->note_exposed_wait(times.sync_us, dev.clock_us());
+    }
 
     if constexpr (requires { model.tp_finish_step(trainer); }) {
       model.tp_finish_step(trainer);

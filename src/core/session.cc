@@ -63,6 +63,16 @@ void Session::store_graph(simgpu::StepGraph graph) {
   graph_ = std::move(graph);
 }
 
+void Session::rewind_to_step(int64_t step) {
+  LS2_CHECK(step >= 0) << "rewind_to_step(" << step << ")";
+  // A failure can unwind mid-capture or mid-replay; the abandoned graph
+  // state must not leak into the replayed step. The captured graph itself
+  // stays stored — a rebuilt world recaptures, a rewound one may replay.
+  device_.abort_graph();
+  ctx_->release_tp_reservations();
+  step_index_ = step;
+}
+
 void Session::end_step() {
   // TP shard reservations (LayerContext::alloc_shard) are per-step device
   // allocations; drop them before the arena's everything-returned check.

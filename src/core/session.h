@@ -38,6 +38,13 @@ struct SessionConfig {
   /// Eager steps before capture (allocator warm-up; default: capture the
   /// second step).
   int graph_warmup_steps = 1;
+  /// >0: take an asynchronous checkpoint snapshot every this many steps
+  /// (DESIGN.md §10). The fault-tolerant harness (core/fault_tolerant.h)
+  /// reads this cadence; a bare train_step loop ignores it. 0 = never.
+  int64_t checkpoint_every = 0;
+  /// Collective timeout for failure detection, threaded into the
+  /// FaultInjector by the fault-tolerant harness (README knob).
+  double collective_timeout_us = 5000.0;
 };
 
 /// What core::train_step should do with the device graph on this step.
@@ -96,6 +103,14 @@ class Session {
   /// capture-unsafe and poisons at its first mid-step stall).
   bool graph_capture_supported() const { return act_alloc_->capture_safe(); }
   int64_t step_index() const { return step_index_; }
+
+  /// Checkpoint-restore support (DESIGN.md §10): rewind the session's step
+  /// index to `step` so the next begin_step re-derives that step's RNG
+  /// offset — with the (seed, step, site) counter-RNG discipline this alone
+  /// makes a replayed step draw bitwise the dropout masks and samples of
+  /// the original. Also clears any abandoned capture/replay left by a
+  /// mid-step failure and drains per-step state the unwound step leaked.
+  void rewind_to_step(int64_t step);
 
   /// Cross-step state of the pipeline-parallel engine (core/pp_step.h):
   /// the remote-stage device/allocator pair and the trace time base. Owned

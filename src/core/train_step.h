@@ -284,8 +284,13 @@ auto train_step(Session& session, ModelT& model, const BatchT& batch,
         scheduler->finish();  // tail buckets: ready only now that backward ended
         const double exposed = dev.sync_comm("synchronize");
         times.sync_overlapped_us = std::max(0.0, scheduler->enqueued_us() - exposed);
-      } else if (sync_needed) {
-        dev.advance(times.sync_blocking_us, /*busy=*/true, "synchronize");
+      } else {
+        // The blocking ring (and the DP=1 no-op) never touches the comm
+        // stream, so the failure-detection sync point must fire explicitly.
+        dev.at_sync_point("synchronize");
+        if (sync_needed) {
+          dev.advance(times.sync_blocking_us, /*busy=*/true, "synchronize");
+        }
       }
     }
     scheduler.reset();

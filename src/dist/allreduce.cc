@@ -23,6 +23,11 @@ void ClusterConfig::validate() const {
       << "pipeline_parallel " << pipeline_parallel << " needs at least that many "
       << "microbatches to fill the pipe (got " << microbatches
       << "); the 1F1B bubble fraction (pp-1)/(m+pp-1) only shrinks with m";
+  LS2_CHECK(dp_lost >= 0) << "dp_lost " << dp_lost << " cannot be negative";
+  LS2_CHECK(dp_size() >= 1)
+      << "elastic shrink lost " << dp_lost << " of "
+      << total_gpus() / (tensor_parallel * pipeline_parallel)
+      << " data-parallel replicas — no survivors left to train on";
 }
 
 double bottleneck_bus_gb_s(const ClusterConfig& cluster,

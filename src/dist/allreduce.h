@@ -63,10 +63,20 @@ struct ClusterConfig {
   /// shrink the 1F1B bubble fraction (pp-1)/(m+pp-1). Ignored when
   /// pipeline_parallel == 1.
   int microbatches = 1;
+  /// Data-parallel replicas LOST to failures and elastically shrunk away
+  /// (DESIGN.md §10): the DP ring re-forms over the survivors, the
+  /// gradient-averaging denominator becomes the surviving dp_size(), and
+  /// training continues degraded instead of aborting. Provisioned shape
+  /// knobs above stay untouched — dp_lost is runtime state, set by the
+  /// recovery layer, never by hand-written configs.
+  int dp_lost = 0;
 
   int total_gpus() const { return gpus_per_node * nodes; }
-  /// Data-parallel replica count of the hybrid 3D layout.
-  int dp_size() const { return total_gpus() / (tensor_parallel * pipeline_parallel); }
+  /// Data-parallel replica count of the hybrid 3D layout (survivors only
+  /// after an elastic shrink).
+  int dp_size() const {
+    return total_gpus() / (tensor_parallel * pipeline_parallel) - dp_lost;
+  }
 
   /// Reject inconsistent shapes with a clear message at configuration time
   /// (instead of deep inside a group split): dp x tp x pp must exactly

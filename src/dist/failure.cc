@@ -1,0 +1,95 @@
+#include "dist/failure.h"
+
+#include "common/check.h"
+
+namespace ls2::dist {
+
+HeartbeatMonitor::HeartbeatMonitor(HeartbeatConfig cfg) : cfg_(cfg) {
+  LS2_CHECK(cfg_.ranks >= 1) << "heartbeat monitor needs at least one rank";
+  LS2_CHECK(cfg_.timeout.count() > 0 && cfg_.interval.count() > 0);
+}
+
+HeartbeatMonitor::~HeartbeatMonitor() { stop(); }
+
+void HeartbeatMonitor::start() {
+  std::unique_lock<std::mutex> lock(mu_);
+  LS2_CHECK(!running_) << "heartbeat monitor already running";
+  running_ = true;
+  const auto now = Clock::now();
+  last_beat_.assign(static_cast<size_t>(cfg_.ranks), now);
+  suspected_.assign(static_cast<size_t>(cfg_.ranks), false);
+  suspect_events_ = 0;
+  scans_ = 0;
+  lock.unlock();
+  watcher_ = std::thread([this] { watch(); });
+}
+
+void HeartbeatMonitor::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    running_ = false;
+  }
+  cv_.notify_all();
+  if (watcher_.joinable()) watcher_.join();
+}
+
+void HeartbeatMonitor::beat(int rank) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LS2_CHECK(rank >= 0 && rank < cfg_.ranks) << "beat from unknown rank " << rank;
+  last_beat_[static_cast<size_t>(rank)] = Clock::now();
+  // A late beat clears the suspicion: the rank was stalled, not dead.
+  suspected_[static_cast<size_t>(rank)] = false;
+}
+
+std::vector<int> HeartbeatMonitor::suspected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> out;
+  for (int r = 0; r < cfg_.ranks; ++r)
+    if (suspected_[static_cast<size_t>(r)]) out.push_back(r);
+  return out;
+}
+
+bool HeartbeatMonitor::any_suspected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (bool s : suspected_)
+    if (s) return true;
+  return false;
+}
+
+int64_t HeartbeatMonitor::suspect_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return suspect_events_;
+}
+
+int64_t HeartbeatMonitor::scans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return scans_;
+}
+
+void HeartbeatMonitor::watch() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (running_) {
+    cv_.wait_for(lock, cfg_.interval, [this] { return !running_; });
+    if (!running_) break;
+    ++scans_;
+    const auto now = Clock::now();
+    std::vector<int> newly;
+    for (int r = 0; r < cfg_.ranks; ++r) {
+      const size_t i = static_cast<size_t>(r);
+      if (!suspected_[i] && now - last_beat_[i] > cfg_.timeout) {
+        suspected_[i] = true;
+        ++suspect_events_;
+        newly.push_back(r);
+      }
+    }
+    if (on_suspect_ && !newly.empty()) {
+      // Callback runs unlocked: it may call back into suspected()/beat().
+      lock.unlock();
+      for (int r : newly) on_suspect_(r);
+      lock.lock();
+    }
+  }
+}
+
+}  // namespace ls2::dist

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "memory/device_allocator.h"
 #include "memory/measuring_allocator.h"
 
 namespace ls2::infer {
@@ -86,6 +87,55 @@ void ContinuousBatcher::admit(size_t r, int64_t slot) {
   }
 }
 
+void ContinuousBatcher::shed(size_t r, double now) {
+  RequestStats& st = stats_[r];
+  st.id = reqs_[r].id;
+  st.arrival_us = reqs_[r].arrival_us;
+  st.prompt_len = static_cast<int64_t>(reqs_[r].prompt.size());
+  st.shed = true;
+  st.done_us = now;
+  ++report_->shed_requests;
+  ++done_;
+}
+
+void ContinuousBatcher::run_admissions(size_t& next_req) {
+  const double now = session_->device().clock_us();
+  size_t arrived_end = next_req;
+  while (arrived_end < reqs_.size() && reqs_[arrived_end].arrival_us <= now) ++arrived_end;
+
+  // Oldest first: shed the timed-out, admit the rest into free slots.
+  while (next_req < arrived_end) {
+    if (stats_[next_req].shed) {
+      ++next_req;
+      continue;
+    }
+    if (cfg_.admission_timeout_us > 0 &&
+        now - reqs_[next_req].arrival_us > cfg_.admission_timeout_us) {
+      shed(next_req++, now);
+      continue;
+    }
+    const int64_t slot = cache_->acquire_slot();
+    if (slot < 0) break;  // batch full — the rest queue (or shed below)
+    admit(next_req++, slot);
+  }
+
+  // Backpressure: bound the waiting line by rejecting the NEWEST arrivals —
+  // the oldest waiters keep their place, so admitted-queue time stays
+  // bounded instead of growing with the burst.
+  if (cfg_.max_queue > 0) {
+    int64_t waiting = 0;
+    for (size_t i = next_req; i < arrived_end; ++i)
+      if (!stats_[i].shed) ++waiting;
+    for (size_t i = arrived_end; waiting > cfg_.max_queue && i > next_req;) {
+      --i;
+      if (!stats_[i].shed) {
+        shed(i, now);
+        --waiting;
+      }
+    }
+  }
+}
+
 ServeReport ContinuousBatcher::serve(std::vector<Request> requests) {
   std::sort(requests.begin(), requests.end(),
             [](const Request& a, const Request& b) { return a.arrival_us < b.arrival_us; });
@@ -111,13 +161,7 @@ ServeReport ContinuousBatcher::serve(std::vector<Request> requests) {
     // --- admissions (eager; never part of the captured region) ---
     const bool may_admit =
         cfg_.mode == BatchMode::kContinuous || cache_->active_slots() == 0;
-    if (may_admit) {
-      while (next_req < reqs_.size() && reqs_[next_req].arrival_us <= dev.clock_us()) {
-        const int64_t slot = cache_->acquire_slot();
-        if (slot < 0) break;  // batch full — request queues
-        admit(next_req++, slot);
-      }
-    }
+    if (may_admit) run_admissions(next_req);
     if (cache_->active_slots() == 0) {
       if (done_ >= static_cast<int64_t>(reqs_.size())) break;
       LS2_CHECK(next_req < reqs_.size());
@@ -135,34 +179,53 @@ ServeReport ContinuousBatcher::serve(std::vector<Request> requests) {
                     ? slots_[static_cast<size_t>(s)].next_token
                     : model_->config().pad_id;
       }
-      cache_->begin_decode();
-      const core::GraphAction act = session_->begin_decode_step();
-      struct GraphGuard {
-        simgpu::Device& dev;
-        bool active = false;
-        ~GraphGuard() {
-          if (active) dev.abort_graph();
+      // A transient allocation failure (injected or real) aborts the
+      // attempt — the graph guard abandons any open capture/replay, the
+      // arena rewinds via end_step — and the step reruns after a doubling
+      // idle backoff. KvCache state is untouched until commit_decode, so a
+      // rerun is exact. The retry budget bounds how long a request can be
+      // stalled by a flapping fault before the error surfaces.
+      int attempts = 0;
+      for (;;) {
+        try {
+          cache_->begin_decode();
+          const core::GraphAction act = session_->begin_decode_step();
+          struct GraphGuard {
+            simgpu::Device& dev;
+            bool active = false;
+            ~GraphGuard() {
+              if (active) dev.abort_graph();
+            }
+          } guard{dev};
+          if (act == core::GraphAction::kCapture) {
+            dev.begin_capture();
+            guard.active = true;
+          } else if (act == core::GraphAction::kReplay) {
+            dev.begin_replay(*session_->step_graph());
+            guard.active = true;
+          }
+          {
+            simgpu::ScopedRange range(dev, "serve.decode");
+            Tensor logits = model_->decode_step(ctx, ids, *cache_);  // [S, V]
+            gen_.next_tokens(ctx.kern, ctx.policy.softmax, logits, sampled);
+          }
+          if (act == core::GraphAction::kCapture) {
+            session_->store_graph(dev.end_capture());
+            guard.active = false;
+          } else if (act == core::GraphAction::kReplay) {
+            dev.end_replay();
+            guard.active = false;
+            ++report.replayed_steps;
+          }
+          break;
+        } catch (const mem::TransientAllocFailure&) {
+          if (++attempts > cfg_.decode_retries) throw;
+          ++report.decode_retries;
+          session_->end_step();  // rewind the aborted attempt's arena state
+          const double backoff =
+              cfg_.retry_backoff_us * static_cast<double>(1 << (attempts - 1));
+          if (backoff > 0) dev.advance(backoff, /*busy=*/false, "serve.retry_backoff");
         }
-      } guard{dev};
-      if (act == core::GraphAction::kCapture) {
-        dev.begin_capture();
-        guard.active = true;
-      } else if (act == core::GraphAction::kReplay) {
-        dev.begin_replay(*session_->step_graph());
-        guard.active = true;
-      }
-      {
-        simgpu::ScopedRange range(dev, "serve.decode");
-        Tensor logits = model_->decode_step(ctx, ids, *cache_);  // [S, V]
-        gen_.next_tokens(ctx.kern, ctx.policy.softmax, logits, sampled);
-      }
-      if (act == core::GraphAction::kCapture) {
-        session_->store_graph(dev.end_capture());
-        guard.active = false;
-      } else if (act == core::GraphAction::kReplay) {
-        dev.end_replay();
-        guard.active = false;
-        ++report.replayed_steps;
       }
       cache_->commit_decode();
       ++report.decode_steps;
@@ -177,13 +240,24 @@ ServeReport ContinuousBatcher::serve(std::vector<Request> requests) {
         ++report.generated_tokens;
         // Retire at the request's cap, at EOS, or when the slot's K/V block
         // is full — capacity caps generation rather than crashing the step.
-        const bool finished = ss.generated >= reqs_[static_cast<size_t>(ss.req)].gen_len ||
-                              (execute && cfg_.eos_id >= 0 && tok == cfg_.eos_id) ||
-                              cache_->len(s) >= cache_->config().max_len;
+        const bool natural =
+            ss.generated >= reqs_[static_cast<size_t>(ss.req)].gen_len ||
+            (execute && cfg_.eos_id >= 0 && tok == cfg_.eos_id) ||
+            cache_->len(s) >= cache_->config().max_len;
+        // Deadline degradation: past the SLO, ship the partial answer now.
+        const bool expired =
+            !natural && cfg_.deadline_us > 0 &&
+            dev.clock_us() - reqs_[static_cast<size_t>(ss.req)].arrival_us >=
+                cfg_.deadline_us;
+        const bool finished = natural || expired;
         if (finished) {
           RequestStats& st = stats_[static_cast<size_t>(ss.req)];
           st.done_us = dev.clock_us();
           st.generated = ss.generated;
+          if (expired) {
+            st.deadline_retired = true;
+            ++report.deadline_retired;
+          }
           cache_->release_slot(s);
           ss = SlotState{};
           ++done_;
@@ -204,9 +278,11 @@ ServeReport ContinuousBatcher::serve(std::vector<Request> requests) {
   lat.reserve(stats_.size());
   double sum = 0;
   for (const RequestStats& st : stats_) {
+    if (st.shed) continue;  // got an error, not a latency
     lat.push_back(st.latency_us());
     sum += st.latency_us();
   }
+  report.served = static_cast<int64_t>(lat.size());
   report.p50_latency_us = percentile(lat, 0.50);
   report.p99_latency_us = percentile(lat, 0.99);
   report.mean_latency_us = lat.empty() ? 0 : sum / static_cast<double>(lat.size());

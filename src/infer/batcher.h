@@ -40,6 +40,28 @@ struct ServeConfig {
   /// >= 0: retire a sequence when it samples this token (execute mode only —
   /// model-only runs have no real logits and retire on gen_len alone).
   int32_t eos_id = -1;
+
+  // --- graceful degradation under overload / faults (DESIGN.md §10).
+  // Defaults keep every knob OFF: serve() behaves exactly as before.
+  /// >0: a request still queued this long after arrival is SHED (rejected
+  /// with an error to the client) instead of waiting unboundedly — queue
+  /// time is bounded, so tail latency of admitted requests is too.
+  double admission_timeout_us = 0;
+  /// >0: backpressure — when more than this many arrived requests are
+  /// waiting for a slot, the newest arrivals are shed immediately. Bounds
+  /// the queue (and therefore p99) during bursts at the cost of errors.
+  int64_t max_queue = 0;
+  /// >0: per-request completion deadline (from arrival). A resident
+  /// sequence that crosses it retires early with whatever it generated —
+  /// a partial answer within the SLO rather than a complete one outside it.
+  double deadline_us = 0;
+  /// Retry budget for a decode step that hits a TRANSIENT allocation
+  /// failure (mem::TransientAllocFailure, e.g. injected via the fault
+  /// plan): the aborted step's arena state is rewound and the step rerun
+  /// after an idle backoff. Exhausting the budget rethrows.
+  int decode_retries = 2;
+  /// Idle time charged before each retry; doubles per attempt.
+  double retry_backoff_us = 200.0;
 };
 
 struct Request {
@@ -63,6 +85,11 @@ struct RequestStats {
   /// The generated ids (real samples in execute mode, the deterministic
   /// stand-ins in model-only runs) — what the replay-parity test compares.
   std::vector<int32_t> tokens;
+  /// Load-shed before admission (timeout or queue bound): never decoded;
+  /// excluded from the latency percentiles.
+  bool shed = false;
+  /// Retired by ServeConfig::deadline_us with a partial generation.
+  bool deadline_retired = false;
   double latency_us() const { return done_us - arrival_us; }
   double queue_us() const { return admitted_us - arrival_us; }
 };
@@ -75,7 +102,13 @@ struct ServeReport {
   int64_t generated_tokens = 0;
   double makespan_us = 0;
   double tokens_per_sec = 0;     ///< generated tokens / makespan
+  /// Latency stats cover SERVED requests only (shed ones got an error
+  /// response, not a slow one — mixing them in would corrupt the tail).
   double p50_latency_us = 0, p99_latency_us = 0, mean_latency_us = 0;
+  int64_t served = 0;            ///< requests that completed (incl. partial)
+  int64_t shed_requests = 0;     ///< rejected by timeout / queue bound
+  int64_t deadline_retired = 0;  ///< retired early with a partial answer
+  int64_t decode_retries = 0;    ///< decode steps rerun after transient faults
 };
 
 class ContinuousBatcher {
@@ -96,6 +129,12 @@ class ContinuousBatcher {
   /// Claim `slot` for request `r`: prefill its prompt (eager), record the
   /// cache length, and sample the first generated token.
   void admit(size_t r, int64_t slot);
+  /// Reject request `r` (overload shed): it completes immediately with an
+  /// error and no tokens.
+  void shed(size_t r, double now);
+  /// Admission scan with the degradation knobs: timeout sheds, slot claims,
+  /// queue-bound backpressure. Advances next_req past admitted/shed heads.
+  void run_admissions(size_t& next_req);
   int32_t harvest_token(const Tensor& sampled, int64_t row, int64_t slot,
                         int64_t generated) const;
 

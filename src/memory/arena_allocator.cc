@@ -1,5 +1,7 @@
 #include "memory/arena_allocator.h"
 
+#include "simgpu/fault.h"
+
 namespace ls2::mem {
 
 namespace {
@@ -23,6 +25,16 @@ ArenaAllocator::~ArenaAllocator() {
 
 void* ArenaAllocator::allocate(size_t bytes) {
   const size_t want = align_up(bytes);
+  // Injected transient failure: the request is well within capacity, the
+  // allocator just hiccups (driver retry, momentary fragmentation) — typed
+  // distinctly from OutOfMemory so callers retry instead of resizing.
+  if (simgpu::FaultInjector* fault = device_.fault_injector();
+      fault != nullptr && fault->should_fail_alloc(device_.current_range())) {
+    throw TransientAllocFailure(static_cast<int64_t>(want),
+                                static_cast<int64_t>(used_),
+                                static_cast<int64_t>(capacity_),
+                                device_.current_range());
+  }
   // First fit. The free map is keyed by offset, so this also prefers low
   // addresses, which keeps fragmentation down for the LIFO-ish lifetimes of
   // a training step.

@@ -22,6 +22,15 @@ OutOfMemory::OutOfMemory(int64_t requested_, int64_t in_use_, int64_t capacity_)
       in_use(in_use_),
       capacity(capacity_) {}
 
+TransientAllocFailure::TransientAllocFailure(int64_t requested_, int64_t in_use_,
+                                             int64_t capacity_,
+                                             const std::string& site)
+    : OutOfMemory("transient device allocation failure (injected) for " +
+                      std::to_string(requested_) + " B" +
+                      (site.empty() ? std::string() : " in '" + site + "'") +
+                      " — retry is expected to succeed",
+                  requested_, in_use_, capacity_) {}
+
 void* DeviceAllocator::device_malloc(size_t bytes) {
   const int64_t capacity =
       static_cast<int64_t>(device_.profile().memory_gb * 1024.0 * 1024.0 * 1024.0);

@@ -20,6 +20,22 @@ class OutOfMemory : public Error {
   int64_t requested = 0;
   int64_t in_use = 0;
   int64_t capacity = 0;
+
+ protected:
+  /// Subclass hook: same shape, custom message.
+  OutOfMemory(const std::string& what, int64_t requested_, int64_t in_use_,
+              int64_t capacity_)
+      : Error(what), requested(requested_), in_use(in_use_), capacity(capacity_) {}
+};
+
+/// An allocation that failed TRANSIENTLY (injected fault or momentary
+/// pressure), as opposed to a genuine capacity overflow: retrying the same
+/// request later is expected to succeed. Serving retries these with backoff;
+/// training treats them like any other step-loss and rolls back.
+class TransientAllocFailure : public OutOfMemory {
+ public:
+  TransientAllocFailure(int64_t requested, int64_t in_use, int64_t capacity,
+                        const std::string& site);
 };
 
 class DeviceAllocator : public BufferAllocator {

@@ -38,6 +38,21 @@ class GradScaler {
   int64_t overflow_steps() const { return overflow_steps_; }
   int growth_countdown() const { return cfg_.growth_interval - clean_streak_; }
 
+  /// Checkpointable dynamics (DESIGN.md §10): the scale trajectory is state,
+  /// not configuration — a resume that reset the clean streak would grow the
+  /// scale at different steps than the fault-free run and diverge bitwise.
+  struct State {
+    float scale = GradScalerConfig{}.init_scale;
+    int clean_streak = 0;
+    int64_t overflow_steps = 0;
+  };
+  State state() const { return {scale_, clean_streak_, overflow_steps_}; }
+  void restore(const State& s) {
+    scale_ = s.scale;
+    clean_streak_ = s.clean_streak;
+    overflow_steps_ = s.overflow_steps;
+  }
+
  private:
   GradScalerConfig cfg_;
   float scale_ = GradScalerConfig{}.init_scale;

@@ -95,6 +95,16 @@ void TorchTrainer::step_range(kern::KernelContext& kc, size_t byte_lo, size_t by
   }
 }
 
+std::vector<Tensor> TorchTrainer::state_tensors() const {
+  // master_grad_ is per-step scratch (recomputed from live grads) — the
+  // masters and moments are the state a resume must restore bitwise.
+  std::vector<Tensor> out;
+  for (const auto& t : master_) out.push_back(t);
+  for (const auto& t : m_) out.push_back(t);
+  for (const auto& t : v_) out.push_back(t);
+  return out;
+}
+
 // ----------------------------------------------------------------- Apex ----
 
 ApexTrainer::ApexTrainer(layers::ParamRegistry& params, OptimConfig cfg,
@@ -210,6 +220,12 @@ void ApexTrainer::end_step() {
   overflowed_ = false;
 }
 
+std::vector<Tensor> ApexTrainer::state_tensors() const {
+  std::vector<Tensor> out{master_, m_};
+  if (v_.defined()) out.push_back(v_);
+  return out;
+}
+
 // ------------------------------------------------------------ LightSeq2 ----
 
 LightSeq2Trainer::LightSeq2Trainer(layers::ParamRegistry& params, OptimConfig cfg,
@@ -261,6 +277,14 @@ void LightSeq2Trainer::end_step() {
     scaler_.update(overflowed_);
     overflowed_ = false;
   }
+}
+
+std::vector<Tensor> LightSeq2Trainer::state_tensors() const {
+  // No masters: the workspace params ARE the model (snapshotted separately
+  // via the ParamRegistry); only the FP32 moments are trainer-owned.
+  std::vector<Tensor> out{m_};
+  if (v_.defined()) out.push_back(v_);
+  return out;
 }
 
 std::unique_ptr<Optimizer> make_trainer(layers::System system,

@@ -105,8 +105,21 @@ class Optimizer {
 
   /// The dynamic scaler, when cfg.dynamic_loss_scale — nullptr otherwise.
   virtual const GradScaler* scaler() const { return nullptr; }
+  /// Mutable scaler access, for checkpoint restore (DESIGN.md §10) —
+  /// nullptr under the same condition as scaler().
+  virtual GradScaler* mutable_scaler() { return nullptr; }
+
+  /// Trainer-owned state that must survive a failure for a resumed run to be
+  /// bitwise identical: FP32 masters and Adam/SGD moments, in a stable
+  /// per-trainer order (snapshot by index, restore by index). Per-step
+  /// scratch — gradient staging buffers, overflow flags — is deliberately
+  /// excluded: it is rebuilt from live gradients every step.
+  virtual std::vector<Tensor> state_tensors() const = 0;
 
   int64_t steps_taken() const { return steps_; }
+  /// Rewind/advance the step counter on checkpoint restore (Adam bias
+  /// correction must resume from the snapshot's step, not the crash's).
+  void restore_steps(int64_t steps) { steps_ = steps; }
 
  protected:
   layers::ParamRegistry* params_;
@@ -122,6 +135,7 @@ class TorchTrainer final : public Optimizer {
   void step_range(kern::KernelContext& kc, size_t byte_lo, size_t byte_hi) override;
   const char* name() const override { return "torch"; }
   int64_t state_bytes() const override { return state_bytes_; }
+  std::vector<Tensor> state_tensors() const override;
 
  private:
   // Per-tensor FP32 masters/grads (FP16 models only) + moments, indexed by
@@ -146,6 +160,10 @@ class ApexTrainer final : public Optimizer {
   const GradScaler* scaler() const override {
     return cfg_.dynamic_loss_scale ? &scaler_ : nullptr;
   }
+  GradScaler* mutable_scaler() override {
+    return cfg_.dynamic_loss_scale ? &scaler_ : nullptr;
+  }
+  std::vector<Tensor> state_tensors() const override;
 
  private:
   Tensor master_, master_grad_, m_, v_, overflow_flag_;
@@ -177,6 +195,10 @@ class LightSeq2Trainer final : public Optimizer {
   const GradScaler* scaler() const override {
     return cfg_.dynamic_loss_scale ? &scaler_ : nullptr;
   }
+  GradScaler* mutable_scaler() override {
+    return cfg_.dynamic_loss_scale ? &scaler_ : nullptr;
+  }
+  std::vector<Tensor> state_tensors() const override;
 
  private:
   Tensor m_, v_;  // FP32 moments over the flat workspace

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "simgpu/fault.h"
 
 namespace ls2::simgpu {
 
@@ -62,7 +63,9 @@ void Device::launch(const KernelDesc& launch_desc, const std::function<void()>& 
     // unit (charged in begin_replay), so there is no per-launch gap. The
     // execution time is the one BAKED INTO the graph node at capture — a
     // replay runs the captured launch parameters, not freshly-derived ones.
-    const double exec = consume_node(GraphNode::Kind::kKernel, &desc).exec_us;
+    // Faults still apply: replay fixes the launch sequence, not the silicon.
+    double exec = consume_node(GraphNode::Kind::kKernel, &desc).exec_us;
+    if (fault_ != nullptr) exec *= fault_->on_kernel(desc.name);
     stats_.replayed_launches += 1;
     stats_.busy_us += exec;
     ks.time_us += exec;
@@ -71,7 +74,12 @@ void Device::launch(const KernelDesc& launch_desc, const std::function<void()>& 
     if (record_timeline_) timeline_.record_busy(busy_begin, clock_us_);
     attribute(exec);
   } else {
-    const double exec = kernel_time_us(desc);
+    // The spike multiplier is charged live but the CAPTURE records the clean
+    // execution time: a transient stall on the capture step must not get
+    // baked into every future replay.
+    const double base_exec = kernel_time_us(desc);
+    const double exec =
+        fault_ != nullptr ? base_exec * fault_->on_kernel(desc.name) : base_exec;
     stats_.busy_us += exec;
     // Launch gap: the GPU is idle while the host dispatches the kernel.
     const double overhead = profile_.launch_overhead_us;
@@ -87,10 +95,10 @@ void Device::launch(const KernelDesc& launch_desc, const std::function<void()>& 
       GraphNode node;
       node.kind = GraphNode::Kind::kKernel;
       node.desc = desc;
-      node.exec_us = exec;
+      node.exec_us = base_exec;
       capture_.nodes.push_back(std::move(node));
       capture_.kernel_launches += 1;
-      capture_.kernel_exec_us += exec;
+      capture_.kernel_exec_us += base_exec;
     }
   }
 
@@ -127,16 +135,21 @@ double Device::enqueue_comm(double us, const std::string& attribution) {
     // The transfer is a graph node, but its begin/completion times are
     // recomputed below from the live clocks (replay-time parameters).
     const GraphNode& node = consume_node(GraphNode::Kind::kCommEnqueue, nullptr);
-    LS2_CHECK(node.comm_us == us)
-        << "replayed comm transfer duration " << us << " us != captured "
-        << node.comm_us << " us — gradient payload changed under replay";
+    if (node.comm_us != us)
+      throw GraphError("replayed comm transfer duration " + std::to_string(us) +
+                       " us != captured " + std::to_string(node.comm_us) +
+                       " us — gradient payload changed under replay");
   }
+  // A degraded link stretches the transfer ON THE WIRE: the graph node keeps
+  // (and replay validates) the clean payload duration — the link, not the
+  // payload, is what changed — while the clocks charge the stretched time.
+  const double wire_us = fault_ != nullptr ? us * fault_->comm_factor() : us;
   // The transfer starts once its payload exists (now, on the compute clock)
   // and the comm stream is free; transfers serialize among themselves.
   const double begin = std::max(comm_clock_us_, clock_us_);
-  comm_clock_us_ = begin + us;
+  comm_clock_us_ = begin + wire_us;
   stats_.comm_transfers += 1;
-  stats_.comm_us += us;
+  stats_.comm_us += wire_us;
   if (record_timeline_) timeline_.record_comm(begin, comm_clock_us_);
   // Overlapped time is deliberately NOT attributed to the active compute
   // range; only the exposed wait (sync_comm) lands in a range.
@@ -145,6 +158,7 @@ double Device::enqueue_comm(double us, const std::string& attribution) {
 }
 
 double Device::sync_comm(const std::string& attribution) {
+  at_sync_point(attribution);
   if (graph_phase_ == GraphPhase::kCapture) {
     // cudaStreamSynchronize is illegal inside a stream capture.
     poison_capture("full comm-stream sync during capture (" + attribution + ")");
@@ -152,9 +166,9 @@ double Device::sync_comm(const std::string& attribution) {
   // A valid graph can never contain a sync (it would have poisoned its own
   // capture), so a sync inside a replay is a divergence from the captured
   // step — reject it like every other graph-illegal operation.
-  LS2_CHECK(graph_phase_ != GraphPhase::kReplay)
-      << "full comm-stream sync during graph replay (" << attribution
-      << ") — the replayed step diverged from the capture";
+  if (graph_phase_ == GraphPhase::kReplay)
+    throw GraphError("full comm-stream sync during graph replay (" + attribution +
+                     ") — the replayed step diverged from the capture");
   const double exposed = std::max(0.0, comm_clock_us_ - clock_us_);
   if (exposed > 0) {
     // The compute stream stalls while the fabric finishes: idle SMs, busy
@@ -162,10 +176,12 @@ double Device::sync_comm(const std::string& attribution) {
     advance(exposed, /*busy=*/true, attribution);
     stats_.exposed_comm_us += exposed;
   }
+  if (fault_ != nullptr) fault_->note_exposed_wait(exposed, clock_us_);
   return exposed;
 }
 
 double Device::wait_comm_until(double t_us, const std::string& attribution) {
+  at_sync_point(attribution);
   if (graph_phase_ == GraphPhase::kCapture) {
     GraphNode node;
     node.kind = GraphNode::Kind::kCommWait;
@@ -183,7 +199,30 @@ double Device::wait_comm_until(double t_us, const std::string& attribution) {
     advance(exposed, /*busy=*/true, attribution);
     stats_.exposed_comm_us += exposed;
   }
+  if (fault_ != nullptr) fault_->note_exposed_wait(exposed, clock_us_);
   return exposed;
+}
+
+void Device::at_sync_point(const std::string& attribution) {
+  if (fault_ == nullptr) return;
+  fault_->fire_sync_faults();
+  if (const FaultEvent* e = fault_->take_peer_loss()) {
+    // Detection is never free and never early: the collective blocks for its
+    // full timeout before the stack can conclude the peer is gone (NCCL
+    // watchdog semantics), and that stall is charged on the timeline.
+    advance(fault_->collective_timeout_us(), /*busy=*/false, "fault.detect");
+    fault_->note_detection(clock_us_);
+    throw PeerLostError("simgpu: peer rank " + std::to_string(e->rank) +
+                            " lost — collective timed out after " +
+                            std::to_string(fault_->collective_timeout_us()) +
+                            " us at '" + attribution + "'",
+                        e->rank);
+  }
+}
+
+const std::string& Device::current_range() const {
+  static const std::string kNoRange;
+  return range_stack_.empty() ? kNoRange : range_stack_.back();
 }
 
 void Device::charge_alloc(bool cache_hit) {
@@ -192,9 +231,10 @@ void Device::charge_alloc(bool cache_hit) {
     // A replayed graph has its addresses baked in: a cache-hit is pure host
     // bookkeeping (free — the device never sees it), and an actual device
     // malloc means the address set changed under the graph.
-    LS2_CHECK(cache_hit) << "device malloc during graph replay — the captured "
-                            "step is not address-stable; capture is only safe "
-                            "over a pre-reserved arena";
+    if (!cache_hit)
+      throw GraphError(
+          "device malloc during graph replay — the captured step is not "
+          "address-stable; capture is only safe over a pre-reserved arena");
     return;
   }
   if (graph_phase_ == GraphPhase::kCapture && !cache_hit) {
@@ -212,8 +252,9 @@ void Device::charge_alloc(bool cache_hit) {
 void Device::charge_free() {
   stats_.alloc_events += 1;
   if (graph_phase_ == GraphPhase::kReplay) {
-    LS2_CHECK(false) << "device free during graph replay — the captured step "
-                        "is not address-stable";
+    throw GraphError(
+        "device free during graph replay — the captured step is not "
+        "address-stable");
   }
   if (graph_phase_ == GraphPhase::kCapture) {
     poison_capture("allocator stall (device free) during capture");
@@ -253,8 +294,9 @@ void Device::poison_capture(const std::string& reason) {
 void Device::begin_replay(const StepGraph& graph) {
   LS2_CHECK(graph_phase_ == GraphPhase::kNone)
       << "begin_replay while a capture or replay is in progress";
-  LS2_CHECK(graph.valid) << "begin_replay on an invalid (poisoned) graph: "
-                         << graph.poison_reason;
+  if (!graph.valid)
+    throw GraphError("begin_replay on an invalid (poisoned) graph: " +
+                     graph.poison_reason);
   graph_phase_ = GraphPhase::kReplay;
   replay_ = &graph;
   replay_cursor_ = 0;
@@ -269,9 +311,10 @@ void Device::begin_replay(const StepGraph& graph) {
 
 void Device::end_replay() {
   LS2_CHECK(graph_phase_ == GraphPhase::kReplay) << "end_replay without replay";
-  LS2_CHECK(replay_cursor_ == replay_->nodes.size())
-      << "replay consumed " << replay_cursor_ << " of " << replay_->nodes.size()
-      << " graph nodes — the replayed step diverged from the capture";
+  if (replay_cursor_ != replay_->nodes.size())
+    throw GraphError("replay consumed " + std::to_string(replay_cursor_) +
+                     " of " + std::to_string(replay_->nodes.size()) +
+                     " graph nodes — the replayed step diverged from the capture");
   graph_phase_ = GraphPhase::kNone;
   replay_ = nullptr;
   replay_cursor_ = 0;
@@ -286,21 +329,24 @@ void Device::abort_graph() noexcept {
 }
 
 const GraphNode& Device::consume_node(GraphNode::Kind kind, const KernelDesc* desc) {
-  LS2_CHECK(replay_cursor_ < replay_->nodes.size())
-      << "replayed step issued more operations than the captured graph ("
-      << replay_->nodes.size() << " nodes)";
+  if (replay_cursor_ >= replay_->nodes.size())
+    throw GraphError("replayed step issued more operations than the captured graph (" +
+                     std::to_string(replay_->nodes.size()) + " nodes)");
   const GraphNode& node = replay_->nodes[replay_cursor_++];
-  LS2_CHECK(node.kind == kind)
-      << "graph node " << (replay_cursor_ - 1) << " kind mismatch under replay";
+  if (node.kind != kind)
+    throw GraphError("graph node " + std::to_string(replay_cursor_ - 1) +
+                     " kind mismatch under replay");
   if (desc != nullptr) {
-    LS2_CHECK(node.desc.name == desc->name &&
-              node.desc.bytes_read == desc->bytes_read &&
-              node.desc.bytes_written == desc->bytes_written &&
-              node.desc.flops == desc->flops)
-        << "graph node " << (replay_cursor_ - 1) << " ('" << node.desc.name
-        << "') does not match replayed launch '" << desc->name
-        << "' — the step is not static (did the batch shape change?); graph "
-           "capture requires fixed shapes, like real CUDA Graphs";
+    if (!(node.desc.name == desc->name &&
+          node.desc.bytes_read == desc->bytes_read &&
+          node.desc.bytes_written == desc->bytes_written &&
+          node.desc.flops == desc->flops))
+      throw GraphError("graph node " + std::to_string(replay_cursor_ - 1) + " ('" +
+                       node.desc.name + "') does not match replayed launch '" +
+                       desc->name +
+                       "' — the step is not static (did the batch shape "
+                       "change?); graph capture requires fixed shapes, like "
+                       "real CUDA Graphs");
   }
   return node;
 }

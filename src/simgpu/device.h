@@ -19,10 +19,23 @@
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "simgpu/profile.h"
 #include "simgpu/timeline.h"
 
 namespace ls2::simgpu {
+
+class FaultInjector;
+
+/// A graph-discipline violation surfaced at runtime: replay divergence from
+/// the captured step, device malloc/free or full-stream sync under replay,
+/// or replaying a poisoned graph. Typed (rather than a bare ls2::Error) so
+/// the recovery layer and bench mains can catch graph trouble specifically,
+/// fall back to eager execution, and keep going instead of aborting.
+class GraphError : public Error {
+ public:
+  explicit GraphError(const std::string& what) : Error(what) {}
+};
 
 enum class ExecMode {
   kExecute,    ///< run kernel bodies (real math) + cost model
@@ -184,6 +197,25 @@ class Device {
   bool capturing() const { return graph_phase_ == GraphPhase::kCapture; }
   bool replaying() const { return graph_phase_ == GraphPhase::kReplay; }
 
+  // --- Fault injection (src/simgpu/fault.h) ---
+  //
+  // With an injector installed, every launch consults it for latency spikes
+  // and rank-0 device loss, comm transfers are stretched by the straggler
+  // factor, and sync points double as failure-detection points. A null
+  // injector (the default) costs one pointer test per hook — the fault-free
+  // paths are otherwise untouched.
+  void set_fault_injector(FaultInjector* injector) { fault_ = injector; }
+  FaultInjector* fault_injector() const { return fault_; }
+  /// Innermost active ScopedRange name ("" when none) — the site key for
+  /// range-gated fault events (e.g. alloc failure inside "serve.decode").
+  const std::string& current_range() const;
+  /// Collective sync point: fires pending sync-scoped faults and, when a
+  /// peer loss is armed, charges the detection timeout as idle wait
+  /// ("fault.detect") and throws PeerLostError. sync_comm/wait_comm_until
+  /// call this internally; step paths whose DP sync is modeled analytically
+  /// (the 1F1B engine) call it explicitly at their sync boundary.
+  void at_sync_point(const std::string& attribution);
+
   /// Allocator hooks: charge allocation latency and record the watermark.
   void charge_alloc(bool cache_hit);
   void charge_free();
@@ -236,6 +268,7 @@ class Device {
   std::vector<std::string> range_stack_;
   Timeline timeline_;
   bool record_timeline_ = false;
+  FaultInjector* fault_ = nullptr;  ///< not owned; null = fault-free
 };
 
 /// RAII stage marker: time advanced while alive is attributed to `name`

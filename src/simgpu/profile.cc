@@ -21,6 +21,7 @@ DeviceProfile v100() {
   p.cached_alloc_us = 2.0;
   p.nvlink_bus_gb_s = 130.0;
   p.ib_bus_gb_s = 12.0;
+  p.pcie_gb_s = 12.0;  // PCIe gen3 x16 effective
   p.memory_gb = 32.0;
   return p;
 }
@@ -43,6 +44,7 @@ DeviceProfile a100() {
   p.cached_alloc_us = 2.0;
   p.nvlink_bus_gb_s = 300.0;
   p.ib_bus_gb_s = 24.0;
+  p.pcie_gb_s = 24.0;  // PCIe gen4 x16 effective
   p.memory_gb = 40.0;
   return p;
 }

@@ -54,6 +54,10 @@ struct DeviceProfile {
   double ib_bus_gb_s = 12.0;       ///< inter-node bus bandwidth
   double allreduce_latency_us = 30.0;  ///< per-ring-step latency
 
+  /// Host link (PCIe) bandwidth, for the device-to-host drain of an
+  /// asynchronous checkpoint snapshot (DESIGN.md §10).
+  double pcie_gb_s = 12.0;
+
   // Device memory capacity, for OOM modelling (Fig. 10: Fairseq OOMs at
   // batch sizes LightSeq2 still trains).
   double memory_gb = 32.0;
