@@ -1,0 +1,236 @@
+// Replicated serving fleet (DESIGN.md §11): what replication buys and what
+// robustness costs at the router.
+//
+// Three claims, one JSON (bench/fig_fleet.json, validated by ci.sh):
+//
+//  [scale]        Throughput and p99 vs replica count. Each replica is an
+//    independent ContinuousBatcher on its own simulated device; the router
+//    (join-shortest-queue) spreads a Poisson stream across them. Tokens/sec
+//    scales with the fleet; p99 falls as queueing pressure drops.
+//  [hedge]        Tail rescue under a straggler. One of three replicas runs
+//    every kernel 30x slow; join-shortest-queue keeps routing to it (queue
+//    length says nothing about speed) and its requests define the p99.
+//    Hedged dispatch duplicates any request outstanding past a latency
+//    percentile onto a healthy replica and takes the first finisher — p99
+//    drops while the median stays put.
+//  [availability] Serving THROUGH failure and reload: kill one of three
+//    replicas mid-decode (simgpu::FaultInjector device loss) AND roll every
+//    survivor through a drain → snapshot-restore → rejoin cycle
+//    (core::AsyncCheckpointer params snapshot). Every request is either
+//    served or explicitly shed — none lost, availability holds at N-1.
+//
+// CLI knobs (all optional):
+//   --requests N   stream length per section run       (default 48)
+//   --rate R       Poisson arrival rate, requests/sec  (default 4000)
+//   --replicas N   scale-section sweep cap             (default 4)
+//   --seed S       workload seed                       (default 71)
+//   --trace PATH   write a merged Chrome trace of the availability run
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "infer/fleet.h"
+
+namespace {
+
+using namespace ls2;
+using bench::print_header;
+
+// Big enough that decode EXEC dominates launch overhead — a kernel-spike
+// straggler must actually be slow, or there is no tail to measure. Model-only
+// mode makes the size free.
+models::Gpt2Config fleet_model() {
+  models::Gpt2Config cfg;
+  cfg.vocab = 512;
+  cfg.hidden = 256;
+  cfg.heads = 4;
+  cfg.ffn_dim = 1024;
+  cfg.layers = 6;
+  cfg.max_len = 256;
+  return cfg;
+}
+
+infer::FleetConfig base_config(int replicas, infer::DispatchPolicy policy) {
+  infer::FleetConfig fc;
+  fc.replicas = replicas;
+  fc.policy = policy;
+  fc.model = fleet_model();
+  fc.slots = 4;
+  fc.max_len = 144;
+  fc.session.mode = simgpu::ExecMode::kModelOnly;
+  fc.session.dtype = DType::kF16;
+  return fc;
+}
+
+// ---------------------------------------------------------------------------
+// JSON rows (heterogeneous per section; each row is self-describing)
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> g_rows;
+
+void push_row(const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  g_rows.emplace_back(buf);
+}
+
+void write_json() {
+  std::filesystem::create_directories("bench");
+  std::ofstream out("bench/fig_fleet.json");
+  out << "{\n  \"figure\": \"fig_fleet\",\n  \"schema\": 1,\n  \"configs\": [";
+  for (size_t i = 0; i < g_rows.size(); ++i)
+    out << (i == 0 ? "\n    " : ",\n    ") << g_rows[i];
+  out << "\n  ]\n}\n";
+  std::printf("\nwrote %zu configs to bench/fig_fleet.json\n", g_rows.size());
+}
+
+// ---------------------------------------------------------------------------
+// Section 1: throughput / p99 vs replica count
+// ---------------------------------------------------------------------------
+
+void bench_scale(int64_t n, double rate, int max_replicas, uint64_t seed) {
+  print_header("Fleet scaling: JSQ router over N replicas (GPT-2 6L, model-only)");
+  const auto reqs = infer::poisson_requests(n, rate, /*prompt*/ 4, 8, /*gen*/ 8, 20,
+                                            fleet_model().vocab, seed);
+  std::printf("%-9s %12s %10s %10s %10s\n", "replicas", "tokens_s", "p50_ms", "p99_ms",
+              "served");
+  for (int r = 1; r <= max_replicas; r *= 2) {
+    infer::Fleet fleet(base_config(r, infer::DispatchPolicy::kJoinShortestQueue));
+    const infer::FleetReport rep = fleet.run(reqs);
+    std::printf("%-9d %12.0f %10.2f %10.2f %10lld\n", r, rep.tokens_per_sec,
+                rep.p50_latency_us / 1e3, rep.p99_latency_us / 1e3,
+                static_cast<long long>(rep.served));
+    push_row("{\"section\": \"scale\", \"replicas\": %d, \"requests\": %lld, "
+             "\"rate_per_sec\": %.0f, \"tokens_per_sec\": %.1f, "
+             "\"p50_ms\": %.3f, \"p99_ms\": %.3f, \"served\": %lld, \"lost\": %lld}",
+             r, static_cast<long long>(n), rate, rep.tokens_per_sec,
+             rep.p50_latency_us / 1e3, rep.p99_latency_us / 1e3,
+             static_cast<long long>(rep.served), static_cast<long long>(rep.lost));
+  }
+  std::printf("\nEach replica is its own device; the router's queue-length signal\n"
+              "keeps the decode batches full, so tokens/sec tracks the fleet size.\n");
+}
+
+// ---------------------------------------------------------------------------
+// Section 2: hedged dispatch vs JSQ under an injected straggler
+// ---------------------------------------------------------------------------
+
+void bench_hedge(int64_t n, double rate, uint64_t seed) {
+  print_header("Hedged dispatch: tail rescue under a 30x straggler replica");
+  const auto reqs = infer::poisson_requests(n, rate, 4, 8, 8, 20,
+                                            fleet_model().vocab, seed);
+  auto make = [&](infer::DispatchPolicy policy) {
+    infer::FleetConfig fc = base_config(3, policy);
+    // Floor near the healthy median: only genuinely stuck requests hedge.
+    fc.hedge_min_us = 12'000.0;
+    fc.fault_plans.resize(3);
+    fc.fault_plans[0].kernel_spike_window(0, 2000, /*site=*/"", /*factor=*/30.0);
+    return fc;
+  };
+  infer::Fleet jsq(make(infer::DispatchPolicy::kJoinShortestQueue));
+  const infer::FleetReport r_jsq = jsq.run(reqs);
+  infer::Fleet hedged(make(infer::DispatchPolicy::kHedged));
+  const infer::FleetReport r_hedged = hedged.run(reqs);
+
+  std::printf("%-8s %10s %10s %8s %8s %8s\n", "policy", "p50_ms", "p99_ms", "fired",
+              "wins", "served");
+  std::printf("%-8s %10.2f %10.2f %8s %8s %8lld\n", "jsq", r_jsq.p50_latency_us / 1e3,
+              r_jsq.p99_latency_us / 1e3, "-", "-",
+              static_cast<long long>(r_jsq.served));
+  std::printf("%-8s %10.2f %10.2f %8lld %8lld %8lld\n", "hedged",
+              r_hedged.p50_latency_us / 1e3, r_hedged.p99_latency_us / 1e3,
+              static_cast<long long>(r_hedged.hedges_fired),
+              static_cast<long long>(r_hedged.hedge_wins),
+              static_cast<long long>(r_hedged.served));
+  push_row("{\"section\": \"hedge\", \"requests\": %lld, \"rate_per_sec\": %.0f, "
+           "\"jsq_p99_ms\": %.3f, \"hedged_p99_ms\": %.3f, "
+           "\"jsq_p50_ms\": %.3f, \"hedged_p50_ms\": %.3f, "
+           "\"hedges_fired\": %lld, \"hedge_wins\": %lld, \"hedge_cancels\": %lld}",
+           static_cast<long long>(n), rate, r_jsq.p99_latency_us / 1e3,
+           r_hedged.p99_latency_us / 1e3, r_jsq.p50_latency_us / 1e3,
+           r_hedged.p50_latency_us / 1e3,
+           static_cast<long long>(r_hedged.hedges_fired),
+           static_cast<long long>(r_hedged.hedge_wins),
+           static_cast<long long>(r_hedged.hedge_cancels));
+  std::printf("\nJSQ keeps feeding the straggler (queue length says nothing about\n"
+              "speed); the hedge's duplicate lands on a healthy replica and wins.\n");
+}
+
+// ---------------------------------------------------------------------------
+// Section 3: availability through a replica death + rolling reload
+// ---------------------------------------------------------------------------
+
+void bench_availability(int64_t n, double rate, uint64_t seed,
+                        const std::string& trace_path) {
+  print_header("Availability: one replica dies mid-decode, the rest roll-reload");
+  const auto reqs = infer::poisson_requests(n, rate, 4, 8, 8, 20,
+                                            fleet_model().vocab, seed + 1);
+  infer::FleetConfig fc = base_config(3, infer::DispatchPolicy::kJoinShortestQueue);
+  fc.fault_plans.resize(3);
+  // Replica 1 loses its device on its 3rd decode step; a rolling reload of
+  // the survivors starts a third of the way into the arrival stream.
+  fc.fault_plans[1].add(simgpu::FaultPlan::device_loss(/*step=*/2, /*rank=*/0));
+  fc.reload_at_us = reqs[static_cast<size_t>(n / 3)].arrival_us;
+  fc.record_timeline = !trace_path.empty();
+  infer::Fleet fleet(fc);
+  const infer::FleetReport rep = fleet.run(reqs);
+
+  std::printf("%-12s %8s %8s %8s %8s %8s %10s\n", "requests", "served", "shed", "lost",
+              "deaths", "reloads", "redisp");
+  std::printf("%-12lld %8lld %8lld %8lld %8lld %8lld %10lld\n",
+              static_cast<long long>(n), static_cast<long long>(rep.served),
+              static_cast<long long>(rep.shed), static_cast<long long>(rep.lost),
+              static_cast<long long>(rep.deaths), static_cast<long long>(rep.reloads),
+              static_cast<long long>(rep.redispatches));
+  push_row("{\"section\": \"availability\", \"requests\": %lld, \"served\": %lld, "
+           "\"shed\": %lld, \"lost\": %lld, \"deaths\": %lld, \"reloads\": %lld, "
+           "\"redispatches\": %lld, \"p99_ms\": %.3f}",
+           static_cast<long long>(n), static_cast<long long>(rep.served),
+           static_cast<long long>(rep.shed), static_cast<long long>(rep.lost),
+           static_cast<long long>(rep.deaths), static_cast<long long>(rep.reloads),
+           static_cast<long long>(rep.redispatches), rep.p99_latency_us / 1e3);
+  if (!trace_path.empty()) {
+    fleet.write_chrome_trace(trace_path);
+    std::printf("wrote merged fleet trace to %s\n", trace_path.c_str());
+  }
+  std::printf("\nEvacuated requests re-dispatch with their ORIGINAL arrival time, so\n"
+              "the p99 above is honest; served + shed == requests means none lost.\n");
+}
+
+static int bench_body(int argc, char** argv) {
+  int64_t n = 48;
+  double rate = 4000.0;
+  int max_replicas = 4;
+  uint64_t seed = 71;
+  std::string trace_path;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const char* flag = argv[i];
+    const char* val = argv[i + 1];
+    if (std::strcmp(flag, "--requests") == 0) n = std::atoll(val);
+    else if (std::strcmp(flag, "--rate") == 0) rate = std::atof(val);
+    else if (std::strcmp(flag, "--replicas") == 0) max_replicas = std::atoi(val);
+    else if (std::strcmp(flag, "--seed") == 0) seed = static_cast<uint64_t>(std::atoll(val));
+    else if (std::strcmp(flag, "--trace") == 0) trace_path = val;
+  }
+
+  bench_scale(n, rate, max_replicas, seed);
+  bench_hedge(n, rate, seed);
+  bench_availability(n, rate, seed, trace_path);
+  write_json();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return ls2::bench::guarded_main("fig_fleet", [&] { return bench_body(argc, argv); });
+}

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification, parameterized for the CI matrix (.github/workflows/ci.yml):
 #
-#   ./ci.sh [--preset release|sanitize|tsan] [--smoke full|tp|pp|fault]
+#   ./ci.sh [--preset release|sanitize|tsan] [--smoke full|tp|pp|fault|fleet]
 #
 #   --preset release   Release build with -Werror (default). Runs the full
 #                      test suite, smoke-runs every fig* bench, and
@@ -27,6 +27,10 @@
 #                      binary (checkpoint/rollback/elastic/degraded-serving
 #                      claims), and (release only) fig_fault with its
 #                      schema check.
+#   --smoke fleet      Serving-fleet smoke lane: the fleet test binary
+#                      (router policies, hedged retries, token-exact
+#                      re-dispatch, rolling reload), and (release only)
+#                      fig_fleet with its schema check.
 #
 # Fails on the first error; a bench that exits nonzero OR writes no/invalid
 # JSON fails the run (ci/check_bench_json.py — python3 is required for the
@@ -39,7 +43,7 @@ SMOKE=full
 while [ $# -gt 0 ]; do
   case "$1" in
     --preset) PRESET="${2:?ci.sh: --preset needs a value (release|sanitize|tsan)}"; shift 2 ;;
-    --smoke) SMOKE="${2:?ci.sh: --smoke needs a value (full|tp|pp|fault)}"; shift 2 ;;
+    --smoke) SMOKE="${2:?ci.sh: --smoke needs a value (full|tp|pp|fault|fleet)}"; shift 2 ;;
     *) echo "ci.sh: unknown argument '$1'" >&2; exit 2 ;;
   esac
 done
@@ -65,7 +69,7 @@ case "$PRESET" in
     ;;
   *) echo "ci.sh: unknown preset '$PRESET'" >&2; exit 2 ;;
 esac
-case "$SMOKE" in full|tp|pp|fault) ;; *) echo "ci.sh: unknown smoke '$SMOKE'" >&2; exit 2 ;; esac
+case "$SMOKE" in full|tp|pp|fault|fleet) ;; *) echo "ci.sh: unknown smoke '$SMOKE'" >&2; exit 2 ;; esac
 
 echo "ci.sh: preset=$PRESET smoke=$SMOKE -> $BUILD_DIR"
 cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
@@ -85,6 +89,8 @@ elif [ "$SMOKE" = pp ]; then
   ctest --output-on-failure --timeout 300 --no-tests=error -R pipeline_parallel_test
 elif [ "$SMOKE" = fault ]; then
   ctest --output-on-failure --timeout 300 --no-tests=error -R fault_tolerance_test
+elif [ "$SMOKE" = fleet ]; then
+  ctest --output-on-failure --timeout 300 --no-tests=error -R fleet_test
 else
   ctest --output-on-failure --timeout 300 --no-tests=error -j "$(nproc)"
 fi
@@ -113,6 +119,10 @@ elif [ "$SMOKE" = fault ]; then
   echo "ci.sh: smoke-running ./fig_fault"
   ./fig_fault >/dev/null
   python3 ../ci/check_bench_json.py fig_fault
+elif [ "$SMOKE" = fleet ]; then
+  echo "ci.sh: smoke-running ./fig_fleet"
+  ./fig_fleet >/dev/null
+  python3 ../ci/check_bench_json.py fig_fleet
 else
   # Smoke-run EVERY paper-figure bench (all run in kModelOnly, so this is
   # cheap) so bench binaries can't bit-rot silently, then schema-check the
@@ -123,7 +133,7 @@ else
     echo "ci.sh: smoke-running $bench"
     "$bench" >/dev/null
   done
-  python3 ../ci/check_bench_json.py fig22 fig_launch_graph fig_serve fig_tp fig_3d fig_fault
+  python3 ../ci/check_bench_json.py fig22 fig_launch_graph fig_serve fig_tp fig_3d fig_fault fig_fleet
 fi
 
 echo "ci.sh: all checks passed"

@@ -226,6 +226,58 @@ def check_fig_fault():
             fail(f"fig_fault: served + shed must cover every request: {r}")
 
 
+def check_fig_fleet():
+    _, rows = load("fig_fleet")
+    by_section = {}
+    for r in rows:
+        by_section.setdefault(r.get("section"), []).append(r)
+    for section in ("scale", "hedge", "availability"):
+        if section not in by_section:
+            fail(f"fig_fleet: missing the '{section}' section")
+
+    # Replica scaling: more replicas must mean more tokens/sec, and nothing
+    # may be lost at any fleet size.
+    scale = sorted(by_section["scale"], key=lambda r: r["replicas"])
+    for r in scale:
+        require(r, ("replicas", "requests", "rate_per_sec", "tokens_per_sec",
+                    "p50_ms", "p99_ms", "served", "lost"), "fig_fleet.scale")
+        if r["lost"] != 0:
+            fail(f"fig_fleet: scale run lost requests: {r}")
+        if r["served"] != r["requests"]:
+            fail(f"fig_fleet: fault-free scale run shed requests: {r}")
+    if len(scale) < 2:
+        fail("fig_fleet: scale sweep needs at least two replica counts")
+    for prev, cur in zip(scale, scale[1:]):
+        if not cur["tokens_per_sec"] > prev["tokens_per_sec"]:
+            fail("fig_fleet: tokens/sec must grow with the fleet "
+                 f"({prev['replicas']} -> {cur['replicas']} replicas)")
+
+    # Hedged dispatch: the duplicates must fire, win, and cut the tail
+    # without inflating the median.
+    for r in by_section["hedge"]:
+        require(r, ("requests", "rate_per_sec", "jsq_p99_ms", "hedged_p99_ms",
+                    "jsq_p50_ms", "hedged_p50_ms", "hedges_fired", "hedge_wins",
+                    "hedge_cancels"), "fig_fleet.hedge")
+        if r["hedges_fired"] <= 0 or r["hedge_wins"] <= 0:
+            fail(f"fig_fleet: the straggler never tripped a winning hedge: {r}")
+        if not r["hedged_p99_ms"] < r["jsq_p99_ms"]:
+            fail(f"fig_fleet: hedging did not cut p99 under the straggler: {r}")
+        if r["hedged_p50_ms"] > r["jsq_p50_ms"] * 1.05:
+            fail(f"fig_fleet: hedging bought the tail with the median: {r}")
+
+    # Availability: a death plus a rolling reload, with zero lost requests.
+    for r in by_section["availability"]:
+        require(r, ("requests", "served", "shed", "lost", "deaths", "reloads",
+                    "redispatches", "p99_ms"), "fig_fleet.availability")
+        if r["lost"] != 0:
+            fail(f"fig_fleet: availability run lost requests: {r}")
+        if r["served"] + r["shed"] != r["requests"]:
+            fail(f"fig_fleet: served + shed must cover every request: {r}")
+        if r["deaths"] < 1 or r["reloads"] < 1:
+            fail(f"fig_fleet: the availability run must survive a death AND "
+                 f"a rolling reload: {r}")
+
+
 CHECKS = {
     "fig22": check_fig22,
     "fig_launch_graph": check_fig_launch_graph,
@@ -233,6 +285,7 @@ CHECKS = {
     "fig_tp": check_fig_tp,
     "fig_3d": check_fig_3d,
     "fig_fault": check_fig_fault,
+    "fig_fleet": check_fig_fleet,
 }
 
 

@@ -116,6 +116,68 @@ void AsyncCheckpointer::on_failure(double fail_clock_us) {
   ring_ = std::move(survivors);
 }
 
+CheckpointSnapshot AsyncCheckpointer::snapshot_params(
+    Session& session, const layers::ParamRegistry& params) {
+  simgpu::Device& dev = session.device();
+  simgpu::ScopedRange range(dev, "checkpoint");
+
+  CheckpointSnapshot snap;
+  snap.step = session.step_index();
+
+  int64_t total_bytes = 0;
+  params.for_each([&](const std::string&, Tensor value, Tensor) {
+    total_bytes += tensor_bytes(value);
+  });
+
+  simgpu::KernelDesc desc;
+  desc.name = "ls2.checkpoint_stage";
+  desc.bytes_read = total_bytes;
+  desc.bytes_written = total_bytes;
+  desc.mem_efficiency = 0.85;
+  snap.params.reserve(static_cast<size_t>(params.size()));
+  dev.launch(desc, [&] {
+    params.for_each([&](const std::string&, Tensor value, Tensor) {
+      snap.params.emplace_back();
+      stage_tensor(value, snap.params.back());
+    });
+  });
+  if (session.config().mode == simgpu::ExecMode::kModelOnly) {
+    // Parameters back real memory in every mode; stage host-side when the
+    // launch body was skipped so the blobs round-trip bitwise regardless.
+    snap.params.clear();
+    params.for_each([&](const std::string&, Tensor value, Tensor) {
+      snap.params.emplace_back();
+      stage_tensor(value, snap.params.back());
+    });
+  }
+
+  const double d2h_us = static_cast<double>(total_bytes) /
+                        (dev.profile().pcie_gb_s * 1e3);
+  snap.ready_us = dev.enqueue_comm(d2h_us, "checkpoint.d2h");
+  return snap;
+}
+
+void AsyncCheckpointer::restore_params(const CheckpointSnapshot& snap,
+                                       Session& session,
+                                       const layers::ParamRegistry& params) {
+  LS2_CHECK(snap.valid()) << "restore from an invalid snapshot";
+  simgpu::Device& dev = session.device();
+
+  int64_t total_bytes = 0;
+  size_t i = 0;
+  params.for_each([&](const std::string&, Tensor value, Tensor) {
+    LS2_CHECK(i < snap.params.size())
+        << "snapshot has fewer parameter blobs than the live registry";
+    unstage_tensor(snap.params[i++], value);
+    total_bytes += tensor_bytes(value);
+  });
+
+  // The reload is never free: charge the host-to-device upload as idle.
+  const double h2d_us = static_cast<double>(total_bytes) /
+                        (dev.profile().pcie_gb_s * 1e3);
+  dev.advance(h2d_us, /*busy=*/false, "fleet.reload");
+}
+
 void AsyncCheckpointer::restore(const CheckpointSnapshot& snap, Session& session,
                                 const layers::ParamRegistry& params,
                                 optim::Optimizer& trainer) {

@@ -77,6 +77,26 @@ class AsyncCheckpointer {
   static void restore(const CheckpointSnapshot& snap, Session& session,
                       const layers::ParamRegistry& params, optim::Optimizer& trainer);
 
+  // --- serving-side (params-only) snapshots -------------------------------
+  //
+  // A serving replica has no trainer: its recovery-critical state is the
+  // parameter bytes alone (KV contents are per-request and regenerable from
+  // the counter-RNG + prompt prefix). These are what the fleet's rolling
+  // reload drains from / restores into (src/infer/fleet.cc).
+
+  /// Snapshot just the parameter registry: same two-phase cost model as
+  /// snapshot() — D2D stage on the compute stream, host drain on the comm
+  /// stream (ready_us gates usability exactly like the trainer-side path).
+  static CheckpointSnapshot snapshot_params(Session& session,
+                                           const layers::ParamRegistry& params);
+
+  /// Restore parameter bytes into a LIVE replica (no trainer, no session
+  /// rewind): bitwise unstage + the honest host-to-device upload charge
+  /// ("fleet.reload"). The replica must be drained of residents first —
+  /// in-flight sequences would straddle two model versions.
+  static void restore_params(const CheckpointSnapshot& snap, Session& session,
+                             const layers::ParamRegistry& params);
+
   int64_t snapshots_taken() const { return snapshots_taken_; }
   int64_t snapshot_bytes() const { return snapshot_bytes_; }
 

@@ -26,6 +26,7 @@
 #include "dist/process_group.h"    // IWYU pragma: export
 #include "dist/tensor_parallel.h"  // IWYU pragma: export
 #include "infer/batcher.h"      // IWYU pragma: export
+#include "infer/fleet.h"        // IWYU pragma: export
 #include "infer/generator.h"    // IWYU pragma: export
 #include "infer/kv_cache.h"     // IWYU pragma: export
 #include "memory/measuring_allocator.h"  // IWYU pragma: export

@@ -45,6 +45,14 @@ struct SessionConfig {
   /// Collective timeout for failure detection, threaded into the
   /// FaultInjector by the fault-tolerant harness (README knob).
   double collective_timeout_us = 5000.0;
+  /// Wall-clock heartbeat detector cadence (dist::HeartbeatMonitor): how
+  /// often the watcher thread scans for silent ranks. Consumers build the
+  /// monitor via dist::HeartbeatConfig::from_millis(ranks, interval, timeout).
+  double heartbeat_interval_ms = 2.0;
+  /// A rank whose last beat is older than this is SUSPECTED. Keep it a
+  /// multiple of the slowest healthy beat cadence — a slow-but-alive rank
+  /// must never be evicted (tests/fleet_test.cc holds this).
+  double heartbeat_timeout_ms = 20.0;
 };
 
 /// What core::train_step should do with the device graph on this step.

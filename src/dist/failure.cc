@@ -1,8 +1,25 @@
 #include "dist/failure.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace ls2::dist {
+
+HeartbeatConfig HeartbeatConfig::from_millis(int ranks, double interval_ms,
+                                             double timeout_ms) {
+  LS2_CHECK(interval_ms > 0 && timeout_ms > 0)
+      << "heartbeat interval/timeout must be positive";
+  LS2_CHECK(timeout_ms >= interval_ms)
+      << "a timeout shorter than the scan interval suspects every rank";
+  HeartbeatConfig hc;
+  hc.ranks = ranks;
+  hc.interval = std::chrono::milliseconds(
+      std::max<int64_t>(1, static_cast<int64_t>(interval_ms)));
+  hc.timeout = std::chrono::milliseconds(
+      std::max<int64_t>(1, static_cast<int64_t>(timeout_ms)));
+  return hc;
+}
 
 HeartbeatMonitor::HeartbeatMonitor(HeartbeatConfig cfg) : cfg_(cfg) {
   LS2_CHECK(cfg_.ranks >= 1) << "heartbeat monitor needs at least one rank";

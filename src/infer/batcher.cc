@@ -40,6 +40,37 @@ int32_t ContinuousBatcher::harvest_token(const Tensor& sampled, int64_t row, int
   return synth_token(slot, generated, model_->config().vocab);
 }
 
+void ContinuousBatcher::begin() {
+  const int64_t S = cache_->config().slots;
+  reqs_.clear();
+  pending_.clear();
+  stats_.clear();
+  completed_new_.clear();
+  slots_.assign(static_cast<size_t>(S), SlotState{});
+  report_ = ServeReport{};
+  done_ = 0;
+  draining_ = false;
+  cache_->reset();
+  // Host-written metadata tensors stay heap-backed (real even in model-only
+  // sessions); the decode step's shapes never change, so allocate them once.
+  ids_ = Tensor::zeros({S, 1}, DType::kI32);
+  sampled_ = Tensor::zeros({S}, DType::kI32);
+  start_us_ = session_->device().clock_us();
+  begun_ = true;
+}
+
+void ContinuousBatcher::submit(Request r) {
+  LS2_CHECK(begun_) << "submit() before begin()";
+  const size_t idx = reqs_.size();
+  reqs_.push_back(std::move(r));
+  RequestStats st;
+  st.id = reqs_[idx].id;
+  st.arrival_us = reqs_[idx].arrival_us;
+  st.prompt_len = static_cast<int64_t>(reqs_[idx].prompt.size());
+  stats_.push_back(std::move(st));
+  pending_.push_back(idx);
+}
+
 void ContinuousBatcher::admit(size_t r, int64_t slot) {
   auto& ctx = session_->ctx();
   auto& dev = session_->device();
@@ -70,8 +101,8 @@ void ContinuousBatcher::admit(size_t r, int64_t slot) {
     const int32_t tok = harvest_token(first_tok, 0, slot, 0);
     st.tokens.push_back(tok);
     st.first_token_us = dev.clock_us();
-    ++report_->prefills;
-    ++report_->generated_tokens;
+    ++report_.prefills;
+    ++report_.generated_tokens;
     slots_[static_cast<size_t>(slot)] = SlotState{static_cast<int64_t>(r), 1, tok};
   }
   const bool finished = reqs_[r].gen_len <= 1 ||
@@ -83,6 +114,7 @@ void ContinuousBatcher::admit(size_t r, int64_t slot) {
     st.generated = 1;
     cache_->release_slot(slot);
     slots_[static_cast<size_t>(slot)] = SlotState{};
+    completed_new_.push_back(r);
     ++done_;
   }
 }
@@ -94,201 +126,282 @@ void ContinuousBatcher::shed(size_t r, double now) {
   st.prompt_len = static_cast<int64_t>(reqs_[r].prompt.size());
   st.shed = true;
   st.done_us = now;
-  ++report_->shed_requests;
+  session_->device().mark("serve.shed");
+  ++report_.shed_requests;
+  completed_new_.push_back(r);
   ++done_;
 }
 
-void ContinuousBatcher::run_admissions(size_t& next_req) {
+void ContinuousBatcher::run_admissions() {
   const double now = session_->device().clock_us();
-  size_t arrived_end = next_req;
-  while (arrived_end < reqs_.size() && reqs_[arrived_end].arrival_us <= now) ++arrived_end;
 
-  // Oldest first: shed the timed-out, admit the rest into free slots.
-  while (next_req < arrived_end) {
-    if (stats_[next_req].shed) {
-      ++next_req;
+  // Oldest first: shed the timed-out, admit the rest into free slots. Once
+  // the batch is full the remaining waiters keep their place untouched.
+  std::vector<size_t> still;
+  still.reserve(pending_.size());
+  bool full = false;
+  for (size_t r : pending_) {
+    if (stats_[r].shed || stats_[r].cancelled) continue;  // already resolved
+    if (full) {
+      still.push_back(r);
       continue;
     }
     if (cfg_.admission_timeout_us > 0 &&
-        now - reqs_[next_req].arrival_us > cfg_.admission_timeout_us) {
-      shed(next_req++, now);
+        now - reqs_[r].enqueue() > cfg_.admission_timeout_us) {
+      shed(r, now);
       continue;
     }
     const int64_t slot = cache_->acquire_slot();
-    if (slot < 0) break;  // batch full — the rest queue (or shed below)
-    admit(next_req++, slot);
+    if (slot < 0) {  // batch full — the rest queue (or shed below)
+      full = true;
+      still.push_back(r);
+      continue;
+    }
+    admit(r, slot);
   }
+  pending_ = std::move(still);
 
   // Backpressure: bound the waiting line by rejecting the NEWEST arrivals —
   // the oldest waiters keep their place, so admitted-queue time stays
   // bounded instead of growing with the burst.
   if (cfg_.max_queue > 0) {
-    int64_t waiting = 0;
-    for (size_t i = next_req; i < arrived_end; ++i)
-      if (!stats_[i].shed) ++waiting;
-    for (size_t i = arrived_end; waiting > cfg_.max_queue && i > next_req;) {
-      --i;
-      if (!stats_[i].shed) {
-        shed(i, now);
-        --waiting;
-      }
+    while (static_cast<int64_t>(pending_.size()) > cfg_.max_queue) {
+      shed(pending_.back(), now);
+      pending_.pop_back();
     }
   }
 }
 
-ServeReport ContinuousBatcher::serve(std::vector<Request> requests) {
-  std::sort(requests.begin(), requests.end(),
-            [](const Request& a, const Request& b) { return a.arrival_us < b.arrival_us; });
+void ContinuousBatcher::decode_once() {
   auto& dev = session_->device();
   auto& ctx = session_->ctx();
   const int64_t S = cache_->config().slots;
   const bool execute = dev.mode() == simgpu::ExecMode::kExecute;
 
-  ServeReport report;
-  reqs_ = std::move(requests);
-  slots_.assign(static_cast<size_t>(S), SlotState{});
-  stats_.assign(reqs_.size(), RequestStats{});
-  report_ = &report;
-  done_ = 0;
-  cache_->reset();
-
-  Tensor ids = Tensor::zeros({S, 1}, DType::kI32);       // decode-step inputs
-  Tensor sampled = Tensor::zeros({S}, DType::kI32);      // decode-step outputs
-  size_t next_req = 0;
-  const double start_us = dev.clock_us();
-
-  while (done_ < static_cast<int64_t>(reqs_.size())) {
-    // --- admissions (eager; never part of the captured region) ---
-    const bool may_admit =
-        cfg_.mode == BatchMode::kContinuous || cache_->active_slots() == 0;
-    if (may_admit) run_admissions(next_req);
-    if (cache_->active_slots() == 0) {
-      if (done_ >= static_cast<int64_t>(reqs_.size())) break;
-      LS2_CHECK(next_req < reqs_.size());
-      // Nothing resident: idle until the next arrival.
-      const double wait = reqs_[next_req].arrival_us - dev.clock_us();
-      if (wait > 0) dev.advance(wait, /*busy=*/false, "serve.idle");
-      continue;
-    }
-
-    // --- one static-shape decode step over every slot ---
-    {
-      int32_t* ip = ids.data<int32_t>();
-      for (int64_t s = 0; s < S; ++s) {
-        ip[s] = slots_[static_cast<size_t>(s)].req >= 0
-                    ? slots_[static_cast<size_t>(s)].next_token
-                    : model_->config().pad_id;
-      }
-      // A transient allocation failure (injected or real) aborts the
-      // attempt — the graph guard abandons any open capture/replay, the
-      // arena rewinds via end_step — and the step reruns after a doubling
-      // idle backoff. KvCache state is untouched until commit_decode, so a
-      // rerun is exact. The retry budget bounds how long a request can be
-      // stalled by a flapping fault before the error surfaces.
-      int attempts = 0;
-      for (;;) {
-        try {
-          cache_->begin_decode();
-          const core::GraphAction act = session_->begin_decode_step();
-          struct GraphGuard {
-            simgpu::Device& dev;
-            bool active = false;
-            ~GraphGuard() {
-              if (active) dev.abort_graph();
-            }
-          } guard{dev};
-          if (act == core::GraphAction::kCapture) {
-            dev.begin_capture();
-            guard.active = true;
-          } else if (act == core::GraphAction::kReplay) {
-            dev.begin_replay(*session_->step_graph());
-            guard.active = true;
-          }
-          {
-            simgpu::ScopedRange range(dev, "serve.decode");
-            Tensor logits = model_->decode_step(ctx, ids, *cache_);  // [S, V]
-            gen_.next_tokens(ctx.kern, ctx.policy.softmax, logits, sampled);
-          }
-          if (act == core::GraphAction::kCapture) {
-            session_->store_graph(dev.end_capture());
-            guard.active = false;
-          } else if (act == core::GraphAction::kReplay) {
-            dev.end_replay();
-            guard.active = false;
-            ++report.replayed_steps;
-          }
-          break;
-        } catch (const mem::TransientAllocFailure&) {
-          if (++attempts > cfg_.decode_retries) throw;
-          ++report.decode_retries;
-          session_->end_step();  // rewind the aborted attempt's arena state
-          const double backoff =
-              cfg_.retry_backoff_us * static_cast<double>(1 << (attempts - 1));
-          if (backoff > 0) dev.advance(backoff, /*busy=*/false, "serve.retry_backoff");
-        }
-      }
-      cache_->commit_decode();
-      ++report.decode_steps;
-
-      // --- harvest and retire ---
-      for (int64_t s = 0; s < S; ++s) {
-        SlotState& ss = slots_[static_cast<size_t>(s)];
-        if (ss.req < 0) continue;
-        const int32_t tok = harvest_token(sampled, s, s, ss.generated);
-        stats_[static_cast<size_t>(ss.req)].tokens.push_back(tok);
-        ++ss.generated;
-        ++report.generated_tokens;
-        // Retire at the request's cap, at EOS, or when the slot's K/V block
-        // is full — capacity caps generation rather than crashing the step.
-        const bool natural =
-            ss.generated >= reqs_[static_cast<size_t>(ss.req)].gen_len ||
-            (execute && cfg_.eos_id >= 0 && tok == cfg_.eos_id) ||
-            cache_->len(s) >= cache_->config().max_len;
-        // Deadline degradation: past the SLO, ship the partial answer now.
-        const bool expired =
-            !natural && cfg_.deadline_us > 0 &&
-            dev.clock_us() - reqs_[static_cast<size_t>(ss.req)].arrival_us >=
-                cfg_.deadline_us;
-        const bool finished = natural || expired;
-        if (finished) {
-          RequestStats& st = stats_[static_cast<size_t>(ss.req)];
-          st.done_us = dev.clock_us();
-          st.generated = ss.generated;
-          if (expired) {
-            st.deadline_retired = true;
-            ++report.deadline_retired;
-          }
-          cache_->release_slot(s);
-          ss = SlotState{};
-          ++done_;
-        } else {
-          ss.next_token = tok;
-        }
-      }
-    }
-    session_->end_step();  // arena rewind + per-step RNG advance
+  int32_t* ip = ids_.data<int32_t>();
+  for (int64_t s = 0; s < S; ++s) {
+    ip[s] = slots_[static_cast<size_t>(s)].req >= 0
+                ? slots_[static_cast<size_t>(s)].next_token
+                : model_->config().pad_id;
   }
+  // A transient allocation failure (injected or real) aborts the
+  // attempt — the graph guard abandons any open capture/replay, the
+  // arena rewinds via end_step — and the step reruns after a doubling
+  // idle backoff. KvCache state is untouched until commit_decode, so a
+  // rerun is exact. The retry budget bounds how long a request can be
+  // stalled by a flapping fault before the error surfaces.
+  int attempts = 0;
+  for (;;) {
+    try {
+      cache_->begin_decode();
+      const core::GraphAction act = session_->begin_decode_step();
+      struct GraphGuard {
+        simgpu::Device& dev;
+        bool active = false;
+        ~GraphGuard() {
+          if (active) dev.abort_graph();
+        }
+      } guard{dev};
+      if (act == core::GraphAction::kCapture) {
+        dev.begin_capture();
+        guard.active = true;
+      } else if (act == core::GraphAction::kReplay) {
+        dev.begin_replay(*session_->step_graph());
+        guard.active = true;
+      }
+      {
+        simgpu::ScopedRange range(dev, "serve.decode");
+        Tensor logits = model_->decode_step(ctx, ids_, *cache_);  // [S, V]
+        gen_.next_tokens(ctx.kern, ctx.policy.softmax, logits, sampled_);
+      }
+      if (act == core::GraphAction::kCapture) {
+        session_->store_graph(dev.end_capture());
+        guard.active = false;
+      } else if (act == core::GraphAction::kReplay) {
+        dev.end_replay();
+        guard.active = false;
+        ++report_.replayed_steps;
+      }
+      break;
+    } catch (const mem::TransientAllocFailure&) {
+      if (++attempts > cfg_.decode_retries) throw;
+      ++report_.decode_retries;
+      dev.mark("serve.decode_retry");
+      session_->end_step();  // rewind the aborted attempt's arena state
+      const double backoff =
+          cfg_.retry_backoff_us * static_cast<double>(1 << (attempts - 1));
+      if (backoff > 0) dev.advance(backoff, /*busy=*/false, "serve.retry_backoff");
+    }
+  }
+  cache_->commit_decode();
+  ++report_.decode_steps;
 
-  report.makespan_us = dev.clock_us() - start_us;
-  report.tokens_per_sec = report.makespan_us > 0
-                              ? static_cast<double>(report.generated_tokens) /
-                                    (report.makespan_us * 1e-6)
-                              : 0;
+  // --- harvest and retire ---
+  for (int64_t s = 0; s < S; ++s) {
+    SlotState& ss = slots_[static_cast<size_t>(s)];
+    if (ss.req < 0) continue;
+    const int32_t tok = harvest_token(sampled_, s, s, ss.generated);
+    stats_[static_cast<size_t>(ss.req)].tokens.push_back(tok);
+    ++ss.generated;
+    ++report_.generated_tokens;
+    // Retire at the request's cap, at EOS, or when the slot's K/V block
+    // is full — capacity caps generation rather than crashing the step.
+    const bool natural =
+        ss.generated >= reqs_[static_cast<size_t>(ss.req)].gen_len ||
+        (execute && cfg_.eos_id >= 0 && tok == cfg_.eos_id) ||
+        cache_->len(s) >= cache_->config().max_len;
+    // Deadline degradation: past the SLO, ship the partial answer now. The
+    // deadline runs from the ORIGINAL arrival — a re-dispatched request
+    // does not get a fresh SLO budget.
+    const bool expired =
+        !natural && cfg_.deadline_us > 0 &&
+        dev.clock_us() - reqs_[static_cast<size_t>(ss.req)].arrival_us >=
+            cfg_.deadline_us;
+    const bool finished = natural || expired;
+    if (finished) {
+      RequestStats& st = stats_[static_cast<size_t>(ss.req)];
+      st.done_us = dev.clock_us();
+      st.generated = ss.generated;
+      if (expired) {
+        st.deadline_retired = true;
+        ++report_.deadline_retired;
+      }
+      cache_->release_slot(s);
+      completed_new_.push_back(static_cast<size_t>(ss.req));
+      ss = SlotState{};
+      ++done_;
+    } else {
+      ss.next_token = tok;
+    }
+  }
+  session_->end_step();  // arena rewind + per-step RNG advance
+}
+
+bool ContinuousBatcher::step() {
+  LS2_CHECK(begun_) << "step() before begin()";
+  // Admissions are eager (never part of the captured region); a draining
+  // replica admits nothing — its queue was evacuated, residents finish.
+  const bool may_admit =
+      !draining_ &&
+      (cfg_.mode == BatchMode::kContinuous || cache_->active_slots() == 0);
+  if (may_admit) run_admissions();
+  if (cache_->active_slots() == 0) return false;
+  decode_once();
+  return true;
+}
+
+std::vector<ContinuousBatcher::Evacuated> ContinuousBatcher::evacuate(bool queued_only) {
+  std::vector<Evacuated> out;
+  for (size_t r : pending_) {
+    if (stats_[r].shed || stats_[r].cancelled) continue;
+    stats_[r].cancelled = true;
+    ++done_;
+    out.push_back({reqs_[r], stats_[r]});
+  }
+  pending_.clear();
+  if (!queued_only) {
+    const int64_t S = cache_->config().slots;
+    for (int64_t s = 0; s < S; ++s) {
+      SlotState& ss = slots_[static_cast<size_t>(s)];
+      if (ss.req < 0) continue;
+      const size_t r = static_cast<size_t>(ss.req);
+      stats_[r].cancelled = true;
+      stats_[r].generated = ss.generated;
+      ++done_;
+      out.push_back({reqs_[r], stats_[r]});
+      cache_->release_slot(s);
+      ss = SlotState{};
+    }
+  }
+  return out;
+}
+
+bool ContinuousBatcher::cancel(int64_t id) {
+  const int64_t S = cache_->config().slots;
+  for (int64_t s = 0; s < S; ++s) {
+    SlotState& ss = slots_[static_cast<size_t>(s)];
+    if (ss.req < 0 || reqs_[static_cast<size_t>(ss.req)].id != id) continue;
+    RequestStats& st = stats_[static_cast<size_t>(ss.req)];
+    st.cancelled = true;
+    st.generated = ss.generated;
+    cache_->release_slot(s);
+    ss = SlotState{};
+    ++done_;
+    return true;
+  }
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (reqs_[*it].id != id) continue;
+    stats_[*it].cancelled = true;
+    ++done_;
+    pending_.erase(it);
+    return true;
+  }
+  return false;  // already completed (or never submitted): too late
+}
+
+std::vector<RequestStats> ContinuousBatcher::take_completed() {
+  std::vector<RequestStats> out;
+  out.reserve(completed_new_.size());
+  for (size_t r : completed_new_) out.push_back(stats_[r]);
+  completed_new_.clear();
+  return out;
+}
+
+ServeReport ContinuousBatcher::finish() {
+  auto& dev = session_->device();
+  report_.makespan_us = dev.clock_us() - start_us_;
+  report_.tokens_per_sec = report_.makespan_us > 0
+                               ? static_cast<double>(report_.generated_tokens) /
+                                     (report_.makespan_us * 1e-6)
+                               : 0;
   std::vector<double> lat;
   lat.reserve(stats_.size());
   double sum = 0;
   for (const RequestStats& st : stats_) {
-    if (st.shed) continue;  // got an error, not a latency
+    if (st.shed || st.cancelled) continue;  // an error / a hand-over, not a latency
     lat.push_back(st.latency_us());
     sum += st.latency_us();
   }
-  report.served = static_cast<int64_t>(lat.size());
-  report.p50_latency_us = percentile(lat, 0.50);
-  report.p99_latency_us = percentile(lat, 0.99);
-  report.mean_latency_us = lat.empty() ? 0 : sum / static_cast<double>(lat.size());
-  report.requests = std::move(stats_);
-  report_ = nullptr;
-  return report;
+  report_.served = static_cast<int64_t>(lat.size());
+  report_.p50_latency_us = percentile(lat, 0.50);
+  report_.p99_latency_us = percentile(lat, 0.99);
+  report_.mean_latency_us = lat.empty() ? 0 : sum / static_cast<double>(lat.size());
+  report_.requests = std::move(stats_);
+  stats_.clear();
+  begun_ = false;
+  return std::move(report_);
+}
+
+ServeReport ContinuousBatcher::serve(std::vector<Request> requests) {
+  std::sort(requests.begin(), requests.end(),
+            [](const Request& a, const Request& b) { return a.enqueue() < b.enqueue(); });
+  auto& dev = session_->device();
+  begin();
+  reqs_ = std::move(requests);
+  stats_.assign(reqs_.size(), RequestStats{});
+  for (size_t i = 0; i < reqs_.size(); ++i) {
+    stats_[i].id = reqs_[i].id;
+    stats_[i].arrival_us = reqs_[i].arrival_us;
+    stats_[i].prompt_len = static_cast<int64_t>(reqs_[i].prompt.size());
+  }
+
+  size_t next_feed = 0;
+  while (done_ < static_cast<int64_t>(reqs_.size())) {
+    // Feed the queue with everything that has arrived by now.
+    const double now = dev.clock_us();
+    while (next_feed < reqs_.size() && reqs_[next_feed].enqueue() <= now)
+      pending_.push_back(next_feed++);
+
+    if (!step() && !has_work()) {
+      if (done_ >= static_cast<int64_t>(reqs_.size())) break;
+      LS2_CHECK(next_feed < reqs_.size());
+      // Nothing resident: idle until the next arrival.
+      const double wait = reqs_[next_feed].enqueue() - dev.clock_us();
+      if (wait > 0) dev.advance(wait, /*busy=*/false, "serve.idle");
+    }
+  }
+
+  return finish();
 }
 
 std::vector<Request> poisson_requests(int64_t n, double rate_per_sec, int64_t prompt_lo,

@@ -17,6 +17,13 @@
 // every step, so the decode batch stays full under load; the static
 // baseline admits a wave only when ALL slots are empty and pays the
 // straggler tail — the gap bench/fig_serve.cc measures.
+//
+// Two driving modes share the same machinery:
+//   * serve() — the single-replica loop: feed arrivals, step until drained.
+//   * the STEPWISE API (begin / submit / step / finish, plus the router
+//     hooks evacuate / cancel / take_completed / set_draining) — what an
+//     infer::Fleet replica runs under: the ROUTER owns the clock-advance
+//     policy and request lifecycle, the engine owns slots and decode.
 #pragma once
 
 #include <cstdint>
@@ -43,7 +50,8 @@ struct ServeConfig {
 
   // --- graceful degradation under overload / faults (DESIGN.md §10).
   // Defaults keep every knob OFF: serve() behaves exactly as before.
-  /// >0: a request still queued this long after arrival is SHED (rejected
+  /// >0: a request still queued this long after its ENQUEUE (arrival, or the
+  /// router's re-dispatch time — see Request::enqueue_us) is SHED (rejected
   /// with an error to the client) instead of waiting unboundedly — queue
   /// time is bounded, so tail latency of admitted requests is too.
   double admission_timeout_us = 0;
@@ -51,9 +59,10 @@ struct ServeConfig {
   /// waiting for a slot, the newest arrivals are shed immediately. Bounds
   /// the queue (and therefore p99) during bursts at the cost of errors.
   int64_t max_queue = 0;
-  /// >0: per-request completion deadline (from arrival). A resident
-  /// sequence that crosses it retires early with whatever it generated —
-  /// a partial answer within the SLO rather than a complete one outside it.
+  /// >0: per-request completion deadline (from the ORIGINAL arrival, which
+  /// survives router re-dispatch). A resident sequence that crosses it
+  /// retires early with whatever it generated — a partial answer within the
+  /// SLO rather than a complete one outside it.
   double deadline_us = 0;
   /// Retry budget for a decode step that hits a TRANSIENT allocation
   /// failure (mem::TransientAllocFailure, e.g. injected via the fault
@@ -72,6 +81,14 @@ struct Request {
   /// retire the sequence earlier.
   int64_t gen_len = 1;
   double arrival_us = 0;
+  /// 0: same as arrival_us. A router RE-DISPATCH (replica death, drain,
+  /// transient-fault retry) sets this to the re-enqueue time while
+  /// arrival_us keeps the ORIGINAL arrival — so queue-wait and latency
+  /// stats are never flattered by re-admission. Policy split: the admission
+  /// timeout keys off enqueue() (each dispatch gets its queue-time bound),
+  /// the SLO deadline and all latency stats key off arrival_us.
+  double enqueue_us = 0;
+  double enqueue() const { return enqueue_us > 0 ? enqueue_us : arrival_us; }
 };
 
 struct RequestStats {
@@ -90,6 +107,10 @@ struct RequestStats {
   bool shed = false;
   /// Retired by ServeConfig::deadline_us with a partial generation.
   bool deadline_retired = false;
+  /// Removed by the router before completing here — evacuated to another
+  /// replica or hedge-cancelled. Excluded from this engine's latency stats;
+  /// the fleet stitches the full story across replicas.
+  bool cancelled = false;
   double latency_us() const { return done_us - arrival_us; }
   double queue_us() const { return admitted_us - arrival_us; }
 };
@@ -119,6 +140,53 @@ class ContinuousBatcher {
   /// Serve every request to completion; requests may arrive in any order.
   ServeReport serve(std::vector<Request> requests);
 
+  // --- stepwise API (fleet-driven; DESIGN.md §11) -------------------------
+
+  /// Reset the engine for a router-driven run. Must precede submit()/step().
+  void begin();
+  /// Hand a request to this engine's queue. The router submits only ARRIVED
+  /// requests (enqueue() <= this replica's clock); re-dispatches keep the
+  /// original arrival_us and set enqueue_us to the hand-over time.
+  void submit(Request r);
+  /// One engine iteration: admissions, then — if anything is resident —
+  /// one decode step with harvest/retire. Returns true when a decode step
+  /// ran; false means the engine is idle and the ROUTER decides how far to
+  /// advance this replica's clock. May throw simgpu::DeviceLostError (the
+  /// replica died — evacuate()) or mem::TransientAllocFailure (retry budget
+  /// exhausted — quarantine + evacuate()).
+  bool step();
+  /// Drain mode: stop admitting from the queue (residents keep decoding).
+  /// The rolling-reload path: drain, wait for resident()==0, reload, rejoin.
+  void set_draining(bool on) { draining_ = on; }
+  bool draining() const { return draining_; }
+  bool has_work() const { return !pending_.empty() || cache_->active_slots() > 0; }
+  /// Arrived requests waiting for a slot (queue pressure — the JSQ signal).
+  int64_t queue_depth() const { return static_cast<int64_t>(pending_.size()); }
+  int64_t resident() const { return cache_->active_slots(); }
+
+  /// A request pulled off this engine before completing: the request AS
+  /// SUBMITTED here plus its partial stats (tokens generated so far,
+  /// admission timestamps). The router re-dispatches prompt + prefix.
+  struct Evacuated {
+    Request req;
+    RequestStats partial;
+  };
+  /// Pull every queued (and, unless `queued_only`, resident) request off
+  /// the engine — the death / quarantine / drain hand-over. Slots are
+  /// released and the evacuees marked cancelled on this engine's books.
+  std::vector<Evacuated> evacuate(bool queued_only = false);
+  /// Cancel one request by submitted id (the hedge loser): removed from the
+  /// queue or its slot released. False when it already completed (too late).
+  bool cancel(int64_t id);
+  /// Drain the completion events (done or shed — not router-cancelled)
+  /// recorded since the last call. The fleet's merge feed.
+  std::vector<RequestStats> take_completed();
+  /// Close the run and compute the report (percentiles over this engine's
+  /// non-cancelled, non-shed completions).
+  ServeReport finish();
+
+  const ServeConfig& config() const { return cfg_; }
+
  private:
   struct SlotState {
     int64_t req = -1;        ///< index into the request vector; -1 free
@@ -133,8 +201,10 @@ class ContinuousBatcher {
   /// error and no tokens.
   void shed(size_t r, double now);
   /// Admission scan with the degradation knobs: timeout sheds, slot claims,
-  /// queue-bound backpressure. Advances next_req past admitted/shed heads.
-  void run_admissions(size_t& next_req);
+  /// queue-bound backpressure — over the pending queue, oldest first.
+  void run_admissions();
+  /// The decode step (with transient-fault retries) + harvest/retire.
+  void decode_once();
   int32_t harvest_token(const Tensor& sampled, int64_t row, int64_t slot,
                         int64_t generated) const;
 
@@ -143,12 +213,18 @@ class ContinuousBatcher {
   KvCache* cache_;
   ServeConfig cfg_;
   Generator gen_;
-  // serve() state shared with admit()
+  // engine state (serve() and the stepwise API share it)
   std::vector<Request> reqs_;
+  std::vector<size_t> pending_;  ///< queued request indices, enqueue order
   std::vector<SlotState> slots_;
   std::vector<RequestStats> stats_;
-  ServeReport* report_ = nullptr;
+  std::vector<size_t> completed_new_;  ///< completions since take_completed()
+  ServeReport report_;
   int64_t done_ = 0;
+  bool draining_ = false;
+  bool begun_ = false;
+  double start_us_ = 0;
+  Tensor ids_, sampled_;  ///< static decode-step input/output tensors
 };
 
 /// Poisson arrivals for benches/tests: `n` requests at `rate_per_sec`, with

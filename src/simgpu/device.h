@@ -235,6 +235,14 @@ class Device {
   Timeline& timeline() { return timeline_; }
   const Timeline& timeline() const { return timeline_; }
   void set_record_timeline(bool on) { record_timeline_ = on; }
+  bool record_timeline() const { return record_timeline_; }
+
+  /// Drop a named instant marker at the current clock on the timeline
+  /// (no-op unless the timeline is recording) — how fault/retry/hedge
+  /// events become visible in the exported Chrome trace.
+  void mark(const std::string& name) {
+    if (record_timeline_) timeline_.record_instant(0, 0, name, clock_us_);
+  }
 
   /// Reset clock/stats/timeline (memory watermark is kept by the allocator).
   void reset();

@@ -62,6 +62,14 @@ FaultEvent FaultPlan::grad_corrupt(int64_t step, size_t byte_lo, size_t byte_hi)
   return e;
 }
 
+FaultPlan& FaultPlan::kernel_spike_window(int64_t step_lo, int64_t step_hi,
+                                          std::string site, double factor) {
+  LS2_CHECK(step_hi > step_lo) << "kernel_spike_window: empty step range";
+  for (int64_t step = step_lo; step < step_hi; ++step)
+    add(kernel_spike(step, site, factor, /*count=*/-1));
+  return *this;
+}
+
 FaultPlan FaultPlan::random_device_loss(uint64_t seed, double rate, int64_t steps,
                                         int ranks) {
   LS2_CHECK(rate >= 0.0 && rate <= 1.0) << "failure rate must be in [0,1], got " << rate;
@@ -115,6 +123,7 @@ double FaultInjector::on_kernel(const std::string& kernel_name) {
       if (s.remaining > 0) --s.remaining;
       if (s.remaining == 0) s.fired = true;
       mult *= s.e.factor;
+      ++kernel_spikes_;
     } else if (s.e.kind == FaultKind::kDeviceLoss && s.e.rank == 0) {
       s.fired = true;
       throw DeviceLostError("simgpu: device lost at step " +

@@ -93,6 +93,12 @@ struct FaultPlan {
   static FaultEvent alloc_fail(int64_t step, int count = 1, std::string site = "");
   static FaultEvent grad_corrupt(int64_t step, size_t byte_lo, size_t byte_hi);
 
+  /// A sustained straggler: every matching kernel launch of every step in
+  /// [step_lo, step_hi) is stretched by `factor` (count=-1 per step). The
+  /// fleet bench pins this on one replica to measure hedging's p99 rescue.
+  FaultPlan& kernel_spike_window(int64_t step_lo, int64_t step_hi, std::string site,
+                                 double factor);
+
   /// Seeded random device-loss schedule: each step in [1, steps) loses one
   /// of `ranks` ranks with probability `rate` — the MTBF knob of the
   /// fig_fault recovery sweep. Deterministic from `seed`.
@@ -146,6 +152,9 @@ class FaultInjector {
 
   // --- ledger ---
   int fired(FaultKind kind) const;
+  /// Total kernel launches a kKernelSpike stretched (count=-1 windows never
+  /// mark `fired`, so this is the honest occurrence ledger for them).
+  int64_t kernel_spikes() const { return kernel_spikes_; }
   int64_t timeout_exceedances() const { return timeout_exceedances_; }
   int stragglers_detected() const { return static_cast<int>(straggler_steps_.size()); }
   const std::vector<int64_t>& straggler_steps() const { return straggler_steps_; }
@@ -173,6 +182,7 @@ class FaultInjector {
   std::vector<double> straggler_detect_clock_us_;
   std::vector<double> peer_detect_clock_us_;
   int64_t timeout_exceedances_ = 0;
+  int64_t kernel_spikes_ = 0;
 };
 
 }  // namespace ls2::simgpu

@@ -41,6 +41,10 @@ void Timeline::record_span(int pid, int tid, std::string name, double begin_us,
   named_.push_back({pid, tid, std::move(name), begin_us, end_us});
 }
 
+void Timeline::record_instant(int pid, int tid, std::string name, double t_us) {
+  instants_.push_back({pid, tid, std::move(name), t_us});
+}
+
 void Timeline::name_process(int pid, std::string name) {
   process_names_.emplace_back(pid, std::move(name));
 }
@@ -156,6 +160,15 @@ void Timeline::write_chrome_trace(const std::string& path) const {
                   s.pid, s.tid, s.name.c_str(), s.begin_us, s.end_us - s.begin_us);
     emit(buf);
   }
+  // Fault/retry markers as thread-scoped instant events (rendered as small
+  // arrows at their moment on the lane).
+  for (const InstantEvent& e : instants_) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"i\",\"pid\":%d,\"tid\":%d,\"name\":\"%s\","
+                  "\"ts\":%.3f,\"s\":\"t\"}",
+                  e.pid, e.tid, e.name.c_str(), e.t_us);
+    emit(buf);
+  }
   // Memory watermark as a counter series (renders as an area chart).
   for (const MemorySample& m : memory_) {
     std::snprintf(buf, sizeof(buf),
@@ -172,6 +185,7 @@ void Timeline::clear() {
   busy_.clear();
   comm_.clear();
   named_.clear();
+  instants_.clear();
   process_names_.clear();
 }
 

@@ -34,6 +34,17 @@ struct NamedSpan {
   double end_us = 0;
 };
 
+/// A point event on a (pid, tid) lane — fault/retry markers (device loss,
+/// decode retries, hedge fires/cancels) that have a moment but no duration.
+/// Rendered as Chrome trace "instant" events, so failures are visible on
+/// the same timeline as the work they interrupted.
+struct InstantEvent {
+  int pid = 0;
+  int tid = 0;
+  std::string name;
+  double t_us = 0;
+};
+
 class Timeline {
  public:
   void record_memory(double t_us, int64_t bytes_in_use);
@@ -42,6 +53,8 @@ class Timeline {
   void record_comm(double begin_us, double end_us);
   /// Labelled span on rank `pid`'s lane `tid` (see NamedSpan).
   void record_span(int pid, int tid, std::string name, double begin_us, double end_us);
+  /// Point event on rank `pid`'s lane `tid` (see InstantEvent).
+  void record_instant(int pid, int tid, std::string name, double t_us);
   /// Display name for rank `pid`'s trace process (e.g. "rank 1 (stage 1)").
   void name_process(int pid, std::string name);
 
@@ -49,6 +62,10 @@ class Timeline {
   const std::vector<BusySpan>& busy_spans() const { return busy_; }
   const std::vector<BusySpan>& comm_spans() const { return comm_; }
   const std::vector<NamedSpan>& named_spans() const { return named_; }
+  const std::vector<InstantEvent>& instants() const { return instants_; }
+  const std::vector<std::pair<int, std::string>>& process_names() const {
+    return process_names_;
+  }
 
   /// Export the recording as a Chrome trace_event JSON (open in
   /// chrome://tracing or Perfetto): compute-stream busy spans on one track,
@@ -72,6 +89,7 @@ class Timeline {
   std::vector<BusySpan> busy_;
   std::vector<BusySpan> comm_;
   std::vector<NamedSpan> named_;
+  std::vector<InstantEvent> instants_;
   std::vector<std::pair<int, std::string>> process_names_;
 };
 
