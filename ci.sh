@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification, parameterized for the CI matrix (.github/workflows/ci.yml):
 #
-#   ./ci.sh [--preset release|sanitize|tsan] [--smoke full|tp|pp|fault|fleet]
+#   ./ci.sh [--preset release|sanitize|tsan] [--smoke full|tp|pp|fault|fleet|obs]
 #
 #   --preset release   Release build with -Werror (default). Runs the full
 #                      test suite, smoke-runs every fig* bench, and
@@ -31,6 +31,10 @@
 #                      (router policies, hedged retries, token-exact
 #                      re-dispatch, rolling reload), and (release only)
 #                      fig_fleet with its schema check.
+#   --smoke obs        Observability smoke lane: the telemetry test binaries
+#                      (metrics/roofline/SLO/golden-snapshot, Chrome-trace
+#                      well-formedness), and (release only) fig_obs with its
+#                      schema check (overhead < 1%, roofline coverage).
 #
 # Fails on the first error; a bench that exits nonzero OR writes no/invalid
 # JSON fails the run (ci/check_bench_json.py — python3 is required for the
@@ -43,7 +47,7 @@ SMOKE=full
 while [ $# -gt 0 ]; do
   case "$1" in
     --preset) PRESET="${2:?ci.sh: --preset needs a value (release|sanitize|tsan)}"; shift 2 ;;
-    --smoke) SMOKE="${2:?ci.sh: --smoke needs a value (full|tp|pp|fault|fleet)}"; shift 2 ;;
+    --smoke) SMOKE="${2:?ci.sh: --smoke needs a value (full|tp|pp|fault|fleet|obs)}"; shift 2 ;;
     *) echo "ci.sh: unknown argument '$1'" >&2; exit 2 ;;
   esac
 done
@@ -69,7 +73,7 @@ case "$PRESET" in
     ;;
   *) echo "ci.sh: unknown preset '$PRESET'" >&2; exit 2 ;;
 esac
-case "$SMOKE" in full|tp|pp|fault|fleet) ;; *) echo "ci.sh: unknown smoke '$SMOKE'" >&2; exit 2 ;; esac
+case "$SMOKE" in full|tp|pp|fault|fleet|obs) ;; *) echo "ci.sh: unknown smoke '$SMOKE'" >&2; exit 2 ;; esac
 
 echo "ci.sh: preset=$PRESET smoke=$SMOKE -> $BUILD_DIR"
 cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
@@ -91,6 +95,8 @@ elif [ "$SMOKE" = fault ]; then
   ctest --output-on-failure --timeout 300 --no-tests=error -R fault_tolerance_test
 elif [ "$SMOKE" = fleet ]; then
   ctest --output-on-failure --timeout 300 --no-tests=error -R fleet_test
+elif [ "$SMOKE" = obs ]; then
+  ctest --output-on-failure --timeout 300 --no-tests=error -R 'obs_test|trace_test'
 else
   ctest --output-on-failure --timeout 300 --no-tests=error -j "$(nproc)"
 fi
@@ -123,6 +129,10 @@ elif [ "$SMOKE" = fleet ]; then
   echo "ci.sh: smoke-running ./fig_fleet"
   ./fig_fleet >/dev/null
   python3 ../ci/check_bench_json.py fig_fleet
+elif [ "$SMOKE" = obs ]; then
+  echo "ci.sh: smoke-running ./fig_obs"
+  ./fig_obs >/dev/null
+  python3 ../ci/check_bench_json.py fig_obs
 else
   # Smoke-run EVERY paper-figure bench (all run in kModelOnly, so this is
   # cheap) so bench binaries can't bit-rot silently, then schema-check the
@@ -133,7 +143,7 @@ else
     echo "ci.sh: smoke-running $bench"
     "$bench" >/dev/null
   done
-  python3 ../ci/check_bench_json.py fig22 fig_launch_graph fig_serve fig_tp fig_3d fig_fault fig_fleet
+  python3 ../ci/check_bench_json.py fig22 fig_launch_graph fig_serve fig_tp fig_3d fig_fault fig_fleet fig_obs
 fi
 
 echo "ci.sh: all checks passed"

@@ -278,6 +278,59 @@ def check_fig_fleet():
                  f"a rolling reload: {r}")
 
 
+def check_fig_obs():
+    _, rows = load("fig_obs")
+    by_section = {}
+    for r in rows:
+        by_section.setdefault(r.get("section"), []).append(r)
+    for section in ("snapshot", "roofline", "roofline_coverage", "overhead"):
+        if section not in by_section:
+            fail(f"fig_obs: missing the '{section}' section")
+
+    # Golden snapshot + streaming-histogram quantile sanity.
+    for r in by_section["snapshot"]:
+        require(r, ("snapshot_bytes", "identical_rerun", "served", "latency_count",
+                    "latency_min_us", "latency_p50_us", "latency_p99_us",
+                    "latency_max_us", "step_p50_us", "step_p99_us",
+                    "availability"), "fig_obs.snapshot")
+        if r["identical_rerun"] is not True:
+            fail(f"fig_obs: the seeded snapshot was not byte-identical on re-run: {r}")
+        if not (0 < r["latency_min_us"] <= r["latency_p50_us"]
+                <= r["latency_p99_us"] <= r["latency_max_us"]):
+            fail(f"fig_obs: latency quantiles out of order: {r}")
+        if not 0 < r["step_p50_us"] <= r["step_p99_us"]:
+            fail(f"fig_obs: step-time quantiles out of order: {r}")
+        if not 0 < r["availability"] <= 1:
+            fail(f"fig_obs: availability outside (0, 1]: {r}")
+
+    # Roofline: every family's bound-side utilization is a real efficiency
+    # fraction, and the families + remainders partition device busy time.
+    for r in by_section["roofline"]:
+        require(r, ("family", "launches", "exec_us", "share", "utilization",
+                    "compute_bound", "tensor_core"), "fig_obs.roofline")
+        if not 0 < r["utilization"] <= 1:
+            fail(f"fig_obs: roofline utilization outside (0, 1]: {r}")
+        if r["exec_us"] <= 0 or r["launches"] <= 0 or r["share"] <= 0:
+            fail(f"fig_obs: empty roofline family row: {r}")
+    cov = by_section["roofline_coverage"][0]
+    require(cov, ("families", "kernel_us", "exposed_comm_us", "other_busy_us",
+                  "busy_us", "coverage"), "fig_obs.roofline_coverage")
+    if not abs(cov["coverage"] - 1.0) <= 0.01:
+        fail("fig_obs: kernel + exposed comm + other busy must cover busy_us "
+             f"within 1% (got {cov['coverage']:.6f})")
+
+    # Overhead: instrumentation must never touch the simulated clock, and
+    # its host-side cost must stay under 1% of a step.
+    for r in by_section["overhead"]:
+        require(r, ("steps", "sim_step_us_enabled", "sim_step_us_disabled",
+                    "sim_delta_us", "host_step_us_enabled",
+                    "host_step_us_disabled", "overhead_pct"), "fig_obs.overhead")
+        if r["sim_delta_us"] != 0:
+            fail(f"fig_obs: metrics changed the simulated step time: {r}")
+        if not r["overhead_pct"] < 1.0:
+            fail(f"fig_obs: instrumentation overhead >= 1% of a step: {r}")
+
+
 CHECKS = {
     "fig22": check_fig22,
     "fig_launch_graph": check_fig_launch_graph,
@@ -286,6 +339,7 @@ CHECKS = {
     "fig_3d": check_fig_3d,
     "fig_fault": check_fig_fault,
     "fig_fleet": check_fig_fleet,
+    "fig_obs": check_fig_obs,
 }
 
 

@@ -7,6 +7,9 @@ namespace ls2 {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::atomic<void (*)(LogLevel, const std::string&)> g_sink{nullptr};
+thread_local std::string t_identity;
+
 const char* level_tag(LogLevel l) {
   switch (l) {
     case LogLevel::kDebug: return "D";
@@ -21,10 +24,31 @@ const char* level_tag(LogLevel l) {
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
+void set_log_identity(const std::string& identity) { t_identity = identity; }
+const std::string& log_identity() { return t_identity; }
+
+void set_log_sink(void (*sink)(LogLevel, const std::string&)) {
+  g_sink.store(sink);
+}
+
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  std::fprintf(stderr, "[LS2:%s] %s\n", level_tag(level), msg.c_str());
+  std::string line = "[LS2:";
+  line += level_tag(level);
+  line += "]";
+  if (!t_identity.empty()) {
+    line += " [";
+    line += t_identity;
+    line += "]";
+  }
+  line += " ";
+  line += msg;
+  if (auto* sink = g_sink.load()) {
+    sink(level, line);
+    return;
+  }
+  std::fprintf(stderr, "%s\n", line.c_str());
 }
 }  // namespace detail
 

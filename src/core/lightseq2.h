@@ -8,6 +8,7 @@
 //   data::*            — synthetic WMT / WikiText / MRPC / CIFAR workloads
 //   dist::*            — all-reduce (real + modeled), data-parallel helpers
 //   infer::*           — serving: KV cache, generator, continuous batching
+//   obs::*             — telemetry: metrics registry, spans, roofline, SLOs
 //
 // See README.md for a quickstart and DESIGN.md for the architecture map.
 #pragma once
@@ -35,5 +36,9 @@
 #include "models/gpt2.h"        // IWYU pragma: export
 #include "models/transformer.h" // IWYU pragma: export
 #include "models/vit.h"         // IWYU pragma: export
+#include "obs/metrics.h"        // IWYU pragma: export
+#include "obs/roofline.h"       // IWYU pragma: export
+#include "obs/slo.h"            // IWYU pragma: export
+#include "obs/span.h"           // IWYU pragma: export
 #include "optim/lr_schedule.h"  // IWYU pragma: export
 #include "optim/optimizer.h"    // IWYU pragma: export

@@ -555,6 +555,17 @@ auto train_step_pp(Session& session, ModelT& model, const BatchT& batch,
       times.tp_exposed_us = tp1.exposed_us - tp0.exposed_us;
       times.tp_bytes = tp1.bytes - tp0.bytes;
     }
+    if (obs::MetricsRegistry* mreg = session.metrics()) {
+      mreg->counter("train.pp.steps") += 1;
+      mreg->histogram("train.step_us").record(times.total_us());
+      mreg->histogram("train.forward_us").record(times.forward_us);
+      mreg->histogram("train.backward_us").record(times.backward_us);
+      mreg->histogram("train.sync_us").record(times.sync_us);
+      mreg->histogram("train.update_us").record(times.update_us);
+      mreg->histogram("train.pp.bubble_us").record(times.pp_bubble_us);
+      mreg->gauge("train.pp.comm_us") = times.pp_comm_us;
+      mreg->gauge("train.pp.exposed_us") = times.pp_exposed_us;
+    }
     return {times, result};
   }
 }

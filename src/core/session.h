@@ -7,6 +7,7 @@
 #include "layers/layer_context.h"
 #include "memory/arena_allocator.h"
 #include "memory/caching_allocator.h"
+#include "obs/metrics.h"
 #include "simgpu/device.h"
 #include "simgpu/profile.h"
 
@@ -53,6 +54,10 @@ struct SessionConfig {
   /// multiple of the slowest healthy beat cadence — a slow-but-alive rank
   /// must never be evicted (tests/fleet_test.cc holds this).
   double heartbeat_timeout_ms = 20.0;
+  /// Telemetry sink (DESIGN.md §12), NOT owned; null (the default) disables
+  /// all metrics recording — every instrumentation site is one pointer test
+  /// and the simulated step time is identical either way (host-side only).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// What core::train_step should do with the device graph on this step.
@@ -65,6 +70,15 @@ class Session {
   simgpu::Device& device() { return device_; }
   layers::LayerContext& ctx() { return *ctx_; }
   const SessionConfig& config() const { return cfg_; }
+
+  /// The telemetry registry, or null when metrics are disabled. Defined
+  /// with LS2_DISABLE_METRICS: always null, and the compiler deletes every
+  /// `if (metrics())` instrumentation block — the compiled-out path.
+#ifdef LS2_DISABLE_METRICS
+  constexpr obs::MetricsRegistry* metrics() const { return nullptr; }
+#else
+  obs::MetricsRegistry* metrics() const { return cfg_.metrics; }
+#endif
 
   /// Permanent memory (parameters, gradients, optimizer state).
   BufferAllocator* param_alloc() { return param_alloc_.get(); }

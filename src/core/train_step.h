@@ -29,6 +29,7 @@
 #include "core/session.h"
 #include "dist/allreduce.h"
 #include "dist/bucket.h"
+#include "obs/span.h"
 #include "optim/optimizer.h"
 
 namespace ls2::core {
@@ -128,6 +129,11 @@ auto train_step(Session& session, ModelT& model, const BatchT& batch,
   }
   auto& dev = session.device();
   StepTimes times;
+  // Telemetry envelope: the whole-step trace span. attribute=false — it
+  // must NOT become a device range, or it would absorb the attribution of
+  // the stage ranges below (innermost wins) and change the Fig. 3 sums.
+  obs::SpanScope step_span(dev, "step", /*pid=*/0, /*tid=*/0,
+                           /*attribute=*/false);
   // Hybrid data x model parallel composition: the model's TP collectives
   // charge through the session context's ProcessGroup, and the gradient
   // ring below runs over the dp_size() replicas of this shard. The three
@@ -182,7 +188,7 @@ auto train_step(Session& session, ModelT& model, const BatchT& batch,
   // the whole step.
   const double tz = dev.clock_us();
   {
-    simgpu::ScopedRange r(dev, "zero_grad");
+    obs::SpanScope r(dev, "zero_grad");
     if (graph_action == GraphAction::kCapture) {
       dev.begin_capture();
       graph_guard.active = true;
@@ -207,7 +213,7 @@ auto train_step(Session& session, ModelT& model, const BatchT& batch,
   std::vector<LandedBucket> landed;
   std::optional<dist::OverlapScheduler> scheduler;
   if (overlap) {
-    scheduler.emplace(model.params(), dev, cluster);
+    scheduler.emplace(model.params(), dev, cluster, session.metrics());
     if (pipeline) {
       scheduler->set_bucket_done_callback(
           [&landed](const dist::GradBucket& b, double done_us) {
@@ -222,7 +228,7 @@ auto train_step(Session& session, ModelT& model, const BatchT& batch,
   session.ctx().loss_scale = trainer.loss_scale();
   decltype(model.forward(session.ctx(), batch)) result;
   {
-    simgpu::ScopedRange r(dev, "forward");
+    obs::SpanScope r(dev, "forward");
     result = model.forward(session.ctx(), batch);
   }
   const double t1 = dev.clock_us();
@@ -230,7 +236,7 @@ auto train_step(Session& session, ModelT& model, const BatchT& batch,
   // Stage 2 — backward; bucket all-reduces launch concurrently as layers
   // report their gradients final.
   {
-    simgpu::ScopedRange r(dev, "backward");
+    obs::SpanScope r(dev, "backward");
     model.backward(session.ctx());
   }
   const double t2 = dev.clock_us();
@@ -253,14 +259,14 @@ auto train_step(Session& session, ModelT& model, const BatchT& batch,
     // overlapping the comm stream's later transfers).
     trainer.begin_step();
     {
-      simgpu::ScopedRange r(dev, "synchronize");
+      obs::SpanScope r(dev, "synchronize");
       scheduler->finish();  // tail buckets: ready only now that backward ended
     }
     const double comm_drain_us = dev.comm_clock_us();
     double update_work_us = 0;
     for (const LandedBucket& b : landed) {
       dev.wait_comm_until(b.done_us, "synchronize");
-      simgpu::ScopedRange r(dev, "update");
+      obs::SpanScope r(dev, "update");
       const double u0 = dev.clock_us();
       trainer.step_range(session.ctx().kern, b.byte_begin, b.byte_end);
       const double u1 = dev.clock_us();
@@ -279,7 +285,7 @@ auto train_step(Session& session, ModelT& model, const BatchT& batch,
     // Stage 3 — synchronize: drain the comm stream (overlapped) or run one
     // blocking ring over the whole gradient buffer.
     {
-      simgpu::ScopedRange r(dev, "synchronize");
+      obs::SpanScope r(dev, "synchronize");
       if (overlap) {
         scheduler->finish();  // tail buckets: ready only now that backward ended
         const double exposed = dev.sync_comm("synchronize");
@@ -298,7 +304,7 @@ auto train_step(Session& session, ModelT& model, const BatchT& batch,
 
     // Stage 4 — update.
     {
-      simgpu::ScopedRange r(dev, "update");
+      obs::SpanScope r(dev, "update");
       trainer.step(session.ctx().kern);
     }
     const double t4 = dev.clock_us();
@@ -321,6 +327,18 @@ auto train_step(Session& session, ModelT& model, const BatchT& batch,
   }
   times.forward_us = t1 - t0;
   times.backward_us = t2 - t1;
+  if (obs::MetricsRegistry* m = session.metrics()) {
+    m->counter("train.steps") += 1;
+    if (times.replayed) m->counter("train.replayed_steps") += 1;
+    m->counter("train.wire_bytes") += times.wire_bytes;
+    m->histogram("train.step_us").record(times.total_us());
+    m->histogram("train.forward_us").record(times.forward_us);
+    m->histogram("train.backward_us").record(times.backward_us);
+    m->histogram("train.sync_us").record(times.sync_us);
+    m->histogram("train.update_us").record(times.update_us);
+    m->gauge("train.sync_overlapped_us") = times.sync_overlapped_us;
+    m->gauge("train.sync_blocking_us") = times.sync_blocking_us;
+  }
   return {times, result};
 }
 

@@ -78,9 +78,11 @@ Tensor BucketPlan::grad_view(const layers::ParamRegistry& params,
 
 OverlapScheduler::OverlapScheduler(layers::ParamRegistry& params,
                                    simgpu::Device& device,
-                                   const ClusterConfig& cluster)
+                                   const ClusterConfig& cluster,
+                                   obs::MetricsRegistry* metrics)
     : params_(params),
       device_(device),
+      metrics_(metrics),
       cluster_(cluster),
       plan_(params, effective_bucket_bytes(cluster, device.profile())) {
   LS2_CHECK(!params_.has_grad_ready_callback())
@@ -123,6 +125,18 @@ void OverlapScheduler::flush(const GradBucket& bucket) {
   enqueued_us_ += us;
   wire_bytes_ += payload;
   ++buckets_flushed_;
+  if (device_.record_timeline()) {
+    // The bucket's ring transfer as a named span on the comm lane (tid 1):
+    // visible overlap in the trace, one span per bucket per step.
+    device_.timeline().record_span(
+        /*pid=*/0, /*tid=*/1, "allreduce.b" + std::to_string(bucket.index),
+        done - us, done);
+  }
+  if (metrics_ != nullptr) {
+    metrics_->counter("dist.bucket.flushes") += 1;
+    metrics_->counter("dist.bucket.wire_bytes") += payload;
+    metrics_->histogram("dist.bucket.allreduce_us").record(us);
+  }
   if (bucket_done_) bucket_done_(bucket, done);
 }
 

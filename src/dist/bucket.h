@@ -21,6 +21,7 @@
 
 #include "dist/allreduce.h"
 #include "layers/params.h"
+#include "obs/metrics.h"
 #include "simgpu/device.h"
 
 namespace ls2::dist {
@@ -86,8 +87,12 @@ class OverlapScheduler {
   /// completion times a listener observes are non-decreasing.
   using BucketDoneFn = std::function<void(const GradBucket&, double comm_done_us)>;
 
+  /// `metrics` (optional, not owned): each flushed bucket records its wire
+  /// bytes and ring time under "dist.bucket.*", and lands a named
+  /// "allreduce.b<i>" span on the comm lane of the device trace.
   OverlapScheduler(layers::ParamRegistry& params, simgpu::Device& device,
-                   const ClusterConfig& cluster);
+                   const ClusterConfig& cluster,
+                   obs::MetricsRegistry* metrics = nullptr);
   ~OverlapScheduler();
   OverlapScheduler(const OverlapScheduler&) = delete;
   OverlapScheduler& operator=(const OverlapScheduler&) = delete;
@@ -113,6 +118,7 @@ class OverlapScheduler {
 
   layers::ParamRegistry& params_;
   simgpu::Device& device_;
+  obs::MetricsRegistry* metrics_ = nullptr;
   ClusterConfig cluster_;
   BucketPlan plan_;
   BucketDoneFn bucket_done_;

@@ -97,38 +97,45 @@ double ProcessGroup::stage_send_us(int64_t bytes, int stage,
   return send_us(bytes, rank_of(0, stage, 0), rank_of(0, stage + 1, 0), profile);
 }
 
-double ProcessGroup::charge(simgpu::Device& dev, double us, int64_t bytes) {
+double ProcessGroup::charge(simgpu::Device& dev, double us, int64_t bytes,
+                            const std::string& op, const std::string& what) {
   const double done = dev.enqueue_comm(us, "tp");
   if (us > 0) {
     stats_.collectives += 1;
     stats_.bytes += bytes;
     stats_.comm_us += us;
+    if (dev.record_timeline()) {
+      // The collective as a named span on the comm lane (tid 1), labelled
+      // with what the caller was doing ("tp.attn_fw" etc.) — this is where
+      // the previously-discarded `what` becomes rank-attributable trace.
+      dev.timeline().record_span(/*pid=*/0, /*tid=*/1, op + ":" + what,
+                                 done - us, done);
+    }
   }
   return done;
 }
 
 double ProcessGroup::all_reduce_begin(simgpu::Device& dev, int64_t bytes,
                                       const std::string& what) {
-  (void)what;
-  return charge(dev, all_reduce_us(bytes, dev.profile()), bytes);
+  return charge(dev, all_reduce_us(bytes, dev.profile()), bytes, "allreduce", what);
 }
 
 double ProcessGroup::all_gather_begin(simgpu::Device& dev, int64_t full_bytes,
                                       const std::string& what) {
-  (void)what;
-  return charge(dev, all_gather_us(full_bytes, dev.profile()), full_bytes);
+  return charge(dev, all_gather_us(full_bytes, dev.profile()), full_bytes,
+                "allgather", what);
 }
 
 double ProcessGroup::reduce_scatter_begin(simgpu::Device& dev, int64_t full_bytes,
                                           const std::string& what) {
-  (void)what;
-  return charge(dev, reduce_scatter_us(full_bytes, dev.profile()), full_bytes);
+  return charge(dev, reduce_scatter_us(full_bytes, dev.profile()), full_bytes,
+                "reducescatter", what);
 }
 
 double ProcessGroup::send_begin(simgpu::Device& dev, int64_t bytes, int stage,
                                 const std::string& what) {
-  (void)what;
-  return charge(dev, stage_send_us(bytes, stage, dev.profile()), bytes);
+  return charge(dev, stage_send_us(bytes, stage, dev.profile()), bytes, "send",
+                what);
 }
 
 double ProcessGroup::wait(simgpu::Device& dev, double t_done_us, const std::string& what) {

@@ -116,7 +116,8 @@ class ProcessGroup {
   void reset_stats() { stats_ = Stats{}; }
 
  private:
-  double charge(simgpu::Device& dev, double us, int64_t bytes);
+  double charge(simgpu::Device& dev, double us, int64_t bytes,
+                const std::string& op, const std::string& what);
 
   ClusterConfig cluster_;
   Stats stats_;

@@ -5,20 +5,12 @@
 
 #include "memory/device_allocator.h"
 #include "memory/measuring_allocator.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace ls2::infer {
 
 namespace {
-
-double percentile(std::vector<double> v, double p) {
-  if (v.empty()) return 0;
-  std::sort(v.begin(), v.end());
-  const double idx = p * static_cast<double>(v.size() - 1);
-  const size_t lo = static_cast<size_t>(idx);
-  const size_t hi = std::min(lo + 1, v.size() - 1);
-  const double frac = idx - static_cast<double>(lo);
-  return v[lo] + (v[hi] - v[lo]) * frac;
-}
 
 /// Deterministic stand-in token for model-only runs (no real logits): keeps
 /// the control flow identical across eager and replayed serving.
@@ -56,6 +48,10 @@ void ContinuousBatcher::begin() {
   ids_ = Tensor::zeros({S, 1}, DType::kI32);
   sampled_ = Tensor::zeros({S}, DType::kI32);
   start_us_ = session_->device().clock_us();
+  slo_.reset();
+  if (obs::MetricsRegistry* m = session_->metrics()) {
+    slo_.emplace(m, cfg_.metrics_prefix);
+  }
   begun_ = true;
 }
 
@@ -92,7 +88,7 @@ void ContinuousBatcher::admit(size_t r, int64_t slot) {
   std::vector<float> host(req.prompt.begin(), req.prompt.end());
   ids.copy_from(host);
   {
-    simgpu::ScopedRange range(dev, "serve.prefill");
+    obs::SpanScope range(dev, "serve.prefill");
     Tensor logits = model_->prefill(ctx, ids, cache_, {slot});  // [1, Lp, V]
     cache_->set_len(slot, static_cast<int32_t>(Lp));
     Tensor last = logits.view({Lp, V}).slice(Lp - 1, Lp);  // next-token logits
@@ -116,6 +112,7 @@ void ContinuousBatcher::admit(size_t r, int64_t slot) {
     slots_[static_cast<size_t>(slot)] = SlotState{};
     completed_new_.push_back(r);
     ++done_;
+    if (slo_) slo_->on_served(st.done_us, st.latency_us(), st.generated);
   }
 }
 
@@ -130,6 +127,7 @@ void ContinuousBatcher::shed(size_t r, double now) {
   ++report_.shed_requests;
   completed_new_.push_back(r);
   ++done_;
+  if (slo_) slo_->on_shed(now);
 }
 
 void ContinuousBatcher::run_admissions() {
@@ -210,7 +208,7 @@ void ContinuousBatcher::decode_once() {
         guard.active = true;
       }
       {
-        simgpu::ScopedRange range(dev, "serve.decode");
+        obs::SpanScope range(dev, "serve.decode");
         Tensor logits = model_->decode_step(ctx, ids_, *cache_);  // [S, V]
         gen_.next_tokens(ctx.kern, ctx.policy.softmax, logits, sampled_);
       }
@@ -270,6 +268,7 @@ void ContinuousBatcher::decode_once() {
       completed_new_.push_back(static_cast<size_t>(ss.req));
       ss = SlotState{};
       ++done_;
+      if (slo_) slo_->on_served(st.done_us, st.latency_us(), st.generated);
     } else {
       ss.next_token = tok;
     }
@@ -285,9 +284,18 @@ bool ContinuousBatcher::step() {
       !draining_ &&
       (cfg_.mode == BatchMode::kContinuous || cache_->active_slots() == 0);
   if (may_admit) run_admissions();
-  if (cache_->active_slots() == 0) return false;
-  decode_once();
-  return true;
+  const bool decoded = cache_->active_slots() > 0;
+  if (decoded) decode_once();
+  if (slo_) {
+    // The "live" part of the SLO monitors: rolling gauges refresh once per
+    // engine step, while the workload is in flight.
+    slo_->refresh(session_->device().clock_us());
+    obs::MetricsRegistry* m = session_->metrics();
+    m->gauge(cfg_.metrics_prefix + ".queue_depth") =
+        static_cast<double>(queue_depth());
+    m->gauge(cfg_.metrics_prefix + ".resident") = static_cast<double>(resident());
+  }
+  return decoded;
 }
 
 std::vector<ContinuousBatcher::Evacuated> ContinuousBatcher::evacuate(bool queued_only) {
@@ -354,18 +362,27 @@ ServeReport ContinuousBatcher::finish() {
                                ? static_cast<double>(report_.generated_tokens) /
                                      (report_.makespan_us * 1e-6)
                                : 0;
-  std::vector<double> lat;
-  lat.reserve(stats_.size());
-  double sum = 0;
+  // Streaming-histogram percentiles (obs::Histogram): O(1) per record and a
+  // bucket walk per quantile, instead of sorting the full latency vector.
+  // count/sum/min/max are exact, so the mean is too; the quantiles carry
+  // the bucket-resolution error bound (< growth-1, further interpolated).
+  obs::Histogram lat;
   for (const RequestStats& st : stats_) {
     if (st.shed || st.cancelled) continue;  // an error / a hand-over, not a latency
-    lat.push_back(st.latency_us());
-    sum += st.latency_us();
+    lat.record(st.latency_us());
   }
-  report_.served = static_cast<int64_t>(lat.size());
-  report_.p50_latency_us = percentile(lat, 0.50);
-  report_.p99_latency_us = percentile(lat, 0.99);
-  report_.mean_latency_us = lat.empty() ? 0 : sum / static_cast<double>(lat.size());
+  report_.served = lat.count();
+  report_.p50_latency_us = lat.quantile(0.50);
+  report_.p99_latency_us = lat.quantile(0.99);
+  report_.mean_latency_us = lat.mean();
+  if (obs::MetricsRegistry* m = session_->metrics()) {
+    m->counter(cfg_.metrics_prefix + ".prefills") += report_.prefills;
+    m->counter(cfg_.metrics_prefix + ".decode_steps") += report_.decode_steps;
+    m->counter(cfg_.metrics_prefix + ".replayed_steps") += report_.replayed_steps;
+    m->counter(cfg_.metrics_prefix + ".generated_tokens") += report_.generated_tokens;
+    m->counter(cfg_.metrics_prefix + ".decode_retries") += report_.decode_retries;
+    m->counter(cfg_.metrics_prefix + ".deadline_retired") += report_.deadline_retired;
+  }
   report_.requests = std::move(stats_);
   stats_.clear();
   begun_ = false;

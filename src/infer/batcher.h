@@ -27,12 +27,15 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "core/session.h"
 #include "infer/generator.h"
 #include "infer/kv_cache.h"
 #include "models/gpt2.h"
+#include "obs/slo.h"
 
 namespace ls2::infer {
 
@@ -71,6 +74,11 @@ struct ServeConfig {
   int decode_retries = 2;
   /// Idle time charged before each retry; doubles per attempt.
   double retry_backoff_us = 200.0;
+  /// Metric-name prefix for this engine's telemetry when the session has a
+  /// registry (SessionConfig::metrics): "<prefix>.served_total",
+  /// "<prefix>.slo.p99_us", ... The fleet sets "replica<i>.serve" so every
+  /// replica's series are attributable in one shared registry.
+  std::string metrics_prefix = "serve";
 };
 
 struct Request {
@@ -225,6 +233,9 @@ class ContinuousBatcher {
   bool begun_ = false;
   double start_us_ = 0;
   Tensor ids_, sampled_;  ///< static decode-step input/output tensors
+  /// Live SLO telemetry (DESIGN.md §12); engaged by begin() iff the session
+  /// carries a MetricsRegistry. Gauges refresh every step(), not at finish.
+  std::optional<obs::SloMonitor> slo_;
 };
 
 /// Poisson arrivals for benches/tests: `n` requests at `rate_per_sec`, with

@@ -3,23 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/logging.h"
 #include "memory/arena_allocator.h"
+#include "obs/metrics.h"
 
 namespace ls2::infer {
-
-namespace {
-
-double percentile(std::vector<double> v, double p) {
-  if (v.empty()) return 0;
-  std::sort(v.begin(), v.end());
-  const double idx = p * static_cast<double>(v.size() - 1);
-  const size_t lo = static_cast<size_t>(idx);
-  const size_t hi = std::min(lo + 1, v.size() - 1);
-  const double frac = idx - static_cast<double>(lo);
-  return v[lo] + (v[hi] - v[lo]) * frac;
-}
-
-}  // namespace
 
 Fleet::Fleet(FleetConfig cfg) : cfg_(std::move(cfg)) {
   LS2_CHECK_GE(cfg_.replicas, 1);
@@ -47,8 +35,13 @@ Fleet::Fleet(FleetConfig cfg) : cfg_(std::move(cfg)) {
     rep.cache = std::make_unique<KvCache>(
         rep.model->kv_cache_config(cfg_.slots, cfg_.max_len),
         rep.session->param_alloc());
+    // All replicas share the one registry (SessionConfig::metrics) but each
+    // publishes under its own prefix, so per-replica series stay
+    // attributable — the registry-level analog of the per-replica trace pid.
+    ServeConfig serve = cfg_.serve;
+    serve.metrics_prefix = "replica" + std::to_string(i) + ".serve";
     rep.engine = std::make_unique<ContinuousBatcher>(*rep.session, *rep.model,
-                                                     *rep.cache, cfg_.serve);
+                                                     *rep.cache, serve);
     if (static_cast<size_t>(i) < cfg_.fault_plans.size() &&
         !cfg_.fault_plans[static_cast<size_t>(i)].events.empty()) {
       rep.injector = std::make_unique<simgpu::FaultInjector>(
@@ -56,6 +49,13 @@ Fleet::Fleet(FleetConfig cfg) : cfg_(std::move(cfg)) {
       rep.session->device().set_fault_injector(rep.injector.get());
     }
   }
+  if (obs::MetricsRegistry* m = metrics()) slo_.emplace(m, "fleet");
+}
+
+obs::MetricsRegistry* Fleet::metrics() const {
+  // Through the session accessor, not the config field, so the
+  // LS2_DISABLE_METRICS compile-out covers the fleet too.
+  return replicas_.empty() ? nullptr : replicas_.front().session->metrics();
 }
 
 Fleet::~Fleet() {
@@ -206,6 +206,7 @@ void Fleet::handle_completions(int replica, double now) {
       t.shed = true;
       t.done_us = st.done_us;
       ++completed_;
+      if (slo_) slo_->on_shed(st.done_us);
       continue;
     }
     // This copy won: its token stream is the answer.
@@ -215,6 +216,9 @@ void Fleet::handle_completions(int replica, double now) {
     t.done_us = st.done_us;
     ++completed_;
     dispatch_latencies_.push_back(st.done_us - d.dispatched_us);
+    if (slo_)
+      slo_->on_served(t.done_us, t.done_us - t.base.arrival_us,
+                      static_cast<int64_t>(t.tokens.size()));
     if (d.hedge) ++report_.hedge_wins;
     // Cancel the losers.
     for (auto o = inflight_.begin(); o != inflight_.end();) {
@@ -229,16 +233,25 @@ void Fleet::handle_completions(int replica, double now) {
       }
       o = inflight_.erase(o);
     }
-    (void)now;
+  }
+  if (slo_) {
+    // Live rolling gauges, refreshed per completion drain — not at finalize.
+    slo_->refresh(now);
+    metrics()->gauge("fleet.live_replicas") = static_cast<double>(live_replicas());
+    metrics()->gauge("fleet.inflight") = static_cast<double>(inflight_.size());
   }
 }
 
 void Fleet::hedge_scan(double now) {
   if (cfg_.policy != DispatchPolicy::kHedged) return;
   double threshold = cfg_.hedge_min_us;
+  // The hedge ECDF stays an EXACT percentile over the recent-completion
+  // vector (obs::exact_percentile — the deduplicated helper): it is a
+  // dispatch decision, and the population is small.
   if (static_cast<int64_t>(dispatch_latencies_.size()) >= cfg_.hedge_min_completions)
     threshold = std::max(cfg_.hedge_min_us,
-                         percentile(dispatch_latencies_, cfg_.hedge_percentile));
+                         obs::exact_percentile(dispatch_latencies_,
+                                               cfg_.hedge_percentile));
   std::vector<std::pair<size_t, int>> fires;  // (tracked, avoid-replica)
   for (const Dispatch& d : inflight_) {
     Tracked& t = tracked_[d.tracked];
@@ -253,6 +266,10 @@ void Fleet::hedge_scan(double now) {
     t.hedged = true;
     ++report_.hedges_fired;
     replicas_[static_cast<size_t>(target)].session->device().mark("fleet.hedge_fire");
+    LS2_LOG(kDebug) << "hedge fired"
+                    << log_kv("req", t.base.id)
+                           .kv("to_replica", target)
+                           .kv("threshold_us", threshold);
     dispatch_to(tracked, target, now, /*hedge=*/true);
   }
 }
@@ -340,6 +357,8 @@ void Fleet::reload_tick(double now) {
   rep.reloaded = true;
   ++report_.reloads;
   dev.mark("fleet.reload");
+  LS2_LOG(kDebug) << "replica reloaded"
+                  << log_kv("replica", reload_index_).kv("t_us", dev.clock_us());
   reload_index_ = -1;
 }
 
@@ -364,6 +383,8 @@ void Fleet::step_replica(int r) {
     rep.alive = false;
     ++report_.deaths;
     dev.mark("fleet.device_loss");
+    LS2_LOG(kDebug) << "replica died"
+                    << log_kv("replica", r).kv("t_us", dev.clock_us());
     rep.session->end_step();  // unwind the aborted step's arena state
     const double now = dev.clock_us();
     auto evac = rep.engine->evacuate(/*queued_only=*/false);
@@ -388,6 +409,8 @@ void Fleet::step_replica(int r) {
     ++rep.quarantines;
     ++report_.quarantines;
     dev.mark("fleet.quarantine");
+    LS2_LOG(kDebug) << "replica quarantined"
+                    << log_kv("replica", r).kv("count", rep.quarantines);
     const double now = dev.clock_us();
     auto evac = rep.engine->evacuate(/*queued_only=*/false);
     for (auto& ev : evac) {
@@ -541,8 +564,9 @@ void Fleet::finalize(FleetReport& out) {
                 (report_.makespan_us * 1e-6)
           : 0;
 
-  std::vector<double> lat;
-  double sum = 0;
+  // Streaming-histogram percentiles (obs::Histogram), same discipline as
+  // the per-engine report; the mean stays exact via count/sum.
+  obs::Histogram lat;
   report_.requests.reserve(tracked_.size());
   for (const Tracked& t : tracked_) {
     RequestStats st;
@@ -558,8 +582,7 @@ void Fleet::finalize(FleetReport& out) {
     st.deadline_retired = t.deadline_retired;
     if (t.done && !t.shed) {
       ++report_.served;
-      lat.push_back(st.latency_us());
-      sum += st.latency_us();
+      lat.record(st.latency_us());
     } else if (t.shed) {
       ++report_.shed;
     } else {
@@ -567,10 +590,22 @@ void Fleet::finalize(FleetReport& out) {
     }
     report_.requests.push_back(std::move(st));
   }
-  report_.p50_latency_us = percentile(lat, 0.50);
-  report_.p99_latency_us = percentile(lat, 0.99);
-  report_.mean_latency_us = lat.empty() ? 0 : sum / static_cast<double>(lat.size());
+  report_.p50_latency_us = lat.quantile(0.50);
+  report_.p99_latency_us = lat.quantile(0.99);
+  report_.mean_latency_us = lat.mean();
   for (Replica& rep : replicas_) report_.replica_reports.push_back(rep.report);
+  if (obs::MetricsRegistry* m = metrics()) {
+    m->counter("fleet.redispatches") += report_.redispatches;
+    m->counter("fleet.deaths") += report_.deaths;
+    m->counter("fleet.quarantines") += report_.quarantines;
+    m->counter("fleet.reloads") += report_.reloads;
+    m->counter("fleet.router_timeouts") += report_.router_timeouts;
+    m->counter("fleet.hedges_fired") += report_.hedges_fired;
+    m->counter("fleet.hedge_wins") += report_.hedge_wins;
+    m->counter("fleet.hedge_cancels") += report_.hedge_cancels;
+    m->gauge("fleet.makespan_us") = report_.makespan_us;
+    m->gauge("fleet.tokens_per_sec") = report_.tokens_per_sec;
+  }
   out = report_;
 }
 

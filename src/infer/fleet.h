@@ -39,6 +39,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -226,6 +227,13 @@ class Fleet {
   std::unique_ptr<dist::HeartbeatMonitor> monitor_;
   FleetReport report_;
   bool ran_ = false;
+  /// Fleet-level rolling SLO (prefix "fleet"): end-to-end latency from the
+  /// ORIGINAL arrival across re-dispatches — the client's view, where the
+  /// per-replica monitors see only their own slice. Engaged when the
+  /// session template carries a MetricsRegistry.
+  std::optional<obs::SloMonitor> slo_;
+  /// The shared registry (via any replica's session), or null.
+  obs::MetricsRegistry* metrics() const;
 };
 
 }  // namespace ls2::infer

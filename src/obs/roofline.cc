@@ -1,0 +1,145 @@
+#include "obs/roofline.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace ls2::obs {
+
+void collect_device_metrics(MetricsRegistry& reg, const simgpu::Device& device,
+                            const std::string& prefix) {
+  const simgpu::DeviceStats& s = device.stats();
+  reg.counter(prefix + ".launches") = s.launches;
+  reg.counter(prefix + ".replayed_launches") = s.replayed_launches;
+  reg.counter(prefix + ".graph_replays") = s.graph_replays;
+  reg.counter(prefix + ".bytes_moved") = s.bytes_moved;
+  reg.counter(prefix + ".comm_transfers") = s.comm_transfers;
+  reg.gauge(prefix + ".flops") = s.flops;
+  reg.gauge(prefix + ".busy_us") = s.busy_us;
+  reg.gauge(prefix + ".overhead_us") = s.overhead_us;
+  reg.gauge(prefix + ".launch_gap_us") = s.launch_gap_us;
+  reg.gauge(prefix + ".alloc_stall_us") = s.alloc_stall_us;
+  reg.gauge(prefix + ".graph_launch_us") = s.graph_launch_us;
+  reg.gauge(prefix + ".comm_us") = s.comm_us;
+  reg.gauge(prefix + ".exposed_comm_us") = s.exposed_comm_us;
+  const double total = s.busy_us + s.overhead_us;
+  reg.gauge(prefix + ".utilization") = total > 0 ? s.busy_us / total : 0.0;
+  for (const auto& [name, ks] : device.per_kernel()) {
+    const std::string base = prefix + ".kernel." + name;
+    reg.counter(base + ".launches") = ks.launches;
+    reg.counter(base + ".bytes") = ks.bytes;
+    reg.gauge(base + ".flops") = ks.flops;
+    reg.gauge(base + ".exec_us") = ks.exec_us;
+    reg.gauge(base + ".time_us") = ks.time_us;
+    reg.gauge(base + ".tensor_core") = ks.tensor_core ? 1.0 : 0.0;
+  }
+}
+
+RooflineReport build_roofline(const MetricsRegistry& reg,
+                              const simgpu::DeviceProfile& profile,
+                              const std::string& prefix) {
+  RooflineReport report;
+  report.busy_us = 0;
+  if (reg.has_gauge(prefix + ".busy_us"))
+    report.busy_us = reg.gauges().at(prefix + ".busy_us");
+  if (reg.has_gauge(prefix + ".exposed_comm_us"))
+    report.exposed_comm_us = reg.gauges().at(prefix + ".exposed_comm_us");
+
+  // Family discovery: every "<prefix>.kernel.<family>.exec_us" gauge is one
+  // roofline row. The family name itself may contain dots, so match on the
+  // fixed prefix and suffix rather than splitting.
+  const std::string kprefix = prefix + ".kernel.";
+  const std::string ksuffix = ".exec_us";
+  for (const auto& [name, exec_us] : reg.gauges()) {
+    if (name.size() <= kprefix.size() + ksuffix.size()) continue;
+    if (name.compare(0, kprefix.size(), kprefix) != 0) continue;
+    if (name.compare(name.size() - ksuffix.size(), ksuffix.size(), ksuffix) != 0)
+      continue;
+    const std::string family =
+        name.substr(kprefix.size(), name.size() - kprefix.size() - ksuffix.size());
+    const std::string base = kprefix + family;
+
+    RooflineEntry e;
+    e.family = family;
+    e.exec_us = exec_us;
+    report.kernel_us += e.exec_us;  // coverage counts even dropped rows
+    if (e.exec_us <= 0) continue;
+    if (reg.has_counter(base + ".launches"))
+      e.launches = reg.counters().at(base + ".launches");
+    if (reg.has_counter(base + ".bytes"))
+      e.bytes = static_cast<double>(reg.counters().at(base + ".bytes"));
+    if (reg.has_gauge(base + ".flops")) e.flops = reg.gauges().at(base + ".flops");
+    if (reg.has_gauge(base + ".tensor_core"))
+      e.tensor_core = reg.gauges().at(base + ".tensor_core") != 0.0;
+
+    e.intensity = e.bytes > 0 ? e.flops / e.bytes : 0.0;
+    // bytes/us -> GB/s is /1e3; flops/us -> TFLOPs is /1e6.
+    e.achieved_gb_s = e.bytes / e.exec_us / 1e3;
+    e.achieved_tflops = e.flops / e.exec_us / 1e6;
+    e.peak_gb_s = profile.mem_bw_gb_s;
+    e.peak_tflops = e.tensor_core ? profile.fp16_tflops : profile.fp32_tflops;
+    e.mem_util = e.peak_gb_s > 0 ? e.achieved_gb_s / e.peak_gb_s : 0.0;
+    e.compute_util = e.peak_tflops > 0 ? e.achieved_tflops / e.peak_tflops : 0.0;
+    e.compute_bound = e.compute_util >= e.mem_util;
+    e.utilization = std::max(e.mem_util, e.compute_util);
+    e.share = report.busy_us > 0 ? e.exec_us / report.busy_us : 0.0;
+    report.entries.push_back(std::move(e));
+  }
+  std::sort(report.entries.begin(), report.entries.end(),
+            [](const RooflineEntry& a, const RooflineEntry& b) {
+              if (a.exec_us != b.exec_us) return a.exec_us > b.exec_us;
+              return a.family < b.family;  // deterministic tie-break
+            });
+  report.other_busy_us = std::max(
+      0.0, report.busy_us - report.kernel_us - report.exposed_comm_us);
+  return report;
+}
+
+RooflineReport build_roofline(const simgpu::Device& device) {
+  MetricsRegistry scratch;
+  collect_device_metrics(scratch, device, "device");
+  return build_roofline(scratch, device.profile(), "device");
+}
+
+std::string format_roofline(const RooflineReport& report, size_t top_k) {
+  std::ostringstream os;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-28s %8s %12s %7s %9s %9s %7s  %s\n",
+                "kernel family", "launches", "exec_us", "share%", "GB/s",
+                "TFLOPs", "util%", "bound");
+  os << line;
+  const size_t n = std::min(top_k, report.entries.size());
+  for (size_t i = 0; i < n; ++i) {
+    const RooflineEntry& e = report.entries[i];
+    std::snprintf(line, sizeof(line),
+                  "%-28s %8lld %12.1f %6.2f%% %9.1f %9.2f %6.1f%%  %s%s\n",
+                  e.family.c_str(), static_cast<long long>(e.launches), e.exec_us,
+                  100.0 * e.share, e.achieved_gb_s, e.achieved_tflops,
+                  100.0 * e.utilization, e.compute_bound ? "compute" : "memory",
+                  e.tensor_core ? " (tc)" : "");
+    os << line;
+  }
+  if (report.entries.size() > n) {
+    double rest = 0;
+    for (size_t i = n; i < report.entries.size(); ++i)
+      rest += report.entries[i].exec_us;
+    std::snprintf(line, sizeof(line), "%-28s %8s %12.1f\n",
+                  ("... +" + std::to_string(report.entries.size() - n) +
+                   " more families")
+                      .c_str(),
+                  "", rest);
+    os << line;
+  }
+  std::snprintf(line, sizeof(line), "%-28s %8s %12.1f\n", "exposed comm", "",
+                report.exposed_comm_us);
+  os << line;
+  std::snprintf(line, sizeof(line), "%-28s %8s %12.1f\n", "other busy", "",
+                report.other_busy_us);
+  os << line;
+  std::snprintf(line, sizeof(line), "%-28s %8s %12.1f  (covered %.1f)\n",
+                "device busy total", "", report.busy_us, report.covered_us());
+  os << line;
+  return os.str();
+}
+
+}  // namespace ls2::obs

@@ -1,0 +1,82 @@
+// Unified telemetry: roofline kernel profiler (DESIGN.md §12).
+//
+// Aggregates per-kernel-family bytes / flops / execution time against the
+// DeviceProfile peaks and classifies each family as memory- or compute-
+// bound, the standard roofline read: achieved bandwidth vs peak HBM
+// bandwidth on one axis, achieved throughput vs the (tensor-core or FP32)
+// FLOP peak on the other, bound by whichever side the analytical cost model
+// maxed. Because kernel exec time in the simulator is exactly
+// max(bytes/BW_eff, flops/TP_eff), every family's bound-side utilization is
+// its achieved efficiency fraction — in (0, 1] by construction.
+//
+// The report is built from MetricsRegistry data alone (the scrape in
+// collect_device_metrics is the only reader of simgpu state), so a
+// snapshot-to-JSON of the registry is sufficient to reproduce the fig15
+// breakdown offline. Coverage is exact: kernel_us + exposed_comm_us +
+// other_busy_us == DeviceStats::busy_us with no double-count and no gap,
+// because kernel_us sums the new KernelStats::exec_us (pure execution, no
+// launch gaps) and the two remainder rows partition the busy advance()
+// sites.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "simgpu/device.h"
+#include "simgpu/profile.h"
+
+namespace ls2::obs {
+
+struct RooflineEntry {
+  std::string family;  ///< kernel name (e.g. "ls2.layernorm_fw")
+  int64_t launches = 0;
+  double bytes = 0;
+  double flops = 0;
+  double exec_us = 0;         ///< pure execution time (no launch gaps)
+  double intensity = 0;       ///< flops / byte
+  double achieved_gb_s = 0;   ///< bytes / exec time
+  double achieved_tflops = 0; ///< flops / exec time
+  double peak_gb_s = 0;
+  double peak_tflops = 0;     ///< tensor-core or FP32 peak per the family
+  double mem_util = 0;        ///< achieved_gb_s / peak_gb_s
+  double compute_util = 0;    ///< achieved_tflops / peak_tflops
+  double utilization = 0;     ///< bound-side utilization, in (0, 1]
+  bool compute_bound = false;
+  bool tensor_core = false;
+  double share = 0;  ///< exec_us / DeviceStats::busy_us
+};
+
+struct RooflineReport {
+  std::vector<RooflineEntry> entries;  ///< sorted by exec_us, descending
+  double kernel_us = 0;        ///< Σ family exec_us
+  double exposed_comm_us = 0;  ///< comm time the compute stream waited on
+  double other_busy_us = 0;    ///< busy advance() time outside both above
+  double busy_us = 0;          ///< DeviceStats::busy_us at scrape time
+  /// kernel_us + exposed_comm_us + other_busy_us — equals busy_us up to
+  /// floating-point noise (the fig_obs coverage criterion).
+  double covered_us() const { return kernel_us + exposed_comm_us + other_busy_us; }
+};
+
+/// Scrape DeviceStats and the per-kernel-family table into `reg` under
+/// `prefix`: device-level gauges/counters ("<prefix>.busy_us", ...) and one
+/// metric group per family ("<prefix>.kernel.<family>.{launches,bytes,
+/// flops,exec_us,time_us,tensor_core}"). Idempotent per (prefix, device):
+/// gauges are overwritten, counters reset to the device's cumulative value.
+void collect_device_metrics(MetricsRegistry& reg, const simgpu::Device& device,
+                            const std::string& prefix = "device");
+
+/// Build the roofline report from registry data alone (no simgpu access) —
+/// the metrics must have been collected under `prefix` by
+/// collect_device_metrics. Families with zero execution time are dropped.
+RooflineReport build_roofline(const MetricsRegistry& reg,
+                              const simgpu::DeviceProfile& profile,
+                              const std::string& prefix = "device");
+
+/// Convenience: scrape into a scratch registry and build.
+RooflineReport build_roofline(const simgpu::Device& device);
+
+/// Human-readable top-K table (all coverage rows always included).
+std::string format_roofline(const RooflineReport& report, size_t top_k = 10);
+
+}  // namespace ls2::obs

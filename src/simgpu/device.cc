@@ -69,6 +69,8 @@ void Device::launch(const KernelDesc& launch_desc, const std::function<void()>& 
     stats_.replayed_launches += 1;
     stats_.busy_us += exec;
     ks.time_us += exec;
+    ks.exec_us += exec;
+    ks.tensor_core = desc.tensor_core;
     const double busy_begin = clock_us_;
     clock_us_ += exec;
     if (record_timeline_) timeline_.record_busy(busy_begin, clock_us_);
@@ -86,6 +88,8 @@ void Device::launch(const KernelDesc& launch_desc, const std::function<void()>& 
     stats_.overhead_us += overhead;
     stats_.launch_gap_us += overhead;
     ks.time_us += overhead + exec;
+    ks.exec_us += exec;
+    ks.tensor_core = desc.tensor_core;
     clock_us_ += overhead;
     const double busy_begin = clock_us_;
     clock_us_ += exec;

@@ -58,7 +58,12 @@ struct KernelStats {
   int64_t launches = 0;
   int64_t bytes = 0;
   double flops = 0;
-  double time_us = 0;
+  double time_us = 0;  ///< execution + launch gaps (what the family cost the clock)
+  /// Pure execution time (no launch gaps / graph dispatch) — the roofline
+  /// profiler's numerator: summed over families it equals the kernel share
+  /// of DeviceStats::busy_us exactly, replayed or eager.
+  double exec_us = 0;
+  bool tensor_core = false;  ///< family ran on the tensor-core peak (GEMM)
 };
 
 struct DeviceStats {

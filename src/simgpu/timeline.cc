@@ -152,12 +152,41 @@ void Timeline::write_chrome_trace(const std::string& path) const {
                   s.begin_us, s.end_us - s.begin_us);
     emit(buf);
   }
-  // Labelled stage/microbatch chunks on their rank's lanes.
+  // Labelled stage/microbatch/span chunks on their rank's lanes, as
+  // balanced duration-begin/-end ("B"/"E") pairs so nested telemetry spans
+  // (step > stage > bucket > kernel-range) stack in the viewer. Events are
+  // sorted by timestamp; at equal timestamps ends precede begins (adjacent
+  // spans don't overlap), outer begins precede inner ones (longer first)
+  // and inner ends precede outer ones (shorter first), which keeps every
+  // lane's B/E sequence properly nested.
+  struct SpanEvent {
+    bool is_begin;
+    double ts;
+    double dur;
+    const NamedSpan* span;
+  };
+  std::vector<SpanEvent> events;
+  events.reserve(named_.size() * 2);
   for (const NamedSpan& s : named_) {
+    events.push_back({true, s.begin_us, s.end_us - s.begin_us, &s});
+    events.push_back({false, s.end_us, s.end_us - s.begin_us, &s});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              if (a.ts != b.ts) return a.ts < b.ts;
+              if (a.is_begin != b.is_begin) return !a.is_begin;  // E before B
+              if (a.dur != b.dur)
+                return a.is_begin ? a.dur > b.dur : a.dur < b.dur;
+              // Identical-extent spans: close in reverse open order (LIFO).
+              return a.is_begin ? a.span->name < b.span->name
+                                : a.span->name > b.span->name;
+            });
+  for (const SpanEvent& e : events) {
     std::snprintf(buf, sizeof(buf),
-                  "{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"name\":\"%s\","
-                  "\"ts\":%.3f,\"dur\":%.3f}",
-                  s.pid, s.tid, s.name.c_str(), s.begin_us, s.end_us - s.begin_us);
+                  "{\"ph\":\"%c\",\"pid\":%d,\"tid\":%d,\"name\":\"%s\","
+                  "\"ts\":%.3f}",
+                  e.is_begin ? 'B' : 'E', e.span->pid, e.span->tid,
+                  e.span->name.c_str(), e.ts);
     emit(buf);
   }
   // Fault/retry markers as thread-scoped instant events (rendered as small
