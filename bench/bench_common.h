@@ -105,13 +105,24 @@ struct ServeHarness {
   bool poisoned() const { return session->graph_poisoned(); }
 };
 
+/// Paged-cache overrides for make_serve_harness. Defaults reproduce the
+/// model's own kv_cache_config: 16-token pages, a pool sized for every lane
+/// at full length (no oversubscription), no sharing.
+struct PagedKnobs {
+  int64_t page_tokens = 0;  ///< 0 = model default; pass max_len for the
+                            ///< degenerate one-page-per-sequence layout
+  int64_t total_pages = 0;  ///< 0 = slots x pages_per_seq (never preempts)
+  bool prefix_sharing = false;
+};
+
 inline ServeHarness make_serve_harness(const models::Gpt2Config& cfg,
                                        const simgpu::DeviceProfile& profile,
                                        int64_t slots, int64_t max_len,
                                        infer::BatchMode mode, bool graph,
                                        bool record_timeline = false,
                                        int64_t max_prompt_len = 32,
-                                       DType dtype = DType::kF16, uint64_t seed = 17) {
+                                       DType dtype = DType::kF16, uint64_t seed = 17,
+                                       PagedKnobs paged = {}) {
   ServeHarness h;
   SessionConfig sc;
   sc.system = System::kLightSeq2;
@@ -124,8 +135,12 @@ inline ServeHarness make_serve_harness(const models::Gpt2Config& cfg,
   h.session = std::make_unique<Session>(sc);
   h.model = std::make_unique<models::Gpt2>(cfg, System::kLightSeq2, dtype, seed,
                                            h.session->param_alloc());
-  h.cache = std::make_unique<infer::KvCache>(h.model->kv_cache_config(slots, max_len),
-                                             h.session->param_alloc());
+  infer::KvCacheConfig kcfg = h.model->kv_cache_config(slots, max_len);
+  if (paged.page_tokens > 0)
+    kcfg.page_tokens = std::min(paged.page_tokens, kcfg.seq_tokens);
+  if (paged.total_pages > 0) kcfg.total_pages = paged.total_pages;
+  kcfg.prefix_sharing = paged.prefix_sharing;
+  h.cache = std::make_unique<infer::KvCache>(kcfg, h.session->param_alloc());
   infer::ServeConfig scfg;
   scfg.mode = mode;
   h.engine = std::make_unique<infer::ContinuousBatcher>(*h.session, *h.model, *h.cache,

@@ -35,6 +35,11 @@
 #                      (metrics/roofline/SLO/golden-snapshot, Chrome-trace
 #                      well-formedness), and (release only) fig_obs with its
 #                      schema check (overhead < 1%, roofline coverage).
+#   --smoke paged      Paged-KV smoke lane: the serving/infer test binary
+#                      (paged-vs-contiguous bitwise parity, COW fork
+#                      isolation, block-table graph replay), and (release
+#                      only) fig_page with its schema check (>= 4x residents
+#                      at fixed KV bytes, prefix-sharing hit rate > 0).
 #
 # Fails on the first error; a bench that exits nonzero OR writes no/invalid
 # JSON fails the run (ci/check_bench_json.py — python3 is required for the
@@ -47,7 +52,7 @@ SMOKE=full
 while [ $# -gt 0 ]; do
   case "$1" in
     --preset) PRESET="${2:?ci.sh: --preset needs a value (release|sanitize|tsan)}"; shift 2 ;;
-    --smoke) SMOKE="${2:?ci.sh: --smoke needs a value (full|tp|pp|fault|fleet|obs)}"; shift 2 ;;
+    --smoke) SMOKE="${2:?ci.sh: --smoke needs a value (full|tp|pp|fault|fleet|obs|paged)}"; shift 2 ;;
     *) echo "ci.sh: unknown argument '$1'" >&2; exit 2 ;;
   esac
 done
@@ -73,7 +78,7 @@ case "$PRESET" in
     ;;
   *) echo "ci.sh: unknown preset '$PRESET'" >&2; exit 2 ;;
 esac
-case "$SMOKE" in full|tp|pp|fault|fleet|obs) ;; *) echo "ci.sh: unknown smoke '$SMOKE'" >&2; exit 2 ;; esac
+case "$SMOKE" in full|tp|pp|fault|fleet|obs|paged) ;; *) echo "ci.sh: unknown smoke '$SMOKE'" >&2; exit 2 ;; esac
 
 echo "ci.sh: preset=$PRESET smoke=$SMOKE -> $BUILD_DIR"
 cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
@@ -97,6 +102,8 @@ elif [ "$SMOKE" = fleet ]; then
   ctest --output-on-failure --timeout 300 --no-tests=error -R fleet_test
 elif [ "$SMOKE" = obs ]; then
   ctest --output-on-failure --timeout 300 --no-tests=error -R 'obs_test|trace_test'
+elif [ "$SMOKE" = paged ]; then
+  ctest --output-on-failure --timeout 300 --no-tests=error -R infer_test
 else
   ctest --output-on-failure --timeout 300 --no-tests=error -j "$(nproc)"
 fi
@@ -133,6 +140,10 @@ elif [ "$SMOKE" = obs ]; then
   echo "ci.sh: smoke-running ./fig_obs"
   ./fig_obs >/dev/null
   python3 ../ci/check_bench_json.py fig_obs
+elif [ "$SMOKE" = paged ]; then
+  echo "ci.sh: smoke-running ./fig_page"
+  ./fig_page >/dev/null
+  python3 ../ci/check_bench_json.py fig_page
 else
   # Smoke-run EVERY paper-figure bench (all run in kModelOnly, so this is
   # cheap) so bench binaries can't bit-rot silently, then schema-check the
@@ -143,7 +154,7 @@ else
     echo "ci.sh: smoke-running $bench"
     "$bench" >/dev/null
   done
-  python3 ../ci/check_bench_json.py fig22 fig_launch_graph fig_serve fig_tp fig_3d fig_fault fig_fleet fig_obs
+  python3 ../ci/check_bench_json.py fig22 fig_launch_graph fig_serve fig_tp fig_3d fig_fault fig_fleet fig_obs fig_page
 fi
 
 echo "ci.sh: all checks passed"

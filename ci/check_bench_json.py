@@ -331,6 +331,47 @@ def check_fig_obs():
             fail(f"fig_obs: instrumentation overhead >= 1% of a step: {r}")
 
 
+def check_fig_page():
+    _, rows = load("fig_page")
+    by_section = {}
+    for r in rows:
+        by_section.setdefault(r.get("section"), []).append(r)
+    for section in ("capacity", "sharing"):
+        if section not in by_section:
+            fail(f"fig_page: missing the '{section}' section")
+
+    # Capacity: at a FIXED KV byte budget, paging must admit >= 4x the
+    # concurrent residents of the degenerate one-page-per-sequence layout,
+    # serve or shed every request (never lose one), and keep the decode
+    # step graph-replayable through page churn.
+    for r in by_section["capacity"]:
+        require(r, ("kv_bytes", "degen_slots", "paged_slots",
+                    "degen_peak_resident", "paged_peak_resident",
+                    "resident_ratio", "served", "shed", "preemptions",
+                    "replayed_steps"), "fig_page.capacity")
+        if r["resident_ratio"] < 4.0:
+            fail("fig_page: paging must hold >= 4x the residents at fixed "
+                 f"KV bytes (got {r['resident_ratio']:.2f}x)")
+        if r["served"] + r["shed"] != 64 or r["shed"] != 0:
+            fail(f"fig_page: the capacity burst lost or shed requests: {r}")
+        if r["replayed_steps"] <= 0:
+            fail(f"fig_page: paged decode never replayed its graph: {r}")
+
+    # Sharing: the system-prompt burst must actually hit the prefix
+    # registry, and sharing must shrink prefill page traffic.
+    for r in by_section["sharing"]:
+        require(r, ("requests", "total_pages", "excl_prefill_pages",
+                    "shared_prefill_pages", "shared_page_hits", "hit_rate",
+                    "excl_peak_resident", "shared_peak_resident", "served",
+                    "shed"), "fig_page.sharing")
+        if r["shared_page_hits"] <= 0 or not 0 < r["hit_rate"] < 1:
+            fail(f"fig_page: prefix sharing never hit the page registry: {r}")
+        if not r["shared_prefill_pages"] < r["excl_prefill_pages"]:
+            fail(f"fig_page: sharing did not shrink prefill page traffic: {r}")
+        if r["served"] + r["shed"] != r["requests"]:
+            fail(f"fig_page: the sharing burst lost requests: {r}")
+
+
 CHECKS = {
     "fig22": check_fig22,
     "fig_launch_graph": check_fig_launch_graph,
@@ -340,6 +381,7 @@ CHECKS = {
     "fig_fault": check_fig_fault,
     "fig_fleet": check_fig_fleet,
     "fig_obs": check_fig_obs,
+    "fig_page": check_fig_page,
 }
 
 

@@ -67,53 +67,64 @@ void ContinuousBatcher::submit(Request r) {
   pending_.push_back(idx);
 }
 
-void ContinuousBatcher::admit(size_t r, int64_t slot) {
+bool ContinuousBatcher::admit(size_t r) {
   auto& ctx = session_->ctx();
   auto& dev = session_->device();
   const Request& req = reqs_[r];
   const int64_t Lp = static_cast<int64_t>(req.prompt.size());
   const int64_t V = model_->config().vocab;
-  LS2_CHECK(Lp > 0 && Lp < cache_->config().max_len)
+  LS2_CHECK(Lp > 0 && Lp < cache_->config().seq_tokens)
       << "prompt must fit the cache with room to generate";
+
+  // Lane + pages (shared prefix pages reused when sharing is on). Failure
+  // is backpressure, not an error: the request keeps its queue position.
+  const SequenceHandle h = cache_->allocate(Lp, req.prompt.data());
+  if (!h.valid()) return false;
+  const int64_t lane = cache_->lane(h);
 
   RequestStats& st = stats_[r];
   st.id = req.id;
   st.arrival_us = req.arrival_us;
   st.admitted_us = dev.clock_us();
   st.prompt_len = Lp;
+  // A preempted request re-admits with its generated tokens folded into the
+  // continuation prompt: this residency's token count starts from here.
+  const int64_t already = static_cast<int64_t>(st.tokens.size());
 
   // Host-written metadata tensors stay heap-backed (real even in model-only
   // sessions); activations inside prefill come from the session arena.
   Tensor ids = Tensor::empty({1, Lp}, DType::kI32);
   std::vector<float> host(req.prompt.begin(), req.prompt.end());
   ids.copy_from(host);
+  int32_t tok = 0;
   {
     obs::SpanScope range(dev, "serve.prefill");
-    Tensor logits = model_->prefill(ctx, ids, cache_, {slot});  // [1, Lp, V]
-    cache_->set_len(slot, static_cast<int32_t>(Lp));
+    Tensor logits = model_->prefill(ctx, ids, cache_, {h});  // [1, Lp, V]
     Tensor last = logits.view({Lp, V}).slice(Lp - 1, Lp);  // next-token logits
     Tensor first_tok = Tensor::zeros({1}, DType::kI32);
     gen_.next_tokens(ctx.kern, ctx.policy.softmax, last, first_tok);
-    const int32_t tok = harvest_token(first_tok, 0, slot, 0);
+    tok = harvest_token(first_tok, 0, lane, already);
     st.tokens.push_back(tok);
-    st.first_token_us = dev.clock_us();
+    if (st.first_token_us == 0) st.first_token_us = dev.clock_us();
     ++report_.prefills;
     ++report_.generated_tokens;
-    slots_[static_cast<size_t>(slot)] = SlotState{static_cast<int64_t>(r), 1, tok};
+    slots_[static_cast<size_t>(lane)] =
+        SlotState{static_cast<int64_t>(r), h, already + 1, already, tok};
   }
-  const bool finished = reqs_[r].gen_len <= 1 ||
-                        (cfg_.eos_id >= 0 &&
-                         session_->device().mode() == simgpu::ExecMode::kExecute &&
-                         slots_[static_cast<size_t>(slot)].next_token == cfg_.eos_id);
+  const int32_t eos = req.spec.eos_id >= 0 ? req.spec.eos_id : cfg_.eos_id;
+  const bool finished =
+      static_cast<int64_t>(st.tokens.size()) >= req.spec.gen_len ||
+      (eos >= 0 && session_->device().mode() == simgpu::ExecMode::kExecute && tok == eos);
   if (finished) {
     st.done_us = dev.clock_us();
-    st.generated = 1;
-    cache_->release_slot(slot);
-    slots_[static_cast<size_t>(slot)] = SlotState{};
+    st.generated = static_cast<int64_t>(st.tokens.size());
+    cache_->free(h);
+    slots_[static_cast<size_t>(lane)] = SlotState{};
     completed_new_.push_back(r);
     ++done_;
     if (slo_) slo_->on_served(st.done_us, st.latency_us(), st.generated);
   }
+  return true;
 }
 
 void ContinuousBatcher::shed(size_t r, double now) {
@@ -133,8 +144,15 @@ void ContinuousBatcher::shed(size_t r, double now) {
 void ContinuousBatcher::run_admissions() {
   const double now = session_->device().clock_us();
 
-  // Oldest first: shed the timed-out, admit the rest into free slots. Once
-  // the batch is full the remaining waiters keep their place untouched.
+  // Highest priority first, oldest first within a priority (stable over the
+  // enqueue-ordered queue — preempted continuations sit at the front of
+  // their class and resume before fresh arrivals).
+  std::stable_sort(pending_.begin(), pending_.end(), [this](size_t a, size_t b) {
+    return reqs_[a].spec.priority > reqs_[b].spec.priority;
+  });
+
+  // Shed the timed-out, admit the rest into free lanes. Once the cache
+  // can't place a request the remaining waiters keep their place untouched.
   std::vector<size_t> still;
   still.reserve(pending_.size());
   bool full = false;
@@ -149,13 +167,10 @@ void ContinuousBatcher::run_admissions() {
       shed(r, now);
       continue;
     }
-    const int64_t slot = cache_->acquire_slot();
-    if (slot < 0) {  // batch full — the rest queue (or shed below)
+    if (!admit(r)) {  // no lane or pages — the rest queue (or shed below)
       full = true;
       still.push_back(r);
-      continue;
     }
-    admit(r, slot);
   }
   pending_ = std::move(still);
 
@@ -170,11 +185,90 @@ void ContinuousBatcher::run_admissions() {
   }
 }
 
+void ContinuousBatcher::preempt(int64_t s, double now) {
+  SlotState& ss = slots_[static_cast<size_t>(s)];
+  Request& req = reqs_[static_cast<size_t>(ss.req)];
+  RequestStats& st = stats_[static_cast<size_t>(ss.req)];
+  // Recompute preemption: fold this residency's tokens into a continuation
+  // prompt and give the pages back. Re-admission re-prefills prompt +
+  // prefix — often mostly shared pages when sharing is on.
+  req.prompt.insert(req.prompt.end(), st.tokens.begin() + ss.admitted_tokens,
+                    st.tokens.end());
+  cache_->free(ss.handle);
+  session_->device().mark("serve.preempt");
+  ++report_.preemptions;
+  if (static_cast<int64_t>(req.prompt.size()) >= cache_->config().seq_tokens) {
+    // The continuation could not be re-admitted with room to generate:
+    // ship the partial answer now instead of bouncing forever.
+    st.done_us = now;
+    st.generated = static_cast<int64_t>(st.tokens.size());
+    completed_new_.push_back(static_cast<size_t>(ss.req));
+    ++done_;
+    if (slo_) slo_->on_served(st.done_us, st.latency_us(), st.generated);
+  } else {
+    req.enqueue_us = now;  // fresh queue-time clock; arrival_us (SLO) survives
+    pending_.insert(pending_.begin(), static_cast<size_t>(ss.req));
+  }
+  ss = SlotState{};
+}
+
+void ContinuousBatcher::extend_residents() {
+  auto& ctx = session_->ctx();
+  const double now = session_->device().clock_us();
+  const int64_t S = cache_->config().slots;
+  for (int64_t s = 0; s < S; ++s) {
+    if (slots_[static_cast<size_t>(s)].req < 0) continue;
+    while (!cache_->extend(slots_[static_cast<size_t>(s)].handle, ctx.kern,
+                           ctx.policy.transform)) {
+      // Pool dry: evict the lowest-priority resident, newest arrival on
+      // ties — possibly this very lane. Each eviction frees at least one
+      // lane, so the loop terminates.
+      int64_t victim = -1;
+      for (int64_t v = 0; v < S; ++v) {
+        if (slots_[static_cast<size_t>(v)].req < 0) continue;
+        if (victim < 0) {
+          victim = v;
+          continue;
+        }
+        const Request& rv = reqs_[static_cast<size_t>(slots_[static_cast<size_t>(v)].req)];
+        const Request& rb =
+            reqs_[static_cast<size_t>(slots_[static_cast<size_t>(victim)].req)];
+        if (rv.spec.priority < rb.spec.priority ||
+            (rv.spec.priority == rb.spec.priority && rv.arrival_us > rb.arrival_us)) {
+          victim = v;
+        }
+      }
+      LS2_CHECK(victim >= 0);
+      preempt(victim, now);
+      if (victim == s) break;  // evicted ourselves; the lane is free now
+    }
+  }
+}
+
+void ContinuousBatcher::retire(int64_t s, bool expired) {
+  SlotState& ss = slots_[static_cast<size_t>(s)];
+  RequestStats& st = stats_[static_cast<size_t>(ss.req)];
+  st.done_us = session_->device().clock_us();
+  st.generated = ss.generated;
+  if (expired) {
+    st.deadline_retired = true;
+    ++report_.deadline_retired;
+  }
+  cache_->free(ss.handle);
+  completed_new_.push_back(static_cast<size_t>(ss.req));
+  ss = SlotState{};
+  ++done_;
+  if (slo_) slo_->on_served(st.done_us, st.latency_us(), st.generated);
+}
+
 void ContinuousBatcher::decode_once() {
   auto& dev = session_->device();
   auto& ctx = session_->ctx();
   const int64_t S = cache_->config().slots;
   const bool execute = dev.mode() == simgpu::ExecMode::kExecute;
+
+  // Page bookkeeping (allocation, COW) happens here, before any capture.
+  extend_residents();
 
   int32_t* ip = ids_.data<int32_t>();
   for (int64_t s = 0; s < S; ++s) {
@@ -185,7 +279,7 @@ void ContinuousBatcher::decode_once() {
   // A transient allocation failure (injected or real) aborts the
   // attempt — the graph guard abandons any open capture/replay, the
   // arena rewinds via end_step — and the step reruns after a doubling
-  // idle backoff. KvCache state is untouched until commit_decode, so a
+  // idle backoff. KvCache lengths are untouched until commit_decode, so a
   // rerun is exact. The retry budget bounds how long a request can be
   // stalled by a flapping fault before the error surfaces.
   int attempts = 0;
@@ -238,37 +332,25 @@ void ContinuousBatcher::decode_once() {
   for (int64_t s = 0; s < S; ++s) {
     SlotState& ss = slots_[static_cast<size_t>(s)];
     if (ss.req < 0) continue;
+    const Request& rq = reqs_[static_cast<size_t>(ss.req)];
     const int32_t tok = harvest_token(sampled_, s, s, ss.generated);
     stats_[static_cast<size_t>(ss.req)].tokens.push_back(tok);
     ++ss.generated;
     ++report_.generated_tokens;
-    // Retire at the request's cap, at EOS, or when the slot's K/V block
-    // is full — capacity caps generation rather than crashing the step.
-    const bool natural =
-        ss.generated >= reqs_[static_cast<size_t>(ss.req)].gen_len ||
-        (execute && cfg_.eos_id >= 0 && tok == cfg_.eos_id) ||
-        cache_->len(s) >= cache_->config().max_len;
+    // Retire at the request's cap, at EOS, or when the sequence's token
+    // budget is full — capacity caps generation rather than crashing.
+    const int32_t eos = rq.spec.eos_id >= 0 ? rq.spec.eos_id : cfg_.eos_id;
+    const bool natural = ss.generated >= rq.spec.gen_len ||
+                         (execute && eos >= 0 && tok == eos) ||
+                         cache_->len(ss.handle) >= cache_->config().seq_tokens;
     // Deadline degradation: past the SLO, ship the partial answer now. The
     // deadline runs from the ORIGINAL arrival — a re-dispatched request
     // does not get a fresh SLO budget.
+    const double ddl = rq.spec.deadline_us > 0 ? rq.spec.deadline_us : cfg_.deadline_us;
     const bool expired =
-        !natural && cfg_.deadline_us > 0 &&
-        dev.clock_us() - reqs_[static_cast<size_t>(ss.req)].arrival_us >=
-            cfg_.deadline_us;
-    const bool finished = natural || expired;
-    if (finished) {
-      RequestStats& st = stats_[static_cast<size_t>(ss.req)];
-      st.done_us = dev.clock_us();
-      st.generated = ss.generated;
-      if (expired) {
-        st.deadline_retired = true;
-        ++report_.deadline_retired;
-      }
-      cache_->release_slot(s);
-      completed_new_.push_back(static_cast<size_t>(ss.req));
-      ss = SlotState{};
-      ++done_;
-      if (slo_) slo_->on_served(st.done_us, st.latency_us(), st.generated);
+        !natural && ddl > 0 && dev.clock_us() - rq.arrival_us >= ddl;
+    if (natural || expired) {
+      retire(s, expired);
     } else {
       ss.next_token = tok;
     }
@@ -282,9 +364,9 @@ bool ContinuousBatcher::step() {
   // replica admits nothing — its queue was evacuated, residents finish.
   const bool may_admit =
       !draining_ &&
-      (cfg_.mode == BatchMode::kContinuous || cache_->active_slots() == 0);
+      (cfg_.mode == BatchMode::kContinuous || cache_->active_seqs() == 0);
   if (may_admit) run_admissions();
-  const bool decoded = cache_->active_slots() > 0;
+  const bool decoded = cache_->active_seqs() > 0;
   if (decoded) decode_once();
   if (slo_) {
     // The "live" part of the SLO monitors: rolling gauges refresh once per
@@ -294,6 +376,13 @@ bool ContinuousBatcher::step() {
     m->gauge(cfg_.metrics_prefix + ".queue_depth") =
         static_cast<double>(queue_depth());
     m->gauge(cfg_.metrics_prefix + ".resident") = static_cast<double>(resident());
+    const KvCache::Stats& ks = cache_->stats();
+    m->gauge(cfg_.metrics_prefix + ".kv.page_occupancy") =
+        static_cast<double>(cache_->used_pages()) /
+        static_cast<double>(cache_->config().pool_pages());
+    m->gauge(cfg_.metrics_prefix + ".kv.share_ratio") =
+        static_cast<double>(ks.shared_page_hits) /
+        static_cast<double>(std::max<int64_t>(1, ks.shared_page_hits + ks.pages_allocated));
   }
   return decoded;
 }
@@ -317,7 +406,7 @@ std::vector<ContinuousBatcher::Evacuated> ContinuousBatcher::evacuate(bool queue
       stats_[r].generated = ss.generated;
       ++done_;
       out.push_back({reqs_[r], stats_[r]});
-      cache_->release_slot(s);
+      cache_->free(ss.handle);
       ss = SlotState{};
     }
   }
@@ -332,7 +421,7 @@ bool ContinuousBatcher::cancel(int64_t id) {
     RequestStats& st = stats_[static_cast<size_t>(ss.req)];
     st.cancelled = true;
     st.generated = ss.generated;
-    cache_->release_slot(s);
+    cache_->free(ss.handle);
     ss = SlotState{};
     ++done_;
     return true;
@@ -362,6 +451,12 @@ ServeReport ContinuousBatcher::finish() {
                                ? static_cast<double>(report_.generated_tokens) /
                                      (report_.makespan_us * 1e-6)
                                : 0;
+  const KvCache::Stats& ks = cache_->stats();
+  report_.peak_resident = ks.peak_active_seqs;
+  report_.peak_pages_used = ks.peak_used_pages;
+  report_.prefill_page_allocs = ks.prefill_pages;
+  report_.shared_page_hits = ks.shared_page_hits;
+  report_.cow_copies = ks.cow_copies;
   // Streaming-histogram percentiles (obs::Histogram): O(1) per record and a
   // bucket walk per quantile, instead of sorting the full latency vector.
   // count/sum/min/max are exact, so the mean is too; the quantiles carry
@@ -382,6 +477,9 @@ ServeReport ContinuousBatcher::finish() {
     m->counter(cfg_.metrics_prefix + ".generated_tokens") += report_.generated_tokens;
     m->counter(cfg_.metrics_prefix + ".decode_retries") += report_.decode_retries;
     m->counter(cfg_.metrics_prefix + ".deadline_retired") += report_.deadline_retired;
+    m->counter(cfg_.metrics_prefix + ".kv.shared_page_hits") += report_.shared_page_hits;
+    m->counter(cfg_.metrics_prefix + ".kv.cow_copies") += report_.cow_copies;
+    m->counter(cfg_.metrics_prefix + ".kv.preemptions") += report_.preemptions;
   }
   report_.requests = std::move(stats_);
   stats_.clear();
@@ -444,7 +542,7 @@ std::vector<Request> poisson_requests(int64_t n, double rate_per_sec, int64_t pr
       r.prompt.push_back(static_cast<int32_t>(
           3 + rng.randint(3, static_cast<uint64_t>(i * 1024 + j), std::max<int64_t>(vocab - 3, 1))));
     }
-    r.gen_len = gen_lo + rng.randint(4, static_cast<uint64_t>(i), gen_hi - gen_lo + 1);
+    r.spec.gen_len = gen_lo + rng.randint(4, static_cast<uint64_t>(i), gen_hi - gen_lo + 1);
     reqs.push_back(std::move(r));
   }
   return reqs;
@@ -463,14 +561,18 @@ size_t serve_capacity_scan(const models::Gpt2Config& cfg, DType dtype, int64_t s
   models::Gpt2 model(cfg, layers::System::kLightSeq2, dtype, seed, &param_alloc);
   KvCache cache(model.kv_cache_config(slots, max_len), &param_alloc);
 
-  // Worst-case admission: a full-slot padded prefill at the prompt cap...
+  // Worst-case admission: a full-lane padded prefill at the prompt cap...
   Tensor ids = Tensor::zeros({slots, max_prompt_len}, DType::kI32);
   ids.fill_(3);
-  std::vector<int64_t> slot_ids;
-  for (int64_t s = 0; s < slots; ++s) slot_ids.push_back(cache.acquire_slot());
-  { (void)model.prefill(ctx, ids, &cache, slot_ids); }
-  for (int64_t s = 0; s < slots; ++s) cache.set_len(s, static_cast<int32_t>(max_prompt_len));
+  std::vector<SequenceHandle> seqs;
+  for (int64_t s = 0; s < slots; ++s) {
+    seqs.push_back(cache.allocate(max_prompt_len));
+    LS2_CHECK(seqs.back().valid());
+  }
+  { (void)model.prefill(ctx, ids, &cache, seqs); }
   // ...plus the steady-state decode step with its sampling launch.
+  for (const SequenceHandle& h : seqs)
+    LS2_CHECK(cache.extend(h, ctx.kern, ctx.policy.transform));
   Tensor step_ids = Tensor::zeros({slots, 1}, DType::kI32);
   Tensor sampled = Tensor::zeros({slots}, DType::kI32);
   cache.begin_decode();

@@ -1,17 +1,23 @@
 // Request scheduling for the serving engine: continuous batching vs the
 // static-wave baseline.
 //
-// The engine owns one steady-state DECODE loop over a fixed set of KV-cache
-// slots. Each engine step is:
+// The engine owns one steady-state DECODE loop over a fixed set of decode
+// lanes backed by the paged KV cache. Each engine step is:
 //
-//   [admissions]  arrived requests claim free slots; each prompt runs one
-//                 eager prefill (B=1) that writes its K/V and samples the
-//                 first token — never captured, shapes vary per prompt;
-//   [decode]      ONE static-shape decode step over ALL slots (inactive
-//                 slots attend nothing and are ignored) — the region
+//   [admissions]  arrived requests allocate a lane + pages (shared-prefix
+//                 pages reused); each prompt runs one eager prefill (B=1)
+//                 that writes its K/V and samples the first token — never
+//                 captured, shapes vary per prompt;
+//   [extend]      every resident sequence backs its next append row
+//                 (KvCache::extend — page allocation and COW copies, all
+//                 outside the captured region); when the pool runs dry the
+//                 lowest-priority resident is PREEMPTED: its tokens fold
+//                 into a continuation prompt re-queued at the front;
+//   [decode]      ONE static-shape decode step over ALL lanes (inactive
+//                 lanes attend nothing and are ignored) — the region
 //                 core::Session::begin_decode_step captures once and then
 //                 replays as a single graph launch;
-//   [retire]      finished sequences free their slots immediately.
+//   [retire]      finished sequences free their lane and pages immediately.
 //
 // Continuous batching (FastSeq/Orca discipline) admits into any free slot
 // every step, so the decode batch stays full under load; the static
@@ -81,13 +87,30 @@ struct ServeConfig {
   std::string metrics_prefix = "serve";
 };
 
+/// Per-request serving knobs, carried with the request through submit(),
+/// Fleet dispatch/re-dispatch, and the fault-tolerance retry path — one
+/// struct instead of per-field plumbing. Every field except gen_len is an
+/// override of the ServeConfig default (sentinel = inherit).
+struct RequestSpec {
+  /// Tokens to generate — a cap: EOS (execute mode) or the sequence's K/V
+  /// capacity (prompt + generated reaching KvCacheConfig::seq_tokens) may
+  /// retire the sequence earlier.
+  int64_t gen_len = 1;
+  /// >0: per-request completion deadline overriding ServeConfig::deadline_us
+  /// (from the ORIGINAL arrival — survives router re-dispatch).
+  double deadline_us = 0;
+  /// >=0: per-request stop token overriding ServeConfig::eos_id.
+  int32_t eos_id = -1;
+  /// Admission and preemption rank: higher admits first; lower is evicted
+  /// first when the page pool runs dry. Ties break oldest-first (admission)
+  /// / newest-first (eviction).
+  int32_t priority = 0;
+};
+
 struct Request {
   int64_t id = 0;
   std::vector<int32_t> prompt;
-  /// Tokens to generate — a cap: EOS (execute mode) or the slot's K/V
-  /// capacity (prompt + generated reaching KvCacheConfig::max_len) may
-  /// retire the sequence earlier.
-  int64_t gen_len = 1;
+  RequestSpec spec;
   double arrival_us = 0;
   /// 0: same as arrival_us. A router RE-DISPATCH (replica death, drain,
   /// transient-fault retry) sets this to the re-enqueue time while
@@ -138,6 +161,13 @@ struct ServeReport {
   int64_t shed_requests = 0;     ///< rejected by timeout / queue bound
   int64_t deadline_retired = 0;  ///< retired early with a partial answer
   int64_t decode_retries = 0;    ///< decode steps rerun after transient faults
+  // --- paged-KV telemetry (fig_page's evidence) ---
+  int64_t peak_resident = 0;       ///< max concurrently resident sequences
+  int64_t peak_pages_used = 0;     ///< max pool pages live at once
+  int64_t prefill_page_allocs = 0; ///< fresh pages claimed by prompt prefills
+  int64_t shared_page_hits = 0;    ///< prefix pages reused instead of allocated
+  int64_t cow_copies = 0;          ///< shared tail pages copied on first write
+  int64_t preemptions = 0;         ///< sequences evicted (recompute) on pool exhaustion
 };
 
 class ContinuousBatcher {
@@ -167,10 +197,10 @@ class ContinuousBatcher {
   /// The rolling-reload path: drain, wait for resident()==0, reload, rejoin.
   void set_draining(bool on) { draining_ = on; }
   bool draining() const { return draining_; }
-  bool has_work() const { return !pending_.empty() || cache_->active_slots() > 0; }
-  /// Arrived requests waiting for a slot (queue pressure — the JSQ signal).
+  bool has_work() const { return !pending_.empty() || cache_->active_seqs() > 0; }
+  /// Arrived requests waiting for a lane (queue pressure — the JSQ signal).
   int64_t queue_depth() const { return static_cast<int64_t>(pending_.size()); }
-  int64_t resident() const { return cache_->active_slots(); }
+  int64_t resident() const { return cache_->active_seqs(); }
 
   /// A request pulled off this engine before completing: the request AS
   /// SUBMITTED here plus its partial stats (tokens generated so far,
@@ -198,21 +228,39 @@ class ContinuousBatcher {
  private:
   struct SlotState {
     int64_t req = -1;        ///< index into the request vector; -1 free
+    SequenceHandle handle;   ///< this lane's KV sequence
     int64_t generated = 0;
+    /// st.tokens.size() at (re-)admission: tokens at or past this index were
+    /// generated by THIS residency — a preemption folds them into the
+    /// continuation prompt; earlier ones are already part of it.
+    int64_t admitted_tokens = 0;
     int32_t next_token = 0;  ///< fed to the next decode step
   };
 
-  /// Claim `slot` for request `r`: prefill its prompt (eager), record the
-  /// cache length, and sample the first generated token.
-  void admit(size_t r, int64_t slot);
+  /// Try to claim a lane + pages for request `r`: prefill its prompt
+  /// (eager; shared prefix pages skipped) and sample the next token. False
+  /// when the cache can't place it (no lane or pages) — the caller treats
+  /// the batch as full.
+  bool admit(size_t r);
   /// Reject request `r` (overload shed): it completes immediately with an
   /// error and no tokens.
   void shed(size_t r, double now);
-  /// Admission scan with the degradation knobs: timeout sheds, slot claims,
-  /// queue-bound backpressure — over the pending queue, oldest first.
+  /// Admission scan with the degradation knobs: timeout sheds, lane claims,
+  /// queue-bound backpressure — over the pending queue, highest priority
+  /// first, oldest first within a priority.
   void run_admissions();
   /// The decode step (with transient-fault retries) + harvest/retire.
   void decode_once();
+  /// Back every resident lane's next append row (KvCache::extend), evicting
+  /// victims to the front of the queue when the page pool runs dry — the
+  /// recompute-preemption discipline. Runs before the captured region.
+  void extend_residents();
+  /// Evict lane `s`: fold its generated tokens into a continuation prompt
+  /// re-queued at the FRONT (or complete it with the partial answer when
+  /// the continuation could no longer fit), then free its pages.
+  void preempt(int64_t s, double now);
+  /// Retire lane `s` as complete.
+  void retire(int64_t s, bool expired);
   int32_t harvest_token(const Tensor& sampled, int64_t row, int64_t slot,
                         int64_t generated) const;
 

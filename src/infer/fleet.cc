@@ -32,9 +32,11 @@ Fleet::Fleet(FleetConfig cfg) : cfg_(std::move(cfg)) {
     rep.model = std::make_unique<models::Gpt2>(cfg_.model, sc.system, sc.dtype,
                                                cfg_.model_seed,
                                                rep.session->param_alloc());
-    rep.cache = std::make_unique<KvCache>(
-        rep.model->kv_cache_config(cfg_.slots, cfg_.max_len),
-        rep.session->param_alloc());
+    KvCacheConfig kcfg = rep.model->kv_cache_config(cfg_.slots, cfg_.max_len);
+    if (cfg_.page_tokens > 0)
+      kcfg.page_tokens = std::min(cfg_.page_tokens, kcfg.seq_tokens);
+    kcfg.prefix_sharing = cfg_.prefix_sharing;
+    rep.cache = std::make_unique<KvCache>(kcfg, rep.session->param_alloc());
     // All replicas share the one registry (SessionConfig::metrics) but each
     // publishes under its own prefix, so per-replica series stay
     // attributable — the registry-level analog of the per-replica trace pid.
@@ -122,8 +124,9 @@ void Fleet::dispatch_to(size_t tracked, int replica, double now, bool hedge) {
   r.id = next_dispatch_id_++;
   r.prompt = t.base.prompt;
   r.prompt.insert(r.prompt.end(), t.tokens.begin(), t.tokens.end());
-  r.gen_len = t.base.gen_len - static_cast<int64_t>(t.tokens.size());
-  LS2_CHECK(r.gen_len > 0) << "a finished request must not be re-dispatched";
+  r.spec = t.base.spec;  // deadline/eos/priority travel with every hand-over
+  r.spec.gen_len = t.base.spec.gen_len - static_cast<int64_t>(t.tokens.size());
+  LS2_CHECK(r.spec.gen_len > 0) << "a finished request must not be re-dispatched";
   r.arrival_us = t.base.arrival_us;
   // First dispatch keeps enqueue == arrival; every hand-over (re-dispatch or
   // hedge copy) stamps the hand-over time so the engine's admission timeout

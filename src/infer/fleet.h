@@ -74,6 +74,12 @@ struct FleetConfig {
   uint64_t model_seed = 31;
   int64_t slots = 4;
   int64_t max_len = 144;
+  /// Paged-KV overrides for every replica's cache. 0 keeps the model
+  /// default page size; prefix_sharing lets a re-dispatched continuation
+  /// (original prompt + generated prefix) reuse full pages that any earlier
+  /// residency of the same stream already filled.
+  int64_t page_tokens = 0;
+  bool prefix_sharing = false;
 
   // --- hedging (policy == kHedged) ---
   /// Fire the duplicate when a dispatch is outstanding past this percentile

@@ -1,5 +1,8 @@
 #include "kernels/transform.h"
 
+#include <algorithm>
+#include <cstring>
+
 #include "common/parallel.h"
 #include "kernels/elementwise.h"
 
@@ -213,15 +216,212 @@ void kv_cache_store(KernelContext& kc, Impl impl, const Tensor& k_new, const Ten
            /*positions=*/nullptr);
 }
 
-void kv_cache_append(KernelContext& kc, Impl impl, const Tensor& k_new, const Tensor& v_new,
-                     const Tensor& k_cache, const Tensor& v_cache, const Tensor& positions) {
+namespace {
+
+// Scatter [B, N, Lq, D] head rows through a block table into a paged pool
+// [P, N, page, D]: logical row l of lane `lane` lands in page
+// table[lane][l / page] at in-page row l % page. Prefill (`write_begin`/
+// `write_end` non-null) writes a row range; decode append (`positions`
+// non-null) writes the single row positions[b] with lane = b.
+template <typename T>
+void kv_paged_scatter_body(const Tensor& src, const Tensor& pool, const Tensor& table,
+                           const int32_t* lanes, const int32_t* begins,
+                           const int32_t* ends, const int32_t* positions) {
+  const int64_t N = src.shape()[1], Lq = src.shape()[2], D = src.shape()[3];
+  const int64_t pool_pages = pool.shape()[0], page = pool.shape()[2];
+  const int64_t pps = table.shape()[1];
+  const int32_t* tp = table.data<int32_t>();
+  const T* xp = src.data<T>();
+  T* cp = pool.data<T>();
+  auto dst_row = [&](const int32_t* row, int64_t n, int64_t pos) -> T* {
+    LS2_CHECK(pos >= 0 && pos < pps * page) << "kv pool: position " << pos
+                                            << " beyond block table reach";
+    const int64_t pg = row[pos / page];
+    LS2_CHECK(pg >= 0 && pg < pool_pages) << "kv pool: page id out of range";
+    return cp + ((pg * N + n) * page + pos % page) * D;
+  };
+  parallel_for(0, src.shape()[0] * N, [&](int64_t bn) {
+    const int64_t b = bn / N, n = bn % N;
+    const int64_t lane = lanes ? lanes[b] : b;
+    LS2_CHECK(lane >= 0 && lane < table.shape()[0]) << "kv pool: lane out of range";
+    const int32_t* row = tp + lane * pps;
+    const T* srow = xp + (bn * Lq) * D;
+    if (positions) {
+      std::memcpy(dst_row(row, n, positions[b]), srow,
+                  static_cast<size_t>(D) * sizeof(T));
+      return;
+    }
+    const int64_t lo = begins[b], hi = ends[b];
+    LS2_CHECK(lo >= 0 && lo <= hi && hi <= Lq) << "kv pool: bad write range";
+    for (int64_t l = lo; l < hi; ++l) {
+      std::memcpy(dst_row(row, n, l), srow + l * D,
+                  static_cast<size_t>(D) * sizeof(T));
+    }
+  });
+}
+
+void kv_paged_write(KernelContext& kc, Impl impl, const char* tag, const Tensor& k_new,
+                    const Tensor& v_new, const Tensor& k_pool, const Tensor& v_pool,
+                    const Tensor& table, const Tensor* lanes, const Tensor* write_begin,
+                    const Tensor* write_end, const Tensor* positions) {
+  LS2_CHECK_EQ(k_new.shape().rank(), 4);
+  LS2_CHECK(k_new.shape() == v_new.shape());
+  LS2_CHECK(k_pool.shape() == v_pool.shape());
+  LS2_CHECK_EQ(k_pool.shape().rank(), 4);
+  LS2_CHECK_EQ(k_new.shape()[1], k_pool.shape()[1]);
+  LS2_CHECK_EQ(k_new.shape()[3], k_pool.shape()[3]);
+  LS2_CHECK(table.dtype() == DType::kI32);
+  LS2_CHECK_EQ(table.shape().rank(), 2);
+  const int64_t nb = static_cast<int64_t>(k_new.bytes());
+  const int64_t meta = static_cast<int64_t>(table.bytes()) + k_new.shape()[0] * 12;
+  auto body = [&] {
+    LS2_DISPATCH_FLOAT(k_new.dtype(), T, {
+      kv_paged_scatter_body<T>(k_new, k_pool, table,
+                               lanes ? lanes->data<int32_t>() : nullptr,
+                               write_begin ? write_begin->data<int32_t>() : nullptr,
+                               write_end ? write_end->data<int32_t>() : nullptr,
+                               positions ? positions->data<int32_t>() : nullptr);
+      kv_paged_scatter_body<T>(v_new, v_pool, table,
+                               lanes ? lanes->data<int32_t>() : nullptr,
+                               write_begin ? write_begin->data<int32_t>() : nullptr,
+                               write_end ? write_end->data<int32_t>() : nullptr,
+                               positions ? positions->data<int32_t>() : nullptr);
+    });
+  };
+  if (impl == Impl::kLS2) {
+    kc.dev.launch(desc(std::string("ls2.") + tag, 2 * nb + meta, 2 * nb,
+                       kFusedTransposeEff),
+                  body);
+    return;
+  }
+  kc.dev.launch(desc(std::string("torch.") + tag + "_k", nb + meta, nb,
+                     kBaselineTransposeEff),
+                nullptr);
+  kc.dev.launch(desc(std::string("torch.") + tag + "_v", nb + meta, nb,
+                     kBaselineTransposeEff),
+                body);
+}
+
+// Materialize each lane's first lens[s] logical rows into contiguous
+// scratch [S, N, Lcap, D], zero beyond the len. Copies run page-contiguous
+// runs, never crossing a page boundary in one memcpy.
+template <typename T>
+void kv_gather_body(const Tensor& pool, const Tensor& table, const Tensor& lens,
+                    const Tensor& out) {
+  const int64_t N = out.shape()[1], Lcap = out.shape()[2], D = out.shape()[3];
+  const int64_t pool_pages = pool.shape()[0], page = pool.shape()[2];
+  const int64_t pps = table.shape()[1];
+  const int32_t* tp = table.data<int32_t>();
+  const int32_t* lp = lens.data<int32_t>();
+  const T* cp = pool.data<T>();
+  T* op = out.data<T>();
+  std::memset(static_cast<void*>(op), 0, out.bytes());
+  parallel_for(0, out.shape()[0] * N, [&](int64_t sn) {
+    const int64_t s = sn / N, n = sn % N;
+    const int64_t len = lp[s];
+    LS2_CHECK(len >= 0 && len <= Lcap) << "kv gather: len " << len
+                                       << " exceeds scratch capacity " << Lcap;
+    const int32_t* row = tp + s * pps;
+    T* orow = op + (sn * Lcap) * D;
+    for (int64_t l = 0; l < len;) {
+      const int64_t pg = row[l / page];
+      LS2_CHECK(pg >= 0 && pg < pool_pages) << "kv gather: page id out of range";
+      const int64_t in = l % page;
+      const int64_t run = std::min(page - in, len - l);
+      std::memcpy(orow + l * D, cp + ((pg * N + n) * page + in) * D,
+                  static_cast<size_t>(run * D) * sizeof(T));
+      l += run;
+    }
+  });
+}
+
+}  // namespace
+
+void kv_cache_store_paged(KernelContext& kc, Impl impl, const Tensor& k_new,
+                          const Tensor& v_new, const Tensor& k_pool, const Tensor& v_pool,
+                          const Tensor& block_table, const Tensor& lanes,
+                          const Tensor& write_begin, const Tensor& write_end) {
+  LS2_CHECK(lanes.dtype() == DType::kI32 && write_begin.dtype() == DType::kI32 &&
+            write_end.dtype() == DType::kI32);
+  LS2_CHECK_EQ(lanes.numel(), k_new.shape()[0]);
+  LS2_CHECK_EQ(write_begin.numel(), k_new.shape()[0]);
+  LS2_CHECK_EQ(write_end.numel(), k_new.shape()[0]);
+  kv_paged_write(kc, impl, "kv_store_paged", k_new, v_new, k_pool, v_pool, block_table,
+                 &lanes, &write_begin, &write_end, /*positions=*/nullptr);
+}
+
+void kv_cache_append_paged(KernelContext& kc, Impl impl, const Tensor& k_new,
+                           const Tensor& v_new, const Tensor& k_pool, const Tensor& v_pool,
+                           const Tensor& block_table, const Tensor& positions) {
   LS2_CHECK(positions.dtype() == DType::kI32);
-  LS2_CHECK_EQ(k_new.shape()[2], 1) << "append writes one token per slot";
-  LS2_CHECK_EQ(k_new.shape()[0], k_cache.shape()[0])
-      << "decode appends run at full slot batch";
+  LS2_CHECK_EQ(k_new.shape()[2], 1) << "append writes one token per lane";
+  LS2_CHECK_EQ(k_new.shape()[0], block_table.shape()[0])
+      << "decode appends run at full lane batch";
   LS2_CHECK_EQ(positions.numel(), k_new.shape()[0]);
-  kv_write(kc, impl, "kv_cache_append", k_new, v_new, k_cache, v_cache, /*slots=*/nullptr,
-           &positions);
+  kv_paged_write(kc, impl, "kv_append_paged", k_new, v_new, k_pool, v_pool, block_table,
+                 /*lanes=*/nullptr, /*write_begin=*/nullptr, /*write_end=*/nullptr,
+                 &positions);
+}
+
+void kv_cache_gather(KernelContext& kc, Impl impl, const Tensor& k_pool,
+                     const Tensor& v_pool, const Tensor& block_table,
+                     const Tensor& attend_lens, const Tensor& k_out, const Tensor& v_out) {
+  LS2_CHECK(k_pool.shape() == v_pool.shape());
+  LS2_CHECK(k_out.shape() == v_out.shape());
+  LS2_CHECK_EQ(k_out.shape().rank(), 4);
+  LS2_CHECK_EQ(k_out.shape()[1], k_pool.shape()[1]);
+  LS2_CHECK_EQ(k_out.shape()[3], k_pool.shape()[3]);
+  LS2_CHECK(block_table.dtype() == DType::kI32 && attend_lens.dtype() == DType::kI32);
+  LS2_CHECK_EQ(k_out.shape()[0], block_table.shape()[0]);
+  LS2_CHECK_EQ(attend_lens.numel(), k_out.shape()[0]);
+  // Charge at full scratch capacity: the traffic must be shape-static so a
+  // replayed decode step validates against the captured graph.
+  const int64_t nb = static_cast<int64_t>(k_out.bytes());
+  const int64_t meta =
+      static_cast<int64_t>(block_table.bytes()) + k_out.shape()[0] * 4;
+  auto body = [&] {
+    LS2_DISPATCH_FLOAT(k_out.dtype(), T, {
+      kv_gather_body<T>(k_pool, block_table, attend_lens, k_out);
+      kv_gather_body<T>(v_pool, block_table, attend_lens, v_out);
+    });
+  };
+  if (impl == Impl::kLS2) {
+    kc.dev.launch(desc("ls2.kv_gather", 2 * nb + meta, 2 * nb, kFusedTransposeEff), body);
+    return;
+  }
+  kc.dev.launch(desc("torch.kv_gather_k", nb + meta, nb, kBaselineTransposeEff), nullptr);
+  kc.dev.launch(desc("torch.kv_gather_v", nb + meta, nb, kBaselineTransposeEff), body);
+}
+
+void kv_page_copy(KernelContext& kc, Impl impl, const Tensor& k_pool, const Tensor& v_pool,
+                  int64_t src_page, int64_t dst_page, int64_t rows) {
+  LS2_CHECK(k_pool.shape() == v_pool.shape());
+  LS2_CHECK_EQ(k_pool.shape().rank(), 4);
+  const int64_t P = k_pool.shape()[0], N = k_pool.shape()[1], page = k_pool.shape()[2],
+                D = k_pool.shape()[3];
+  LS2_CHECK(src_page >= 0 && src_page < P && dst_page >= 0 && dst_page < P &&
+            src_page != dst_page);
+  LS2_CHECK(rows >= 0 && rows <= page);
+  if (rows == 0) return;
+  const int64_t nb = rows * N * D * static_cast<int64_t>(dtype_size(k_pool.dtype()));
+  auto body = [&] {
+    LS2_DISPATCH_FLOAT(k_pool.dtype(), T, {
+      for (const Tensor* pool : {&k_pool, &v_pool}) {
+        T* cp = pool->data<T>();
+        parallel_for(0, N, [&](int64_t n) {
+          std::memcpy(cp + ((dst_page * N + n) * page) * D,
+                      cp + ((src_page * N + n) * page) * D,
+                      static_cast<size_t>(rows * D) * sizeof(T));
+        });
+      }
+    });
+  };
+  if (impl == Impl::kLS2) {
+    kc.dev.launch(desc("ls2.kv_page_copy", 2 * nb, 2 * nb, kFusedTransposeEff), body);
+    return;
+  }
+  kc.dev.launch(desc("torch.kv_page_copy_k", nb, nb, kBaselineTransposeEff), nullptr);
+  kc.dev.launch(desc("torch.kv_page_copy_v", nb, nb, kBaselineTransposeEff), body);
 }
 
 void merge_heads_bw(KernelContext& kc, Impl impl, const Tensor& dy, const Tensor& dx) {

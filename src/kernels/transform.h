@@ -32,19 +32,55 @@ void merge_heads_bw(KernelContext& kc, Impl impl, const Tensor& dy, const Tensor
 
 // --- KV-cache layout kernels (incremental decoding, src/infer/) ---
 //
-// The cache keeps each layer's keys/values in head layout [S, N, Lmax, D]
-// (S pre-allocated request slots). Writes are strided row scatters; under
-// kLS2 keys and values move in ONE fused launch, baselines charge one copy
-// kernel per tensor.
+// Self-attention K/V live in a paged pool [P, N, page, D] (P fixed-size
+// pages; infer::KvCache owns the page bookkeeping). A block table
+// (i32 [S, pages_per_seq], S decode lanes) maps each lane's logical token
+// positions to pool pages; writers and the gather below address rows as
+// (table[lane][pos / page], pos % page). The table, positions and lens
+// tensors are host-written heap metadata — replay-time graph parameters
+// read inside kernel bodies, so the launch sequence and byte charges stay
+// STATIC across decode steps (the capture contract). Under kLS2 keys and
+// values move in ONE fused launch; baselines charge one copy kernel per
+// tensor.
+//
+// Cross-attention K/V blocks stay contiguous [S, N, cross_len, D]
+// (write-once at encode time) and use the plain kv_cache_store below.
 
-/// Prefill write: k_new/v_new [B, N, Lq, D] land in cache slots
-/// `slots` (i32 [B]) at rows [0, Lq).
+/// Contiguous prefill write (CROSS blocks only): k_new/v_new [B, N, Lq, D]
+/// land in cache slots `slots` (i32 [B]) at rows [0, Lq).
 void kv_cache_store(KernelContext& kc, Impl impl, const Tensor& k_new, const Tensor& v_new,
                     const Tensor& k_cache, const Tensor& v_cache, const Tensor& slots);
 
-/// Decode append: k_new/v_new [S, N, 1, D] land in cache row
-/// `positions[s]` (i32 [S]) of slot s — one token per slot per step.
-void kv_cache_append(KernelContext& kc, Impl impl, const Tensor& k_new, const Tensor& v_new,
-                     const Tensor& k_cache, const Tensor& v_cache, const Tensor& positions);
+/// Paged prefill write: rows [write_begin[b], write_end[b]) of k_new/v_new
+/// [B, N, Lq, D] land in lane `lanes[b]`'s pages through `block_table`.
+/// Rows below write_begin already live in shared prefix pages and must not
+/// be rewritten; rows at or above write_end exceed the lane's backed
+/// capacity (padded prompt tails).
+void kv_cache_store_paged(KernelContext& kc, Impl impl, const Tensor& k_new,
+                          const Tensor& v_new, const Tensor& k_pool, const Tensor& v_pool,
+                          const Tensor& block_table, const Tensor& lanes,
+                          const Tensor& write_begin, const Tensor& write_end);
+
+/// Paged decode append: k_new/v_new [S, N, 1, D] land at logical row
+/// `positions[s]` (i32 [S]) of lane s through `block_table` — one token per
+/// lane per step. Free lanes' table rows point at the trash page.
+void kv_cache_append_paged(KernelContext& kc, Impl impl, const Tensor& k_new,
+                           const Tensor& v_new, const Tensor& k_pool, const Tensor& v_pool,
+                           const Tensor& block_table, const Tensor& positions);
+
+/// Decode gather: materialize each lane's first `attend_lens[s]` cached
+/// rows into contiguous scratch k_out/v_out [S, N, Lcap, D] (zero-filled
+/// beyond the len, so masked attention sees exact zeros — the bitwise-
+/// parity contract). Byte charges are taken at full Lcap so replayed steps
+/// validate against the captured graph regardless of current lens.
+void kv_cache_gather(KernelContext& kc, Impl impl, const Tensor& k_pool,
+                     const Tensor& v_pool, const Tensor& block_table,
+                     const Tensor& attend_lens, const Tensor& k_out, const Tensor& v_out);
+
+/// Copy-on-write: duplicate the first `rows` token rows of page `src_page`
+/// into `dst_page` in both pools. Eager-only (page bookkeeping runs outside
+/// captured decode regions).
+void kv_page_copy(KernelContext& kc, Impl impl, const Tensor& k_pool, const Tensor& v_pool,
+                  int64_t src_page, int64_t dst_page, int64_t rows);
 
 }  // namespace ls2::kern

@@ -361,9 +361,9 @@ Tensor SelfAttention::prefill(LayerContext& ctx, const Tensor& x, const Tensor* 
   return core_.infer_forward(ctx, q, k, v, /*residual=*/x, key_lens, cfg_.causal);
 }
 
-Tensor SelfAttention::decode_step(LayerContext& ctx, const Tensor& x, const Tensor& k_cache,
-                                  const Tensor& v_cache, const Tensor& positions,
-                                  const Tensor& attend_lens) {
+Tensor SelfAttention::decode_step(LayerContext& ctx, const Tensor& x, const Tensor& k_pool,
+                                  const Tensor& v_pool, const Tensor& block_table,
+                                  const Tensor& positions, const Tensor& attend_lens) {
   const int64_t S = x.shape()[0], H = x.shape()[2];
   LS2_CHECK_EQ(x.shape()[1], 1) << "decode_step takes one token per slot";
   LS2_CHECK_EQ(H, cfg_.hidden);
@@ -385,10 +385,22 @@ Tensor SelfAttention::decode_step(LayerContext& ctx, const Tensor& x, const Tens
   kern::bias_split_transpose_fw(ctx.kern, ctx.policy.transform, qkv, b_qkv_.value(ctx),
                                 {q, k, v});
 
-  // The new token's K/V must be resident in the cache before the scores
+  // The new token's K/V must be resident in the pool before the scores
   // GEMM — the single query then attends rows [0, attend_lens[s]).
-  kern::kv_cache_append(ctx.kern, ctx.policy.transform, k, v, k_cache, v_cache, positions);
-  return core_.infer_forward(ctx, q, k_cache, v_cache, /*residual=*/x, &attend_lens,
+  kern::kv_cache_append_paged(ctx.kern, ctx.policy.transform, k, v, k_pool, v_pool,
+                              block_table, positions);
+
+  // Gather each lane's cached rows into contiguous scratch for the batched
+  // scores GEMM. Scratch spans the table's full reach (shape-static for
+  // graph replay); rows past attend_lens are exact zeros, so the masked
+  // softmax output — and every decoded token — is bitwise-identical to a
+  // contiguous cache of any capacity ≥ attend_len.
+  const int64_t Lcap = block_table.shape()[1] * k_pool.shape()[2];
+  Tensor kg = ctx.alloc({S, N, Lcap, D}, dt);
+  Tensor vg = ctx.alloc({S, N, Lcap, D}, dt);
+  kern::kv_cache_gather(ctx.kern, ctx.policy.transform, k_pool, v_pool, block_table,
+                        attend_lens, kg, vg);
+  return core_.infer_forward(ctx, q, kg, vg, /*residual=*/x, &attend_lens,
                              /*causal=*/false);
 }
 

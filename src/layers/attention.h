@@ -49,7 +49,7 @@ class AttentionCore {
   /// nothing saved for backward. `causal` is explicit because cached decode
   /// attends a single query over [0, len) — causal masking is encoded in
   /// key_lens there, while prefill keeps the config's causal mask. k/v may be
-  /// KV-cache blocks [S, N, Lmax, D] whose tail rows key_lens masks off.
+  /// gathered KV scratch [S, N, Lcap, D] whose tail rows key_lens masks off.
   Tensor infer_forward(LayerContext& ctx, const Tensor& q, const Tensor& k, const Tensor& v,
                        const Tensor& residual, const Tensor* key_lens, bool causal);
 
@@ -99,13 +99,17 @@ class SelfAttention {
                  Tensor* k_out = nullptr, Tensor* v_out = nullptr);
 
   /// Single-query cached decode: x [S, 1, H]. This step's K/V are appended
-  /// into the cache blocks (k_cache/v_cache [S, N, Lmax, D]) at row
-  /// `positions[s]` BEFORE the scores GEMM, and the query attends over
-  /// cache rows [0, attend_lens[s]) via the masked softmax — the causal
-  /// structure reduces to the key-length bound at Lq = 1.
-  Tensor decode_step(LayerContext& ctx, const Tensor& x, const Tensor& k_cache,
-                     const Tensor& v_cache, const Tensor& positions,
-                     const Tensor& attend_lens);
+  /// into the paged pools (k_pool/v_pool [P, N, page, D]) through the
+  /// lane-indexed `block_table` at logical row `positions[s]` BEFORE the
+  /// scores GEMM; the cached rows [0, attend_lens[s]) are then gathered
+  /// into contiguous zero-padded scratch the masked softmax reads — the
+  /// causal structure reduces to the key-length bound at Lq = 1, and the
+  /// zero padding keeps decode bitwise-identical to a contiguous cache.
+  /// block_table/positions/attend_lens are host-written heap i32 read
+  /// inside kernel bodies: replay-time graph parameters.
+  Tensor decode_step(LayerContext& ctx, const Tensor& x, const Tensor& k_pool,
+                     const Tensor& v_pool, const Tensor& block_table,
+                     const Tensor& positions, const Tensor& attend_lens);
 
  private:
   AttentionConfig cfg_;

@@ -31,11 +31,13 @@ Tensor TransformerDecoderLayer::prefill(LayerContext& ctx, const Tensor& x,
 }
 
 Tensor TransformerDecoderLayer::decode_step(LayerContext& ctx, const Tensor& x,
-                                            const Tensor& k_cache, const Tensor& v_cache,
+                                            const Tensor& k_pool, const Tensor& v_pool,
+                                            const Tensor& block_table,
                                             const Tensor& positions,
                                             const Tensor& attend_lens, const Tensor& cross_k,
                                             const Tensor& cross_v, const Tensor* src_lens) {
-  Tensor h = self_attn_.decode_step(ctx, x, k_cache, v_cache, positions, attend_lens);
+  Tensor h = self_attn_.decode_step(ctx, x, k_pool, v_pool, block_table, positions,
+                                    attend_lens);
   h = cross_attn_.infer_forward(ctx, h, cross_k, cross_v, src_lens);
   return ffn_.infer_forward(ctx, h);
 }

@@ -36,12 +36,13 @@ class TransformerDecoderLayer {
   Tensor prefill(LayerContext& ctx, const Tensor& x, const Tensor* tgt_lens,
                  const Tensor& cross_k, const Tensor& cross_v, const Tensor* src_lens,
                  Tensor* k_out = nullptr, Tensor* v_out = nullptr);
-  /// Single-token cached decode: self-attention over the growing cache,
-  /// cross attention over the static per-slot cross K/V.
-  Tensor decode_step(LayerContext& ctx, const Tensor& x, const Tensor& k_cache,
-                     const Tensor& v_cache, const Tensor& positions,
-                     const Tensor& attend_lens, const Tensor& cross_k,
-                     const Tensor& cross_v, const Tensor* src_lens);
+  /// Single-token cached decode: self-attention through this layer's paged
+  /// K/V pools, cross attention over the static per-lane cross K/V.
+  Tensor decode_step(LayerContext& ctx, const Tensor& x, const Tensor& k_pool,
+                     const Tensor& v_pool, const Tensor& block_table,
+                     const Tensor& positions, const Tensor& attend_lens,
+                     const Tensor& cross_k, const Tensor& cross_v,
+                     const Tensor* src_lens);
 
  private:
   SelfAttention self_attn_;

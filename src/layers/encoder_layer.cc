@@ -22,10 +22,11 @@ Tensor TransformerEncoderLayer::prefill(LayerContext& ctx, const Tensor& x,
 }
 
 Tensor TransformerEncoderLayer::decode_step(LayerContext& ctx, const Tensor& x,
-                                            const Tensor& k_cache, const Tensor& v_cache,
+                                            const Tensor& k_pool, const Tensor& v_pool,
+                                            const Tensor& block_table,
                                             const Tensor& positions,
                                             const Tensor& attend_lens) {
-  Tensor h = attn_.decode_step(ctx, x, k_cache, v_cache, positions, attend_lens);
+  Tensor h = attn_.decode_step(ctx, x, k_pool, v_pool, block_table, positions, attend_lens);
   return ffn_.infer_forward(ctx, h);
 }
 

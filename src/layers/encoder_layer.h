@@ -58,10 +58,10 @@ class TransformerEncoderLayer {
   /// through k_out/v_out for the caller's cache.
   Tensor prefill(LayerContext& ctx, const Tensor& x, const Tensor* key_lens,
                  Tensor* k_out = nullptr, Tensor* v_out = nullptr);
-  /// Single-token cached decode over this layer's cache blocks.
-  Tensor decode_step(LayerContext& ctx, const Tensor& x, const Tensor& k_cache,
-                     const Tensor& v_cache, const Tensor& positions,
-                     const Tensor& attend_lens);
+  /// Single-token cached decode through this layer's paged K/V pools.
+  Tensor decode_step(LayerContext& ctx, const Tensor& x, const Tensor& k_pool,
+                     const Tensor& v_pool, const Tensor& block_table,
+                     const Tensor& positions, const Tensor& attend_lens);
 
  private:
   SelfAttention attn_;

@@ -160,22 +160,36 @@ infer::KvCacheConfig Gpt2::kv_cache_config(int64_t slots, int64_t max_len) const
   kcfg.heads = cfg_.heads;
   kcfg.head_dim = cfg_.hidden / cfg_.heads;
   kcfg.slots = slots;
-  kcfg.max_len = std::min<int64_t>(max_len, cfg_.max_len);
+  kcfg.seq_tokens = std::min<int64_t>(max_len, cfg_.max_len);
+  kcfg.page_tokens = std::min<int64_t>(infer::kDefaultPageTokens, kcfg.seq_tokens);
   kcfg.dtype = params_.dtype();
   return kcfg;
 }
 
 Tensor Gpt2::prefill(layers::LayerContext& ctx, const Tensor& ids, infer::KvCache* cache,
-                     const std::vector<int64_t>& slots, const Tensor* prompt_lens) {
+                     const std::vector<infer::SequenceHandle>& seqs,
+                     const Tensor* prompt_lens) {
   LS2_CHECK(ctx.tp_size() == 1 && !cfg_.tp.enabled())
       << "serving runs unsharded (TP is a training feature)";
   const int64_t B = ids.shape()[0], L = ids.shape()[-1];
-  Tensor slot_ids;
+  Tensor lanes, wbegin, wend;
   if (cache) {
-    LS2_CHECK_EQ(static_cast<int64_t>(slots.size()), B);
-    slot_ids = Tensor::empty({B}, DType::kI32);  // heap: host-written metadata
-    int32_t* sp = slot_ids.data<int32_t>();
-    for (int64_t b = 0; b < B; ++b) sp[b] = static_cast<int32_t>(slots[static_cast<size_t>(b)]);
+    LS2_CHECK_EQ(static_cast<int64_t>(seqs.size()), B);
+    // Heap: host-written metadata.
+    lanes = Tensor::empty({B}, DType::kI32);
+    wbegin = Tensor::empty({B}, DType::kI32);
+    wend = Tensor::empty({B}, DType::kI32);
+    int32_t* lp = lanes.data<int32_t>();
+    int32_t* bp = wbegin.data<int32_t>();
+    int32_t* ep = wend.data<int32_t>();
+    for (int64_t b = 0; b < B; ++b) {
+      const infer::SequenceHandle h = seqs[static_cast<size_t>(b)];
+      lp[b] = static_cast<int32_t>(cache->lane(h));
+      bp[b] = cache->write_begin(h);
+      // Padding rows past the allocated length are dropped: decode appends
+      // claim those positions into pages of their own later.
+      ep[b] = static_cast<int32_t>(std::min<int64_t>(L, cache->len(h)));
+    }
   }
   Tensor h = embed_->prefill(ctx, ids);
   for (size_t i = 0; i < blocks_.size(); ++i) {
@@ -183,9 +197,10 @@ Tensor Gpt2::prefill(layers::LayerContext& ctx, const Tensor& ids, infer::KvCach
     h = blocks_[i]->prefill(ctx, h, prompt_lens, cache ? &k_new : nullptr,
                             cache ? &v_new : nullptr);
     if (cache) {
-      kern::kv_cache_store(ctx.kern, ctx.policy.transform, k_new, v_new,
-                           cache->k(static_cast<int64_t>(i)),
-                           cache->v(static_cast<int64_t>(i)), slot_ids);
+      kern::kv_cache_store_paged(ctx.kern, ctx.policy.transform, k_new, v_new,
+                                 cache->k_pool(static_cast<int64_t>(i)),
+                                 cache->v_pool(static_cast<int64_t>(i)),
+                                 cache->block_table(), lanes, wbegin, wend);
     }
   }
   Tensor out = ctx.alloc({B, L, cfg_.hidden}, params_.dtype());
@@ -202,9 +217,9 @@ Tensor Gpt2::decode_step(layers::LayerContext& ctx, const Tensor& ids,
   LS2_CHECK_EQ(ids.shape()[0], S) << "decode runs the full slot batch";
   Tensor h = embed_->decode_step(ctx, ids, cache.positions());
   for (size_t i = 0; i < blocks_.size(); ++i) {
-    h = blocks_[i]->decode_step(ctx, h, cache.k(static_cast<int64_t>(i)),
-                                cache.v(static_cast<int64_t>(i)), cache.positions(),
-                                cache.attend_lens());
+    h = blocks_[i]->decode_step(ctx, h, cache.k_pool(static_cast<int64_t>(i)),
+                                cache.v_pool(static_cast<int64_t>(i)), cache.block_table(),
+                                cache.positions(), cache.attend_lens());
   }
   Tensor out = ctx.alloc({S, 1, cfg_.hidden}, params_.dtype());
   Tensor mean = ctx.alloc({S}, DType::kF32);

@@ -50,23 +50,30 @@ class Gpt2 {
 
   // --- serving (inference-only: no dropout, nothing saved) ---
 
-  /// Cache geometry this model needs for `slots` concurrent sequences of up
-  /// to `max_len` tokens each (prompt + generated).
+  /// Paged-cache geometry for `slots` concurrent decode lanes of up to
+  /// `max_len` tokens each (prompt + generated), at the default page size.
+  /// Callers tune page_tokens/total_pages/prefix_sharing on the returned
+  /// config before constructing the KvCache.
   infer::KvCacheConfig kv_cache_config(int64_t slots, int64_t max_len) const;
 
   /// Prefill: run prompts ids [B, Lp] (right-padded; `prompt_lens` i32 [B]
   /// masks the padding, nullptr for unpadded) through the full causal stack
-  /// and return logits [B, Lp, vocab]. With `cache`, each layer's K/V are
-  /// scattered into cache slots `slots[b]` rows [0, Lp) — the caller then
-  /// records the true lengths via KvCache::set_len. With cache == nullptr
-  /// this doubles as the full re-forward reference of the parity tests.
+  /// and return logits [B, Lp, vocab]. With `cache`, row b's K/V are
+  /// scattered through `seqs[b]`'s block table into the paged pools —
+  /// rows below write_begin(seqs[b]) already live in shared prefix pages
+  /// and are skipped; rows at or past len(seqs[b]) are padding and are
+  /// dropped (decode appends claim those positions later). With
+  /// cache == nullptr this doubles as the full re-forward reference of the
+  /// parity tests.
   Tensor prefill(layers::LayerContext& ctx, const Tensor& ids, infer::KvCache* cache,
-                 const std::vector<int64_t>& slots, const Tensor* prompt_lens = nullptr);
+                 const std::vector<infer::SequenceHandle>& seqs,
+                 const Tensor* prompt_lens = nullptr);
 
-  /// One incremental decode step over ALL cache slots: ids [S, 1] (the next
-  /// token per slot, pad for free slots), returns logits [S, vocab]. Static
+  /// One incremental decode step over ALL decode lanes: ids [S, 1] (the next
+  /// token per lane, pad for free lanes), returns logits [S, vocab]. Static
   /// shape every step — the graph-capturable serving region. The caller
-  /// brackets it with KvCache::begin_decode / commit_decode.
+  /// brackets it with KvCache::begin_decode / commit_decode, after
+  /// KvCache::extend on every live sequence.
   Tensor decode_step(layers::LayerContext& ctx, const Tensor& ids, infer::KvCache& cache);
 
   layers::ParamRegistry& params() { return params_; }

@@ -243,18 +243,20 @@ infer::KvCacheConfig Transformer::kv_cache_config(int64_t slots, int64_t max_len
   kcfg.heads = cfg_.heads;
   kcfg.head_dim = cfg_.hidden / cfg_.heads;
   kcfg.slots = slots;
-  kcfg.max_len = std::min<int64_t>(max_len, cfg_.max_len);
+  kcfg.seq_tokens = std::min<int64_t>(max_len, cfg_.max_len);
+  kcfg.page_tokens = std::min<int64_t>(infer::kDefaultPageTokens, kcfg.seq_tokens);
   kcfg.cross_len = cross_len;
   kcfg.dtype = params_.dtype();
   return kcfg;
 }
 
 void Transformer::encode(LayerContext& ctx, const Tensor& src_ids, const Tensor& src_lens,
-                         infer::KvCache& cache) {
+                         infer::KvCache& cache,
+                         const std::vector<infer::SequenceHandle>& seqs) {
   LS2_CHECK(ctx.tp_size() == 1 && !cfg_.tp.enabled())
       << "serving runs unsharded (TP is a training feature)";
   const int64_t B = src_ids.shape()[0], Ls = src_ids.shape()[1], H = cfg_.hidden;
-  LS2_CHECK_EQ(B, cache.config().slots) << "encode runs the full slot batch";
+  LS2_CHECK_EQ(B, static_cast<int64_t>(seqs.size()));
   LS2_CHECK_LE(Ls, cache.config().cross_len);
   const DType dt = params_.dtype();
 
@@ -271,26 +273,39 @@ void Transformer::encode(LayerContext& ctx, const Tensor& src_ids, const Tensor&
   std::vector<Tensor> kv = project_cross_kv(ctx, enc_out);
   Tensor slot_ids = Tensor::empty({B}, DType::kI32);  // heap: host metadata
   int32_t* sp = slot_ids.data<int32_t>();
-  for (int64_t b = 0; b < B; ++b) sp[b] = static_cast<int32_t>(b);
+  for (int64_t b = 0; b < B; ++b)
+    sp[b] = static_cast<int32_t>(cache.lane(seqs[static_cast<size_t>(b)]));
   const int32_t* lens = src_lens.data<int32_t>();
   for (int64_t i = 0; i < cfg_.decoder_layers; ++i) {
     kern::kv_cache_store(ctx.kern, ctx.policy.transform, kv[static_cast<size_t>(2 * i)],
                          kv[static_cast<size_t>(2 * i + 1)], cache.cross_k(i),
                          cache.cross_v(i), slot_ids);
   }
-  for (int64_t b = 0; b < B; ++b) cache.set_src_len(b, lens[b]);
+  for (int64_t b = 0; b < B; ++b)
+    cache.set_src_len(seqs[static_cast<size_t>(b)], lens[b]);
 }
 
 Tensor Transformer::prefill(LayerContext& ctx, const Tensor& tgt_in, infer::KvCache& cache,
+                            const std::vector<infer::SequenceHandle>& seqs,
                             const Tensor* tgt_lens) {
   const int64_t B = tgt_in.shape()[0], Lp = tgt_in.shape()[1], H = cfg_.hidden;
-  LS2_CHECK_EQ(B, cache.config().slots) << "prefill runs the full slot batch";
+  LS2_CHECK_EQ(B, static_cast<int64_t>(seqs.size()));
   const DType dt = params_.dtype();
 
-  Tensor slot_ids = Tensor::empty({B}, DType::kI32);  // heap: host metadata
+  // Heap: host-written metadata.
+  Tensor lanes = Tensor::empty({B}, DType::kI32);
+  Tensor wbegin = Tensor::empty({B}, DType::kI32);
+  Tensor wend = Tensor::empty({B}, DType::kI32);
   {
-    int32_t* sp = slot_ids.data<int32_t>();
-    for (int64_t b = 0; b < B; ++b) sp[b] = static_cast<int32_t>(b);
+    int32_t* lp = lanes.data<int32_t>();
+    int32_t* bp = wbegin.data<int32_t>();
+    int32_t* ep = wend.data<int32_t>();
+    for (int64_t b = 0; b < B; ++b) {
+      const infer::SequenceHandle h = seqs[static_cast<size_t>(b)];
+      lp[b] = static_cast<int32_t>(cache.lane(h));
+      bp[b] = cache.write_begin(h);
+      ep[b] = static_cast<int32_t>(std::min<int64_t>(Lp, cache.len(h)));
+    }
   }
   Tensor h = tgt_embed_->prefill(ctx, tgt_in);
   for (size_t i = 0; i < decoder_.size(); ++i) {
@@ -298,9 +313,10 @@ Tensor Transformer::prefill(LayerContext& ctx, const Tensor& tgt_in, infer::KvCa
     h = decoder_[i]->prefill(ctx, h, tgt_lens, cache.cross_k(static_cast<int64_t>(i)),
                              cache.cross_v(static_cast<int64_t>(i)), &cache.src_lens(),
                              &k_new, &v_new);
-    kern::kv_cache_store(ctx.kern, ctx.policy.transform, k_new, v_new,
-                         cache.k(static_cast<int64_t>(i)), cache.v(static_cast<int64_t>(i)),
-                         slot_ids);
+    kern::kv_cache_store_paged(ctx.kern, ctx.policy.transform, k_new, v_new,
+                               cache.k_pool(static_cast<int64_t>(i)),
+                               cache.v_pool(static_cast<int64_t>(i)), cache.block_table(),
+                               lanes, wbegin, wend);
   }
   Tensor out = ctx.alloc({B, Lp, H}, dt);
   Tensor mean = ctx.alloc({B * Lp}, DType::kF32);
@@ -316,9 +332,10 @@ Tensor Transformer::decode_step(LayerContext& ctx, const Tensor& ids,
   LS2_CHECK_EQ(ids.shape()[0], S) << "decode runs the full slot batch";
   Tensor h = tgt_embed_->decode_step(ctx, ids, cache.positions());
   for (size_t i = 0; i < decoder_.size(); ++i) {
-    h = decoder_[i]->decode_step(ctx, h, cache.k(static_cast<int64_t>(i)),
-                                 cache.v(static_cast<int64_t>(i)), cache.positions(),
-                                 cache.attend_lens(), cache.cross_k(static_cast<int64_t>(i)),
+    h = decoder_[i]->decode_step(ctx, h, cache.k_pool(static_cast<int64_t>(i)),
+                                 cache.v_pool(static_cast<int64_t>(i)), cache.block_table(),
+                                 cache.positions(), cache.attend_lens(),
+                                 cache.cross_k(static_cast<int64_t>(i)),
                                  cache.cross_v(static_cast<int64_t>(i)), &cache.src_lens());
   }
   Tensor out = ctx.alloc({S, 1, H}, params_.dtype());

@@ -68,27 +68,29 @@ class Transformer {
 
   // --- serving (inference-only: no dropout, nothing saved) ---
   //
-  // Translation serving runs at the full slot batch (B == cache slots):
-  // encode() runs the source batch once and installs the per-slot cross K/V
+  // Translation serving takes one allocated SequenceHandle per request:
+  // encode() runs the source batch once and installs the per-lane cross K/V
   // — the layer-batched projection computed ONCE per request, reused by
   // every decode step — then prefill()/decode_step() grow the target side
-  // against the self-attention cache exactly like the GPT-2 path.
+  // against the paged self-attention cache exactly like the GPT-2 path.
 
-  /// Cache geometry: decoder self K/V for `max_len` target tokens plus
-  /// cross K/V for `cross_len` source tokens, per slot.
+  /// Cache geometry: paged decoder self K/V for `max_len` target tokens
+  /// plus contiguous cross K/V for `cross_len` source tokens, per lane.
   infer::KvCacheConfig kv_cache_config(int64_t slots, int64_t max_len,
                                        int64_t cross_len) const;
 
   /// Encode src_ids [B, Ls] (right-padded; src_lens i32 [B]) and write every
-  /// decoder layer's cross K/V into cache slots [0, B) — also records the
-  /// per-slot source lengths for the cross-attention mask.
+  /// decoder layer's cross K/V into the lanes of `seqs` — also records the
+  /// per-lane source lengths for the cross-attention mask.
   void encode(layers::LayerContext& ctx, const Tensor& src_ids, const Tensor& src_lens,
-              infer::KvCache& cache);
+              infer::KvCache& cache, const std::vector<infer::SequenceHandle>& seqs);
 
   /// Prefill the target prefix tgt_in [B, Lp] (right-padded; tgt_lens
-  /// optional) and return logits [B, Lp, vocab]. Writes decoder self K/V
-  /// into slots [0, B); the caller records true lengths via set_len.
+  /// optional) and return logits [B, Lp, vocab]. Row b's decoder self K/V
+  /// go through `seqs[b]`'s block table into the paged pools; padding rows
+  /// past len(seqs[b]) are dropped (decode appends claim those positions).
   Tensor prefill(layers::LayerContext& ctx, const Tensor& tgt_in, infer::KvCache& cache,
+                 const std::vector<infer::SequenceHandle>& seqs,
                  const Tensor* tgt_lens = nullptr);
 
   /// One decode step over all slots: ids [S, 1] -> logits [S, vocab].

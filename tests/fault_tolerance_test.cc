@@ -31,6 +31,7 @@
 #include <mutex>
 #include <set>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/checkpoint.h"
@@ -477,7 +478,7 @@ TEST(DegradedServingTest, DeadlineRetiresWithAPartialAnswer) {
     const infer::RequestStats& st = sla.requests[i];
     if (!st.deadline_retired) continue;
     EXPECT_GE(st.generated, 1) << "partial answer, not an empty one";
-    EXPECT_LT(st.generated, reqs[static_cast<size_t>(st.id)].gen_len)
+    EXPECT_LT(st.generated, reqs[static_cast<size_t>(st.id)].spec.gen_len)
         << "deadline retirement is only marked when generation was cut short";
   }
   EXPECT_LE(sla.p99_latency_us, open.p99_latency_us);
@@ -521,84 +522,147 @@ TEST(DegradedServingTest, DecodeStepRetriesTransientAllocFaultTokenExact) {
 }
 
 // ---------------------------------------------------------------------------
-// 7. KV-cache slot lifecycle churn (property test)
+// 7. Paged KV-cache lifecycle churn (refcount / COW / fragmentation property)
 // ---------------------------------------------------------------------------
 
-TEST(KvCacheChurnTest, RandomLifecycleChurnHoldsInvariants) {
+// Random admit / retire / fork / decode churn over an OVERSUBSCRIBED page
+// pool with prefix sharing on. After every operation:
+//   (1) free + used pages == pool (nothing leaks, nothing double-frees);
+//   (2) the refcount sum equals the page references live sequences hold
+//       (fork +1s, COW and free -1s — they must balance exactly);
+//   (3) every used page has refcount >= 1, every free page refcount == 0;
+//   (4) allocate() MUST succeed whenever a lane is free and the free pool
+//       covers the worst case (sharing can only reduce the need).
+TEST(KvCacheChurnTest, RandomPagedLifecycleChurnHoldsInvariants) {
+  simgpu::Device dev(simgpu::generic(), simgpu::ExecMode::kExecute);
+  kern::KernelContext kc(dev, nullptr, 1);
   infer::KvCacheConfig cfg;
   cfg.layers = 1;
   cfg.heads = 1;
   cfg.head_dim = 2;
   cfg.slots = 4;
-  cfg.max_len = 6;
+  cfg.seq_tokens = 12;
+  cfg.page_tokens = 4;
+  cfg.prefix_sharing = true;
+  // 4 lanes x 3 worst-case pages = 12 > 8: lanes outnumber worst-case
+  // memory, so the churn genuinely exercises pool exhaustion.
+  cfg.total_pages = 8;
   infer::KvCache cache(cfg);
+  const int64_t page = cfg.page();
 
   Rng rng(123);
-  std::set<int64_t> active;
-  std::vector<int32_t> lens(static_cast<size_t>(cfg.slots), 0);
+  std::vector<infer::SequenceHandle> active;
+  std::unordered_map<int64_t, int32_t> shadow_len;  // handle id -> expected len
+  const std::vector<int32_t> sys_prompt = {5, 6, 7, 8};  // one full page
 
-  for (uint64_t iter = 0; iter < 600; ++iter) {
-    const int64_t op = rng.randint(1, iter, 3);
+  auto retire_at = [&](size_t i) {
+    shadow_len.erase(active[i].id);
+    cache.free(active[i]);
+    active.erase(active.begin() + static_cast<std::ptrdiff_t>(i));
+  };
+  auto check_invariants = [&]() {
+    ASSERT_EQ(cache.free_pages() + cache.used_pages(), cfg.pool_pages());
+    ASSERT_EQ(cache.active_seqs(), static_cast<int64_t>(active.size()));
+    int64_t held = 0;
+    for (const infer::SequenceHandle& h : active) {
+      held += cache.capacity(h) / page;
+      ASSERT_EQ(cache.len(h), shadow_len[h.id]);
+    }
+    int64_t refsum = 0, used = 0;
+    for (int32_t rc : cache.page_refcounts()) {
+      ASSERT_GE(rc, 0);
+      refsum += rc;
+      if (rc > 0) ++used;
+    }
+    ASSERT_EQ(refsum, held) << "refcounts out of balance with live block tables";
+    ASSERT_EQ(used, cache.used_pages());
+  };
+
+  for (uint64_t iter = 0; iter < 800; ++iter) {
+    const int64_t op = rng.randint(1, iter, 4);
     if (op == 0) {
-      const int64_t s = cache.acquire_slot();
-      if (static_cast<int64_t>(active.size()) == cfg.slots) {
-        EXPECT_EQ(s, -1) << "full cache must refuse, not hand out a slot";
+      // Admit: half the prompts start with the shared system page.
+      std::vector<int32_t> prompt;
+      if (rng.randint(5, iter, 2) == 0) {
+        prompt = sys_prompt;
+        const int64_t tail = rng.randint(6, iter, 3);
+        for (int64_t j = 0; j < tail; ++j)
+          prompt.push_back(static_cast<int32_t>(rng.randint(7, iter * 8 + static_cast<uint64_t>(j), 9)));
       } else {
-        ASSERT_GE(s, 0);
-        ASSERT_LT(s, cfg.slots);
-        EXPECT_EQ(active.count(s), 0u) << "double-acquire of slot " << s;
-        active.insert(s);
-        cache.set_len(s, 1);
-        lens[static_cast<size_t>(s)] = 1;
+        const int64_t len = 1 + rng.randint(6, iter, 6);
+        for (int64_t j = 0; j < len; ++j)
+          prompt.push_back(static_cast<int32_t>(100 + rng.randint(7, iter * 8 + static_cast<uint64_t>(j), 9)));
+      }
+      const int64_t worst = (static_cast<int64_t>(prompt.size()) + page - 1) / page;
+      const bool must_fit = cache.free_lanes() > 0 && cache.free_pages() >= worst;
+      const infer::SequenceHandle h =
+          cache.allocate(static_cast<int64_t>(prompt.size()), prompt.data());
+      if (h.valid()) {
+        active.push_back(h);
+        shadow_len[h.id] = static_cast<int32_t>(prompt.size());
+      } else {
+        EXPECT_FALSE(must_fit) << "allocate refused with a lane and worst-case pages free";
       }
     } else if (op == 1 && !active.empty()) {
-      auto it = active.begin();
-      std::advance(it, static_cast<int64_t>(
-                           rng.randint(2, iter, static_cast<int64_t>(active.size()))));
-      const int64_t s = *it;
-      cache.release_slot(s);
-      active.erase(it);
-      lens[static_cast<size_t>(s)] = 0;
-      EXPECT_FALSE(cache.slot_active(s));
+      retire_at(static_cast<size_t>(
+          rng.randint(2, iter, static_cast<int64_t>(active.size()))));
     } else if (op == 2 && !active.empty()) {
-      bool at_capacity = false;
-      for (int64_t s : active)
-        at_capacity |= lens[static_cast<size_t>(s)] >= cfg.max_len;
-      if (at_capacity) {
-        EXPECT_THROW(cache.begin_decode(), Error)
-            << "a full slot must refuse another decode step";
-        continue;
+      const size_t i = static_cast<size_t>(
+          rng.randint(3, iter, static_cast<int64_t>(active.size())));
+      const bool lane_free = cache.free_lanes() > 0;
+      const infer::SequenceHandle f = cache.fork(active[i]);
+      EXPECT_EQ(f.valid(), lane_free) << "fork succeeds exactly when a lane is free";
+      if (f.valid()) {
+        shadow_len[f.id] = cache.len(active[i]);
+        active.push_back(f);
       }
+    } else if (op == 3 && !active.empty()) {
+      // One decode step: retire at-capacity sequences, extend the rest
+      // (recompute-preemption stand-in: evict the newest when the pool is
+      // dry), then check the step views.
+      for (size_t i = active.size(); i-- > 0;) {
+        if (cache.len(active[i]) >= cfg.seq_tokens) retire_at(i);
+      }
+      for (size_t i = 0; i < active.size();) {
+        if (cache.extend(active[i], kc, kern::Impl::kLS2)) {
+          ++i;
+          continue;
+        }
+        EXPECT_LT(cache.free_pages(), 1) << "extend refused with pages free";
+        retire_at(active.size() - 1);  // evict the newest resident
+        if (i >= active.size()) break;
+      }
+      if (active.empty()) continue;
       cache.begin_decode();
       const int32_t* pos = cache.positions().data<int32_t>();
       const int32_t* att = cache.attend_lens().data<int32_t>();
+      std::set<int64_t> lanes;
+      for (const infer::SequenceHandle& h : active) {
+        const int64_t lane = cache.lane(h);
+        lanes.insert(lane);
+        EXPECT_EQ(pos[lane], shadow_len[h.id]);
+        EXPECT_EQ(att[lane], shadow_len[h.id] + 1);
+      }
       for (int64_t s = 0; s < cfg.slots; ++s) {
-        if (active.count(s)) {
-          EXPECT_EQ(pos[s], lens[static_cast<size_t>(s)]);
-          EXPECT_EQ(att[s], lens[static_cast<size_t>(s)] + 1);
-        } else {
-          EXPECT_EQ(att[s], 0) << "free slots attend nothing";
-        }
+        if (!lanes.count(s)) EXPECT_EQ(att[s], 0) << "free lanes attend nothing";
       }
       cache.commit_decode();
-      for (int64_t s : active) ++lens[static_cast<size_t>(s)];
+      for (const infer::SequenceHandle& h : active) ++shadow_len[h.id];
     }
-
-    // The free-list invariants, every iteration.
-    ASSERT_EQ(cache.active_slots(), static_cast<int64_t>(active.size()));
-    ASSERT_EQ(cache.free_slots(), cfg.slots - static_cast<int64_t>(active.size()));
-    for (int64_t s = 0; s < cfg.slots; ++s) {
-      ASSERT_EQ(cache.slot_active(s), active.count(s) > 0) << "slot " << s;
-      ASSERT_EQ(cache.len(s), lens[static_cast<size_t>(s)]) << "slot " << s;
-    }
+    check_invariants();
   }
 
-  // reset() releases everything — no leaked slots after arbitrary churn.
+  EXPECT_GT(cache.stats().shared_page_hits, 0) << "the system page must get reused";
+  EXPECT_GT(cache.stats().forks, 0);
+
+  // reset() releases everything — no leaked pages after arbitrary churn.
+  const infer::SequenceHandle stale = active.empty() ? cache.allocate(1) : active.front();
   cache.reset();
-  EXPECT_EQ(cache.active_slots(), 0);
-  for (int64_t s = 0; s < cfg.slots; ++s) EXPECT_EQ(cache.len(s), 0);
-  for (int64_t s = 0; s < cfg.slots; ++s) EXPECT_GE(cache.acquire_slot(), 0);
-  EXPECT_EQ(cache.acquire_slot(), -1);
+  EXPECT_EQ(cache.active_seqs(), 0);
+  EXPECT_EQ(cache.free_pages(), cfg.pool_pages());
+  EXPECT_THROW((void)cache.len(stale), Error) << "pre-reset handles are stale";
+  for (int64_t s = 0; s < cfg.slots; ++s) EXPECT_TRUE(cache.allocate(1).valid());
+  EXPECT_FALSE(cache.allocate(1).valid());
 }
 
 // ---------------------------------------------------------------------------

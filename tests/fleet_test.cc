@@ -280,7 +280,7 @@ TEST(DegradedServingTest, EnqueueTimeGovernsTimeoutButArrivalGovernsStats) {
   infer::Request r;
   r.id = 0;
   r.prompt = {5, 6, 7};
-  r.gen_len = 4;
+  r.spec.gen_len = 4;
   r.arrival_us = 0;
   r.enqueue_us = 5000.0;
   const infer::ServeReport rep = engine.serve({r});
@@ -303,7 +303,7 @@ std::vector<infer::Request> burst_of(int64_t n, int64_t gen_len = 6) {
     infer::Request r;
     r.id = i;
     r.prompt = {3, 4, 5, 6};
-    r.gen_len = gen_len;
+    r.spec.gen_len = gen_len;
     r.arrival_us = 0;  // all at once
     reqs.push_back(std::move(r));
   }
@@ -323,6 +323,38 @@ infer::ServeReport run_fleet_burst(const infer::ServeConfig& scfg,
   infer::KvCache cache(model.kv_cache_config(slots, max_len), s.param_alloc());
   infer::ContinuousBatcher engine(s, model, cache, scfg);
   return engine.serve(reqs);
+}
+
+TEST(FleetTest, PrefixSharingFleetIsTokenExactToExclusivePages) {
+  // Every burst request carries the same 4-token prompt; with 4-token pages
+  // that prompt is exactly one full page, so a sharing fleet serves the whole
+  // burst off one physical prefix page per replica. Sharing is a memory-layout
+  // choice, never a numerics choice: the merged token streams must be bitwise
+  // the exclusive-pages baseline.
+  const auto reqs = burst_of(12, /*gen_len=*/5);
+  infer::FleetConfig fc = fleet_config(2, simgpu::ExecMode::kExecute, DType::kF32);
+  const infer::ServeReport base = single_replica_baseline(fc, reqs);
+  ASSERT_EQ(base.served, 12);
+  ASSERT_EQ(base.shared_page_hits, 0) << "the baseline must not share";
+
+  fc.page_tokens = 4;
+  fc.prefix_sharing = true;
+  infer::Fleet fleet(fc);
+  const infer::FleetReport rep = fleet.run(reqs);
+  EXPECT_EQ(rep.lost, 0);
+  EXPECT_EQ(rep.shed, 0);
+  ASSERT_EQ(rep.served, 12);
+  int64_t hits = 0;
+  for (const infer::ServeReport& r : rep.replica_reports) hits += r.shared_page_hits;
+  EXPECT_GT(hits, 0) << "the common prompt page must actually be shared";
+  for (const infer::RequestStats& st : rep.requests) {
+    const infer::RequestStats* ref = nullptr;
+    for (const infer::RequestStats& b : base.requests)
+      if (b.id == st.id) ref = &b;
+    ASSERT_NE(ref, nullptr);
+    EXPECT_EQ(st.tokens, ref->tokens)
+        << "request " << st.id << " must be token-identical without sharing";
+  }
 }
 
 TEST(DegradedServingTest, QueueExactlyAtBoundIsNotShed) {

@@ -8,6 +8,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <set>
 
 #include "core/lightseq2.h"
 #include "kernels/sampling.h"
@@ -61,85 +62,130 @@ Tensor column(const Tensor& ids, int64_t t) {
 // KV cache bookkeeping
 // ---------------------------------------------------------------------------
 
-TEST(KvCacheTest, SlotLifecycleAndDecodeViews) {
+TEST(KvCacheTest, SequenceLifecycleAndDecodeViews) {
+  simgpu::Device dev(simgpu::generic(), simgpu::ExecMode::kExecute);
+  kern::KernelContext kc(dev, nullptr, 1);
   KvCacheConfig cfg;
   cfg.layers = 2;
   cfg.heads = 2;
   cfg.head_dim = 4;
   cfg.slots = 3;
-  cfg.max_len = 8;
+  cfg.seq_tokens = 8;
+  cfg.page_tokens = 4;
   KvCache cache(cfg);
-  EXPECT_EQ(cache.free_slots(), 3);
-  const int64_t a = cache.acquire_slot();
-  const int64_t b = cache.acquire_slot();
-  const int64_t c = cache.acquire_slot();
-  EXPECT_EQ(cache.acquire_slot(), -1) << "cache full";
-  cache.set_len(a, 5);
-  cache.set_len(b, 2);
-  cache.release_slot(c);
-  EXPECT_EQ(cache.free_slots(), 1);
+  EXPECT_EQ(cache.free_lanes(), 3);
+  EXPECT_EQ(cache.free_pages(), 3 * 2);
+  const SequenceHandle a = cache.allocate(5);
+  const SequenceHandle b = cache.allocate(2);
+  const SequenceHandle c = cache.allocate(1);
+  ASSERT_TRUE(a.valid() && b.valid() && c.valid());
+  EXPECT_FALSE(cache.allocate(1).valid()) << "cache full";
+  EXPECT_EQ(cache.len(a), 5);
+  EXPECT_EQ(cache.capacity(a), 8) << "5 tokens back 2 pages of 4";
+  cache.free(c);
+  EXPECT_EQ(cache.free_lanes(), 1);
 
+  ASSERT_TRUE(cache.extend(a, kc, kern::Impl::kLS2));
+  ASSERT_TRUE(cache.extend(b, kc, kern::Impl::kLS2));
   cache.begin_decode();
   const int32_t* pos = cache.positions().data<int32_t>();
   const int32_t* att = cache.attend_lens().data<int32_t>();
-  EXPECT_EQ(pos[a], 5);
-  EXPECT_EQ(att[a], 6);
-  EXPECT_EQ(pos[b], 2);
-  EXPECT_EQ(att[b], 3);
-  EXPECT_EQ(pos[c], 0);
-  EXPECT_EQ(att[c], 0) << "free slots attend nothing";
+  EXPECT_EQ(pos[cache.lane(a)], 5);
+  EXPECT_EQ(att[cache.lane(a)], 6);
+  EXPECT_EQ(pos[cache.lane(b)], 2);
+  EXPECT_EQ(att[cache.lane(b)], 3);
+  // The freed lane attends nothing and its block-table row points at trash.
+  const int32_t* bt = cache.block_table().data<int32_t>();
+  const int64_t free_lane = 2;  // c's lane (lanes are claimed in order)
+  EXPECT_EQ(pos[free_lane], 0);
+  EXPECT_EQ(att[free_lane], 0) << "free lanes attend nothing";
+  for (int64_t p = 0; p < cfg.pages_per_seq(); ++p)
+    EXPECT_EQ(bt[free_lane * cfg.pages_per_seq() + p],
+              static_cast<int32_t>(cfg.pool_pages()));
   cache.commit_decode();
   EXPECT_EQ(cache.len(a), 6);
   EXPECT_EQ(cache.len(b), 3);
 
-  // A slot at capacity must refuse another decode step.
-  cache.set_len(a, 8);
-  EXPECT_THROW(cache.begin_decode(), Error);
-  EXPECT_THROW(cache.set_len(b, 9), Error);
+  // A sequence at token capacity must refuse another extension / step.
+  const SequenceHandle d = cache.allocate(8);
+  ASSERT_TRUE(d.valid());
+  EXPECT_THROW((void)cache.extend(d, kc, kern::Impl::kLS2), Error);
+  EXPECT_THROW(cache.begin_decode(), Error) << "active seq at capacity";
+  cache.free(d);
+
+  // Freed pages return to the pool; stale handles are rejected.
+  EXPECT_FALSE(cache.valid(d));
+  EXPECT_THROW((void)cache.len(d), Error);
+  cache.free(a);
+  cache.free(b);
+  EXPECT_EQ(cache.free_pages(), 3 * 2);
+  EXPECT_EQ(cache.active_seqs(), 0);
 }
 
-TEST(KvCacheTest, AppendAndStoreKernelsWriteTheRightRows) {
+TEST(KvCacheTest, PagedStoreAppendGatherWriteTheRightRows) {
   simgpu::Device dev(simgpu::generic(), simgpu::ExecMode::kExecute);
   kern::KernelContext kc(dev, nullptr, 1);
-  const int64_t S = 2, N = 2, Lmax = 4, D = 2;
+  const int64_t S = 2, N = 2, D = 2, page = 2, seq = 4;
   KvCacheConfig cfg;
   cfg.layers = 1;
   cfg.heads = N;
   cfg.head_dim = D;
   cfg.slots = S;
-  cfg.max_len = Lmax;
+  cfg.seq_tokens = seq;
+  cfg.page_tokens = page;
   KvCache cache(cfg);
+  const SequenceHandle h0 = cache.allocate(1);
+  const SequenceHandle h1 = cache.allocate(2);
+  ASSERT_TRUE(h0.valid() && h1.valid());
 
-  // Prefill two rows into slot 1 only.
+  // Prefill two rows into h1's lane only, through its block table.
   Tensor k_new = Tensor::empty({1, N, 2, D}, DType::kF32);
   Tensor v_new = Tensor::empty({1, N, 2, D}, DType::kF32);
   k_new.fill_(2.0f);
   v_new.fill_(3.0f);
-  Tensor slots = Tensor::from_vector({1.0f}, {1}, DType::kI32);
-  kern::kv_cache_store(kc, kern::Impl::kLS2, k_new, v_new, cache.k(0), cache.v(0), slots);
-  auto kv = cache.k(0).to_vector();
-  // slot 0 untouched (zeros), slot 1 rows 0..1 = 2.0, rows 2..3 zeros.
-  for (int64_t n = 0; n < N; ++n) {
-    for (int64_t l = 0; l < Lmax; ++l) {
-      for (int64_t d = 0; d < D; ++d) {
-        EXPECT_EQ(kv[static_cast<size_t>(((0 * N + n) * Lmax + l) * D + d)], 0.0f);
-        const float want = l < 2 ? 2.0f : 0.0f;
-        EXPECT_EQ(kv[static_cast<size_t>(((1 * N + n) * Lmax + l) * D + d)], want);
-      }
-    }
-  }
+  Tensor lanes = Tensor::from_vector({static_cast<float>(cache.lane(h1))}, {1}, DType::kI32);
+  Tensor wbegin = Tensor::from_vector({0.0f}, {1}, DType::kI32);
+  Tensor wend = Tensor::from_vector({2.0f}, {1}, DType::kI32);
+  kern::kv_cache_store_paged(kc, kern::Impl::kLS2, k_new, v_new, cache.k_pool(0),
+                             cache.v_pool(0), cache.block_table(), lanes, wbegin, wend);
 
-  // Decode append at per-slot positions {0, 2}.
+  // Decode append at per-lane positions (h0 at row 1, h1 at row 2).
+  ASSERT_TRUE(cache.extend(h0, kc, kern::Impl::kLS2));
+  ASSERT_TRUE(cache.extend(h1, kc, kern::Impl::kLS2));
+  cache.begin_decode();
   Tensor k1 = Tensor::empty({S, N, 1, D}, DType::kF32);
   Tensor v1 = Tensor::empty({S, N, 1, D}, DType::kF32);
   k1.fill_(7.0f);
   v1.fill_(8.0f);
-  Tensor positions = Tensor::from_vector({0.0f, 2.0f}, {S}, DType::kI32);
-  kern::kv_cache_append(kc, kern::Impl::kLS2, k1, v1, cache.k(0), cache.v(0), positions);
-  kv = cache.k(0).to_vector();
-  EXPECT_EQ(kv[0], 7.0f);                                             // slot 0 row 0
-  EXPECT_EQ(kv[static_cast<size_t>(((1 * N) * Lmax + 2) * D)], 7.0f); // slot 1 row 2
-  EXPECT_EQ(kv[static_cast<size_t>(((1 * N) * Lmax + 0) * D)], 2.0f) << "prefix intact";
+  kern::kv_cache_append_paged(kc, kern::Impl::kLS2, k1, v1, cache.k_pool(0),
+                              cache.v_pool(0), cache.block_table(), cache.positions());
+
+  // Gather through the block table: logical rows come back contiguous, with
+  // exact zeros past each lane's attend length (and for never-written rows).
+  Tensor kg = Tensor::empty({S, N, seq, D}, DType::kF32);
+  Tensor vg = Tensor::empty({S, N, seq, D}, DType::kF32);
+  kg.fill_(99.0f);  // stale scratch must be re-zeroed by the gather
+  vg.fill_(99.0f);
+  kern::kv_cache_gather(kc, kern::Impl::kLS2, cache.k_pool(0), cache.v_pool(0),
+                        cache.block_table(), cache.attend_lens(), kg, vg);
+  const auto kv = kg.to_vector();
+  auto at = [&](int64_t s, int64_t n, int64_t l, int64_t d) {
+    return kv[static_cast<size_t>(((s * N + n) * seq + l) * D + d)];
+  };
+  const int64_t l0 = cache.lane(h0), l1 = cache.lane(h1);
+  for (int64_t n = 0; n < N; ++n) {
+    for (int64_t d = 0; d < D; ++d) {
+      EXPECT_EQ(at(l0, n, 0, d), 0.0f) << "h0 row 0 was never written";
+      EXPECT_EQ(at(l0, n, 1, d), 7.0f) << "h0 append landed at row 1";
+      EXPECT_EQ(at(l0, n, 2, d), 0.0f) << "beyond attend_len: exact zeros";
+      EXPECT_EQ(at(l1, n, 0, d), 2.0f) << "h1 prefill row";
+      EXPECT_EQ(at(l1, n, 1, d), 2.0f) << "h1 prefill row";
+      EXPECT_EQ(at(l1, n, 2, d), 7.0f) << "h1 append landed at row 2";
+      EXPECT_EQ(at(l1, n, 3, d), 0.0f);
+    }
+  }
+  cache.commit_decode();
+  EXPECT_EQ(cache.len(h1), 3);
 }
 
 // ---------------------------------------------------------------------------
@@ -192,9 +238,13 @@ TEST(Gpt2InferTest, IncrementalDecodeMatchesFullForwardBitwise) {
   // Reference: one full-sequence forward through the non-cached stack.
   const auto ref = model.prefill(s.ctx(), ids, nullptr, {}).to_vector();  // [B, L, V]
 
-  KvCache cache(model.kv_cache_config(B, 16));
-  std::vector<int64_t> slots;
-  for (int64_t b = 0; b < B; ++b) slots.push_back(cache.acquire_slot());
+  // A 4-token page: the 10-token teacher-forced decode crosses two page
+  // boundaries, so the gather path is exercised mid-sequence.
+  KvCacheConfig kcfg = model.kv_cache_config(B, 16);
+  kcfg.page_tokens = 4;
+  KvCache cache(kcfg);
+  std::vector<SequenceHandle> seqs;
+  for (int64_t b = 0; b < B; ++b) seqs.push_back(cache.allocate(P));
 
   // Prompt prefill must reproduce the reference at every prompt position.
   Tensor prefix = Tensor::empty({B, P}, DType::kI32);
@@ -204,7 +254,7 @@ TEST(Gpt2InferTest, IncrementalDecodeMatchesFullForwardBitwise) {
     for (int64_t b = 0; b < B; ++b)
       for (int64_t t = 0; t < P; ++t) pp[b * P + t] = ip[b * L + t];
   }
-  const auto pre = model.prefill(s.ctx(), prefix, &cache, slots).to_vector();  // [B, P, V]
+  const auto pre = model.prefill(s.ctx(), prefix, &cache, seqs).to_vector();  // [B, P, V]
   for (int64_t b = 0; b < B; ++b) {
     for (int64_t t = 0; t < P; ++t) {
       for (int64_t j = 0; j < V; ++j) {
@@ -214,10 +264,10 @@ TEST(Gpt2InferTest, IncrementalDecodeMatchesFullForwardBitwise) {
       }
     }
   }
-  for (int64_t b = 0; b < B; ++b) cache.set_len(b, P);
-
   // Teacher-forced decode steps must be BITWISE the full forward's logits.
   for (int64_t t = P; t < L; ++t) {
+    for (const SequenceHandle& h : seqs)
+      ASSERT_TRUE(cache.extend(h, s.ctx().kern, s.ctx().policy.transform));
     cache.begin_decode();
     const auto step = model.decode_step(s.ctx(), column(ids, t), cache).to_vector();
     cache.commit_decode();
@@ -252,13 +302,15 @@ TEST(Gpt2InferTest, PaddedBatchMatchesPerSequenceForward) {
   }
   Tensor lens = Tensor::from_vector({3.0f, 5.0f}, {B}, DType::kI32);
 
-  KvCache cache(model.kv_cache_config(B, 16));
-  std::vector<int64_t> slots;
-  for (int64_t b = 0; b < B; ++b) slots.push_back(cache.acquire_slot());
-  const auto pre = model.prefill(s.ctx(), padded, &cache, slots, &lens).to_vector();
-  for (int64_t b = 0; b < B; ++b) cache.set_len(b, static_cast<int32_t>(plen[static_cast<size_t>(b)]));
+  KvCacheConfig kcfg = model.kv_cache_config(B, 16);
+  kcfg.page_tokens = 4;  // ragged lanes land on different page offsets
+  KvCache cache(kcfg);
+  std::vector<SequenceHandle> handles;
+  for (int64_t b = 0; b < B; ++b)
+    handles.push_back(cache.allocate(plen[static_cast<size_t>(b)]));
+  const auto pre = model.prefill(s.ctx(), padded, &cache, handles, &lens).to_vector();
 
-  // Decode the continuations at per-slot positions (a genuinely ragged
+  // Decode the continuations at per-lane positions (a genuinely ragged
   // batch — the continuous-batching shape).
   std::vector<std::vector<float>> step_logits;
   for (int64_t k = 0; k < steps; ++k) {
@@ -266,6 +318,8 @@ TEST(Gpt2InferTest, PaddedBatchMatchesPerSequenceForward) {
     const int32_t* sp = seqs.data<int32_t>();
     int32_t* tp = tok.data<int32_t>();
     for (int64_t b = 0; b < B; ++b) tp[b] = sp[b * 8 + plen[static_cast<size_t>(b)] + k];
+    for (const SequenceHandle& h : handles)
+      ASSERT_TRUE(cache.extend(h, s.ctx().kern, s.ctx().policy.transform));
     cache.begin_decode();
     step_logits.push_back(model.decode_step(s.ctx(), tok, cache).to_vector());
     cache.commit_decode();
@@ -351,27 +405,36 @@ TEST(TransformerInferTest, IncrementalDecodeMatchesFullPrefillBitwise) {
   const int64_t Lt = batch.tgt_in.shape()[1];
   const int64_t V = model.config().vocab;
 
-  // Reference: encode + full-target prefill.
+  // Reference: encode + full-target prefill (degenerate one-page config —
+  // the contiguous-equivalent layout).
   KvCache ref_cache(model.kv_cache_config(B, Lt + 1, Ls));
-  for (int64_t b = 0; b < B; ++b) ref_cache.acquire_slot();
-  model.encode(s.ctx(), batch.src_ids, batch.src_lens, ref_cache);
+  std::vector<SequenceHandle> ref_seqs;
+  for (int64_t b = 0; b < B; ++b) ref_seqs.push_back(ref_cache.allocate(Lt));
+  model.encode(s.ctx(), batch.src_ids, batch.src_lens, ref_cache, ref_seqs);
   const auto ref =
-      model.prefill(s.ctx(), batch.tgt_in, ref_cache, &batch.tgt_lens).to_vector();
+      model.prefill(s.ctx(), batch.tgt_in, ref_cache, ref_seqs, &batch.tgt_lens).to_vector();
 
-  // Incremental: encode, prefill the BOS column, then teacher-forced decode.
-  KvCache cache(model.kv_cache_config(B, Lt + 1, Ls));
-  for (int64_t b = 0; b < B; ++b) cache.acquire_slot();
-  model.encode(s.ctx(), batch.src_ids, batch.src_lens, cache);
+  // Incremental against a genuinely PAGED decoder self-cache (the cross
+  // blocks stay contiguous either way): encode, prefill the BOS column,
+  // then teacher-forced decode.
+  KvCacheConfig kcfg = model.kv_cache_config(B, Lt + 1, Ls);
+  kcfg.page_tokens = 4;
+  KvCache cache(kcfg);
+  std::vector<SequenceHandle> handles;
+  for (int64_t b = 0; b < B; ++b) handles.push_back(cache.allocate(1));
+  model.encode(s.ctx(), batch.src_ids, batch.src_lens, cache, handles);
   const auto tgt_lens = batch.tgt_lens.to_vector();
-  const auto pre = model.prefill(s.ctx(), column(batch.tgt_in, 0), cache).to_vector();
+  const auto pre =
+      model.prefill(s.ctx(), column(batch.tgt_in, 0), cache, handles).to_vector();
   for (int64_t b = 0; b < B; ++b) {
     for (int64_t j = 0; j < V; ++j) {
       ASSERT_EQ(pre[static_cast<size_t>(b * V + j)], ref[static_cast<size_t>(b * Lt * V + j)])
           << "decoder prefill b=" << b;
     }
   }
-  for (int64_t b = 0; b < B; ++b) cache.set_len(b, 1);
   for (int64_t t = 1; t < Lt; ++t) {
+    for (const SequenceHandle& h : handles)
+      ASSERT_TRUE(cache.extend(h, s.ctx().kern, s.ctx().policy.transform));
     cache.begin_decode();
     const auto step = model.decode_step(s.ctx(), column(batch.tgt_in, t), cache).to_vector();
     cache.commit_decode();
@@ -534,7 +597,7 @@ TEST(ContinuousBatcherTest, EosRetiresEarlyInExecuteMode) {
   ServeReport report = engine.serve(reqs);
   for (const RequestStats& st : report.requests) {
     EXPECT_GE(st.generated, 1);
-    const int64_t cap = reqs[static_cast<size_t>(st.id)].gen_len;
+    const int64_t cap = reqs[static_cast<size_t>(st.id)].spec.gen_len;
     EXPECT_LE(st.generated, cap);
     // Either ran to its cap or stopped at EOS.
     if (st.generated < cap) {
@@ -556,7 +619,7 @@ TEST(ContinuousBatcherTest, CacheCapacityCapsGenerationInsteadOfThrowing) {
   Request req;
   req.id = 0;
   req.prompt = {5, 6, 7, 8};
-  req.gen_len = 100;  // far beyond the 12-token slot
+  req.spec.gen_len = 100;  // far beyond the 12-token sequence budget
   ServeReport report = engine.serve({req});
   ASSERT_EQ(report.requests.size(), 1u);
   // prefill caches 4 tokens and samples 1; each decode step appends the
@@ -627,6 +690,190 @@ TEST(ContinuousBatcherTest, GraphReplayBeatsEagerOnLaunchBoundProfile) {
   EXPECT_EQ(eager.generated_tokens, graph.generated_tokens);
   EXPECT_GE(graph.tokens_per_sec, 1.2 * eager.tokens_per_sec)
       << "graph " << graph.tokens_per_sec << " vs eager " << eager.tokens_per_sec;
+}
+
+// ---------------------------------------------------------------------------
+// Paged KV cache: bitwise parity and copy-on-write isolation
+// ---------------------------------------------------------------------------
+
+// The tentpole guarantee: serving through the paged cache (small pages +
+// prefix sharing) emits BITWISE the tokens of the degenerate
+// one-page-per-sequence config (the contiguous-equivalent layout), in FP32
+// execute mode, both eagerly and with the decode step graph-replayed.
+TEST(PagedKvTest, PagedVsContiguousBitwiseTokenParity) {
+  const auto cfg = tiny_gpt2();
+  const int64_t slots = 2, max_len = 24;
+
+  // A shared-system-prompt burst: two distinct 9-token prompts, two
+  // requests each, paired back-to-back so the twins are RESIDENT together —
+  // the regime where the second admission hits the first one's registered
+  // full page.
+  std::vector<Request> reqs;
+  Tensor prompts = random_ids(2, 9, cfg.vocab, 55);
+  const int32_t* pp = prompts.data<int32_t>();
+  for (int64_t i = 0; i < 4; ++i) {
+    Request r;
+    r.id = i;
+    r.prompt.assign(pp + (i / 2) * 9, pp + (i / 2) * 9 + 9);
+    r.spec.gen_len = 6;
+    r.arrival_us = static_cast<double>(i);
+    reqs.push_back(std::move(r));
+  }
+
+  auto run = [&](int64_t page_tokens, bool sharing, bool graph) {
+    SessionConfig sc = ls2_session();
+    sc.graph_capture = graph;
+    sc.arena_bytes = serve_capacity_scan(cfg, DType::kF32, slots, max_len, 12);
+    Session s(sc);
+    models::Gpt2 model(cfg, System::kLightSeq2, DType::kF32, 17, s.param_alloc());
+    KvCacheConfig kcfg = model.kv_cache_config(slots, max_len);
+    kcfg.page_tokens = page_tokens;
+    kcfg.prefix_sharing = sharing;
+    KvCache cache(kcfg, s.param_alloc());
+    ContinuousBatcher engine(s, model, cache, {});
+    ServeReport rep = engine.serve(reqs);
+    EXPECT_FALSE(s.graph_poisoned()) << s.graph_poison_reason();
+    return rep;
+  };
+  const ServeReport base = run(/*degenerate*/ 0, false, false);
+  const ServeReport paged = run(8, true, false);
+  const ServeReport replay = run(8, true, true);
+
+  EXPECT_EQ(base.shared_page_hits, 0) << "sharing off: no registry";
+  EXPECT_GT(paged.shared_page_hits, 0)
+      << "the duplicated 9-token prompt must reuse its full first page";
+  // Every 9-token prompt spans 2 pages; each registry hit replaces one
+  // allocation, so hits + fresh allocations account for all prompt pages.
+  EXPECT_EQ(paged.prefill_page_allocs + paged.shared_page_hits, 4 * 2);
+  EXPECT_LT(paged.prefill_page_allocs, 4 * 2)
+      << "sharing must cut prefill page allocations on the duplicated prompts";
+  EXPECT_GT(replay.replayed_steps, 0);
+
+  ASSERT_EQ(base.requests.size(), reqs.size());
+  ASSERT_EQ(paged.requests.size(), reqs.size());
+  ASSERT_EQ(replay.requests.size(), reqs.size());
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_EQ(paged.requests[i].tokens, base.requests[i].tokens)
+        << "request " << i << ": paged decode diverged from contiguous";
+    EXPECT_EQ(replay.requests[i].tokens, base.requests[i].tokens)
+        << "request " << i << ": replayed paged decode diverged";
+  }
+}
+
+// fork() + copy-on-write: after a branch point, parent and child must each
+// decode exactly as if they owned a private contiguous cache — the shared
+// tail page is copied on first write, never aliased.
+TEST(PagedKvTest, ForkCopyOnWriteIsolatesSequencesBitwise) {
+  Session s(ls2_session());
+  models::Gpt2 model(tiny_gpt2(), System::kLightSeq2, DType::kF32, 1);
+  const int64_t V = model.config().vocab, P = 6, steps = 3;
+  KvCacheConfig kcfg = model.kv_cache_config(3, 16);
+  kcfg.page_tokens = 4;  // prompt 6 = one full page + a 2-row tail page
+  Tensor prompt = random_ids(1, P, V, 66);
+  const std::vector<int32_t> contA = {7, 11, 13}, contB = {9, 17, 5};
+
+  // Forked pair: prefill once, branch, then decode different continuations.
+  KvCache cache(kcfg);
+  const SequenceHandle hf = cache.allocate(P);
+  (void)model.prefill(s.ctx(), prompt, &cache, {hf});
+  const SequenceHandle ff = cache.fork(hf);
+  ASSERT_TRUE(ff.valid());
+  EXPECT_EQ(cache.len(ff), P);
+  EXPECT_EQ(cache.stats().forks, 1);
+
+  // Solo references: each continuation alone in its own cache.
+  auto solo = [&](const std::vector<int32_t>& cont) {
+    KvCache c(kcfg);
+    const SequenceHandle h = c.allocate(P);
+    (void)model.prefill(s.ctx(), prompt, &c, {h});
+    std::vector<std::vector<float>> out;
+    Tensor ids = Tensor::zeros({3, 1}, DType::kI32);
+    for (int64_t k = 0; k < steps; ++k) {
+      ids.data<int32_t>()[c.lane(h)] = cont[static_cast<size_t>(k)];
+      EXPECT_TRUE(c.extend(h, s.ctx().kern, s.ctx().policy.transform));
+      c.begin_decode();
+      out.push_back(model.decode_step(s.ctx(), ids, c).to_vector());
+      c.commit_decode();
+    }
+    return out;
+  };
+  const auto refA = solo(contA);
+  const auto refB = solo(contB);
+
+  Tensor ids = Tensor::zeros({3, 1}, DType::kI32);
+  for (int64_t k = 0; k < steps; ++k) {
+    ids.data<int32_t>()[cache.lane(hf)] = contA[static_cast<size_t>(k)];
+    ids.data<int32_t>()[cache.lane(ff)] = contB[static_cast<size_t>(k)];
+    ASSERT_TRUE(cache.extend(hf, s.ctx().kern, s.ctx().policy.transform));
+    ASSERT_TRUE(cache.extend(ff, s.ctx().kern, s.ctx().policy.transform));
+    cache.begin_decode();
+    const auto step = model.decode_step(s.ctx(), ids, cache).to_vector();
+    cache.commit_decode();
+    // Row-independent kernels: compare each lane against the solo run's
+    // lane 0 (where solo() placed its only sequence).
+    for (int64_t j = 0; j < V; ++j) {
+      ASSERT_EQ(step[static_cast<size_t>(cache.lane(hf) * V + j)],
+                refA[static_cast<size_t>(k)][static_cast<size_t>(j)])
+          << "parent diverged at step " << k << " j=" << j;
+      ASSERT_EQ(step[static_cast<size_t>(cache.lane(ff) * V + j)],
+                refB[static_cast<size_t>(k)][static_cast<size_t>(j)])
+          << "fork diverged at step " << k << " j=" << j;
+    }
+  }
+  EXPECT_EQ(cache.stats().cow_copies, 1)
+      << "exactly one tail-page copy: the first extension after the fork";
+}
+
+// Fixed-size pages cannot fragment externally: after any admit/retire
+// interleaving, an allocation succeeds whenever its live tokens fit the
+// free pages — scattered (non-adjacent) page ids are as good as a
+// contiguous run, because the block table supplies the ordering.
+TEST(PagedKvTest, FragmentedFreePagesStillBackAnyFittingWorkload) {
+  KvCacheConfig cfg;
+  cfg.layers = 1;
+  cfg.heads = 1;
+  cfg.head_dim = 2;
+  cfg.slots = 4;
+  cfg.seq_tokens = 16;
+  cfg.page_tokens = 4;
+  cfg.total_pages = 8;
+  KvCache cache(cfg);
+
+  // Fill the pool: four 8-token sequences = 2 pages each.
+  std::vector<SequenceHandle> seqs;
+  for (int i = 0; i < 4; ++i) {
+    seqs.push_back(cache.allocate(8));
+    ASSERT_TRUE(seqs.back().valid());
+  }
+  ASSERT_EQ(cache.free_pages(), 0);
+  EXPECT_FALSE(cache.allocate(1).valid()) << "a dry pool must refuse";
+
+  // Retire sequences 0 and 2: four free pages, interleaved with the
+  // survivors' pages — the classic fragmentation shape.
+  cache.free(seqs[0]);
+  cache.free(seqs[2]);
+  ASSERT_EQ(cache.free_pages(), 4);
+
+  // A full-length sequence (4 pages) fits its live tokens exactly and
+  // MUST be admitted, scattered pages notwithstanding.
+  const SequenceHandle big = cache.allocate(16);
+  ASSERT_TRUE(big.valid()) << "fitting workload refused: external fragmentation";
+  EXPECT_EQ(cache.len(big), 16);
+  EXPECT_EQ(cache.capacity(big), 16);
+  EXPECT_EQ(cache.free_pages(), 0);
+
+  // Its block table row maps four DISTINCT real pages (never the trash
+  // page), in whatever pool order the free list produced.
+  const int32_t* table = cache.block_table().data<int32_t>();
+  const int64_t pps = cache.config().pages_per_seq();
+  std::set<int32_t> pages;
+  for (int64_t p = 0; p < 4; ++p) {
+    const int32_t id = table[cache.lane(big) * pps + p];
+    EXPECT_GE(id, 0);
+    EXPECT_LT(id, cfg.pool_pages());
+    pages.insert(id);
+  }
+  EXPECT_EQ(pages.size(), 4u) << "block table rows must map distinct pages";
 }
 
 // Chrome-trace export: serving timelines open in chrome://tracing.
